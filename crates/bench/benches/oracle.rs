@@ -1,0 +1,32 @@
+//! E5 (Criterion) — exhaustive-oracle cost on representative litmus
+//! shapes, demonstrating the combinatorial growth the paper discusses in
+//! §8 (coherence-only tests are cheap; message-passing with barriers is
+//! markedly more expensive; adding a thread multiplies the cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppc_litmus::{library, parse, run};
+use ppc_model::ModelParams;
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_oracle");
+    group.sample_size(10);
+    for name in ["CoRR", "SB", "MP", "MP+syncs"] {
+        let entry = library()
+            .into_iter()
+            .find(|e| e.name == name)
+            .expect("library entry");
+        let test = parse(entry.source).expect("parses");
+        let params = ModelParams::default();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run(&test, &params);
+                assert!(r.finals > 0);
+                r.stats.states
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E1/E5 (Criterion) — sequential-mode cost: the golden reference
+//! machine vs. the full model running the same program sequentially
+//! (the paper's sequential checking is "minutes" for thousands of tests
+//! because each individual run is cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppc_model::{run_sequential, ModelParams, Program, SystemState};
+use ppc_seqref::SeqMachine;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn program() -> Vec<ppc_isa::Instruction> {
+    [
+        "li r1,50",
+        "mtctr r1",
+        "li r2,0",
+        "li r3,0",
+        "addi r3,r3,1",
+        "add r2,r2,r3",
+        "bdnz -8",
+        "mulli r4,r2,3",
+    ]
+    .iter()
+    .map(|s| ppc_isa::parse_asm(s).expect("asm"))
+    .collect()
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let code = program();
+    let mut group = c.benchmark_group("sequential_mode");
+
+    group.bench_function("golden_reference_machine", |b| {
+        b.iter(|| {
+            let mut m = SeqMachine::from_instrs(&code, 0x1_0000);
+            m.run(10_000).expect("runs")
+        });
+    });
+
+    group.bench_function("model_sequential_mode", |b| {
+        let program = Arc::new(Program::from_threads(&[(0x1_0000, code.clone())]));
+        b.iter(|| {
+            let sys = SystemState::new(
+                program.clone(),
+                vec![(BTreeMap::new(), 0x1_0000)],
+                &[],
+                ModelParams::default(),
+            );
+            let (_fin, steps) = run_sequential(&sys, 100_000);
+            steps
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E2/E3 — the concurrent validation table (paper §7).
+//!
+//! Runs every built-in and generated litmus test exhaustively and prints
+//! one row per test: model verdict (Allowed/Forbidden for the `exists`
+//! condition) against the paper/hardware expectation, plus state-space
+//! statistics. Pass `--paper-only` for just the six §2 tests (E3).
+
+use ppc_litmus::{generated_suite, library, paper_section2_suite, run_entry};
+use ppc_model::ModelParams;
+use std::time::Instant;
+
+fn main() {
+    let paper_only = std::env::args().any(|a| a == "--paper-only");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let entries = if paper_only {
+        paper_section2_suite()
+    } else {
+        let mut v = library();
+        if !quick {
+            v.extend(generated_suite());
+        }
+        v
+    };
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>10} {:>9}  {}",
+        "test", "model", "expected", "match", "states", "time(s)", "pinned by"
+    );
+    println!("{}", "-".repeat(100));
+    let params = ModelParams::default();
+    let mut matches = 0usize;
+    let mut total = 0usize;
+    for e in &entries {
+        let t0 = Instant::now();
+        let report = run_entry(e, &params);
+        let dt = t0.elapsed().as_secs_f64();
+        let model = if report.result.witnessed {
+            "Allowed"
+        } else {
+            "Forbidden"
+        };
+        total += 1;
+        if report.matches {
+            matches += 1;
+        }
+        println!(
+            "{:<22} {:>10} {:>10} {:>8} {:>10} {:>9.2}  {}",
+            e.name,
+            model,
+            e.expect.to_string(),
+            if report.matches { "ok" } else { "MISMATCH" },
+            report.result.stats.states,
+            dt,
+            e.pinned_by
+        );
+    }
+    println!("{}", "-".repeat(100));
+    println!("{matches}/{total} tests match the architectural expectation");
+    if matches != total {
+        std::process::exit(1);
+    }
+}

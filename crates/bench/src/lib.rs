@@ -1,0 +1,10 @@
+//! Experiment harnesses regenerating the paper's evaluation artifacts
+//! (see `DESIGN.md` §6 and `EXPERIMENTS.md`):
+//!
+//! - `litmus_table` (E2/E3): the concurrent validation table — every
+//!   library and generated litmus test run exhaustively, model verdict
+//!   vs. paper/hardware expectation;
+//! - `seq_conformance` (E1): the sequential differential test run;
+//! - `isa_inventory` (E6): the coverage counts vs. the paper's §4.1;
+//! - `statespace` (E5): state/transition counts and timing per test;
+//! - Criterion benches `oracle` and `sequential` (E5 timing shapes).

@@ -1,0 +1,350 @@
+//! Arithmetic, logical, shift/rotate, comparison, and counting operations
+//! over lifted bitvectors.
+//!
+//! Undef propagation is conservative per operation: for bitwise operations
+//! it is exact per bit; for arithmetic, an undefined input bit poisons the
+//! output from its position of influence upward (ripple-carry style); for
+//! comparisons and counts the result is undefined whenever undefined bits
+//! could change it.
+
+use crate::{Bit, Bv, Tribool};
+
+impl Bv {
+    /// Bitwise NOT.
+    #[must_use]
+    pub fn not(&self) -> Bv {
+        self.iter().map(Bit::not).collect()
+    }
+
+    fn zip_with(&self, other: &Bv, f: impl Fn(Bit, Bit) -> Bit) -> Bv {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "bitwise operation on different lengths {} vs {}",
+            self.len(),
+            other.len()
+        );
+        self.iter().zip(other.iter()).map(|(a, b)| f(a, b)).collect()
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ (as do the other bitwise operations).
+    #[must_use]
+    pub fn and(&self, other: &Bv) -> Bv {
+        self.zip_with(other, Bit::and)
+    }
+
+    /// Bitwise OR.
+    #[must_use]
+    pub fn or(&self, other: &Bv) -> Bv {
+        self.zip_with(other, Bit::or)
+    }
+
+    /// Bitwise XOR.
+    #[must_use]
+    pub fn xor(&self, other: &Bv) -> Bv {
+        self.zip_with(other, Bit::xor)
+    }
+
+    /// Bitwise NAND.
+    #[must_use]
+    pub fn nand(&self, other: &Bv) -> Bv {
+        self.and(other).not()
+    }
+
+    /// Bitwise NOR.
+    #[must_use]
+    pub fn nor(&self, other: &Bv) -> Bv {
+        self.or(other).not()
+    }
+
+    /// Bitwise equivalence (XNOR).
+    #[must_use]
+    pub fn eqv(&self, other: &Bv) -> Bv {
+        self.xor(other).not()
+    }
+
+    /// `self AND NOT other` (the POWER `andc` operation).
+    #[must_use]
+    pub fn andc(&self, other: &Bv) -> Bv {
+        self.and(&other.not())
+    }
+
+    /// `self OR NOT other` (the POWER `orc` operation).
+    #[must_use]
+    pub fn orc(&self, other: &Bv) -> Bv {
+        self.or(&other.not())
+    }
+
+    /// Addition with an explicit carry-in, returning
+    /// `(sum, carry_out, signed_overflow)`.
+    ///
+    /// This is the primitive behind POWER's carrying/extended arithmetic
+    /// (`addc`, `adde`, `subfe`, …): `subf` is `¬a + b + 1`. Undefined
+    /// inputs poison the carry chain upward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn add_with_carry(&self, other: &Bv, carry_in: Bit) -> (Bv, Bit, Bit) {
+        assert_eq!(self.len(), other.len(), "add on different lengths");
+        let n = self.len();
+        let mut out = vec![Bit::Undef; n];
+        let mut carry = carry_in;
+        let mut carry_prev = carry_in; // carry into the MSB position
+        for i in (0..n).rev() {
+            let a = self.bits[i];
+            let b = other.bits[i];
+            if i == 0 {
+                carry_prev = carry;
+            }
+            // sum bit = a xor b xor carry
+            out[i] = a.xor(b).xor(carry);
+            // carry out = majority(a, b, carry)
+            carry = a.and(b).or(a.and(carry)).or(b.and(carry));
+        }
+        let overflow = carry.xor(carry_prev);
+        (Bv::from_bits(out), carry, overflow)
+    }
+
+    /// Two's complement addition (dropping carry-out).
+    #[must_use]
+    pub fn add(&self, other: &Bv) -> Bv {
+        self.add_with_carry(other, Bit::Zero).0
+    }
+
+    /// Two's complement subtraction `self - other`.
+    #[must_use]
+    pub fn sub(&self, other: &Bv) -> Bv {
+        other.not().add_with_carry(self, Bit::One).0
+    }
+
+    /// Two's complement negation.
+    #[must_use]
+    pub fn neg(&self) -> Bv {
+        self.not().add_with_carry(&Bv::zeros(self.len()), Bit::One).0
+    }
+
+    /// Full multiplication producing `2 * len` bits, with `signed`
+    /// controlling the interpretation of both operands.
+    ///
+    /// Any undefined input bit makes the entire product undefined (the
+    /// influence analysis that could do better is not worth the complexity;
+    /// the paper treats multiply-word high result bits as undefined anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or exceed 64 bits.
+    #[must_use]
+    pub fn mul_full(&self, other: &Bv, signed: bool) -> Bv {
+        assert_eq!(self.len(), other.len(), "mul on different lengths");
+        assert!(self.len() <= 64, "mul supports at most 64-bit operands");
+        let n = self.len();
+        if self.has_undef() || other.has_undef() {
+            return Bv::undef(2 * n);
+        }
+        let (a, b) = if signed {
+            (
+                self.to_i64().expect("defined") as i128,
+                other.to_i64().expect("defined") as i128,
+            )
+        } else {
+            (
+                self.to_u64().expect("defined") as i128,
+                other.to_u64().expect("defined") as i128,
+            )
+        };
+        let p = (a.wrapping_mul(b)) as u128;
+        let mut bits = Vec::with_capacity(2 * n);
+        for i in (0..2 * n).rev() {
+            bits.push(Bit::from_bool((p >> i) & 1 == 1));
+        }
+        Bv::from_bits(bits)
+    }
+
+    /// Low half of the product (the `mull*` instructions).
+    #[must_use]
+    pub fn mul_low(&self, other: &Bv) -> Bv {
+        let n = self.len();
+        self.mul_full(other, false).slice(n, n)
+    }
+
+    /// High half of the product (the `mulh*` instructions).
+    #[must_use]
+    pub fn mul_high(&self, other: &Bv, signed: bool) -> Bv {
+        let n = self.len();
+        self.mul_full(other, signed).slice(0, n)
+    }
+
+    /// Division `self / other`. Per the POWER architecture the quotient is
+    /// *undefined* on division by zero and on signed overflow
+    /// (`MIN / -1`), which lifted bits represent directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or exceed 64 bits.
+    #[must_use]
+    pub fn div(&self, other: &Bv, signed: bool) -> Bv {
+        assert_eq!(self.len(), other.len(), "div on different lengths");
+        assert!(self.len() <= 64, "div supports at most 64-bit operands");
+        let n = self.len();
+        if self.has_undef() || other.has_undef() {
+            return Bv::undef(n);
+        }
+        if signed {
+            let a = self.to_i64().expect("defined");
+            let b = other.to_i64().expect("defined");
+            let min = if n == 64 { i64::MIN } else { -(1i64 << (n - 1)) };
+            if b == 0 || (a == min && b == -1) {
+                return Bv::undef(n);
+            }
+            Bv::from_i64(a / b, n)
+        } else {
+            let a = self.to_u64().expect("defined");
+            let b = other.to_u64().expect("defined");
+            if b == 0 {
+                return Bv::undef(n);
+            }
+            Bv::from_u64(a / b, n)
+        }
+    }
+
+    /// Shift left by a concrete amount, filling with zeros. Shifts of the
+    /// full width or more produce all zeros.
+    #[must_use]
+    pub fn shl(&self, amount: usize) -> Bv {
+        let n = self.len();
+        if amount >= n {
+            return Bv::zeros(n);
+        }
+        let mut bits = self.bits[amount..].to_vec();
+        bits.extend(std::iter::repeat(Bit::Zero).take(amount));
+        Bv::from_bits(bits)
+    }
+
+    /// Logical shift right by a concrete amount, filling with zeros.
+    #[must_use]
+    pub fn lshr(&self, amount: usize) -> Bv {
+        let n = self.len();
+        if amount >= n {
+            return Bv::zeros(n);
+        }
+        let mut bits = vec![Bit::Zero; amount];
+        bits.extend_from_slice(&self.bits[..n - amount]);
+        Bv::from_bits(bits)
+    }
+
+    /// Arithmetic shift right by a concrete amount, replicating the sign
+    /// bit.
+    #[must_use]
+    pub fn ashr(&self, amount: usize) -> Bv {
+        let n = self.len();
+        let sign = self.bits.first().copied().unwrap_or(Bit::Zero);
+        if amount >= n {
+            return Bv::from_bits(vec![sign; n]);
+        }
+        let mut bits = vec![sign; amount];
+        bits.extend_from_slice(&self.bits[..n - amount]);
+        Bv::from_bits(bits)
+    }
+
+    /// Rotate left by a concrete amount.
+    #[must_use]
+    pub fn rotl(&self, amount: usize) -> Bv {
+        let n = self.len();
+        if n == 0 {
+            return Bv::empty();
+        }
+        let amount = amount % n;
+        let mut bits = self.bits[amount..].to_vec();
+        bits.extend_from_slice(&self.bits[..amount]);
+        Bv::from_bits(bits)
+    }
+
+    /// Unsigned comparison `self < other`; [`Tribool::Undef`] whenever
+    /// undefined bits could change the answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn lt_unsigned(&self, other: &Bv) -> Tribool {
+        assert_eq!(self.len(), other.len(), "compare on different lengths");
+        for (a, b) in self.iter().zip(other.iter()) {
+            match (a, b) {
+                (Bit::Undef, _) | (_, Bit::Undef) => return Tribool::Undef,
+                (Bit::Zero, Bit::One) => return Tribool::True,
+                (Bit::One, Bit::Zero) => return Tribool::False,
+                _ => {}
+            }
+        }
+        Tribool::False
+    }
+
+    /// Signed comparison `self < other`.
+    #[must_use]
+    pub fn lt_signed(&self, other: &Bv) -> Tribool {
+        assert_eq!(self.len(), other.len(), "compare on different lengths");
+        if self.is_empty() {
+            return Tribool::False;
+        }
+        // Flip the sign bits and compare unsigned.
+        let a = self.with_bit(0, self.bit(0).not());
+        let b = other.with_bit(0, other.bit(0).not());
+        a.lt_unsigned(&b)
+    }
+
+    /// Equality as a [`Tribool`]: undefined if any bit pair has an undef on
+    /// either side and the defined bits do not already differ.
+    #[must_use]
+    pub fn eq_lifted(&self, other: &Bv) -> Tribool {
+        assert_eq!(self.len(), other.len(), "compare on different lengths");
+        let mut seen_undef = false;
+        for (a, b) in self.iter().zip(other.iter()) {
+            match (a, b) {
+                (Bit::Undef, _) | (_, Bit::Undef) => seen_undef = true,
+                (a, b) if a != b => return Tribool::False,
+                _ => {}
+            }
+        }
+        if seen_undef {
+            Tribool::Undef
+        } else {
+            Tribool::True
+        }
+    }
+
+    /// Count leading zeros; `None` if undefined bits precede the first
+    /// defined one.
+    #[must_use]
+    pub fn count_leading_zeros(&self) -> Option<usize> {
+        let mut count = 0;
+        for b in self.iter() {
+            match b {
+                Bit::Zero => count += 1,
+                Bit::One => return Some(count),
+                Bit::Undef => return None,
+            }
+        }
+        Some(count)
+    }
+
+    /// Population count per the `popcntb`-family; `None` if any bit is
+    /// undefined.
+    #[must_use]
+    pub fn popcount(&self) -> Option<usize> {
+        let mut count = 0;
+        for b in self.iter() {
+            match b.to_bool() {
+                Some(true) => count += 1,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(count)
+    }
+}

@@ -1,0 +1,159 @@
+//! Single lifted bits and three-valued booleans.
+
+/// A lifted bit: `0`, `1`, or *undefined*.
+///
+/// Undefined bits arise from instruction descriptions that leave flag or
+/// result bits explicitly undefined (paper §2.1.7, interpretation (c)), and
+/// from the distinguished *unknown* value the footprint analysis feeds to
+/// pending reads (paper §2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bit {
+    /// A definite zero.
+    Zero,
+    /// A definite one.
+    One,
+    /// An undefined (or, during footprint analysis, unknown) bit.
+    Undef,
+}
+
+impl Bit {
+    /// The bit for a boolean: `true` ↦ [`Bit::One`], `false` ↦ [`Bit::Zero`].
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Whether this bit is [`Bit::Undef`].
+    #[must_use]
+    pub fn is_undef(self) -> bool {
+        matches!(self, Bit::Undef)
+    }
+
+    /// The concrete boolean value, if defined.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::Zero => Some(false),
+            Bit::One => Some(true),
+            Bit::Undef => None,
+        }
+    }
+
+    /// Logical negation; undef stays undef.
+    #[must_use]
+    pub fn not(self) -> Self {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            Bit::Undef => Bit::Undef,
+        }
+    }
+
+    /// Logical conjunction with short-circuit strength: `0 & x = 0` even if
+    /// `x` is undefined.
+    #[must_use]
+    pub fn and(self, other: Self) -> Self {
+        match (self, other) {
+            (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+            (Bit::One, Bit::One) => Bit::One,
+            _ => Bit::Undef,
+        }
+    }
+
+    /// Logical disjunction with short-circuit strength: `1 | x = 1` even if
+    /// `x` is undefined.
+    #[must_use]
+    pub fn or(self, other: Self) -> Self {
+        match (self, other) {
+            (Bit::One, _) | (_, Bit::One) => Bit::One,
+            (Bit::Zero, Bit::Zero) => Bit::Zero,
+            _ => Bit::Undef,
+        }
+    }
+
+    /// Exclusive or; any undefined input makes the output undefined.
+    #[must_use]
+    pub fn xor(self, other: Self) -> Self {
+        match (self, other) {
+            (Bit::Undef, _) | (_, Bit::Undef) => Bit::Undef,
+            (a, b) => Bit::from_bool(a != b),
+        }
+    }
+
+    /// Whether two lifted bits are *compatible*: equal, or at least one is
+    /// undefined. This is the per-bit ingredient of the paper's comparison
+    /// of model results against hardware "up to undef" (§7).
+    #[must_use]
+    pub fn compatible(self, other: Self) -> bool {
+        self == other || self.is_undef() || other.is_undef()
+    }
+}
+
+/// A three-valued boolean, produced by comparisons over lifted values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tribool {
+    /// Definitely false.
+    False,
+    /// Definitely true.
+    True,
+    /// Unknown, because undefined bits could change the answer.
+    Undef,
+}
+
+impl Tribool {
+    /// Lift a concrete boolean.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Tribool::True
+        } else {
+            Tribool::False
+        }
+    }
+
+    /// The concrete value, if determined.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Tribool::False => Some(false),
+            Tribool::True => Some(true),
+            Tribool::Undef => None,
+        }
+    }
+
+    /// Negation; undef stays undef.
+    #[must_use]
+    pub fn not(self) -> Self {
+        match self {
+            Tribool::False => Tribool::True,
+            Tribool::True => Tribool::False,
+            Tribool::Undef => Tribool::Undef,
+        }
+    }
+
+    /// The corresponding lifted bit.
+    #[must_use]
+    pub fn to_bit(self) -> Bit {
+        match self {
+            Tribool::False => Bit::Zero,
+            Tribool::True => Bit::One,
+            Tribool::Undef => Bit::Undef,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        Bit::from_bool(b)
+    }
+}
+
+impl From<bool> for Tribool {
+    fn from(b: bool) -> Self {
+        Tribool::from_bool(b)
+    }
+}

@@ -1,0 +1,328 @@
+//! The [`Bv`] bitvector type: structure, slicing, conversion.
+
+use crate::Bit;
+
+/// A bitvector of lifted bits, stored most-significant-bit first.
+///
+/// Index `0` is the most significant bit, matching POWER's MSB0 numbering
+/// (paper §3: "in the POWER description indices increase along a bitvector,
+/// from MSB to LSB"). Architected registers with non-zero start indices
+/// (e.g. `CR` numbered 32..63) are handled at the register-model level by
+/// subtracting the start index; a `Bv` itself is always 0-based.
+///
+/// `Bv` values are immutable in style: operations return new vectors.
+///
+/// # Example
+///
+/// ```
+/// use ppc_bits::{Bit, Bv};
+///
+/// let v = Bv::from_u64(0b1010, 4);
+/// assert_eq!(v.bit(0), Bit::One);   // MSB
+/// assert_eq!(v.bit(3), Bit::Zero);  // LSB
+/// assert_eq!(v.slice(1, 2).to_u64().unwrap(), 0b01);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bv {
+    pub(crate) bits: Vec<Bit>,
+}
+
+impl Bv {
+    /// An empty (zero-length) bitvector.
+    #[must_use]
+    pub fn empty() -> Self {
+        Bv { bits: Vec::new() }
+    }
+
+    /// A vector of `len` zero bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Bv {
+            bits: vec![Bit::Zero; len],
+        }
+    }
+
+    /// A vector of `len` one bits.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        Bv {
+            bits: vec![Bit::One; len],
+        }
+    }
+
+    /// A vector of `len` undefined bits.
+    ///
+    /// This is both the value of architecturally undefined results and the
+    /// distinguished *unknown* fed to reads during footprint analysis.
+    #[must_use]
+    pub fn undef(len: usize) -> Self {
+        Bv {
+            bits: vec![Bit::Undef; len],
+        }
+    }
+
+    /// Build from an explicit MSB-first bit sequence.
+    #[must_use]
+    pub fn from_bits(bits: Vec<Bit>) -> Self {
+        Bv { bits }
+    }
+
+    /// The low `len` bits of `value`, MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    #[must_use]
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits, got {len}");
+        let mut bits = Vec::with_capacity(len);
+        for i in (0..len).rev() {
+            bits.push(Bit::from_bool((value >> i) & 1 == 1));
+        }
+        Bv { bits }
+    }
+
+    /// The low `len` bits of a signed value, two's complement, MSB-first.
+    #[must_use]
+    pub fn from_i64(value: i64, len: usize) -> Self {
+        Self::from_u64(value as u64, len)
+    }
+
+    /// A single bit as a 1-length vector.
+    #[must_use]
+    pub fn from_bit(b: Bit) -> Self {
+        Bv { bits: vec![b] }
+    }
+
+    /// Build from big-endian bytes (byte 0 is most significant).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut bits = Vec::with_capacity(bytes.len() * 8);
+        for &byte in bytes {
+            for i in (0..8).rev() {
+                bits.push(Bit::from_bool((byte >> i) & 1 == 1));
+            }
+        }
+        Bv { bits }
+    }
+
+    /// The number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the vector has zero length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bit at MSB0 index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> Bit {
+        self.bits[i]
+    }
+
+    /// Replace the bit at MSB0 index `i`, returning the new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn with_bit(&self, i: usize, b: Bit) -> Self {
+        let mut bits = self.bits.clone();
+        bits[i] = b;
+        Bv { bits }
+    }
+
+    /// Iterate over bits MSB-first.
+    pub fn iter(&self) -> impl Iterator<Item = Bit> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Whether any bit is undefined.
+    #[must_use]
+    pub fn has_undef(&self) -> bool {
+        self.bits.iter().any(|b| b.is_undef())
+    }
+
+    /// Whether every bit is undefined.
+    #[must_use]
+    pub fn all_undef(&self) -> bool {
+        !self.bits.is_empty() && self.bits.iter().all(|b| b.is_undef())
+    }
+
+    /// The concrete unsigned value, if fully defined and at most 64 bits.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.len() > 64 {
+            return None;
+        }
+        let mut acc: u64 = 0;
+        for b in &self.bits {
+            acc = (acc << 1) | u64::from(b.to_bool()?);
+        }
+        Some(acc)
+    }
+
+    /// The concrete signed (two's complement) value, if fully defined.
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.is_empty() || self.len() > 64 {
+            return None;
+        }
+        let raw = self.to_u64()?;
+        let shift = 64 - self.len();
+        Some(((raw << shift) as i64) >> shift)
+    }
+
+    /// Big-endian bytes, if the length is a whole number of fully defined
+    /// bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Option<Vec<u8>> {
+        if self.len() % 8 != 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.len() / 8);
+        for chunk in self.bits.chunks(8) {
+            let mut byte = 0u8;
+            for b in chunk {
+                byte = (byte << 1) | u8::from(b.to_bool()?);
+            }
+            out.push(byte);
+        }
+        Some(out)
+    }
+
+    /// Big-endian bytes as lifted 8-bit vectors (always succeeds for whole
+    /// bytes, preserving undef bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a multiple of 8.
+    #[must_use]
+    pub fn to_lifted_bytes(&self) -> Vec<Bv> {
+        assert!(self.len() % 8 == 0, "to_lifted_bytes requires whole bytes");
+        self.bits
+            .chunks(8)
+            .map(|c| Bv { bits: c.to_vec() })
+            .collect()
+    }
+
+    /// The contiguous slice of `len` bits starting at MSB0 index `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.len()`.
+    #[must_use]
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        assert!(
+            start + len <= self.len(),
+            "slice [{start}..{}] out of range for Bv of length {}",
+            start + len,
+            self.len()
+        );
+        Bv {
+            bits: self.bits[start..start + len].to_vec(),
+        }
+    }
+
+    /// Replace the `value.len()` bits starting at MSB0 index `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice does not fit.
+    #[must_use]
+    pub fn with_slice(&self, start: usize, value: &Bv) -> Self {
+        assert!(
+            start + value.len() <= self.len(),
+            "with_slice [{start}..{}] out of range for Bv of length {}",
+            start + value.len(),
+            self.len()
+        );
+        let mut bits = self.bits.clone();
+        bits[start..start + value.len()].copy_from_slice(&value.bits);
+        Bv { bits }
+    }
+
+    /// Concatenate `self` (more significant) with `other` (less significant).
+    #[must_use]
+    pub fn concat(&self, other: &Bv) -> Self {
+        let mut bits = Vec::with_capacity(self.len() + other.len());
+        bits.extend_from_slice(&self.bits);
+        bits.extend_from_slice(&other.bits);
+        Bv { bits }
+    }
+
+    /// Zero-extend (or truncate, keeping low bits) to `len` bits.
+    #[must_use]
+    pub fn extz(&self, len: usize) -> Self {
+        if len <= self.len() {
+            return self.slice(self.len() - len, len);
+        }
+        let mut bits = vec![Bit::Zero; len - self.len()];
+        bits.extend_from_slice(&self.bits);
+        Bv { bits }
+    }
+
+    /// Sign-extend (or truncate, keeping low bits) to `len` bits.
+    ///
+    /// Sign-extending an empty vector yields zeros.
+    #[must_use]
+    pub fn exts(&self, len: usize) -> Self {
+        if len <= self.len() {
+            return self.slice(self.len() - len, len);
+        }
+        let sign = self.bits.first().copied().unwrap_or(Bit::Zero);
+        let mut bits = vec![sign; len - self.len()];
+        bits.extend_from_slice(&self.bits);
+        Bv { bits }
+    }
+
+    /// Whether two vectors are equal *up to undef*: same length and every
+    /// bit pair [`Bit::compatible`]. Used for comparing model results with
+    /// observed hardware values (paper §7).
+    #[must_use]
+    pub fn compatible(&self, other: &Bv) -> bool {
+        self.len() == other.len()
+            && self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .all(|(a, b)| a.compatible(*b))
+    }
+
+    /// Reverse the byte order (for the byte-reversed load/store family).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a multiple of 8.
+    #[must_use]
+    pub fn byte_reverse(&self) -> Self {
+        assert!(self.len() % 8 == 0, "byte_reverse requires whole bytes");
+        let mut bits = Vec::with_capacity(self.len());
+        for chunk in self.bits.chunks(8).rev() {
+            bits.extend_from_slice(chunk);
+        }
+        Bv { bits }
+    }
+}
+
+impl From<bool> for Bv {
+    fn from(b: bool) -> Self {
+        Bv::from_bit(Bit::from_bool(b))
+    }
+}
+
+impl FromIterator<Bit> for Bv {
+    fn from_iter<I: IntoIterator<Item = Bit>>(iter: I) -> Self {
+        Bv {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}

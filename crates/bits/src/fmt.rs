@@ -1,0 +1,72 @@
+//! `Display`/`Debug` formatting for lifted bits and bitvectors.
+
+use crate::{Bit, Bv, Tribool};
+use std::fmt;
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bit::Zero => write!(f, "0"),
+            Bit::One => write!(f, "1"),
+            Bit::Undef => write!(f, "u"),
+        }
+    }
+}
+
+impl fmt::Display for Tribool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tribool::False => write!(f, "false"),
+            Tribool::True => write!(f, "true"),
+            Tribool::Undef => write!(f, "undef"),
+        }
+    }
+}
+
+impl fmt::Display for Bv {
+    /// Hex when fully defined and byte-aligned (`0x...`), binary with `u`
+    /// marks otherwise (`0b...`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() % 4 == 0 && !self.has_undef() && !self.is_empty() {
+            write!(f, "0x")?;
+            for chunk in self.bits.chunks(4) {
+                let mut nib = 0u8;
+                for b in chunk {
+                    nib = (nib << 1) | u8::from(b.to_bool().expect("defined"));
+                }
+                write!(f, "{nib:x}")?;
+            }
+            Ok(())
+        } else {
+            write!(f, "0b")?;
+            for b in self.iter() {
+                write!(f, "{b}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Debug for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bv<{}>({})", self.len(), self)
+    }
+}
+
+impl fmt::LowerHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_u64() {
+            Some(v) => fmt::LowerHex::fmt(&v, f),
+            None => write!(f, "{self}"),
+        }
+    }
+}
+
+impl fmt::Binary for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,342 @@
+//! Unit and property tests for lifted bitvectors.
+
+use crate::{Bit, Bv, Tribool};
+use proptest::prelude::*;
+
+#[test]
+fn bit_logic_tables() {
+    use Bit::{One, Undef, Zero};
+    assert_eq!(Zero.and(Undef), Zero);
+    assert_eq!(Undef.and(Zero), Zero);
+    assert_eq!(One.and(Undef), Undef);
+    assert_eq!(One.or(Undef), One);
+    assert_eq!(Undef.or(One), One);
+    assert_eq!(Zero.or(Undef), Undef);
+    assert_eq!(One.xor(Undef), Undef);
+    assert_eq!(Undef.not(), Undef);
+    assert_eq!(One.not(), Zero);
+    assert!(Undef.compatible(One));
+    assert!(One.compatible(One));
+    assert!(!One.compatible(Zero));
+}
+
+#[test]
+fn msb0_indexing() {
+    let v = Bv::from_u64(0x8000_0001, 32);
+    assert_eq!(v.bit(0), Bit::One);
+    assert_eq!(v.bit(1), Bit::Zero);
+    assert_eq!(v.bit(31), Bit::One);
+}
+
+#[test]
+fn round_trip_u64() {
+    for &x in &[0u64, 1, 0xdead_beef, u64::MAX, 1 << 63] {
+        assert_eq!(Bv::from_u64(x, 64).to_u64(), Some(x));
+    }
+}
+
+#[test]
+fn round_trip_i64() {
+    for &x in &[0i64, -1, i64::MIN, i64::MAX, -42] {
+        assert_eq!(Bv::from_i64(x, 64).to_i64(), Some(x));
+    }
+    assert_eq!(Bv::from_i64(-1, 4).to_i64(), Some(-1));
+    assert_eq!(Bv::from_i64(7, 4).to_i64(), Some(7));
+    assert_eq!(Bv::from_i64(-8, 4).to_i64(), Some(-8));
+}
+
+#[test]
+fn bytes_round_trip() {
+    let bytes = [0xde, 0xad, 0xbe, 0xef];
+    let v = Bv::from_bytes(&bytes);
+    assert_eq!(v.len(), 32);
+    assert_eq!(v.to_bytes().unwrap(), bytes);
+}
+
+#[test]
+fn undef_blocks_concrete_conversion() {
+    let v = Bv::undef(8);
+    assert_eq!(v.to_u64(), None);
+    assert_eq!(v.to_bytes(), None);
+    assert!(v.has_undef());
+    assert!(v.all_undef());
+    let w = v.with_bit(0, Bit::One);
+    assert!(w.has_undef());
+    assert!(!w.all_undef());
+}
+
+#[test]
+fn slice_and_with_slice() {
+    let v = Bv::from_u64(0b1100_1010, 8);
+    assert_eq!(v.slice(0, 4).to_u64(), Some(0b1100));
+    assert_eq!(v.slice(4, 4).to_u64(), Some(0b1010));
+    let w = v.with_slice(4, &Bv::from_u64(0b0101, 4));
+    assert_eq!(w.to_u64(), Some(0b1100_0101));
+}
+
+#[test]
+fn concat_orders_msb_first() {
+    let hi = Bv::from_u64(0xA, 4);
+    let lo = Bv::from_u64(0x5, 4);
+    assert_eq!(hi.concat(&lo).to_u64(), Some(0xA5));
+}
+
+#[test]
+fn extension() {
+    let v = Bv::from_u64(0b1010, 4);
+    assert_eq!(v.extz(8).to_u64(), Some(0b0000_1010));
+    assert_eq!(v.exts(8).to_u64(), Some(0b1111_1010));
+    let w = Bv::from_u64(0b0010, 4);
+    assert_eq!(w.exts(8).to_u64(), Some(0b0000_0010));
+    // Truncation keeps low bits.
+    assert_eq!(Bv::from_u64(0x1234, 16).extz(8).to_u64(), Some(0x34));
+    assert_eq!(Bv::from_u64(0x1234, 16).exts(8).to_u64(), Some(0x34));
+}
+
+#[test]
+fn add_sub_neg() {
+    let a = Bv::from_u64(200, 8);
+    let b = Bv::from_u64(100, 8);
+    assert_eq!(a.add(&b).to_u64(), Some(44)); // wraps mod 256
+    assert_eq!(a.sub(&b).to_u64(), Some(100));
+    assert_eq!(b.sub(&a).to_i64(), Some(-100));
+    assert_eq!(b.neg().to_i64(), Some(-100));
+}
+
+#[test]
+fn carry_and_overflow() {
+    // 0xFF + 1 carries out, no signed overflow (-1 + 1 = 0).
+    let (s, c, o) = Bv::from_u64(0xFF, 8).add_with_carry(&Bv::from_u64(1, 8), Bit::Zero);
+    assert_eq!(s.to_u64(), Some(0));
+    assert_eq!(c, Bit::One);
+    assert_eq!(o, Bit::Zero);
+    // 0x7F + 1 overflows signed, no carry.
+    let (s, c, o) = Bv::from_u64(0x7F, 8).add_with_carry(&Bv::from_u64(1, 8), Bit::Zero);
+    assert_eq!(s.to_u64(), Some(0x80));
+    assert_eq!(c, Bit::Zero);
+    assert_eq!(o, Bit::One);
+}
+
+#[test]
+fn undef_poisons_carry_chain_upward_only() {
+    // LSB undef: the sum LSB and the next bit (reached by the undefined
+    // carry) are undefined, but the carry chain dies where both operand
+    // bits are zero, so higher bits stay defined.
+    let mut a = Bv::from_u64(0, 8);
+    a = a.with_bit(7, Bit::Undef);
+    let s = a.add(&Bv::from_u64(1, 8));
+    assert!(s.bit(7).is_undef());
+    assert!(s.bit(6).is_undef());
+    assert_eq!(s.slice(0, 6).to_u64(), Some(0));
+    // MSB undef only: lower sum bits stay defined.
+    let mut b = Bv::from_u64(0, 8);
+    b = b.with_bit(0, Bit::Undef);
+    let s = b.add(&Bv::from_u64(1, 8));
+    assert_eq!(s.slice(1, 7).to_u64(), Some(1));
+    assert!(s.bit(0).is_undef());
+}
+
+#[test]
+fn mul_cases() {
+    let a = Bv::from_u64(0xFFFF_FFFF, 32);
+    let b = Bv::from_u64(2, 32);
+    assert_eq!(a.mul_low(&b).to_u64(), Some(0xFFFF_FFFE));
+    assert_eq!(a.mul_high(&b, false).to_u64(), Some(1));
+    // signed: -1 * 2 = -2, high half all ones
+    assert_eq!(a.mul_high(&b, true).to_i64(), Some(-1));
+    assert!(a.mul_low(&Bv::undef(32)).has_undef());
+}
+
+#[test]
+fn div_cases() {
+    let a = Bv::from_u64(100, 32);
+    let b = Bv::from_u64(7, 32);
+    assert_eq!(a.div(&b, false).to_u64(), Some(14));
+    assert_eq!(
+        Bv::from_i64(-100, 32).div(&Bv::from_i64(7, 32), true).to_i64(),
+        Some(-14)
+    );
+    // Division by zero and signed overflow are architecturally undefined.
+    assert!(a.div(&Bv::zeros(32), false).all_undef());
+    let min = Bv::from_i64(i64::MIN, 64);
+    assert!(min.div(&Bv::from_i64(-1, 64), true).all_undef());
+    let min32 = Bv::from_i64(i32::MIN as i64, 32);
+    assert!(min32.div(&Bv::from_i64(-1, 32), true).all_undef());
+}
+
+#[test]
+fn shifts_and_rotates() {
+    let v = Bv::from_u64(0b1001, 4);
+    assert_eq!(v.shl(1).to_u64(), Some(0b0010));
+    assert_eq!(v.lshr(1).to_u64(), Some(0b0100));
+    assert_eq!(v.ashr(1).to_u64(), Some(0b1100));
+    assert_eq!(v.rotl(1).to_u64(), Some(0b0011));
+    assert_eq!(v.rotl(4).to_u64(), Some(0b1001));
+    assert_eq!(v.shl(4).to_u64(), Some(0));
+    assert_eq!(v.lshr(17).to_u64(), Some(0));
+    assert_eq!(v.ashr(17).to_u64(), Some(0b1111));
+}
+
+#[test]
+fn comparisons() {
+    let a = Bv::from_i64(-1, 8);
+    let b = Bv::from_u64(1, 8);
+    assert_eq!(a.lt_unsigned(&b), Tribool::False); // 0xFF > 1 unsigned
+    assert_eq!(a.lt_signed(&b), Tribool::True); // -1 < 1 signed
+    assert_eq!(a.eq_lifted(&a), Tribool::True);
+    assert_eq!(a.eq_lifted(&b), Tribool::False);
+    let u = Bv::undef(8);
+    assert_eq!(a.lt_unsigned(&u), Tribool::Undef);
+    assert_eq!(a.eq_lifted(&u), Tribool::Undef);
+    // Defined disagreement dominates undef for equality.
+    let mut half = Bv::from_u64(0xF0, 8);
+    half = half.with_bit(7, Bit::Undef);
+    assert_eq!(half.eq_lifted(&Bv::from_u64(0x00, 8)), Tribool::False);
+}
+
+#[test]
+fn counting() {
+    assert_eq!(Bv::from_u64(1, 32).count_leading_zeros(), Some(31));
+    assert_eq!(Bv::zeros(32).count_leading_zeros(), Some(32));
+    assert_eq!(Bv::undef(4).count_leading_zeros(), None);
+    assert_eq!(Bv::from_u64(0b1011, 4).popcount(), Some(3));
+    assert_eq!(Bv::undef(4).popcount(), None);
+}
+
+#[test]
+fn byte_reverse() {
+    let v = Bv::from_u64(0x1234_5678, 32);
+    assert_eq!(v.byte_reverse().to_u64(), Some(0x7856_3412));
+}
+
+#[test]
+fn display_formats() {
+    assert_eq!(Bv::from_u64(0xAB, 8).to_string(), "0xab");
+    assert_eq!(Bv::from_u64(0b101, 3).to_string(), "0b101");
+    assert_eq!(Bv::undef(4).to_string(), "0buuuu");
+}
+
+#[test]
+fn compatible_up_to_undef() {
+    let concrete = Bv::from_u64(0x5A, 8);
+    let mut masked = concrete.clone();
+    masked = masked.with_bit(0, Bit::Undef).with_bit(5, Bit::Undef);
+    assert!(concrete.compatible(&masked));
+    assert!(masked.compatible(&concrete));
+    assert!(!concrete.compatible(&Bv::from_u64(0x5B, 8)));
+    assert!(!concrete.compatible(&Bv::from_u64(0x5A, 7).extz(7)));
+}
+
+fn arb_width() -> impl Strategy<Value = usize> {
+    1usize..=64
+}
+
+proptest! {
+    #[test]
+    fn prop_add_matches_wrapping_u64(a in any::<u64>(), b in any::<u64>(), w in arb_width()) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let s = Bv::from_u64(a, w).add(&Bv::from_u64(b, w));
+        prop_assert_eq!(s.to_u64(), Some(a.wrapping_add(b) & mask));
+    }
+
+    #[test]
+    fn prop_sub_matches_wrapping_u64(a in any::<u64>(), b in any::<u64>(), w in arb_width()) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let s = Bv::from_u64(a, w).sub(&Bv::from_u64(b, w));
+        prop_assert_eq!(s.to_u64(), Some(a.wrapping_sub(b) & mask));
+    }
+
+    #[test]
+    fn prop_shift_matches_u64(a in any::<u64>(), sh in 0usize..70) {
+        let v = Bv::from_u64(a, 64);
+        prop_assert_eq!(v.shl(sh).to_u64(), Some(if sh >= 64 { 0 } else { a << sh }));
+        prop_assert_eq!(v.lshr(sh).to_u64(), Some(if sh >= 64 { 0 } else { a >> sh }));
+        let expect_ashr = if sh >= 64 {
+            ((a as i64) >> 63) as u64
+        } else {
+            ((a as i64) >> sh) as u64
+        };
+        prop_assert_eq!(v.ashr(sh).to_u64(), Some(expect_ashr));
+    }
+
+    #[test]
+    fn prop_rotl_matches_u64(a in any::<u64>(), sh in 0usize..128) {
+        let v = Bv::from_u64(a, 64);
+        prop_assert_eq!(v.rotl(sh).to_u64(), Some(a.rotate_left((sh % 64) as u32)));
+    }
+
+    #[test]
+    fn prop_logic_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+        let (va, vb) = (Bv::from_u64(a, 64), Bv::from_u64(b, 64));
+        prop_assert_eq!(va.and(&vb).to_u64(), Some(a & b));
+        prop_assert_eq!(va.or(&vb).to_u64(), Some(a | b));
+        prop_assert_eq!(va.xor(&vb).to_u64(), Some(a ^ b));
+        prop_assert_eq!(va.not().to_u64(), Some(!a));
+        prop_assert_eq!(va.nand(&vb).to_u64(), Some(!(a & b)));
+        prop_assert_eq!(va.nor(&vb).to_u64(), Some(!(a | b)));
+        prop_assert_eq!(va.eqv(&vb).to_u64(), Some(!(a ^ b)));
+        prop_assert_eq!(va.andc(&vb).to_u64(), Some(a & !b));
+        prop_assert_eq!(va.orc(&vb).to_u64(), Some(a | !b));
+    }
+
+    #[test]
+    fn prop_compare_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+        let (va, vb) = (Bv::from_i64(a, 64), Bv::from_i64(b, 64));
+        prop_assert_eq!(va.lt_signed(&vb).to_bool(), Some(a < b));
+        prop_assert_eq!(va.lt_unsigned(&vb).to_bool(), Some((a as u64) < (b as u64)));
+        prop_assert_eq!(va.eq_lifted(&vb).to_bool(), Some(a == b));
+    }
+
+    #[test]
+    fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (va, vb) = (Bv::from_u64(a, 64), Bv::from_u64(b, 64));
+        let full = (a as u128) * (b as u128);
+        prop_assert_eq!(va.mul_low(&vb).to_u64(), Some(a.wrapping_mul(b)));
+        prop_assert_eq!(va.mul_high(&vb, false).to_u64(), Some((full >> 64) as u64));
+        let sfull = (a as i64 as i128) * (b as i64 as i128);
+        prop_assert_eq!(va.mul_high(&vb, true).to_u64(), Some((sfull >> 64) as u64));
+    }
+
+    #[test]
+    fn prop_exts_extz_round_trip(a in any::<u64>(), w in 1usize..=32) {
+        let mask = (1u64 << w) - 1;
+        let v = Bv::from_u64(a & mask, w);
+        prop_assert_eq!(v.extz(64).to_u64(), Some(a & mask));
+        prop_assert_eq!(v.exts(64).to_i64(), v.to_i64());
+        prop_assert_eq!(&v.extz(64).extz(w), &v);
+    }
+
+    #[test]
+    fn prop_slice_concat_identity(a in any::<u64>(), cut in 1usize..63) {
+        let v = Bv::from_u64(a, 64);
+        let hi = v.slice(0, cut);
+        let lo = v.slice(cut, 64 - cut);
+        prop_assert_eq!(&hi.concat(&lo), &v);
+    }
+
+    #[test]
+    fn prop_neg_is_sub_from_zero(a in any::<u64>(), w in arb_width()) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let v = Bv::from_u64(a & mask, w);
+        prop_assert_eq!(&v.neg(), &Bv::zeros(w).sub(&v));
+    }
+
+    #[test]
+    fn prop_undef_is_contagious_for_add(pos in 0usize..8) {
+        // An undef bit never yields a *wrong* defined answer: adding with
+        // an undef operand bit leaves all bits at or above it undef.
+        let a = Bv::from_u64(0xFF, 8).with_bit(pos, Bit::Undef);
+        let s = a.add(&Bv::from_u64(1, 8));
+        for i in 0..=pos {
+            prop_assert!(s.bit(i).is_undef());
+        }
+    }
+
+    #[test]
+    fn prop_byte_reverse_involution(bytes in proptest::collection::vec(any::<u8>(), 1..8)) {
+        let v = Bv::from_bytes(&bytes);
+        prop_assert_eq!(&v.byte_reverse().byte_reverse(), &v);
+    }
+}

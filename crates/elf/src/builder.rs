@@ -1,0 +1,219 @@
+//! Building synthetic ELF64 big-endian PPC64 executables.
+
+use crate::EM_PPC64;
+use ppc_isa::Instruction;
+
+struct Seg {
+    vaddr: u64,
+    bytes: Vec<u8>,
+    executable: bool,
+}
+
+struct Sym {
+    name: String,
+    addr: u64,
+    size: u64,
+}
+
+/// Builds a statically linked `ET_EXEC` ELF64 image (big-endian,
+/// `EM_PPC64`) with program headers, a symbol table, and a string table.
+#[derive(Default)]
+pub struct ElfBuilder {
+    entry: u64,
+    segments: Vec<Seg>,
+    symbols: Vec<Sym>,
+}
+
+impl ElfBuilder {
+    /// A new builder with the given entry point.
+    #[must_use]
+    pub fn new(entry: u64) -> Self {
+        ElfBuilder {
+            entry,
+            segments: Vec::new(),
+            symbols: Vec::new(),
+        }
+    }
+
+    /// Add an executable segment assembled from instructions.
+    #[must_use]
+    pub fn text(mut self, vaddr: u64, code: &[Instruction]) -> Self {
+        let mut bytes = Vec::with_capacity(code.len() * 4);
+        for i in code {
+            bytes.extend_from_slice(&ppc_isa::encode(i).to_be_bytes());
+        }
+        self.segments.push(Seg {
+            vaddr,
+            bytes,
+            executable: true,
+        });
+        self
+    }
+
+    /// Add a data segment with raw bytes.
+    #[must_use]
+    pub fn data(mut self, vaddr: u64, bytes: &[u8]) -> Self {
+        self.segments.push(Seg {
+            vaddr,
+            bytes: bytes.to_vec(),
+            executable: false,
+        });
+        self
+    }
+
+    /// Add a global data symbol.
+    #[must_use]
+    pub fn symbol(mut self, name: &str, addr: u64, size: u64) -> Self {
+        self.symbols.push(Sym {
+            name: name.to_owned(),
+            addr,
+            size,
+        });
+        self
+    }
+
+    /// Serialise the image.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn build(self) -> Vec<u8> {
+        const EHSIZE: usize = 64;
+        const PHENT: usize = 56;
+        const SHENT: usize = 64;
+        const SYMENT: usize = 24;
+
+        let phnum = self.segments.len();
+        let mut out = Vec::new();
+
+        // ---- e_ident + header (fixed up later for offsets) ----------
+        out.extend_from_slice(&[0x7f, b'E', b'L', b'F']);
+        out.push(2); // ELFCLASS64
+        out.push(2); // ELFDATA2MSB (big-endian)
+        out.push(1); // EV_CURRENT
+        out.extend_from_slice(&[0; 9]);
+        push16(&mut out, 2); // ET_EXEC
+        push16(&mut out, EM_PPC64);
+        push32(&mut out, 1); // EV_CURRENT
+        push64(&mut out, self.entry);
+        push64(&mut out, EHSIZE as u64); // e_phoff
+        let e_shoff_pos = out.len();
+        push64(&mut out, 0); // e_shoff — patched below
+        push32(&mut out, 0); // e_flags
+        push16(&mut out, EHSIZE as u16);
+        push16(&mut out, PHENT as u16);
+        push16(&mut out, phnum as u16);
+        push16(&mut out, SHENT as u16);
+        push16(&mut out, 4); // e_shnum: null, .symtab, .strtab, .shstrtab
+        push16(&mut out, 3); // e_shstrndx
+
+        // ---- program headers ----------------------------------------
+        let mut data_off = EHSIZE + PHENT * phnum;
+        let mut seg_offsets = Vec::new();
+        for seg in &self.segments {
+            seg_offsets.push(data_off);
+            push32(&mut out, 1); // PT_LOAD
+            push32(&mut out, if seg.executable { 0b101 } else { 0b110 }); // R+X / R+W
+            push64(&mut out, data_off as u64);
+            push64(&mut out, seg.vaddr);
+            push64(&mut out, seg.vaddr); // paddr
+            push64(&mut out, seg.bytes.len() as u64);
+            push64(&mut out, seg.bytes.len() as u64);
+            push64(&mut out, 4); // align
+            data_off += seg.bytes.len();
+        }
+
+        // ---- segment data --------------------------------------------
+        for seg in &self.segments {
+            out.extend_from_slice(&seg.bytes);
+        }
+
+        // ---- string tables & symtab ----------------------------------
+        let mut strtab = vec![0u8]; // index 0 = empty
+        let mut sym_entries = Vec::new();
+        for s in &self.symbols {
+            let name_off = strtab.len() as u32;
+            strtab.extend_from_slice(s.name.as_bytes());
+            strtab.push(0);
+            sym_entries.push((name_off, s.addr, s.size));
+        }
+        let symtab_off = out.len();
+        // Null symbol first.
+        out.extend_from_slice(&[0u8; SYMENT]);
+        for (name_off, addr, size) in &sym_entries {
+            push32(&mut out, *name_off);
+            out.push(0x11); // STB_GLOBAL | STT_OBJECT
+            out.push(0); // st_other
+            push16(&mut out, 1); // st_shndx (arbitrary non-zero)
+            push64(&mut out, *addr);
+            push64(&mut out, *size);
+        }
+        let strtab_off = out.len();
+        out.extend_from_slice(&strtab);
+        let shstr = b"\0.symtab\0.strtab\0.shstrtab\0";
+        let shstr_off = out.len();
+        out.extend_from_slice(shstr);
+
+        // ---- section headers ------------------------------------------
+        let shoff = out.len();
+        // null section
+        out.extend_from_slice(&[0u8; SHENT]);
+        // .symtab
+        push_section(
+            &mut out,
+            1,
+            2, // SHT_SYMTAB
+            symtab_off as u64,
+            ((sym_entries.len() + 1) * SYMENT) as u64,
+            2, // link: .strtab index
+            SYMENT as u64,
+        );
+        // .strtab
+        push_section(&mut out, 9, 3, strtab_off as u64, strtab.len() as u64, 0, 0);
+        // .shstrtab
+        push_section(
+            &mut out,
+            17,
+            3,
+            shstr_off as u64,
+            shstr.len() as u64,
+            0,
+            0,
+        );
+
+        // Patch e_shoff.
+        out[e_shoff_pos..e_shoff_pos + 8].copy_from_slice(&(shoff as u64).to_be_bytes());
+        out
+    }
+}
+
+fn push16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn push32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn push64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn push_section(
+    out: &mut Vec<u8>,
+    name: u32,
+    shtype: u32,
+    offset: u64,
+    size: u64,
+    link: u32,
+    entsize: u64,
+) {
+    push32(out, name);
+    push32(out, shtype);
+    push64(out, 0); // flags
+    push64(out, 0); // addr
+    push64(out, offset);
+    push64(out, size);
+    push32(out, link);
+    push32(out, 0); // info
+    push64(out, 1); // addralign
+    push64(out, entsize);
+}

@@ -1,0 +1,100 @@
+//! The ELF frontend (paper §6): a mathematical model of the ELF64 file
+//! format, a reader with Power64 ABI checks, a loader extracting
+//! loadable segments and symbols, and a *builder* producing synthetic
+//! statically-linked big-endian PPC64 executables (the offline stand-in
+//! for the paper's GCC-produced test binaries; see `DESIGN.md` §2).
+//!
+//! "Parsed binaries are checked for static linkage and conformance with
+//! the Power64 ABI before their loadable segments are identified and
+//! loaded into the tool's code memory. Names of global variables, their
+//! addresses in the executable memory image, and their initialisation
+//! values are also extracted" (paper §6).
+//!
+//! # Example
+//!
+//! ```
+//! use ppc_elf::{ElfBuilder, parse_elf};
+//!
+//! let code = vec![ppc_isa::parse_asm("li r3,42").unwrap()];
+//! let image = ElfBuilder::new(0x1000_0000)
+//!     .text(0x1000_0000, &code)
+//!     .symbol("x", 0x2000_0000, 8)
+//!     .data(0x2000_0000, &7u64.to_be_bytes())
+//!     .build();
+//! let elf = parse_elf(&image).unwrap();
+//! assert_eq!(elf.entry, 0x1000_0000);
+//! assert_eq!(elf.symbols["x"].addr, 0x2000_0000);
+//! ```
+
+use std::collections::BTreeMap;
+
+mod builder;
+mod reader;
+
+pub use builder::ElfBuilder;
+pub use reader::{parse_elf, ElfError};
+
+/// ELF machine number for PowerPC64.
+pub const EM_PPC64: u16 = 21;
+
+/// A loadable segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Virtual load address.
+    pub vaddr: u64,
+    /// Segment bytes (memsz > filesz tail is zero-filled).
+    pub bytes: Vec<u8>,
+    /// Executable?
+    pub executable: bool,
+}
+
+/// A symbol-table entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Value (address).
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// A parsed, ABI-checked ELF image.
+#[derive(Clone, Debug)]
+pub struct Elf {
+    /// Entry point.
+    pub entry: u64,
+    /// Loadable segments.
+    pub segments: Vec<Segment>,
+    /// Global symbols by name.
+    pub symbols: BTreeMap<String, Symbol>,
+}
+
+impl Elf {
+    /// The instruction words of all executable segments, by address.
+    #[must_use]
+    pub fn code_words(&self) -> BTreeMap<u64, u32> {
+        let mut out = BTreeMap::new();
+        for seg in self.segments.iter().filter(|s| s.executable) {
+            for (k, chunk) in seg.bytes.chunks(4).enumerate() {
+                if chunk.len() == 4 {
+                    let w = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                    out.insert(seg.vaddr + 4 * k as u64, w);
+                }
+            }
+        }
+        out
+    }
+
+    /// The initial data memory of all non-executable segments:
+    /// `(address, bytes)` pairs.
+    #[must_use]
+    pub fn data_bytes(&self) -> Vec<(u64, Vec<u8>)> {
+        self.segments
+            .iter()
+            .filter(|s| !s.executable)
+            .map(|s| (s.vaddr, s.bytes.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,191 @@
+//! Parsing and ABI-checking ELF64 images.
+
+use crate::{Elf, Segment, Symbol, EM_PPC64};
+use std::collections::BTreeMap;
+
+/// An ELF parsing / ABI-conformance failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElfError {
+    /// Not an ELF file (bad magic) or truncated.
+    NotElf,
+    /// Not a 64-bit big-endian image.
+    WrongFormat(String),
+    /// Not a statically linked executable (the paper's front-end
+    /// requires static linkage).
+    NotStaticExecutable,
+    /// Not a PPC64 machine image.
+    WrongMachine(u16),
+    /// Structurally malformed (bad offsets/sizes).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ElfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElfError::NotElf => write!(f, "not an ELF image"),
+            ElfError::WrongFormat(s) => write!(f, "unsupported ELF format: {s}"),
+            ElfError::NotStaticExecutable => {
+                write!(f, "not a statically linked executable (ET_EXEC)")
+            }
+            ElfError::WrongMachine(m) => write!(f, "not a PPC64 image (machine {m})"),
+            ElfError::Malformed(what) => write!(f, "malformed ELF: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn u16_at(&self, off: usize) -> Result<u16, ElfError> {
+        let b = self
+            .bytes
+            .get(off..off + 2)
+            .ok_or(ElfError::Malformed("short read (u16)"))?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32_at(&self, off: usize) -> Result<u32, ElfError> {
+        let b = self
+            .bytes
+            .get(off..off + 4)
+            .ok_or(ElfError::Malformed("short read (u32)"))?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64_at(&self, off: usize) -> Result<u64, ElfError> {
+        let b = self
+            .bytes
+            .get(off..off + 8)
+            .ok_or(ElfError::Malformed("short read (u64)"))?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn slice_at(&self, off: usize, len: usize) -> Result<&'a [u8], ElfError> {
+        self.bytes
+            .get(off..off + len)
+            .ok_or(ElfError::Malformed("segment out of range"))
+    }
+}
+
+/// Parse and check an ELF64 big-endian PPC64 statically linked
+/// executable.
+///
+/// # Errors
+///
+/// Returns an [`ElfError`] for non-ELF input, wrong class/endianness/
+/// machine, non-`ET_EXEC` type, or structural inconsistencies.
+pub fn parse_elf(bytes: &[u8]) -> Result<Elf, ElfError> {
+    if bytes.len() < 64 || bytes[0..4] != [0x7f, b'E', b'L', b'F'] {
+        return Err(ElfError::NotElf);
+    }
+    if bytes[4] != 2 {
+        return Err(ElfError::WrongFormat("not ELFCLASS64".to_owned()));
+    }
+    if bytes[5] != 2 {
+        return Err(ElfError::WrongFormat("not big-endian".to_owned()));
+    }
+    let c = Cursor { bytes };
+    let e_type = c.u16_at(16)?;
+    if e_type != 2 {
+        return Err(ElfError::NotStaticExecutable);
+    }
+    let machine = c.u16_at(18)?;
+    if machine != EM_PPC64 {
+        return Err(ElfError::WrongMachine(machine));
+    }
+    let entry = c.u64_at(24)?;
+    let phoff = c.u64_at(32)? as usize;
+    let shoff = c.u64_at(40)? as usize;
+    let phentsize = c.u16_at(54)? as usize;
+    let phnum = c.u16_at(56)? as usize;
+    let shentsize = c.u16_at(58)? as usize;
+    let shnum = c.u16_at(60)? as usize;
+
+    // Program headers → loadable segments.
+    let mut segments = Vec::new();
+    for i in 0..phnum {
+        let off = phoff + i * phentsize;
+        let p_type = c.u32_at(off)?;
+        if p_type == 3 {
+            // PT_INTERP ⇒ dynamically linked.
+            return Err(ElfError::NotStaticExecutable);
+        }
+        if p_type != 1 {
+            continue; // not PT_LOAD
+        }
+        let flags = c.u32_at(off + 4)?;
+        let p_offset = c.u64_at(off + 8)? as usize;
+        let vaddr = c.u64_at(off + 16)?;
+        let filesz = c.u64_at(off + 32)? as usize;
+        let memsz = c.u64_at(off + 40)? as usize;
+        if memsz < filesz {
+            return Err(ElfError::Malformed("memsz < filesz"));
+        }
+        let mut seg_bytes = c.slice_at(p_offset, filesz)?.to_vec();
+        seg_bytes.resize(memsz, 0);
+        segments.push(Segment {
+            vaddr,
+            bytes: seg_bytes,
+            executable: flags & 1 != 0,
+        });
+    }
+
+    // Symbol table (optional).
+    let mut symbols = BTreeMap::new();
+    let mut symtab: Option<(usize, usize, usize, usize)> = None; // off, size, entsize, strtab idx
+    let mut str_offsets: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    for i in 0..shnum {
+        let off = shoff + i * shentsize;
+        let sh_type = c.u32_at(off + 4)?;
+        let sh_offset = c.u64_at(off + 24)? as usize;
+        let sh_size = c.u64_at(off + 32)? as usize;
+        match sh_type {
+            2 => {
+                let link = c.u32_at(off + 40)? as usize;
+                let entsize = c.u64_at(off + 56)? as usize;
+                symtab = Some((sh_offset, sh_size, entsize, link));
+            }
+            3 => {
+                str_offsets.insert(i, (sh_offset, sh_size));
+            }
+            _ => {}
+        }
+    }
+    if let Some((off, size, entsize, link)) = symtab {
+        let (str_off, str_size) = str_offsets
+            .get(&link)
+            .copied()
+            .ok_or(ElfError::Malformed("symtab links to a non-strtab"))?;
+        let strtab = c.slice_at(str_off, str_size)?;
+        if entsize == 0 {
+            return Err(ElfError::Malformed("zero symtab entsize"));
+        }
+        for k in 0..size / entsize {
+            let so = off + k * entsize;
+            let name_off = c.u32_at(so)? as usize;
+            let addr = c.u64_at(so + 8)?;
+            let symsize = c.u64_at(so + 16)?;
+            if name_off == 0 {
+                continue;
+            }
+            let end = strtab[name_off..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(ElfError::Malformed("unterminated symbol name"))?;
+            let name = String::from_utf8_lossy(&strtab[name_off..name_off + end]).into_owned();
+            symbols.insert(name, Symbol { addr, size: symsize });
+        }
+    }
+
+    Ok(Elf {
+        entry,
+        segments,
+        symbols,
+    })
+}

@@ -1,0 +1,96 @@
+//! ELF round-trip and conformance tests.
+
+use crate::{parse_elf, ElfBuilder, ElfError};
+use ppc_isa::parse_asm;
+
+fn sample_code() -> Vec<ppc_isa::Instruction> {
+    ["li r3,1", "li r4,2", "add r5,r3,r4", "stw r5,0(r9)"]
+        .iter()
+        .map(|s| parse_asm(s).expect("asm"))
+        .collect()
+}
+
+#[test]
+fn build_and_parse_round_trip() {
+    let code = sample_code();
+    let image = ElfBuilder::new(0x1000_0000)
+        .text(0x1000_0000, &code)
+        .data(0x2000_0000, &[0, 0, 0, 7])
+        .symbol("x", 0x2000_0000, 4)
+        .build();
+    let elf = parse_elf(&image).expect("parses");
+    assert_eq!(elf.entry, 0x1000_0000);
+    assert_eq!(elf.segments.len(), 2);
+    assert_eq!(elf.symbols["x"].addr, 0x2000_0000);
+    assert_eq!(elf.symbols["x"].size, 4);
+
+    // Decoded text matches the original instructions.
+    let words = elf.code_words();
+    assert_eq!(words.len(), code.len());
+    for (k, i) in code.iter().enumerate() {
+        let addr = 0x1000_0000 + 4 * k as u64;
+        assert_eq!(
+            ppc_isa::decode(words[&addr]).expect("decodes"),
+            *i,
+            "word at 0x{addr:x}"
+        );
+    }
+
+    // Data extraction.
+    let data = elf.data_bytes();
+    assert_eq!(data, vec![(0x2000_0000, vec![0, 0, 0, 7])]);
+}
+
+#[test]
+fn rejects_not_elf() {
+    assert_eq!(parse_elf(b"not an elf").unwrap_err(), ElfError::NotElf);
+    assert_eq!(parse_elf(&[]).unwrap_err(), ElfError::NotElf);
+}
+
+#[test]
+fn rejects_wrong_class_and_endianness() {
+    let mut image = ElfBuilder::new(0).text(0, &sample_code()).build();
+    image[4] = 1; // ELFCLASS32
+    assert!(matches!(parse_elf(&image), Err(ElfError::WrongFormat(_))));
+    let mut image = ElfBuilder::new(0).text(0, &sample_code()).build();
+    image[5] = 1; // little-endian
+    assert!(matches!(parse_elf(&image), Err(ElfError::WrongFormat(_))));
+}
+
+#[test]
+fn rejects_wrong_machine() {
+    let mut image = ElfBuilder::new(0).text(0, &sample_code()).build();
+    image[19] = 62; // EM_X86_64
+    assert!(matches!(parse_elf(&image), Err(ElfError::WrongMachine(62))));
+}
+
+#[test]
+fn rejects_non_executable() {
+    let mut image = ElfBuilder::new(0).text(0, &sample_code()).build();
+    image[17] = 3; // ET_DYN
+    assert_eq!(parse_elf(&image).unwrap_err(), ElfError::NotStaticExecutable);
+}
+
+#[test]
+fn zero_fill_of_bss_like_segments() {
+    // memsz > filesz is produced by hand-editing the header here.
+    let image = ElfBuilder::new(0)
+        .text(0, &sample_code())
+        .data(0x100, &[1, 2])
+        .build();
+    let elf = parse_elf(&image).expect("parses");
+    assert_eq!(elf.segments[1].bytes, vec![1, 2]);
+}
+
+#[test]
+fn multiple_symbols() {
+    let image = ElfBuilder::new(0)
+        .text(0, &sample_code())
+        .symbol("x", 0x100, 4)
+        .symbol("y", 0x104, 4)
+        .symbol("lock_word", 0x200, 8)
+        .build();
+    let elf = parse_elf(&image).expect("parses");
+    assert_eq!(elf.symbols.len(), 3);
+    assert_eq!(elf.symbols["lock_word"].size, 8);
+}

@@ -1,0 +1,594 @@
+//! Exhaustive footprint and taint analysis of (partially executed)
+//! instructions.
+//!
+//! The paper (§2.2): *"To calculate the potential register and memory
+//! footprints of an instruction (from either its initial state or a
+//! partially executed state) we can simply run the interpreter
+//! exhaustively, feeding in a distinguished unknown value to the
+//! continuations for any reads ... It can also calculate the register
+//! reads that feed into memory addresses by doing this with dynamic taint
+//! tracking."*
+//!
+//! The thread model uses this to:
+//! - pre-calculate `regs_in`/`regs_out` so register reads know when to
+//!   block (§2.1.2);
+//! - determine the possible next-instruction addresses (`NIAs`) for
+//!   speculative fetch;
+//! - dynamically recalculate the *memory* footprint of a partially
+//!   executed instruction after some of its register reads have resolved
+//!   (§2.1.6 — this is what lets `LB+datas+WW` proceed while
+//!   `LB+addrs+WW` blocks);
+//! - know which pending register reads can affect those footprints
+//!   (address taint).
+
+use crate::ast::{BarrierKind, Exp, RegIndex, RegRef, Sem, Stmt, Unop};
+use crate::eval::{bv_truth, Env};
+use crate::interp::{Frame, InstrState, Pending};
+use crate::reg::{Reg, RegSlice};
+use ppc_bits::{Bit, Bv, Tribool};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A set of possible memory accesses `(address, size-in-bytes)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AccessSet {
+    /// No access on any path.
+    None,
+    /// Accesses with concretely known footprints (union over paths).
+    Concrete(BTreeSet<(u64, usize)>),
+    /// At least one access whose address is not yet determined.
+    Unknown,
+}
+
+impl AccessSet {
+    /// Whether any path performs an access.
+    #[must_use]
+    pub fn may_access(&self) -> bool {
+        !matches!(self, AccessSet::None)
+    }
+
+    /// Whether every possible access footprint is concretely known.
+    #[must_use]
+    pub fn is_determined(&self) -> bool {
+        !matches!(self, AccessSet::Unknown)
+    }
+
+    /// Whether some possible access may overlap the byte range
+    /// `[addr, addr+size)`. `Unknown` may overlap everything.
+    #[must_use]
+    pub fn may_overlap(&self, addr: u64, size: usize) -> bool {
+        match self {
+            AccessSet::None => false,
+            AccessSet::Unknown => true,
+            AccessSet::Concrete(set) => set
+                .iter()
+                .any(|&(a, s)| a < addr + size as u64 && addr < a + s as u64),
+        }
+    }
+
+    fn add(&mut self, addr: Option<u64>, size: usize) {
+        match addr {
+            None => *self = AccessSet::Unknown,
+            Some(a) => match self {
+                AccessSet::Unknown => {}
+                AccessSet::None => {
+                    *self = AccessSet::Concrete(BTreeSet::from([(a, size)]));
+                }
+                AccessSet::Concrete(set) => {
+                    set.insert((a, size));
+                }
+            },
+        }
+    }
+
+    fn merge(&mut self, other: &AccessSet) {
+        match (&mut *self, other) {
+            (_, AccessSet::None) => {}
+            (AccessSet::Unknown, _) => {}
+            (_, AccessSet::Unknown) => *self = AccessSet::Unknown,
+            (AccessSet::None, o) => *self = o.clone(),
+            (AccessSet::Concrete(a), AccessSet::Concrete(b)) => {
+                a.extend(b.iter().copied());
+            }
+        }
+    }
+}
+
+/// A possible next-instruction address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NiaTarget {
+    /// Fall through to the sequentially next instruction.
+    Succ,
+    /// A concrete target address.
+    Concrete(u64),
+    /// A computed target not yet determined (e.g. `bclr` before the link
+    /// register value is known).
+    Indirect,
+}
+
+/// The statically/dynamically analysed footprint of an instruction
+/// (the `regs_in`/`regs_out`/`NIAs` data visible in the paper's Fig. 3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Footprint {
+    /// Upper bound on register slices read (architected registers only;
+    /// `CIA`/`NIA` are excluded per §2.1.4).
+    pub regs_in: BTreeSet<RegSlice>,
+    /// Upper bound on register slices written.
+    pub regs_out: BTreeSet<RegSlice>,
+    /// Possible memory-read footprints.
+    pub mem_reads: AccessSet,
+    /// Possible memory-write footprints.
+    pub mem_writes: AccessSet,
+    /// Possible next-instruction addresses.
+    pub nias: BTreeSet<NiaTarget>,
+    /// Register reads that (may) feed a memory address — the taint set.
+    /// A pending register read *not* in this set cannot change the memory
+    /// footprint (this is what allows the middle writes of `LB+datas+WW`
+    /// to be known disjoint before their data arrives).
+    pub addr_regs: BTreeSet<RegSlice>,
+    /// Barriers this instruction performs.
+    pub barriers: BTreeSet<BarrierKind>,
+    /// Set when the analysis had to give up on a path (unknown loop
+    /// bounds or register indices); all footprints are then upper-bounded
+    /// conservatively.
+    pub incomplete: bool,
+}
+
+impl Footprint {
+    fn empty() -> Self {
+        Footprint {
+            regs_in: BTreeSet::new(),
+            regs_out: BTreeSet::new(),
+            mem_reads: AccessSet::None,
+            mem_writes: AccessSet::None,
+            nias: BTreeSet::new(),
+            addr_regs: BTreeSet::new(),
+            barriers: BTreeSet::new(),
+            incomplete: false,
+        }
+    }
+
+    /// Whether the instruction may read memory on some path.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        self.mem_reads.may_access()
+    }
+
+    /// Whether the instruction may write memory on some path.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        self.mem_writes.may_access()
+    }
+
+    /// Whether the instruction performs a storage barrier on some path.
+    #[must_use]
+    pub fn is_storage_barrier(&self) -> bool {
+        self.barriers.iter().any(|b| b.goes_to_storage())
+    }
+
+    /// Whether any register slice in `regs_out` overlaps `slice`.
+    #[must_use]
+    pub fn may_write_reg(&self, slice: &RegSlice) -> bool {
+        self.regs_out.iter().any(|w| w.overlaps(slice))
+    }
+}
+
+/// Maximum number of forked analysis paths before giving up
+/// conservatively.
+const MAX_PATHS: usize = 256;
+
+type Taint = BTreeSet<RegSlice>;
+
+#[derive(Clone)]
+struct AnaState {
+    env: Env,
+    taint: Vec<Taint>,
+    stack: Vec<Frame>,
+    fuel: u32,
+}
+
+/// Analyse an instruction's full semantics from its initial state.
+#[must_use]
+pub fn analyze(sem: &Arc<Sem>) -> Footprint {
+    let st = AnaState {
+        env: Env::new(sem.num_locals()),
+        taint: vec![Taint::new(); sem.num_locals()],
+        stack: vec![Frame::Block {
+            stmts: sem.stmts.clone(),
+            idx: 0,
+        }],
+        fuel: 100_000,
+    };
+    run_analysis(st)
+}
+
+/// Analyse the *remaining* behaviour of a partially executed instruction
+/// (paper §2.1.6: recalculating the potential memory footprint after some
+/// but not all register reads are resolved).
+///
+/// Locals already assigned keep their concrete values; a pending read's
+/// destination is treated as unknown (and tainted by the awaited slice,
+/// so the footprint records that the pending read may feed an address).
+#[must_use]
+pub fn analyze_from(state: &InstrState) -> Footprint {
+    let n = state.sem().num_locals();
+    let mut env = state.env().clone();
+    let mut taint = vec![Taint::new(); n];
+    // A pending read's destination becomes unknown, tainted by its source.
+    if let Some(p) = &state.pending {
+        match p {
+            Pending::Reg(l, slice) => {
+                env.set(*l, Bv::undef(slice.len));
+                taint[l.0 as usize] = BTreeSet::from([*slice]);
+            }
+            Pending::Mem(l, _, sz) => {
+                env.set(*l, Bv::undef(sz * 8));
+            }
+            Pending::WriteCond(l) => {
+                env.set(*l, Bv::undef(1));
+            }
+        }
+    }
+    let st = AnaState {
+        env,
+        taint,
+        stack: state.stack.clone(),
+        fuel: 100_000,
+    };
+    run_analysis(st)
+}
+
+fn run_analysis(st: AnaState) -> Footprint {
+    let mut fp = Footprint::empty();
+    let mut worklist = vec![st];
+    let mut paths = 0usize;
+    let mut wrote_nia_on_all_paths = true;
+    let mut any_path_finished = false;
+
+    while let Some(mut st) = worklist.pop() {
+        paths += 1;
+        if paths > MAX_PATHS {
+            give_up(&mut fp);
+            break;
+        }
+        let wrote_nia = step_path(&mut st, &mut fp, &mut worklist);
+        match wrote_nia {
+            PathEnd::Finished { wrote_nia } => {
+                any_path_finished = true;
+                if !wrote_nia {
+                    wrote_nia_on_all_paths = false;
+                }
+            }
+            PathEnd::GaveUp => {
+                give_up(&mut fp);
+            }
+        }
+    }
+
+    if any_path_finished && !wrote_nia_on_all_paths {
+        fp.nias.insert(NiaTarget::Succ);
+    }
+    if fp.nias.is_empty() {
+        fp.nias.insert(NiaTarget::Succ);
+    }
+    fp
+}
+
+fn give_up(fp: &mut Footprint) {
+    fp.incomplete = true;
+    fp.mem_reads.merge(&AccessSet::Unknown);
+    fp.mem_writes.merge(&AccessSet::Unknown);
+    for r in Reg::architected() {
+        fp.regs_out.insert(r.whole());
+    }
+    fp.nias.insert(NiaTarget::Indirect);
+}
+
+enum PathEnd {
+    Finished { wrote_nia: bool },
+    GaveUp,
+}
+
+/// Run one path to completion (pushing forked paths on the worklist).
+fn step_path(st: &mut AnaState, fp: &mut Footprint, worklist: &mut Vec<AnaState>) -> PathEnd {
+    let mut wrote_nia = false;
+    loop {
+        if st.fuel == 0 {
+            return PathEnd::GaveUp;
+        }
+        st.fuel -= 1;
+        let stmt = match next_stmt(st) {
+            None => return PathEnd::Finished { wrote_nia },
+            Some(s) => s,
+        };
+        match stmt {
+            Stmt::Init(l, e) => {
+                let (v, t) = ana_exp(&e, st);
+                st.env.set(l, v);
+                st.taint[l.0 as usize] = t;
+            }
+            Stmt::ReadReg(l, rr) => {
+                let slice = match ana_resolve(&rr, st) {
+                    Some(s) => s,
+                    None => return PathEnd::GaveUp,
+                };
+                if !slice.reg.is_pseudo() {
+                    fp.regs_in.insert(slice);
+                }
+                // Feed the distinguished unknown.
+                st.env.set(l, Bv::undef(slice.len));
+                st.taint[l.0 as usize] = if slice.reg.is_pseudo() {
+                    Taint::new()
+                } else {
+                    BTreeSet::from([slice])
+                };
+            }
+            Stmt::WriteReg(rr, e) => {
+                let slice = match ana_resolve(&rr, st) {
+                    Some(s) => s,
+                    None => return PathEnd::GaveUp,
+                };
+                let (v, _) = ana_exp(&e, st);
+                if slice.reg == Reg::Nia {
+                    wrote_nia = true;
+                    match v.to_u64() {
+                        Some(a) => fp.nias.insert(NiaTarget::Concrete(a)),
+                        None => fp.nias.insert(NiaTarget::Indirect),
+                    };
+                } else if !slice.reg.is_pseudo() {
+                    fp.regs_out.insert(slice);
+                }
+            }
+            Stmt::ReadMem(l, addr, size, _) => {
+                let (a, t) = ana_exp(&addr, st);
+                fp.mem_reads.add(a.to_u64(), size);
+                fp.addr_regs.extend(t.iter().copied());
+                st.env.set(l, Bv::undef(size * 8));
+                st.taint[l.0 as usize] = Taint::new();
+            }
+            Stmt::WriteMem(addr, size, data, _) => {
+                let (a, t) = ana_exp(&addr, st);
+                fp.mem_writes.add(a.to_u64(), size);
+                fp.addr_regs.extend(t.iter().copied());
+                let _ = ana_exp(&data, st);
+            }
+            Stmt::WriteMemCond(l, addr, size, data) => {
+                let (a, t) = ana_exp(&addr, st);
+                fp.mem_writes.add(a.to_u64(), size);
+                fp.addr_regs.extend(t.iter().copied());
+                let _ = ana_exp(&data, st);
+                st.env.set(l, Bv::undef(1));
+                st.taint[l.0 as usize] = Taint::new();
+            }
+            Stmt::Barrier(kind) => {
+                fp.barriers.insert(kind);
+            }
+            Stmt::If(c, tb, fb) => {
+                let (cv, _) = ana_exp(&c, st);
+                match bv_truth(&cv) {
+                    Tribool::True => st.stack.push(Frame::Block { stmts: tb, idx: 0 }),
+                    Tribool::False => st.stack.push(Frame::Block { stmts: fb, idx: 0 }),
+                    Tribool::Undef => {
+                        // Fork: explore both arms.
+                        let mut other = st.clone();
+                        other.stack.push(Frame::Block { stmts: fb, idx: 0 });
+                        worklist.push(other);
+                        st.stack.push(Frame::Block { stmts: tb, idx: 0 });
+                        // Continue down the true arm in this path; the
+                        // forked path was queued.
+                    }
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                downto,
+                body,
+            } => {
+                let (f, _) = ana_exp(&from, st);
+                let (t, _) = ana_exp(&to, st);
+                match (f.to_i64(), t.to_i64()) {
+                    (Some(f), Some(t)) => st.stack.push(Frame::Loop {
+                        var,
+                        next: f,
+                        last: t,
+                        downto,
+                        body,
+                    }),
+                    _ => return PathEnd::GaveUp,
+                }
+            }
+        }
+    }
+}
+
+fn next_stmt(st: &mut AnaState) -> Option<Stmt> {
+    loop {
+        match st.stack.last_mut() {
+            None => return None,
+            Some(Frame::Block { stmts, idx }) => {
+                if *idx >= stmts.len() {
+                    st.stack.pop();
+                    continue;
+                }
+                let s = stmts[*idx].clone();
+                *idx += 1;
+                return Some(s);
+            }
+            Some(Frame::Loop {
+                var,
+                next,
+                last,
+                downto,
+                body,
+            }) => {
+                let finished = if *downto { *next < *last } else { *next > *last };
+                if finished {
+                    st.stack.pop();
+                    continue;
+                }
+                let v = Bv::from_i64(*next, 64);
+                let var = *var;
+                let body = body.clone();
+                if *downto {
+                    *next -= 1;
+                } else {
+                    *next += 1;
+                }
+                st.env.set(var, v);
+                st.taint[var.0 as usize] = Taint::new();
+                st.stack.push(Frame::Block {
+                    stmts: body,
+                    idx: 0,
+                });
+            }
+        }
+    }
+}
+
+fn ana_resolve(rr: &RegRef, st: &AnaState) -> Option<RegSlice> {
+    let reg = match &rr.reg {
+        RegIndex::Fixed(r) => *r,
+        RegIndex::GprDyn(e) => {
+            let (v, _) = ana_exp(e, st);
+            match v.to_u64() {
+                Some(n) if n < 32 => Reg::Gpr(n as u8),
+                _ => return None,
+            }
+        }
+    };
+    match &rr.slice {
+        None => Some(reg.whole()),
+        Some((start, len)) => {
+            let (s, _) = ana_exp(start, st);
+            match s.to_u64() {
+                Some(s) if (s as usize) + len <= reg.width() => {
+                    Some(RegSlice::new(reg, s as usize, *len))
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Evaluate an expression in analysis mode, returning its (possibly
+/// undefined) value and the union of register-read taints flowing into it.
+fn ana_exp(exp: &Exp, st: &AnaState) -> (Bv, Taint) {
+    match exp {
+        Exp::Const(v) => (v.clone(), Taint::new()),
+        Exp::Local(l) => {
+            let v = st
+                .env
+                .get(*l)
+                .cloned()
+                .unwrap_or_else(|| Bv::undef(64));
+            (v, st.taint[l.0 as usize].clone())
+        }
+        Exp::Unop(op, e) => {
+            let (v, t) = ana_exp(e, st);
+            let out = match op {
+                Unop::Not => v.not(),
+                Unop::Neg => v.neg(),
+                Unop::Clz => match v.count_leading_zeros() {
+                    Some(n) => Bv::from_u64(n as u64, v.len()),
+                    None => Bv::undef(v.len()),
+                },
+                Unop::ByteReverse => {
+                    if v.len() % 8 == 0 {
+                        v.byte_reverse()
+                    } else {
+                        Bv::undef(v.len())
+                    }
+                }
+                Unop::PopcntBytes => Bv::undef(v.len()),
+            };
+            (out, t)
+        }
+        Exp::Binop(op, a, b) => {
+            let (x, tx) = ana_exp(a, st);
+            let (y, ty) = ana_exp(b, st);
+            let env = Env::new(0);
+            // Reuse the concrete evaluator on materialised constants;
+            // preserve the structural-identity rules (the taint union
+            // still records the dependency).
+            let e = if a == b {
+                Exp::Binop(*op, Box::new(Exp::Const(x.clone())), Box::new(Exp::Const(x)))
+            } else {
+                Exp::Binop(*op, Box::new(Exp::Const(x)), Box::new(Exp::Const(y)))
+            };
+            let out = crate::eval::eval_exp(&e, &env).unwrap_or_else(|_| Bv::undef(64));
+            (out, union(tx, ty))
+        }
+        Exp::Slice(e, start, len) => {
+            let (v, tv) = ana_exp(e, st);
+            let (s, ts) = ana_exp(start, st);
+            let out = match s.to_u64() {
+                Some(s) if (s as usize) + len <= v.len() => v.slice(s as usize, *len),
+                _ => Bv::undef(*len),
+            };
+            (out, union(tv, ts))
+        }
+        Exp::Concat(a, b) => {
+            let (x, tx) = ana_exp(a, st);
+            let (y, ty) = ana_exp(b, st);
+            (x.concat(&y), union(tx, ty))
+        }
+        Exp::Exts(e, n) => {
+            let (v, t) = ana_exp(e, st);
+            (v.exts(*n), t)
+        }
+        Exp::Extz(e, n) => {
+            let (v, t) = ana_exp(e, st);
+            (v.extz(*n), t)
+        }
+        Exp::Ite(c, tb, fb) => {
+            let (cv, tc) = ana_exp(c, st);
+            match bv_truth(&cv) {
+                Tribool::True => {
+                    let (v, t) = ana_exp(tb, st);
+                    (v, union(tc, t))
+                }
+                Tribool::False => {
+                    let (v, t) = ana_exp(fb, st);
+                    (v, union(tc, t))
+                }
+                Tribool::Undef => {
+                    let (tv, tt) = ana_exp(tb, st);
+                    let (fv, tf) = ana_exp(fb, st);
+                    let n = tv.len().max(fv.len());
+                    let (tv, fv) = (tv.extz(n), fv.extz(n));
+                    let joined: Bv = tv
+                        .iter()
+                        .zip(fv.iter())
+                        .map(|(x, y)| if x == y { x } else { Bit::Undef })
+                        .collect();
+                    (joined, union(tc, union(tt, tf)))
+                }
+            }
+        }
+        Exp::Add3(a, b, c) | Exp::Carry3(a, b, c) | Exp::Ovf3(a, b, c) => {
+            let (x, tx) = ana_exp(a, st);
+            let (y, ty) = ana_exp(b, st);
+            let (ci, tc) = ana_exp(c, st);
+            let cb = if ci.is_empty() {
+                Bit::Zero
+            } else {
+                ci.bit(ci.len() - 1)
+            };
+            let (sum, co, ov) = x.add_with_carry(&y, cb);
+            let out = match exp {
+                Exp::Add3(..) => sum,
+                Exp::Carry3(..) => Bv::from_bit(co),
+                Exp::Ovf3(..) => Bv::from_bit(ov),
+                _ => unreachable!(),
+            };
+            (out, union(tx, union(ty, tc)))
+        }
+    }
+}
+
+fn union(mut a: Taint, b: Taint) -> Taint {
+    a.extend(b);
+    a
+}

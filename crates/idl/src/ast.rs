@@ -1,0 +1,275 @@
+//! The abstract syntax of the IDL: expressions, statements, and instruction
+//! semantics.
+//!
+//! The IR is in A-normal form with respect to effects: register reads,
+//! memory reads, register writes, memory writes and barriers occur only as
+//! statements; expressions are pure and total over the local environment.
+//! This realises the paper's design decision (§2.1.6) to "interpret the
+//! pseudocode as written sequentially", with the sequencing of register
+//! reads leading to addresses vs. those leading to data made explicit by
+//! statement order — exactly what lets `LB+datas+WW` be allowed while
+//! `LB+addrs+WW` is forbidden.
+
+use crate::reg::Reg;
+use ppc_bits::Bv;
+use std::sync::Arc;
+
+/// An interned local variable of an instruction's pseudocode (e.g. `EA`,
+/// `b` in the vendor description of `stdu`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Local(pub u32);
+
+/// Unary operations over bitvectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Unop {
+    /// Bitwise complement.
+    Not,
+    /// Two's complement negation.
+    Neg,
+    /// Count leading zeros, returned at the operand's width.
+    Clz,
+    /// Reverse the byte order (for `lhbrx` etc.).
+    ByteReverse,
+    /// Per-byte population count (for `popcntb`).
+    PopcntBytes,
+}
+
+/// Binary operations over bitvectors. Comparisons yield a 1-bit vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Binop {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NAND.
+    Nand,
+    /// Bitwise NOR.
+    Nor,
+    /// Bitwise equivalence.
+    Eqv,
+    /// `a AND NOT b`.
+    Andc,
+    /// `a OR NOT b`.
+    Orc,
+    /// Two's complement addition.
+    Add,
+    /// Two's complement subtraction.
+    Sub,
+    /// Low half of the product.
+    MulLow,
+    /// High half of the signed product.
+    MulHighSigned,
+    /// High half of the unsigned product.
+    MulHighUnsigned,
+    /// Signed division (undefined on /0 and overflow).
+    DivSigned,
+    /// Unsigned division (undefined on /0).
+    DivUnsigned,
+    /// Shift left; the right operand is the (dynamic) amount.
+    Shl,
+    /// Logical shift right.
+    Lshr,
+    /// Arithmetic shift right.
+    Ashr,
+    /// Rotate left.
+    Rotl,
+    /// Equality (1-bit result).
+    Eq,
+    /// Disequality (1-bit result).
+    Ne,
+    /// Signed less-than (1-bit result).
+    LtSigned,
+    /// Unsigned less-than (1-bit result).
+    LtUnsigned,
+    /// Signed greater-than (1-bit result).
+    GtSigned,
+    /// Unsigned greater-than (1-bit result).
+    GtUnsigned,
+}
+
+/// Pure expressions over locals and constants.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Exp {
+    /// A constant bitvector.
+    Const(Bv),
+    /// A local variable.
+    Local(Local),
+    /// A unary operation.
+    Unop(Unop, Box<Exp>),
+    /// A binary operation.
+    Binop(Binop, Box<Exp>, Box<Exp>),
+    /// `Slice(e, start, len)`: `len` bits of `e` from (dynamically
+    /// computed, MSB0) index `start`.
+    Slice(Box<Exp>, Box<Exp>, usize),
+    /// Concatenation, more significant first.
+    Concat(Box<Exp>, Box<Exp>),
+    /// Sign extension (or truncation) to the given width — the vendor
+    /// pseudocode's `EXTS`.
+    Exts(Box<Exp>, usize),
+    /// Zero extension (or truncation) to the given width — `EXTZ`.
+    Extz(Box<Exp>, usize),
+    /// If-then-else as an expression; on an undefined condition the two
+    /// arms are joined bitwise (agreeing bits survive, others go undef).
+    Ite(Box<Exp>, Box<Exp>, Box<Exp>),
+    /// Ternary add `a + b + carry_in` (carry_in is 1-bit); the sum.
+    Add3(Box<Exp>, Box<Exp>, Box<Exp>),
+    /// Carry-out of `a + b + carry_in` (1-bit result).
+    Carry3(Box<Exp>, Box<Exp>, Box<Exp>),
+    /// Signed-overflow of `a + b + carry_in` (1-bit result).
+    Ovf3(Box<Exp>, Box<Exp>, Box<Exp>),
+}
+
+/// How the target register of a register access is designated.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegIndex {
+    /// A fixed register (instruction fields are concrete once decoded, so
+    /// `GPR[RA]` becomes `Fixed(Gpr(ra))`).
+    Fixed(Reg),
+    /// A GPR whose number is computed (used by load/store-multiple and
+    /// string instructions where the register number comes from a loop
+    /// variable).
+    GprDyn(Exp),
+}
+
+/// A (possibly sliced) register reference appearing in a statement.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RegRef {
+    /// Which register.
+    pub reg: RegIndex,
+    /// Optional bit-range: `(start, len)` with a dynamically computed,
+    /// 0-based-from-MSB start. `None` means the whole register.
+    pub slice: Option<(Exp, usize)>,
+}
+
+impl RegRef {
+    /// Reference to a whole fixed register.
+    #[must_use]
+    pub fn whole(reg: Reg) -> Self {
+        RegRef {
+            reg: RegIndex::Fixed(reg),
+            slice: None,
+        }
+    }
+
+    /// Reference to a fixed register with a constant slice.
+    #[must_use]
+    pub fn sliced(reg: Reg, start: usize, len: usize) -> Self {
+        RegRef {
+            reg: RegIndex::Fixed(reg),
+            slice: Some((Exp::Const(Bv::from_u64(start as u64, 16)), len)),
+        }
+    }
+}
+
+/// The flavour of a memory read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReadKind {
+    /// An ordinary cacheable read.
+    Normal,
+    /// A load-reserve (`lwarx`/`ldarx`), establishing a reservation.
+    Reserve,
+}
+
+/// The flavour of a memory write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WriteKind {
+    /// An ordinary cacheable write.
+    Normal,
+    /// A store-conditional (`stwcx.`/`stdcx.`); the model resumes the
+    /// instruction with a success bit.
+    Conditional,
+}
+
+/// Memory barrier kinds (paper §4.1: `sync`, `lwsync`, `eieio` are
+/// storage-subsystem events; `isync` has thread-local force).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BarrierKind {
+    /// Heavyweight sync (`sync` / `hwsync`), acknowledged by the storage
+    /// subsystem once propagated to all threads.
+    Sync,
+    /// Lightweight sync.
+    Lwsync,
+    /// Enforce in-order execution of I/O (store-store for cacheable
+    /// memory).
+    Eieio,
+    /// Instruction synchronize: thread-local, never sent to the storage
+    /// subsystem.
+    Isync,
+}
+
+impl BarrierKind {
+    /// Whether this barrier is communicated to the storage subsystem.
+    #[must_use]
+    pub fn goes_to_storage(self) -> bool {
+        !matches!(self, BarrierKind::Isync)
+    }
+}
+
+/// A block of statements; reference-counted so cloning a suspended
+/// interpreter state (for restarts and footprint re-analysis) is cheap.
+pub type Block = Arc<Vec<Stmt>>;
+
+/// Statements: the micro-operations of an instruction description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `local := exp` — pure internal computation.
+    Init(Local, Exp),
+    /// `local := REG` — suspends with [`crate::Outcome::ReadReg`].
+    ReadReg(Local, RegRef),
+    /// `REG := exp` — emits [`crate::Outcome::WriteReg`].
+    WriteReg(RegRef, Exp),
+    /// `local := MEMr(addr, size)` — suspends with
+    /// [`crate::Outcome::ReadMem`]. `size` is in bytes.
+    ReadMem(Local, Exp, usize, ReadKind),
+    /// `MEMw(addr, size) := exp` — emits [`crate::Outcome::WriteMem`].
+    WriteMem(Exp, usize, Exp, WriteKind),
+    /// A store-conditional: like `WriteMem` but suspends awaiting the
+    /// model's success bit, stored into the local.
+    WriteMemCond(Local, Exp, usize, Exp),
+    /// A memory barrier event.
+    Barrier(BarrierKind),
+    /// Conditional; the condition must evaluate to a defined bit in
+    /// concrete execution (the footprint analysis forks on undefined
+    /// conditions instead).
+    If(Exp, Block, Block),
+    /// Counted loop, inclusive bounds, with concrete bound expressions
+    /// (all POWER loop bounds come from instruction fields).
+    For {
+        /// Loop variable (a 64-bit local).
+        var: Local,
+        /// First value (inclusive).
+        from: Exp,
+        /// Last value (inclusive).
+        to: Exp,
+        /// Iterate downwards if set.
+        downto: bool,
+        /// Loop body.
+        body: Block,
+    },
+}
+
+/// A complete instruction description: the statement list plus the local
+/// variable table (names are kept for Fig.3-style pretty-printing).
+#[derive(Clone, Debug)]
+pub struct Sem {
+    /// Top-level statements.
+    pub stmts: Block,
+    /// Local variable names, indexed by [`Local`].
+    pub local_names: Vec<String>,
+}
+
+impl Sem {
+    /// The name of a local.
+    #[must_use]
+    pub fn local_name(&self, l: Local) -> &str {
+        &self.local_names[l.0 as usize]
+    }
+
+    /// Number of locals.
+    #[must_use]
+    pub fn num_locals(&self) -> usize {
+        self.local_names.len()
+    }
+}

@@ -1,0 +1,570 @@
+//! A builder eDSL for instruction semantics.
+//!
+//! ISA definitions construct their pseudocode through [`SemBuilder`],
+//! mirroring the vendor documentation line-for-line (cf. the paper's Fig. 2
+//! `stdu` example). Instruction fields are concrete at build time — the
+//! builder is invoked per decoded instruction — so field references become
+//! constants, exactly as Sail's `decode` pattern-match binds them.
+
+use crate::ast::{BarrierKind, Binop, Exp, Local, ReadKind, RegIndex, RegRef, Sem, Stmt, Unop, WriteKind};
+use crate::reg::{Reg, RegSlice};
+use ppc_bits::Bv;
+use std::sync::Arc;
+
+/// Builds a [`Sem`]: fresh locals, pure expressions, and effectful
+/// statements with structured control flow.
+///
+/// # Example
+///
+/// The vendor pseudocode for `stw RS,D(RA)` (paper §2.1.6):
+///
+/// ```text
+/// if RA == 0 then b := 0 else b := GPR[RA];
+/// EA := b + EXTS(D);
+/// MEMw(EA,4) := (GPR[RS])[32 .. 63]
+/// ```
+///
+/// ```
+/// use ppc_idl::{SemBuilder, Reg};
+/// use ppc_bits::Bv;
+///
+/// let (ra, rs, d) = (1u8, 7u8, 0i64);
+/// let mut b = SemBuilder::new();
+/// let bb = b.local("b");
+/// let ea = b.local("EA");
+/// let data = b.local("data");
+/// if ra == 0 {
+///     b.assign(bb, b.c64(0));
+/// } else {
+///     b.read_reg(bb, Reg::Gpr(ra));
+/// }
+/// b.assign(ea, b.add(b.l(bb), b.konst(Bv::from_i64(d, 64))));
+/// b.read_reg_slice(data, Reg::Gpr(rs), 32, 32);
+/// b.write_mem(b.l(ea), 4, b.l(data));
+/// let sem = b.build();
+/// assert!(ppc_idl::validate(&sem).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct SemBuilder {
+    local_names: Vec<String>,
+    blocks: Vec<Vec<Stmt>>,
+}
+
+impl SemBuilder {
+    /// A fresh builder with one open (top-level) block.
+    #[must_use]
+    pub fn new() -> Self {
+        SemBuilder {
+            local_names: Vec::new(),
+            blocks: vec![Vec::new()],
+        }
+    }
+
+    /// Declare a fresh local variable (names need not be unique; they are
+    /// only used for display).
+    pub fn local(&mut self, name: &str) -> Local {
+        let l = Local(self.local_names.len() as u32);
+        self.local_names.push(name.to_owned());
+        l
+    }
+
+    // ----- expression constructors ------------------------------------
+
+    /// A local as an expression.
+    #[must_use]
+    pub fn l(&self, l: Local) -> Exp {
+        Exp::Local(l)
+    }
+
+    /// A constant.
+    #[must_use]
+    pub fn konst(&self, v: Bv) -> Exp {
+        Exp::Const(v)
+    }
+
+    /// A 64-bit constant.
+    #[must_use]
+    pub fn c64(&self, x: u64) -> Exp {
+        Exp::Const(Bv::from_u64(x, 64))
+    }
+
+    /// An n-bit constant.
+    #[must_use]
+    pub fn cn(&self, x: u64, n: usize) -> Exp {
+        Exp::Const(Bv::from_u64(x, n))
+    }
+
+    /// A 1-bit constant.
+    #[must_use]
+    pub fn bit(&self, b: bool) -> Exp {
+        Exp::Const(Bv::from_u64(u64::from(b), 1))
+    }
+
+    fn bin(&self, op: Binop, a: Exp, b: Exp) -> Exp {
+        Exp::Binop(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    #[must_use]
+    pub fn add(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Add, a, b)
+    }
+
+    /// `a - b`.
+    #[must_use]
+    pub fn sub(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Sub, a, b)
+    }
+
+    /// Bitwise AND.
+    #[must_use]
+    pub fn and(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::And, a, b)
+    }
+
+    /// Bitwise OR.
+    #[must_use]
+    pub fn or(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    #[must_use]
+    pub fn xor(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Xor, a, b)
+    }
+
+    /// Bitwise NAND.
+    #[must_use]
+    pub fn nand(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Nand, a, b)
+    }
+
+    /// Bitwise NOR.
+    #[must_use]
+    pub fn nor(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Nor, a, b)
+    }
+
+    /// Bitwise equivalence.
+    #[must_use]
+    pub fn eqv(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Eqv, a, b)
+    }
+
+    /// `a & !b`.
+    #[must_use]
+    pub fn andc(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Andc, a, b)
+    }
+
+    /// `a | !b`.
+    #[must_use]
+    pub fn orc(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Orc, a, b)
+    }
+
+    /// Low product.
+    #[must_use]
+    pub fn mul_low(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::MulLow, a, b)
+    }
+
+    /// High signed product.
+    #[must_use]
+    pub fn mul_high_s(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::MulHighSigned, a, b)
+    }
+
+    /// High unsigned product.
+    #[must_use]
+    pub fn mul_high_u(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::MulHighUnsigned, a, b)
+    }
+
+    /// Signed division.
+    #[must_use]
+    pub fn div_s(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::DivSigned, a, b)
+    }
+
+    /// Unsigned division.
+    #[must_use]
+    pub fn div_u(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::DivUnsigned, a, b)
+    }
+
+    /// Shift left by a dynamic amount.
+    #[must_use]
+    pub fn shl(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Shl, a, b)
+    }
+
+    /// Logical shift right.
+    #[must_use]
+    pub fn lshr(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Lshr, a, b)
+    }
+
+    /// Arithmetic shift right.
+    #[must_use]
+    pub fn ashr(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Ashr, a, b)
+    }
+
+    /// Rotate left.
+    #[must_use]
+    pub fn rotl(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Rotl, a, b)
+    }
+
+    /// Equality (1-bit).
+    #[must_use]
+    pub fn eq(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Eq, a, b)
+    }
+
+    /// Disequality (1-bit).
+    #[must_use]
+    pub fn ne(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::Ne, a, b)
+    }
+
+    /// Signed less-than (1-bit).
+    #[must_use]
+    pub fn lt_s(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::LtSigned, a, b)
+    }
+
+    /// Unsigned less-than (1-bit).
+    #[must_use]
+    pub fn lt_u(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::LtUnsigned, a, b)
+    }
+
+    /// Signed greater-than (1-bit).
+    #[must_use]
+    pub fn gt_s(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::GtSigned, a, b)
+    }
+
+    /// Unsigned greater-than (1-bit).
+    #[must_use]
+    pub fn gt_u(&self, a: Exp, b: Exp) -> Exp {
+        self.bin(Binop::GtUnsigned, a, b)
+    }
+
+    /// Bitwise complement.
+    #[must_use]
+    pub fn not(&self, a: Exp) -> Exp {
+        Exp::Unop(Unop::Not, Box::new(a))
+    }
+
+    /// Two's complement negation.
+    #[must_use]
+    pub fn neg(&self, a: Exp) -> Exp {
+        Exp::Unop(Unop::Neg, Box::new(a))
+    }
+
+    /// Count leading zeros.
+    #[must_use]
+    pub fn clz(&self, a: Exp) -> Exp {
+        Exp::Unop(Unop::Clz, Box::new(a))
+    }
+
+    /// Byte reversal.
+    #[must_use]
+    pub fn byte_reverse(&self, a: Exp) -> Exp {
+        Exp::Unop(Unop::ByteReverse, Box::new(a))
+    }
+
+    /// Per-byte popcount.
+    #[must_use]
+    pub fn popcnt_bytes(&self, a: Exp) -> Exp {
+        Exp::Unop(Unop::PopcntBytes, Box::new(a))
+    }
+
+    /// `EXTS(e)` to `n` bits.
+    #[must_use]
+    pub fn exts(&self, e: Exp, n: usize) -> Exp {
+        Exp::Exts(Box::new(e), n)
+    }
+
+    /// `EXTZ(e)` to `n` bits.
+    #[must_use]
+    pub fn extz(&self, e: Exp, n: usize) -> Exp {
+        Exp::Extz(Box::new(e), n)
+    }
+
+    /// Constant-start slice `e[start .. start+len-1]`.
+    #[must_use]
+    pub fn slice(&self, e: Exp, start: usize, len: usize) -> Exp {
+        Exp::Slice(
+            Box::new(e),
+            Box::new(Exp::Const(Bv::from_u64(start as u64, 16))),
+            len,
+        )
+    }
+
+    /// Dynamic-start slice.
+    #[must_use]
+    pub fn slice_dyn(&self, e: Exp, start: Exp, len: usize) -> Exp {
+        Exp::Slice(Box::new(e), Box::new(start), len)
+    }
+
+    /// Concatenation, more significant first.
+    #[must_use]
+    pub fn concat(&self, a: Exp, b: Exp) -> Exp {
+        Exp::Concat(Box::new(a), Box::new(b))
+    }
+
+    /// If-then-else expression.
+    #[must_use]
+    pub fn ite(&self, c: Exp, t: Exp, f: Exp) -> Exp {
+        Exp::Ite(Box::new(c), Box::new(t), Box::new(f))
+    }
+
+    /// Sum of `a + b + carry_in`.
+    #[must_use]
+    pub fn add3(&self, a: Exp, b: Exp, cin: Exp) -> Exp {
+        Exp::Add3(Box::new(a), Box::new(b), Box::new(cin))
+    }
+
+    /// Carry-out of `a + b + carry_in`.
+    #[must_use]
+    pub fn carry3(&self, a: Exp, b: Exp, cin: Exp) -> Exp {
+        Exp::Carry3(Box::new(a), Box::new(b), Box::new(cin))
+    }
+
+    /// Signed overflow of `a + b + carry_in`.
+    #[must_use]
+    pub fn ovf3(&self, a: Exp, b: Exp, cin: Exp) -> Exp {
+        Exp::Ovf3(Box::new(a), Box::new(b), Box::new(cin))
+    }
+
+    // ----- statements --------------------------------------------------
+
+    fn push(&mut self, s: Stmt) {
+        self.blocks
+            .last_mut()
+            .expect("builder always has an open block")
+            .push(s);
+    }
+
+    /// `local := exp`.
+    pub fn assign(&mut self, l: Local, e: Exp) {
+        self.push(Stmt::Init(l, e));
+    }
+
+    /// `local := REG` (whole register).
+    pub fn read_reg(&mut self, l: Local, r: Reg) {
+        self.push(Stmt::ReadReg(l, RegRef::whole(r)));
+    }
+
+    /// `local := REG[start .. start+len-1]`.
+    pub fn read_reg_slice(&mut self, l: Local, r: Reg, start: usize, len: usize) {
+        self.push(Stmt::ReadReg(l, RegRef::sliced(r, start, len)));
+    }
+
+    /// Read through a general register reference.
+    pub fn read_reg_ref(&mut self, l: Local, rr: RegRef) {
+        self.push(Stmt::ReadReg(l, rr));
+    }
+
+    /// Read a dynamically numbered GPR.
+    pub fn read_gpr_dyn(&mut self, l: Local, index: Exp) {
+        self.push(Stmt::ReadReg(
+            l,
+            RegRef {
+                reg: RegIndex::GprDyn(index),
+                slice: None,
+            },
+        ));
+    }
+
+    /// `REG := exp` (whole register).
+    pub fn write_reg(&mut self, r: Reg, e: Exp) {
+        self.push(Stmt::WriteReg(RegRef::whole(r), e));
+    }
+
+    /// `REG[start .. start+len-1] := exp`.
+    pub fn write_reg_slice(&mut self, r: Reg, start: usize, len: usize, e: Exp) {
+        self.push(Stmt::WriteReg(RegRef::sliced(r, start, len), e));
+    }
+
+    /// Write through a general register reference.
+    pub fn write_reg_ref(&mut self, rr: RegRef, e: Exp) {
+        self.push(Stmt::WriteReg(rr, e));
+    }
+
+    /// Write a dynamically numbered GPR.
+    pub fn write_gpr_dyn(&mut self, index: Exp, e: Exp) {
+        self.push(Stmt::WriteReg(
+            RegRef {
+                reg: RegIndex::GprDyn(index),
+                slice: None,
+            },
+            e,
+        ));
+    }
+
+    /// Write a register slice with a dynamically computed start.
+    pub fn write_reg_slice_dyn(&mut self, r: Reg, start: Exp, len: usize, e: Exp) {
+        self.push(Stmt::WriteReg(
+            RegRef {
+                reg: RegIndex::Fixed(r),
+                slice: Some((start, len)),
+            },
+            e,
+        ));
+    }
+
+    /// Read a register slice with a dynamically computed start.
+    pub fn read_reg_slice_dyn(&mut self, l: Local, r: Reg, start: Exp, len: usize) {
+        self.push(Stmt::ReadReg(
+            l,
+            RegRef {
+                reg: RegIndex::Fixed(r),
+                slice: Some((start, len)),
+            },
+        ));
+    }
+
+    /// `local := MEMr(addr, size)`.
+    pub fn read_mem(&mut self, l: Local, addr: Exp, size: usize) {
+        self.push(Stmt::ReadMem(l, addr, size, ReadKind::Normal));
+    }
+
+    /// A load-reserve read.
+    pub fn read_mem_reserve(&mut self, l: Local, addr: Exp, size: usize) {
+        self.push(Stmt::ReadMem(l, addr, size, ReadKind::Reserve));
+    }
+
+    /// `MEMw(addr, size) := data`.
+    pub fn write_mem(&mut self, addr: Exp, size: usize, data: Exp) {
+        self.push(Stmt::WriteMem(addr, size, data, WriteKind::Normal));
+    }
+
+    /// A store-conditional; `success` receives the model's 1-bit verdict.
+    pub fn write_mem_cond(&mut self, success: Local, addr: Exp, size: usize, data: Exp) {
+        self.push(Stmt::WriteMemCond(success, addr, size, data));
+    }
+
+    /// A barrier event.
+    pub fn barrier(&mut self, k: BarrierKind) {
+        self.push(Stmt::Barrier(k));
+    }
+
+    /// `if c then { … } else { … }`.
+    pub fn if_then_else(
+        &mut self,
+        c: Exp,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.blocks.push(Vec::new());
+        then_f(self);
+        let t = self.blocks.pop().expect("then block");
+        self.blocks.push(Vec::new());
+        else_f(self);
+        let f = self.blocks.pop().expect("else block");
+        self.push(Stmt::If(c, Arc::new(t), Arc::new(f)));
+    }
+
+    /// `if c then { … }`.
+    pub fn if_then(&mut self, c: Exp, then_f: impl FnOnce(&mut Self)) {
+        self.if_then_else(c, then_f, |_| {});
+    }
+
+    /// `for var = from …(down)to to do { … }` (inclusive bounds).
+    pub fn for_loop(
+        &mut self,
+        var: Local,
+        from: Exp,
+        to: Exp,
+        downto: bool,
+        body_f: impl FnOnce(&mut Self),
+    ) {
+        self.blocks.push(Vec::new());
+        body_f(self);
+        let body = self.blocks.pop().expect("loop body");
+        self.push(Stmt::For {
+            var,
+            from,
+            to,
+            downto,
+            body: Arc::new(body),
+        });
+    }
+
+    /// Finish, producing the semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if control-flow blocks are unbalanced (a builder bug).
+    #[must_use]
+    pub fn build(mut self) -> Sem {
+        assert_eq!(self.blocks.len(), 1, "unbalanced blocks in SemBuilder");
+        Sem {
+            stmts: Arc::new(self.blocks.pop().expect("top block")),
+            local_names: self.local_names,
+        }
+    }
+
+    // ----- POWER-specific convenience ----------------------------------
+
+    /// Read a whole CR field `CRn` (architected bits `32+4n .. 35+4n`).
+    pub fn read_crf(&mut self, l: Local, n: usize) {
+        self.read_reg_slice(l, Reg::Cr, 4 * n, 4);
+    }
+
+    /// Write a whole CR field `CRn`.
+    pub fn write_crf(&mut self, n: usize, e: Exp) {
+        self.write_reg_slice(Reg::Cr, 4 * n, 4, e);
+    }
+
+    /// Helper for a register-or-zero base address: `if RA == 0 then b := 0
+    /// else b := GPR[RA]` — the ubiquitous `(RA|0)` of the vendor
+    /// pseudocode.
+    pub fn reg_or_zero(&mut self, dst: Local, ra: u8) {
+        if ra == 0 {
+            self.assign(dst, self.c64(0));
+        } else {
+            self.read_reg(dst, Reg::Gpr(ra));
+        }
+    }
+
+    /// Read XER.SO as a 1-bit local (flag setters need it).
+    pub fn read_xer_so(&mut self, l: Local) {
+        self.read_reg_slice(l, Reg::Xer, crate::reg::xer_bits::SO, 1);
+    }
+
+    /// Read XER.CA as a 1-bit local.
+    pub fn read_xer_ca(&mut self, l: Local) {
+        self.read_reg_slice(l, Reg::Xer, crate::reg::xer_bits::CA, 1);
+    }
+
+    /// Write XER.CA.
+    pub fn write_xer_ca(&mut self, e: Exp) {
+        self.write_reg_slice(Reg::Xer, crate::reg::xer_bits::CA, 1, e);
+    }
+
+    /// Write XER.OV and XER.SO for an `o`-form instruction: `OV := ov;
+    /// SO := SO | ov` (the two writes are contiguous bits 32..33, written
+    /// together to keep the footprint minimal).
+    pub fn write_xer_ov_so(&mut self, so_in: Local, ov: Exp) {
+        // bits 32..33 = SO||OV
+        let so_or = self.or(self.l(so_in), ov.clone());
+        let both = self.concat(so_or, ov);
+        self.write_reg_slice(Reg::Xer, crate::reg::xer_bits::SO, 2, both);
+    }
+
+    /// A full [`RegSlice`] read, choosing whole-register when possible.
+    pub fn read_slice(&mut self, l: Local, s: RegSlice) {
+        if s.start == 0 && s.len == s.reg.width() {
+            self.read_reg(l, s.reg);
+        } else {
+            self.read_reg_slice(l, s.reg, s.start, s.len);
+        }
+    }
+}

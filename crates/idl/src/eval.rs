@@ -1,0 +1,274 @@
+//! Pure expression evaluation over lifted bitvectors.
+//!
+//! Expressions never suspend: every effectful access was hoisted to
+//! statement level by the A-normal form. Evaluation is total over *lifted*
+//! values — undefined inputs yield (conservatively) undefined outputs —
+//! which is exactly what lets the same evaluator serve both concrete
+//! execution and the unknown-feeding footprint analysis (paper §2.2).
+
+use crate::ast::{Binop, Exp, Local, Unop};
+use ppc_bits::{Bit, Bv, Tribool};
+
+/// A local-variable environment. `None` means "not yet assigned".
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Env {
+    slots: Vec<Option<Bv>>,
+}
+
+impl Env {
+    /// An environment with `n` unassigned slots.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Env {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Read a local; `None` if unassigned.
+    #[must_use]
+    pub fn get(&self, l: Local) -> Option<&Bv> {
+        self.slots.get(l.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Assign a local.
+    pub fn set(&mut self, l: Local, v: Bv) {
+        let i = l.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some(v);
+    }
+
+    /// Iterate over assigned locals as `(Local, &Bv)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Local, &Bv)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (Local(i as u32), v)))
+    }
+}
+
+/// Errors from expression evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A local was read before assignment (a validator bug if it happens
+    /// on a validated semantics).
+    Unassigned(Local),
+    /// A dynamic index (slice start, shift amount used as index, register
+    /// number) was undefined where a concrete value is required.
+    UndefIndex,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Unassigned(l) => write!(f, "local #{} read before assignment", l.0),
+            EvalError::UndefIndex => write!(f, "undefined value used as an index"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Join two vectors bitwise: agreeing bits survive, disagreeing or
+/// undefined bits become undefined. Used for `Ite` on an undefined
+/// condition. Mismatched widths join to the wider width, aligned at the
+/// LSB, with the extra high bits undefined.
+fn join(a: &Bv, b: &Bv) -> Bv {
+    let n = a.len().max(b.len());
+    let (a, b) = (a.extz(n), b.extz(n));
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| if x == y { x } else { Bit::Undef })
+        .collect()
+}
+
+/// Evaluate a pure expression.
+///
+/// # Errors
+///
+/// Returns an error for reads of unassigned locals or undefined dynamic
+/// slice indices; both indicate malformed semantics rather than
+/// architectural undefinedness.
+pub fn eval_exp(exp: &Exp, env: &Env) -> Result<Bv, EvalError> {
+    match exp {
+        Exp::Const(v) => Ok(v.clone()),
+        Exp::Local(l) => env.get(*l).cloned().ok_or(EvalError::Unassigned(*l)),
+        Exp::Unop(op, e) => {
+            let v = eval_exp(e, env)?;
+            Ok(match op {
+                Unop::Not => v.not(),
+                Unop::Neg => v.neg(),
+                Unop::Clz => match v.count_leading_zeros() {
+                    Some(n) => Bv::from_u64(n as u64, v.len()),
+                    None => Bv::undef(v.len()),
+                },
+                Unop::ByteReverse => v.byte_reverse(),
+                Unop::PopcntBytes => {
+                    let mut out = Bv::zeros(v.len());
+                    let mut i = 0;
+                    while i + 8 <= v.len() {
+                        let byte = v.slice(i, 8);
+                        let cnt = match byte.popcount() {
+                            Some(c) => Bv::from_u64(c as u64, 8),
+                            None => Bv::undef(8),
+                        };
+                        out = out.with_slice(i, &cnt);
+                        i += 8;
+                    }
+                    out
+                }
+            })
+        }
+        Exp::Binop(op, a, b) => {
+            let x = eval_exp(a, env)?;
+            // Structural identity: both operands are the *same pure
+            // expression*, hence the same (possibly unknown) value; e.g.
+            // `xor r6,r6` is zero even when r6 holds undefined bits. This
+            // is what makes the classic false-dependency idiom
+            // (`xor rD,rS,rS; lwzx ...,rD`) executable over lifted bits.
+            if a == b {
+                if let Some(v) = identity_binop(*op, &x) {
+                    return Ok(v);
+                }
+            }
+            let y = eval_exp(b, env)?;
+            Ok(eval_binop(*op, &x, &y))
+        }
+        Exp::Slice(e, start, len) => {
+            let v = eval_exp(e, env)?;
+            let s = eval_exp(start, env)?;
+            match s.to_u64() {
+                Some(s) => {
+                    let s = s as usize;
+                    if s + len <= v.len() {
+                        Ok(v.slice(s, *len))
+                    } else {
+                        Err(EvalError::UndefIndex)
+                    }
+                }
+                None => Err(EvalError::UndefIndex),
+            }
+        }
+        Exp::Concat(a, b) => {
+            let x = eval_exp(a, env)?;
+            let y = eval_exp(b, env)?;
+            Ok(x.concat(&y))
+        }
+        Exp::Exts(e, n) => Ok(eval_exp(e, env)?.exts(*n)),
+        Exp::Extz(e, n) => Ok(eval_exp(e, env)?.extz(*n)),
+        Exp::Ite(c, t, f) => {
+            let cv = eval_exp(c, env)?;
+            match bv_truth(&cv) {
+                Tribool::True => eval_exp(t, env),
+                Tribool::False => eval_exp(f, env),
+                Tribool::Undef => {
+                    let tv = eval_exp(t, env)?;
+                    let fv = eval_exp(f, env)?;
+                    Ok(join(&tv, &fv))
+                }
+            }
+        }
+        Exp::Add3(a, b, c) => {
+            let (x, y, ci) = (eval_exp(a, env)?, eval_exp(b, env)?, eval_exp(c, env)?);
+            Ok(x.add_with_carry(&y, carry_bit(&ci)).0)
+        }
+        Exp::Carry3(a, b, c) => {
+            let (x, y, ci) = (eval_exp(a, env)?, eval_exp(b, env)?, eval_exp(c, env)?);
+            Ok(Bv::from_bit(x.add_with_carry(&y, carry_bit(&ci)).1))
+        }
+        Exp::Ovf3(a, b, c) => {
+            let (x, y, ci) = (eval_exp(a, env)?, eval_exp(b, env)?, eval_exp(c, env)?);
+            Ok(Bv::from_bit(x.add_with_carry(&y, carry_bit(&ci)).2))
+        }
+    }
+}
+
+/// The truth value of a bitvector used as a condition: 1-bit vectors are
+/// their bit; wider vectors are "any bit set" (non-zero test).
+#[must_use]
+pub(crate) fn bv_truth(v: &Bv) -> Tribool {
+    if v.len() == 1 {
+        return match v.bit(0) {
+            Bit::Zero => Tribool::False,
+            Bit::One => Tribool::True,
+            Bit::Undef => Tribool::Undef,
+        };
+    }
+    let mut any_undef = false;
+    for b in v.iter() {
+        match b {
+            Bit::One => return Tribool::True,
+            Bit::Undef => any_undef = true,
+            Bit::Zero => {}
+        }
+    }
+    if any_undef {
+        Tribool::Undef
+    } else {
+        Tribool::False
+    }
+}
+
+fn carry_bit(v: &Bv) -> Bit {
+    if v.is_empty() {
+        Bit::Zero
+    } else {
+        v.bit(v.len() - 1)
+    }
+}
+
+/// `op x x` for operations with an identity-independent result.
+fn identity_binop(op: Binop, x: &Bv) -> Option<Bv> {
+    use ppc_bits::Bit;
+    let n = x.len();
+    match op {
+        Binop::Xor | Binop::Sub | Binop::Andc => Some(Bv::zeros(n)),
+        Binop::Eqv | Binop::Orc => Some(Bv::ones(n)),
+        Binop::And | Binop::Or => Some(x.clone()),
+        Binop::Eq => Some(Bv::from_bit(Bit::One)),
+        Binop::Ne | Binop::LtSigned | Binop::LtUnsigned | Binop::GtSigned
+        | Binop::GtUnsigned => Some(Bv::from_bit(Bit::Zero)),
+        _ => None,
+    }
+}
+
+fn eval_binop(op: Binop, x: &Bv, y: &Bv) -> Bv {
+    use Binop::*;
+    match op {
+        And => x.and(y),
+        Or => x.or(y),
+        Xor => x.xor(y),
+        Nand => x.nand(y),
+        Nor => x.nor(y),
+        Eqv => x.eqv(y),
+        Andc => x.andc(y),
+        Orc => x.orc(y),
+        Add => x.add(y),
+        Sub => x.sub(y),
+        MulLow => x.mul_low(y),
+        MulHighSigned => x.mul_high(y, true),
+        MulHighUnsigned => x.mul_high(y, false),
+        DivSigned => x.div(y, true),
+        DivUnsigned => x.div(y, false),
+        Shl | Lshr | Ashr | Rotl => match y.to_u64() {
+            Some(amt) => {
+                let amt = amt as usize;
+                match op {
+                    Shl => x.shl(amt),
+                    Lshr => x.lshr(amt),
+                    Ashr => x.ashr(amt),
+                    Rotl => x.rotl(amt),
+                    _ => unreachable!(),
+                }
+            }
+            None => Bv::undef(x.len()),
+        },
+        Eq => Bv::from_bit(x.eq_lifted(y).to_bit()),
+        Ne => Bv::from_bit(x.eq_lifted(y).not().to_bit()),
+        LtSigned => Bv::from_bit(x.lt_signed(y).to_bit()),
+        LtUnsigned => Bv::from_bit(x.lt_unsigned(y).to_bit()),
+        GtSigned => Bv::from_bit(y.lt_signed(x).to_bit()),
+        GtUnsigned => Bv::from_bit(y.lt_unsigned(x).to_bit()),
+    }
+}

@@ -1,0 +1,86 @@
+//! The instruction description language (IDL) of the POWER envelope model.
+//!
+//! The paper introduces **Sail**, a language for instruction descriptions
+//! that (1) supports the concurrency-model interface of §2.2, (2) is
+//! mathematically precise, and (3) reads like the vendor pseudocode. Sail
+//! definitions are deep-embedded into Lem and executed by an interpreter
+//! whose interface to the rest of the model is the `outcome` type.
+//!
+//! This crate is the Rust equivalent: a deep-embedded micro-operation IR in
+//! A-normal form (register and memory accesses happen only at statement
+//! level, so pure expression evaluation never suspends), an interpreter
+//! ([`InstrState`]) producing [`Outcome`]s one step at a time with
+//! suspension at register/memory reads, and the *exhaustive* analysis used
+//! to pre-calculate register/memory footprints and address-feeding register
+//! taint for partially executed instructions (paper §2.1.6/§2.2).
+//!
+//! The interface mirrors the paper's types:
+//!
+//! ```text
+//! type outcome =
+//!   | Read_mem of address*size*(memval -> instruction_state)
+//!   | Write_mem of address*size*memval*instruction_state
+//!   | Barrier of barrier_kind*instruction_state
+//!   | Read_reg of reg_slice*(regval -> instruction_state)
+//!   | Write_reg of reg_slice*regval*instruction_state
+//!   | Internal of instruction_state
+//!   | Done
+//! ```
+//!
+//! Continuations are the suspended [`InstrState`] itself; the thread model
+//! stores it and calls [`InstrState::resume_reg`] / [`InstrState::resume_mem`]
+//! when the rest of the system produces the value.
+//!
+//! # Example
+//!
+//! ```
+//! use ppc_idl::{SemBuilder, Reg, Outcome};
+//! use ppc_bits::Bv;
+//!
+//! // r3 := r4 + 1  , in pseudocode:  GPR[3] := GPR[4] + 1
+//! let mut b = SemBuilder::new();
+//! let t = b.local("t");
+//! b.read_reg(t, Reg::Gpr(4));
+//! let sum = b.add(b.l(t), b.konst(Bv::from_u64(1, 64)));
+//! b.write_reg(Reg::Gpr(3), sum);
+//! let sem = b.build();
+//!
+//! let mut st = ppc_idl::InstrState::new(sem.into());
+//! match st.step().unwrap() {
+//!     Outcome::ReadReg { slice } => {
+//!         assert_eq!(slice.reg, Reg::Gpr(4));
+//!         st.resume_reg(Bv::from_u64(41, 64)).unwrap();
+//!     }
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! match st.step().unwrap() {
+//!     Outcome::WriteReg { slice, value } => {
+//!         assert_eq!(slice.reg, Reg::Gpr(3));
+//!         assert_eq!(value.to_u64(), Some(42));
+//!     }
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! assert!(matches!(st.step().unwrap(), Outcome::Done));
+//! ```
+
+mod analysis;
+mod ast;
+mod builder;
+mod eval;
+mod interp;
+mod pretty;
+mod reg;
+mod validate;
+
+pub use analysis::{analyze, analyze_from, AccessSet, Footprint, NiaTarget};
+pub use ast::{BarrierKind, Binop, Block, Exp, Local, ReadKind, RegIndex, RegRef, Sem, Stmt, Unop, WriteKind};
+pub use builder::SemBuilder;
+pub use eval::{eval_exp, Env};
+pub use interp::{IdlError, InstrState, Outcome};
+pub use reg::{xer_bits, Reg, RegSlice};
+pub use validate::{validate, ValidateError};
+
+#[cfg(test)]
+mod proptests;
+#[cfg(test)]
+mod tests;

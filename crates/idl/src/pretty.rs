@@ -1,0 +1,234 @@
+//! Pretty-printing of instruction semantics and suspended states, in the
+//! style of the paper's Fig. 3 ("remaining micro-operations" in blue).
+
+use crate::ast::{Binop, Exp, RegIndex, RegRef, Sem, Stmt, Unop};
+use crate::interp::{Frame, InstrState};
+use std::fmt::Write as _;
+
+fn pp_unop(op: Unop) -> &'static str {
+    match op {
+        Unop::Not => "~",
+        Unop::Neg => "-",
+        Unop::Clz => "clz",
+        Unop::ByteReverse => "byterev",
+        Unop::PopcntBytes => "popcntb",
+    }
+}
+
+fn pp_binop(op: Binop) -> &'static str {
+    use Binop::*;
+    match op {
+        And => "&",
+        Or => "|",
+        Xor => "^",
+        Nand => "nand",
+        Nor => "nor",
+        Eqv => "eqv",
+        Andc => "andc",
+        Orc => "orc",
+        Add => "+",
+        Sub => "-",
+        MulLow => "*",
+        MulHighSigned => "*hs",
+        MulHighUnsigned => "*hu",
+        DivSigned => "/s",
+        DivUnsigned => "/u",
+        Shl => "<<",
+        Lshr => ">>",
+        Ashr => ">>a",
+        Rotl => "rotl",
+        Eq => "==",
+        Ne => "!=",
+        LtSigned => "<",
+        LtUnsigned => "<u",
+        GtSigned => ">",
+        GtUnsigned => ">u",
+    }
+}
+
+/// Render an expression with local names from `sem`.
+#[must_use]
+pub(crate) fn pp_exp(e: &Exp, sem: &Sem) -> String {
+    match e {
+        Exp::Const(v) => {
+            if v.len() == 64 {
+                match v.to_u64() {
+                    Some(x) if x < 1024 => format!("{x}"),
+                    _ => format!("{v}"),
+                }
+            } else {
+                format!("{v}")
+            }
+        }
+        Exp::Local(l) => sem.local_name(*l).to_owned(),
+        Exp::Unop(op, a) => format!("{} ({})", pp_unop(*op), pp_exp(a, sem)),
+        Exp::Binop(op, a, b) => {
+            format!("({} {} {})", pp_exp(a, sem), pp_binop(*op), pp_exp(b, sem))
+        }
+        Exp::Slice(a, s, len) => {
+            format!("({})[{} .. +{}]", pp_exp(a, sem), pp_exp(s, sem), len)
+        }
+        Exp::Concat(a, b) => format!("({} : {})", pp_exp(a, sem), pp_exp(b, sem)),
+        Exp::Exts(a, n) => format!("EXTS({},{n})", pp_exp(a, sem)),
+        Exp::Extz(a, n) => format!("EXTZ({},{n})", pp_exp(a, sem)),
+        Exp::Ite(c, t, f) => format!(
+            "(if {} then {} else {})",
+            pp_exp(c, sem),
+            pp_exp(t, sem),
+            pp_exp(f, sem)
+        ),
+        Exp::Add3(a, b, c) => format!(
+            "({} + {} + {})",
+            pp_exp(a, sem),
+            pp_exp(b, sem),
+            pp_exp(c, sem)
+        ),
+        Exp::Carry3(a, b, c) => format!(
+            "carry({},{},{})",
+            pp_exp(a, sem),
+            pp_exp(b, sem),
+            pp_exp(c, sem)
+        ),
+        Exp::Ovf3(a, b, c) => format!(
+            "ovf({},{},{})",
+            pp_exp(a, sem),
+            pp_exp(b, sem),
+            pp_exp(c, sem)
+        ),
+    }
+}
+
+fn pp_regref(rr: &RegRef, sem: &Sem) -> String {
+    let base = match &rr.reg {
+        RegIndex::Fixed(r) => format!("{r}"),
+        RegIndex::GprDyn(e) => format!("GPR[to_num ({})]", pp_exp(e, sem)),
+    };
+    match &rr.slice {
+        None => base,
+        Some((start, len)) => format!("{base}[{} .. +{len}]", pp_exp(start, sem)),
+    }
+}
+
+/// Render one statement (single line; nested blocks are flattened with
+/// braces).
+#[must_use]
+pub(crate) fn pp_stmt(s: &Stmt, sem: &Sem) -> String {
+    match s {
+        Stmt::Init(l, e) => format!("{} := {}", sem.local_name(*l), pp_exp(e, sem)),
+        Stmt::ReadReg(l, rr) => format!("{} := {}", sem.local_name(*l), pp_regref(rr, sem)),
+        Stmt::WriteReg(rr, e) => format!("{} := {}", pp_regref(rr, sem), pp_exp(e, sem)),
+        Stmt::ReadMem(l, a, sz, k) => format!(
+            "{} := MEMr{} ({},{sz})",
+            sem.local_name(*l),
+            if matches!(k, crate::ast::ReadKind::Reserve) { "-reserve" } else { "" },
+            pp_exp(a, sem)
+        ),
+        Stmt::WriteMem(a, sz, d, k) => format!(
+            "MEMw{} ({},{sz}) := {}",
+            if matches!(k, crate::ast::WriteKind::Conditional) { "-cond" } else { "" },
+            pp_exp(a, sem),
+            pp_exp(d, sem)
+        ),
+        Stmt::WriteMemCond(l, a, sz, d) => format!(
+            "{} := MEMw-cond ({},{sz}) := {}",
+            sem.local_name(*l),
+            pp_exp(a, sem),
+            pp_exp(d, sem)
+        ),
+        Stmt::Barrier(k) => format!("barrier {k:?}"),
+        Stmt::If(c, t, f) => {
+            let mut out = format!("if {} then {{", pp_exp(c, sem));
+            for st in t.iter() {
+                let _ = write!(out, " {};", pp_stmt(st, sem));
+            }
+            out.push_str(" }");
+            if !f.is_empty() {
+                out.push_str(" else {");
+                for st in f.iter() {
+                    let _ = write!(out, " {};", pp_stmt(st, sem));
+                }
+                out.push_str(" }");
+            }
+            out
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            downto,
+            body,
+        } => {
+            let dir = if *downto { "downto" } else { "to" };
+            let mut out = format!(
+                "for {} = {} {dir} {} do {{",
+                sem.local_name(*var),
+                pp_exp(from, sem),
+                pp_exp(to, sem)
+            );
+            for st in body.iter() {
+                let _ = write!(out, " {};", pp_stmt(st, sem));
+            }
+            out.push_str(" }");
+            out
+        }
+    }
+}
+
+impl Sem {
+    /// Render the full pseudocode, one micro-operation per line.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        for s in self.stmts.iter() {
+            let _ = writeln!(out, "{}", pp_stmt(s, self));
+        }
+        out
+    }
+}
+
+impl InstrState {
+    /// The remaining micro-operations of this (possibly partially
+    /// executed) instruction, innermost continuation first — the blue
+    /// "remaining micro-operations" lines of the paper's Fig. 3.
+    #[must_use]
+    pub fn remaining_micro_ops(&self) -> Vec<String> {
+        let sem = self.sem().clone();
+        let mut lines = Vec::new();
+        if let Some(slice) = self.pending_reg() {
+            lines.push(format!("<awaiting register read {slice}>"));
+        }
+        if let Some((a, sz)) = self.pending_mem() {
+            lines.push(format!("<awaiting MEMr (0x{a:016x},{sz})>"));
+        }
+        for frame in self.stack.iter().rev() {
+            match frame {
+                Frame::Block { stmts, idx } => {
+                    for s in stmts.iter().skip(*idx) {
+                        lines.push(pp_stmt(s, &sem));
+                    }
+                }
+                Frame::Loop {
+                    var, next, last, ..
+                } => {
+                    lines.push(format!(
+                        "<loop {} = {next} .. {last}>",
+                        sem.local_name(*var)
+                    ));
+                }
+            }
+        }
+        lines
+    }
+
+    /// Render the assigned local variables, Fig.3-style
+    /// (`local variables: EA=…, b=…`).
+    #[must_use]
+    pub fn local_values(&self) -> String {
+        let sem = self.sem();
+        let mut parts = Vec::new();
+        for (l, v) in self.env().iter() {
+            parts.push(format!("{}={}", sem.local_name(l), v));
+        }
+        parts.join(", ")
+    }
+}

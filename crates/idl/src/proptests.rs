@@ -1,0 +1,121 @@
+//! Property tests for the IDL: evaluation identities, analysis
+//! soundness, and interpreter/analysis agreement.
+
+use crate::{analyze, eval_exp, Binop, Env, Exp, InstrState, Outcome, Reg, SemBuilder};
+use ppc_bits::Bv;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_bv64() -> impl Strategy<Value = Bv> {
+    any::<u64>().prop_map(|x| Bv::from_u64(x, 64))
+}
+
+proptest! {
+    /// The structural-identity rules agree with plain evaluation on
+    /// fully defined values (they only *add* definedness on undef).
+    #[test]
+    fn prop_identity_rules_sound(x in arb_bv64()) {
+        let env = Env::new(0);
+        for op in [Binop::Xor, Binop::Sub, Binop::Andc, Binop::Eqv, Binop::Orc,
+                   Binop::And, Binop::Or, Binop::Eq, Binop::Ne,
+                   Binop::LtSigned, Binop::LtUnsigned] {
+            let same = Exp::Binop(op, Box::new(Exp::Const(x.clone())), Box::new(Exp::Const(x.clone())));
+            let v = eval_exp(&same, &env).expect("evaluates");
+            // Compare against the op applied to two copies via a
+            // non-identical expression (forcing the generic path).
+            let copy = Exp::Binop(
+                op,
+                Box::new(Exp::Extz(Box::new(Exp::Const(x.clone())), 64)),
+                Box::new(Exp::Const(x.clone())),
+            );
+            let w = eval_exp(&copy, &env).expect("evaluates");
+            prop_assert_eq!(v, w, "{:?}", op);
+        }
+    }
+
+    /// Static analysis over-approximates the dynamic behaviour: every
+    /// register slice a random add/load-shaped instruction actually
+    /// reads or writes is contained in the analysed footprint.
+    #[test]
+    fn prop_analysis_covers_execution(ra in 0u8..32, rb in 0u8..32, rt in 0u8..32, base in 0u64..0xFFFF) {
+        let mut b = SemBuilder::new();
+        let x = b.local("x");
+        b.read_reg(x, Reg::Gpr(ra));
+        let y = b.local("y");
+        b.read_reg(y, Reg::Gpr(rb));
+        let ea = b.local("ea");
+        b.assign(ea, b.add(b.l(x), b.l(y)));
+        let m = b.local("m");
+        b.read_mem(m, b.l(ea), 4);
+        b.write_reg(Reg::Gpr(rt), b.extz(b.l(m), 64));
+        let sem = Arc::new(b.build());
+        let fp = analyze(&sem);
+
+        let mut st = InstrState::new(sem);
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        loop {
+            match st.step().expect("steps") {
+                Outcome::ReadReg { slice } => {
+                    reads.push(slice);
+                    st.resume_reg(Bv::from_u64(base, 64)).expect("resume");
+                }
+                Outcome::WriteReg { slice, .. } => writes.push(slice),
+                Outcome::ReadMem { .. } => {
+                    st.resume_mem(Bv::from_u64(0, 32)).expect("resume");
+                }
+                Outcome::Done => break,
+                _ => {}
+            }
+        }
+        for s in reads {
+            prop_assert!(fp.regs_in.iter().any(|f| f.contains(&s)), "{s} ∉ regs_in");
+        }
+        for s in writes {
+            prop_assert!(fp.regs_out.iter().any(|f| f.contains(&s)), "{s} ∉ regs_out");
+        }
+        // Both register reads feed the address.
+        prop_assert!(fp.addr_regs.contains(&Reg::Gpr(ra).whole()));
+        prop_assert!(fp.addr_regs.contains(&Reg::Gpr(rb).whole()));
+    }
+
+    /// Suspended states are true continuations: cloning at any
+    /// suspension point and resuming both clones with the same values
+    /// yields identical outcome traces.
+    #[test]
+    fn prop_clone_resume_deterministic(a in any::<u64>(), b_ in any::<u64>()) {
+        let mut bld = SemBuilder::new();
+        let x = bld.local("x");
+        bld.read_reg(x, Reg::Gpr(1));
+        let y = bld.local("y");
+        bld.read_reg(y, Reg::Gpr(2));
+        bld.write_reg(Reg::Gpr(3), bld.add(bld.l(x), bld.l(y)));
+        let sem = Arc::new(bld.build());
+
+        let mut s1 = InstrState::new(sem);
+        assert!(matches!(s1.step().expect("step"), Outcome::ReadReg { .. }));
+        let mut s2 = s1.clone();
+        s1.resume_reg(Bv::from_u64(a, 64)).expect("resume");
+        s2.resume_reg(Bv::from_u64(a, 64)).expect("resume");
+        let t1 = drain(&mut s1, b_);
+        let t2 = drain(&mut s2, b_);
+        prop_assert_eq!(t1, t2);
+    }
+}
+
+fn drain(st: &mut InstrState, reg_val: u64) -> Vec<String> {
+    let mut trace = Vec::new();
+    loop {
+        match st.step().expect("step") {
+            Outcome::Done => break,
+            Outcome::ReadReg { slice } => {
+                trace.push(format!("R {slice}"));
+                st.resume_reg(Bv::from_u64(reg_val, 64).slice(64 - slice.len, slice.len))
+                    .expect("resume");
+            }
+            Outcome::WriteReg { slice, value } => trace.push(format!("W {slice}={value}")),
+            o => trace.push(format!("{o:?}")),
+        }
+    }
+    trace
+}

@@ -1,0 +1,238 @@
+//! The architected register universe the IDL semantics is expressed over.
+//!
+//! POWER has "a more-or-less elaborate structure of register names and
+//! aliases" (paper §2.1.4): 32 64-bit GPRs, the 32-bit condition register
+//! `CR` (architected bits 32..63, partitioned into 4-bit fields `CR0..CR7`
+//! with named flag bits), `XER` with its `SO`/`OV`/`CA` bits, the link and
+//! count registers, and the `CIA`/`NIA` pseudo-registers that instruction
+//! descriptions read and write but which "are not architected registers"
+//! and are treated specially by the thread model.
+//!
+//! A [`RegSlice`] is a contiguous bit range of one register, 0-based from
+//! the register's most significant bit. This is the *architectural
+//! granularity of register accesses*: following §2.1.4 the model treats
+//! every register as individually-addressable bits, so a write to one part
+//! of a register and a read from a disjoint part never constitutes a
+//! dependency (pinned by the `MP+sync+addr-cr` test).
+
+use std::fmt;
+
+/// An architected (or pseudo) register of the POWER user model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// General-purpose register `GPR[0]..GPR[31]`, 64 bits.
+    Gpr(u8),
+    /// Condition register, 32 bits (architected bit numbers 32..63;
+    /// slice offsets here are 0-based, i.e. offset = architected − 32).
+    Cr,
+    /// Fixed-point exception register, 64 bits (`SO`=32, `OV`=33, `CA`=34).
+    Xer,
+    /// Link register, 64 bits.
+    Lr,
+    /// Count register, 64 bits.
+    Ctr,
+    /// Current instruction address pseudo-register (paper §2.1.4: reads of
+    /// `CIA` do not create dependencies; the thread model supplies the
+    /// instance's own address).
+    Cia,
+    /// Next instruction address pseudo-register; writes to `NIA` resolve
+    /// branches rather than creating register dataflow.
+    Nia,
+}
+
+impl Reg {
+    /// The register's width in bits.
+    #[must_use]
+    pub fn width(self) -> usize {
+        match self {
+            Reg::Cr => 32,
+            _ => 64,
+        }
+    }
+
+    /// Whether this is one of the `CIA`/`NIA` pseudo-registers, which the
+    /// thread model handles specially (no dependency-inducing dataflow).
+    #[must_use]
+    pub fn is_pseudo(self) -> bool {
+        matches!(self, Reg::Cia | Reg::Nia)
+    }
+
+    /// The full-width slice of this register.
+    #[must_use]
+    pub fn whole(self) -> RegSlice {
+        RegSlice {
+            reg: self,
+            start: 0,
+            len: self.width(),
+        }
+    }
+
+    /// All architected (non-pseudo) registers, for test generation.
+    pub fn architected() -> impl Iterator<Item = Reg> {
+        (0..32u8)
+            .map(Reg::Gpr)
+            .chain([Reg::Cr, Reg::Xer, Reg::Lr, Reg::Ctr])
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Gpr(n) => write!(f, "GPR{n}"),
+            Reg::Cr => write!(f, "CR"),
+            Reg::Xer => write!(f, "XER"),
+            Reg::Lr => write!(f, "LR"),
+            Reg::Ctr => write!(f, "CTR"),
+            Reg::Cia => write!(f, "CIA"),
+            Reg::Nia => write!(f, "NIA"),
+        }
+    }
+}
+
+/// Architected XER bit offsets (within the 64-bit register, MSB0).
+pub mod xer_bits {
+    /// Summary overflow.
+    pub const SO: usize = 32;
+    /// Overflow.
+    pub const OV: usize = 33;
+    /// Carry.
+    pub const CA: usize = 34;
+    /// Byte count for string instructions (bits 57..63).
+    pub const BYTE_COUNT: usize = 57;
+    /// Width of the byte count field.
+    pub const BYTE_COUNT_LEN: usize = 7;
+}
+
+/// A contiguous bit range of one register: the `reg_slice` of the paper's
+/// interface. `start` is 0-based from the register's MSB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegSlice {
+    /// The register.
+    pub reg: Reg,
+    /// First bit, 0-based from the register MSB.
+    pub start: usize,
+    /// Number of bits (always ≥ 1 for a meaningful slice).
+    pub len: usize,
+}
+
+impl RegSlice {
+    /// A new slice; panics if it does not fit in the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds the register width.
+    #[must_use]
+    pub fn new(reg: Reg, start: usize, len: usize) -> Self {
+        assert!(
+            start + len <= reg.width(),
+            "slice {start}+{len} out of range for {reg} (width {})",
+            reg.width()
+        );
+        RegSlice { reg, start, len }
+    }
+
+    /// Whether two slices overlap (same register, intersecting ranges).
+    #[must_use]
+    pub fn overlaps(&self, other: &RegSlice) -> bool {
+        self.reg == other.reg
+            && self.start < other.start + other.len
+            && other.start < self.start + self.len
+    }
+
+    /// Whether `self` fully contains `other`.
+    #[must_use]
+    pub fn contains(&self, other: &RegSlice) -> bool {
+        self.reg == other.reg
+            && self.start <= other.start
+            && other.start + other.len <= self.start + self.len
+    }
+
+    /// The intersection of two slices, if any.
+    #[must_use]
+    pub fn intersect(&self, other: &RegSlice) -> Option<RegSlice> {
+        if self.reg != other.reg {
+            return None;
+        }
+        let start = self.start.max(other.start);
+        let end = (self.start + self.len).min(other.start + other.len);
+        if start < end {
+            Some(RegSlice {
+                reg: self.reg,
+                start,
+                len: end - start,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over the individual bit positions of this slice.
+    pub fn bits(&self) -> impl Iterator<Item = (Reg, usize)> + '_ {
+        (self.start..self.start + self.len).map(move |i| (self.reg, i))
+    }
+}
+
+impl fmt::Display for RegSlice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start == 0 && self.len == self.reg.width() {
+            write!(f, "{}", self.reg)
+        } else if self.reg == Reg::Cr {
+            // Print CR slices with architected bit numbers (32..63).
+            write!(
+                f,
+                "CR[{}..{}]",
+                self.start + 32,
+                self.start + 32 + self.len - 1
+            )
+        } else {
+            write!(
+                f,
+                "{}[{}..{}]",
+                self.reg,
+                self.start,
+                self.start + self.len - 1
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod reg_tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Reg::Gpr(0).width(), 64);
+        assert_eq!(Reg::Cr.width(), 32);
+        assert_eq!(Reg::Xer.width(), 64);
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = RegSlice::new(Reg::Cr, 12, 4); // CR3 (architected 44..47)
+        let b = RegSlice::new(Reg::Cr, 16, 4); // CR4 (architected 48..51)
+        assert!(!a.overlaps(&b), "CR3 and CR4 must be independent");
+        let c = RegSlice::new(Reg::Cr, 14, 4);
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert!(!a.overlaps(&RegSlice::new(Reg::Gpr(1), 0, 64)));
+        assert_eq!(a.intersect(&c), Some(RegSlice::new(Reg::Cr, 14, 2)));
+        assert_eq!(a.intersect(&b), None);
+    }
+
+    #[test]
+    fn contains_logic() {
+        let whole = Reg::Gpr(5).whole();
+        let low = RegSlice::new(Reg::Gpr(5), 32, 32);
+        assert!(whole.contains(&low));
+        assert!(!low.contains(&whole));
+        assert!(low.contains(&low));
+    }
+
+    #[test]
+    fn display_uses_architected_cr_numbers() {
+        assert_eq!(RegSlice::new(Reg::Cr, 0, 4).to_string(), "CR[32..35]");
+        assert_eq!(RegSlice::new(Reg::Gpr(7), 32, 32).to_string(), "GPR7[32..63]");
+        assert_eq!(Reg::Gpr(7).whole().to_string(), "GPR7");
+    }
+}

@@ -1,0 +1,175 @@
+//! Structural validation of instruction semantics.
+//!
+//! Sail's type system checks pseudocode consistency (paper §3); here a
+//! lighter-weight structural validator enforces the properties the
+//! interpreter and the thread model rely on:
+//!
+//! - every local is assigned before use on every control-flow path
+//!   (register *self-reads* having been rewritten to locals, §2.1.3);
+//! - dynamic register indices and slice starts only reference
+//!   already-assigned locals;
+//! - constant slice bounds fit the sliced registers.
+
+use crate::ast::{Exp, Local, RegIndex, RegRef, Sem, Stmt};
+use std::collections::BTreeSet;
+
+/// A validation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A local may be read before assignment on some path.
+    UseBeforeDef {
+        /// The local's display name.
+        name: String,
+    },
+    /// A constant register slice is out of range.
+    SliceOutOfRange {
+        /// Register display name.
+        reg: String,
+        /// Offending start.
+        start: usize,
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::UseBeforeDef { name } => {
+                write!(f, "local `{name}` may be used before assignment")
+            }
+            ValidateError::SliceOutOfRange { reg, start, len } => {
+                write!(f, "slice [{start}..+{len}] out of range for {reg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate an instruction's semantics.
+///
+/// # Errors
+///
+/// Returns the first structural problem found.
+pub fn validate(sem: &Sem) -> Result<(), ValidateError> {
+    let mut defined = BTreeSet::new();
+    check_block(&sem.stmts, &mut defined, sem)?;
+    Ok(())
+}
+
+fn check_block(
+    stmts: &[Stmt],
+    defined: &mut BTreeSet<Local>,
+    sem: &Sem,
+) -> Result<(), ValidateError> {
+    for s in stmts {
+        match s {
+            Stmt::Init(l, e) => {
+                check_exp(e, defined, sem)?;
+                defined.insert(*l);
+            }
+            Stmt::ReadReg(l, rr) => {
+                check_regref(rr, defined, sem)?;
+                defined.insert(*l);
+            }
+            Stmt::WriteReg(rr, e) => {
+                check_regref(rr, defined, sem)?;
+                check_exp(e, defined, sem)?;
+            }
+            Stmt::ReadMem(l, a, _, _) => {
+                check_exp(a, defined, sem)?;
+                defined.insert(*l);
+            }
+            Stmt::WriteMem(a, _, d, _) => {
+                check_exp(a, defined, sem)?;
+                check_exp(d, defined, sem)?;
+            }
+            Stmt::WriteMemCond(l, a, _, d) => {
+                check_exp(a, defined, sem)?;
+                check_exp(d, defined, sem)?;
+                defined.insert(*l);
+            }
+            Stmt::Barrier(_) => {}
+            Stmt::If(c, t, f) => {
+                check_exp(c, defined, sem)?;
+                let mut dt = defined.clone();
+                check_block(t, &mut dt, sem)?;
+                let mut df = defined.clone();
+                check_block(f, &mut df, sem)?;
+                // Only locals defined on *both* paths are defined after.
+                defined.extend(dt.intersection(&df).copied());
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                check_exp(from, defined, sem)?;
+                check_exp(to, defined, sem)?;
+                let mut db = defined.clone();
+                db.insert(*var);
+                check_block(body, &mut db, sem)?;
+                // A loop body may execute zero times: no new definitions
+                // escape.
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_regref(
+    rr: &RegRef,
+    defined: &BTreeSet<Local>,
+    sem: &Sem,
+) -> Result<(), ValidateError> {
+    if let RegIndex::GprDyn(e) = &rr.reg {
+        check_exp(e, defined, sem)?;
+    }
+    if let Some((start, len)) = &rr.slice {
+        check_exp(start, defined, sem)?;
+        if let (RegIndex::Fixed(r), Exp::Const(c)) = (&rr.reg, start) {
+            if let Some(s) = c.to_u64() {
+                if s as usize + len > r.width() {
+                    return Err(ValidateError::SliceOutOfRange {
+                        reg: r.to_string(),
+                        start: s as usize,
+                        len: *len,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_exp(e: &Exp, defined: &BTreeSet<Local>, sem: &Sem) -> Result<(), ValidateError> {
+    match e {
+        Exp::Const(_) => Ok(()),
+        Exp::Local(l) => {
+            if defined.contains(l) {
+                Ok(())
+            } else {
+                Err(ValidateError::UseBeforeDef {
+                    name: sem.local_name(*l).to_owned(),
+                })
+            }
+        }
+        Exp::Unop(_, a) | Exp::Exts(a, _) | Exp::Extz(a, _) => check_exp(a, defined, sem),
+        Exp::Binop(_, a, b) | Exp::Concat(a, b) => {
+            check_exp(a, defined, sem)?;
+            check_exp(b, defined, sem)
+        }
+        Exp::Slice(a, s, _) => {
+            check_exp(a, defined, sem)?;
+            check_exp(s, defined, sem)
+        }
+        Exp::Ite(a, b, c) | Exp::Add3(a, b, c) | Exp::Carry3(a, b, c) | Exp::Ovf3(a, b, c) => {
+            check_exp(a, defined, sem)?;
+            check_exp(b, defined, sem)?;
+            check_exp(c, defined, sem)
+        }
+    }
+}

@@ -1,0 +1,879 @@
+//! Assembly parsing and printing.
+//!
+//! The paper's extraction tool generates "helper OCaml code to parse,
+//! execute and pretty-print litmus tests" (§4); this module is the Rust
+//! equivalent, covering the concrete syntax used in POWER litmus tests
+//! (including the extended mnemonics `mr`, `li`, `cmpw`, `beq`, `blr`, …).
+//!
+//! Branches in litmus tests target labels; [`parse_asm_ctx`] takes the
+//! current instruction's byte offset and a label-resolution callback so
+//! the front-end can do its two-pass assembly.
+
+use crate::ast::*;
+
+/// An assembly parsing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// Unknown mnemonic.
+    UnknownMnemonic(String),
+    /// Operand list malformed for this mnemonic.
+    BadOperands(String),
+    /// A branch target label was not resolvable.
+    UnknownLabel(String),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmError::BadOperands(l) => write!(f, "bad operands in `{l}`"),
+            AsmError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(s: &str) -> Option<u8> {
+    let s = s.trim().trim_start_matches('%');
+    let s = s.strip_prefix('r')?;
+    let n: u8 = s.parse().ok()?;
+    (n < 32).then_some(n)
+}
+
+fn parse_crf(s: &str) -> Option<u8> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("cr") {
+        let n: u8 = rest.parse().ok()?;
+        return (n < 8).then_some(n);
+    }
+    let n: u8 = s.parse().ok()?;
+    (n < 8).then_some(n)
+}
+
+fn parse_imm(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        s.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_uimm(s: &str) -> Option<u32> {
+    parse_imm(s).and_then(|v| u32::try_from(v & 0xFFFF).ok())
+}
+
+/// Split "d(ra)" into (d, ra).
+fn parse_d_ra(s: &str) -> Option<(i32, u8)> {
+    let s = s.trim();
+    let open = s.find('(')?;
+    let close = s.rfind(')')?;
+    let d = parse_imm(&s[..open])? as i32;
+    let ra = parse_reg(&s[open + 1..close])?;
+    Some((d, ra))
+}
+
+struct Ops<'a> {
+    line: &'a str,
+    ops: Vec<&'a str>,
+}
+
+impl<'a> Ops<'a> {
+    fn bad(&self) -> AsmError {
+        AsmError::BadOperands(self.line.to_owned())
+    }
+    fn reg(&self, i: usize) -> Result<u8, AsmError> {
+        self.ops
+            .get(i)
+            .and_then(|s| parse_reg(s))
+            .ok_or_else(|| self.bad())
+    }
+    fn imm(&self, i: usize) -> Result<i64, AsmError> {
+        self.ops
+            .get(i)
+            .and_then(|s| parse_imm(s))
+            .ok_or_else(|| self.bad())
+    }
+    fn uimm(&self, i: usize) -> Result<u32, AsmError> {
+        self.ops
+            .get(i)
+            .and_then(|s| parse_uimm(s))
+            .ok_or_else(|| self.bad())
+    }
+    fn crf(&self, i: usize) -> Result<u8, AsmError> {
+        self.ops
+            .get(i)
+            .and_then(|s| parse_crf(s))
+            .ok_or_else(|| self.bad())
+    }
+    fn d_ra(&self, i: usize) -> Result<(i32, u8), AsmError> {
+        self.ops
+            .get(i)
+            .and_then(|s| parse_d_ra(s))
+            .ok_or_else(|| self.bad())
+    }
+    fn len(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Parse one assembly instruction with no label context.
+///
+/// # Errors
+///
+/// Fails on unknown mnemonics, malformed operands, or label-targeting
+/// branches (use [`parse_asm_ctx`] for those).
+pub fn parse_asm(line: &str) -> Result<Instruction, AsmError> {
+    parse_asm_ctx(line, 0, &|_| None)
+}
+
+/// Parse one assembly instruction.
+///
+/// `offset` is the byte offset of this instruction within its code block;
+/// `labels` resolves a label name to its byte offset, so branch
+/// displacements can be computed (`target − offset`).
+///
+/// # Errors
+///
+/// Fails on unknown mnemonics, malformed operands, or unresolvable
+/// labels.
+pub fn parse_asm_ctx(
+    line: &str,
+    offset: i64,
+    labels: &dyn Fn(&str) -> Option<i64>,
+) -> Result<Instruction, AsmError> {
+    let trimmed = line.trim();
+    let (mnemonic, rest) = match trimmed.find(char::is_whitespace) {
+        Some(i) => (&trimmed[..i], trimmed[i..].trim()),
+        None => (trimmed, ""),
+    };
+    let ops = Ops {
+        line: trimmed,
+        ops: if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        },
+    };
+    let m = mnemonic.to_ascii_lowercase();
+
+    // Branch-displacement helper.
+    let branch_disp = |target: &str| -> Result<i64, AsmError> {
+        if let Some(v) = parse_imm(target) {
+            return Ok(v);
+        }
+        labels(target)
+            .map(|t| t - offset)
+            .ok_or_else(|| AsmError::UnknownLabel(target.to_owned()))
+    };
+
+    use Instruction::*;
+    let i = match m.as_str() {
+        // ---- unconditional branches --------------------------------
+        "b" | "bl" | "ba" | "bla" => {
+            let t = ops.ops.first().ok_or_else(|| ops.bad())?;
+            let aa = m.ends_with('a') && m != "b";
+            let lk = m.contains('l');
+            let target = if aa {
+                parse_imm(t).ok_or_else(|| ops.bad())?
+            } else {
+                branch_disp(t)?
+            };
+            B {
+                li: (target >> 2) as i32,
+                aa,
+                lk,
+            }
+        }
+        // ---- conditional branches ----------------------------------
+        "bc" | "bcl" | "bca" | "bcla" => {
+            let bo = ops.imm(0)? as u8;
+            let bi = ops.imm(1)? as u8;
+            let aa = m.ends_with('a') || m == "bcla";
+            let lk = m == "bcl" || m == "bcla";
+            let t = ops.ops.get(2).ok_or_else(|| ops.bad())?;
+            let target = if aa {
+                parse_imm(t).ok_or_else(|| ops.bad())?
+            } else {
+                branch_disp(t)?
+            };
+            Bc {
+                bo,
+                bi,
+                bd: (target >> 2) as i16,
+                aa,
+                lk,
+            }
+        }
+        "beq" | "bne" | "blt" | "bge" | "bgt" | "ble" | "bdnz" => {
+            let (crf, target_idx) = if ops.len() == 2 {
+                (ops.crf(0)?, 1)
+            } else {
+                (0, 0)
+            };
+            let t = ops.ops.get(target_idx).ok_or_else(|| ops.bad())?;
+            let disp = branch_disp(t)?;
+            let (bo, bi): (u8, u8) = match m.as_str() {
+                "beq" => (12, 4 * crf + 2),
+                "bne" => (4, 4 * crf + 2),
+                "blt" => (12, 4 * crf),
+                "bge" => (4, 4 * crf),
+                "bgt" => (12, 4 * crf + 1),
+                "ble" => (4, 4 * crf + 1),
+                "bdnz" => (16, 0),
+                _ => unreachable!(),
+            };
+            Bc {
+                bo,
+                bi,
+                bd: (disp >> 2) as i16,
+                aa: false,
+                lk: false,
+            }
+        }
+        "blr" => Bclr { bo: 20, bi: 0, bh: 0, lk: false },
+        "blrl" => Bclr { bo: 20, bi: 0, bh: 0, lk: true },
+        "bctr" => Bcctr { bo: 20, bi: 0, bh: 0, lk: false },
+        "bctrl" => Bcctr { bo: 20, bi: 0, bh: 0, lk: true },
+        "bclr" | "bclrl" => Bclr {
+            bo: ops.imm(0)? as u8,
+            bi: ops.imm(1)? as u8,
+            bh: 0,
+            lk: m == "bclrl",
+        },
+        "bcctr" | "bcctrl" => Bcctr {
+            bo: ops.imm(0)? as u8,
+            bi: ops.imm(1)? as u8,
+            bh: 0,
+            lk: m == "bcctrl",
+        },
+        // ---- CR ops -------------------------------------------------
+        "crand" | "cror" | "crxor" | "crnand" | "crnor" | "creqv" | "crandc" | "crorc" => {
+            let op = match m.as_str() {
+                "crand" => CrOp::And,
+                "cror" => CrOp::Or,
+                "crxor" => CrOp::Xor,
+                "crnand" => CrOp::Nand,
+                "crnor" => CrOp::Nor,
+                "creqv" => CrOp::Eqv,
+                "crandc" => CrOp::Andc,
+                _ => CrOp::Orc,
+            };
+            CrLogical {
+                op,
+                bt: ops.imm(0)? as u8,
+                ba: ops.imm(1)? as u8,
+                bb: ops.imm(2)? as u8,
+            }
+        }
+        "crclr" => {
+            let bt = ops.imm(0)? as u8;
+            CrLogical { op: CrOp::Xor, bt, ba: bt, bb: bt }
+        }
+        "crset" => {
+            let bt = ops.imm(0)? as u8;
+            CrLogical { op: CrOp::Eqv, bt, ba: bt, bb: bt }
+        }
+        "mcrf" => Mcrf {
+            bf: ops.crf(0)?,
+            bfa: ops.crf(1)?,
+        },
+        // ---- loads --------------------------------------------------
+        "lbz" | "lbzu" | "lhz" | "lhzu" | "lha" | "lhau" | "lwz" | "lwzu" | "lwa" | "ld"
+        | "ldu" => {
+            let rt = ops.reg(0)?;
+            let (d, ra) = ops.d_ra(1)?;
+            let (size, algebraic, update) = match m.as_str() {
+                "lbz" => (1, false, false),
+                "lbzu" => (1, false, true),
+                "lhz" => (2, false, false),
+                "lhzu" => (2, false, true),
+                "lha" => (2, true, false),
+                "lhau" => (2, true, true),
+                "lwz" => (4, false, false),
+                "lwzu" => (4, false, true),
+                "lwa" => (4, true, false),
+                "ld" => (8, false, false),
+                _ => (8, false, true),
+            };
+            Load {
+                size,
+                algebraic,
+                update,
+                byterev: false,
+                rt,
+                ra,
+                ea: Ea::D(d),
+            }
+        }
+        "lbzx" | "lbzux" | "lhzx" | "lhzux" | "lhax" | "lhaux" | "lwzx" | "lwzux" | "lwax"
+        | "lwaux" | "ldx" | "ldux" | "lhbrx" | "lwbrx" | "ldbrx" => {
+            let rt = ops.reg(0)?;
+            let ra = ops.reg(1)?;
+            let rb = ops.reg(2)?;
+            let (size, algebraic, update, byterev) = match m.as_str() {
+                "lbzx" => (1, false, false, false),
+                "lbzux" => (1, false, true, false),
+                "lhzx" => (2, false, false, false),
+                "lhzux" => (2, false, true, false),
+                "lhax" => (2, true, false, false),
+                "lhaux" => (2, true, true, false),
+                "lwzx" => (4, false, false, false),
+                "lwzux" => (4, false, true, false),
+                "lwax" => (4, true, false, false),
+                "lwaux" => (4, true, true, false),
+                "ldx" => (8, false, false, false),
+                "ldux" => (8, false, true, false),
+                "lhbrx" => (2, false, false, true),
+                "lwbrx" => (4, false, false, true),
+                _ => (8, false, false, true),
+            };
+            Load {
+                size,
+                algebraic,
+                update,
+                byterev,
+                rt,
+                ra,
+                ea: Ea::Rb(rb),
+            }
+        }
+        // ---- stores -------------------------------------------------
+        "stb" | "stbu" | "sth" | "sthu" | "stw" | "stwu" | "std" | "stdu" => {
+            let rs = ops.reg(0)?;
+            let (d, ra) = ops.d_ra(1)?;
+            let (size, update) = match m.as_str() {
+                "stb" => (1, false),
+                "stbu" => (1, true),
+                "sth" => (2, false),
+                "sthu" => (2, true),
+                "stw" => (4, false),
+                "stwu" => (4, true),
+                "std" => (8, false),
+                _ => (8, true),
+            };
+            Store {
+                size,
+                update,
+                byterev: false,
+                rs,
+                ra,
+                ea: Ea::D(d),
+            }
+        }
+        "stbx" | "stbux" | "sthx" | "sthux" | "stwx" | "stwux" | "stdx" | "stdux" | "sthbrx"
+        | "stwbrx" | "stdbrx" => {
+            let rs = ops.reg(0)?;
+            let ra = ops.reg(1)?;
+            let rb = ops.reg(2)?;
+            let (size, update, byterev) = match m.as_str() {
+                "stbx" => (1, false, false),
+                "stbux" => (1, true, false),
+                "sthx" => (2, false, false),
+                "sthux" => (2, true, false),
+                "stwx" => (4, false, false),
+                "stwux" => (4, true, false),
+                "stdx" => (8, false, false),
+                "stdux" => (8, true, false),
+                "sthbrx" => (2, false, true),
+                "stwbrx" => (4, false, true),
+                _ => (8, false, true),
+            };
+            Store {
+                size,
+                update,
+                byterev,
+                rs,
+                ra,
+                ea: Ea::Rb(rb),
+            }
+        }
+        "lmw" => {
+            let rt = ops.reg(0)?;
+            let (d, ra) = ops.d_ra(1)?;
+            Lmw { rt, ra, d }
+        }
+        "stmw" => {
+            let rs = ops.reg(0)?;
+            let (d, ra) = ops.d_ra(1)?;
+            Stmw { rs, ra, d }
+        }
+        "lswi" => Lswi {
+            rt: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            nb: ops.imm(2)? as u8,
+        },
+        "stswi" => Stswi {
+            rs: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            nb: ops.imm(2)? as u8,
+        },
+        "lwarx" => Larx {
+            size: 4,
+            rt: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            rb: ops.reg(2)?,
+        },
+        "ldarx" => Larx {
+            size: 8,
+            rt: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            rb: ops.reg(2)?,
+        },
+        "stwcx." => Stcx {
+            size: 4,
+            rs: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            rb: ops.reg(2)?,
+        },
+        "stdcx." => Stcx {
+            size: 8,
+            rs: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            rb: ops.reg(2)?,
+        },
+        // ---- arithmetic ---------------------------------------------
+        "addi" => Addi {
+            rt: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            si: ops.imm(2)? as i32,
+        },
+        "addis" => Addis {
+            rt: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            si: ops.imm(2)? as i32,
+        },
+        "li" => Addi {
+            rt: ops.reg(0)?,
+            ra: 0,
+            si: ops.imm(1)? as i32,
+        },
+        "lis" => Addis {
+            rt: ops.reg(0)?,
+            ra: 0,
+            si: ops.imm(1)? as i32,
+        },
+        "addic" => Addic {
+            rt: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            si: ops.imm(2)? as i32,
+            rc: false,
+        },
+        "addic." => Addic {
+            rt: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            si: ops.imm(2)? as i32,
+            rc: true,
+        },
+        "subfic" => Subfic {
+            rt: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            si: ops.imm(2)? as i32,
+        },
+        "mulli" => Mulli {
+            rt: ops.reg(0)?,
+            ra: ops.reg(1)?,
+            si: ops.imm(2)? as i32,
+        },
+        _ if parse_arith(&m).is_some() => {
+            let (op, oe, rc) = parse_arith(&m).expect("checked");
+            let rt = ops.reg(0)?;
+            let ra = ops.reg(1)?;
+            let rb = if op.has_rb() { ops.reg(2)? } else { 0 };
+            Arith { op, rt, ra, rb, oe, rc }
+        }
+        // ---- compares -----------------------------------------------
+        "cmpw" | "cmpd" | "cmplw" | "cmpld" => {
+            let (crf, base) = if ops.len() == 3 {
+                (ops.crf(0)?, 1)
+            } else {
+                (0, 0)
+            };
+            let ra = ops.reg(base)?;
+            let rb = ops.reg(base + 1)?;
+            let l = m.ends_with('d');
+            if m.starts_with("cmpl") {
+                Cmpl { bf: crf, l, ra, rb }
+            } else {
+                Cmp { bf: crf, l, ra, rb }
+            }
+        }
+        "cmpwi" | "cmpdi" => {
+            let (crf, base) = if ops.len() == 3 {
+                (ops.crf(0)?, 1)
+            } else {
+                (0, 0)
+            };
+            Cmpi {
+                bf: crf,
+                l: m == "cmpdi",
+                ra: ops.reg(base)?,
+                si: ops.imm(base + 1)? as i32,
+            }
+        }
+        "cmplwi" | "cmpldi" => {
+            let (crf, base) = if ops.len() == 3 {
+                (ops.crf(0)?, 1)
+            } else {
+                (0, 0)
+            };
+            Cmpli {
+                bf: crf,
+                l: m == "cmpldi",
+                ra: ops.reg(base)?,
+                ui: ops.uimm(base + 1)?,
+            }
+        }
+        "cmp" => Cmp {
+            bf: ops.crf(0)?,
+            l: ops.imm(1)? == 1,
+            ra: ops.reg(2)?,
+            rb: ops.reg(3)?,
+        },
+        "cmpl" => Cmpl {
+            bf: ops.crf(0)?,
+            l: ops.imm(1)? == 1,
+            ra: ops.reg(2)?,
+            rb: ops.reg(3)?,
+        },
+        "cmpi" => Cmpi {
+            bf: ops.crf(0)?,
+            l: ops.imm(1)? == 1,
+            ra: ops.reg(2)?,
+            si: ops.imm(3)? as i32,
+        },
+        "cmpli" => Cmpli {
+            bf: ops.crf(0)?,
+            l: ops.imm(1)? == 1,
+            ra: ops.reg(2)?,
+            ui: ops.uimm(3)?,
+        },
+        // ---- logical ------------------------------------------------
+        "andi." => LogImm {
+            op: LogImmOp::Andi,
+            rs: ops.reg(1)?,
+            ra: ops.reg(0)?,
+            ui: ops.uimm(2)?,
+        },
+        "andis." => LogImm {
+            op: LogImmOp::Andis,
+            rs: ops.reg(1)?,
+            ra: ops.reg(0)?,
+            ui: ops.uimm(2)?,
+        },
+        "ori" | "oris" | "xori" | "xoris" => {
+            let op = match m.as_str() {
+                "ori" => LogImmOp::Ori,
+                "oris" => LogImmOp::Oris,
+                "xori" => LogImmOp::Xori,
+                _ => LogImmOp::Xoris,
+            };
+            LogImm {
+                op,
+                rs: ops.reg(1)?,
+                ra: ops.reg(0)?,
+                ui: ops.uimm(2)?,
+            }
+        }
+        "nop" => LogImm {
+            op: LogImmOp::Ori,
+            rs: 0,
+            ra: 0,
+            ui: 0,
+        },
+        "mr" => {
+            let ra = ops.reg(0)?;
+            let rs = ops.reg(1)?;
+            Logical {
+                op: LogOp::Or,
+                rs,
+                ra,
+                rb: rs,
+                rc: false,
+            }
+        }
+        "and" | "and." | "or" | "or." | "xor" | "xor." | "nand" | "nand." | "nor" | "nor."
+        | "eqv" | "eqv." | "andc" | "andc." | "orc" | "orc." => {
+            let rc = m.ends_with('.');
+            let base = m.trim_end_matches('.');
+            let op = match base {
+                "and" => LogOp::And,
+                "or" => LogOp::Or,
+                "xor" => LogOp::Xor,
+                "nand" => LogOp::Nand,
+                "nor" => LogOp::Nor,
+                "eqv" => LogOp::Eqv,
+                "andc" => LogOp::Andc,
+                _ => LogOp::Orc,
+            };
+            Logical {
+                op,
+                ra: ops.reg(0)?,
+                rs: ops.reg(1)?,
+                rb: ops.reg(2)?,
+                rc,
+            }
+        }
+        "extsb" | "extsb." | "extsh" | "extsh." | "extsw" | "extsw." | "cntlzw" | "cntlzw."
+        | "cntlzd" | "cntlzd." | "popcntb" => {
+            let rc = m.ends_with('.');
+            let base = m.trim_end_matches('.');
+            let op = match base {
+                "extsb" => UnaryOp::Extsb,
+                "extsh" => UnaryOp::Extsh,
+                "extsw" => UnaryOp::Extsw,
+                "cntlzw" => UnaryOp::Cntlzw,
+                "cntlzd" => UnaryOp::Cntlzd,
+                _ => UnaryOp::Popcntb,
+            };
+            Unary {
+                op,
+                ra: ops.reg(0)?,
+                rs: ops.reg(1)?,
+                rc,
+            }
+        }
+        // ---- rotates / shifts --------------------------------------
+        "rlwinm" | "rlwinm." => Rlwinm {
+            ra: ops.reg(0)?,
+            rs: ops.reg(1)?,
+            sh: ops.imm(2)? as u8,
+            mb: ops.imm(3)? as u8,
+            me: ops.imm(4)? as u8,
+            rc: m.ends_with('.'),
+        },
+        "rlwnm" | "rlwnm." => Rlwnm {
+            ra: ops.reg(0)?,
+            rs: ops.reg(1)?,
+            rb: ops.reg(2)?,
+            mb: ops.imm(3)? as u8,
+            me: ops.imm(4)? as u8,
+            rc: m.ends_with('.'),
+        },
+        "rlwimi" | "rlwimi." => Rlwimi {
+            ra: ops.reg(0)?,
+            rs: ops.reg(1)?,
+            sh: ops.imm(2)? as u8,
+            mb: ops.imm(3)? as u8,
+            me: ops.imm(4)? as u8,
+            rc: m.ends_with('.'),
+        },
+        "rldicl" | "rldicl." | "rldicr" | "rldicr." | "rldic" | "rldic." | "rldimi"
+        | "rldimi." => {
+            let rc = m.ends_with('.');
+            let base = m.trim_end_matches('.');
+            let op = match base {
+                "rldicl" => RldOp::Icl,
+                "rldicr" => RldOp::Icr,
+                "rldic" => RldOp::Ic,
+                _ => RldOp::Imi,
+            };
+            Rld {
+                op,
+                ra: ops.reg(0)?,
+                rs: ops.reg(1)?,
+                sh: ops.imm(2)? as u8,
+                mbe: ops.imm(3)? as u8,
+                rc,
+            }
+        }
+        "rldcl" | "rldcl." | "rldcr" | "rldcr." => {
+            let rc = m.ends_with('.');
+            let op = if m.starts_with("rldcl") {
+                RldcOp::Cl
+            } else {
+                RldcOp::Cr
+            };
+            Rldc {
+                op,
+                ra: ops.reg(0)?,
+                rs: ops.reg(1)?,
+                rb: ops.reg(2)?,
+                mbe: ops.imm(3)? as u8,
+                rc,
+            }
+        }
+        "slw" | "slw." | "srw" | "srw." | "sraw" | "sraw." | "sld" | "sld." | "srd" | "srd."
+        | "srad" | "srad." => {
+            let rc = m.ends_with('.');
+            let base = m.trim_end_matches('.');
+            let op = match base {
+                "slw" => ShiftOp::Slw,
+                "srw" => ShiftOp::Srw,
+                "sraw" => ShiftOp::Sraw,
+                "sld" => ShiftOp::Sld,
+                "srd" => ShiftOp::Srd,
+                _ => ShiftOp::Srad,
+            };
+            Shift {
+                op,
+                ra: ops.reg(0)?,
+                rs: ops.reg(1)?,
+                rb: ops.reg(2)?,
+                rc,
+            }
+        }
+        "srawi" | "srawi." => Srawi {
+            ra: ops.reg(0)?,
+            rs: ops.reg(1)?,
+            sh: ops.imm(2)? as u8,
+            rc: m.ends_with('.'),
+        },
+        "sradi" | "sradi." => Sradi {
+            ra: ops.reg(0)?,
+            rs: ops.reg(1)?,
+            sh: ops.imm(2)? as u8,
+            rc: m.ends_with('.'),
+        },
+        // ---- system registers --------------------------------------
+        "mflr" => Mfspr { rt: ops.reg(0)?, spr: SprName::Lr },
+        "mfctr" => Mfspr { rt: ops.reg(0)?, spr: SprName::Ctr },
+        "mfxer" => Mfspr { rt: ops.reg(0)?, spr: SprName::Xer },
+        "mtlr" => Mtspr { spr: SprName::Lr, rs: ops.reg(0)? },
+        "mtctr" => Mtspr { spr: SprName::Ctr, rs: ops.reg(0)? },
+        "mtxer" => Mtspr { spr: SprName::Xer, rs: ops.reg(0)? },
+        "mfcr" => Mfcr { rt: ops.reg(0)? },
+        "mtcrf" => Mtcrf {
+            fxm: ops.imm(0)? as u8,
+            rs: ops.reg(1)?,
+        },
+        "mtocrf" => {
+            // Accept both `mtocrf FXM,RS` and `mtocrf crN,RS`.
+            let fxm = match ops.ops.first() {
+                Some(s) if s.starts_with("cr") => {
+                    let n = parse_crf(s).ok_or_else(|| ops.bad())?;
+                    0x80 >> n
+                }
+                _ => ops.imm(0)? as u8,
+            };
+            Mtocrf { fxm, rs: ops.reg(1)? }
+        }
+        "mfocrf" => {
+            let fxm = match ops.ops.get(1) {
+                Some(s) if s.starts_with("cr") => {
+                    let n = parse_crf(s).ok_or_else(|| ops.bad())?;
+                    0x80 >> n
+                }
+                _ => ops.imm(1)? as u8,
+            };
+            Mfocrf { rt: ops.reg(0)?, fxm }
+        }
+        // ---- barriers -----------------------------------------------
+        "sync" | "hwsync" => Sync { l: 0 },
+        "lwsync" => Sync { l: 1 },
+        "eieio" => Eieio,
+        "isync" => Isync,
+        _ => return Err(AsmError::UnknownMnemonic(m)),
+    };
+    Ok(i)
+}
+
+fn parse_arith(m: &str) -> Option<(ArithOp, bool, bool)> {
+    let rc = m.ends_with('.');
+    let m = m.trim_end_matches('.');
+    // No base mnemonic in this family ends in `o`, so a trailing `o`
+    // always means OE=1.
+    let (base, oe) = match m.strip_suffix('o') {
+        Some(base) => (base, true),
+        None => (m, false),
+    };
+    let op = match base {
+        "add" => ArithOp::Add,
+        "subf" | "sub" => ArithOp::Subf,
+        "addc" => ArithOp::Addc,
+        "subfc" => ArithOp::Subfc,
+        "adde" => ArithOp::Adde,
+        "subfe" => ArithOp::Subfe,
+        "addme" => ArithOp::Addme,
+        "subfme" => ArithOp::Subfme,
+        "addze" => ArithOp::Addze,
+        "subfze" => ArithOp::Subfze,
+        "neg" => ArithOp::Neg,
+        "mullw" => ArithOp::Mullw,
+        "mulhw" => ArithOp::Mulhw,
+        "mulhwu" => ArithOp::Mulhwu,
+        "mulld" => ArithOp::Mulld,
+        "mulhd" => ArithOp::Mulhd,
+        "mulhdu" => ArithOp::Mulhdu,
+        "divw" => ArithOp::Divw,
+        "divwu" => ArithOp::Divwu,
+        "divd" => ArithOp::Divd,
+        "divdu" => ArithOp::Divdu,
+        _ => return None,
+    };
+    if oe && !op.has_oe() {
+        return None;
+    }
+    Some((op, oe, rc))
+}
+
+impl Instruction {
+    /// Render as assembly text (canonical operand order).
+    #[must_use]
+    pub fn to_asm(&self) -> String {
+        use Instruction::*;
+        let m = self.mnemonic();
+        match self {
+            B { li, .. } => format!("{m} {}", (*li as i64) << 2),
+            Bc { bo, bi, bd, .. } => format!("{m} {bo},{bi},{}", (*bd as i64) << 2),
+            Bclr { bo, bi, .. } => format!("{m} {bo},{bi}"),
+            Bcctr { bo, bi, .. } => format!("{m} {bo},{bi}"),
+            CrLogical { bt, ba, bb, .. } => format!("{m} {bt},{ba},{bb}"),
+            Mcrf { bf, bfa } => format!("{m} cr{bf},cr{bfa}"),
+            Load { rt, ra, ea, .. } => match ea {
+                Ea::D(d) => format!("{m} r{rt},{d}(r{ra})"),
+                Ea::Rb(rb) => format!("{m} r{rt},r{ra},r{rb}"),
+            },
+            Store { rs, ra, ea, .. } => match ea {
+                Ea::D(d) => format!("{m} r{rs},{d}(r{ra})"),
+                Ea::Rb(rb) => format!("{m} r{rs},r{ra},r{rb}"),
+            },
+            Lmw { rt, ra, d } => format!("{m} r{rt},{d}(r{ra})"),
+            Stmw { rs, ra, d } => format!("{m} r{rs},{d}(r{ra})"),
+            Lswi { rt, ra, nb } => format!("{m} r{rt},r{ra},{nb}"),
+            Stswi { rs, ra, nb } => format!("{m} r{rs},r{ra},{nb}"),
+            Larx { rt, ra, rb, .. } => format!("{m} r{rt},r{ra},r{rb}"),
+            Stcx { rs, ra, rb, .. } => format!("{m} r{rs},r{ra},r{rb}"),
+            Addi { rt, ra, si } | Addis { rt, ra, si } => format!("{m} r{rt},r{ra},{si}"),
+            Addic { rt, ra, si, .. } | Subfic { rt, ra, si } | Mulli { rt, ra, si } => {
+                format!("{m} r{rt},r{ra},{si}")
+            }
+            Arith { op, rt, ra, rb, .. } => {
+                if op.has_rb() {
+                    format!("{m} r{rt},r{ra},r{rb}")
+                } else {
+                    format!("{m} r{rt},r{ra}")
+                }
+            }
+            Cmpi { bf, l, ra, si } => format!("cmpi cr{bf},{},r{ra},{si}", u8::from(*l)),
+            Cmp { bf, l, ra, rb } => format!("cmp cr{bf},{},r{ra},r{rb}", u8::from(*l)),
+            Cmpli { bf, l, ra, ui } => format!("cmpli cr{bf},{},r{ra},{ui}", u8::from(*l)),
+            Cmpl { bf, l, ra, rb } => format!("cmpl cr{bf},{},r{ra},r{rb}", u8::from(*l)),
+            LogImm { rs, ra, ui, .. } => format!("{m} r{ra},r{rs},{ui}"),
+            Logical { rs, ra, rb, .. } => format!("{m} r{ra},r{rs},r{rb}"),
+            Unary { rs, ra, .. } => format!("{m} r{ra},r{rs}"),
+            Rlwinm { rs, ra, sh, mb, me, .. } | Rlwimi { rs, ra, sh, mb, me, .. } => {
+                format!("{m} r{ra},r{rs},{sh},{mb},{me}")
+            }
+            Rlwnm { rs, ra, rb, mb, me, .. } => format!("{m} r{ra},r{rs},r{rb},{mb},{me}"),
+            Rld { rs, ra, sh, mbe, .. } => format!("{m} r{ra},r{rs},{sh},{mbe}"),
+            Rldc { rs, ra, rb, mbe, .. } => format!("{m} r{ra},r{rs},r{rb},{mbe}"),
+            Shift { rs, ra, rb, .. } => format!("{m} r{ra},r{rs},r{rb}"),
+            Srawi { rs, ra, sh, .. } | Sradi { rs, ra, sh, .. } => {
+                format!("{m} r{ra},r{rs},{sh}")
+            }
+            Mfspr { rt, .. } => format!("{m} r{rt}"),
+            Mtspr { rs, .. } => format!("{m} r{rs}"),
+            Mfcr { rt } => format!("{m} r{rt}"),
+            Mfocrf { rt, fxm } => format!("{m} r{rt},{fxm}"),
+            Mtcrf { fxm, rs } | Mtocrf { fxm, rs } => format!("{m} {fxm},r{rs}"),
+            Sync { .. } | Eieio | Isync => m,
+        }
+    }
+}

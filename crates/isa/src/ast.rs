@@ -1,0 +1,637 @@
+//! The instruction abstract-syntax type (the paper's Sail `ast` union),
+//! covering the user-mode Branch Facility and Fixed-Point Facility of
+//! Power ISA 2.06B, the Book II barriers, and the load-reserve /
+//! store-conditional pairs.
+//!
+//! Families with regular structure (loads, stores, XO-form arithmetic,
+//! X-form logicals, …) are represented parametrically; the inventory
+//! module expands them back into the individual underlying instructions
+//! for coverage counting against the paper's §4.1.
+
+use std::fmt;
+
+/// A special-purpose register accessible from user mode via
+/// `mfspr`/`mtspr`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SprName {
+    /// The fixed-point exception register (SPR 1).
+    Xer,
+    /// The link register (SPR 8).
+    Lr,
+    /// The count register (SPR 9).
+    Ctr,
+}
+
+impl SprName {
+    /// The architected SPR number.
+    #[must_use]
+    pub fn number(self) -> u32 {
+        match self {
+            SprName::Xer => 1,
+            SprName::Lr => 8,
+            SprName::Ctr => 9,
+        }
+    }
+
+    /// Decode an SPR number.
+    #[must_use]
+    pub fn from_number(n: u32) -> Option<Self> {
+        match n {
+            1 => Some(SprName::Xer),
+            8 => Some(SprName::Lr),
+            9 => Some(SprName::Ctr),
+            _ => None,
+        }
+    }
+
+    /// The corresponding model register.
+    #[must_use]
+    pub fn reg(self) -> ppc_idl::Reg {
+        match self {
+            SprName::Xer => ppc_idl::Reg::Xer,
+            SprName::Lr => ppc_idl::Reg::Lr,
+            SprName::Ctr => ppc_idl::Reg::Ctr,
+        }
+    }
+}
+
+/// The effective-address operand of a load or store: a signed byte
+/// displacement (D/DS-form) or an index register (X-form).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Ea {
+    /// D-form / DS-form displacement in bytes (DS-form values are already
+    /// scaled; encode checks 4-byte alignment for DS forms).
+    D(i32),
+    /// X-form index register `RB`.
+    Rb(u8),
+}
+
+/// Condition-register logical operations (XL-form, opcode 19).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrOp {
+    /// `crand`
+    And,
+    /// `cror`
+    Or,
+    /// `crxor`
+    Xor,
+    /// `crnand`
+    Nand,
+    /// `crnor`
+    Nor,
+    /// `creqv`
+    Eqv,
+    /// `crandc`
+    Andc,
+    /// `crorc`
+    Orc,
+}
+
+/// XO-form (and related) register-register arithmetic operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `add RT,RA,RB`
+    Add,
+    /// `subf RT,RA,RB` (RB − RA)
+    Subf,
+    /// `addc` (carrying)
+    Addc,
+    /// `subfc`
+    Subfc,
+    /// `adde` (extended: + CA)
+    Adde,
+    /// `subfe`
+    Subfe,
+    /// `addme RT,RA` (add minus one extended)
+    Addme,
+    /// `subfme`
+    Subfme,
+    /// `addze RT,RA` (add zero extended)
+    Addze,
+    /// `subfze`
+    Subfze,
+    /// `neg RT,RA`
+    Neg,
+    /// `mullw`
+    Mullw,
+    /// `mulhw` (no OE)
+    Mulhw,
+    /// `mulhwu` (no OE)
+    Mulhwu,
+    /// `mulld`
+    Mulld,
+    /// `mulhd` (no OE)
+    Mulhd,
+    /// `mulhdu` (no OE)
+    Mulhdu,
+    /// `divw`
+    Divw,
+    /// `divwu`
+    Divwu,
+    /// `divd`
+    Divd,
+    /// `divdu`
+    Divdu,
+}
+
+impl ArithOp {
+    /// Whether the operation has an RB operand.
+    #[must_use]
+    pub fn has_rb(self) -> bool {
+        !matches!(
+            self,
+            ArithOp::Addme | ArithOp::Subfme | ArithOp::Addze | ArithOp::Subfze | ArithOp::Neg
+        )
+    }
+
+    /// Whether an `o` (OE=1) variant exists.
+    #[must_use]
+    pub fn has_oe(self) -> bool {
+        !matches!(
+            self,
+            ArithOp::Mulhw | ArithOp::Mulhwu | ArithOp::Mulhd | ArithOp::Mulhdu
+        )
+    }
+}
+
+/// D-form logical-immediate operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LogImmOp {
+    /// `andi.` (always records)
+    Andi,
+    /// `andis.`
+    Andis,
+    /// `ori`
+    Ori,
+    /// `oris`
+    Oris,
+    /// `xori`
+    Xori,
+    /// `xoris`
+    Xoris,
+}
+
+/// X-form register-register logical operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LogOp {
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `xor`
+    Xor,
+    /// `nand`
+    Nand,
+    /// `nor`
+    Nor,
+    /// `eqv`
+    Eqv,
+    /// `andc`
+    Andc,
+    /// `orc`
+    Orc,
+}
+
+/// X-form unary operations on `RS` into `RA`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `extsb`
+    Extsb,
+    /// `extsh`
+    Extsh,
+    /// `extsw`
+    Extsw,
+    /// `cntlzw`
+    Cntlzw,
+    /// `cntlzd`
+    Cntlzd,
+    /// `popcntb` (no record form)
+    Popcntb,
+}
+
+/// MD-form 64-bit rotates with immediate shift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RldOp {
+    /// `rldicl` (clear left)
+    Icl,
+    /// `rldicr` (clear right)
+    Icr,
+    /// `rldic` (clear)
+    Ic,
+    /// `rldimi` (insert)
+    Imi,
+}
+
+/// MDS-form 64-bit rotates with register shift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RldcOp {
+    /// `rldcl`
+    Cl,
+    /// `rldcr`
+    Cr,
+}
+
+/// X-form register-amount shifts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// `slw`
+    Slw,
+    /// `srw`
+    Srw,
+    /// `sraw`
+    Sraw,
+    /// `sld`
+    Sld,
+    /// `srd`
+    Srd,
+    /// `srad`
+    Srad,
+}
+
+/// A decoded POWER instruction.
+///
+/// Field names follow the vendor documentation (`RT`, `RA`, `RS`, `BO`,
+/// `BI`, …). Displacements are stored as signed byte offsets.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field meanings follow the vendor manual
+pub enum Instruction {
+    /// `b/ba/bl/bla` — I-form unconditional branch; `li` is the signed
+    /// 24-bit word displacement field (byte offset = `li << 2`).
+    B { li: i32, aa: bool, lk: bool },
+    /// `bc/bca/bcl/bcla` — B-form conditional branch; `bd` is the signed
+    /// 14-bit word displacement field.
+    Bc { bo: u8, bi: u8, bd: i16, aa: bool, lk: bool },
+    /// `bclr/bclrl` — branch conditional to link register.
+    Bclr { bo: u8, bi: u8, bh: u8, lk: bool },
+    /// `bcctr/bcctrl` — branch conditional to count register.
+    Bcctr { bo: u8, bi: u8, bh: u8, lk: bool },
+    /// CR-logical (crand, cror, …).
+    CrLogical { op: CrOp, bt: u8, ba: u8, bb: u8 },
+    /// `mcrf BF,BFA` — move CR field.
+    Mcrf { bf: u8, bfa: u8 },
+
+    /// Fixed-point load: `size` ∈ {1,2,4,8}; `algebraic` sign-extends;
+    /// `update` writes the EA back to RA; `byterev` is the `l?brx` family.
+    Load {
+        size: u8,
+        algebraic: bool,
+        update: bool,
+        byterev: bool,
+        rt: u8,
+        ra: u8,
+        ea: Ea,
+    },
+    /// Fixed-point store (same axes as `Load`).
+    Store {
+        size: u8,
+        update: bool,
+        byterev: bool,
+        rs: u8,
+        ra: u8,
+        ea: Ea,
+    },
+    /// `lmw RT,D(RA)` — load multiple word.
+    Lmw { rt: u8, ra: u8, d: i32 },
+    /// `stmw RS,D(RA)` — store multiple word.
+    Stmw { rs: u8, ra: u8, d: i32 },
+    /// `lswi RT,RA,NB` — load string word immediate.
+    Lswi { rt: u8, ra: u8, nb: u8 },
+    /// `stswi RS,RA,NB` — store string word immediate.
+    Stswi { rs: u8, ra: u8, nb: u8 },
+    /// `lwarx/ldarx` — load and reserve.
+    Larx { size: u8, rt: u8, ra: u8, rb: u8 },
+    /// `stwcx./stdcx.` — store conditional (always records CR0).
+    Stcx { size: u8, rs: u8, ra: u8, rb: u8 },
+
+    /// `addi RT,RA,SI`.
+    Addi { rt: u8, ra: u8, si: i32 },
+    /// `addis RT,RA,SI`.
+    Addis { rt: u8, ra: u8, si: i32 },
+    /// `addic / addic. RT,RA,SI`.
+    Addic { rt: u8, ra: u8, si: i32, rc: bool },
+    /// `subfic RT,RA,SI`.
+    Subfic { rt: u8, ra: u8, si: i32 },
+    /// `mulli RT,RA,SI`.
+    Mulli { rt: u8, ra: u8, si: i32 },
+    /// XO-form arithmetic.
+    Arith {
+        op: ArithOp,
+        rt: u8,
+        ra: u8,
+        rb: u8,
+        oe: bool,
+        rc: bool,
+    },
+    /// `cmpi BF,L,RA,SI`.
+    Cmpi { bf: u8, l: bool, ra: u8, si: i32 },
+    /// `cmp BF,L,RA,RB`.
+    Cmp { bf: u8, l: bool, ra: u8, rb: u8 },
+    /// `cmpli BF,L,RA,UI`.
+    Cmpli { bf: u8, l: bool, ra: u8, ui: u32 },
+    /// `cmpl BF,L,RA,RB`.
+    Cmpl { bf: u8, l: bool, ra: u8, rb: u8 },
+
+    /// D-form logical immediate.
+    LogImm { op: LogImmOp, rs: u8, ra: u8, ui: u32 },
+    /// X-form logical.
+    Logical {
+        op: LogOp,
+        rs: u8,
+        ra: u8,
+        rb: u8,
+        rc: bool,
+    },
+    /// X-form unary (sign-extension / count / popcount).
+    Unary { op: UnaryOp, rs: u8, ra: u8, rc: bool },
+
+    /// `rlwinm RA,RS,SH,MB,ME`.
+    Rlwinm { rs: u8, ra: u8, sh: u8, mb: u8, me: u8, rc: bool },
+    /// `rlwnm RA,RS,RB,MB,ME`.
+    Rlwnm { rs: u8, ra: u8, rb: u8, mb: u8, me: u8, rc: bool },
+    /// `rlwimi RA,RS,SH,MB,ME`.
+    Rlwimi { rs: u8, ra: u8, sh: u8, mb: u8, me: u8, rc: bool },
+    /// MD-form 64-bit rotate with immediate shift; `mbe` is the 6-bit
+    /// MB or ME field.
+    Rld { op: RldOp, rs: u8, ra: u8, sh: u8, mbe: u8, rc: bool },
+    /// MDS-form 64-bit rotate with register shift.
+    Rldc { op: RldcOp, rs: u8, ra: u8, rb: u8, mbe: u8, rc: bool },
+    /// X-form shifts with register amount.
+    Shift {
+        op: ShiftOp,
+        rs: u8,
+        ra: u8,
+        rb: u8,
+        rc: bool,
+    },
+    /// `srawi RA,RS,SH`.
+    Srawi { rs: u8, ra: u8, sh: u8, rc: bool },
+    /// `sradi RA,RS,SH` (SH is 6 bits).
+    Sradi { rs: u8, ra: u8, sh: u8, rc: bool },
+
+    /// `mfspr RT,SPR`.
+    Mfspr { rt: u8, spr: SprName },
+    /// `mtspr SPR,RS`.
+    Mtspr { spr: SprName, rs: u8 },
+    /// `mfcr RT`.
+    Mfcr { rt: u8 },
+    /// `mfocrf RT,FXM` (one-hot FXM).
+    Mfocrf { rt: u8, fxm: u8 },
+    /// `mtcrf FXM,RS`.
+    Mtcrf { fxm: u8, rs: u8 },
+    /// `mtocrf FXM,RS` (one-hot FXM).
+    Mtocrf { fxm: u8, rs: u8 },
+
+    /// `sync` (L=0) / `lwsync` (L=1).
+    Sync { l: u8 },
+    /// `eieio`.
+    Eieio,
+    /// `isync`.
+    Isync,
+}
+
+impl Instruction {
+    /// The canonical mnemonic (with `.`/`o` suffixes), e.g. `"addo."`.
+    #[must_use]
+    pub fn mnemonic(&self) -> String {
+        use Instruction::*;
+        fn rc_s(rc: bool) -> &'static str {
+            if rc {
+                "."
+            } else {
+                ""
+            }
+        }
+        match self {
+            B { aa, lk, .. } => format!(
+                "b{}{}",
+                if *lk { "l" } else { "" },
+                if *aa { "a" } else { "" }
+            ),
+            Bc { aa, lk, .. } => format!(
+                "bc{}{}",
+                if *lk { "l" } else { "" },
+                if *aa { "a" } else { "" }
+            ),
+            Bclr { lk, .. } => format!("bclr{}", if *lk { "l" } else { "" }),
+            Bcctr { lk, .. } => format!("bcctr{}", if *lk { "l" } else { "" }),
+            CrLogical { op, .. } => match op {
+                CrOp::And => "crand",
+                CrOp::Or => "cror",
+                CrOp::Xor => "crxor",
+                CrOp::Nand => "crnand",
+                CrOp::Nor => "crnor",
+                CrOp::Eqv => "creqv",
+                CrOp::Andc => "crandc",
+                CrOp::Orc => "crorc",
+            }
+            .to_owned(),
+            Mcrf { .. } => "mcrf".to_owned(),
+            Load {
+                size,
+                algebraic,
+                update,
+                byterev,
+                ea,
+                ..
+            } => {
+                let base = match (size, algebraic, byterev) {
+                    (1, false, false) => "lbz",
+                    (2, false, false) => "lhz",
+                    (2, true, false) => "lha",
+                    (2, false, true) => "lhbrx",
+                    (4, false, false) => "lwz",
+                    (4, true, false) => "lwa",
+                    (4, false, true) => "lwbrx",
+                    (8, false, false) => "ld",
+                    (8, false, true) => "ldbrx",
+                    _ => "l?",
+                };
+                if *byterev {
+                    base.to_owned()
+                } else {
+                    format!(
+                        "{base}{}{}",
+                        if *update { "u" } else { "" },
+                        if matches!(ea, Ea::Rb(_)) { "x" } else { "" }
+                    )
+                }
+            }
+            Store {
+                size,
+                update,
+                byterev,
+                ea,
+                ..
+            } => {
+                let base = match (size, byterev) {
+                    (1, false) => "stb",
+                    (2, false) => "sth",
+                    (2, true) => "sthbrx",
+                    (4, false) => "stw",
+                    (4, true) => "stwbrx",
+                    (8, false) => "std",
+                    (8, true) => "stdbrx",
+                    _ => "st?",
+                };
+                if *byterev {
+                    base.to_owned()
+                } else {
+                    format!(
+                        "{base}{}{}",
+                        if *update { "u" } else { "" },
+                        if matches!(ea, Ea::Rb(_)) { "x" } else { "" }
+                    )
+                }
+            }
+            Lmw { .. } => "lmw".to_owned(),
+            Stmw { .. } => "stmw".to_owned(),
+            Lswi { .. } => "lswi".to_owned(),
+            Stswi { .. } => "stswi".to_owned(),
+            Larx { size, .. } => if *size == 4 { "lwarx" } else { "ldarx" }.to_owned(),
+            Stcx { size, .. } => if *size == 4 { "stwcx." } else { "stdcx." }.to_owned(),
+            Addi { .. } => "addi".to_owned(),
+            Addis { .. } => "addis".to_owned(),
+            Addic { rc, .. } => format!("addic{}", rc_s(*rc)),
+            Subfic { .. } => "subfic".to_owned(),
+            Mulli { .. } => "mulli".to_owned(),
+            Arith { op, oe, rc, .. } => {
+                let base = match op {
+                    ArithOp::Add => "add",
+                    ArithOp::Subf => "subf",
+                    ArithOp::Addc => "addc",
+                    ArithOp::Subfc => "subfc",
+                    ArithOp::Adde => "adde",
+                    ArithOp::Subfe => "subfe",
+                    ArithOp::Addme => "addme",
+                    ArithOp::Subfme => "subfme",
+                    ArithOp::Addze => "addze",
+                    ArithOp::Subfze => "subfze",
+                    ArithOp::Neg => "neg",
+                    ArithOp::Mullw => "mullw",
+                    ArithOp::Mulhw => "mulhw",
+                    ArithOp::Mulhwu => "mulhwu",
+                    ArithOp::Mulld => "mulld",
+                    ArithOp::Mulhd => "mulhd",
+                    ArithOp::Mulhdu => "mulhdu",
+                    ArithOp::Divw => "divw",
+                    ArithOp::Divwu => "divwu",
+                    ArithOp::Divd => "divd",
+                    ArithOp::Divdu => "divdu",
+                };
+                format!("{base}{}{}", if *oe { "o" } else { "" }, rc_s(*rc))
+            }
+            Cmpi { .. } => "cmpi".to_owned(),
+            Cmp { .. } => "cmp".to_owned(),
+            Cmpli { .. } => "cmpli".to_owned(),
+            Cmpl { .. } => "cmpl".to_owned(),
+            LogImm { op, .. } => match op {
+                LogImmOp::Andi => "andi.",
+                LogImmOp::Andis => "andis.",
+                LogImmOp::Ori => "ori",
+                LogImmOp::Oris => "oris",
+                LogImmOp::Xori => "xori",
+                LogImmOp::Xoris => "xoris",
+            }
+            .to_owned(),
+            Logical { op, rc, .. } => {
+                let base = match op {
+                    LogOp::And => "and",
+                    LogOp::Or => "or",
+                    LogOp::Xor => "xor",
+                    LogOp::Nand => "nand",
+                    LogOp::Nor => "nor",
+                    LogOp::Eqv => "eqv",
+                    LogOp::Andc => "andc",
+                    LogOp::Orc => "orc",
+                };
+                format!("{base}{}", rc_s(*rc))
+            }
+            Unary { op, rc, .. } => {
+                let base = match op {
+                    UnaryOp::Extsb => "extsb",
+                    UnaryOp::Extsh => "extsh",
+                    UnaryOp::Extsw => "extsw",
+                    UnaryOp::Cntlzw => "cntlzw",
+                    UnaryOp::Cntlzd => "cntlzd",
+                    UnaryOp::Popcntb => "popcntb",
+                };
+                format!("{base}{}", rc_s(*rc))
+            }
+            Rlwinm { rc, .. } => format!("rlwinm{}", rc_s(*rc)),
+            Rlwnm { rc, .. } => format!("rlwnm{}", rc_s(*rc)),
+            Rlwimi { rc, .. } => format!("rlwimi{}", rc_s(*rc)),
+            Rld { op, rc, .. } => {
+                let base = match op {
+                    RldOp::Icl => "rldicl",
+                    RldOp::Icr => "rldicr",
+                    RldOp::Ic => "rldic",
+                    RldOp::Imi => "rldimi",
+                };
+                format!("{base}{}", rc_s(*rc))
+            }
+            Rldc { op, rc, .. } => {
+                let base = match op {
+                    RldcOp::Cl => "rldcl",
+                    RldcOp::Cr => "rldcr",
+                };
+                format!("{base}{}", rc_s(*rc))
+            }
+            Shift { op, rc, .. } => {
+                let base = match op {
+                    ShiftOp::Slw => "slw",
+                    ShiftOp::Srw => "srw",
+                    ShiftOp::Sraw => "sraw",
+                    ShiftOp::Sld => "sld",
+                    ShiftOp::Srd => "srd",
+                    ShiftOp::Srad => "srad",
+                };
+                format!("{base}{}", rc_s(*rc))
+            }
+            Srawi { rc, .. } => format!("srawi{}", rc_s(*rc)),
+            Sradi { rc, .. } => format!("sradi{}", rc_s(*rc)),
+            Mfspr { spr, .. } => match spr {
+                SprName::Xer => "mfxer",
+                SprName::Lr => "mflr",
+                SprName::Ctr => "mfctr",
+            }
+            .to_owned(),
+            Mtspr { spr, .. } => match spr {
+                SprName::Xer => "mtxer",
+                SprName::Lr => "mtlr",
+                SprName::Ctr => "mtctr",
+            }
+            .to_owned(),
+            Mfcr { .. } => "mfcr".to_owned(),
+            Mfocrf { .. } => "mfocrf".to_owned(),
+            Mtcrf { .. } => "mtcrf".to_owned(),
+            Mtocrf { .. } => "mtocrf".to_owned(),
+            Sync { l } => if *l == 1 { "lwsync" } else { "sync" }.to_owned(),
+            Eieio => "eieio".to_owned(),
+            Isync => "isync".to_owned(),
+        }
+    }
+
+    /// Whether this instruction is architecturally *invalid* with these
+    /// fields (the paper's Sail `invalid` predicate; e.g. `stdu` with
+    /// `RA == 0`, or a load-with-update targeting its own base).
+    #[must_use]
+    pub fn is_invalid(&self) -> bool {
+        match self {
+            Instruction::Load {
+                update, rt, ra, ..
+            } => *update && (*ra == 0 || ra == rt),
+            Instruction::Store { update, ra, .. } => *update && *ra == 0,
+            // lmw is invalid if RA is in the range of registers loaded
+            // (RT..31).
+            Instruction::Lmw { rt, ra, .. } => ra >= rt,
+            Instruction::Lswi { rt, ra, .. } => ra == rt,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_asm())
+    }
+}

@@ -1,0 +1,459 @@
+//! Instruction decoding: 32-bit opcode → AST (the paper's Sail `decode`
+//! function, one clause per instruction in the vendor documentation).
+
+use crate::ast::*;
+use crate::encode::{xo19, xo31, xo31_arith};
+
+/// A decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// No instruction in the supported fragment matches this opcode.
+    Unsupported {
+        /// The offending word.
+        word: u32,
+    },
+    /// The opcode decodes to an instruction whose field combination is
+    /// architecturally invalid (the Sail `invalid` predicate).
+    InvalidForm {
+        /// The decoded-but-invalid instruction.
+        mnemonic: String,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Unsupported { word } => {
+                write!(f, "unsupported opcode 0x{word:08x}")
+            }
+            DecodeError::InvalidForm { mnemonic } => {
+                write!(f, "invalid instruction form for {mnemonic}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn bits(w: u32, start: usize, len: usize) -> u32 {
+    (w >> (32 - start - len)) & ((1 << len) - 1)
+}
+
+fn sext(v: u32, bits: usize) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Decode a 32-bit opcode.
+///
+/// # Errors
+///
+/// [`DecodeError::Unsupported`] for opcodes outside the modelled fragment
+/// and [`DecodeError::InvalidForm`] for invalid field combinations.
+pub fn decode(w: u32) -> Result<Instruction, DecodeError> {
+    let po = bits(w, 0, 6);
+    let rt = bits(w, 6, 5) as u8;
+    let ra = bits(w, 11, 5) as u8;
+    let rb = bits(w, 16, 5) as u8;
+    let rc = bits(w, 31, 1) == 1;
+    let d = sext(bits(w, 16, 16), 16);
+    let ui = bits(w, 16, 16);
+
+    let instr = match po {
+        7 => Instruction::Mulli { rt, ra, si: d },
+        8 => Instruction::Subfic { rt, ra, si: d },
+        10 => Instruction::Cmpli {
+            bf: rt >> 2,
+            l: rt & 1 == 1,
+            ra,
+            ui,
+        },
+        11 => Instruction::Cmpi {
+            bf: rt >> 2,
+            l: rt & 1 == 1,
+            ra,
+            si: d,
+        },
+        12 => Instruction::Addic { rt, ra, si: d, rc: false },
+        13 => Instruction::Addic { rt, ra, si: d, rc: true },
+        14 => Instruction::Addi { rt, ra, si: d },
+        15 => Instruction::Addis { rt, ra, si: d },
+        16 => Instruction::Bc {
+            bo: rt,
+            bi: ra,
+            bd: (sext(bits(w, 16, 14), 14)) as i16,
+            aa: bits(w, 30, 1) == 1,
+            lk: rc,
+        },
+        18 => Instruction::B {
+            li: sext(bits(w, 6, 24), 24),
+            aa: bits(w, 30, 1) == 1,
+            lk: rc,
+        },
+        19 => {
+            let xo = bits(w, 21, 10);
+            match xo {
+                xo19::MCRF => Instruction::Mcrf {
+                    bf: rt >> 2,
+                    bfa: ra >> 2,
+                },
+                xo19::BCLR => Instruction::Bclr {
+                    bo: rt,
+                    bi: ra,
+                    bh: bits(w, 19, 2) as u8,
+                    lk: rc,
+                },
+                xo19::BCCTR => Instruction::Bcctr {
+                    bo: rt,
+                    bi: ra,
+                    bh: bits(w, 19, 2) as u8,
+                    lk: rc,
+                },
+                xo19::ISYNC => Instruction::Isync,
+                xo19::CRAND => cr_op(CrOp::And, rt, ra, rb),
+                xo19::CROR => cr_op(CrOp::Or, rt, ra, rb),
+                xo19::CRXOR => cr_op(CrOp::Xor, rt, ra, rb),
+                xo19::CRNAND => cr_op(CrOp::Nand, rt, ra, rb),
+                xo19::CRNOR => cr_op(CrOp::Nor, rt, ra, rb),
+                xo19::CREQV => cr_op(CrOp::Eqv, rt, ra, rb),
+                xo19::CRANDC => cr_op(CrOp::Andc, rt, ra, rb),
+                xo19::CRORC => cr_op(CrOp::Orc, rt, ra, rb),
+                _ => return Err(DecodeError::Unsupported { word: w }),
+            }
+        }
+        20 => Instruction::Rlwimi {
+            rs: rt,
+            ra,
+            sh: rb,
+            mb: bits(w, 21, 5) as u8,
+            me: bits(w, 26, 5) as u8,
+            rc,
+        },
+        21 => Instruction::Rlwinm {
+            rs: rt,
+            ra,
+            sh: rb,
+            mb: bits(w, 21, 5) as u8,
+            me: bits(w, 26, 5) as u8,
+            rc,
+        },
+        23 => Instruction::Rlwnm {
+            rs: rt,
+            ra,
+            rb,
+            mb: bits(w, 21, 5) as u8,
+            me: bits(w, 26, 5) as u8,
+            rc,
+        },
+        24 => log_imm(LogImmOp::Ori, rt, ra, ui),
+        25 => log_imm(LogImmOp::Oris, rt, ra, ui),
+        26 => log_imm(LogImmOp::Xori, rt, ra, ui),
+        27 => log_imm(LogImmOp::Xoris, rt, ra, ui),
+        28 => log_imm(LogImmOp::Andi, rt, ra, ui),
+        29 => log_imm(LogImmOp::Andis, rt, ra, ui),
+        30 => {
+            // MD/MDS-form 64-bit rotates.
+            let sh = (bits(w, 16, 5) | (bits(w, 30, 1) << 5)) as u8;
+            let mbe = (bits(w, 21, 5) | (bits(w, 26, 1) << 5)) as u8;
+            let xo3 = bits(w, 27, 3);
+            let xo4 = bits(w, 27, 4);
+            match xo3 {
+                0 => rld(RldOp::Icl, rt, ra, sh, mbe, rc),
+                1 => rld(RldOp::Icr, rt, ra, sh, mbe, rc),
+                2 => rld(RldOp::Ic, rt, ra, sh, mbe, rc),
+                3 => rld(RldOp::Imi, rt, ra, sh, mbe, rc),
+                _ => match xo4 {
+                    8 => Instruction::Rldc {
+                        op: RldcOp::Cl,
+                        rs: rt,
+                        ra,
+                        rb,
+                        mbe,
+                        rc,
+                    },
+                    9 => Instruction::Rldc {
+                        op: RldcOp::Cr,
+                        rs: rt,
+                        ra,
+                        rb,
+                        mbe,
+                        rc,
+                    },
+                    _ => return Err(DecodeError::Unsupported { word: w }),
+                },
+            }
+        }
+        31 => return decode_op31(w, rt, ra, rb, rc),
+        32 => load_d(4, false, false, rt, ra, d),
+        33 => load_d(4, false, true, rt, ra, d),
+        34 => load_d(1, false, false, rt, ra, d),
+        35 => load_d(1, false, true, rt, ra, d),
+        36 => store_d(4, false, rt, ra, d),
+        37 => store_d(4, true, rt, ra, d),
+        38 => store_d(1, false, rt, ra, d),
+        39 => store_d(1, true, rt, ra, d),
+        40 => load_d(2, false, false, rt, ra, d),
+        41 => load_d(2, false, true, rt, ra, d),
+        42 => load_d(2, true, false, rt, ra, d),
+        43 => load_d(2, true, true, rt, ra, d),
+        44 => store_d(2, false, rt, ra, d),
+        45 => store_d(2, true, rt, ra, d),
+        46 => Instruction::Lmw { rt, ra, d },
+        47 => Instruction::Stmw { rs: rt, ra, d },
+        58 => {
+            let ds = (sext(bits(w, 16, 14), 14) << 2) as i32;
+            match bits(w, 30, 2) {
+                0 => load_d(8, false, false, rt, ra, ds),
+                1 => load_d(8, false, true, rt, ra, ds),
+                2 => load_d(4, true, false, rt, ra, ds),
+                _ => return Err(DecodeError::Unsupported { word: w }),
+            }
+        }
+        62 => {
+            let ds = (sext(bits(w, 16, 14), 14) << 2) as i32;
+            match bits(w, 30, 2) {
+                0 => store_d(8, false, rt, ra, ds),
+                1 => store_d(8, true, rt, ra, ds),
+                _ => return Err(DecodeError::Unsupported { word: w }),
+            }
+        }
+        _ => return Err(DecodeError::Unsupported { word: w }),
+    };
+    check_valid(instr)
+}
+
+fn cr_op(op: CrOp, bt: u8, ba: u8, bb: u8) -> Instruction {
+    Instruction::CrLogical { op, bt, ba, bb }
+}
+
+fn log_imm(op: LogImmOp, rs: u8, ra: u8, ui: u32) -> Instruction {
+    Instruction::LogImm { op, rs, ra, ui }
+}
+
+fn rld(op: RldOp, rs: u8, ra: u8, sh: u8, mbe: u8, rc: bool) -> Instruction {
+    Instruction::Rld { op, rs, ra, sh, mbe, rc }
+}
+
+fn load_d(size: u8, algebraic: bool, update: bool, rt: u8, ra: u8, d: i32) -> Instruction {
+    Instruction::Load {
+        size,
+        algebraic,
+        update,
+        byterev: false,
+        rt,
+        ra,
+        ea: Ea::D(d),
+    }
+}
+
+fn store_d(size: u8, update: bool, rs: u8, ra: u8, d: i32) -> Instruction {
+    Instruction::Store {
+        size,
+        update,
+        byterev: false,
+        rs,
+        ra,
+        ea: Ea::D(d),
+    }
+}
+
+fn load_x(size: u8, algebraic: bool, update: bool, byterev: bool, rt: u8, ra: u8, rb: u8) -> Instruction {
+    Instruction::Load {
+        size,
+        algebraic,
+        update,
+        byterev,
+        rt,
+        ra,
+        ea: Ea::Rb(rb),
+    }
+}
+
+fn store_x(size: u8, update: bool, byterev: bool, rs: u8, ra: u8, rb: u8) -> Instruction {
+    Instruction::Store {
+        size,
+        update,
+        byterev,
+        rs,
+        ra,
+        ea: Ea::Rb(rb),
+    }
+}
+
+fn decode_op31(w: u32, rt: u8, ra: u8, rb: u8, rc: bool) -> Result<Instruction, DecodeError> {
+    let xo10 = bits(w, 21, 10);
+    let xo9 = bits(w, 22, 9);
+    let oe = bits(w, 21, 1) == 1;
+
+    // XS-form sradi first (9-bit XO across bits 21..29).
+    if bits(w, 21, 9) == 413 {
+        let sh = (bits(w, 16, 5) | (bits(w, 30, 1) << 5)) as u8;
+        return check_valid(Instruction::Sradi { rs: rt, ra, sh, rc });
+    }
+
+    // XO-form arithmetic (9-bit XO, bit 21 = OE).
+    use xo31_arith as a;
+    let arith = |op: ArithOp| Instruction::Arith { op, rt, ra, rb, oe, rc };
+    match xo9 {
+        a::ADD => return check_valid(arith(ArithOp::Add)),
+        a::SUBF => return check_valid(arith(ArithOp::Subf)),
+        a::ADDC => return check_valid(arith(ArithOp::Addc)),
+        a::SUBFC => return check_valid(arith(ArithOp::Subfc)),
+        a::ADDE => return check_valid(arith(ArithOp::Adde)),
+        a::SUBFE => return check_valid(arith(ArithOp::Subfe)),
+        a::ADDME => return check_valid(arith(ArithOp::Addme)),
+        a::SUBFME => return check_valid(arith(ArithOp::Subfme)),
+        a::ADDZE => return check_valid(arith(ArithOp::Addze)),
+        a::SUBFZE => return check_valid(arith(ArithOp::Subfze)),
+        a::NEG => return check_valid(arith(ArithOp::Neg)),
+        a::MULLW => return check_valid(arith(ArithOp::Mullw)),
+        a::MULLD => return check_valid(arith(ArithOp::Mulld)),
+        a::DIVW => return check_valid(arith(ArithOp::Divw)),
+        a::DIVWU => return check_valid(arith(ArithOp::Divwu)),
+        a::DIVD => return check_valid(arith(ArithOp::Divd)),
+        a::DIVDU => return check_valid(arith(ArithOp::Divdu)),
+        // The mulh* forms have no OE: only match with OE clear, so the
+        // 10-bit space with bit 21 set stays free for X-form opcodes.
+        a::MULHW | a::MULHWU | a::MULHD | a::MULHDU if !oe => {
+            let op = match xo9 {
+                a::MULHW => ArithOp::Mulhw,
+                a::MULHWU => ArithOp::Mulhwu,
+                a::MULHD => ArithOp::Mulhd,
+                _ => ArithOp::Mulhdu,
+            };
+            return check_valid(arith(op));
+        }
+        _ => {}
+    }
+
+    use xo31 as x;
+    let i = match xo10 {
+        x::CMP => Instruction::Cmp {
+            bf: rt >> 2,
+            l: rt & 1 == 1,
+            ra,
+            rb,
+        },
+        x::CMPL => Instruction::Cmpl {
+            bf: rt >> 2,
+            l: rt & 1 == 1,
+            ra,
+            rb,
+        },
+        x::AND => logical(LogOp::And, rt, ra, rb, rc),
+        x::OR => logical(LogOp::Or, rt, ra, rb, rc),
+        x::XOR => logical(LogOp::Xor, rt, ra, rb, rc),
+        x::NAND => logical(LogOp::Nand, rt, ra, rb, rc),
+        x::NOR => logical(LogOp::Nor, rt, ra, rb, rc),
+        x::EQV => logical(LogOp::Eqv, rt, ra, rb, rc),
+        x::ANDC => logical(LogOp::Andc, rt, ra, rb, rc),
+        x::ORC => logical(LogOp::Orc, rt, ra, rb, rc),
+        x::EXTSB => unary(UnaryOp::Extsb, rt, ra, rc),
+        x::EXTSH => unary(UnaryOp::Extsh, rt, ra, rc),
+        x::EXTSW => unary(UnaryOp::Extsw, rt, ra, rc),
+        x::CNTLZW => unary(UnaryOp::Cntlzw, rt, ra, rc),
+        x::CNTLZD => unary(UnaryOp::Cntlzd, rt, ra, rc),
+        x::POPCNTB => unary(UnaryOp::Popcntb, rt, ra, false),
+        x::SLW => shift(ShiftOp::Slw, rt, ra, rb, rc),
+        x::SRW => shift(ShiftOp::Srw, rt, ra, rb, rc),
+        x::SRAW => shift(ShiftOp::Sraw, rt, ra, rb, rc),
+        x::SLD => shift(ShiftOp::Sld, rt, ra, rb, rc),
+        x::SRD => shift(ShiftOp::Srd, rt, ra, rb, rc),
+        x::SRAD => shift(ShiftOp::Srad, rt, ra, rb, rc),
+        x::SRAWI => Instruction::Srawi { rs: rt, ra, sh: rb, rc },
+        x::LWZX => load_x(4, false, false, false, rt, ra, rb),
+        x::LWZUX => load_x(4, false, true, false, rt, ra, rb),
+        x::LBZX => load_x(1, false, false, false, rt, ra, rb),
+        x::LBZUX => load_x(1, false, true, false, rt, ra, rb),
+        x::LHZX => load_x(2, false, false, false, rt, ra, rb),
+        x::LHZUX => load_x(2, false, true, false, rt, ra, rb),
+        x::LHAX => load_x(2, true, false, false, rt, ra, rb),
+        x::LHAUX => load_x(2, true, true, false, rt, ra, rb),
+        x::LWAX => load_x(4, true, false, false, rt, ra, rb),
+        x::LWAUX => load_x(4, true, true, false, rt, ra, rb),
+        x::LDX => load_x(8, false, false, false, rt, ra, rb),
+        x::LDUX => load_x(8, false, true, false, rt, ra, rb),
+        x::LHBRX => load_x(2, false, false, true, rt, ra, rb),
+        x::LWBRX => load_x(4, false, false, true, rt, ra, rb),
+        x::LDBRX => load_x(8, false, false, true, rt, ra, rb),
+        x::STWX => store_x(4, false, false, rt, ra, rb),
+        x::STWUX => store_x(4, true, false, rt, ra, rb),
+        x::STBX => store_x(1, false, false, rt, ra, rb),
+        x::STBUX => store_x(1, true, false, rt, ra, rb),
+        x::STHX => store_x(2, false, false, rt, ra, rb),
+        x::STHUX => store_x(2, true, false, rt, ra, rb),
+        x::STDX => store_x(8, false, false, rt, ra, rb),
+        x::STDUX => store_x(8, true, false, rt, ra, rb),
+        x::STHBRX => store_x(2, false, true, rt, ra, rb),
+        x::STWBRX => store_x(4, false, true, rt, ra, rb),
+        x::STDBRX => store_x(8, false, true, rt, ra, rb),
+        x::LWARX => Instruction::Larx { size: 4, rt, ra, rb },
+        x::LDARX => Instruction::Larx { size: 8, rt, ra, rb },
+        x::STWCX if rc => Instruction::Stcx { size: 4, rs: rt, ra, rb },
+        x::STDCX if rc => Instruction::Stcx { size: 8, rs: rt, ra, rb },
+        x::LSWI => Instruction::Lswi { rt, ra, nb: rb },
+        x::STSWI => Instruction::Stswi { rs: rt, ra, nb: rb },
+        x::SYNC => Instruction::Sync {
+            l: bits(w, 9, 2) as u8,
+        },
+        x::EIEIO => Instruction::Eieio,
+        x::MFCR => {
+            if bits(w, 11, 1) == 1 {
+                Instruction::Mfocrf {
+                    rt,
+                    fxm: bits(w, 12, 8) as u8,
+                }
+            } else {
+                Instruction::Mfcr { rt }
+            }
+        }
+        x::MTCRF => {
+            let fxm = bits(w, 12, 8) as u8;
+            if bits(w, 11, 1) == 1 {
+                Instruction::Mtocrf { fxm, rs: rt }
+            } else {
+                Instruction::Mtcrf { fxm, rs: rt }
+            }
+        }
+        x::MFSPR => {
+            let n = bits(w, 11, 10);
+            let spr = (n >> 5) | ((n & 0x1F) << 5);
+            match SprName::from_number(spr) {
+                Some(spr) => Instruction::Mfspr { rt, spr },
+                None => return Err(DecodeError::Unsupported { word: w }),
+            }
+        }
+        x::MTSPR => {
+            let n = bits(w, 11, 10);
+            let spr = (n >> 5) | ((n & 0x1F) << 5);
+            match SprName::from_number(spr) {
+                Some(spr) => Instruction::Mtspr { spr, rs: rt },
+                None => return Err(DecodeError::Unsupported { word: w }),
+            }
+        }
+        _ => return Err(DecodeError::Unsupported { word: w }),
+    };
+    check_valid(i)
+}
+
+fn logical(op: LogOp, rs: u8, ra: u8, rb: u8, rc: bool) -> Instruction {
+    Instruction::Logical { op, rs, ra, rb, rc }
+}
+
+fn unary(op: UnaryOp, rs: u8, ra: u8, rc: bool) -> Instruction {
+    Instruction::Unary { op, rs, ra, rc }
+}
+
+fn shift(op: ShiftOp, rs: u8, ra: u8, rb: u8, rc: bool) -> Instruction {
+    Instruction::Shift { op, rs, ra, rb, rc }
+}
+
+fn check_valid(i: Instruction) -> Result<Instruction, DecodeError> {
+    if i.is_invalid() {
+        Err(DecodeError::InvalidForm {
+            mnemonic: i.mnemonic(),
+        })
+    } else {
+        Ok(i)
+    }
+}

@@ -1,0 +1,527 @@
+//! Instruction encoding: AST → 32-bit opcode.
+//!
+//! Bit numbering follows the vendor convention: bit 0 is the MSB of the
+//! 32-bit word, so the primary opcode occupies bits 0..5.
+
+use crate::ast::*;
+
+fn field(value: u32, start: usize, len: usize) -> u32 {
+    debug_assert!(start + len <= 32);
+    debug_assert!(u64::from(value) < (1u64 << len), "field overflow");
+    value << (32 - start - len)
+}
+
+fn opcd(po: u32) -> u32 {
+    field(po, 0, 6)
+}
+
+fn rc_bit(rc: bool) -> u32 {
+    u32::from(rc)
+}
+
+/// X-form: PO | RT/RS | RA | RB | XO(10) | Rc.
+fn x_form(po: u32, rt: u8, ra: u8, rb: u8, xo: u32, rc: bool) -> u32 {
+    opcd(po)
+        | field(u32::from(rt), 6, 5)
+        | field(u32::from(ra), 11, 5)
+        | field(u32::from(rb), 16, 5)
+        | field(xo, 21, 10)
+        | rc_bit(rc)
+}
+
+/// XO-form: PO | RT | RA | RB | OE | XO(9) | Rc.
+fn xo_form(po: u32, rt: u8, ra: u8, rb: u8, oe: bool, xo: u32, rc: bool) -> u32 {
+    opcd(po)
+        | field(u32::from(rt), 6, 5)
+        | field(u32::from(ra), 11, 5)
+        | field(u32::from(rb), 16, 5)
+        | field(u32::from(oe), 21, 1)
+        | field(xo, 22, 9)
+        | rc_bit(rc)
+}
+
+/// D-form with a signed 16-bit immediate.
+fn d_form(po: u32, rt: u8, ra: u8, imm: i32) -> u32 {
+    opcd(po)
+        | field(u32::from(rt), 6, 5)
+        | field(u32::from(ra), 11, 5)
+        | ((imm as u32) & 0xFFFF)
+}
+
+/// The X-form extended opcodes of primary opcode 31 (bits 21..30).
+pub(crate) mod xo31 {
+    pub const CMP: u32 = 0;
+    pub const CMPL: u32 = 32;
+    pub const AND: u32 = 28;
+    pub const OR: u32 = 444;
+    pub const XOR: u32 = 316;
+    pub const NAND: u32 = 476;
+    pub const NOR: u32 = 124;
+    pub const EQV: u32 = 284;
+    pub const ANDC: u32 = 60;
+    pub const ORC: u32 = 412;
+    pub const EXTSB: u32 = 954;
+    pub const EXTSH: u32 = 922;
+    pub const EXTSW: u32 = 986;
+    pub const CNTLZW: u32 = 26;
+    pub const CNTLZD: u32 = 58;
+    pub const POPCNTB: u32 = 122;
+    pub const SLW: u32 = 24;
+    pub const SRW: u32 = 536;
+    pub const SRAW: u32 = 792;
+    pub const SRAWI: u32 = 824;
+    pub const SLD: u32 = 27;
+    pub const SRD: u32 = 539;
+    pub const SRAD: u32 = 794;
+    pub const LWZX: u32 = 23;
+    pub const LWZUX: u32 = 55;
+    pub const LBZX: u32 = 87;
+    pub const LBZUX: u32 = 119;
+    pub const LHZX: u32 = 279;
+    pub const LHZUX: u32 = 311;
+    pub const LHAX: u32 = 343;
+    pub const LHAUX: u32 = 375;
+    pub const LWAX: u32 = 341;
+    pub const LWAUX: u32 = 373;
+    pub const LDX: u32 = 21;
+    pub const LDUX: u32 = 53;
+    pub const STWX: u32 = 151;
+    pub const STWUX: u32 = 183;
+    pub const STBX: u32 = 215;
+    pub const STBUX: u32 = 247;
+    pub const STHX: u32 = 407;
+    pub const STHUX: u32 = 439;
+    pub const STDX: u32 = 149;
+    pub const STDUX: u32 = 181;
+    pub const LHBRX: u32 = 790;
+    pub const LWBRX: u32 = 534;
+    pub const LDBRX: u32 = 532;
+    pub const STHBRX: u32 = 918;
+    pub const STWBRX: u32 = 662;
+    pub const STDBRX: u32 = 660;
+    pub const LWARX: u32 = 20;
+    pub const LDARX: u32 = 84;
+    pub const STWCX: u32 = 150;
+    pub const STDCX: u32 = 214;
+    pub const SYNC: u32 = 598;
+    pub const EIEIO: u32 = 854;
+    pub const MFCR: u32 = 19;
+    pub const MTCRF: u32 = 144;
+    pub const MFSPR: u32 = 339;
+    pub const MTSPR: u32 = 467;
+    pub const LSWI: u32 = 597;
+    pub const STSWI: u32 = 725;
+}
+
+/// The XO-form (9-bit) extended opcodes of primary opcode 31.
+pub(crate) mod xo31_arith {
+    pub const ADD: u32 = 266;
+    pub const SUBF: u32 = 40;
+    pub const ADDC: u32 = 10;
+    pub const SUBFC: u32 = 8;
+    pub const ADDE: u32 = 138;
+    pub const SUBFE: u32 = 136;
+    pub const ADDME: u32 = 234;
+    pub const SUBFME: u32 = 232;
+    pub const ADDZE: u32 = 202;
+    pub const SUBFZE: u32 = 200;
+    pub const NEG: u32 = 104;
+    pub const MULLW: u32 = 235;
+    pub const MULHW: u32 = 75;
+    pub const MULHWU: u32 = 11;
+    pub const MULLD: u32 = 233;
+    pub const MULHD: u32 = 73;
+    pub const MULHDU: u32 = 9;
+    pub const DIVW: u32 = 491;
+    pub const DIVWU: u32 = 459;
+    pub const DIVD: u32 = 489;
+    pub const DIVDU: u32 = 457;
+}
+
+/// XL-form extended opcodes of primary opcode 19.
+pub(crate) mod xo19 {
+    pub const MCRF: u32 = 0;
+    pub const BCLR: u32 = 16;
+    pub const BCCTR: u32 = 528;
+    pub const ISYNC: u32 = 150;
+    pub const CRAND: u32 = 257;
+    pub const CROR: u32 = 449;
+    pub const CRXOR: u32 = 193;
+    pub const CRNAND: u32 = 225;
+    pub const CRNOR: u32 = 33;
+    pub const CREQV: u32 = 289;
+    pub const CRANDC: u32 = 129;
+    pub const CRORC: u32 = 417;
+}
+
+pub(crate) fn arith_xo(op: ArithOp) -> u32 {
+    use xo31_arith::*;
+    match op {
+        ArithOp::Add => ADD,
+        ArithOp::Subf => SUBF,
+        ArithOp::Addc => ADDC,
+        ArithOp::Subfc => SUBFC,
+        ArithOp::Adde => ADDE,
+        ArithOp::Subfe => SUBFE,
+        ArithOp::Addme => ADDME,
+        ArithOp::Subfme => SUBFME,
+        ArithOp::Addze => ADDZE,
+        ArithOp::Subfze => SUBFZE,
+        ArithOp::Neg => NEG,
+        ArithOp::Mullw => MULLW,
+        ArithOp::Mulhw => MULHW,
+        ArithOp::Mulhwu => MULHWU,
+        ArithOp::Mulld => MULLD,
+        ArithOp::Mulhd => MULHD,
+        ArithOp::Mulhdu => MULHDU,
+        ArithOp::Divw => DIVW,
+        ArithOp::Divwu => DIVWU,
+        ArithOp::Divd => DIVD,
+        ArithOp::Divdu => DIVDU,
+    }
+}
+
+fn load_xo(size: u8, algebraic: bool, update: bool, byterev: bool) -> u32 {
+    use xo31::*;
+    match (size, algebraic, update, byterev) {
+        (1, false, false, false) => LBZX,
+        (1, false, true, false) => LBZUX,
+        (2, false, false, false) => LHZX,
+        (2, false, true, false) => LHZUX,
+        (2, true, false, false) => LHAX,
+        (2, true, true, false) => LHAUX,
+        (2, false, false, true) => LHBRX,
+        (4, false, false, false) => LWZX,
+        (4, false, true, false) => LWZUX,
+        (4, true, false, false) => LWAX,
+        (4, true, true, false) => LWAUX,
+        (4, false, false, true) => LWBRX,
+        (8, false, false, false) => LDX,
+        (8, false, true, false) => LDUX,
+        (8, false, false, true) => LDBRX,
+        _ => panic!("no X-form load encoding for size={size} alg={algebraic} u={update} brx={byterev}"),
+    }
+}
+
+fn store_xo(size: u8, update: bool, byterev: bool) -> u32 {
+    use xo31::*;
+    match (size, update, byterev) {
+        (1, false, false) => STBX,
+        (1, true, false) => STBUX,
+        (2, false, false) => STHX,
+        (2, true, false) => STHUX,
+        (2, false, true) => STHBRX,
+        (4, false, false) => STWX,
+        (4, true, false) => STWUX,
+        (4, false, true) => STWBRX,
+        (8, false, false) => STDX,
+        (8, true, false) => STDUX,
+        (8, false, true) => STDBRX,
+        _ => panic!("no X-form store encoding for size={size} u={update} brx={byterev}"),
+    }
+}
+
+/// The split-field SPR encoding: `spr[5:9] || spr[0:4]` swapped halves.
+fn spr_field(n: u32) -> u32 {
+    ((n & 0x1F) << 5) | (n >> 5)
+}
+
+/// Encode an instruction to its 32-bit opcode.
+///
+/// # Panics
+///
+/// Panics on field overflow (e.g. a displacement that does not fit its
+/// form) or an unencodable field combination; the ISA constructors and
+/// parser only produce encodable instructions.
+#[must_use]
+pub fn encode(i: &Instruction) -> u32 {
+    use Instruction::*;
+    match i {
+        B { li, aa, lk } => {
+            opcd(18) | (((*li as u32) & 0x00FF_FFFF) << 2) | (u32::from(*aa) << 1) | u32::from(*lk)
+        }
+        Bc { bo, bi, bd, aa, lk } => {
+            opcd(16)
+                | field(u32::from(*bo), 6, 5)
+                | field(u32::from(*bi), 11, 5)
+                | (((*bd as u32) & 0x3FFF) << 2)
+                | (u32::from(*aa) << 1)
+                | u32::from(*lk)
+        }
+        Bclr { bo, bi, bh, lk } => {
+            opcd(19)
+                | field(u32::from(*bo), 6, 5)
+                | field(u32::from(*bi), 11, 5)
+                | field(u32::from(*bh), 19, 2)
+                | field(xo19::BCLR, 21, 10)
+                | u32::from(*lk)
+        }
+        Bcctr { bo, bi, bh, lk } => {
+            opcd(19)
+                | field(u32::from(*bo), 6, 5)
+                | field(u32::from(*bi), 11, 5)
+                | field(u32::from(*bh), 19, 2)
+                | field(xo19::BCCTR, 21, 10)
+                | u32::from(*lk)
+        }
+        CrLogical { op, bt, ba, bb } => {
+            let xo = match op {
+                CrOp::And => xo19::CRAND,
+                CrOp::Or => xo19::CROR,
+                CrOp::Xor => xo19::CRXOR,
+                CrOp::Nand => xo19::CRNAND,
+                CrOp::Nor => xo19::CRNOR,
+                CrOp::Eqv => xo19::CREQV,
+                CrOp::Andc => xo19::CRANDC,
+                CrOp::Orc => xo19::CRORC,
+            };
+            x_form(19, *bt, *ba, *bb, xo, false)
+        }
+        Mcrf { bf, bfa } => {
+            opcd(19)
+                | field(u32::from(*bf), 6, 3)
+                | field(u32::from(*bfa), 11, 3)
+                | field(xo19::MCRF, 21, 10)
+        }
+        Load {
+            size,
+            algebraic,
+            update,
+            byterev,
+            rt,
+            ra,
+            ea,
+        } => match ea {
+            Ea::Rb(rb) => x_form(31, *rt, *ra, *rb, load_xo(*size, *algebraic, *update, *byterev), false),
+            Ea::D(d) => match (size, algebraic, update) {
+                (1, false, false) => d_form(34, *rt, *ra, *d),
+                (1, false, true) => d_form(35, *rt, *ra, *d),
+                (2, false, false) => d_form(40, *rt, *ra, *d),
+                (2, false, true) => d_form(41, *rt, *ra, *d),
+                (2, true, false) => d_form(42, *rt, *ra, *d),
+                (2, true, true) => d_form(43, *rt, *ra, *d),
+                (4, false, false) => d_form(32, *rt, *ra, *d),
+                (4, false, true) => d_form(33, *rt, *ra, *d),
+                // DS-forms under opcode 58: ld(0), ldu(1), lwa(2)
+                (8, false, false) => ds_form(58, *rt, *ra, *d, 0),
+                (8, false, true) => ds_form(58, *rt, *ra, *d, 1),
+                (4, true, false) => ds_form(58, *rt, *ra, *d, 2),
+                _ => panic!("no D-form load for size={size} alg={algebraic} u={update}"),
+            },
+        },
+        Store {
+            size,
+            update,
+            byterev,
+            rs,
+            ra,
+            ea,
+        } => match ea {
+            Ea::Rb(rb) => x_form(31, *rs, *ra, *rb, store_xo(*size, *update, *byterev), false),
+            Ea::D(d) => match (size, update) {
+                (1, false) => d_form(38, *rs, *ra, *d),
+                (1, true) => d_form(39, *rs, *ra, *d),
+                (2, false) => d_form(44, *rs, *ra, *d),
+                (2, true) => d_form(45, *rs, *ra, *d),
+                (4, false) => d_form(36, *rs, *ra, *d),
+                (4, true) => d_form(37, *rs, *ra, *d),
+                (8, false) => ds_form(62, *rs, *ra, *d, 0),
+                (8, true) => ds_form(62, *rs, *ra, *d, 1),
+                _ => panic!("no D-form store for size={size} u={update}"),
+            },
+        },
+        Lmw { rt, ra, d } => d_form(46, *rt, *ra, *d),
+        Stmw { rs, ra, d } => d_form(47, *rs, *ra, *d),
+        Lswi { rt, ra, nb } => x_form(31, *rt, *ra, *nb, xo31::LSWI, false),
+        Stswi { rs, ra, nb } => x_form(31, *rs, *ra, *nb, xo31::STSWI, false),
+        Larx { size, rt, ra, rb } => {
+            let xo = if *size == 4 { xo31::LWARX } else { xo31::LDARX };
+            x_form(31, *rt, *ra, *rb, xo, false)
+        }
+        Stcx { size, rs, ra, rb } => {
+            let xo = if *size == 4 { xo31::STWCX } else { xo31::STDCX };
+            x_form(31, *rs, *ra, *rb, xo, true)
+        }
+        Addi { rt, ra, si } => d_form(14, *rt, *ra, *si),
+        Addis { rt, ra, si } => d_form(15, *rt, *ra, *si),
+        Addic { rt, ra, si, rc } => d_form(if *rc { 13 } else { 12 }, *rt, *ra, *si),
+        Subfic { rt, ra, si } => d_form(8, *rt, *ra, *si),
+        Mulli { rt, ra, si } => d_form(7, *rt, *ra, *si),
+        Arith { op, rt, ra, rb, oe, rc } => xo_form(31, *rt, *ra, *rb, *oe, arith_xo(*op), *rc),
+        Cmpi { bf, l, ra, si } => {
+            d_form(11, bf << 2 | u8::from(*l), *ra, *si)
+        }
+        Cmp { bf, l, ra, rb } => x_form(31, bf << 2 | u8::from(*l), *ra, *rb, xo31::CMP, false),
+        Cmpli { bf, l, ra, ui } => {
+            opcd(10)
+                | field(u32::from(bf << 2 | u8::from(*l)), 6, 5)
+                | field(u32::from(*ra), 11, 5)
+                | (ui & 0xFFFF)
+        }
+        Cmpl { bf, l, ra, rb } => x_form(31, bf << 2 | u8::from(*l), *ra, *rb, xo31::CMPL, false),
+        LogImm { op, rs, ra, ui } => {
+            let po = match op {
+                LogImmOp::Andi => 28,
+                LogImmOp::Andis => 29,
+                LogImmOp::Ori => 24,
+                LogImmOp::Oris => 25,
+                LogImmOp::Xori => 26,
+                LogImmOp::Xoris => 27,
+            };
+            opcd(po)
+                | field(u32::from(*rs), 6, 5)
+                | field(u32::from(*ra), 11, 5)
+                | (ui & 0xFFFF)
+        }
+        Logical { op, rs, ra, rb, rc } => {
+            let xo = match op {
+                LogOp::And => xo31::AND,
+                LogOp::Or => xo31::OR,
+                LogOp::Xor => xo31::XOR,
+                LogOp::Nand => xo31::NAND,
+                LogOp::Nor => xo31::NOR,
+                LogOp::Eqv => xo31::EQV,
+                LogOp::Andc => xo31::ANDC,
+                LogOp::Orc => xo31::ORC,
+            };
+            x_form(31, *rs, *ra, *rb, xo, *rc)
+        }
+        Unary { op, rs, ra, rc } => {
+            let xo = match op {
+                UnaryOp::Extsb => xo31::EXTSB,
+                UnaryOp::Extsh => xo31::EXTSH,
+                UnaryOp::Extsw => xo31::EXTSW,
+                UnaryOp::Cntlzw => xo31::CNTLZW,
+                UnaryOp::Cntlzd => xo31::CNTLZD,
+                UnaryOp::Popcntb => xo31::POPCNTB,
+            };
+            x_form(31, *rs, *ra, 0, xo, *rc)
+        }
+        Rlwinm { rs, ra, sh, mb, me, rc } => {
+            opcd(21)
+                | field(u32::from(*rs), 6, 5)
+                | field(u32::from(*ra), 11, 5)
+                | field(u32::from(*sh), 16, 5)
+                | field(u32::from(*mb), 21, 5)
+                | field(u32::from(*me), 26, 5)
+                | rc_bit(*rc)
+        }
+        Rlwnm { rs, ra, rb, mb, me, rc } => {
+            opcd(23)
+                | field(u32::from(*rs), 6, 5)
+                | field(u32::from(*ra), 11, 5)
+                | field(u32::from(*rb), 16, 5)
+                | field(u32::from(*mb), 21, 5)
+                | field(u32::from(*me), 26, 5)
+                | rc_bit(*rc)
+        }
+        Rlwimi { rs, ra, sh, mb, me, rc } => {
+            opcd(20)
+                | field(u32::from(*rs), 6, 5)
+                | field(u32::from(*ra), 11, 5)
+                | field(u32::from(*sh), 16, 5)
+                | field(u32::from(*mb), 21, 5)
+                | field(u32::from(*me), 26, 5)
+                | rc_bit(*rc)
+        }
+        Rld { op, rs, ra, sh, mbe, rc } => {
+            let xo = match op {
+                RldOp::Icl => 0,
+                RldOp::Icr => 1,
+                RldOp::Ic => 2,
+                RldOp::Imi => 3,
+            };
+            opcd(30)
+                | field(u32::from(*rs), 6, 5)
+                | field(u32::from(*ra), 11, 5)
+                | field(u32::from(sh & 0x1F), 16, 5)
+                | field(u32::from(mbe & 0x1F), 21, 5)
+                | field(u32::from(mbe >> 5), 26, 1)
+                | field(xo, 27, 3)
+                | field(u32::from(sh >> 5), 30, 1)
+                | rc_bit(*rc)
+        }
+        Rldc { op, rs, ra, rb, mbe, rc } => {
+            let xo = match op {
+                RldcOp::Cl => 8,
+                RldcOp::Cr => 9,
+            };
+            opcd(30)
+                | field(u32::from(*rs), 6, 5)
+                | field(u32::from(*ra), 11, 5)
+                | field(u32::from(*rb), 16, 5)
+                | field(u32::from(mbe & 0x1F), 21, 5)
+                | field(u32::from(mbe >> 5), 26, 1)
+                | field(xo, 27, 4)
+                | rc_bit(*rc)
+        }
+        Shift { op, rs, ra, rb, rc } => {
+            let xo = match op {
+                ShiftOp::Slw => xo31::SLW,
+                ShiftOp::Srw => xo31::SRW,
+                ShiftOp::Sraw => xo31::SRAW,
+                ShiftOp::Sld => xo31::SLD,
+                ShiftOp::Srd => xo31::SRD,
+                ShiftOp::Srad => xo31::SRAD,
+            };
+            x_form(31, *rs, *ra, *rb, xo, *rc)
+        }
+        Srawi { rs, ra, sh, rc } => x_form(31, *rs, *ra, *sh, xo31::SRAWI, *rc),
+        Sradi { rs, ra, sh, rc } => {
+            // XS-form: 9-bit XO=413 in bits 21..29, sh[5] in bit 30.
+            opcd(31)
+                | field(u32::from(*rs), 6, 5)
+                | field(u32::from(*ra), 11, 5)
+                | field(u32::from(sh & 0x1F), 16, 5)
+                | field(413, 21, 9)
+                | field(u32::from(sh >> 5), 30, 1)
+                | rc_bit(*rc)
+        }
+        Mfspr { rt, spr } => {
+            opcd(31)
+                | field(u32::from(*rt), 6, 5)
+                | field(spr_field(spr.number()), 11, 10)
+                | field(xo31::MFSPR, 21, 10)
+        }
+        Mtspr { spr, rs } => {
+            opcd(31)
+                | field(u32::from(*rs), 6, 5)
+                | field(spr_field(spr.number()), 11, 10)
+                | field(xo31::MTSPR, 21, 10)
+        }
+        Mfcr { rt } => x_form(31, *rt, 0, 0, xo31::MFCR, false),
+        Mfocrf { rt, fxm } => {
+            opcd(31)
+                | field(u32::from(*rt), 6, 5)
+                | field(1, 11, 1)
+                | field(u32::from(*fxm), 12, 8)
+                | field(xo31::MFCR, 21, 10)
+        }
+        Mtcrf { fxm, rs } => {
+            opcd(31)
+                | field(u32::from(*rs), 6, 5)
+                | field(u32::from(*fxm), 12, 8)
+                | field(xo31::MTCRF, 21, 10)
+        }
+        Mtocrf { fxm, rs } => {
+            opcd(31)
+                | field(u32::from(*rs), 6, 5)
+                | field(1, 11, 1)
+                | field(u32::from(*fxm), 12, 8)
+                | field(xo31::MTCRF, 21, 10)
+        }
+        Sync { l } => opcd(31) | field(u32::from(*l), 9, 2) | field(xo31::SYNC, 21, 10),
+        Eieio => opcd(31) | field(xo31::EIEIO, 21, 10),
+        Isync => opcd(19) | field(xo19::ISYNC, 21, 10),
+    }
+}
+
+/// DS-form: PO | RT | RA | DS(14) | XO(2). `d` is the byte displacement.
+fn ds_form(po: u32, rt: u8, ra: u8, d: i32, xo: u32) -> u32 {
+    assert!(d % 4 == 0, "DS-form displacement must be word-aligned");
+    opcd(po)
+        | field(u32::from(rt), 6, 5)
+        | field(u32::from(ra), 11, 5)
+        | (((d >> 2) as u32 & 0x3FFF) << 2)
+        | xo
+}

@@ -1,0 +1,215 @@
+//! Programmatic inventory of the modelled instruction set, for the §4.1
+//! coverage comparison ("154 normal user instructions … 270 instructions"
+//! — experiment E6 in `EXPERIMENTS.md`).
+//!
+//! Counting convention follows the paper: record/overflow variants count
+//! together with their base instruction ("the four `add`, `add.`, `addo`,
+//! and `addo.` variants of Add are counted together as one").
+
+/// Instruction categories, following the POWER ISA book structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Branch Facility (Book I ch. 2).
+    Branch,
+    /// Condition-register logical ops.
+    CrLogical,
+    /// Fixed-point loads.
+    Load,
+    /// Fixed-point stores.
+    Store,
+    /// Load/store multiple & string.
+    LoadStoreMultiple,
+    /// Load-reserve / store-conditional (Book II).
+    Atomic,
+    /// Fixed-point arithmetic.
+    Arithmetic,
+    /// Fixed-point compares.
+    Compare,
+    /// Fixed-point logical/extend/count.
+    Logical,
+    /// Rotates and shifts.
+    RotateShift,
+    /// CR / SPR moves.
+    SystemRegister,
+    /// Memory barriers (Book II).
+    Barrier,
+}
+
+/// One underlying instruction of the model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InventoryEntry {
+    /// Base mnemonic (without `.`/`o` suffixes).
+    pub mnemonic: &'static str,
+    /// Category.
+    pub category: Category,
+    /// Number of encoded variants (record/overflow forms).
+    pub variants: u32,
+}
+
+/// The full inventory of the modelled fragment.
+#[must_use]
+pub fn inventory() -> Vec<InventoryEntry> {
+    use Category::*;
+    let e = |mnemonic, category, variants| InventoryEntry {
+        mnemonic,
+        category,
+        variants,
+    };
+    vec![
+        // Branch facility: b/bc with AA/LK variants, indirect forms.
+        e("b", Branch, 4),
+        e("bc", Branch, 4),
+        e("bclr", Branch, 2),
+        e("bcctr", Branch, 2),
+        // CR logical.
+        e("crand", CrLogical, 1),
+        e("cror", CrLogical, 1),
+        e("crxor", CrLogical, 1),
+        e("crnand", CrLogical, 1),
+        e("crnor", CrLogical, 1),
+        e("creqv", CrLogical, 1),
+        e("crandc", CrLogical, 1),
+        e("crorc", CrLogical, 1),
+        e("mcrf", CrLogical, 1),
+        // Loads.
+        e("lbz", Load, 1),
+        e("lbzu", Load, 1),
+        e("lbzx", Load, 1),
+        e("lbzux", Load, 1),
+        e("lhz", Load, 1),
+        e("lhzu", Load, 1),
+        e("lhzx", Load, 1),
+        e("lhzux", Load, 1),
+        e("lha", Load, 1),
+        e("lhau", Load, 1),
+        e("lhax", Load, 1),
+        e("lhaux", Load, 1),
+        e("lwz", Load, 1),
+        e("lwzu", Load, 1),
+        e("lwzx", Load, 1),
+        e("lwzux", Load, 1),
+        e("lwa", Load, 1),
+        e("lwax", Load, 1),
+        e("lwaux", Load, 1),
+        e("ld", Load, 1),
+        e("ldu", Load, 1),
+        e("ldx", Load, 1),
+        e("ldux", Load, 1),
+        e("lhbrx", Load, 1),
+        e("lwbrx", Load, 1),
+        e("ldbrx", Load, 1),
+        // Stores.
+        e("stb", Store, 1),
+        e("stbu", Store, 1),
+        e("stbx", Store, 1),
+        e("stbux", Store, 1),
+        e("sth", Store, 1),
+        e("sthu", Store, 1),
+        e("sthx", Store, 1),
+        e("sthux", Store, 1),
+        e("stw", Store, 1),
+        e("stwu", Store, 1),
+        e("stwx", Store, 1),
+        e("stwux", Store, 1),
+        e("std", Store, 1),
+        e("stdu", Store, 1),
+        e("stdx", Store, 1),
+        e("stdux", Store, 1),
+        e("sthbrx", Store, 1),
+        e("stwbrx", Store, 1),
+        e("stdbrx", Store, 1),
+        // Multiple / string.
+        e("lmw", LoadStoreMultiple, 1),
+        e("stmw", LoadStoreMultiple, 1),
+        e("lswi", LoadStoreMultiple, 1),
+        e("stswi", LoadStoreMultiple, 1),
+        // Atomics.
+        e("lwarx", Atomic, 1),
+        e("ldarx", Atomic, 1),
+        e("stwcx.", Atomic, 1),
+        e("stdcx.", Atomic, 1),
+        // Arithmetic.
+        e("addi", Arithmetic, 1),
+        e("addis", Arithmetic, 1),
+        e("addic", Arithmetic, 2),
+        e("subfic", Arithmetic, 1),
+        e("mulli", Arithmetic, 1),
+        e("add", Arithmetic, 4),
+        e("subf", Arithmetic, 4),
+        e("addc", Arithmetic, 4),
+        e("subfc", Arithmetic, 4),
+        e("adde", Arithmetic, 4),
+        e("subfe", Arithmetic, 4),
+        e("addme", Arithmetic, 4),
+        e("subfme", Arithmetic, 4),
+        e("addze", Arithmetic, 4),
+        e("subfze", Arithmetic, 4),
+        e("neg", Arithmetic, 4),
+        e("mullw", Arithmetic, 4),
+        e("mulhw", Arithmetic, 2),
+        e("mulhwu", Arithmetic, 2),
+        e("mulld", Arithmetic, 4),
+        e("mulhd", Arithmetic, 2),
+        e("mulhdu", Arithmetic, 2),
+        e("divw", Arithmetic, 4),
+        e("divwu", Arithmetic, 4),
+        e("divd", Arithmetic, 4),
+        e("divdu", Arithmetic, 4),
+        // Compares.
+        e("cmpi", Compare, 1),
+        e("cmp", Compare, 1),
+        e("cmpli", Compare, 1),
+        e("cmpl", Compare, 1),
+        // Logical.
+        e("andi.", Logical, 1),
+        e("andis.", Logical, 1),
+        e("ori", Logical, 1),
+        e("oris", Logical, 1),
+        e("xori", Logical, 1),
+        e("xoris", Logical, 1),
+        e("and", Logical, 2),
+        e("or", Logical, 2),
+        e("xor", Logical, 2),
+        e("nand", Logical, 2),
+        e("nor", Logical, 2),
+        e("eqv", Logical, 2),
+        e("andc", Logical, 2),
+        e("orc", Logical, 2),
+        e("extsb", Logical, 2),
+        e("extsh", Logical, 2),
+        e("extsw", Logical, 2),
+        e("cntlzw", Logical, 2),
+        e("cntlzd", Logical, 2),
+        e("popcntb", Logical, 1),
+        // Rotates / shifts.
+        e("rlwinm", RotateShift, 2),
+        e("rlwnm", RotateShift, 2),
+        e("rlwimi", RotateShift, 2),
+        e("rldicl", RotateShift, 2),
+        e("rldicr", RotateShift, 2),
+        e("rldic", RotateShift, 2),
+        e("rldimi", RotateShift, 2),
+        e("rldcl", RotateShift, 2),
+        e("rldcr", RotateShift, 2),
+        e("slw", RotateShift, 2),
+        e("srw", RotateShift, 2),
+        e("sraw", RotateShift, 2),
+        e("srawi", RotateShift, 2),
+        e("sld", RotateShift, 2),
+        e("srd", RotateShift, 2),
+        e("srad", RotateShift, 2),
+        e("sradi", RotateShift, 2),
+        // System registers.
+        e("mfspr", SystemRegister, 1),
+        e("mtspr", SystemRegister, 1),
+        e("mfcr", SystemRegister, 1),
+        e("mfocrf", SystemRegister, 1),
+        e("mtcrf", SystemRegister, 1),
+        e("mtocrf", SystemRegister, 1),
+        // Barriers.
+        e("sync", Barrier, 1),
+        e("lwsync", Barrier, 1),
+        e("eieio", Barrier, 1),
+        e("isync", Barrier, 1),
+    ]
+}

@@ -1,0 +1,45 @@
+//! Property tests over the binary instruction format.
+
+use crate::{decode, encode};
+use proptest::prelude::*;
+
+proptest! {
+    /// Decoding is a partial retraction of encoding: any word that
+    /// decodes re-encodes to something that decodes to the *same*
+    /// instruction (reserved bits may normalise, but the abstract syntax
+    /// is stable).
+    #[test]
+    fn prop_decode_encode_idempotent(w in any::<u32>()) {
+        if let Ok(i) = decode(w) {
+            let w2 = encode(&i);
+            let i2 = decode(w2).expect("re-encoded instruction decodes");
+            prop_assert_eq!(&i2, &i, "word 0x{:08x} → 0x{:08x}", w, w2);
+            // And encoding is now a fixpoint.
+            prop_assert_eq!(encode(&i2), w2);
+        }
+    }
+
+    /// Every decodable word has executable, validated semantics with a
+    /// computable footprint.
+    #[test]
+    fn prop_decoded_semantics_validate(w in any::<u32>()) {
+        if let Ok(i) = decode(w) {
+            let sem = crate::semantics(&i);
+            prop_assert!(ppc_idl::validate(&sem).is_ok(), "{}", i.mnemonic());
+            let fp = ppc_idl::analyze(&std::sync::Arc::new(sem));
+            prop_assert!(!fp.nias.is_empty());
+        }
+    }
+
+    /// Assembly printing of decodable words round-trips through the
+    /// parser to the same encoding.
+    #[test]
+    fn prop_asm_round_trip_decodable(w in any::<u32>()) {
+        if let Ok(i) = decode(w) {
+            let text = i.to_asm();
+            let back = crate::parse_asm(&text)
+                .unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            prop_assert_eq!(encode(&back), encode(&i), "`{}`", text);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Fixed-point arithmetic and compare semantics.
+//!
+//! Carrying and extended forms are expressed with the ternary
+//! add-with-carry primitives (`Add3`/`Carry3`/`Ovf3`), exactly mirroring
+//! the vendor's `RT := ¬(RA) + (RB) + 1` formulations. The record (`.`)
+//! and overflow (`o`) forms append their CR0/XER updates after the main
+//! register write, as the manual's "Special Registers Altered" lists do.
+
+use crate::ast::ArithOp;
+use crate::sem::{record_cr0, record_cr0_so};
+use ppc_bits::Bv;
+use ppc_idl::{Exp, Local, Reg, Sem, SemBuilder};
+
+fn imm64(b: &SemBuilder, si: i32) -> Exp {
+    b.konst(Bv::from_i64(i64::from(si), 64))
+}
+
+/// `addi`/`addis` (the `si` is pre-shifted for `addis`).
+pub(crate) fn addi(rt: u8, ra: u8, si: i32, _shifted: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let base = b.local("b");
+    b.reg_or_zero(base, ra);
+    b.write_reg(Reg::Gpr(rt), b.add(b.l(base), imm64(&b, si)));
+    b.build()
+}
+
+/// `addic` / `addic.`: add immediate carrying.
+pub(crate) fn addic(rt: u8, ra: u8, si: i32, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let a = b.local("a");
+    b.read_reg(a, Reg::Gpr(ra));
+    let sum = b.local("sum");
+    b.assign(sum, b.add3(b.l(a), imm64(&b, si), b.bit(false)));
+    b.write_reg(Reg::Gpr(rt), b.l(sum));
+    let ca = b.carry3(b.l(a), imm64(&b, si), b.bit(false));
+    b.write_xer_ca(ca);
+    if rc {
+        let r = b.l(sum);
+        record_cr0(&mut b, r);
+    }
+    b.build()
+}
+
+/// `subfic`: `RT := ¬(RA) + EXTS(SI) + 1`, with carry.
+pub(crate) fn subfic(rt: u8, ra: u8, si: i32) -> Sem {
+    let mut b = SemBuilder::new();
+    let a = b.local("a");
+    b.read_reg(a, Reg::Gpr(ra));
+    let na = b.local("na");
+    b.assign(na, b.not(b.l(a)));
+    b.write_reg(Reg::Gpr(rt), b.add3(b.l(na), imm64(&b, si), b.bit(true)));
+    let ca = b.carry3(b.l(na), imm64(&b, si), b.bit(true));
+    b.write_xer_ca(ca);
+    b.build()
+}
+
+/// `mulli`: low 64 bits of `(RA) × EXTS(SI)`.
+pub(crate) fn mulli(rt: u8, ra: u8, si: i32) -> Sem {
+    let mut b = SemBuilder::new();
+    let a = b.local("a");
+    b.read_reg(a, Reg::Gpr(ra));
+    b.write_reg(Reg::Gpr(rt), b.mul_low(b.l(a), imm64(&b, si)));
+    b.build()
+}
+
+/// Read the 32-bit low words for the word-sized operations.
+fn word_operands(b: &mut SemBuilder, ra: u8, rb: u8) -> (Local, Local) {
+    let a = b.local("a");
+    b.read_reg_slice(a, Reg::Gpr(ra), 32, 32);
+    let bb = b.local("b");
+    b.read_reg_slice(bb, Reg::Gpr(rb), 32, 32);
+    (a, bb)
+}
+
+/// The XO-form arithmetic family.
+pub(crate) fn xo_arith(op: ArithOp, rt: u8, ra: u8, rb: u8, oe: bool, rc: bool) -> Sem {
+    use ArithOp::*;
+    let mut b = SemBuilder::new();
+
+    // (operand-a-exp, operand-b-exp, carry-in-exp) for the adder-based
+    // operations; multiplies/divides are handled separately below.
+    let adder: Option<(Exp, Exp, Exp)> = match op {
+        Add | Subf | Addc | Subfc | Adde | Subfe | Addme | Subfme | Addze | Subfze | Neg => {
+            let a = b.local("a");
+            b.read_reg(a, Reg::Gpr(ra));
+            let inverted = matches!(op, Subf | Subfc | Subfe | Subfme | Subfze | Neg);
+            let av = if inverted {
+                let na = b.local("na");
+                b.assign(na, b.not(b.l(a)));
+                b.l(na)
+            } else {
+                b.l(a)
+            };
+            let bv = match op {
+                Add | Subf | Addc | Subfc | Adde | Subfe => {
+                    let rbv = b.local("rb");
+                    b.read_reg(rbv, Reg::Gpr(rb));
+                    b.l(rbv)
+                }
+                Addme | Subfme => b.konst(Bv::from_i64(-1, 64)),
+                _ => b.c64(0), // addze/subfze/neg
+            };
+            let cin = match op {
+                Add | Subf => b.bit(false),
+                Addc | Subfc => b.bit(false),
+                Neg => b.bit(true),
+                _ => {
+                    // extended forms read XER.CA
+                    let ca = b.local("ca_in");
+                    b.read_xer_ca(ca);
+                    b.l(ca)
+                }
+            };
+            // subf/neg add 1 instead of carry-in=0
+            let cin = if matches!(op, Subf | Subfc) {
+                b.bit(true)
+            } else {
+                cin
+            };
+            Some((av, bv, cin))
+        }
+        _ => None,
+    };
+
+    if let Some((av, bv, cin)) = adder {
+        let sum = b.local("sum");
+        b.assign(sum, b.add3(av.clone(), bv.clone(), cin.clone()));
+        b.write_reg(Reg::Gpr(rt), b.l(sum));
+        // Carry out for the carrying/extended forms.
+        if matches!(op, Addc | Subfc | Adde | Subfe | Addme | Subfme | Addze | Subfze) {
+            let ca = b.carry3(av.clone(), bv.clone(), cin.clone());
+            b.write_xer_ca(ca);
+        }
+        if oe {
+            let so = b.local("so_in");
+            b.read_xer_so(so);
+            let ov = b.local("ov");
+            b.assign(ov, b.ovf3(av, bv, cin));
+            let so_new = b.local("so_new");
+            b.assign(so_new, b.or(b.l(so), b.l(ov)));
+            let both = b.concat(b.l(so_new), b.l(ov));
+            b.write_reg_slice(ppc_idl::Reg::Xer, 32, 2, both);
+            if rc {
+                // Self-read rewritten to the local (§2.1.3).
+                let (r, so_now) = (b.l(sum), b.l(so_new));
+                record_cr0_so(&mut b, r, so_now);
+            }
+        } else if rc {
+            let r = b.l(sum);
+            record_cr0(&mut b, r);
+        }
+        return b.build();
+    }
+
+    // Multiplies and divides.
+    let result = b.local("result");
+    let mut ov: Option<Exp> = None;
+    match op {
+        Mullw => {
+            let (a, bb) = word_operands(&mut b, ra, rb);
+            // Full 64-bit signed product of the two words.
+            let prod = b.local("prod");
+            b.assign(
+                prod,
+                b.mul_low(b.exts(b.l(a), 64), b.exts(b.l(bb), 64)),
+            );
+            b.assign(result, b.l(prod));
+            if oe {
+                // OV if the product is not representable in 32 bits.
+                ov = Some(b.ne(b.exts(b.slice(b.l(prod), 32, 32), 64), b.l(prod)));
+            }
+        }
+        Mulhw => {
+            let (a, bb) = word_operands(&mut b, ra, rb);
+            let hi = b.mul_high_s(b.l(a), b.l(bb));
+            // RT[32:63] := high word; RT[0:31] undefined.
+            b.assign(result, b.concat(b.konst(Bv::undef(32)), hi));
+        }
+        Mulhwu => {
+            let (a, bb) = word_operands(&mut b, ra, rb);
+            let hi = b.mul_high_u(b.l(a), b.l(bb));
+            b.assign(result, b.concat(b.konst(Bv::undef(32)), hi));
+        }
+        Mulld => {
+            let a = b.local("a");
+            b.read_reg(a, Reg::Gpr(ra));
+            let bb = b.local("b");
+            b.read_reg(bb, Reg::Gpr(rb));
+            b.assign(result, b.mul_low(b.l(a), b.l(bb)));
+            if oe {
+                let hi = b.mul_high_s(b.l(a), b.l(bb));
+                ov = Some(b.ne(hi, b.ashr(b.l(result), b.c64(63))));
+            }
+        }
+        Mulhd => {
+            let a = b.local("a");
+            b.read_reg(a, Reg::Gpr(ra));
+            let bb = b.local("b");
+            b.read_reg(bb, Reg::Gpr(rb));
+            b.assign(result, b.mul_high_s(b.l(a), b.l(bb)));
+        }
+        Mulhdu => {
+            let a = b.local("a");
+            b.read_reg(a, Reg::Gpr(ra));
+            let bb = b.local("b");
+            b.read_reg(bb, Reg::Gpr(rb));
+            b.assign(result, b.mul_high_u(b.l(a), b.l(bb)));
+        }
+        Divw | Divwu => {
+            let (a, bb) = word_operands(&mut b, ra, rb);
+            let q = if op == Divw {
+                b.div_s(b.l(a), b.l(bb))
+            } else {
+                b.div_u(b.l(a), b.l(bb))
+            };
+            // RT[32:63] := quotient, RT[0:31] undefined.
+            b.assign(result, b.concat(b.konst(Bv::undef(32)), q));
+            if oe {
+                let (ae, de) = (b.l(a), b.l(bb));
+                ov = Some(div_overflow(&mut b, ae, de, op == Divw, 32));
+            }
+        }
+        Divd | Divdu => {
+            let a = b.local("a");
+            b.read_reg(a, Reg::Gpr(ra));
+            let bb = b.local("b");
+            b.read_reg(bb, Reg::Gpr(rb));
+            let q = if op == Divd {
+                b.div_s(b.l(a), b.l(bb))
+            } else {
+                b.div_u(b.l(a), b.l(bb))
+            };
+            b.assign(result, q);
+            if oe {
+                let (ae, de) = (b.l(a), b.l(bb));
+                ov = Some(div_overflow(&mut b, ae, de, op == Divd, 64));
+            }
+        }
+        _ => unreachable!("adder ops handled above"),
+    }
+    b.write_reg(Reg::Gpr(rt), b.l(result));
+    match ov {
+        Some(ov_exp) => {
+            let so = b.local("so_in");
+            b.read_xer_so(so);
+            let ov = b.local("ov");
+            b.assign(ov, ov_exp);
+            let so_new = b.local("so_new");
+            b.assign(so_new, b.or(b.l(so), b.l(ov)));
+            let both = b.concat(b.l(so_new), b.l(ov));
+            b.write_reg_slice(ppc_idl::Reg::Xer, 32, 2, both);
+            if rc {
+                let (r, so_now) = (b.l(result), b.l(so_new));
+                record_cr0_so(&mut b, r, so_now);
+            }
+        }
+        None => {
+            if rc {
+                let r = b.l(result);
+                record_cr0(&mut b, r);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `OV` condition for divides: divisor zero, or signed `MIN / −1`.
+fn div_overflow(b: &mut SemBuilder, a: Exp, d: Exp, signed: bool, width: usize) -> Exp {
+    let zero = b.konst(Bv::zeros(width));
+    let div0 = b.eq(d.clone(), zero);
+    if signed {
+        let min = {
+            let mut v = Bv::zeros(width);
+            v = v.with_bit(0, ppc_bits::Bit::One);
+            b.konst(v)
+        };
+        let neg1 = b.konst(Bv::from_i64(-1, width));
+        let ovf = b.and(b.eq(a, min), b.eq(d, neg1));
+        b.or(div0, ovf)
+    } else {
+        div0
+    }
+}
+
+/// `cmp`/`cmpl` with a register operand. `signed` selects `cmp` vs
+/// `cmpl`.
+pub(crate) fn cmp_reg(bf: u8, l: bool, ra: u8, rb: u8, signed: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let (a, bb) = if l {
+        let a = b.local("a");
+        b.read_reg(a, Reg::Gpr(ra));
+        let bb = b.local("b");
+        b.read_reg(bb, Reg::Gpr(rb));
+        (b.l(a), b.l(bb))
+    } else {
+        // Word compares read only the low 32 bits (cf. Fig. 3's
+        // regs_in: {XER.SO, GPR5[32..63], GPR7[32..63]}).
+        let a = b.local("a");
+        b.read_reg_slice(a, Reg::Gpr(ra), 32, 32);
+        let bb = b.local("b");
+        b.read_reg_slice(bb, Reg::Gpr(rb), 32, 32);
+        if signed {
+            (b.exts(b.l(a), 64), b.exts(b.l(bb), 64))
+        } else {
+            (b.extz(b.l(a), 64), b.extz(b.l(bb), 64))
+        }
+    };
+    finish_cmp(&mut b, bf, a, bb, signed);
+    b.build()
+}
+
+/// `cmpi`/`cmpli`.
+pub(crate) fn cmp_imm(bf: u8, l: bool, ra: u8, imm: i32, signed: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let a = if l {
+        let a = b.local("a");
+        b.read_reg(a, Reg::Gpr(ra));
+        b.l(a)
+    } else {
+        let a = b.local("a");
+        b.read_reg_slice(a, Reg::Gpr(ra), 32, 32);
+        if signed {
+            b.exts(b.l(a), 64)
+        } else {
+            b.extz(b.l(a), 64)
+        }
+    };
+    let i = if signed {
+        b.konst(Bv::from_i64(i64::from(imm), 64))
+    } else {
+        b.c64(imm as u32 as u64)
+    };
+    finish_cmp(&mut b, bf, a, i, signed);
+    b.build()
+}
+
+/// Shared tail: `c := LT‖GT‖EQ; CR[4×BF+32 .. +3] := c ‖ XER.SO`.
+fn finish_cmp(b: &mut SemBuilder, bf: u8, a: Exp, bb: Exp, signed: bool) {
+    let c = b.local("c");
+    let (lt, gt) = if signed {
+        (b.lt_s(a.clone(), bb.clone()), b.gt_s(a.clone(), bb.clone()))
+    } else {
+        (b.lt_u(a.clone(), bb.clone()), b.gt_u(a.clone(), bb.clone()))
+    };
+    let eq = b.eq(a, bb);
+    b.assign(c, b.concat(lt, b.concat(gt, eq)));
+    let so = b.local("so");
+    b.read_xer_so(so);
+    b.write_crf(usize::from(bf), b.concat(b.l(c), b.l(so)));
+}

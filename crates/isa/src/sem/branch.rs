@@ -1,0 +1,138 @@
+//! Branch Facility semantics (`b`, `bc`, `bclr`, `bcctr`).
+//!
+//! `CIA`/`NIA` are pseudo-registers (§2.1.4): reading `CIA` creates no
+//! dependency, and the `NIA` write is how a branch resolves. The `BO`
+//! field is decoded at build time so that "branch always" forms perform
+//! no CR read and "no CTR" forms never touch `CTR`, keeping footprints
+//! exact.
+
+use ppc_idl::{Exp, Reg, Sem, SemBuilder};
+
+/// Word displacement field → byte displacement.
+fn byte_disp(field: i64) -> i64 {
+    field << 2
+}
+
+/// The branch target: absolute, or `CIA + disp` (reading CIA).
+fn target(b: &mut SemBuilder, disp: i64, aa: bool) -> Exp {
+    if aa {
+        b.konst(ppc_bits::Bv::from_i64(disp, 64))
+    } else {
+        let cia = b.local("cia");
+        b.read_reg(cia, Reg::Cia);
+        b.add(b.l(cia), b.konst(ppc_bits::Bv::from_i64(disp, 64)))
+    }
+}
+
+/// Write `LR := CIA + 4` for `LK = 1` forms.
+fn link(b: &mut SemBuilder) {
+    let cia = b.local("cia_lk");
+    b.read_reg(cia, Reg::Cia);
+    b.write_reg(Reg::Lr, b.add(b.l(cia), b.c64(4)));
+}
+
+/// `b/ba/bl/bla`.
+pub(crate) fn b(li: i32, aa: bool, lk: bool) -> Sem {
+    let mut bld = SemBuilder::new();
+    if lk {
+        link(&mut bld);
+    }
+    let t = target(&mut bld, byte_disp(i64::from(li)), aa);
+    bld.write_reg(Reg::Nia, t);
+    bld.build()
+}
+
+/// The common conditional-branch core: evaluates the BO/BI condition and
+/// writes NIA to `tgt` when taken. `tgt` is built by the closure only on
+/// demand (so indirect branches read LR/CTR exactly once).
+fn bc_core(
+    bld: &mut SemBuilder,
+    bo: u8,
+    bi: u8,
+    lk: bool,
+    tgt: impl FnOnce(&mut SemBuilder) -> Exp,
+) {
+    let bo0 = bo & 0b10000 != 0; // ignore condition
+    let bo1 = bo & 0b01000 != 0; // sense of the condition
+    let bo2 = bo & 0b00100 != 0; // 1 = don't decrement CTR
+    let bo3 = bo & 0b00010 != 0; // branch if CTR == 0
+
+    if lk {
+        link(bld);
+    }
+
+    // CTR handling (only when BO[2] = 0).
+    let ctr_ok = if bo2 {
+        None
+    } else {
+        let ctr = bld.local("ctr");
+        bld.read_reg(ctr, Reg::Ctr);
+        let ctr_new = bld.local("ctr_new");
+        bld.assign(ctr_new, bld.sub(bld.l(ctr), bld.c64(1)));
+        bld.write_reg(Reg::Ctr, bld.l(ctr_new));
+        let zero_test = bld.eq(bld.l(ctr_new), bld.c64(0));
+        Some(if bo3 {
+            zero_test
+        } else {
+            bld.not(zero_test)
+        })
+    };
+
+    // Condition handling (only when BO[0] = 0): a single-bit CR read.
+    let cond_ok = if bo0 {
+        None
+    } else {
+        let crb = bld.local("cr_bi");
+        bld.read_reg_slice(crb, Reg::Cr, usize::from(bi), 1);
+        Some(if bo1 {
+            bld.l(crb)
+        } else {
+            bld.not(bld.l(crb))
+        })
+    };
+
+    let taken = match (ctr_ok, cond_ok) {
+        (None, None) => None, // branch always
+        (Some(c), None) | (None, Some(c)) => Some(c),
+        (Some(a), Some(b)) => Some(bld.and(a, b)),
+    };
+
+    match taken {
+        None => {
+            let t = tgt(bld);
+            bld.write_reg(Reg::Nia, t);
+        }
+        Some(cond) => {
+            let ok = bld.local("taken");
+            bld.assign(ok, cond);
+            let t = tgt(bld);
+            let tl = bld.local("t");
+            bld.assign(tl, t);
+            bld.if_then(bld.l(ok), |bld| {
+                bld.write_reg(Reg::Nia, bld.l(tl));
+            });
+        }
+    }
+}
+
+/// `bc/bca/bcl/bcla`.
+pub(crate) fn bc(bo: u8, bi: u8, bd: i16, aa: bool, lk: bool) -> Sem {
+    let mut bld = SemBuilder::new();
+    bc_core(&mut bld, bo, bi, lk, |bld| {
+        target(bld, byte_disp(i64::from(bd)), aa)
+    });
+    bld.build()
+}
+
+/// `bclr`/`bcctr`: branch conditional to `LR` or `CTR`, with the low two
+/// bits of the target register cleared.
+pub(crate) fn bc_indirect(src: Reg, bo: u8, bi: u8, lk: bool) -> Sem {
+    let mut bld = SemBuilder::new();
+    bc_core(&mut bld, bo, bi, lk, |bld| {
+        let r = bld.local("tgt_reg");
+        bld.read_reg(r, src);
+        // target = reg[0:61] || 0b00
+        bld.and(bld.l(r), bld.c64(!0b11))
+    });
+    bld.build()
+}

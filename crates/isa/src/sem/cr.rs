@@ -1,0 +1,112 @@
+//! Condition-register and special-purpose-register move semantics.
+//!
+//! These pin down the *register granularity* questions of §2.1.4: CR
+//! accesses here touch only the bits/fields named by the instruction, so
+//! (for example) `mtocrf cr3` followed by `mfocrf r6,cr4` creates no
+//! dependency — the observable behaviour of `MP+sync+addr-cr`.
+
+use crate::ast::{CrOp, SprName};
+use ppc_bits::Bv;
+use ppc_idl::{Reg, Sem, SemBuilder};
+
+/// CR-logical: `CR[BT+32] := CR[BA+32] op CR[BB+32]` — single-bit reads
+/// and a single-bit write.
+pub(crate) fn cr_logical(op: CrOp, bt: u8, ba: u8, bb: u8) -> Sem {
+    let mut b = SemBuilder::new();
+    let x = b.local("a");
+    b.read_reg_slice(x, Reg::Cr, usize::from(ba), 1);
+    let y = b.local("b");
+    b.read_reg_slice(y, Reg::Cr, usize::from(bb), 1);
+    let v = match op {
+        CrOp::And => b.and(b.l(x), b.l(y)),
+        CrOp::Or => b.or(b.l(x), b.l(y)),
+        CrOp::Xor => b.xor(b.l(x), b.l(y)),
+        CrOp::Nand => b.nand(b.l(x), b.l(y)),
+        CrOp::Nor => b.nor(b.l(x), b.l(y)),
+        CrOp::Eqv => b.eqv(b.l(x), b.l(y)),
+        CrOp::Andc => b.andc(b.l(x), b.l(y)),
+        CrOp::Orc => b.orc(b.l(x), b.l(y)),
+    };
+    b.write_reg_slice(Reg::Cr, usize::from(bt), 1, v);
+    b.build()
+}
+
+/// `mcrf BF,BFA`: copy one 4-bit CR field.
+pub(crate) fn mcrf(bf: u8, bfa: u8) -> Sem {
+    let mut b = SemBuilder::new();
+    let v = b.local("field");
+    b.read_crf(v, usize::from(bfa));
+    b.write_crf(usize::from(bf), b.l(v));
+    b.build()
+}
+
+/// `mfspr RT,SPR`.
+pub(crate) fn mfspr(rt: u8, spr: SprName) -> Sem {
+    let mut b = SemBuilder::new();
+    let v = b.local("spr");
+    b.read_reg(v, spr.reg());
+    b.write_reg(Reg::Gpr(rt), b.l(v));
+    b.build()
+}
+
+/// `mtspr SPR,RS`.
+pub(crate) fn mtspr(spr: SprName, rs: u8) -> Sem {
+    let mut b = SemBuilder::new();
+    let v = b.local("s");
+    b.read_reg(v, Reg::Gpr(rs));
+    b.write_reg(spr.reg(), b.l(v));
+    b.build()
+}
+
+/// `mfcr RT`: `RT := EXTZ(CR)` — reads the whole condition register
+/// (and therefore depends on all of it, unlike `mfocrf`).
+pub(crate) fn mfcr(rt: u8) -> Sem {
+    let mut b = SemBuilder::new();
+    let v = b.local("cr");
+    b.read_reg(v, Reg::Cr);
+    b.write_reg(Reg::Gpr(rt), b.extz(b.l(v), 64));
+    b.build()
+}
+
+/// `mfocrf RT,FXM`: reads only the CR fields named by FXM; all other RT
+/// bits are architecturally undefined.
+pub(crate) fn mfocrf(rt: u8, fxm: u8) -> Sem {
+    let mut b = SemBuilder::new();
+    // Assemble the low word from per-field reads / undef filler, then do
+    // one whole-register write (exactly-once write footprint, §2.1.3).
+    let mut word = b.konst(Bv::undef(0));
+    let mut started = false;
+    for n in 0..8usize {
+        let piece = if fxm & (0x80 >> n) != 0 {
+            let f = b.local(&format!("cr{n}"));
+            b.read_crf(f, n);
+            b.l(f)
+        } else {
+            b.konst(Bv::undef(4))
+        };
+        word = if started {
+            b.concat(word, piece)
+        } else {
+            piece
+        };
+        started = true;
+    }
+    let full = b.concat(b.konst(Bv::undef(32)), word);
+    b.write_reg(Reg::Gpr(rt), full);
+    b.build()
+}
+
+/// `mtcrf FXM,RS` / `mtocrf FXM,RS`: write only the CR fields named by
+/// FXM, each as a separate 4-bit write (field granularity).
+pub(crate) fn mtcrf(fxm: u8, rs: u8, _one_field: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    // Only the low word of RS participates.
+    b.read_reg_slice(s, Reg::Gpr(rs), 32, 32);
+    for n in 0..8usize {
+        if fxm & (0x80 >> n) != 0 {
+            b.write_crf(n, b.slice(b.l(s), 4 * n, 4));
+        }
+    }
+    b.build()
+}

@@ -1,0 +1,220 @@
+//! Fixed-point load/store semantics, including update forms,
+//! byte-reversed forms, multiple/string forms, and load-reserve /
+//! store-conditional.
+//!
+//! Statement order follows the vendor pseudocode: base-register read(s)
+//! and the `EA` computation come first, then the memory access, then any
+//! update write-back — so the memory footprint of a partially executed
+//! access becomes determined as early as architecturally possible
+//! (§2.1.6).
+
+use crate::ast::Ea;
+use crate::sem::record_cr0;
+use ppc_bits::Bv;
+use ppc_idl::{Local, Reg, Sem, SemBuilder};
+
+/// Compute `EA` into a local: `(RA|0) + EXTS(D)` or `(RA|0) + (RB)`;
+/// update forms use `RA` directly (RA=0 is an invalid form, rejected at
+/// decode).
+fn effective_address(b: &mut SemBuilder, ra: u8, ea: Ea, update: bool) -> Local {
+    let base = b.local("b");
+    if update {
+        b.read_reg(base, Reg::Gpr(ra));
+    } else {
+        b.reg_or_zero(base, ra);
+    }
+    let eal = b.local("EA");
+    match ea {
+        Ea::D(d) => {
+            let disp = b.konst(Bv::from_i64(i64::from(d), 64));
+            b.assign(eal, b.add(b.l(base), disp));
+        }
+        Ea::Rb(rb) => {
+            let idx = b.local("idx");
+            b.read_reg(idx, Reg::Gpr(rb));
+            b.assign(eal, b.add(b.l(base), b.l(idx)));
+        }
+    }
+    eal
+}
+
+/// The generic fixed-point load.
+pub(crate) fn load(
+    size: u8,
+    algebraic: bool,
+    update: bool,
+    byterev: bool,
+    rt: u8,
+    ra: u8,
+    ea: Ea,
+) -> Sem {
+    let mut b = SemBuilder::new();
+    let eal = effective_address(&mut b, ra, ea, update);
+    let m = b.local("m");
+    b.read_mem(m, b.l(eal), usize::from(size));
+    let v = if byterev {
+        b.byte_reverse(b.l(m))
+    } else {
+        b.l(m)
+    };
+    let v = if algebraic {
+        b.exts(v, 64)
+    } else {
+        b.extz(v, 64)
+    };
+    b.write_reg(Reg::Gpr(rt), v);
+    if update {
+        b.write_reg(Reg::Gpr(ra), b.l(eal));
+    }
+    b.build()
+}
+
+/// The generic fixed-point store.
+pub(crate) fn store(size: u8, update: bool, byterev: bool, rs: u8, ra: u8, ea: Ea) -> Sem {
+    let mut b = SemBuilder::new();
+    let eal = effective_address(&mut b, ra, ea, update);
+    let data = b.local("data");
+    let bits = usize::from(size) * 8;
+    if size == 8 {
+        b.read_reg(data, Reg::Gpr(rs));
+    } else {
+        b.read_reg_slice(data, Reg::Gpr(rs), 64 - bits, bits);
+    }
+    let v = if byterev {
+        b.byte_reverse(b.l(data))
+    } else {
+        b.l(data)
+    };
+    b.write_mem(b.l(eal), usize::from(size), v);
+    if update {
+        b.write_reg(Reg::Gpr(ra), b.l(eal));
+    }
+    b.build()
+}
+
+/// `lmw RT,D(RA)`: `for r = RT to 31 do GPR[r] := MEM(EA + (r−RT)*4, 4)`.
+pub(crate) fn lmw(rt: u8, ra: u8, d: i32) -> Sem {
+    let mut b = SemBuilder::new();
+    let eal = effective_address(&mut b, ra, Ea::D(d), false);
+    let r = b.local("r");
+    let m = b.local("m");
+    let addr = b.local("addr");
+    b.for_loop(r, b.c64(u64::from(rt)), b.c64(31), false, |b| {
+        let off = b.mul_low(
+            b.sub(b.l(r), b.c64(u64::from(rt))),
+            b.c64(4),
+        );
+        b.assign(addr, b.add(b.l(eal), off));
+        b.read_mem(m, b.l(addr), 4);
+        b.write_gpr_dyn(b.l(r), b.extz(b.l(m), 64));
+    });
+    b.build()
+}
+
+/// `stmw RS,D(RA)`.
+pub(crate) fn stmw(rs: u8, ra: u8, d: i32) -> Sem {
+    let mut b = SemBuilder::new();
+    let eal = effective_address(&mut b, ra, Ea::D(d), false);
+    let r = b.local("r");
+    let w = b.local("w");
+    let addr = b.local("addr");
+    b.for_loop(r, b.c64(u64::from(rs)), b.c64(31), false, |b| {
+        let off = b.mul_low(
+            b.sub(b.l(r), b.c64(u64::from(rs))),
+            b.c64(4),
+        );
+        b.assign(addr, b.add(b.l(eal), off));
+        b.read_gpr_dyn(w, b.l(r));
+        b.write_mem(b.l(addr), 4, b.slice(b.l(w), 32, 32));
+    });
+    b.build()
+}
+
+/// `lswi RT,RA,NB`: load string word immediate. `NB = 0` means 32 bytes.
+/// Unrolled at build time (fields are concrete), loading whole registers
+/// where possible and zero-padding the tail, wrapping `r31 → r0`.
+pub(crate) fn lswi(rt: u8, ra: u8, nb: u8) -> Sem {
+    let n = if nb == 0 { 32usize } else { usize::from(nb) };
+    let mut b = SemBuilder::new();
+    let base = b.local("b");
+    b.reg_or_zero(base, ra);
+    let mut reg = rt;
+    let mut remaining = n;
+    let mut offset = 0u64;
+    while remaining > 0 {
+        let chunk = remaining.min(4);
+        let m = b.local(&format!("m{offset}"));
+        b.read_mem(m, b.add(b.l(base), b.c64(offset)), chunk);
+        // The word is filled from the left (big-endian), zero-padded.
+        let padded = if chunk == 4 {
+            b.l(m)
+        } else {
+            let pad = b.cn(0, (4 - chunk) * 8);
+            b.concat(b.l(m), pad)
+        };
+        b.write_reg(Reg::Gpr(reg), b.extz(padded, 64));
+        reg = (reg + 1) % 32;
+        remaining -= chunk;
+        offset += chunk as u64;
+    }
+    b.build()
+}
+
+/// `stswi RS,RA,NB`.
+pub(crate) fn stswi(rs: u8, ra: u8, nb: u8) -> Sem {
+    let n = if nb == 0 { 32usize } else { usize::from(nb) };
+    let mut b = SemBuilder::new();
+    let base = b.local("b");
+    b.reg_or_zero(base, ra);
+    let mut reg = rs;
+    let mut remaining = n;
+    let mut offset = 0u64;
+    while remaining > 0 {
+        let chunk = remaining.min(4);
+        let w = b.local(&format!("w{offset}"));
+        // Bytes come from the left of the low word.
+        b.read_reg_slice(w, Reg::Gpr(reg), 32, chunk * 8);
+        b.write_mem(b.add(b.l(base), b.c64(offset)), chunk, b.l(w));
+        reg = (reg + 1) % 32;
+        remaining -= chunk;
+        offset += chunk as u64;
+    }
+    b.build()
+}
+
+/// `lwarx/ldarx`: load and reserve.
+pub(crate) fn larx(size: u8, rt: u8, ra: u8, rb: u8) -> Sem {
+    let mut b = SemBuilder::new();
+    let eal = effective_address(&mut b, ra, Ea::Rb(rb), false);
+    let m = b.local("m");
+    b.read_mem_reserve(m, b.l(eal), usize::from(size));
+    b.write_reg(Reg::Gpr(rt), b.extz(b.l(m), 64));
+    b.build()
+}
+
+/// `stwcx./stdcx.`: store conditional; always records CR0 as
+/// `0b00 ‖ success ‖ XER.SO`.
+pub(crate) fn stcx(size: u8, rs: u8, ra: u8, rb: u8) -> Sem {
+    let mut b = SemBuilder::new();
+    let eal = effective_address(&mut b, ra, Ea::Rb(rb), false);
+    let data = b.local("data");
+    let bits = usize::from(size) * 8;
+    if size == 8 {
+        b.read_reg(data, Reg::Gpr(rs));
+    } else {
+        b.read_reg_slice(data, Reg::Gpr(rs), 64 - bits, bits);
+    }
+    let success = b.local("success");
+    b.write_mem_cond(success, b.l(eal), usize::from(size), b.l(data));
+    let so = b.local("so");
+    b.read_xer_so(so);
+    let flags = b.concat(b.cn(0, 2), b.concat(b.l(success), b.l(so)));
+    b.write_crf(0, flags);
+    b.build()
+}
+
+/// Record-form helper re-exported for store-conditional-free users.
+#[allow(dead_code)]
+pub(crate) fn record(b: &mut SemBuilder, result: ppc_idl::Exp) {
+    record_cr0(b, result);
+}

@@ -1,0 +1,377 @@
+//! Fixed-point logical, sign-extension, rotate and shift semantics.
+
+use crate::ast::{LogImmOp, LogOp, RldOp, RldcOp, ShiftOp, UnaryOp};
+use crate::sem::record_cr0;
+use ppc_bits::{Bit, Bv};
+use ppc_idl::{Exp, Reg, Sem, SemBuilder};
+
+/// D-form logical immediate. `andi./andis.` always record.
+pub(crate) fn log_imm(op: LogImmOp, rs: u8, ra: u8, ui: u32) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    b.read_reg(s, Reg::Gpr(rs));
+    let imm = match op {
+        LogImmOp::Andi | LogImmOp::Ori | LogImmOp::Xori => b.c64(u64::from(ui)),
+        LogImmOp::Andis | LogImmOp::Oris | LogImmOp::Xoris => b.c64(u64::from(ui) << 16),
+    };
+    let result = b.local("result");
+    let v = match op {
+        LogImmOp::Andi | LogImmOp::Andis => b.and(b.l(s), imm),
+        LogImmOp::Ori | LogImmOp::Oris => b.or(b.l(s), imm),
+        LogImmOp::Xori | LogImmOp::Xoris => b.xor(b.l(s), imm),
+    };
+    b.assign(result, v);
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    if matches!(op, LogImmOp::Andi | LogImmOp::Andis) {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// X-form logical. When `RS == RB` the register is read once and both
+/// operands use the same local — the value-identity that makes the
+/// `xor rD,rS,rS` false-dependency idiom produce a *defined* zero even
+/// when `rS` holds undefined bits (cf. §2.1.3's exactly-once reads).
+pub(crate) fn log_reg(op: LogOp, rs: u8, ra: u8, rb: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    b.read_reg(s, Reg::Gpr(rs));
+    let t = if rb == rs {
+        s
+    } else {
+        let t = b.local("t");
+        b.read_reg(t, Reg::Gpr(rb));
+        t
+    };
+    let result = b.local("result");
+    let v = match op {
+        LogOp::And => b.and(b.l(s), b.l(t)),
+        LogOp::Or => b.or(b.l(s), b.l(t)),
+        LogOp::Xor => b.xor(b.l(s), b.l(t)),
+        LogOp::Nand => b.nand(b.l(s), b.l(t)),
+        LogOp::Nor => b.nor(b.l(s), b.l(t)),
+        LogOp::Eqv => b.eqv(b.l(s), b.l(t)),
+        LogOp::Andc => b.andc(b.l(s), b.l(t)),
+        LogOp::Orc => b.orc(b.l(s), b.l(t)),
+    };
+    b.assign(result, v);
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// X-form unary: extends, counts, per-byte popcount.
+pub(crate) fn unary(op: UnaryOp, rs: u8, ra: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let result = b.local("result");
+    match op {
+        UnaryOp::Extsb => {
+            let s = b.local("s");
+            b.read_reg_slice(s, Reg::Gpr(rs), 56, 8);
+            b.assign(result, b.exts(b.l(s), 64));
+        }
+        UnaryOp::Extsh => {
+            let s = b.local("s");
+            b.read_reg_slice(s, Reg::Gpr(rs), 48, 16);
+            b.assign(result, b.exts(b.l(s), 64));
+        }
+        UnaryOp::Extsw => {
+            let s = b.local("s");
+            b.read_reg_slice(s, Reg::Gpr(rs), 32, 32);
+            b.assign(result, b.exts(b.l(s), 64));
+        }
+        UnaryOp::Cntlzw => {
+            let s = b.local("s");
+            b.read_reg_slice(s, Reg::Gpr(rs), 32, 32);
+            b.assign(result, b.extz(b.clz(b.l(s)), 64));
+        }
+        UnaryOp::Cntlzd => {
+            let s = b.local("s");
+            b.read_reg(s, Reg::Gpr(rs));
+            b.assign(result, b.clz(b.l(s)));
+        }
+        UnaryOp::Popcntb => {
+            let s = b.local("s");
+            b.read_reg(s, Reg::Gpr(rs));
+            b.assign(result, b.popcnt_bytes(b.l(s)));
+        }
+    }
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// The 64-bit mask `MASK(mb, me)` of the vendor pseudocode, with
+/// wrap-around when `mb > me`.
+fn mask64(mb: usize, me: usize) -> Bv {
+    let mut bits = vec![Bit::Zero; 64];
+    if mb <= me {
+        for bit in bits.iter_mut().take(me + 1).skip(mb) {
+            *bit = Bit::One;
+        }
+    } else {
+        for (i, bit) in bits.iter_mut().enumerate() {
+            if i >= mb || i <= me {
+                *bit = Bit::One;
+            }
+        }
+    }
+    Bv::from_bits(bits)
+}
+
+/// `ROTL32(x, n)` : the rotated word replicated into both halves.
+fn rotl32_exp(b: &mut SemBuilder, word: Exp, n: Exp) -> Exp {
+    let doubled = b.concat(word.clone(), word);
+    b.rotl(doubled, n)
+}
+
+/// `rlwinm RA,RS,SH,MB,ME`.
+pub(crate) fn rlwinm(rs: u8, ra: u8, sh: u8, mb: u8, me: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    b.read_reg_slice(s, Reg::Gpr(rs), 32, 32);
+    let r = b.local("r");
+    let (w, n) = (b.l(s), b.c64(u64::from(sh)));
+    let rot = rotl32_exp(&mut b, w, n);
+    b.assign(r, rot);
+    let m = b.konst(mask64(usize::from(mb) + 32, usize::from(me) + 32));
+    let result = b.local("result");
+    b.assign(result, b.and(b.l(r), m));
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// `rlwnm RA,RS,RB,MB,ME` — rotate amount from `RB[59:63]`.
+pub(crate) fn rlwnm(rs: u8, ra: u8, rb: u8, mb: u8, me: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    b.read_reg_slice(s, Reg::Gpr(rs), 32, 32);
+    let n = b.local("n");
+    b.read_reg_slice(n, Reg::Gpr(rb), 59, 5);
+    let r = b.local("r");
+    let (w, amt) = (b.l(s), b.extz(b.l(n), 64));
+    let rot = rotl32_exp(&mut b, w, amt);
+    b.assign(r, rot);
+    let m = b.konst(mask64(usize::from(mb) + 32, usize::from(me) + 32));
+    let result = b.local("result");
+    b.assign(result, b.and(b.l(r), m));
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// `rlwimi RA,RS,SH,MB,ME` — insert under mask (reads RA as well).
+pub(crate) fn rlwimi(rs: u8, ra: u8, sh: u8, mb: u8, me: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    b.read_reg_slice(s, Reg::Gpr(rs), 32, 32);
+    let old = b.local("old");
+    b.read_reg(old, Reg::Gpr(ra));
+    let r = b.local("r");
+    let (w, n) = (b.l(s), b.c64(u64::from(sh)));
+    let rot = rotl32_exp(&mut b, w, n);
+    b.assign(r, rot);
+    let m = b.konst(mask64(usize::from(mb) + 32, usize::from(me) + 32));
+    let result = b.local("result");
+    b.assign(
+        result,
+        b.or(b.and(b.l(r), m.clone()), b.andc(b.l(old), m)),
+    );
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// MD-form 64-bit rotates with immediate shift.
+pub(crate) fn rld(op: RldOp, rs: u8, ra: u8, sh: u8, mbe: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    b.read_reg(s, Reg::Gpr(rs));
+    let r = b.local("r");
+    b.assign(r, b.rotl(b.l(s), b.c64(u64::from(sh))));
+    let m = match op {
+        RldOp::Icl => mask64(usize::from(mbe), 63),
+        RldOp::Icr => mask64(0, usize::from(mbe)),
+        RldOp::Ic | RldOp::Imi => mask64(usize::from(mbe), 63 - usize::from(sh)),
+    };
+    let result = b.local("result");
+    if op == RldOp::Imi {
+        let old = b.local("old");
+        b.read_reg(old, Reg::Gpr(ra));
+        b.assign(
+            result,
+            b.or(
+                b.and(b.l(r), b.konst(m.clone())),
+                b.andc(b.l(old), b.konst(m)),
+            ),
+        );
+    } else {
+        b.assign(result, b.and(b.l(r), b.konst(m)));
+    }
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// MDS-form 64-bit rotates with register shift amount (`RB[58:63]`).
+pub(crate) fn rldc(op: RldcOp, rs: u8, ra: u8, rb: u8, mbe: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    b.read_reg(s, Reg::Gpr(rs));
+    let n = b.local("n");
+    b.read_reg_slice(n, Reg::Gpr(rb), 58, 6);
+    let r = b.local("r");
+    b.assign(r, b.rotl(b.l(s), b.extz(b.l(n), 64)));
+    let m = match op {
+        RldcOp::Cl => mask64(usize::from(mbe), 63),
+        RldcOp::Cr => mask64(0, usize::from(mbe)),
+    };
+    let result = b.local("result");
+    b.assign(result, b.and(b.l(r), b.konst(m)));
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// X-form shifts with register amounts. `sraw`/`srad` also set `XER.CA`.
+pub(crate) fn shift(op: ShiftOp, rs: u8, ra: u8, rb: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let word = matches!(op, ShiftOp::Slw | ShiftOp::Srw | ShiftOp::Sraw);
+    let s = b.local("s");
+    if word {
+        b.read_reg_slice(s, Reg::Gpr(rs), 32, 32);
+    } else {
+        b.read_reg(s, Reg::Gpr(rs));
+    }
+    let n = b.local("n");
+    // Word shifts take a 6-bit amount, doubleword shifts a 7-bit amount.
+    if word {
+        b.read_reg_slice(n, Reg::Gpr(rb), 58, 6);
+    } else {
+        b.read_reg_slice(n, Reg::Gpr(rb), 57, 7);
+    }
+    let amount = b.extz(b.l(n), 64);
+    let result = b.local("result");
+    match op {
+        ShiftOp::Slw => {
+            b.assign(result, b.extz(b.shl(b.l(s), amount), 64));
+        }
+        ShiftOp::Srw => {
+            b.assign(result, b.extz(b.lshr(b.l(s), amount), 64));
+        }
+        ShiftOp::Sraw => {
+            b.assign(result, b.exts(b.ashr(b.l(s), amount.clone()), 64));
+            shift_carry(&mut b, s, amount, 32);
+        }
+        ShiftOp::Sld => {
+            b.assign(result, b.shl(b.l(s), amount));
+        }
+        ShiftOp::Srd => {
+            b.assign(result, b.lshr(b.l(s), amount));
+        }
+        ShiftOp::Srad => {
+            b.assign(result, b.ashr(b.l(s), amount.clone()));
+            shift_carry(&mut b, s, amount, 64);
+        }
+    }
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// `XER.CA := sign(s) & (bits shifted out ≠ 0)` for the algebraic
+/// right shifts; the shifted-out bits are `s & ¬(ones << n)`.
+fn shift_carry(b: &mut SemBuilder, s: ppc_idl::Local, amount: Exp, width: usize) {
+    let ones = b.konst(Bv::ones(width));
+    let kept = b.shl(ones, amount);
+    let lost = b.andc(b.l(s), kept);
+    let any_lost = b.ne(lost, b.konst(Bv::zeros(width)));
+    let sign = b.slice(b.l(s), 0, 1);
+    b.write_xer_ca(b.and(sign, any_lost));
+}
+
+/// `srawi RA,RS,SH`.
+pub(crate) fn srawi(rs: u8, ra: u8, sh: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    b.read_reg_slice(s, Reg::Gpr(rs), 32, 32);
+    let result = b.local("result");
+    b.assign(result, b.exts(b.ashr(b.l(s), b.c64(u64::from(sh))), 64));
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    {
+        let amt = b.c64(u64::from(sh));
+        shift_carry(&mut b, s, amt, 32);
+    }
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}
+
+/// `sradi RA,RS,SH` (6-bit SH).
+pub(crate) fn sradi(rs: u8, ra: u8, sh: u8, rc: bool) -> Sem {
+    let mut b = SemBuilder::new();
+    let s = b.local("s");
+    b.read_reg(s, Reg::Gpr(rs));
+    let result = b.local("result");
+    b.assign(result, b.ashr(b.l(s), b.c64(u64::from(sh))));
+    b.write_reg(Reg::Gpr(ra), b.l(result));
+    {
+        let amt = b.c64(u64::from(sh));
+        shift_carry(&mut b, s, amt, 64);
+    }
+    if rc {
+        {
+            let r = b.l(result);
+            record_cr0(&mut b, r);
+        }
+    }
+    b.build()
+}

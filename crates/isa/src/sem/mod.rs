@@ -1,0 +1,139 @@
+//! Instruction semantics: one builder per instruction family, mirroring
+//! the vendor pseudocode line-for-line (paper §3/Fig. 2).
+//!
+//! Each builder produces a [`ppc_idl::Sem`] whose micro-operations follow
+//! the vendor documentation's statement order. Sequencing matters
+//! architecturally (§2.1.6): the effective-address computation precedes
+//! the data register read in every store, which is what allows a
+//! partially executed store's write footprint to be determined before its
+//! data arrives.
+//!
+//! Register *self-reads* are rewritten to local variables (§2.1.3), so
+//! each instruction reads and writes every element of its footprint
+//! exactly once, and footprints are computable from the opcode fields.
+//!
+//! Instruction fields are concrete at build time; conditional structure
+//! that depends only on fields (e.g. `RA == 0` base selection, `BO`
+//! decoding in branches) is resolved *here*, keeping the IDL footprints
+//! exact — crucially, `bc` with `BO[0] = 1` performs no CR read at all,
+//! so "branch always" creates no false register dependency.
+
+mod arith;
+mod branch;
+mod cr;
+mod loadstore;
+mod logical;
+
+use crate::ast::Instruction;
+use ppc_idl::{Reg, Sem, SemBuilder};
+
+/// Build the IDL semantics of a decoded instruction.
+///
+/// Composing this with [`ppc_idl::InstrState::new`] gives the paper's
+/// `initial_state : context -> instruction -> instruction_state`.
+#[must_use]
+pub fn semantics(i: &Instruction) -> Sem {
+    use Instruction::*;
+    match i {
+        B { li, aa, lk } => branch::b(*li, *aa, *lk),
+        Bc { bo, bi, bd, aa, lk } => branch::bc(*bo, *bi, *bd, *aa, *lk),
+        Bclr { bo, bi, lk, .. } => branch::bc_indirect(Reg::Lr, *bo, *bi, *lk),
+        Bcctr { bo, bi, lk, .. } => branch::bc_indirect(Reg::Ctr, *bo, *bi, *lk),
+        CrLogical { op, bt, ba, bb } => cr::cr_logical(*op, *bt, *ba, *bb),
+        Mcrf { bf, bfa } => cr::mcrf(*bf, *bfa),
+        Load {
+            size,
+            algebraic,
+            update,
+            byterev,
+            rt,
+            ra,
+            ea,
+        } => loadstore::load(*size, *algebraic, *update, *byterev, *rt, *ra, *ea),
+        Store {
+            size,
+            update,
+            byterev,
+            rs,
+            ra,
+            ea,
+        } => loadstore::store(*size, *update, *byterev, *rs, *ra, *ea),
+        Lmw { rt, ra, d } => loadstore::lmw(*rt, *ra, *d),
+        Stmw { rs, ra, d } => loadstore::stmw(*rs, *ra, *d),
+        Lswi { rt, ra, nb } => loadstore::lswi(*rt, *ra, *nb),
+        Stswi { rs, ra, nb } => loadstore::stswi(*rs, *ra, *nb),
+        Larx { size, rt, ra, rb } => loadstore::larx(*size, *rt, *ra, *rb),
+        Stcx { size, rs, ra, rb } => loadstore::stcx(*size, *rs, *ra, *rb),
+        Addi { rt, ra, si } => arith::addi(*rt, *ra, *si, false),
+        Addis { rt, ra, si } => arith::addi(*rt, *ra, *si << 16, true),
+        Addic { rt, ra, si, rc } => arith::addic(*rt, *ra, *si, *rc),
+        Subfic { rt, ra, si } => arith::subfic(*rt, *ra, *si),
+        Mulli { rt, ra, si } => arith::mulli(*rt, *ra, *si),
+        Arith { op, rt, ra, rb, oe, rc } => arith::xo_arith(*op, *rt, *ra, *rb, *oe, *rc),
+        Cmpi { bf, l, ra, si } => arith::cmp_imm(*bf, *l, *ra, *si, true),
+        Cmp { bf, l, ra, rb } => arith::cmp_reg(*bf, *l, *ra, *rb, true),
+        Cmpli { bf, l, ra, ui } => arith::cmp_imm(*bf, *l, *ra, *ui as i32, false),
+        Cmpl { bf, l, ra, rb } => arith::cmp_reg(*bf, *l, *ra, *rb, false),
+        LogImm { op, rs, ra, ui } => logical::log_imm(*op, *rs, *ra, *ui),
+        Logical { op, rs, ra, rb, rc } => logical::log_reg(*op, *rs, *ra, *rb, *rc),
+        Unary { op, rs, ra, rc } => logical::unary(*op, *rs, *ra, *rc),
+        Rlwinm { rs, ra, sh, mb, me, rc } => logical::rlwinm(*rs, *ra, *sh, *mb, *me, *rc),
+        Rlwnm { rs, ra, rb, mb, me, rc } => logical::rlwnm(*rs, *ra, *rb, *mb, *me, *rc),
+        Rlwimi { rs, ra, sh, mb, me, rc } => logical::rlwimi(*rs, *ra, *sh, *mb, *me, *rc),
+        Rld { op, rs, ra, sh, mbe, rc } => logical::rld(*op, *rs, *ra, *sh, *mbe, *rc),
+        Rldc { op, rs, ra, rb, mbe, rc } => logical::rldc(*op, *rs, *ra, *rb, *mbe, *rc),
+        Shift { op, rs, ra, rb, rc } => logical::shift(*op, *rs, *ra, *rb, *rc),
+        Srawi { rs, ra, sh, rc } => logical::srawi(*rs, *ra, *sh, *rc),
+        Sradi { rs, ra, sh, rc } => logical::sradi(*rs, *ra, *sh, *rc),
+        Mfspr { rt, spr } => cr::mfspr(*rt, *spr),
+        Mtspr { spr, rs } => cr::mtspr(*spr, *rs),
+        Mfcr { rt } => cr::mfcr(*rt),
+        Mfocrf { rt, fxm } => cr::mfocrf(*rt, *fxm),
+        Mtcrf { fxm, rs } => cr::mtcrf(*fxm, *rs, false),
+        Mtocrf { fxm, rs } => cr::mtcrf(*fxm, *rs, true),
+        Sync { l } => {
+            let mut b = SemBuilder::new();
+            b.barrier(if *l == 1 {
+                ppc_idl::BarrierKind::Lwsync
+            } else {
+                ppc_idl::BarrierKind::Sync
+            });
+            b.build()
+        }
+        Eieio => {
+            let mut b = SemBuilder::new();
+            b.barrier(ppc_idl::BarrierKind::Eieio);
+            b.build()
+        }
+        Isync => {
+            let mut b = SemBuilder::new();
+            b.barrier(ppc_idl::BarrierKind::Isync);
+            b.build()
+        }
+    }
+}
+
+/// Append the record-form (`Rc = 1`) CR0 update: compare the 64-bit
+/// result with zero (signed) and write `LT‖GT‖EQ‖SO` into CR field 0.
+///
+/// Only for instructions that do *not* themselves write `XER.SO`:
+/// `o.`-forms must pass their freshly computed SO through
+/// [`record_cr0_so`] instead — re-reading `XER.SO` here would be a
+/// register *self-read*, which the paper's §2.1.3 rewrites to a local
+/// variable (and which the thread model's predecessor-walking register
+/// reads would resolve to the stale value).
+pub(crate) fn record_cr0(b: &mut SemBuilder, result: ppc_idl::Exp) {
+    let so = b.local("so");
+    b.read_xer_so(so);
+    record_cr0_so(b, result, ppc_idl::Exp::Local(so));
+}
+
+/// Record-form CR0 update with an explicitly supplied SO value.
+pub(crate) fn record_cr0_so(b: &mut SemBuilder, result: ppc_idl::Exp, so: ppc_idl::Exp) {
+    let zero = b.c64(0);
+    let lt = b.lt_s(result.clone(), zero.clone());
+    let gt = b.gt_s(result.clone(), zero.clone());
+    let eq = b.eq(result, zero);
+    let flags = b.concat(lt, b.concat(gt, b.concat(eq, so)));
+    b.write_crf(0, flags);
+}

@@ -1,0 +1,122 @@
+//! Final-condition expressions (`exists (1:r5=1 /\ 1:r4=0)`).
+
+use ppc_model::FinalState;
+use std::collections::BTreeMap;
+
+/// The quantifier of a final condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `exists` — satisfied if *some* final state matches.
+    Exists,
+    /// `~exists` — the negation (used to state forbidden outcomes).
+    NotExists,
+    /// `forall` — every final state must match.
+    Forall,
+}
+
+/// An atomic condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CondAtom {
+    /// `T:rN = v` — thread `T`'s final GPR `N` equals `v`.
+    Reg {
+        /// Thread index.
+        tid: usize,
+        /// GPR number.
+        gpr: u8,
+        /// Expected value.
+        value: u64,
+    },
+    /// `x = v` — final memory word at location `x` equals `v`.
+    Mem {
+        /// Location name.
+        loc: String,
+        /// Expected value.
+        value: u64,
+    },
+    /// Constant truth (the empty condition).
+    True,
+}
+
+/// A boolean combination of atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CondExpr {
+    /// An atom.
+    Atom(CondAtom),
+    /// Conjunction.
+    And(Box<CondExpr>, Box<CondExpr>),
+    /// Disjunction.
+    Or(Box<CondExpr>, Box<CondExpr>),
+    /// Negation.
+    Not(Box<CondExpr>),
+}
+
+/// A quantified final condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cond {
+    /// The quantifier.
+    pub quantifier: Quantifier,
+    /// The body.
+    pub expr: CondExpr,
+}
+
+impl CondExpr {
+    /// Evaluate against one final state. `locations` maps names to
+    /// addresses (memory atoms are matched by the queried address).
+    #[must_use]
+    pub fn eval(&self, fs: &FinalState, locations: &BTreeMap<String, u64>) -> bool {
+        match self {
+            CondExpr::Atom(a) => a.eval(fs, locations),
+            CondExpr::And(l, r) => l.eval(fs, locations) && r.eval(fs, locations),
+            CondExpr::Or(l, r) => l.eval(fs, locations) || r.eval(fs, locations),
+            CondExpr::Not(e) => !e.eval(fs, locations),
+        }
+    }
+
+    /// All register atoms mentioned (for choosing oracle observables).
+    pub fn reg_atoms(&self, out: &mut Vec<(usize, u8)>) {
+        match self {
+            CondExpr::Atom(CondAtom::Reg { tid, gpr, .. }) => out.push((*tid, *gpr)),
+            CondExpr::Atom(_) => {}
+            CondExpr::And(l, r) | CondExpr::Or(l, r) => {
+                l.reg_atoms(out);
+                r.reg_atoms(out);
+            }
+            CondExpr::Not(e) => e.reg_atoms(out),
+        }
+    }
+
+    /// All memory atoms mentioned.
+    pub fn mem_atoms(&self, out: &mut Vec<String>) {
+        match self {
+            CondExpr::Atom(CondAtom::Mem { loc, .. }) => out.push(loc.clone()),
+            CondExpr::Atom(_) => {}
+            CondExpr::And(l, r) | CondExpr::Or(l, r) => {
+                l.mem_atoms(out);
+                r.mem_atoms(out);
+            }
+            CondExpr::Not(e) => e.mem_atoms(out),
+        }
+    }
+}
+
+impl CondAtom {
+    fn eval(&self, fs: &FinalState, locations: &BTreeMap<String, u64>) -> bool {
+        match self {
+            CondAtom::True => true,
+            CondAtom::Reg { tid, gpr, value } => fs
+                .regs
+                .get(&(*tid, ppc_idl::Reg::Gpr(*gpr)))
+                .and_then(ppc_bits::Bv::to_u64)
+                .is_some_and(|v| v == *value),
+            CondAtom::Mem { loc, value } => {
+                let Some(addr) = locations.get(loc) else {
+                    return false;
+                };
+                fs.mem
+                    .get(addr)
+                    .and_then(ppc_bits::Bv::to_u64)
+                    .is_some_and(|v| v == *value)
+            }
+        }
+    }
+}

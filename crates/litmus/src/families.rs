@@ -1,0 +1,305 @@
+//! Programmatic generation of litmus-test families.
+//!
+//! The paper's concurrent validation uses 2175 litmus tests, mostly
+//! produced by the `diy` cycle generator. We generate the corresponding
+//! systematic families — MP, SB, LB, S and WRC with every combination of
+//! barrier/dependency edge — each with its expected verdict from the
+//! published POWER results. (The verdict rules below *are* the classic
+//! results table: an MP shape is forbidden exactly when the writer side
+//! has a cumulative barrier and the reader side preserves read order,
+//! etc.)
+
+use crate::library::LitmusEntry;
+use crate::test::Expectation;
+
+/// Writer-side edge of MP/S-shaped tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WEdge {
+    Po,
+    Sync,
+    Lwsync,
+}
+
+/// Reader-side edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum REdge {
+    Po,
+    Addr,
+    Ctrl,
+    CtrlIsync,
+}
+
+impl WEdge {
+    fn name(self) -> &'static str {
+        match self {
+            WEdge::Po => "po",
+            WEdge::Sync => "sync",
+            WEdge::Lwsync => "lwsync",
+        }
+    }
+
+    fn orders_writes(self) -> bool {
+        !matches!(self, WEdge::Po)
+    }
+}
+
+impl REdge {
+    fn name(self) -> &'static str {
+        match self {
+            REdge::Po => "po",
+            REdge::Addr => "addr",
+            REdge::Ctrl => "ctrl",
+            REdge::CtrlIsync => "ctrlisync",
+        }
+    }
+
+    fn orders_reads(self) -> bool {
+        matches!(self, REdge::Addr | REdge::CtrlIsync)
+    }
+}
+
+/// A generated test with an owned source (the library uses `&'static`;
+/// generated sources are leaked once — the suite is created once per
+/// process).
+fn entry(
+    name: String,
+    source: String,
+    expect: Expectation,
+    pinned_by: &'static str,
+) -> LitmusEntry {
+    LitmusEntry {
+        name: Box::leak(name.into_boxed_str()),
+        source: Box::leak(source.into_boxed_str()),
+        expect,
+        pinned_by,
+    }
+}
+
+fn mp_variant(w: WEdge, r: REdge) -> LitmusEntry {
+    let name = format!("MP+{}+{}", w.name(), r.name());
+    let reader = match r {
+        REdge::Po => " lwz r5,0(r2) ;\n | lwz r4,0(r1) ;\n",
+        REdge::Addr => " lwz r5,0(r2) ;\n | xor r6,r5,r5 ;\n | lwzx r4,r6,r1 ;\n",
+        REdge::Ctrl => {
+            " lwz r5,0(r2) ;\n | cmpw r5,r7 ;\n | beq L ;\n | L: ;\n | lwz r4,0(r1) ;\n"
+        }
+        REdge::CtrlIsync => {
+            " lwz r5,0(r2) ;\n | cmpw r5,r7 ;\n | beq L ;\n | L: ;\n | isync ;\n | lwz r4,0(r1) ;\n"
+        }
+    };
+    // Re-shape into the two-column table (writer column per row).
+    let reader_rows: Vec<&str> = reader
+        .split(";\n")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim_start_matches('|').trim())
+        .collect();
+    let writer_rows: Vec<&str> = match w {
+        WEdge::Po => vec!["stw r7,0(r1)", "stw r8,0(r2)"],
+        WEdge::Sync => vec!["stw r7,0(r1)", "sync", "stw r8,0(r2)"],
+        WEdge::Lwsync => vec!["stw r7,0(r1)", "lwsync", "stw r8,0(r2)"],
+    };
+    let rows = writer_rows.len().max(reader_rows.len());
+    let mut table = String::from(" P0 | P1 ;\n");
+    for i in 0..rows {
+        let wcell = writer_rows.get(i).copied().unwrap_or("");
+        let rcell = reader_rows.get(i).copied().unwrap_or("");
+        table.push_str(&format!(" {wcell} | {rcell} ;\n"));
+    }
+    let source = format!(
+        "POWER {name}\n{{\n0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;\n1:r1=x; 1:r2=y; 1:r7=1;\nx=0; y=0;\n}}\n{table}exists (1:r5=1 /\\ 1:r4=0)\n"
+    );
+    let expect = if w.orders_writes() && r.orders_reads() {
+        Expectation::Forbidden
+    } else {
+        Expectation::Allowed
+    };
+    entry(name, source, expect, "MP family (classic results table)")
+}
+
+fn sb_variant(a: WEdge, b: WEdge) -> LitmusEntry {
+    let name = format!("SB+{}+{}", a.name(), b.name());
+    let col = |e: WEdge, st: &str, ld: &str| -> Vec<String> {
+        let mut v = vec![st.to_owned()];
+        match e {
+            WEdge::Po => {}
+            WEdge::Sync => v.push("sync".to_owned()),
+            WEdge::Lwsync => v.push("lwsync".to_owned()),
+        }
+        v.push(ld.to_owned());
+        v
+    };
+    let c0 = col(a, "stw r7,0(r1)", "lwz r5,0(r2)");
+    let c1 = col(b, "stw r7,0(r2)", "lwz r6,0(r1)");
+    let rows = c0.len().max(c1.len());
+    let mut table = String::from(" P0 | P1 ;\n");
+    for i in 0..rows {
+        table.push_str(&format!(
+            " {} | {} ;\n",
+            c0.get(i).map_or("", String::as_str),
+            c1.get(i).map_or("", String::as_str)
+        ));
+    }
+    let source = format!(
+        "POWER {name}\n{{\n0:r1=x; 0:r2=y; 0:r7=1;\n1:r1=x; 1:r2=y; 1:r7=1;\nx=0; y=0;\n}}\n{table}exists (0:r5=0 /\\ 1:r6=0)\n"
+    );
+    // Only sync on *both* sides forbids SB.
+    let expect = if a == WEdge::Sync && b == WEdge::Sync {
+        Expectation::Forbidden
+    } else {
+        Expectation::Allowed
+    };
+    entry(name, source, expect, "SB family (classic results table)")
+}
+
+/// LB dependency edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LbEdge {
+    Po,
+    Addr,
+    Data,
+    Ctrl,
+}
+
+impl LbEdge {
+    fn name(self) -> &'static str {
+        match self {
+            LbEdge::Po => "po",
+            LbEdge::Addr => "addr",
+            LbEdge::Data => "data",
+            LbEdge::Ctrl => "ctrl",
+        }
+    }
+
+    /// Whether the edge orders read→write (all true dependencies and
+    /// control do, for writes).
+    fn orders(self) -> bool {
+        !matches!(self, LbEdge::Po)
+    }
+}
+
+fn lb_variant(a: LbEdge, b: LbEdge) -> LitmusEntry {
+    let name = format!("LB+{}+{}", a.name(), b.name());
+    // Data edges store `(r5 xor r5) + 1 = 1` — a constant value carried
+    // through a true data dependency, so a single `exists (0:r5=1 ∧
+    // 1:r6=1)` condition fits every variant.
+    let c0 = rows_for(a, "r2");
+    let c1: Vec<String> = rows_for(b, "r1")
+        .iter()
+        .map(|s| s.replace("r5", "r6").replace('L', "M"))
+        .collect();
+    let rows = c0.len().max(c1.len());
+    let mut table = String::from(" P0 | P1 ;\n");
+    for i in 0..rows {
+        table.push_str(&format!(
+            " {} | {} ;\n",
+            c0.get(i).map_or("", String::as_str),
+            c1.get(i).map_or("", String::as_str)
+        ));
+    }
+    let source = format!(
+        "POWER {name}\n{{\n0:r1=x; 0:r2=y; 0:r9=1;\n1:r1=x; 1:r2=y; 1:r9=1;\nx=0; y=0;\n}}\n{table}exists (0:r5=1 /\\ 1:r6=1)\n"
+    );
+    let expect = if a.orders() && b.orders() {
+        Expectation::Forbidden
+    } else {
+        Expectation::Allowed
+    };
+    entry(name, source, expect, "LB family (classic results table)")
+}
+
+fn rows_for(e: LbEdge, other: &str) -> Vec<String> {
+    match e {
+        LbEdge::Po => vec!["lwz r5,0(r1)".replace("r1", loc_reg(other)), format!("stw r9,0({other})")],
+        LbEdge::Addr => vec![
+            "lwz r5,0(r1)".replace("r1", loc_reg(other)),
+            "xor r10,r5,r5".to_owned(),
+            format!("stwx r9,r10,{other}"),
+        ],
+        LbEdge::Data => vec![
+            "lwz r5,0(r1)".replace("r1", loc_reg(other)),
+            "xor r10,r5,r5".to_owned(),
+            "addi r10,r10,1".to_owned(),
+            format!("stw r10,0({other})"),
+        ],
+        LbEdge::Ctrl => vec![
+            "lwz r5,0(r1)".replace("r1", loc_reg(other)),
+            "cmpw r5,r5".to_owned(),
+            "beq L".to_owned(),
+            "L:".to_owned(),
+            format!("stw r9,0({other})"),
+        ],
+    }
+}
+
+/// The register holding the *own* location for a thread whose partner
+/// register is `other` (LB threads read their own location, write the
+/// partner's).
+fn loc_reg(other: &str) -> &'static str {
+    if other == "r2" {
+        "r1"
+    } else {
+        "r2"
+    }
+}
+
+fn wrc_variant(mid: WEdge, reader_addr: bool) -> LitmusEntry {
+    let r = if reader_addr { "addr" } else { "po" };
+    let name = format!("WRC+{}+{r}", mid.name());
+    let mid_rows: Vec<&str> = match mid {
+        WEdge::Po => vec!["lwz r5,0(r1)", "stw r7,0(r2)"],
+        WEdge::Sync => vec!["lwz r5,0(r1)", "sync", "stw r7,0(r2)"],
+        WEdge::Lwsync => vec!["lwz r5,0(r1)", "lwsync", "stw r7,0(r2)"],
+    };
+    let reader_rows: Vec<&str> = if reader_addr {
+        vec!["lwz r6,0(r2)", "xor r9,r6,r6", "lwzx r4,r9,r1"]
+    } else {
+        vec!["lwz r6,0(r2)", "lwz r4,0(r1)"]
+    };
+    let rows = mid_rows.len().max(reader_rows.len()).max(1);
+    let mut table = String::from(" P0 | P1 | P2 ;\n");
+    for i in 0..rows {
+        table.push_str(&format!(
+            " {} | {} | {} ;\n",
+            if i == 0 { "stw r7,0(r1)" } else { "" },
+            mid_rows.get(i).copied().unwrap_or(""),
+            reader_rows.get(i).copied().unwrap_or("")
+        ));
+    }
+    let source = format!(
+        "POWER {name}\n{{\n0:r1=x; 0:r7=1;\n1:r1=x; 1:r2=y; 1:r7=1;\n2:r1=x; 2:r2=y;\nx=0; y=0;\n}}\n{table}exists (1:r5=1 /\\ 2:r6=1 /\\ 2:r4=0)\n"
+    );
+    let expect = if mid.orders_writes() && reader_addr {
+        Expectation::Forbidden
+    } else {
+        Expectation::Allowed
+    };
+    entry(name, source, expect, "WRC family (cumulativity)")
+}
+
+/// The generated systematic suite.
+#[must_use]
+pub fn generated_suite() -> Vec<LitmusEntry> {
+    let mut v = Vec::new();
+    for w in [WEdge::Po, WEdge::Sync, WEdge::Lwsync] {
+        for r in [REdge::Po, REdge::Addr, REdge::Ctrl, REdge::CtrlIsync] {
+            v.push(mp_variant(w, r));
+        }
+    }
+    for a in [WEdge::Po, WEdge::Sync, WEdge::Lwsync] {
+        for b in [WEdge::Po, WEdge::Sync, WEdge::Lwsync] {
+            v.push(sb_variant(a, b));
+        }
+    }
+    for a in [LbEdge::Po, LbEdge::Addr, LbEdge::Data, LbEdge::Ctrl] {
+        for b in [LbEdge::Po, LbEdge::Addr, LbEdge::Data, LbEdge::Ctrl] {
+            v.push(lb_variant(a, b));
+        }
+    }
+    for mid in [WEdge::Po, WEdge::Sync, WEdge::Lwsync] {
+        for reader_addr in [false, true] {
+            v.push(wrc_variant(mid, reader_addr));
+        }
+    }
+    v
+}

@@ -1,0 +1,556 @@
+//! The built-in litmus library: the paper's §2 tests (with the paper's
+//! verdicts) and the classic POWER suite with expectations from the
+//! published PLDI'11/MICRO'15 validation results.
+
+use crate::test::Expectation;
+
+/// One library test: source text plus its architectural expectation for
+/// the `exists` condition.
+#[derive(Clone, Copy, Debug)]
+pub struct LitmusEntry {
+    /// A stable identifier.
+    pub name: &'static str,
+    /// The `.litmus` source.
+    pub source: &'static str,
+    /// Paper/hardware expectation.
+    pub expect: Expectation,
+    /// Which part of the paper/validation pins it.
+    pub pinned_by: &'static str,
+}
+
+/// The six tests printed in the paper's §2, with the paper's verdicts.
+#[must_use]
+pub fn paper_section2_suite() -> Vec<LitmusEntry> {
+    vec![
+        LitmusEntry {
+            name: "MP+sync+ctrl",
+            expect: Expectation::Allowed,
+            pinned_by: "§2.1.1 (speculative execution)",
+            source: r"POWER MP+sync+ctrl
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ sync         | cmpw r5,r7   ;
+ stw r8,0(r2) | beq L        ;
+              | L:           ;
+              | lwz r4,0(r1) ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "MP+sync+rs",
+            expect: Expectation::Allowed,
+            pinned_by: "§2.1.2 (no per-thread register state / shadow registers)",
+            source: r"POWER MP+sync+rs
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ sync         | mr r6,r5     ;
+ stw r8,0(r2) | lwz r5,0(r1) ;
+exists (1:r6=1 /\ 1:r5=0)
+",
+        },
+        LitmusEntry {
+            name: "MP+sync+addr-cr",
+            expect: Expectation::Allowed,
+            pinned_by: "§2.1.4 (register granularity: CR3 write vs CR4 read)",
+            source: r"POWER MP+sync+addr-cr
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1              ;
+ stw r7,0(r1) | lwz r5,0(r2)    ;
+ sync         | mtocrf cr3,r5   ;
+ stw r8,0(r2) | mfocrf r6,cr4   ;
+              | xor r7,r6,r6    ;
+              | lwzx r8,r1,r7   ;
+exists (1:r5=1 /\ 1:r8=0)
+",
+        },
+        LitmusEntry {
+            name: "PPOCA",
+            expect: Expectation::Allowed,
+            pinned_by: "§2.1.5 (forwarding from uncommitted speculative writes)",
+            source: r"POWER PPOCA
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y; 1:r3=z; 1:r7=1;
+x=0; y=0; z=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ sync         | cmpw r5,r7   ;
+ stw r8,0(r2) | beq L        ;
+              | L:           ;
+              | stw r7,0(r3) ;
+              | lwz r6,0(r3) ;
+              | xor r6,r6,r6 ;
+              | lwzx r4,r6,r1 ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "LB+datas+WW",
+            expect: Expectation::Allowed,
+            pinned_by: "§2.1.6 (footprint determined after address reads only)",
+            source: r"POWER LB+datas+WW
+{
+0:r1=x; 0:r2=y; 0:r3=z; 0:r9=1;
+1:r1=x; 1:r2=y; 1:r4=w; 1:r9=1;
+x=0; y=0; z=0; w=0;
+}
+ P0           | P1           ;
+ lwz r5,0(r1) | lwz r6,0(r2) ;
+ stw r5,0(r3) | stw r6,0(r4) ;
+ stw r9,0(r2) | stw r9,0(r1) ;
+exists (0:r5=1 /\ 1:r6=1)
+",
+        },
+        LitmusEntry {
+            name: "LB+addrs+WW",
+            expect: Expectation::Forbidden,
+            pinned_by: "§2.1.6 (undetermined middle-write addresses block the last writes)",
+            source: r"POWER LB+addrs+WW
+{
+0:r1=x; 0:r2=y; 0:r3=z; 0:r9=1;
+1:r1=x; 1:r2=y; 1:r4=w; 1:r9=1;
+x=0; y=0; z=0; w=0;
+}
+ P0             | P1             ;
+ lwz r5,0(r1)   | lwz r6,0(r2)   ;
+ xor r10,r5,r5  | xor r10,r6,r6  ;
+ stwx r9,r10,r3 | stwx r9,r10,r4 ;
+ stw r9,0(r2)   | stw r9,0(r1)   ;
+exists (0:r5=1 /\ 1:r6=1)
+",
+        },
+    ]
+}
+
+/// The full hand-curated library: §2 tests plus the classic POWER
+/// corpus.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn library() -> Vec<LitmusEntry> {
+    let mut v = paper_section2_suite();
+    v.extend(vec![
+        LitmusEntry {
+            name: "MP",
+            expect: Expectation::Allowed,
+            pinned_by: "baseline reordering",
+            source: r"POWER MP
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ stw r8,0(r2) | lwz r4,0(r1) ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "MP+syncs",
+            expect: Expectation::Forbidden,
+            pinned_by: "sync/sync message passing",
+            source: r"POWER MP+syncs
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ sync         | sync         ;
+ stw r8,0(r2) | lwz r4,0(r1) ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "MP+sync+addr",
+            expect: Expectation::Forbidden,
+            pinned_by: "address dependencies order reads",
+            source: r"POWER MP+sync+addr
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1            ;
+ stw r7,0(r1) | lwz r5,0(r2)  ;
+ sync         | xor r6,r5,r5  ;
+ stw r8,0(r2) | lwzx r4,r6,r1 ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "MP+lwsync+addr",
+            expect: Expectation::Forbidden,
+            pinned_by: "lwsync write-side ordering",
+            source: r"POWER MP+lwsync+addr
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1            ;
+ stw r7,0(r1) | lwz r5,0(r2)  ;
+ lwsync       | xor r6,r5,r5  ;
+ stw r8,0(r2) | lwzx r4,r6,r1 ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "MP+sync+ctrlisync",
+            expect: Expectation::Forbidden,
+            pinned_by: "ctrl+isync orders reads",
+            source: r"POWER MP+sync+ctrlisync
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ sync         | cmpw r5,r7   ;
+ stw r8,0(r2) | beq L        ;
+              | L:           ;
+              | isync        ;
+              | lwz r4,0(r1) ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "SB",
+            expect: Expectation::Allowed,
+            pinned_by: "store buffering",
+            source: r"POWER SB
+{
+0:r1=x; 0:r2=y; 0:r7=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | stw r7,0(r2) ;
+ lwz r5,0(r2) | lwz r6,0(r1) ;
+exists (0:r5=0 /\ 1:r6=0)
+",
+        },
+        LitmusEntry {
+            name: "SB+syncs",
+            expect: Expectation::Forbidden,
+            pinned_by: "sync acknowledgement (full fence)",
+            source: r"POWER SB+syncs
+{
+0:r1=x; 0:r2=y; 0:r7=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | stw r7,0(r2) ;
+ sync         | sync         ;
+ lwz r5,0(r2) | lwz r6,0(r1) ;
+exists (0:r5=0 /\ 1:r6=0)
+",
+        },
+        LitmusEntry {
+            name: "SB+lwsyncs",
+            expect: Expectation::Allowed,
+            pinned_by: "lwsync is not a store-load fence",
+            source: r"POWER SB+lwsyncs
+{
+0:r1=x; 0:r2=y; 0:r7=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | stw r7,0(r2) ;
+ lwsync       | lwsync       ;
+ lwz r5,0(r2) | lwz r6,0(r1) ;
+exists (0:r5=0 /\ 1:r6=0)
+",
+        },
+        LitmusEntry {
+            name: "LB",
+            expect: Expectation::Allowed,
+            pinned_by: "load buffering (architecturally allowed)",
+            source: r"POWER LB
+{
+0:r1=x; 0:r2=y; 0:r9=1;
+1:r1=x; 1:r2=y; 1:r9=1;
+x=0; y=0;
+}
+ P0           | P1           ;
+ lwz r5,0(r1) | lwz r6,0(r2) ;
+ stw r9,0(r2) | stw r9,0(r1) ;
+exists (0:r5=1 /\ 1:r6=1)
+",
+        },
+        LitmusEntry {
+            name: "LB+addrs",
+            expect: Expectation::Forbidden,
+            pinned_by: "address dependencies order read→write",
+            source: r"POWER LB+addrs
+{
+0:r1=x; 0:r2=y; 0:r9=1;
+1:r1=x; 1:r2=y; 1:r9=1;
+x=0; y=0;
+}
+ P0             | P1             ;
+ lwz r5,0(r1)   | lwz r6,0(r2)   ;
+ xor r10,r5,r5  | xor r10,r6,r6  ;
+ stwx r9,r10,r2 | stwx r9,r10,r1 ;
+exists (0:r5=1 /\ 1:r6=1)
+",
+        },
+        LitmusEntry {
+            name: "PPOAA",
+            expect: Expectation::Forbidden,
+            pinned_by: "address dependency into the forwarded store",
+            source: r"POWER PPOAA
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y; 1:r3=z; 1:r7=1;
+x=0; y=0; z=0;
+}
+ P0           | P1             ;
+ stw r7,0(r1) | lwz r5,0(r2)   ;
+ sync         | xor r9,r5,r5   ;
+ stw r8,0(r2) | stwx r7,r9,r3  ;
+              | lwz r6,0(r3)   ;
+              | xor r6,r6,r6   ;
+              | lwzx r4,r6,r1  ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "WRC+pos",
+            expect: Expectation::Allowed,
+            pinned_by: "non-multi-copy-atomic storage",
+            source: r"POWER WRC+pos
+{
+0:r1=x; 0:r7=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+2:r1=x; 2:r2=y;
+x=0; y=0;
+}
+ P0           | P1           | P2            ;
+ stw r7,0(r1) | lwz r5,0(r1) | lwz r6,0(r2)  ;
+              | stw r7,0(r2) | xor r9,r6,r6  ;
+              |              | lwzx r4,r9,r1 ;
+exists (1:r5=1 /\ 2:r6=1 /\ 2:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "WRC+sync+addr",
+            expect: Expectation::Forbidden,
+            pinned_by: "A-cumulativity of sync",
+            source: r"POWER WRC+sync+addr
+{
+0:r1=x; 0:r7=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+2:r1=x; 2:r2=y;
+x=0; y=0;
+}
+ P0           | P1           | P2            ;
+ stw r7,0(r1) | lwz r5,0(r1) | lwz r6,0(r2)  ;
+              | sync         | xor r9,r6,r6  ;
+              | stw r7,0(r2) | lwzx r4,r9,r1 ;
+exists (1:r5=1 /\ 2:r6=1 /\ 2:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "WRC+lwsync+addr",
+            expect: Expectation::Forbidden,
+            pinned_by: "A-cumulativity of lwsync",
+            source: r"POWER WRC+lwsync+addr
+{
+0:r1=x; 0:r7=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+2:r1=x; 2:r2=y;
+x=0; y=0;
+}
+ P0           | P1           | P2            ;
+ stw r7,0(r1) | lwz r5,0(r1) | lwz r6,0(r2)  ;
+              | lwsync       | xor r9,r6,r6  ;
+              | stw r7,0(r2) | lwzx r4,r9,r1 ;
+exists (1:r5=1 /\ 2:r6=1 /\ 2:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "CoRR",
+            expect: Expectation::Forbidden,
+            pinned_by: "per-location coherence of reads",
+            source: r"POWER CoRR
+{
+0:r1=x; 0:r7=1;
+1:r1=x;
+x=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r1) ;
+              | lwz r6,0(r1) ;
+exists (1:r5=1 /\ 1:r6=0)
+",
+        },
+        LitmusEntry {
+            name: "CoWW",
+            expect: Expectation::Forbidden,
+            pinned_by: "per-location coherence of writes",
+            source: r"POWER CoWW
+{
+0:r1=x; 0:r7=1; 0:r8=2;
+x=0;
+}
+ P0           ;
+ stw r7,0(r1) ;
+ stw r8,0(r1) ;
+exists (x=1)
+",
+        },
+        LitmusEntry {
+            name: "CoWR",
+            expect: Expectation::Forbidden,
+            pinned_by: "a read may not ignore the po-previous write",
+            source: r"POWER CoWR
+{
+0:r1=x; 0:r7=1;
+1:r1=x; 1:r7=2;
+x=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | stw r7,0(r1) ;
+ lwz r5,0(r1) |              ;
+exists (0:r5=0)
+",
+        },
+        LitmusEntry {
+            name: "CoRW1",
+            expect: Expectation::Forbidden,
+            pinned_by: "a read may not see the po-later write",
+            source: r"POWER CoRW1
+{
+0:r1=x; 0:r7=1;
+x=0;
+}
+ P0           ;
+ lwz r5,0(r1) ;
+ stw r7,0(r1) ;
+exists (0:r5=1)
+",
+        },
+        LitmusEntry {
+            name: "S+sync+po",
+            expect: Expectation::Allowed,
+            pinned_by: "W-R ordering absent without dependency",
+            source: r"POWER S+sync+po
+{
+0:r1=x; 0:r2=y; 0:r7=2; 0:r8=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ sync         | stw r7,0(r1) ;
+ stw r8,0(r2) |              ;
+exists (1:r5=1 /\ x=2)
+",
+        },
+        LitmusEntry {
+            name: "S+sync+addr",
+            expect: Expectation::Forbidden,
+            pinned_by: "address dependency orders read→write",
+            source: r"POWER S+sync+addr
+{
+0:r1=x; 0:r2=y; 0:r7=2; 0:r8=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+x=0; y=0;
+}
+ P0           | P1             ;
+ stw r7,0(r1) | lwz r5,0(r2)   ;
+ sync         | xor r9,r5,r5   ;
+ stw r8,0(r2) | stwx r7,r9,r1  ;
+exists (1:r5=1 /\ x=2)
+",
+        },
+        LitmusEntry {
+            name: "2+2W",
+            expect: Expectation::Allowed,
+            pinned_by: "unconstrained write races",
+            source: r"POWER 2+2W
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=2;
+1:r1=x; 1:r2=y; 1:r7=1; 1:r8=2;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | stw r7,0(r2) ;
+ stw r8,0(r2) | stw r8,0(r1) ;
+exists (x=1 /\ y=1)
+",
+        },
+        LitmusEntry {
+            name: "2+2W+syncs",
+            expect: Expectation::Forbidden,
+            pinned_by: "sync-separated writes propagate in order",
+            source: r"POWER 2+2W+syncs
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=2;
+1:r1=x; 1:r2=y; 1:r7=1; 1:r8=2;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | stw r7,0(r2) ;
+ sync         | sync         ;
+ stw r8,0(r2) | stw r8,0(r1) ;
+exists (x=1 /\ y=1)
+",
+        },
+        LitmusEntry {
+            name: "MP+sync+po",
+            expect: Expectation::Allowed,
+            pinned_by: "reader-side po alone does not order reads",
+            source: r"POWER MP+sync+po
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ sync         | lwz r4,0(r1) ;
+ stw r8,0(r2) |              ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+        LitmusEntry {
+            name: "MP+po+addr",
+            expect: Expectation::Allowed,
+            pinned_by: "writer-side po alone does not order writes",
+            source: r"POWER MP+po+addr
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1            ;
+ stw r7,0(r1) | lwz r5,0(r2)  ;
+ stw r8,0(r2) | xor r6,r5,r5  ;
+              | lwzx r4,r6,r1 ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+        },
+    ]);
+    v
+}

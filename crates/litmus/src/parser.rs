@@ -1,0 +1,393 @@
+//! The `.litmus` parser, based on the herdtools front-end conventions
+//! the paper reuses (§6): a header line, an `{…}` initialisation block, a
+//! column-per-thread code table, and a quantified final condition.
+
+use crate::cond::{Cond, CondAtom, CondExpr, Quantifier};
+use crate::test::{LitmusTest, ThreadCode};
+use std::collections::BTreeMap;
+
+/// A litmus parsing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The source is missing a required section.
+    Missing(&'static str),
+    /// A malformed initialisation entry.
+    BadInit(String),
+    /// A malformed assembly line.
+    BadAsm(String),
+    /// A malformed final condition.
+    BadCond(String),
+    /// The architecture is not POWER/PPC.
+    WrongArch(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Missing(what) => write!(f, "missing {what}"),
+            ParseError::BadInit(s) => write!(f, "bad init entry `{s}`"),
+            ParseError::BadAsm(s) => write!(f, "bad assembly `{s}`"),
+            ParseError::BadCond(s) => write!(f, "bad condition `{s}`"),
+            ParseError::WrongArch(s) => write!(f, "unsupported architecture `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Base address of the first named location; subsequent locations are
+/// spaced well apart.
+const LOC_BASE: u64 = 0x1000;
+const LOC_STRIDE: u64 = 0x10;
+
+/// Parse a `.litmus` source.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem found.
+#[allow(clippy::too_many_lines)]
+pub fn parse(src: &str) -> Result<LitmusTest, ParseError> {
+    let mut lines = src
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("(*"))
+        .peekable();
+
+    // Header: ARCH NAME
+    let header = lines.next().ok_or(ParseError::Missing("header"))?;
+    let mut hp = header.split_whitespace();
+    let arch = hp.next().unwrap_or("");
+    if !matches!(arch, "POWER" | "PPC" | "PPC64") {
+        return Err(ParseError::WrongArch(arch.to_owned()));
+    }
+    let name = hp.next().unwrap_or("unnamed").to_owned();
+
+    // Optional quoted comment lines.
+    while let Some(l) = lines.peek() {
+        if l.starts_with('"') || l.starts_with("Cycle=") || l.starts_with("Relax") {
+            lines.next();
+        } else {
+            break;
+        }
+    }
+
+    // Init block.
+    let mut init_entries: Vec<String> = Vec::new();
+    match lines.next() {
+        Some(l) if l.starts_with('{') => {
+            let mut acc = l.trim_start_matches('{').to_owned();
+            if !acc.contains('}') {
+                for l in lines.by_ref() {
+                    acc.push(' ');
+                    acc.push_str(l);
+                    if l.contains('}') {
+                        break;
+                    }
+                }
+            }
+            let inner = acc.split('}').next().unwrap_or("");
+            init_entries.extend(
+                inner
+                    .split(';')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned),
+            );
+        }
+        _ => return Err(ParseError::Missing("init block")),
+    }
+
+    // Code table: rows of `|`-separated columns terminated by `;`.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut cond_line = String::new();
+    for l in lines.by_ref() {
+        if l.starts_with("exists")
+            || l.starts_with("~exists")
+            || l.starts_with("forall")
+            || l.starts_with("observed")
+        {
+            cond_line = l.to_owned();
+            // The condition may continue on following lines.
+            for l in lines.by_ref() {
+                cond_line.push(' ');
+                cond_line.push_str(l);
+            }
+            break;
+        }
+        let row: Vec<String> = l
+            .trim_end_matches(';')
+            .split('|')
+            .map(|c| c.trim().to_owned())
+            .collect();
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(ParseError::Missing("code table"));
+    }
+
+    // First row is the thread headers (P0 | P1 | …).
+    let nthreads = rows[0].len();
+    let mut per_thread_lines: Vec<Vec<String>> = vec![Vec::new(); nthreads];
+    for row in rows.iter().skip(1) {
+        for (t, cell) in row.iter().enumerate() {
+            if t < nthreads && !cell.is_empty() {
+                per_thread_lines[t].push(cell.clone());
+            }
+        }
+    }
+
+    // Collect locations: named symbols from init entries and condition.
+    let mut locations: BTreeMap<String, u64> = BTreeMap::new();
+    let mut init_mem: BTreeMap<String, u64> = BTreeMap::new();
+    let mut reg_inits: Vec<(usize, u8, RegInit)> = Vec::new();
+    enum RegInit {
+        Value(u64),
+        Loc(String),
+    }
+    for e in &init_entries {
+        let (lhs, rhs) = e
+            .split_once('=')
+            .ok_or_else(|| ParseError::BadInit(e.clone()))?;
+        let lhs = lhs.trim();
+        let rhs = rhs.trim();
+        if let Some((tid, reg)) = lhs.split_once(':') {
+            let tid: usize = tid
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::BadInit(e.clone()))?;
+            let gpr: u8 = reg
+                .trim()
+                .trim_start_matches('r')
+                .parse()
+                .map_err(|_| ParseError::BadInit(e.clone()))?;
+            if let Some(v) = parse_int(rhs) {
+                reg_inits.push((tid, gpr, RegInit::Value(v)));
+            } else {
+                // A symbolic location.
+                let loc = rhs.trim_start_matches('&').to_owned();
+                locations.entry(loc.clone()).or_insert(0);
+                reg_inits.push((tid, gpr, RegInit::Loc(loc)));
+            }
+        } else {
+            // Memory init: `x=0` or `[x]=0`.
+            let loc = lhs.trim_start_matches('[').trim_end_matches(']').to_owned();
+            let v = parse_int(rhs).ok_or_else(|| ParseError::BadInit(e.clone()))?;
+            locations.entry(loc.clone()).or_insert(0);
+            init_mem.insert(loc, v);
+        }
+    }
+
+    // Condition first (it may name further locations).
+    let cond = parse_cond(&cond_line, &mut locations)?;
+
+    // Assign addresses to locations.
+    for (i, (_, addr)) in locations.iter_mut().enumerate() {
+        *addr = LOC_BASE + LOC_STRIDE * i as u64;
+    }
+    // Every location defaults to zero-initialised.
+    for loc in locations.keys() {
+        init_mem.entry(loc.clone()).or_insert(0);
+    }
+
+    // Assemble the threads.
+    let mut threads = Vec::with_capacity(nthreads);
+    for lines in &per_thread_lines {
+        // Two passes: labels then instructions.
+        let mut labels: BTreeMap<String, i64> = BTreeMap::new();
+        let mut off = 0i64;
+        for l in lines {
+            if let Some(lbl) = l.strip_suffix(':') {
+                labels.insert(lbl.trim().to_owned(), off);
+            } else {
+                off += 4;
+            }
+        }
+        let mut instrs = Vec::new();
+        let mut off = 0i64;
+        for l in lines {
+            if l.ends_with(':') {
+                continue;
+            }
+            let i = ppc_isa::parse_asm_ctx(l, off, &|n| labels.get(n).copied())
+                .map_err(|e| ParseError::BadAsm(format!("{l}: {e}")))?;
+            instrs.push(i);
+            off += 4;
+        }
+        threads.push(ThreadCode {
+            instrs,
+            init_regs: BTreeMap::new(),
+        });
+    }
+
+    // Apply register initialisations.
+    for (tid, gpr, init) in reg_inits {
+        if tid >= threads.len() {
+            return Err(ParseError::BadInit(format!("{tid}:r{gpr}")));
+        }
+        let v = match init {
+            RegInit::Value(v) => v,
+            RegInit::Loc(l) => locations[&l],
+        };
+        threads[tid].init_regs.insert(gpr, v);
+    }
+
+    Ok(LitmusTest {
+        name,
+        threads,
+        locations,
+        init_mem,
+        cond,
+    })
+}
+
+fn parse_int(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        return u64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(neg) = s.strip_prefix('-') {
+        return neg.parse::<u64>().ok().map(u64::wrapping_neg);
+    }
+    s.parse().ok()
+}
+
+fn parse_cond(line: &str, locations: &mut BTreeMap<String, u64>) -> Result<Cond, ParseError> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(Cond {
+            quantifier: Quantifier::Exists,
+            expr: CondExpr::Atom(CondAtom::True),
+        });
+    }
+    let (quantifier, rest) = if let Some(r) = line.strip_prefix("~exists") {
+        (Quantifier::NotExists, r)
+    } else if let Some(r) = line.strip_prefix("exists") {
+        (Quantifier::Exists, r)
+    } else if let Some(r) = line.strip_prefix("forall") {
+        (Quantifier::Forall, r)
+    } else {
+        return Err(ParseError::BadCond(line.to_owned()));
+    };
+    let mut p = CondParser {
+        toks: tokenize(rest),
+        pos: 0,
+    };
+    let expr = p.parse_or(locations)?;
+    Ok(Cond { quantifier, expr })
+}
+
+fn tokenize(s: &str) -> Vec<String> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+                toks.push(c.to_string());
+            }
+            '/' | '\\' if chars.peek() == Some(&'\\') || chars.peek() == Some(&'/') => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+                let second = chars.next().expect("peeked");
+                toks.push(format!("{c}{second}"));
+            }
+            '~' => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+                toks.push("~".to_owned());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        toks.push(cur);
+    }
+    toks
+}
+
+struct CondParser {
+    toks: Vec<String>,
+    pos: usize,
+}
+
+impl CondParser {
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self, locs: &mut BTreeMap<String, u64>) -> Result<CondExpr, ParseError> {
+        let mut lhs = self.parse_and(locs)?;
+        while self.peek() == Some("\\/") {
+            self.next();
+            let rhs = self.parse_and(locs)?;
+            lhs = CondExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self, locs: &mut BTreeMap<String, u64>) -> Result<CondExpr, ParseError> {
+        let mut lhs = self.parse_atom(locs)?;
+        while self.peek() == Some("/\\") {
+            self.next();
+            let rhs = self.parse_atom(locs)?;
+            lhs = CondExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_atom(&mut self, locs: &mut BTreeMap<String, u64>) -> Result<CondExpr, ParseError> {
+        match self.next() {
+            Some(t) if t == "(" => {
+                let e = self.parse_or(locs)?;
+                if self.next().as_deref() != Some(")") {
+                    return Err(ParseError::BadCond("missing )".to_owned()));
+                }
+                Ok(e)
+            }
+            Some(t) if t == "~" => {
+                let e = self.parse_atom(locs)?;
+                Ok(CondExpr::Not(Box::new(e)))
+            }
+            Some(t) if t == "true" => Ok(CondExpr::Atom(CondAtom::True)),
+            Some(t) => {
+                // `T:rN=v` or `loc=v` (possibly with `[loc]`).
+                let (lhs, rhs) = t
+                    .split_once('=')
+                    .ok_or_else(|| ParseError::BadCond(t.clone()))?;
+                let value = parse_int(rhs).ok_or_else(|| ParseError::BadCond(t.clone()))?;
+                if let Some((tid, reg)) = lhs.split_once(':') {
+                    let tid: usize =
+                        tid.parse().map_err(|_| ParseError::BadCond(t.clone()))?;
+                    let gpr: u8 = reg
+                        .trim_start_matches('r')
+                        .parse()
+                        .map_err(|_| ParseError::BadCond(t.clone()))?;
+                    Ok(CondExpr::Atom(CondAtom::Reg { tid, gpr, value }))
+                } else {
+                    let loc = lhs.trim_start_matches('[').trim_end_matches(']').to_owned();
+                    locs.entry(loc.clone()).or_insert(0);
+                    Ok(CondExpr::Atom(CondAtom::Mem { loc, value }))
+                }
+            }
+            None => Err(ParseError::BadCond("unexpected end".to_owned())),
+        }
+    }
+}

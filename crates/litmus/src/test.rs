@@ -1,0 +1,62 @@
+//! The litmus-test data model.
+
+use crate::cond::Cond;
+use ppc_isa::Instruction;
+use std::collections::BTreeMap;
+
+/// One thread's code and initial registers.
+#[derive(Clone, Debug)]
+pub struct ThreadCode {
+    /// The instructions, in program order.
+    pub instrs: Vec<Instruction>,
+    /// Initial register values: GPR number → value (symbolic locations
+    /// already resolved to addresses).
+    pub init_regs: BTreeMap<u8, u64>,
+}
+
+/// The architectural expectation for a test's `exists` condition, from
+/// the paper and the published POWER results it validates against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// The condition is architecturally allowed (and typically observed
+    /// on some POWER implementation).
+    Allowed,
+    /// The condition is architecturally forbidden.
+    Forbidden,
+}
+
+impl std::fmt::Display for Expectation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expectation::Allowed => write!(f, "Allowed"),
+            Expectation::Forbidden => write!(f, "Forbidden"),
+        }
+    }
+}
+
+/// A parsed litmus test.
+#[derive(Clone, Debug)]
+pub struct LitmusTest {
+    /// Test name (from the header line).
+    pub name: String,
+    /// Per-thread code.
+    pub threads: Vec<ThreadCode>,
+    /// Named memory locations and their assigned addresses.
+    pub locations: BTreeMap<String, u64>,
+    /// Initial memory values (word-sized), by location name.
+    pub init_mem: BTreeMap<String, u64>,
+    /// The final condition.
+    pub cond: Cond,
+}
+
+impl LitmusTest {
+    /// The address of a named location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location does not exist.
+    #[must_use]
+    pub fn addr_of(&self, name: &str) -> u64 {
+        self.locations[name]
+    }
+}

@@ -1,0 +1,160 @@
+//! Litmus frontend tests: parsing, condition evaluation, and a fast
+//! subset of the library run end-to-end (the full suite runs in the
+//! `litmus_table` experiment binary).
+
+use crate::cond::{CondAtom, CondExpr, Quantifier};
+use crate::test::Expectation;
+use crate::{library, parse, paper_section2_suite, run, run_entry};
+use ppc_model::ModelParams;
+
+const MP_SRC: &str = r"POWER MP
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ stw r8,0(r2) | lwz r4,0(r1) ;
+exists (1:r5=1 /\ 1:r4=0)
+";
+
+#[test]
+fn parse_mp() {
+    let t = parse(MP_SRC).expect("parses");
+    assert_eq!(t.name, "MP");
+    assert_eq!(t.threads.len(), 2);
+    assert_eq!(t.threads[0].instrs.len(), 2);
+    assert_eq!(t.threads[1].instrs.len(), 2);
+    assert_eq!(t.threads[0].instrs[0].mnemonic(), "stw");
+    assert_eq!(t.locations.len(), 2);
+    // Register inits resolved: 0:r1 = &x.
+    let x = t.locations["x"];
+    assert_eq!(t.threads[0].init_regs[&1], x);
+    assert_eq!(t.cond.quantifier, Quantifier::Exists);
+}
+
+#[test]
+fn parse_labels_and_branches() {
+    let t = parse(
+        r"POWER CTRL
+{
+0:r1=x; 0:r7=1;
+x=0;
+}
+ P0           ;
+ lwz r5,0(r1) ;
+ cmpw r5,r7   ;
+ beq L        ;
+ L:           ;
+ stw r7,0(r1) ;
+exists (0:r5=0)
+",
+    )
+    .expect("parses");
+    assert_eq!(t.threads[0].instrs.len(), 4, "label is not an instruction");
+    assert_eq!(t.threads[0].instrs[2].mnemonic(), "bc");
+}
+
+#[test]
+fn parse_condition_operators() {
+    let t = parse(
+        r"POWER C
+{
+0:r1=x;
+x=0;
+}
+ P0           ;
+ lwz r5,0(r1) ;
+exists (0:r5=0 \/ (0:r5=1 /\ ~x=2))
+",
+    )
+    .expect("parses");
+    match &t.cond.expr {
+        CondExpr::Or(l, r) => {
+            assert!(matches!(**l, CondExpr::Atom(CondAtom::Reg { .. })));
+            assert!(matches!(**r, CondExpr::And(..)));
+        }
+        other => panic!("unexpected condition {other:?}"),
+    }
+}
+
+#[test]
+fn parse_not_exists() {
+    let t = parse(
+        r"POWER N
+{
+0:r1=x;
+x=0;
+}
+ P0           ;
+ lwz r5,0(r1) ;
+~exists (0:r5=1)
+",
+    )
+    .expect("parses");
+    assert_eq!(t.cond.quantifier, Quantifier::NotExists);
+}
+
+#[test]
+fn parse_rejects_wrong_arch() {
+    assert!(matches!(
+        parse("X86 SB\n{\n}\n P0 ;\n nop ;\nexists (0:r1=0)\n"),
+        Err(crate::ParseError::WrongArch(_))
+    ));
+}
+
+#[test]
+fn mp_runs_and_witnesses() {
+    let t = parse(MP_SRC).expect("parses");
+    let r = run(&t, &ModelParams::default());
+    assert!(r.witnessed, "MP relaxed outcome must be witnessed");
+    assert!(r.holds, "exists condition holds");
+    assert_eq!(r.finals, 4);
+}
+
+#[test]
+fn library_parses_completely() {
+    for e in library() {
+        let t = parse(e.source).unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        assert!(!t.threads.is_empty(), "{}", e.name);
+    }
+}
+
+#[test]
+fn generated_suite_parses_completely() {
+    let suite = crate::generated_suite();
+    assert!(suite.len() >= 40, "got {}", suite.len());
+    for e in &suite {
+        let t = parse(e.source).unwrap_or_else(|err| panic!("{}: {err}\n{}", e.name, e.source));
+        assert!(!t.threads.is_empty(), "{}", e.name);
+    }
+}
+
+/// A fast spot-check of library entries against their expectations
+/// (small two-thread tests only; the full matrix is experiment E2).
+#[test]
+fn library_spot_checks_match() {
+    let params = ModelParams::default();
+    for name in ["MP", "MP+syncs", "SB+syncs", "CoRR", "CoWW", "LB"] {
+        let e = library()
+            .into_iter()
+            .find(|e| e.name == name)
+            .expect("library entry");
+        let report = run_entry(&e, &params);
+        assert!(
+            report.matches,
+            "{name}: model says witnessed={}, expected {}",
+            report.result.witnessed, report.expect
+        );
+    }
+}
+
+#[test]
+fn paper_suite_has_expected_verdicts_recorded() {
+    let suite = paper_section2_suite();
+    assert_eq!(suite.len(), 6);
+    let verdicts: Vec<(&str, Expectation)> = suite.iter().map(|e| (e.name, e.expect)).collect();
+    assert!(verdicts.contains(&("MP+sync+ctrl", Expectation::Allowed)));
+    assert!(verdicts.contains(&("LB+addrs+WW", Expectation::Forbidden)));
+}

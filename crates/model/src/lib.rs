@@ -1,0 +1,45 @@
+//! The operational concurrency model and test oracle — the paper's
+//! primary contribution, integrating the ISA semantics of [`ppc_isa`]
+//! (through the outcome interface of [`ppc_idl`]) with an abstract-machine
+//! model of POWER multiprocessor concurrency extending Sarkar et al.
+//! (PLDI 2011).
+//!
+//! The model has two halves (paper §5):
+//!
+//! - a **storage subsystem** ([`storage::StorageState`]) holding the
+//!   writes seen so far, the coherence commitments among them (a strict
+//!   partial order over overlapping writes), the per-thread lists of
+//!   propagated events, and the unacknowledged syncs — abstracting from
+//!   cache protocols and storage hierarchy while exposing POWER's
+//!   non-multi-copy-atomic behaviour;
+//! - a **thread subsystem** ([`thread::ThreadState`]) maintaining, per
+//!   hardware thread, a *tree of in-flight instruction instances*
+//!   (out-of-order and speculative execution), with bit-granular register
+//!   dataflow, forwarding from uncommitted writes, dynamic footprint
+//!   re-analysis, and restarts.
+//!
+//! A [`system::SystemState`] combines both with the program memory and
+//! the model parameters; [`system::SystemState::enumerate_transitions`]
+//! and [`system::SystemState::apply`] give the labelled transition system,
+//! and [`oracle`] computes the set of all architecturally allowed final
+//! states of a test (the paper's exhaustive mode), or drives a single
+//! deterministic execution (sequential mode, used for the §7 conformance
+//! testing).
+
+pub mod oracle;
+pub mod pretty;
+pub mod storage;
+pub mod system;
+pub mod thread;
+mod types;
+
+pub use oracle::{explore, run_sequential, ExplorationStats, FinalState, Outcomes};
+pub use storage::{StorageState, StorageTransition};
+pub use system::{Program, SystemState, Transition};
+pub use thread::{InstanceId, InstrInstance, ThreadState, ThreadTransition};
+pub use types::{BarrierEv, BarrierId, ModelParams, ThreadId, Write, WriteId};
+
+#[cfg(test)]
+mod storage_tests;
+#[cfg(test)]
+mod tests;

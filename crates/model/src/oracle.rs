@@ -1,0 +1,263 @@
+//! The test oracle: exhaustive enumeration of all allowed executions, and
+//! a deterministic sequential mode.
+//!
+//! "This lets one either interactively explore or exhaustively compute
+//! the set of all allowed behaviours of intricate test cases, to provide
+//! a reference for hardware and software development" (paper abstract).
+
+use crate::system::{SystemState, Transition};
+use crate::thread::ThreadTransition;
+use crate::types::{ThreadId, WriteId};
+use ppc_bits::Bv;
+use ppc_idl::Reg;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// One observable final state: the queried registers and memory
+/// locations.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FinalState {
+    /// Final architected register values, by `(thread, register)`.
+    pub regs: BTreeMap<(ThreadId, Reg), Bv>,
+    /// Final memory values, keyed by queried location address.
+    pub mem: BTreeMap<u64, Bv>,
+}
+
+/// The result of an exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct Outcomes {
+    /// The distinct observable final states.
+    pub finals: BTreeSet<FinalState>,
+    /// Exploration statistics.
+    pub stats: ExplorationStats,
+}
+
+/// Statistics from an exploration (for the paper's "combinatorially
+/// challenging" discussion and the E5 experiment).
+#[derive(Clone, Debug, Default)]
+pub struct ExplorationStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions fired.
+    pub transitions: usize,
+    /// Final (quiescent) states reached, pre-deduplication.
+    pub final_hits: usize,
+    /// Whether the state budget was exhausted (results incomplete).
+    pub truncated: bool,
+}
+
+/// Default state budget for exhaustive exploration.
+const DEFAULT_MAX_STATES: usize = 5_000_000;
+
+/// Exhaustively explore all executions of `initial`, observing the given
+/// registers and memory footprints in each reachable final state.
+///
+/// Final memory values are enumerated over every coherence-consistent
+/// linearisation of the writes covering each queried location (writes to
+/// disjoint locations are never coherence-related, so per-location
+/// enumeration is exact).
+#[must_use]
+pub fn explore(
+    initial: &SystemState,
+    reg_obs: &[(ThreadId, Reg)],
+    mem_obs: &[(u64, usize)],
+) -> Outcomes {
+    explore_bounded(initial, reg_obs, mem_obs, DEFAULT_MAX_STATES)
+}
+
+/// [`explore`] with an explicit state budget.
+#[must_use]
+pub fn explore_bounded(
+    initial: &SystemState,
+    reg_obs: &[(ThreadId, Reg)],
+    mem_obs: &[(u64, usize)],
+    max_states: usize,
+) -> Outcomes {
+    let mut stats = ExplorationStats::default();
+    let mut finals = BTreeSet::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<SystemState> = vec![initial.clone()];
+    seen.insert(initial.digest());
+
+    while let Some(state) = stack.pop() {
+        stats.states += 1;
+        if stats.states > max_states {
+            stats.truncated = true;
+            break;
+        }
+        let ts = state.enumerate_transitions();
+        let all_finished = state
+            .threads
+            .iter()
+            .all(crate::thread::ThreadState::all_finished);
+        let fetchable = ts
+            .iter()
+            .any(|t| matches!(t, Transition::Thread(ThreadTransition::Fetch { .. })));
+        if all_finished && !fetchable {
+            stats.final_hits += 1;
+            for fs in extract_finals(&state, reg_obs, mem_obs) {
+                finals.insert(fs);
+            }
+            continue;
+        }
+        for t in ts {
+            let next = state.apply(&t);
+            stats.transitions += 1;
+            if seen.insert(next.digest()) {
+                stack.push(next);
+            }
+        }
+    }
+    Outcomes { finals, stats }
+}
+
+/// Extract the observable final states of a quiescent system state
+/// (possibly several, one per coherence completion of each queried
+/// location).
+fn extract_finals(
+    state: &SystemState,
+    reg_obs: &[(ThreadId, Reg)],
+    mem_obs: &[(u64, usize)],
+) -> Vec<FinalState> {
+    let mut regs = BTreeMap::new();
+    for &(tid, reg) in reg_obs {
+        regs.insert((tid, reg), state.threads[tid].final_reg(reg));
+    }
+    // Per-location candidate final values.
+    let mut per_loc: Vec<(u64, Vec<Bv>)> = Vec::new();
+    for &(addr, size) in mem_obs {
+        per_loc.push((addr, final_values_at(state, addr, size)));
+    }
+    // Cartesian product over locations.
+    let mut out = vec![FinalState {
+        regs,
+        mem: BTreeMap::new(),
+    }];
+    for (addr, candidates) in per_loc {
+        let mut next = Vec::new();
+        for partial in &out {
+            for v in &candidates {
+                let mut fs = partial.clone();
+                fs.mem.insert(addr, v.clone());
+                next.push(fs);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// All possible final values of `[addr, addr+size)`: one per
+/// coherence-consistent linearisation of the covering writes.
+fn final_values_at(state: &SystemState, addr: u64, size: usize) -> Vec<Bv> {
+    let covering: Vec<WriteId> = state
+        .storage
+        .writes_seen
+        .iter()
+        .copied()
+        .filter(|w| state.storage.writes[w].overlaps(addr, size))
+        .collect();
+    let mut values = BTreeSet::new();
+    let mut order = Vec::new();
+    let mut used = vec![false; covering.len()];
+    permute(state, &covering, &mut used, &mut order, addr, size, &mut values);
+    values.into_iter().collect()
+}
+
+fn permute(
+    state: &SystemState,
+    covering: &[WriteId],
+    used: &mut [bool],
+    order: &mut Vec<WriteId>,
+    addr: u64,
+    size: usize,
+    values: &mut BTreeSet<Bv>,
+) {
+    if order.len() == covering.len() {
+        let mut v = Bv::empty();
+        for i in 0..size {
+            let b = addr + i as u64;
+            match state.storage.final_byte_value(order, b) {
+                Some(byte) => v = v.concat(&byte),
+                None => v = v.concat(&Bv::undef(8)),
+            }
+        }
+        values.insert(v);
+        return;
+    }
+    for (i, &w) in covering.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        // Respect coherence: w may come next only if no unplaced write is
+        // coherence-before it.
+        let ok = covering
+            .iter()
+            .enumerate()
+            .all(|(j, &o)| used[j] || j == i || !state.storage.coh_before(o, w));
+        if !ok {
+            continue;
+        }
+        used[i] = true;
+        order.push(w);
+        permute(state, covering, used, order, addr, size, values);
+        order.pop();
+        used[i] = false;
+    }
+}
+
+/// Run a single deterministic execution to quiescence (the tool's "run
+/// sequentially" mode; with one thread this is a conventional emulator).
+///
+/// Transition choice: non-fetch thread transitions first (lowest thread,
+/// lowest instance, enumeration order), then storage transitions, then
+/// fetches whose parent's next address is resolved — so no speculative
+/// wrong-path work is ever done.
+///
+/// Returns the final state and the number of transitions taken.
+///
+/// # Panics
+///
+/// Panics if quiescence is not reached within `max_steps`.
+#[must_use]
+pub fn run_sequential(initial: &SystemState, max_steps: usize) -> (SystemState, usize) {
+    let mut state = initial.clone();
+    let mut steps = 0;
+    loop {
+        if state.is_final() {
+            return (state, steps);
+        }
+        let ts = state.enumerate_transitions();
+        let pick = choose_sequential(&state, &ts);
+        match pick {
+            Some(t) => {
+                state = state.apply(&t);
+                steps += 1;
+                assert!(steps <= max_steps, "sequential run exceeded {max_steps} steps");
+            }
+            None => return (state, steps),
+        }
+    }
+}
+
+fn choose_sequential(state: &SystemState, ts: &[Transition]) -> Option<Transition> {
+    // 1. Non-fetch thread transitions.
+    if let Some(t) = ts.iter().find(|t| {
+        matches!(t, Transition::Thread(tt) if !matches!(tt, ThreadTransition::Fetch { .. }))
+    }) {
+        return Some(t.clone());
+    }
+    // 2. Storage transitions.
+    if let Some(t) = ts.iter().find(|t| matches!(t, Transition::Storage(_))) {
+        return Some(t.clone());
+    }
+    // 3. Resolved fetches only.
+    ts.iter()
+        .find(|t| match t {
+            Transition::Thread(ThreadTransition::Fetch { tid, parent, .. }) => match parent {
+                None => true,
+                Some(p) => state.threads[*tid].instances[p].nia.is_some(),
+            },
+            _ => false,
+        })
+        .cloned()
+}

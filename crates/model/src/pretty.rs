@@ -1,0 +1,189 @@
+//! Fig.3-style pretty-printing of system states and enabled transitions.
+//!
+//! The output follows the paper's tool screenshot: the storage-subsystem
+//! state (writes seen, coherence, per-thread propagation lists,
+//! unacknowledged syncs), then each thread's instruction instances with
+//! their static-analysis data (`regs_in`, `regs_out`, `NIAs`), committed
+//! writes, remaining micro-operations, and local variables; finally the
+//! enabled transitions, numbered for selection.
+
+use crate::storage::StorageEvent;
+use crate::system::{SystemState, Transition};
+use crate::thread::ThreadTransition;
+use crate::types::WriteId;
+use std::fmt::Write as _;
+
+impl SystemState {
+    /// Render the full state in the style of the paper's Fig. 3.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Storage subsystem state:");
+        let _ = writeln!(out, "  writes seen = {{");
+        for w in &self.storage.writes_seen {
+            let _ = writeln!(out, "    {}", self.render_write(*w));
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "  coherence = {{");
+        for (a, b) in &self.storage.coherence {
+            let _ = writeln!(
+                out,
+                "    {} -> {}",
+                self.render_write(*a),
+                self.render_write(*b)
+            );
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "  events propagated to:");
+        for (tid, evs) in self.storage.events_propagated_to.iter().enumerate() {
+            let rendered: Vec<String> = evs
+                .iter()
+                .map(|e| match e {
+                    StorageEvent::W(w) => self.render_write(*w),
+                    StorageEvent::B(b) => {
+                        format!("Barrier {:?} by Thread {}", self.storage.barriers[b].kind, self.storage.barriers[b].tid)
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "    Thread {tid}: [ {} ]", rendered.join(", "));
+        }
+        let _ = writeln!(
+            out,
+            "  unacknowledged Sync requests = {{{}}}",
+            self.storage
+                .unacknowledged_sync_requests
+                .iter()
+                .map(|b| format!("{b:?}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        for th in &self.threads {
+            let _ = writeln!(out, "\nThread {} state:", th.tid);
+            for (id, inst) in &th.instances {
+                let _ = writeln!(
+                    out,
+                    "  instruction: {id} ioid: ({},{id}) address: 0x{:016x} {}{}",
+                    th.tid,
+                    inst.addr,
+                    inst.instr.to_asm(),
+                    if inst.finished { "  [finished]" } else { "" }
+                );
+                let regs_in: Vec<String> =
+                    inst.static_fp.regs_in.iter().map(ToString::to_string).collect();
+                let regs_out: Vec<String> =
+                    inst.static_fp.regs_out.iter().map(ToString::to_string).collect();
+                let nias: Vec<String> = inst
+                    .static_fp
+                    .nias
+                    .iter()
+                    .map(|n| match n {
+                        ppc_idl::NiaTarget::Succ => "succ".to_owned(),
+                        ppc_idl::NiaTarget::Concrete(a) => format!("0x{a:x}"),
+                        ppc_idl::NiaTarget::Indirect => "indirect".to_owned(),
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "    regs_in: {{{}}} regs_out: {{{}}} NIAs: {{{}}}",
+                    regs_in.join(", "),
+                    regs_out.join(", "),
+                    nias.join(", ")
+                );
+                for w in &inst.mem_writes {
+                    if let Some(id) = w.committed {
+                        let _ = writeln!(out, "    committed memory write: {}", self.render_write(id));
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "    pending memory write: W 0x{:016x}/{}={}",
+                            w.addr, w.size, w.value
+                        );
+                    }
+                }
+                for r in &inst.mem_reads {
+                    let _ = writeln!(
+                        out,
+                        "    satisfied read: R 0x{:016x}/{} = {}",
+                        r.addr, r.size, r.value
+                    );
+                }
+                if !inst.finished && !inst.done {
+                    let _ = writeln!(out, "    remaining micro-operations:");
+                    for line in inst.state.remaining_micro_ops() {
+                        let _ = writeln!(out, "      | {line}");
+                    }
+                }
+                let locals = inst.state.local_values();
+                if !locals.is_empty() {
+                    let _ = writeln!(out, "    local variables: {locals}");
+                }
+            }
+        }
+        let _ = writeln!(out, "\nEnabled transitions:");
+        for (k, t) in self.enumerate_transitions().iter().enumerate() {
+            let _ = writeln!(out, "  {k} {}", self.render_transition(t));
+        }
+        out
+    }
+
+    fn render_write(&self, id: WriteId) -> String {
+        let w = &self.storage.writes[&id];
+        format!("W 0x{:016x}/{}={}", w.addr, w.size, w.value)
+    }
+
+    /// A one-line human-readable description of a transition.
+    #[must_use]
+    pub fn render_transition(&self, t: &Transition) -> String {
+        match t {
+            Transition::Thread(tt) => match tt {
+                ThreadTransition::Fetch { tid, addr, .. } => {
+                    let name = self
+                        .program
+                        .instr_at(*addr)
+                        .map_or_else(|| "?".to_owned(), ppc_isa::Instruction::to_asm);
+                    format!("({tid}) Fetch from address 0x{addr:x}: {name}")
+                }
+                ThreadTransition::SatisfyReadForward {
+                    tid,
+                    ioid,
+                    from,
+                    ..
+                } => format!("({tid}:{ioid}) Satisfy memory read by forwarding from instance {from}"),
+                ThreadTransition::SatisfyReadStorage { tid, ioid } => {
+                    format!("({tid}:{ioid}) Memory read request from storage")
+                }
+                ThreadTransition::CommitWrite { tid, ioid, .. } => {
+                    format!("({tid}:{ioid}) Commit memory write to storage")
+                }
+                ThreadTransition::CommitStcxSuccess { tid, ioid } => {
+                    format!("({tid}:{ioid}) Store-conditional succeeds")
+                }
+                ThreadTransition::CommitStcxFail { tid, ioid } => {
+                    format!("({tid}:{ioid}) Store-conditional fails")
+                }
+                ThreadTransition::CommitBarrier { tid, ioid } => {
+                    format!("({tid}:{ioid}) Commit barrier")
+                }
+                ThreadTransition::Finish { tid, ioid } => format!("({tid}:{ioid}) Finish"),
+            },
+            Transition::Storage(st) => match st {
+                crate::storage::StorageTransition::PropagateWrite { write, to } => {
+                    format!("Propagate write to thread: {} to Thread {to}", self.render_write(*write))
+                }
+                crate::storage::StorageTransition::PropagateBarrier { barrier, to } => {
+                    format!("Propagate barrier {barrier:?} to Thread {to}")
+                }
+                crate::storage::StorageTransition::AcknowledgeSync { barrier } => {
+                    format!("Acknowledge sync {barrier:?}")
+                }
+                crate::storage::StorageTransition::PartialCoherence { first, second } => {
+                    format!(
+                        "Commit coherence: {} -> {}",
+                        self.render_write(*first),
+                        self.render_write(*second)
+                    )
+                }
+            },
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The storage subsystem model (paper §5).
+//!
+//! The state is the paper's record, reproduced here field-for-field:
+//!
+//! ```text
+//! type storage_subsystem_state = <|
+//!   threads: set thread_id;
+//!   writes_seen: set write;
+//!   coherence: rel write write;
+//!   events_propagated_to: thread_id -> list event;
+//!   unacknowledged_sync_requests: set barrier; |>
+//! ```
+//!
+//! Transitions: accept a write or barrier from a thread, propagate a
+//! write or barrier to another thread, acknowledge a sync, answer a read
+//! request, and commit new coherence edges. Accepting and read-answering
+//! are fused with the corresponding thread transitions (the thread cannot
+//! observe the intermediate state, so no behaviour is lost); the
+//! remaining transitions are enumerated by the system layer.
+//!
+//! Mixed-size support (the §5 extension over PLDI'11): coherence relates
+//! *overlapping* writes of distinct footprints, and read requests are
+//! answered byte-wise from the most recent propagated write covering each
+//! byte.
+
+use crate::types::{BarrierEv, BarrierId, ThreadId, Write, WriteId, INIT_TID};
+use ppc_bits::Bv;
+use ppc_idl::BarrierKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An event in a per-thread propagation list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StorageEvent {
+    /// A propagated write.
+    W(WriteId),
+    /// A propagated barrier.
+    B(BarrierId),
+}
+
+/// The storage-subsystem half of a system state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageState {
+    /// Number of (real) threads.
+    pub threads: usize,
+    /// All write events, by id (append-only table; initial writes
+    /// included).
+    pub writes: BTreeMap<WriteId, Write>,
+    /// All barrier events, by id.
+    pub barriers: BTreeMap<BarrierId, BarrierEv>,
+    /// The writes the storage subsystem has seen.
+    pub writes_seen: BTreeSet<WriteId>,
+    /// Coherence: a strict partial order over overlapping writes, kept
+    /// transitively closed.
+    pub coherence: BTreeSet<(WriteId, WriteId)>,
+    /// Events propagated to each thread, oldest first.
+    pub events_propagated_to: Vec<Vec<StorageEvent>>,
+    /// Sync barriers not yet acknowledged to their origin thread.
+    pub unacknowledged_sync_requests: BTreeSet<BarrierId>,
+}
+
+/// Storage transitions enumerated by the system layer.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StorageTransition {
+    /// Propagate a write to another thread.
+    PropagateWrite {
+        /// The write.
+        write: WriteId,
+        /// Destination thread.
+        to: ThreadId,
+    },
+    /// Propagate a barrier to another thread.
+    PropagateBarrier {
+        /// The barrier.
+        barrier: BarrierId,
+        /// Destination thread.
+        to: ThreadId,
+    },
+    /// Acknowledge a sync back to its origin thread (enabled once the
+    /// barrier has propagated to all threads).
+    AcknowledgeSync {
+        /// The sync barrier.
+        barrier: BarrierId,
+    },
+    /// Commit a new coherence edge between two as-yet-unrelated
+    /// overlapping writes (enabled only when
+    /// [`crate::ModelParams::coherence_commitments`] is set).
+    PartialCoherence {
+        /// Coherence-earlier write.
+        first: WriteId,
+        /// Coherence-later write.
+        second: WriteId,
+    },
+}
+
+impl StorageState {
+    /// A fresh storage state for `threads` threads with the given initial
+    /// writes (propagated to every thread up front, so every byte of the
+    /// test's memory has a defined initial value).
+    #[must_use]
+    pub fn new(threads: usize, initial_writes: Vec<Write>) -> Self {
+        let mut writes = BTreeMap::new();
+        let mut seen = BTreeSet::new();
+        let mut prop = vec![Vec::new(); threads];
+        for w in initial_writes {
+            seen.insert(w.id);
+            for list in prop.iter_mut() {
+                list.push(StorageEvent::W(w.id));
+            }
+            writes.insert(w.id, w);
+        }
+        StorageState {
+            threads,
+            writes,
+            barriers: BTreeMap::new(),
+            writes_seen: seen,
+            coherence: BTreeSet::new(),
+            events_propagated_to: prop,
+            unacknowledged_sync_requests: BTreeSet::new(),
+        }
+    }
+
+    /// Whether `a` is coherence-before `b`.
+    #[must_use]
+    pub fn coh_before(&self, a: WriteId, b: WriteId) -> bool {
+        self.coherence.contains(&(a, b))
+    }
+
+    /// Add a coherence edge and re-close transitively. Returns `false`
+    /// (leaving the state unchanged in a way callers must treat as
+    /// "transition disabled") if the edge would create a cycle.
+    pub fn add_coherence(&mut self, a: WriteId, b: WriteId) -> bool {
+        if a == b || self.coh_before(b, a) {
+            return false;
+        }
+        if self.coh_before(a, b) {
+            return true;
+        }
+        // Close: everything ≤ a precedes everything ≥ b.
+        let mut befores: Vec<WriteId> = vec![a];
+        befores.extend(
+            self.coherence
+                .iter()
+                .filter(|(_, y)| *y == a)
+                .map(|(x, _)| *x),
+        );
+        let mut afters: Vec<WriteId> = vec![b];
+        afters.extend(
+            self.coherence
+                .iter()
+                .filter(|(x, _)| *x == b)
+                .map(|(_, y)| *y),
+        );
+        for &x in &befores {
+            for &y in &afters {
+                if x != y {
+                    self.coherence.insert((x, y));
+                }
+            }
+        }
+        true
+    }
+
+    /// Accept a write from a thread: add to `writes_seen`, make it
+    /// coherence-after every overlapping write already propagated to its
+    /// thread, and append it to the thread's own propagation list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write id was already accepted.
+    pub fn accept_write(&mut self, w: Write) {
+        assert!(!self.writes_seen.contains(&w.id), "write accepted twice");
+        let tid = w.tid;
+        let overlapping: Vec<WriteId> = self.events_propagated_to[tid]
+            .iter()
+            .filter_map(|e| match e {
+                StorageEvent::W(id) => Some(*id),
+                StorageEvent::B(_) => None,
+            })
+            .filter(|id| self.writes[id].overlaps(w.addr, w.size))
+            .collect();
+        let id = w.id;
+        self.writes_seen.insert(id);
+        self.writes.insert(id, w);
+        for o in overlapping {
+            let ok = self.add_coherence(o, id);
+            debug_assert!(ok, "fresh write cannot be coherence-before existing");
+        }
+        self.events_propagated_to[tid].push(StorageEvent::W(id));
+    }
+
+    /// Accept a barrier from a thread (its Group A is implicitly the
+    /// prefix of the thread's propagation list before it).
+    pub fn accept_barrier(&mut self, b: BarrierEv) {
+        let tid = b.tid;
+        let id = b.id;
+        if b.kind == BarrierKind::Sync {
+            self.unacknowledged_sync_requests.insert(id);
+        }
+        self.barriers.insert(id, b);
+        self.events_propagated_to[tid].push(StorageEvent::B(id));
+    }
+
+    /// The events preceding `ev` in thread `tid`'s propagation list
+    /// (for a barrier accepted by `tid`, this is its Group A).
+    fn prefix_before(&self, tid: ThreadId, ev: StorageEvent) -> &[StorageEvent] {
+        let list = &self.events_propagated_to[tid];
+        match list.iter().position(|e| *e == ev) {
+            Some(i) => &list[..i],
+            None => &[],
+        }
+    }
+
+    /// Whether `PropagateWrite { write, to }` is enabled.
+    #[must_use]
+    pub fn can_propagate_write(&self, write: WriteId, to: ThreadId) -> bool {
+        if !self.writes_seen.contains(&write) {
+            return false;
+        }
+        let w = &self.writes[&write];
+        if w.tid == INIT_TID || to >= self.threads {
+            return false;
+        }
+        if self.events_propagated_to[to].contains(&StorageEvent::W(write)) {
+            return false;
+        }
+        // Barriers that reached the write's thread before the write gate
+        // its propagation (B-cumulativity; also orders same-thread writes
+        // separated by a barrier).
+        for ev in self.prefix_before(w.tid, StorageEvent::W(write)) {
+            if let StorageEvent::B(b) = ev {
+                if !self.events_propagated_to[to].contains(&StorageEvent::B(*b)) {
+                    return false;
+                }
+            }
+        }
+        // Coherence compatibility: the write must not be coherence-before
+        // any overlapping write already propagated to `to`.
+        for ev in &self.events_propagated_to[to] {
+            if let StorageEvent::W(o) = ev {
+                if self.writes[o].overlaps(w.addr, w.size) && self.coh_before(write, *o) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Apply `PropagateWrite` (caller checked enabledness). Returns the
+    /// write's footprint so the thread layer can clear overlapping
+    /// reservations.
+    pub fn propagate_write(&mut self, write: WriteId, to: ThreadId) -> (u64, usize) {
+        let (addr, size) = {
+            let w = &self.writes[&write];
+            (w.addr, w.size)
+        };
+        // Commit coherence edges: the arriving write goes after every
+        // overlapping write already there.
+        let overlapping: Vec<WriteId> = self.events_propagated_to[to]
+            .iter()
+            .filter_map(|e| match e {
+                StorageEvent::W(id) => Some(*id),
+                StorageEvent::B(_) => None,
+            })
+            .filter(|id| *id != write && self.writes[id].overlaps(addr, size))
+            .collect();
+        for o in overlapping {
+            if !self.coh_before(o, write) {
+                let ok = self.add_coherence(o, write);
+                debug_assert!(ok, "enabledness guaranteed no reverse edge");
+            }
+        }
+        self.events_propagated_to[to].push(StorageEvent::W(write));
+        (addr, size)
+    }
+
+    /// Whether `PropagateBarrier { barrier, to }` is enabled: all of the
+    /// barrier's Group A must already have propagated to `to`.
+    #[must_use]
+    pub fn can_propagate_barrier(&self, barrier: BarrierId, to: ThreadId) -> bool {
+        let Some(b) = self.barriers.get(&barrier) else {
+            return false;
+        };
+        if to >= self.threads
+            || self.events_propagated_to[to].contains(&StorageEvent::B(barrier))
+        {
+            return false;
+        }
+        self.prefix_before(b.tid, StorageEvent::B(barrier))
+            .iter()
+            .all(|ev| self.events_propagated_to[to].contains(ev))
+    }
+
+    /// Apply `PropagateBarrier`.
+    pub fn propagate_barrier(&mut self, barrier: BarrierId, to: ThreadId) {
+        self.events_propagated_to[to].push(StorageEvent::B(barrier));
+    }
+
+    /// Whether a sync can be acknowledged: propagated to every thread.
+    #[must_use]
+    pub fn can_acknowledge_sync(&self, barrier: BarrierId) -> bool {
+        self.unacknowledged_sync_requests.contains(&barrier)
+            && (0..self.threads)
+                .all(|t| self.events_propagated_to[t].contains(&StorageEvent::B(barrier)))
+    }
+
+    /// Apply `AcknowledgeSync` (the thread layer marks the instruction).
+    pub fn acknowledge_sync(&mut self, barrier: BarrierId) {
+        self.unacknowledged_sync_requests.remove(&barrier);
+    }
+
+    /// Answer a read request from `tid` for `[addr, addr+size)`: for each
+    /// byte, the value of the most recent write in the thread's
+    /// propagation list covering that byte. Returns the value and the
+    /// per-byte source writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some byte has no covering write (the system constructs
+    /// initial writes covering all test memory).
+    #[must_use]
+    pub fn read(&self, tid: ThreadId, addr: u64, size: usize) -> (Bv, Vec<WriteId>) {
+        let mut value = Bv::empty();
+        let mut sources = Vec::with_capacity(size);
+        for i in 0..size {
+            let b = addr + i as u64;
+            let src = self.events_propagated_to[tid]
+                .iter()
+                .rev()
+                .find_map(|e| match e {
+                    StorageEvent::W(id) if self.writes[id].covers(b) => Some(*id),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("no write covers byte 0x{b:x} for thread {tid}"));
+            value = value.concat(&self.writes[&src].byte_at(b));
+            sources.push(src);
+        }
+        (value, sources)
+    }
+
+    /// All unrelated overlapping write pairs (candidates for
+    /// `PartialCoherence`).
+    #[must_use]
+    pub fn unrelated_overlapping_pairs(&self) -> Vec<(WriteId, WriteId)> {
+        let ids: Vec<WriteId> = self.writes_seen.iter().copied().collect();
+        let mut out = Vec::new();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                let wa = &self.writes[&a];
+                let wb = &self.writes[&b];
+                if wa.overlaps(wb.addr, wb.size)
+                    && !self.coh_before(a, b)
+                    && !self.coh_before(b, a)
+                {
+                    out.push((a, b));
+                    out.push((b, a));
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerate all currently enabled storage transitions.
+    #[must_use]
+    pub fn enumerate(&self, coherence_commitments: bool) -> Vec<StorageTransition> {
+        let mut out = Vec::new();
+        for &w in &self.writes_seen {
+            for t in 0..self.threads {
+                if self.can_propagate_write(w, t) {
+                    out.push(StorageTransition::PropagateWrite { write: w, to: t });
+                }
+            }
+        }
+        for &b in self.barriers.keys() {
+            for t in 0..self.threads {
+                if self.can_propagate_barrier(b, t) {
+                    out.push(StorageTransition::PropagateBarrier { barrier: b, to: t });
+                }
+            }
+        }
+        for &b in &self.unacknowledged_sync_requests {
+            if self.can_acknowledge_sync(b) {
+                out.push(StorageTransition::AcknowledgeSync { barrier: b });
+            }
+        }
+        if coherence_commitments {
+            for (a, b) in self.unrelated_overlapping_pairs() {
+                out.push(StorageTransition::PartialCoherence { first: a, second: b });
+            }
+        }
+        out
+    }
+
+    /// The coherence-maximal value of each byte of `[addr, addr+size)`
+    /// under a *linearisation* `order` of the writes (used by final-state
+    /// extraction; `order` lists all writes, coherence-consistent).
+    #[must_use]
+    pub fn final_byte_value(&self, order: &[WriteId], b: u64) -> Option<Bv> {
+        order
+            .iter()
+            .rev()
+            .find(|id| self.writes[id].covers(b))
+            .map(|id| self.writes[id].byte_at(b))
+    }
+}

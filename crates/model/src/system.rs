@@ -1,0 +1,1083 @@
+//! The whole-system state and its labelled transition relation.
+//!
+//! ```text
+//! type system_state = <|
+//!   program_memory: address -> fetch_decode_outcome;
+//!   initial_writes: list write;
+//!   interp_context: Interp_interface.context;
+//!   thread_states: map thread_id thread_state;
+//!   storage_subsystem: storage_subsystem_state;
+//!   idstate: id_state; model: model_params; |>
+//! ```
+//!
+//! with `enumerate_transitions_of_system` and
+//! `system_state_after_transition` (paper §5). Deterministic progress
+//! (internal interpreter steps, register writes, register reads whose
+//! values are available, recording of determined memory writes) is taken
+//! eagerly after every transition — these steps are confluent, so the
+//! enumerated transition system has the same reachable observable
+//! behaviours as one with explicit internal transitions, just fewer
+//! interleavings (the paper's tool offers the same thing as "skip
+//! internal transitions").
+
+use crate::storage::{StorageState, StorageTransition};
+use crate::thread::{
+    InstanceId, InstrInstance, PendingWrite, ReadSource, RegReadRec, SatRead, ThreadState,
+    ThreadTransition,
+};
+use crate::types::{BarrierEv, BarrierId, ModelParams, ThreadId, Write, WriteId, INIT_TID};
+use ppc_bits::Bv;
+use ppc_idl::{analyze, BarrierKind, Footprint, InstrState, Outcome, ReadKind, Reg, Sem, WriteKind};
+use ppc_isa::Instruction;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A decoded program: instruction words plus cached semantics and static
+/// footprints per address (shared across all states of a search, which
+/// also gives stable pointer identity for state hashing).
+#[derive(Debug)]
+pub struct Program {
+    pub(crate) entries: BTreeMap<u64, ProgEntry>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ProgEntry {
+    pub(crate) instr: Instruction,
+    pub(crate) sem: Arc<Sem>,
+    pub(crate) fp: Arc<Footprint>,
+}
+
+impl Program {
+    /// Build a program from instruction words. Words that fail to decode
+    /// are simply absent (fetching them is impossible, like fetching
+    /// unmapped memory).
+    #[must_use]
+    pub fn new(words: &BTreeMap<u64, u32>) -> Self {
+        let mut entries = BTreeMap::new();
+        for (&addr, &w) in words {
+            if let Ok(instr) = ppc_isa::decode(w) {
+                let sem = Arc::new(ppc_isa::semantics(&instr));
+                let fp = Arc::new(analyze(&sem));
+                entries.insert(addr, ProgEntry { instr, sem, fp });
+            }
+        }
+        Program { entries }
+    }
+
+    /// Assemble a program from per-thread instruction lists placed at
+    /// the given start addresses.
+    #[must_use]
+    pub fn from_threads(code: &[(u64, Vec<Instruction>)]) -> Self {
+        let mut words = BTreeMap::new();
+        for (start, instrs) in code {
+            for (k, i) in instrs.iter().enumerate() {
+                words.insert(start + 4 * k as u64, ppc_isa::encode(i));
+            }
+        }
+        Program::new(&words)
+    }
+
+    /// Whether an instruction exists at `addr`.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        self.entries.contains_key(&addr)
+    }
+
+    /// The decoded instruction at `addr`.
+    #[must_use]
+    pub fn instr_at(&self, addr: u64) -> Option<&Instruction> {
+        self.entries.get(&addr).map(|e| &e.instr)
+    }
+}
+
+/// A system transition: one thread or storage step.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Transition {
+    /// A thread-subsystem transition.
+    Thread(ThreadTransition),
+    /// A storage-subsystem transition.
+    Storage(StorageTransition),
+}
+
+/// The complete model state.
+#[derive(Clone, Debug)]
+pub struct SystemState {
+    /// The (shared, immutable) program.
+    pub program: Arc<Program>,
+    /// Per-thread states.
+    pub threads: Vec<ThreadState>,
+    /// The storage subsystem.
+    pub storage: StorageState,
+    /// Model parameters.
+    pub params: ModelParams,
+    next_write_id: u32,
+    next_barrier_id: u32,
+}
+
+impl SystemState {
+    /// Build the initial state: threads with initial registers and entry
+    /// points, and initial memory writes (owners of every test byte).
+    #[must_use]
+    pub fn new(
+        program: Arc<Program>,
+        threads: Vec<(BTreeMap<Reg, Bv>, u64)>,
+        initial_mem: &[(u64, Bv)],
+        params: ModelParams,
+    ) -> Self {
+        let n = threads.len();
+        let mut writes = Vec::new();
+        for (k, (addr, value)) in initial_mem.iter().enumerate() {
+            assert!(value.len() % 8 == 0, "memory values are whole bytes");
+            writes.push(Write {
+                id: WriteId(k as u32),
+                tid: INIT_TID,
+                ioid: None,
+                addr: *addr,
+                size: value.len() / 8,
+                value: value.clone(),
+            });
+        }
+        let next_write_id = writes.len() as u32;
+        let storage = StorageState::new(n, writes);
+        let threads = threads
+            .into_iter()
+            .enumerate()
+            .map(|(tid, (regs, start))| ThreadState::new(tid, regs, start))
+            .collect();
+        let mut st = SystemState {
+            program,
+            threads,
+            storage,
+            params,
+            next_write_id,
+            next_barrier_id: 0,
+        };
+        st.advance_all();
+        st
+    }
+
+    // ---- eager deterministic progress --------------------------------
+
+    /// Run every instance forward through its confluent steps until each
+    /// blocks on a genuine architectural choice.
+    pub(crate) fn advance_all(&mut self) {
+        loop {
+            let mut changed = false;
+            for tid in 0..self.threads.len() {
+                let ids = self.threads[tid].instance_ids();
+                for id in ids {
+                    if self.threads[tid].instances.contains_key(&id)
+                        && self.advance_instance(tid, id)
+                    {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Advance one instance; returns whether anything changed.
+    #[allow(clippy::too_many_lines)]
+    fn advance_instance(&mut self, tid: ThreadId, id: InstanceId) -> bool {
+        let mut changed = false;
+        loop {
+            let inst = &self.threads[tid].instances[&id];
+            if inst.finished || inst.done {
+                break;
+            }
+            // Paused at an uncommitted barrier?
+            if inst.barrier.is_some() && !inst.barrier_committed {
+                break;
+            }
+            if inst.pending_cond_write {
+                break;
+            }
+            if inst.state.is_pending() {
+                if let Some(slice) = inst.state.pending_reg() {
+                    // Try to satisfy the register read.
+                    match self.threads[tid].resolve_reg_read(id, slice) {
+                        Some((value, sources)) => {
+                            let th = &mut self.threads[tid];
+                            let inst = th.instances.get_mut(&id).expect("live");
+                            inst.reg_reads.push(RegReadRec {
+                                slice,
+                                value: value.clone(),
+                                sources,
+                            });
+                            inst.state.resume_reg(value).expect("pending reg");
+                            changed = true;
+                            continue;
+                        }
+                        None => break, // blocked on a predecessor
+                    }
+                }
+                // Pending memory read or write-cond: an explicit
+                // transition must fire.
+                break;
+            }
+            // Take an interpreter step.
+            let outcome = {
+                let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                inst.state.step().unwrap_or_else(|e| {
+                    panic!("instruction {} at 0x{:x}: {e}", inst.instr.mnemonic(), inst.addr)
+                })
+            };
+            changed = true;
+            match outcome {
+                Outcome::Internal => {}
+                Outcome::ReadReg { .. } => {
+                    // state became pending; loop round to satisfy
+                }
+                Outcome::WriteReg { slice, value } => {
+                    let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                    if slice.reg == Reg::Nia {
+                        let nia = value
+                            .to_u64()
+                            .expect("NIA written with an undefined value");
+                        inst.nia = Some(nia);
+                    } else {
+                        inst.reg_writes.push((slice, value));
+                    }
+                }
+                Outcome::ReadMem {
+                    address,
+                    size,
+                    kind,
+                } => {
+                    let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                    inst.pending_read = Some((address, size, kind == ReadKind::Reserve));
+                }
+                Outcome::WriteMem {
+                    address,
+                    size,
+                    value,
+                    kind,
+                } => {
+                    let conditional = kind == WriteKind::Conditional;
+                    {
+                        let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                        inst.mem_writes.push(PendingWrite {
+                            addr: address,
+                            size,
+                            value,
+                            committed: None,
+                            conditional,
+                        });
+                        if conditional {
+                            inst.pending_cond_write = true;
+                        }
+                    }
+                    // A newly determined write invalidates po-later reads
+                    // that "skipped" it (§2 restarts).
+                    self.restart_reads_skipping_write(tid, id, address, size);
+                }
+                Outcome::Barrier { kind } => {
+                    let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                    inst.barrier = Some(kind);
+                }
+                Outcome::Done => {
+                    let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                    inst.done = true;
+                    if inst.nia.is_none() {
+                        inst.nia = Some(inst.addr + 4);
+                    }
+                }
+            }
+        }
+        if changed {
+            if let Some(inst) = self.threads[tid].instances.get_mut(&id) {
+                inst.refresh_dyn_fp();
+            }
+        }
+        changed
+    }
+
+    /// Restart every po-later read that overlaps a newly determined write
+    /// of instance `k` but was satisfied from something po-before it (or
+    /// from storage, which at this point cannot include the new write).
+    fn restart_reads_skipping_write(&mut self, tid: ThreadId, k: InstanceId, addr: u64, size: usize) {
+        let th = &self.threads[tid];
+        let mut seed = BTreeSet::new();
+        for d in th.descendants(k) {
+            let inst = &th.instances[&d];
+            if inst.finished {
+                continue;
+            }
+            for r in &inst.mem_reads {
+                let overlaps = r.addr < addr + size as u64 && addr < r.addr + r.size as u64;
+                if !overlaps {
+                    continue;
+                }
+                let skipped = match &r.source {
+                    ReadSource::Storage(_) => true,
+                    ReadSource::Forward(from, _) => {
+                        // Sound iff the source is po-after k (between k
+                        // and the reader).
+                        !(*from == k || th.is_ancestor(k, *from))
+                    }
+                };
+                if skipped {
+                    seed.insert(d);
+                }
+            }
+        }
+        if !seed.is_empty() {
+            self.threads[tid].cascade_restart(seed);
+            self.advance_all_thread(tid);
+        }
+    }
+
+    fn advance_all_thread(&mut self, tid: ThreadId) {
+        loop {
+            let mut changed = false;
+            for id in self.threads[tid].instance_ids() {
+                if self.threads[tid].instances.contains_key(&id) && self.advance_instance(tid, id)
+                {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // ---- barrier / ordering helper predicates -------------------------
+
+    /// Whether all po-previous barrier obligations needed before a read
+    /// may be *satisfied* hold: syncs acknowledged, lwsyncs and isyncs
+    /// committed (eieio does not order loads).
+    fn read_barrier_gates_ok(&self, tid: ThreadId, id: InstanceId) -> bool {
+        self.threads[tid].ancestors(id).all(|a| match a.barrier {
+            Some(BarrierKind::Sync) => a.barrier_acked,
+            Some(BarrierKind::Lwsync | BarrierKind::Isync) => a.barrier_committed,
+            _ => true,
+        })
+    }
+
+    /// Whether all po-previous barrier obligations needed before a write
+    /// may be *committed* hold: syncs acknowledged, lwsyncs and eieios
+    /// committed.
+    fn write_barrier_gates_ok(&self, tid: ThreadId, id: InstanceId) -> bool {
+        self.threads[tid].ancestors(id).all(|a| match a.barrier {
+            Some(BarrierKind::Sync) => a.barrier_acked,
+            Some(BarrierKind::Lwsync | BarrierKind::Eieio) => a.barrier_committed,
+            _ => true,
+        })
+    }
+
+    /// All po-previous branches finished (no unresolved speculation).
+    fn non_speculative(&self, tid: ThreadId, id: InstanceId) -> bool {
+        self.threads[tid]
+            .ancestors(id)
+            .all(|a| !a.is_branch() || a.finished)
+    }
+
+    // ---- transition enumeration ---------------------------------------
+
+    /// Enumerate every enabled transition (the paper's
+    /// `enumerate_transitions_of_system`).
+    #[must_use]
+    pub fn enumerate_transitions(&self) -> Vec<Transition> {
+        let mut out = Vec::new();
+        for tid in 0..self.threads.len() {
+            self.enumerate_thread(tid, &mut out);
+        }
+        for s in self.storage.enumerate(self.params.coherence_commitments) {
+            out.push(Transition::Storage(s));
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn enumerate_thread(&self, tid: ThreadId, out: &mut Vec<Transition>) {
+        let th = &self.threads[tid];
+        let live = th.instances.len();
+
+        // Fetch the root.
+        if th.root.is_none() && self.program.contains(th.start_addr) {
+            out.push(Transition::Thread(ThreadTransition::Fetch {
+                tid,
+                parent: None,
+                addr: th.start_addr,
+            }));
+        }
+
+        for (&id, inst) in &th.instances {
+            // Fetches of successors.
+            if live < self.params.max_instances_per_thread {
+                let mut targets: BTreeSet<u64> = BTreeSet::new();
+                if let Some(nia) = inst.nia {
+                    targets.insert(nia);
+                } else {
+                    for n in &inst.static_fp.nias {
+                        match n {
+                            ppc_idl::NiaTarget::Succ => {
+                                targets.insert(inst.addr + 4);
+                            }
+                            ppc_idl::NiaTarget::Concrete(t) => {
+                                targets.insert(*t);
+                            }
+                            ppc_idl::NiaTarget::Indirect => {}
+                        }
+                    }
+                }
+                for t in targets {
+                    if self.program.contains(t)
+                        && !inst
+                            .children
+                            .iter()
+                            .any(|c| th.instances[c].addr == t)
+                    {
+                        out.push(Transition::Thread(ThreadTransition::Fetch {
+                            tid,
+                            parent: Some(id),
+                            addr: t,
+                        }));
+                    }
+                }
+            }
+
+            // Read satisfaction.
+            if let Some((addr, size, reserve)) = inst.pending_read {
+                if self.read_barrier_gates_ok(tid, id) {
+                    if !reserve {
+                        // Forwarding candidates (not for load-reserve).
+                        for j in th.ancestors(id) {
+                            for (widx, w) in j.mem_writes.iter().enumerate() {
+                                if w.conditional && w.committed.is_none() {
+                                    continue;
+                                }
+                                let covers =
+                                    w.addr <= addr && addr + size as u64 <= w.addr + w.size as u64;
+                                if covers
+                                    && self.no_determined_write_between(tid, j.id, id, addr, size)
+                                {
+                                    out.push(Transition::Thread(
+                                        ThreadTransition::SatisfyReadForward {
+                                            tid,
+                                            ioid: id,
+                                            from: j.id,
+                                            windex: widx,
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    if self.storage_read_ok(tid, id, addr, size) {
+                        out.push(Transition::Thread(ThreadTransition::SatisfyReadStorage {
+                            tid,
+                            ioid: id,
+                        }));
+                    }
+                }
+            }
+
+            // Write commits.
+            for (widx, w) in inst.mem_writes.iter().enumerate() {
+                if w.committed.is_none()
+                    && !w.conditional
+                    && self.can_commit_write(tid, id, w.addr, w.size)
+                {
+                    out.push(Transition::Thread(ThreadTransition::CommitWrite {
+                        tid,
+                        ioid: id,
+                        windex: widx,
+                    }));
+                }
+            }
+
+            // Store-conditional decisions.
+            if inst.pending_cond_write {
+                let w = inst
+                    .mem_writes
+                    .iter()
+                    .find(|w| w.conditional && w.committed.is_none())
+                    .expect("pending conditional write exists");
+                if self.can_commit_write(tid, id, w.addr, w.size) {
+                    let reservation_valid = th
+                        .reservation
+                        .map(|(ra, rs)| ra < w.addr + w.size as u64 && w.addr < ra + rs as u64)
+                        .unwrap_or(false);
+                    if reservation_valid {
+                        out.push(Transition::Thread(ThreadTransition::CommitStcxSuccess {
+                            tid,
+                            ioid: id,
+                        }));
+                    }
+                    if !reservation_valid || self.params.allow_spurious_stcx_failure {
+                        out.push(Transition::Thread(ThreadTransition::CommitStcxFail {
+                            tid,
+                            ioid: id,
+                        }));
+                    }
+                }
+            }
+
+            // Barrier commit.
+            if inst.barrier.is_some()
+                && !inst.barrier_committed
+                && self.can_commit_barrier(tid, id)
+            {
+                out.push(Transition::Thread(ThreadTransition::CommitBarrier {
+                    tid,
+                    ioid: id,
+                }));
+            }
+
+            // Finish.
+            if self.can_finish(tid, id) {
+                out.push(Transition::Thread(ThreadTransition::Finish { tid, ioid: id }));
+            }
+        }
+    }
+
+    /// No instance strictly po-between `j` and `i` has a *determined*
+    /// write overlapping the footprint (forwarding must take the nearest
+    /// determined write; undetermined intervening stores may be
+    /// speculated past, with restarts on conflict).
+    fn no_determined_write_between(
+        &self,
+        tid: ThreadId,
+        j: InstanceId,
+        i: InstanceId,
+        addr: u64,
+        size: usize,
+    ) -> bool {
+        let th = &self.threads[tid];
+        for k in th.ancestors(i) {
+            if k.id == j {
+                break;
+            }
+            let recorded = k
+                .mem_writes
+                .iter()
+                .any(|w| w.addr < addr + size as u64 && addr < w.addr + w.size as u64);
+            let future = !k.done
+                && k.dyn_fp.mem_writes.is_determined()
+                && k.dyn_fp.mem_writes.may_overlap(addr, size);
+            if recorded || future {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Storage satisfaction requires every po-previous *determined*
+    /// overlapping write to be committed (it is then visible in the
+    /// thread's propagation list); undetermined footprints may be
+    /// speculated past.
+    fn storage_read_ok(&self, tid: ThreadId, i: InstanceId, addr: u64, size: usize) -> bool {
+        let th = &self.threads[tid];
+        for k in th.ancestors(i) {
+            for w in &k.mem_writes {
+                let overlaps = w.addr < addr + size as u64 && addr < w.addr + w.size as u64;
+                if overlaps && w.committed.is_none() {
+                    return false;
+                }
+            }
+            if !k.done
+                && k.dyn_fp.mem_writes.is_determined()
+                && k.dyn_fp.mem_writes.may_overlap(addr, size)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Preconditions for committing a write of instance `i` to storage.
+    fn can_commit_write(&self, tid: ThreadId, i: InstanceId, addr: u64, size: usize) -> bool {
+        if !self.non_speculative(tid, i) || !self.write_barrier_gates_ok(tid, i) {
+            return false;
+        }
+        let th = &self.threads[tid];
+        for k in th.ancestors(i) {
+            // Program-order same-address write coherence: overlapping
+            // po-previous writes must be committed first, and footprints
+            // must be determined to know.
+            if !k.done && !k.dyn_fp.mem_writes.is_determined() {
+                return false;
+            }
+            if k.mem_writes
+                .iter()
+                .any(|w| w.committed.is_none() && w.addr < addr + size as u64 && addr < w.addr + w.size as u64)
+            {
+                return false;
+            }
+            if !k.done && k.dyn_fp.mem_writes.may_overlap(addr, size) {
+                return false;
+            }
+            // Overlapping po-previous reads must be finished (CoWR /
+            // CoRW); read footprints must be determined to know.
+            if !k.done && !k.dyn_fp.mem_reads.is_determined() {
+                return false;
+            }
+            if k.may_read_overlapping(addr, size) && !k.finished {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Preconditions for committing a barrier of instance `i`.
+    fn can_commit_barrier(&self, tid: ThreadId, i: InstanceId) -> bool {
+        let th = &self.threads[tid];
+        let kind = th.instances[&i].barrier.expect("barrier present");
+        if !self.non_speculative(tid, i) {
+            return false;
+        }
+        match kind {
+            BarrierKind::Sync | BarrierKind::Lwsync => th.ancestors(i).all(|k| {
+                let loads_done = !k.is_load_like() || k.finished;
+                let stores_done = k.all_writes_committed();
+                let barriers_done = k.barrier.is_none() || k.barrier_committed;
+                loads_done && stores_done && barriers_done
+            }),
+            BarrierKind::Eieio => th.ancestors(i).all(InstrInstance::all_writes_committed),
+            // isync: all po-previous branches finished is already
+            // required by `non_speculative`.
+            BarrierKind::Isync => true,
+        }
+    }
+
+    /// Preconditions for finishing instance `i` (paper: committing).
+    #[allow(clippy::too_many_lines)]
+    fn can_finish(&self, tid: ThreadId, i: InstanceId) -> bool {
+        let th = &self.threads[tid];
+        let inst = &th.instances[&i];
+        if inst.finished || !inst.done || inst.state.is_pending() {
+            return false;
+        }
+        if inst.pending_read.is_some() || inst.pending_cond_write {
+            return false;
+        }
+        // Barrier obligations of this instruction itself.
+        match inst.barrier {
+            Some(BarrierKind::Sync) => {
+                if !inst.barrier_acked {
+                    return false;
+                }
+            }
+            Some(_) => {
+                if !inst.barrier_committed {
+                    return false;
+                }
+            }
+            None => {}
+        }
+        // All writes committed (or decided, for stcx).
+        if inst
+            .mem_writes
+            .iter()
+            .any(|w| w.committed.is_none() && !w.conditional)
+        {
+            return false;
+        }
+        // Register dataflow sources irrevocable.
+        for r in &inst.reg_reads {
+            for s in &r.sources {
+                if !th.instances[s].finished {
+                    return false;
+                }
+            }
+        }
+        // No unresolved speculation.
+        if !self.non_speculative(tid, i) {
+            return false;
+        }
+        // Load stability: nothing can still invalidate a satisfied read.
+        for r in &inst.mem_reads {
+            for k in th.ancestors(i) {
+                // Writes: footprints determined, overlapping writes
+                // committed.
+                if !k.done && !k.dyn_fp.mem_writes.is_determined() {
+                    return false;
+                }
+                if k.may_write_overlapping(r.addr, r.size) {
+                    if k.mem_writes.iter().any(|w| {
+                        w.committed.is_none()
+                            && w.addr < r.addr + r.size as u64
+                            && r.addr < w.addr + w.size as u64
+                    }) {
+                        return false;
+                    }
+                    if !k.done && k.dyn_fp.mem_writes.may_overlap(r.addr, r.size) {
+                        return false;
+                    }
+                }
+                // Overlapping po-previous loads finished (coherence
+                // read-read stability).
+                if !k.done && !k.dyn_fp.mem_reads.is_determined() {
+                    return false;
+                }
+                if k.may_read_overlapping(r.addr, r.size) && !k.finished {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    // ---- transition application ---------------------------------------
+
+    /// Apply a transition, producing the successor state (the paper's
+    /// `system_state_after_transition`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition is not enabled in this state (callers
+    /// must apply transitions from [`SystemState::enumerate_transitions`]
+    /// to the same state).
+    #[must_use]
+    pub fn apply(&self, t: &Transition) -> SystemState {
+        let mut s = self.clone();
+        s.apply_mut(t);
+        s.advance_all();
+        s
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn apply_mut(&mut self, t: &Transition) {
+        match t {
+            Transition::Thread(tt) => match tt {
+                ThreadTransition::Fetch { tid, parent, addr } => self.fetch(*tid, *parent, *addr),
+                ThreadTransition::SatisfyReadForward {
+                    tid,
+                    ioid,
+                    from,
+                    windex,
+                } => {
+                    let (addr, size, reserve) =
+                        self.threads[*tid].instances[ioid].pending_read.expect("pending");
+                    assert!(!reserve, "load-reserve satisfies from storage");
+                    let value = {
+                        let src = &self.threads[*tid].instances[from].mem_writes[*windex];
+                        let off = (addr - src.addr) as usize;
+                        src.value.slice(off * 8, size * 8)
+                    };
+                    self.finish_read_satisfaction(
+                        *tid,
+                        *ioid,
+                        SatRead {
+                            addr,
+                            size,
+                            value,
+                            source: ReadSource::Forward(*from, *windex),
+                            reserve: false,
+                        },
+                    );
+                }
+                ThreadTransition::SatisfyReadStorage { tid, ioid } => {
+                    let (addr, size, reserve) =
+                        self.threads[*tid].instances[ioid].pending_read.expect("pending");
+                    let (value, sources) = self.storage.read(*tid, addr, size);
+                    if reserve {
+                        self.threads[*tid].reservation = Some((addr, size));
+                    }
+                    self.finish_read_satisfaction(
+                        *tid,
+                        *ioid,
+                        SatRead {
+                            addr,
+                            size,
+                            value,
+                            source: ReadSource::Storage(sources),
+                            reserve,
+                        },
+                    );
+                }
+                ThreadTransition::CommitWrite { tid, ioid, windex } => {
+                    self.commit_write(*tid, *ioid, *windex);
+                }
+                ThreadTransition::CommitStcxSuccess { tid, ioid } => {
+                    let windex = self.threads[*tid].instances[ioid]
+                        .mem_writes
+                        .iter()
+                        .position(|w| w.conditional && w.committed.is_none())
+                        .expect("conditional write");
+                    self.commit_write(*tid, *ioid, windex);
+                    self.threads[*tid].reservation = None;
+                    let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                    inst.pending_cond_write = false;
+                    inst.state.resume_write_cond(true).expect("pending cond");
+                }
+                ThreadTransition::CommitStcxFail { tid, ioid } => {
+                    self.threads[*tid].reservation = None;
+                    let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                    let windex = inst
+                        .mem_writes
+                        .iter()
+                        .position(|w| w.conditional && w.committed.is_none())
+                        .expect("conditional write");
+                    inst.mem_writes.remove(windex);
+                    inst.pending_cond_write = false;
+                    inst.state.resume_write_cond(false).expect("pending cond");
+                }
+                ThreadTransition::CommitBarrier { tid, ioid } => {
+                    let kind = self.threads[*tid].instances[ioid].barrier.expect("barrier");
+                    if kind.goes_to_storage() {
+                        let id = BarrierId(self.next_barrier_id);
+                        self.next_barrier_id += 1;
+                        self.storage.accept_barrier(BarrierEv {
+                            id,
+                            tid: *tid,
+                            ioid: (*tid, *ioid),
+                            kind,
+                        });
+                        let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                        inst.barrier_committed = true;
+                        inst.barrier_id = Some(id);
+                    } else {
+                        let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                        inst.barrier_committed = true;
+                    }
+                }
+                ThreadTransition::Finish { tid, ioid } => {
+                    let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                    inst.finished = true;
+                    self.threads[*tid].prune_children(*ioid);
+                }
+            },
+            Transition::Storage(st) => match st {
+                StorageTransition::PropagateWrite { write, to } => {
+                    let (addr, size) = self.storage.propagate_write(*write, *to);
+                    // A foreign write propagating into the thread kills
+                    // an overlapping reservation.
+                    let w_tid = self.storage.writes[write].tid;
+                    if w_tid != *to {
+                        if let Some((ra, rs)) = self.threads[*to].reservation {
+                            if ra < addr + size as u64 && addr < ra + rs as u64 {
+                                self.threads[*to].reservation = None;
+                            }
+                        }
+                    }
+                }
+                StorageTransition::PropagateBarrier { barrier, to } => {
+                    self.storage.propagate_barrier(*barrier, *to);
+                }
+                StorageTransition::AcknowledgeSync { barrier } => {
+                    self.storage.acknowledge_sync(*barrier);
+                    let (tid, ioid) = self.storage.barriers[barrier].ioid;
+                    if let Some(inst) = self.threads[tid].instances.get_mut(&ioid) {
+                        inst.barrier_acked = true;
+                    }
+                }
+                StorageTransition::PartialCoherence { first, second } => {
+                    let ok = self.storage.add_coherence(*first, *second);
+                    assert!(ok, "partial coherence commitment must be acyclic");
+                }
+            },
+        }
+    }
+
+    fn fetch(&mut self, tid: ThreadId, parent: Option<InstanceId>, addr: u64) {
+        let entry = self
+            .program
+            .entries
+            .get(&addr)
+            .expect("fetch of unmapped address");
+        let th = &mut self.threads[tid];
+        let id = th.next_id;
+        th.next_id += 1;
+        let inst = InstrInstance {
+            id,
+            parent,
+            children: Vec::new(),
+            addr,
+            instr: entry.instr.clone(),
+            sem: entry.sem.clone(),
+            state: InstrState::new(entry.sem.clone()),
+            static_fp: entry.fp.clone(),
+            dyn_fp: entry.fp.clone(),
+            reg_reads: Vec::new(),
+            reg_writes: Vec::new(),
+            mem_reads: Vec::new(),
+            pending_read: None,
+            mem_writes: Vec::new(),
+            pending_cond_write: false,
+            barrier: None,
+            barrier_committed: false,
+            barrier_id: None,
+            barrier_acked: false,
+            done: false,
+            finished: false,
+            nia: None,
+        };
+        th.instances.insert(id, inst);
+        match parent {
+            None => th.root = Some(id),
+            Some(p) => th.instances.get_mut(&p).expect("parent").children.push(id),
+        }
+    }
+
+    /// Record a read satisfaction and restart po-later same-footprint
+    /// reads that read from different (hence coherence-suspect) sources
+    /// (RDW forbidden; RSW stays allowed because equal sources don't
+    /// restart).
+    fn finish_read_satisfaction(&mut self, tid: ThreadId, ioid: InstanceId, read: SatRead) {
+        {
+            let inst = self.threads[tid].instances.get_mut(&ioid).expect("live");
+            inst.pending_read = None;
+            inst.mem_reads.push(read.clone());
+            inst.state.resume_mem(read.value.clone()).expect("pending mem");
+        }
+        // Coherence-order restart check on po-later satisfied reads.
+        let th = &self.threads[tid];
+        let mut seed = BTreeSet::new();
+        for d in th.descendants(ioid) {
+            let dinst = &th.instances[&d];
+            if dinst.finished {
+                continue;
+            }
+            for r2 in &dinst.mem_reads {
+                let overlaps =
+                    r2.addr < read.addr + read.size as u64 && read.addr < r2.addr + r2.size as u64;
+                if !overlaps {
+                    continue;
+                }
+                if !self.same_source(tid, &read, r2) {
+                    // A forward from po-between ioid and d is newer than
+                    // our read by construction; keep those.
+                    if let ReadSource::Forward(from, _) = r2.source {
+                        if from == ioid || th.is_ancestor(ioid, from) {
+                            continue;
+                        }
+                    }
+                    seed.insert(d);
+                }
+            }
+        }
+        if !seed.is_empty() {
+            self.threads[tid].cascade_restart(seed);
+        }
+    }
+
+    /// Whether two satisfied reads took their overlapping bytes from the
+    /// same writes.
+    fn same_source(&self, tid: ThreadId, a: &SatRead, b: &SatRead) -> bool {
+        let lo = a.addr.max(b.addr);
+        let hi = (a.addr + a.size as u64).min(b.addr + b.size as u64);
+        for byte in lo..hi {
+            if self.byte_source(tid, a, byte) != self.byte_source(tid, b, byte) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A canonical identity for the write supplying `byte` to a read:
+    /// committed storage writes are identified by `WriteId`, uncommitted
+    /// forwards by `(instance, index)`.
+    fn byte_source(&self, tid: ThreadId, r: &SatRead, byte: u64) -> (u64, u64) {
+        match &r.source {
+            ReadSource::Storage(srcs) => {
+                let idx = (byte - r.addr) as usize;
+                (0, u64::from(srcs[idx].0))
+            }
+            ReadSource::Forward(from, widx) => {
+                match self.threads[tid]
+                    .instances
+                    .get(from)
+                    .and_then(|i| i.mem_writes.get(*widx))
+                    .and_then(|w| w.committed)
+                {
+                    Some(wid) => (0, u64::from(wid.0)),
+                    None => (1, (*from as u64) << 16 | *widx as u64),
+                }
+            }
+        }
+    }
+
+    fn commit_write(&mut self, tid: ThreadId, ioid: InstanceId, windex: usize) {
+        let id = WriteId(self.next_write_id);
+        self.next_write_id += 1;
+        let (addr, size, value) = {
+            let w = &self.threads[tid].instances[&ioid].mem_writes[windex];
+            (w.addr, w.size, w.value.clone())
+        };
+        self.storage.accept_write(Write {
+            id,
+            tid,
+            ioid: Some((tid, ioid)),
+            addr,
+            size,
+            value,
+        });
+        self.threads[tid]
+            .instances
+            .get_mut(&ioid)
+            .expect("live")
+            .mem_writes[windex]
+            .committed = Some(id);
+    }
+
+    // ---- state classification ------------------------------------------
+
+    /// Whether the state is *final*: every instance of every thread is
+    /// finished and no fetch is possible. (Storage propagation may still
+    /// be enabled; it cannot affect registers, and final memory values
+    /// are enumerated over all coherence completions.)
+    #[must_use]
+    pub fn is_final(&self) -> bool {
+        self.threads.iter().all(ThreadState::all_finished)
+            && !self
+                .enumerate_transitions()
+                .iter()
+                .any(|t| matches!(t, Transition::Thread(ThreadTransition::Fetch { .. })))
+    }
+
+    /// A 64-bit structural digest for search memoisation.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for th in &self.threads {
+            th.reservation.hash(&mut h);
+            for (id, inst) in &th.instances {
+                id.hash(&mut h);
+                inst.parent.hash(&mut h);
+                inst.addr.hash(&mut h);
+                inst.state.hash(&mut h);
+                inst.reg_reads.hash(&mut h);
+                inst.reg_writes.hash(&mut h);
+                inst.mem_reads.hash(&mut h);
+                inst.pending_read.hash(&mut h);
+                inst.mem_writes.hash(&mut h);
+                inst.pending_cond_write.hash(&mut h);
+                inst.barrier.hash(&mut h);
+                inst.barrier_committed.hash(&mut h);
+                inst.barrier_acked.hash(&mut h);
+                inst.done.hash(&mut h);
+                inst.finished.hash(&mut h);
+                inst.nia.hash(&mut h);
+            }
+        }
+        self.storage.writes_seen.hash(&mut h);
+        self.storage.coherence.hash(&mut h);
+        self.storage.events_propagated_to.hash(&mut h);
+        self.storage.unacknowledged_sync_requests.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl InstrInstance {
+    /// Whether the instance performs (or may perform) memory reads.
+    #[must_use]
+    pub fn is_load_like(&self) -> bool {
+        !self.mem_reads.is_empty()
+            || self.pending_read.is_some()
+            || (!self.done && self.dyn_fp.mem_reads.may_access())
+    }
+
+    /// All recorded memory writes committed, and no more can appear.
+    #[must_use]
+    pub fn all_writes_committed(&self) -> bool {
+        self.mem_writes.iter().all(|w| w.committed.is_some())
+            && (self.done || !self.dyn_fp.mem_writes.may_access())
+    }
+}

@@ -1,0 +1,525 @@
+//! The thread subsystem: trees of in-flight instruction instances.
+//!
+//! Each hardware thread maintains "a tree of in-flight and committed
+//! instruction instances, expressing the programmer-visible aspects of
+//! out-of-order and speculative computation" (paper §1.2), "branching at
+//! conditional branch or calculated jump points, and discarding un-taken
+//! subtrees when branches become committed" (§2.1.1).
+//!
+//! An instance couples the suspended interpreter state (§2.2) with the
+//! statically analysed footprint data "obtained by running the
+//! interpreter exhaustively, and a record of the register and memory
+//! reads and writes the instruction has performed (cleared if the
+//! instruction is restarted)" (§5).
+
+use crate::types::{ThreadId, WriteId};
+use ppc_bits::{Bit, Bv};
+use ppc_idl::{analyze_from, BarrierKind, Footprint, InstrState, Reg, RegSlice, Sem};
+use ppc_isa::Instruction;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// An instruction-instance identifier, unique within its thread.
+pub type InstanceId = usize;
+
+/// Where a satisfied memory read got its value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ReadSource {
+    /// Forwarded from an (possibly still uncommitted) write of a
+    /// po-previous instance of the same thread: `(instance, write index)`.
+    Forward(InstanceId, usize),
+    /// Satisfied by the storage subsystem; one source write per byte.
+    Storage(Vec<WriteId>),
+}
+
+/// A satisfied memory read.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SatRead {
+    /// Byte address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: usize,
+    /// The value delivered.
+    pub value: Bv,
+    /// Where it came from.
+    pub source: ReadSource,
+    /// Whether this was a load-reserve.
+    pub reserve: bool,
+}
+
+/// A memory write an instance has performed (locally visible; committed
+/// to the storage subsystem by a separate transition).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PendingWrite {
+    /// Byte address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: usize,
+    /// The value.
+    pub value: Bv,
+    /// The storage-subsystem id once committed.
+    pub committed: Option<WriteId>,
+    /// Whether this is a store-conditional's write.
+    pub conditional: bool,
+}
+
+/// A performed register read, with its dataflow sources (for restart
+/// cascading).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RegReadRec {
+    /// The slice read.
+    pub slice: RegSlice,
+    /// The assembled value.
+    pub value: Bv,
+    /// The po-previous instances fragments were taken from (absent for
+    /// bits from the thread's initial register state).
+    pub sources: BTreeSet<InstanceId>,
+}
+
+/// One in-flight (or finished) instruction instance.
+#[derive(Clone, Debug)]
+pub struct InstrInstance {
+    /// Instance id (the paper's `ioid`).
+    pub id: InstanceId,
+    /// Parent in the instruction tree (`None` for the root).
+    pub parent: Option<InstanceId>,
+    /// Children (more than one only while branches are unresolved).
+    pub children: Vec<InstanceId>,
+    /// Fetch address.
+    pub addr: u64,
+    /// The decoded instruction.
+    pub instr: Instruction,
+    /// Shared semantics.
+    pub sem: Arc<Sem>,
+    /// The interpreter state (the suspended continuation).
+    pub state: InstrState,
+    /// Static footprint from exhaustive analysis at fetch time (shared
+    /// with the program cache).
+    pub static_fp: Arc<Footprint>,
+    /// Current footprint from re-analysis of the partially executed
+    /// state (refreshed whenever the instance blocks; shared until then).
+    pub dyn_fp: Arc<Footprint>,
+    /// Performed register reads.
+    pub reg_reads: Vec<RegReadRec>,
+    /// Performed register writes.
+    pub reg_writes: Vec<(RegSlice, Bv)>,
+    /// Satisfied memory reads.
+    pub mem_reads: Vec<SatRead>,
+    /// An issued but unsatisfied read request `(addr, size, reserve)`.
+    pub pending_read: Option<(u64, usize, bool)>,
+    /// Performed memory writes (locally visible).
+    pub mem_writes: Vec<PendingWrite>,
+    /// A store-conditional awaiting its commit decision.
+    pub pending_cond_write: bool,
+    /// Barrier outcome encountered (the instruction pauses here until
+    /// the barrier commits).
+    pub barrier: Option<BarrierKind>,
+    /// Whether the barrier was committed (sent to storage; `isync`
+    /// commits locally).
+    pub barrier_committed: bool,
+    /// The storage event id of a committed `sync`/`lwsync`/`eieio`.
+    pub barrier_id: Option<crate::types::BarrierId>,
+    /// Whether a committed sync has been acknowledged.
+    pub barrier_acked: bool,
+    /// Interpreter reached `Done`.
+    pub done: bool,
+    /// Finished (committed) — irrevocable.
+    pub finished: bool,
+    /// Resolved next-instruction address (set by an `NIA` write, or at
+    /// `Done` to the successor when no `NIA` write happened).
+    pub nia: Option<u64>,
+}
+
+impl InstrInstance {
+    /// Whether the instance's static analysis says it can branch (more
+    /// than one possible next address).
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        self.static_fp.nias.len() > 1
+            || self
+                .static_fp
+                .nias
+                .iter()
+                .any(|n| matches!(n, ppc_idl::NiaTarget::Indirect))
+    }
+
+    /// The determined memory-write footprints so far: recorded writes
+    /// plus (if the remaining execution may still write) the re-analysed
+    /// future footprint.
+    #[must_use]
+    pub fn write_footprint_determined(&self) -> bool {
+        self.dyn_fp.mem_writes.is_determined()
+    }
+
+    /// Whether any (current or future) write may overlap the range.
+    #[must_use]
+    pub fn may_write_overlapping(&self, addr: u64, size: usize) -> bool {
+        if self
+            .mem_writes
+            .iter()
+            .any(|w| w.addr < addr + size as u64 && addr < w.addr + w.size as u64)
+        {
+            return true;
+        }
+        !self.finished && self.dyn_fp.mem_writes.may_overlap(addr, size)
+    }
+
+    /// Whether any (current or future) read may overlap the range.
+    #[must_use]
+    pub fn may_read_overlapping(&self, addr: u64, size: usize) -> bool {
+        if self
+            .mem_reads
+            .iter()
+            .any(|r| r.addr < addr + size as u64 && addr < r.addr + r.size as u64)
+        {
+            return true;
+        }
+        if let Some((a, s, _)) = self.pending_read {
+            if a < addr + size as u64 && addr < a + s as u64 {
+                return true;
+            }
+        }
+        !self.done && self.dyn_fp.mem_reads.may_overlap(addr, size)
+    }
+
+    /// Refresh the dynamic footprint from the current interpreter state.
+    pub fn refresh_dyn_fp(&mut self) {
+        if self.done {
+            // Nothing left to analyse; the recorded events are the truth.
+            let fp = Arc::make_mut(&mut self.dyn_fp);
+            fp.mem_reads = ppc_idl::AccessSet::None;
+            fp.mem_writes = ppc_idl::AccessSet::None;
+        } else if self.static_fp.mem_reads.may_access()
+            || self.static_fp.mem_writes.may_access()
+        {
+            self.dyn_fp = Arc::new(analyze_from(&self.state));
+        }
+        // Otherwise the static footprint (no memory access) stays exact.
+    }
+
+    /// Reset to the fetched state (restart): clears all performed events
+    /// (paper §5: "cleared if the instruction is restarted").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance already committed irrevocable events (the
+    /// transition preconditions make that impossible).
+    pub fn restart(&mut self) {
+        assert!(!self.finished, "finished instructions cannot restart");
+        assert!(
+            self.mem_writes.iter().all(|w| w.committed.is_none()),
+            "committed writes cannot restart"
+        );
+        assert!(
+            !self.barrier_committed,
+            "committed barriers cannot restart"
+        );
+        self.state = InstrState::new(self.sem.clone());
+        self.dyn_fp = self.static_fp.clone();
+        self.reg_reads.clear();
+        self.reg_writes.clear();
+        self.mem_reads.clear();
+        self.pending_read = None;
+        self.mem_writes.clear();
+        self.pending_cond_write = false;
+        self.barrier = None;
+        self.done = false;
+        self.nia = None;
+    }
+}
+
+/// The per-thread half of a system state.
+#[derive(Clone, Debug)]
+pub struct ThreadState {
+    /// This thread's id.
+    pub tid: ThreadId,
+    /// Initial (architected) register values; unmentioned registers are
+    /// zero.
+    pub init_regs: BTreeMap<Reg, Bv>,
+    /// All instances, live and pruned-free (pruned subtrees are removed
+    /// from the map).
+    pub instances: BTreeMap<InstanceId, InstrInstance>,
+    /// The root instance (first fetch), if fetched.
+    pub root: Option<InstanceId>,
+    /// Next instance id.
+    pub next_id: usize,
+    /// The thread's reservation (from load-reserve), as a footprint.
+    pub reservation: Option<(u64, usize)>,
+    /// Initial fetch address.
+    pub start_addr: u64,
+}
+
+impl ThreadState {
+    /// A fresh thread with the given initial registers and entry point.
+    #[must_use]
+    pub fn new(tid: ThreadId, init_regs: BTreeMap<Reg, Bv>, start_addr: u64) -> Self {
+        ThreadState {
+            tid,
+            init_regs,
+            instances: BTreeMap::new(),
+            root: None,
+            next_id: 0,
+            reservation: None,
+            start_addr,
+        }
+    }
+
+    /// The initial value of a register (zeros if unspecified).
+    #[must_use]
+    pub fn init_reg(&self, r: Reg) -> Bv {
+        self.init_regs
+            .get(&r)
+            .cloned()
+            .unwrap_or_else(|| Bv::zeros(r.width()))
+    }
+
+    /// Iterate over the po-previous instances of `id`, nearest first.
+    pub fn ancestors(&self, id: InstanceId) -> impl Iterator<Item = &InstrInstance> {
+        std::iter::successors(
+            self.instances[&id].parent.map(|p| &self.instances[&p]),
+            move |i| i.parent.map(|p| &self.instances[&p]),
+        )
+    }
+
+    /// Whether `a` is a strict po-ancestor of `b`.
+    #[must_use]
+    pub fn is_ancestor(&self, a: InstanceId, b: InstanceId) -> bool {
+        self.ancestors(b).any(|i| i.id == a)
+    }
+
+    /// Descendants of `id` (its whole subtree, excluding itself).
+    #[must_use]
+    pub fn descendants(&self, id: InstanceId) -> Vec<InstanceId> {
+        let mut out = Vec::new();
+        let mut stack = self.instances[&id].children.clone();
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            stack.extend(self.instances[&c].children.iter().copied());
+        }
+        out
+    }
+
+    /// Resolve a register-slice read for instance `reader`: walk the
+    /// po-predecessors per bit, taking the most recent performed write
+    /// fragment; blocks (returns `None`) if an intervening instance may
+    /// still write a needed bit (paper §2.1.2).
+    ///
+    /// `CIA` is answered from the instance's own address; dependencies
+    /// never arise from it (§2.1.4).
+    #[must_use]
+    pub fn resolve_reg_read(
+        &self,
+        reader: InstanceId,
+        slice: RegSlice,
+    ) -> Option<(Bv, BTreeSet<InstanceId>)> {
+        if slice.reg == Reg::Cia {
+            let v = Bv::from_u64(self.instances[&reader].addr, 64).slice(slice.start, slice.len);
+            return Some((v, BTreeSet::new()));
+        }
+        let mut bits = vec![Bit::Undef; slice.len];
+        let mut sources = BTreeSet::new();
+        'bit: for (k, bitpos) in (slice.start..slice.start + slice.len).enumerate() {
+            let bit_slice = RegSlice::new(slice.reg, bitpos, 1);
+            for j in self.ancestors(reader) {
+                // Did j perform a write covering this bit?
+                if let Some((ws, wv)) = j
+                    .reg_writes
+                    .iter()
+                    .rev()
+                    .find(|(ws, _)| ws.contains(&bit_slice))
+                {
+                    bits[k] = wv.bit(bitpos - ws.start);
+                    sources.insert(j.id);
+                    continue 'bit;
+                }
+                // Might j still write it?
+                if !j.done && j.static_fp.may_write_reg(&bit_slice) {
+                    return None; // blocked
+                }
+            }
+            // No predecessor writes it: initial register state.
+            bits[k] = self.init_reg(slice.reg).bit(bitpos);
+        }
+        Some((Bv::from_bits(bits), sources))
+    }
+
+    /// The *final* architected value of a register: a read as if by an
+    /// instruction po-after the last instance on the (unique, finished)
+    /// path. Used for litmus final-condition evaluation.
+    #[must_use]
+    pub fn final_reg(&self, reg: Reg) -> Bv {
+        // Find the deepest instance on the path.
+        let mut last = self.root;
+        while let Some(l) = last {
+            match self.instances[&l].children.as_slice() {
+                [] => break,
+                [c] => last = Some(*c),
+                _ => break, // unresolved tree; best effort
+            }
+        }
+        let width = reg.width();
+        let mut bits = Vec::with_capacity(width);
+        'bit: for bitpos in 0..width {
+            let bit_slice = RegSlice::new(reg, bitpos, 1);
+            let mut cur = last;
+            while let Some(c) = cur {
+                let j = &self.instances[&c];
+                if let Some((ws, wv)) = j
+                    .reg_writes
+                    .iter()
+                    .rev()
+                    .find(|(ws, _)| ws.contains(&bit_slice))
+                {
+                    bits.push(wv.bit(bitpos - ws.start));
+                    continue 'bit;
+                }
+                cur = j.parent;
+            }
+            bits.push(self.init_reg(reg).bit(bitpos));
+        }
+        Bv::from_bits(bits)
+    }
+
+    /// Compute the transitive restart closure of `seed` over register
+    /// dataflow and forwarding edges, then apply the restarts. Returns
+    /// the set actually restarted.
+    pub fn cascade_restart(&mut self, seed: BTreeSet<InstanceId>) -> BTreeSet<InstanceId> {
+        let mut set = seed;
+        loop {
+            let mut grew = false;
+            let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+            for id in ids {
+                if set.contains(&id) {
+                    continue;
+                }
+                let inst = &self.instances[&id];
+                let depends = inst
+                    .reg_reads
+                    .iter()
+                    .any(|r| r.sources.iter().any(|s| set.contains(s)))
+                    || inst.mem_reads.iter().any(|r| match &r.source {
+                        ReadSource::Forward(from, _) => set.contains(from),
+                        ReadSource::Storage(_) => false,
+                    });
+                if depends {
+                    set.insert(id);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for id in &set {
+            if let Some(inst) = self.instances.get_mut(id) {
+                inst.restart();
+            }
+        }
+        set
+    }
+
+    /// Prune the untaken subtrees of a *finished* branch: children whose
+    /// fetch address differs from the resolved `nia` are discarded
+    /// (paper §2.1.1).
+    pub fn prune_children(&mut self, id: InstanceId) {
+        let Some(nia) = self.instances[&id].nia else {
+            return;
+        };
+        let children = self.instances[&id].children.clone();
+        let (keep, drop): (Vec<_>, Vec<_>) =
+            children.into_iter().partition(|c| self.instances[c].addr == nia);
+        self.instances.get_mut(&id).expect("exists").children = keep;
+        for d in drop {
+            for sub in self.descendants(d) {
+                self.instances.remove(&sub);
+            }
+            self.instances.remove(&d);
+        }
+    }
+
+    /// All live instance ids in id order.
+    #[must_use]
+    pub fn instance_ids(&self) -> Vec<InstanceId> {
+        self.instances.keys().copied().collect()
+    }
+
+    /// Whether every live instance is finished.
+    #[must_use]
+    pub fn all_finished(&self) -> bool {
+        self.instances.values().all(|i| i.finished)
+    }
+}
+
+/// Thread transitions enumerated by the system layer.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ThreadTransition {
+    /// Fetch and decode the instruction at `addr` as a new child of
+    /// `parent` (or as the root).
+    Fetch {
+        /// Thread.
+        tid: ThreadId,
+        /// Parent instance.
+        parent: Option<InstanceId>,
+        /// Fetch address.
+        addr: u64,
+    },
+    /// Satisfy a pending read by forwarding from an uncommitted
+    /// po-previous write (paper §2.1.5 / PPOCA).
+    SatisfyReadForward {
+        /// Thread.
+        tid: ThreadId,
+        /// Reading instance.
+        ioid: InstanceId,
+        /// Source instance.
+        from: InstanceId,
+        /// Index into the source's `mem_writes`.
+        windex: usize,
+    },
+    /// Satisfy a pending read from the storage subsystem.
+    SatisfyReadStorage {
+        /// Thread.
+        tid: ThreadId,
+        /// Reading instance.
+        ioid: InstanceId,
+    },
+    /// Commit one performed memory write to the storage subsystem.
+    CommitWrite {
+        /// Thread.
+        tid: ThreadId,
+        /// Instance.
+        ioid: InstanceId,
+        /// Index into `mem_writes`.
+        windex: usize,
+    },
+    /// Decide a store-conditional: commit its write (success) — requires
+    /// a valid reservation.
+    CommitStcxSuccess {
+        /// Thread.
+        tid: ThreadId,
+        /// Instance.
+        ioid: InstanceId,
+    },
+    /// Decide a store-conditional: fail it (no write reaches storage).
+    CommitStcxFail {
+        /// Thread.
+        tid: ThreadId,
+        /// Instance.
+        ioid: InstanceId,
+    },
+    /// Commit a barrier (send `sync`/`lwsync`/`eieio` to storage;
+    /// `isync` commits thread-locally).
+    CommitBarrier {
+        /// Thread.
+        tid: ThreadId,
+        /// Instance.
+        ioid: InstanceId,
+    },
+    /// Finish (commit) an instruction: its behaviour is now irrevocable;
+    /// prunes untaken subtrees if it was a branch.
+    Finish {
+        /// Thread.
+        tid: ThreadId,
+        /// Instance.
+        ioid: InstanceId,
+    },
+}

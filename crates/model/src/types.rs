@@ -1,0 +1,106 @@
+//! Shared event types and model parameters.
+
+use ppc_bits::Bv;
+use ppc_idl::BarrierKind;
+
+/// A hardware thread identifier.
+pub type ThreadId = usize;
+
+/// A globally unique memory-write event identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteId(pub u32);
+
+/// A globally unique barrier event identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BarrierId(pub u32);
+
+/// A memory-write event: "a record type containing a unique id, an
+/// address and size, and a memory value (a list of bytes of lifted bits)"
+/// (paper §5).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Write {
+    /// Unique id.
+    pub id: WriteId,
+    /// Originating thread (initial-state writes use a pseudo thread).
+    pub tid: ThreadId,
+    /// Originating instruction instance, if any (`None` for the initial
+    /// writes).
+    pub ioid: Option<(ThreadId, usize)>,
+    /// Byte address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: usize,
+    /// Value: `8 * size` lifted bits.
+    pub value: Bv,
+}
+
+impl Write {
+    /// Whether this write's footprint overlaps `[addr, addr+size)`.
+    #[must_use]
+    pub fn overlaps(&self, addr: u64, size: usize) -> bool {
+        self.addr < addr + size as u64 && addr < self.addr + self.size as u64
+    }
+
+    /// Whether this write covers byte `b`.
+    #[must_use]
+    pub fn covers(&self, b: u64) -> bool {
+        self.addr <= b && b < self.addr + self.size as u64
+    }
+
+    /// The lifted byte at absolute address `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is outside the footprint.
+    #[must_use]
+    pub fn byte_at(&self, b: u64) -> Bv {
+        assert!(self.covers(b));
+        let off = (b - self.addr) as usize;
+        self.value.slice(off * 8, 8)
+    }
+}
+
+/// A barrier event sent to the storage subsystem.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BarrierEv {
+    /// Unique id.
+    pub id: BarrierId,
+    /// Originating thread.
+    pub tid: ThreadId,
+    /// Originating instruction instance.
+    pub ioid: (ThreadId, usize),
+    /// The barrier kind (`Sync`, `Lwsync`, or `Eieio`; `isync` never
+    /// reaches storage).
+    pub kind: BarrierKind,
+}
+
+/// Model parameters (the paper's `model_params`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ModelParams {
+    /// Maximum number of instruction instances fetched per thread
+    /// (bounds speculation down unbounded loops).
+    pub max_instances_per_thread: usize,
+    /// Enable the *partial coherence commitment* storage transition
+    /// (nondeterministically relating unrelated overlapping writes
+    /// mid-run). Final-state extraction always enumerates all coherence
+    /// completions, so this only matters for mid-run observability and is
+    /// off by default to keep exhaustive search tractable.
+    pub coherence_commitments: bool,
+    /// Allow store-conditionals to fail spuriously (the architecture
+    /// permits it; turning it off prunes the failure branch when a valid
+    /// reservation is held, useful to keep lock-based tests small).
+    pub allow_spurious_stcx_failure: bool,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            max_instances_per_thread: 32,
+            coherence_commitments: false,
+            allow_spurious_stcx_failure: false,
+        }
+    }
+}
+
+/// The pseudo "thread" owning the initial-state writes.
+pub(crate) const INIT_TID: ThreadId = usize::MAX;

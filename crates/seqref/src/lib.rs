@@ -1,0 +1,28 @@
+//! The sequential reference machine and the §7 sequential test
+//! generator.
+//!
+//! The paper validates its ISA model by generating "random
+//! single-instruction tests" and comparing the model (run in sequential
+//! mode) against POWER 7 hardware, logging "the register values and
+//! relevant memory state before and after execution", compared "up to
+//! undef". We cannot run silicon, so the golden side is [`SeqMachine`]:
+//! an independent, direct-state-update executor over the same
+//! instruction semantics — a different consumer of the `Outcome`
+//! interface than the concurrency model's thread subsystem, so the
+//! differential test exercises both paths through the ISA semantics
+//! (see `DESIGN.md` §2 for the substitution argument).
+//!
+//! [`testgen`] generates the per-instruction test programs "largely
+//! automatically, from the … names and inferred types of instruction
+//! fields" — here from the instruction AST and its analysed footprint —
+//! with exhaustive enumeration of single-bit mode fields, like the
+//! paper's.
+
+mod machine;
+mod testgen;
+
+pub use machine::{MachineState, SeqError, SeqMachine};
+pub use testgen::{generate_tests, run_conformance, ConformanceReport, SeqTest};
+
+#[cfg(test)]
+mod tests;

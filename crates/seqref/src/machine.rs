@@ -1,0 +1,230 @@
+//! A sequentially consistent reference machine: fetch, decode, execute
+//! with a direct register-file/memory state update per instruction.
+
+use ppc_bits::Bv;
+use ppc_idl::{InstrState, Outcome, Reg, RegSlice, WriteKind};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An architected machine state snapshot (registers + touched memory).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MachineState {
+    /// Register values (unlisted registers are zero).
+    pub regs: BTreeMap<Reg, Bv>,
+    /// Memory bytes (unlisted bytes are zero).
+    pub mem: BTreeMap<u64, Bv>,
+}
+
+impl MachineState {
+    /// Compare two states *up to undef* (paper §7): every register and
+    /// byte must be [`Bv::compatible`].
+    #[must_use]
+    pub fn compatible(&self, other: &MachineState) -> bool {
+        let regs: std::collections::BTreeSet<&Reg> =
+            self.regs.keys().chain(other.regs.keys()).collect();
+        for r in regs {
+            let a = self.reg(*r);
+            let b = other.reg(*r);
+            if !a.compatible(&b) {
+                return false;
+            }
+        }
+        let bytes: std::collections::BTreeSet<&u64> =
+            self.mem.keys().chain(other.mem.keys()).collect();
+        for &b in bytes {
+            if !self.byte(b).compatible(&other.byte(b)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The value of a register (zeros if untouched).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> Bv {
+        self.regs
+            .get(&r)
+            .cloned()
+            .unwrap_or_else(|| Bv::zeros(r.width()))
+    }
+
+    /// The byte at `addr` (zero if untouched).
+    #[must_use]
+    pub fn byte(&self, addr: u64) -> Bv {
+        self.mem.get(&addr).cloned().unwrap_or_else(|| Bv::zeros(8))
+    }
+}
+
+/// Errors from sequential execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SeqError {
+    /// Fetch from an address with no decodable instruction.
+    BadFetch(u64),
+    /// The interpreter faulted.
+    Interp(ppc_idl::IdlError),
+    /// Step budget exceeded.
+    OutOfFuel,
+}
+
+impl std::fmt::Display for SeqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeqError::BadFetch(a) => write!(f, "no instruction at 0x{a:x}"),
+            SeqError::Interp(e) => write!(f, "interpreter error: {e}"),
+            SeqError::OutOfFuel => write!(f, "instruction budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+impl From<ppc_idl::IdlError> for SeqError {
+    fn from(e: ppc_idl::IdlError) -> Self {
+        SeqError::Interp(e)
+    }
+}
+
+/// The reference machine: program memory plus a [`MachineState`].
+#[derive(Clone, Debug)]
+pub struct SeqMachine {
+    /// Decoded program, by address.
+    program: BTreeMap<u64, Arc<ppc_idl::Sem>>,
+    /// Current architected state.
+    pub state: MachineState,
+    /// Current instruction address.
+    pub cia: u64,
+}
+
+impl SeqMachine {
+    /// Build from instruction words.
+    #[must_use]
+    pub fn new(words: &BTreeMap<u64, u32>, entry: u64) -> Self {
+        let mut program = BTreeMap::new();
+        for (&addr, &w) in words {
+            if let Ok(i) = ppc_isa::decode(w) {
+                program.insert(addr, Arc::new(ppc_isa::semantics(&i)));
+            }
+        }
+        SeqMachine {
+            program,
+            state: MachineState::default(),
+            cia: entry,
+        }
+    }
+
+    /// Build from an instruction list at `entry`.
+    #[must_use]
+    pub fn from_instrs(instrs: &[ppc_isa::Instruction], entry: u64) -> Self {
+        let words: BTreeMap<u64, u32> = instrs
+            .iter()
+            .enumerate()
+            .map(|(k, i)| (entry + 4 * k as u64, ppc_isa::encode(i)))
+            .collect();
+        SeqMachine::new(&words, entry)
+    }
+
+    /// Whether an instruction exists at the current address.
+    #[must_use]
+    pub fn can_step(&self) -> bool {
+        self.program.contains_key(&self.cia)
+    }
+
+    fn read_slice(&self, s: RegSlice) -> Bv {
+        if s.reg == Reg::Cia {
+            return Bv::from_u64(self.cia, 64).slice(s.start, s.len);
+        }
+        self.state.reg(s.reg).slice(s.start, s.len)
+    }
+
+    fn write_slice(&mut self, s: RegSlice, v: Bv) {
+        let cur = self.state.reg(s.reg);
+        self.state.regs.insert(s.reg, cur.with_slice(s.start, &v));
+    }
+
+    fn read_mem(&self, addr: u64, size: usize) -> Bv {
+        let mut v = Bv::empty();
+        for i in 0..size {
+            v = v.concat(&self.state.byte(addr + i as u64));
+        }
+        v
+    }
+
+    fn write_mem(&mut self, addr: u64, value: &Bv) {
+        for (i, byte) in value.to_lifted_bytes().into_iter().enumerate() {
+            self.state.mem.insert(addr + i as u64, byte);
+        }
+    }
+
+    /// Execute the instruction at `cia` to completion, updating state
+    /// and advancing `cia`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad fetches or interpreter faults (e.g. an undefined
+    /// value reaching a memory address).
+    pub fn step_instruction(&mut self) -> Result<(), SeqError> {
+        let sem = self
+            .program
+            .get(&self.cia)
+            .cloned()
+            .ok_or(SeqError::BadFetch(self.cia))?;
+        let mut st = InstrState::new(sem);
+        let mut nia: Option<u64> = None;
+        loop {
+            match st.step()? {
+                Outcome::ReadReg { slice } => {
+                    let v = self.read_slice(slice);
+                    st.resume_reg(v)?;
+                }
+                Outcome::WriteReg { slice, value } => {
+                    if slice.reg == Reg::Nia {
+                        nia = Some(value.to_u64().ok_or(SeqError::Interp(
+                            ppc_idl::IdlError::UndefAddress,
+                        ))?);
+                    } else {
+                        self.write_slice(slice, value);
+                    }
+                }
+                Outcome::ReadMem { address, size, .. } => {
+                    let v = self.read_mem(address, size);
+                    st.resume_mem(v)?;
+                }
+                Outcome::WriteMem {
+                    address,
+                    size: _,
+                    value,
+                    kind,
+                } => {
+                    self.write_mem(address, &value);
+                    if kind == WriteKind::Conditional {
+                        // Sequentially, a store-conditional after its
+                        // own larx always succeeds.
+                        st.resume_write_cond(true)?;
+                    }
+                }
+                Outcome::Barrier { .. } | Outcome::Internal => {}
+                Outcome::Done => break,
+            }
+        }
+        self.cia = nia.unwrap_or(self.cia + 4);
+        Ok(())
+    }
+
+    /// Run until fetch leaves the program, with an instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SeqError`] from execution, or
+    /// [`SeqError::OutOfFuel`].
+    pub fn run(&mut self, max_instructions: usize) -> Result<usize, SeqError> {
+        let mut n = 0;
+        while self.can_step() {
+            self.step_instruction()?;
+            n += 1;
+            if n > max_instructions {
+                return Err(SeqError::OutOfFuel);
+            }
+        }
+        Ok(n)
+    }
+}

@@ -1,0 +1,95 @@
+//! Tests for the sequential reference machine and the conformance
+//! harness (a reduced-size run; the full E1 experiment runs via the
+//! `seq_conformance` binary).
+
+use crate::machine::{MachineState, SeqMachine};
+use crate::testgen::{generate_tests, run_conformance};
+use ppc_bits::Bv;
+use ppc_idl::Reg;
+use ppc_isa::parse_asm;
+
+fn machine(prog: &[&str]) -> SeqMachine {
+    let instrs: Vec<_> = prog.iter().map(|s| parse_asm(s).expect("asm")).collect();
+    SeqMachine::from_instrs(&instrs, 0x1_0000)
+}
+
+#[test]
+fn straight_line_arithmetic() {
+    let mut m = machine(&["li r1,6", "li r2,7", "mullw r3,r1,r2"]);
+    let n = m.run(100).expect("runs");
+    assert_eq!(n, 3);
+    assert_eq!(m.state.reg(Reg::Gpr(3)).to_u64(), Some(42));
+}
+
+#[test]
+fn loop_runs_to_completion() {
+    let mut m = machine(&[
+        "li r1,10",
+        "mtctr r1",
+        "li r2,0",
+        "addi r2,r2,3",
+        "bdnz -4",
+    ]);
+    m.run(200).expect("runs");
+    assert_eq!(m.state.reg(Reg::Gpr(2)).to_u64(), Some(30));
+}
+
+#[test]
+fn memory_round_trip() {
+    let mut m = machine(&["li r5,77", "stw r5,0(r1)", "lwz r6,0(r1)"]);
+    m.state.regs.insert(Reg::Gpr(1), Bv::from_u64(0x8000, 64));
+    m.run(100).expect("runs");
+    assert_eq!(m.state.reg(Reg::Gpr(6)).to_u64(), Some(77));
+}
+
+#[test]
+fn branch_exits_program() {
+    // b +16 jumps past the end: the machine must stop cleanly.
+    let mut m = machine(&["b 16"]);
+    let n = m.run(10).expect("runs");
+    assert_eq!(n, 1);
+    assert_eq!(m.cia, 0x1_0000 + 16);
+}
+
+#[test]
+fn compatibility_up_to_undef() {
+    let mut a = MachineState::default();
+    let mut b = MachineState::default();
+    a.regs.insert(Reg::Gpr(1), Bv::from_u64(5, 64));
+    b.regs.insert(Reg::Gpr(1), Bv::undef(64));
+    assert!(a.compatible(&b), "undef matches anything");
+    b.regs.insert(Reg::Gpr(2), Bv::from_u64(1, 64));
+    assert!(!a.compatible(&b), "defined divergence detected");
+}
+
+#[test]
+fn generator_covers_the_isa() {
+    let tests = generate_tests(7, 1);
+    // One state per shape still covers > 150 distinct encodings.
+    let mut mnemonics: Vec<String> = tests
+        .iter()
+        .map(|t| t.instr.mnemonic())
+        .collect();
+    mnemonics.sort();
+    mnemonics.dedup();
+    assert!(
+        mnemonics.len() >= 150,
+        "got {} distinct mnemonics",
+        mnemonics.len()
+    );
+}
+
+#[test]
+fn conformance_smoke_run() {
+    // A small differential run: every generated test must agree between
+    // the golden machine and the model's sequential mode.
+    let tests: Vec<_> = generate_tests(42, 1).into_iter().take(60).collect();
+    let report = run_conformance(&tests);
+    assert!(
+        report.all_passed(),
+        "{} of {} failed:\n{}",
+        report.total - report.passed,
+        report.total,
+        report.failures.join("\n")
+    );
+}

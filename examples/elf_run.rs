@@ -1,0 +1,62 @@
+//! The ELF front-end path (paper §6): build a synthetic statically
+//! linked PPC64 ELF executable, parse and ABI-check it, load its
+//! segments and symbols, and run it in the model's sequential mode.
+//!
+//! ```sh
+//! cargo run --release --example elf_run
+//! ```
+
+use ppcmem::bits::Bv;
+use ppcmem::elf::{parse_elf, ElfBuilder};
+use ppcmem::idl::Reg;
+use ppcmem::model::{run_sequential, ModelParams, Program, SystemState};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn main() {
+    // A small program: counter = counter * 2 + 5.
+    let code: Vec<ppcmem::isa::Instruction> = [
+        "lis r9,0x2000",      // r9 = &counter (0x2000_0000 >> 16 = 0x2000)
+        "lwz r5,0(r9)",
+        "mulli r5,r5,2",
+        "addi r5,r5,5",
+        "stw r5,0(r9)",
+    ]
+    .iter()
+    .map(|s| ppcmem::isa::parse_asm(s).expect("asm"))
+    .collect();
+
+    // Build, serialise, and re-parse the executable.
+    let image = ElfBuilder::new(0x1000_0000)
+        .text(0x1000_0000, &code)
+        .data(0x2000_0000, &[0, 0, 0, 18]) // counter = 18
+        .symbol("counter", 0x2000_0000, 4)
+        .build();
+    println!("built ELF image: {} bytes", image.len());
+    let elf = parse_elf(&image).expect("valid PPC64 executable");
+    println!(
+        "parsed: entry 0x{:x}, {} segments, symbols {:?}",
+        elf.entry,
+        elf.segments.len(),
+        elf.symbols.keys().collect::<Vec<_>>()
+    );
+
+    // Load into the model.
+    let program = Arc::new(Program::new(&elf.code_words()));
+    let initial_mem: Vec<(u64, Bv)> = elf
+        .data_bytes()
+        .into_iter()
+        .map(|(addr, bytes)| (addr, Bv::from_bytes(&bytes)))
+        .collect();
+    let state = SystemState::new(
+        program,
+        vec![(BTreeMap::new(), elf.entry)],
+        &initial_mem,
+        ModelParams::default(),
+    );
+    let (fin, steps) = run_sequential(&state, 10_000);
+    let r5 = fin.threads[0].final_reg(Reg::Gpr(5));
+    println!("ran to quiescence in {steps} transitions; r5 = {r5}");
+    assert_eq!(r5.to_u64(), Some(41)); // 18*2+5
+    println!("counter := 18*2+5 = 41  (loaded from the ELF, verified in the model)");
+}

@@ -1,0 +1,67 @@
+//! E4 — the Fig. 3 experience: print a mid-execution system state of
+//! MP+sync+ctrl with its enabled transitions, in the style of the
+//! paper's tool screenshot, after a scripted prefix of transitions.
+//!
+//! ```sh
+//! cargo run --release --example explore          # scripted prefix
+//! cargo run --release --example explore -- 12    # explore n steps
+//! ```
+
+use ppcmem::litmus::{build_system, parse};
+use ppcmem::model::{ModelParams, Transition};
+
+fn main() {
+    let src = r"POWER MP+sync+ctrl
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y; 1:r7=1;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ sync         | cmpw r5,r7   ;
+ stw r8,0(r2) | beq L        ;
+              | L:           ;
+              | lwz r4,0(r1) ;
+exists (1:r5=1 /\ 1:r4=0)
+";
+    let test = parse(src).expect("parses");
+    let mut state = build_system(&test, &ModelParams::default());
+
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    // Drive a deterministic prefix: always the first enabled transition,
+    // preferring thread-0 fetch/commit so the state resembles Fig. 3
+    // (first write committed, reader instructions in flight).
+    for k in 0..steps {
+        let ts = state.enumerate_transitions();
+        let Some(t) = pick(&ts) else { break };
+        println!("step {k}: {}", state.render_transition(&t));
+        state = state.apply(&t);
+    }
+    println!("\n{}", state.render());
+}
+
+/// Prefer fetches, then commits, then anything else — a readable prefix.
+fn pick(ts: &[Transition]) -> Option<Transition> {
+    use ppcmem::model::ThreadTransition as TT;
+    let fetch = ts
+        .iter()
+        .find(|t| matches!(t, Transition::Thread(TT::Fetch { .. })));
+    if let Some(t) = fetch {
+        return Some(t.clone());
+    }
+    let commit = ts.iter().find(|t| {
+        matches!(
+            t,
+            Transition::Thread(TT::CommitWrite { .. } | TT::CommitBarrier { .. })
+        )
+    });
+    if let Some(t) = commit {
+        return Some(t.clone());
+    }
+    ts.first().cloned()
+}

@@ -1,0 +1,36 @@
+//! E3 — reproduce the verdicts of every litmus test printed in the
+//! paper's §2, as a compact table.
+//!
+//! ```sh
+//! cargo run --release --example paper_tests
+//! ```
+
+use ppcmem::litmus::{paper_section2_suite, run_entry};
+use ppcmem::model::ModelParams;
+
+fn main() {
+    println!("The paper's §2 tests, model verdict vs the paper:");
+    println!("{:<18} {:>10} {:>10} {:>8}", "test", "model", "paper", "match");
+    println!("{}", "-".repeat(50));
+    let params = ModelParams::default();
+    let mut all_ok = true;
+    for e in paper_section2_suite() {
+        let report = run_entry(&e, &params);
+        let model = if report.result.witnessed {
+            "Allowed"
+        } else {
+            "Forbidden"
+        };
+        all_ok &= report.matches;
+        println!(
+            "{:<18} {:>10} {:>10} {:>8}",
+            e.name,
+            model,
+            e.expect.to_string(),
+            if report.matches { "ok" } else { "MISMATCH" }
+        );
+    }
+    println!("{}", "-".repeat(50));
+    assert!(all_ok, "every §2 verdict must match the paper");
+    println!("all §2 verdicts match the paper");
+}

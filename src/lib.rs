@@ -1,0 +1,25 @@
+//! # ppcmem
+//!
+//! An integrated concurrency and core-ISA architectural envelope model, and
+//! test oracle, for IBM POWER multiprocessors — a Rust reproduction of
+//! Gray et al., MICRO-48 (2015).
+//!
+//! This crate re-exports the workspace members as modules:
+//!
+//! - [`bits`]: lifted bitvectors (0/1/undef) with POWER's MSB0 indexing
+//! - [`idl`]: the instruction description language (micro-op IR) and its
+//!   interpreter, exposing the paper's `Outcome` interface
+//! - [`isa`]: the POWER user-mode fixed-point + branch ISA model
+//! - [`model`]: the operational concurrency model (thread trees + storage
+//!   subsystem) and the exhaustive test oracle
+//! - [`litmus`]: the litmus-test frontend and built-in test library
+//! - [`elf`]: the ELF64 frontend (reader, loader, and synthetic builder)
+//! - [`seqref`]: the sequentially-consistent reference machine and the
+//!   random sequential test generator
+pub use ppc_bits as bits;
+pub use ppc_elf as elf;
+pub use ppc_idl as idl;
+pub use ppc_isa as isa;
+pub use ppc_litmus as litmus;
+pub use ppc_model as model;
+pub use ppc_seqref as seqref;
