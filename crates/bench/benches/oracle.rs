@@ -1,32 +1,73 @@
-//! E5 (Criterion) — exhaustive-oracle cost on representative litmus
-//! shapes, demonstrating the combinatorial growth the paper discusses in
-//! §8 (coherence-only tests are cheap; message-passing with barriers is
+//! E5 — exhaustive-oracle cost on representative litmus shapes,
+//! demonstrating the combinatorial growth the paper discusses in §8
+//! (coherence-only tests are cheap; message-passing with barriers is
 //! markedly more expensive; adding a thread multiplies the cost).
+//!
+//! Dependency-free bench harness (`harness = false`): each shape is
+//! explored a few times at 1 and at N worker threads and the median
+//! wall-clock is reported, so the parallel speed-up is visible directly.
+//! Set `BENCH_THREADS` to change the parallel thread count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ppc_litmus::{library, parse, run};
 use ppc_model::ModelParams;
+use std::time::Instant;
 
-fn bench_oracle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exhaustive_oracle");
-    group.sample_size(10);
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let threads: usize = std::env::var("BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let samples: usize = std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>8}",
+        "test",
+        "states",
+        "t1(s)",
+        "t".to_owned() + &threads.to_string() + "(s)",
+        "speedup"
+    );
+    println!("{}", "-".repeat(64));
     for name in ["CoRR", "SB", "MP", "MP+syncs"] {
         let entry = library()
             .into_iter()
             .find(|e| e.name == name)
             .expect("library entry");
         let test = parse(entry.source).expect("parses");
-        let params = ModelParams::default();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let r = run(&test, &params);
-                assert!(r.finals > 0);
-                r.stats.states
-            });
-        });
+        let time_at = |n: usize| -> (f64, usize) {
+            let params = ModelParams {
+                threads: n,
+                ..ModelParams::default()
+            };
+            let mut states = 0;
+            let ts: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let r = run(&test, &params);
+                    assert!(r.finals > 0);
+                    states = r.stats.states;
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect();
+            (median(ts), states)
+        };
+        let (t1, states) = time_at(1);
+        let (tn, _) = time_at(threads);
+        println!(
+            "{:<16} {:>10} {:>12.4} {:>12.4} {:>7.2}x",
+            name,
+            states,
+            t1,
+            tn,
+            t1 / tn
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_oracle);
-criterion_main!(benches);

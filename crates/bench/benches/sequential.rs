@@ -1,13 +1,15 @@
-//! E1/E5 (Criterion) — sequential-mode cost: the golden reference
-//! machine vs. the full model running the same program sequentially
-//! (the paper's sequential checking is "minutes" for thousands of tests
-//! because each individual run is cheap).
+//! E1/E5 — sequential-mode cost: the golden reference machine vs. the
+//! full model running the same program sequentially (the paper's
+//! sequential checking is "minutes" for thousands of tests because each
+//! individual run is cheap).
+//!
+//! Dependency-free bench harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ppc_model::{run_sequential, ModelParams, Program, SystemState};
 use ppc_seqref::SeqMachine;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 fn program() -> Vec<ppc_isa::Instruction> {
     [
@@ -25,33 +27,41 @@ fn program() -> Vec<ppc_isa::Instruction> {
     .collect()
 }
 
-fn bench_sequential(c: &mut Criterion) {
-    let code = program();
-    let mut group = c.benchmark_group("sequential_mode");
-
-    group.bench_function("golden_reference_machine", |b| {
-        b.iter(|| {
-            let mut m = SeqMachine::from_instrs(&code, 0x1_0000);
-            m.run(10_000).expect("runs")
-        });
-    });
-
-    group.bench_function("model_sequential_mode", |b| {
-        let program = Arc::new(Program::from_threads(&[(0x1_0000, code.clone())]));
-        b.iter(|| {
-            let sys = SystemState::new(
-                program.clone(),
-                vec![(BTreeMap::new(), 0x1_0000)],
-                &[],
-                ModelParams::default(),
-            );
-            let (_fin, steps) = run_sequential(&sys, 100_000);
-            steps
-        });
-    });
-
-    group.finish();
+fn bench<F: FnMut() -> usize>(name: &str, iters: usize, mut f: F) {
+    // One warm-up, then time the batch.
+    let mut checksum = f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        checksum = checksum.wrapping_add(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{name:<32} {:>12.1} µs/iter   (checksum {checksum})",
+        per * 1e6
+    );
 }
 
-criterion_group!(benches, bench_sequential);
-criterion_main!(benches);
+fn main() {
+    let iters: usize = std::env::var("BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let code = program();
+
+    bench("golden_reference_machine", iters, || {
+        let mut m = SeqMachine::from_instrs(&code, 0x1_0000);
+        m.run(10_000).expect("runs")
+    });
+
+    let prog = Arc::new(Program::from_threads(&[(0x1_0000, code.clone())]));
+    bench("model_sequential_mode", iters, || {
+        let sys = SystemState::new(
+            prog.clone(),
+            vec![(BTreeMap::new(), 0x1_0000)],
+            &[],
+            ModelParams::default(),
+        );
+        let (_fin, steps) = run_sequential(&sys, 100_000);
+        steps
+    });
+}

@@ -1,0 +1,184 @@
+//! The repo's standing conformance oracle: run the *entire* built-in
+//! litmus library plus the generated systematic families through the
+//! exhaustive-oracle harness, in parallel, and emit both a human table
+//! and a machine-readable JSONL report.
+//!
+//! Usage:
+//!
+//! ```text
+//! conformance [--jobs N] [--model-threads N] [--max-states N]
+//!             [--timeout-secs S] [--json PATH] [--library-only]
+//!             [--paper-only] [--quiet]
+//! ```
+//!
+//! Exit status is non-zero if any conclusive verdict mismatches its
+//! paper/hardware expectation, or any test was budget-truncated without
+//! a witness (inconclusive results are listed, never silently passed).
+
+use ppc_litmus::harness::{run_suite, HarnessConfig};
+use ppc_litmus::{generated_suite, library, paper_section2_suite};
+use ppc_model::ModelParams;
+use std::io::Write as _;
+use std::time::Duration;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parse `name`'s value, defaulting only when the flag is absent. A flag
+/// given an unparseable value is an error, not a silent default — the
+/// same principle as rejecting unknown flags.
+fn parse_arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match arg_value(args, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("conformance: invalid value `{v}` for {name}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Flags taking a value (the next argument is consumed).
+const VALUE_FLAGS: &[&str] = &[
+    "--jobs",
+    "--model-threads",
+    "--max-states",
+    "--timeout-secs",
+    "--json",
+];
+/// Boolean flags.
+const BOOL_FLAGS: &[&str] = &["--library-only", "--paper-only", "--quiet"];
+
+/// Reject unknown flags: a typo'd `--library-only` must not silently
+/// fall through to the full multi-minute sweep.
+fn check_args(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            if i + 1 >= args.len() {
+                eprintln!("conformance: missing value for {a}");
+                std::process::exit(2);
+            }
+            i += 2;
+        } else if BOOL_FLAGS.contains(&a) {
+            i += 1;
+        } else {
+            eprintln!("conformance: unknown argument `{a}`");
+            eprintln!(
+                "usage: conformance [--jobs N] [--model-threads N] [--max-states N] \
+                 [--timeout-secs S] [--json PATH] [--library-only] [--paper-only] [--quiet]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    check_args(&args);
+    let jobs: usize = parse_arg(&args, "--jobs", 0);
+    let model_threads: usize = parse_arg(&args, "--model-threads", 1);
+    let max_states: usize = parse_arg(&args, "--max-states", ModelParams::DEFAULT_MAX_STATES);
+    let timeout_secs: u64 = parse_arg(&args, "--timeout-secs", 0);
+    let json_path = arg_value(&args, "--json");
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let entries = if args.iter().any(|a| a == "--paper-only") {
+        paper_section2_suite()
+    } else if args.iter().any(|a| a == "--library-only") {
+        library()
+    } else {
+        let mut v = library();
+        v.extend(generated_suite());
+        v
+    };
+
+    let cfg = HarnessConfig {
+        params: ModelParams {
+            threads: model_threads,
+            max_states,
+            ..ModelParams::default()
+        },
+        jobs,
+        timeout_per_test: if timeout_secs == 0 {
+            None
+        } else {
+            Some(Duration::from_secs(timeout_secs))
+        },
+    };
+
+    eprintln!(
+        "conformance: {} tests, {} jobs × {} model threads, {} state budget{}",
+        entries.len(),
+        cfg.effective_jobs(),
+        cfg.params.effective_threads(),
+        max_states,
+        cfg.timeout_per_test
+            .map(|t| format!(", {}s timeout", t.as_secs()))
+            .unwrap_or_default(),
+    );
+    let report = run_suite(&entries, &cfg);
+
+    if !quiet {
+        println!(
+            "{:<22} {:>10} {:>10} {:>8} {:>10} {:>12} {:>8} {:>9}  pinned by",
+            "test", "model", "expected", "match", "states", "transitions", "finals", "time(s)"
+        );
+        println!("{}", "-".repeat(120));
+        for r in &report.reports {
+            let status = if !r.conclusive() {
+                "TRUNC"
+            } else if r.matches {
+                "ok"
+            } else {
+                "MISMATCH"
+            };
+            println!(
+                "{:<22} {:>10} {:>10} {:>8} {:>10} {:>12} {:>8} {:>9.2}  {}",
+                r.name,
+                r.verdict(),
+                r.expected.to_string(),
+                status,
+                r.states,
+                r.transitions,
+                r.finals,
+                r.wall.as_secs_f64(),
+                r.pinned_by
+            );
+        }
+        println!("{}", "-".repeat(120));
+    }
+    println!("{}", report.summary());
+
+    let mismatches = report.mismatches();
+    let inconclusive = report.inconclusive();
+    for r in &mismatches {
+        println!(
+            "MISMATCH: {} — model says {}, paper says {}",
+            r.name,
+            r.verdict(),
+            r.expected
+        );
+    }
+    for r in &inconclusive {
+        println!(
+            "INCONCLUSIVE: {} — budget exhausted after {} states without a witness",
+            r.name, r.states
+        );
+    }
+
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create JSON report file");
+        f.write_all(report.to_jsonl().as_bytes())
+            .expect("write JSON report");
+        eprintln!("wrote {path}");
+    }
+
+    if !mismatches.is_empty() || !inconclusive.is_empty() {
+        std::process::exit(1);
+    }
+}

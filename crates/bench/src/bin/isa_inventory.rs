@@ -12,7 +12,10 @@ fn main() {
         entry.0 += 1;
         entry.1 += e.variants;
     }
-    println!("{:<20} {:>12} {:>10}", "category", "instructions", "variants");
+    println!(
+        "{:<20} {:>12} {:>10}",
+        "category", "instructions", "variants"
+    );
     println!("{}", "-".repeat(46));
     for (cat, (n, v)) in &by_cat {
         println!("{cat:<20} {n:>12} {v:>10}");

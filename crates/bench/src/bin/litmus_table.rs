@@ -23,8 +23,8 @@ fn main() {
     };
 
     println!(
-        "{:<22} {:>10} {:>10} {:>8} {:>10} {:>9}  {}",
-        "test", "model", "expected", "match", "states", "time(s)", "pinned by"
+        "{:<22} {:>10} {:>10} {:>8} {:>10} {:>9}  pinned by",
+        "test", "model", "expected", "match", "states", "time(s)"
     );
     println!("{}", "-".repeat(100));
     let params = ModelParams::default();

@@ -13,10 +13,7 @@ use std::time::Instant;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let per_config: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let per_config: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2015);
 
     let tests = generate_tests(seed, per_config);

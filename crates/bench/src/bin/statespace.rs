@@ -4,48 +4,89 @@
 //!
 //! Prints, for a ladder of tests of growing size, the number of distinct
 //! states, transitions, final states and wall-clock time of exhaustive
-//! exploration — and, for contrast, the per-test cost of a sequential
-//! run.
+//! exploration — sequentially and with the parallel sharded-frontier
+//! engine (`--threads N`, default 4) — cross-checking that both engines
+//! produce identical verdicts. For contrast it also shows the per-test
+//! cost of a sequential run.
 
-use ppc_litmus::{library, parse, run};
-use ppc_model::{run_sequential, ModelParams};
+use ppc_litmus::{library, parse, run_limited};
+use ppc_model::{run_sequential, ExploreLimits, ModelParams};
 use std::time::Instant;
 
+/// The ladder of representative tests, roughly by state-space size.
+pub const LADDER: &[&str] = &[
+    "CoRR",
+    "CoWW",
+    "SB",
+    "MP",
+    "LB",
+    "MP+syncs",
+    "SB+syncs",
+    "MP+sync+addr",
+    "MP+sync+ctrl",
+    "2+2W",
+    "WRC+pos",
+    "WRC+sync+addr",
+    "PPOCA",
+];
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
     println!(
-        "{:<22} {:>9} {:>12} {:>8} {:>10}",
-        "test", "states", "transitions", "finals", "time(s)"
+        "{:<22} {:>9} {:>12} {:>8} {:>9} {:>9} {:>8}",
+        "test",
+        "states",
+        "transitions",
+        "finals",
+        "t1(s)",
+        format!("t{threads}(s)"),
+        "speedup"
     );
-    println!("{}", "-".repeat(66));
+    println!("{}", "-".repeat(84));
     let params = ModelParams::default();
-    for name in [
-        "CoRR",
-        "CoWW",
-        "SB",
-        "MP",
-        "LB",
-        "MP+syncs",
-        "SB+syncs",
-        "MP+sync+addr",
-        "MP+sync+ctrl",
-        "2+2W",
-        "WRC+pos",
-        "WRC+sync+addr",
-        "PPOCA",
-    ] {
-        let Some(e) = library().into_iter().find(|e| e.name == name) else {
+    for name in LADDER {
+        let Some(e) = library().into_iter().find(|e| e.name == *name) else {
             continue;
         };
         let test = parse(e.source).expect("library parses");
+        let seq = ExploreLimits {
+            threads: 1,
+            ..ExploreLimits::default()
+        };
+        let par = ExploreLimits {
+            threads,
+            ..ExploreLimits::default()
+        };
         let t0 = Instant::now();
-        let r = run(&test, &params);
-        let dt = t0.elapsed().as_secs_f64();
+        let r1 = run_limited(&test, &params, &seq);
+        let dt1 = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let rn = run_limited(&test, &params, &par);
+        let dtn = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            (r1.finals, r1.witnessed, r1.stats.states),
+            (rn.finals, rn.witnessed, rn.stats.states),
+            "{name}: parallel exploration diverged from sequential"
+        );
         println!(
-            "{:<22} {:>9} {:>12} {:>8} {:>10.2}",
-            name, r.stats.states, r.stats.transitions, r.finals, dt
+            "{:<22} {:>9} {:>12} {:>8} {:>9.2} {:>9.2} {:>7.2}x",
+            name,
+            r1.stats.states,
+            r1.stats.transitions,
+            r1.finals,
+            dt1,
+            dtn,
+            dt1 / dtn
         );
     }
-    println!("{}", "-".repeat(66));
+    println!("{}", "-".repeat(84));
 
     // Sequential contrast: a straight-line program, per-instruction cost.
     let test = parse(

@@ -24,7 +24,10 @@ impl Bv {
             self.len(),
             other.len()
         );
-        self.iter().zip(other.iter()).map(|(a, b)| f(a, b)).collect()
+        self.iter()
+            .zip(other.iter())
+            .map(|(a, b)| f(a, b))
+            .collect()
     }
 
     /// Bitwise AND.
@@ -126,7 +129,9 @@ impl Bv {
     /// Two's complement negation.
     #[must_use]
     pub fn neg(&self) -> Bv {
-        self.not().add_with_carry(&Bv::zeros(self.len()), Bit::One).0
+        self.not()
+            .add_with_carry(&Bv::zeros(self.len()), Bit::One)
+            .0
     }
 
     /// Full multiplication producing `2 * len` bits, with `signed`
@@ -198,7 +203,11 @@ impl Bv {
         if signed {
             let a = self.to_i64().expect("defined");
             let b = other.to_i64().expect("defined");
-            let min = if n == 64 { i64::MIN } else { -(1i64 << (n - 1)) };
+            let min = if n == 64 {
+                i64::MIN
+            } else {
+                -(1i64 << (n - 1))
+            };
             if b == 0 || (a == min && b == -1) {
                 return Bv::undef(n);
             }
@@ -222,7 +231,7 @@ impl Bv {
             return Bv::zeros(n);
         }
         let mut bits = self.bits[amount..].to_vec();
-        bits.extend(std::iter::repeat(Bit::Zero).take(amount));
+        bits.extend(std::iter::repeat_n(Bit::Zero, amount));
         Bv::from_bits(bits)
     }
 

@@ -43,8 +43,11 @@ impl Bit {
         }
     }
 
-    /// Logical negation; undef stays undef.
+    /// Logical negation; undef stays undef. (Deliberately an inherent
+    /// method, not `std::ops::Not`: lifted logic is partial, and the
+    /// named form matches `and`/`or`/`xor`.)
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             Bit::Zero => Bit::One,
@@ -125,8 +128,10 @@ impl Tribool {
         }
     }
 
-    /// Negation; undef stays undef.
+    /// Negation; undef stays undef. (Inherent by design, like
+    /// [`Bit::not`].)
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             Tribool::False => Tribool::True,

@@ -185,7 +185,7 @@ impl Bv {
     /// bytes.
     #[must_use]
     pub fn to_bytes(&self) -> Option<Vec<u8>> {
-        if self.len() % 8 != 0 {
+        if !self.len().is_multiple_of(8) {
             return None;
         }
         let mut out = Vec::with_capacity(self.len() / 8);
@@ -207,7 +207,10 @@ impl Bv {
     /// Panics if the length is not a multiple of 8.
     #[must_use]
     pub fn to_lifted_bytes(&self) -> Vec<Bv> {
-        assert!(self.len() % 8 == 0, "to_lifted_bytes requires whole bytes");
+        assert!(
+            self.len().is_multiple_of(8),
+            "to_lifted_bytes requires whole bytes"
+        );
         self.bits
             .chunks(8)
             .map(|c| Bv { bits: c.to_vec() })
@@ -304,7 +307,10 @@ impl Bv {
     /// Panics if the length is not a multiple of 8.
     #[must_use]
     pub fn byte_reverse(&self) -> Self {
-        assert!(self.len() % 8 == 0, "byte_reverse requires whole bytes");
+        assert!(
+            self.len().is_multiple_of(8),
+            "byte_reverse requires whole bytes"
+        );
         let mut bits = Vec::with_capacity(self.len());
         for chunk in self.bits.chunks(8).rev() {
             bits.extend_from_slice(chunk);

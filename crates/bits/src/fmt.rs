@@ -27,7 +27,7 @@ impl fmt::Display for Bv {
     /// Hex when fully defined and byte-aligned (`0x...`), binary with `u`
     /// marks otherwise (`0b...`).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.len() % 4 == 0 && !self.has_undef() && !self.is_empty() {
+        if self.len().is_multiple_of(4) && !self.has_undef() && !self.is_empty() {
             write!(f, "0x")?;
             for chunk in self.bits.chunks(4) {
                 let mut nib = 0u8;

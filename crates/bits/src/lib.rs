@@ -37,9 +37,11 @@ mod arith;
 mod bit;
 mod bv;
 mod fmt;
+pub mod rng;
 
 pub use bit::{Bit, Tribool};
 pub use bv::Bv;
+pub use rng::Prng;
 
 #[cfg(test)]
 mod tests;

@@ -1,7 +1,6 @@
 //! Unit and property tests for lifted bitvectors.
 
-use crate::{Bit, Bv, Tribool};
-use proptest::prelude::*;
+use crate::{Bit, Bv, Prng, Tribool};
 
 #[test]
 fn bit_logic_tables() {
@@ -153,7 +152,9 @@ fn div_cases() {
     let b = Bv::from_u64(7, 32);
     assert_eq!(a.div(&b, false).to_u64(), Some(14));
     assert_eq!(
-        Bv::from_i64(-100, 32).div(&Bv::from_i64(7, 32), true).to_i64(),
+        Bv::from_i64(-100, 32)
+            .div(&Bv::from_i64(7, 32), true)
+            .to_i64(),
         Some(-14)
     );
     // Division by zero and signed overflow are architecturally undefined.
@@ -227,116 +228,167 @@ fn compatible_up_to_undef() {
     assert!(!concrete.compatible(&Bv::from_u64(0x5A, 7).extz(7)));
 }
 
-fn arb_width() -> impl Strategy<Value = usize> {
-    1usize..=64
+// ---- randomised property tests (deterministic Prng, fixed seeds) ------
+
+const PROP_ITERS: usize = 512;
+
+#[test]
+fn prop_add_sub_match_wrapping_u64() {
+    let mut rng = Prng::seed_from_u64(0xb175_0001);
+    for _ in 0..PROP_ITERS {
+        let w = rng.gen_range(1..65usize);
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let (a, b) = (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask);
+        let s = Bv::from_u64(a, w).add(&Bv::from_u64(b, w));
+        assert_eq!(s.to_u64(), Some(a.wrapping_add(b) & mask));
+        let d = Bv::from_u64(a, w).sub(&Bv::from_u64(b, w));
+        assert_eq!(d.to_u64(), Some(a.wrapping_sub(b) & mask));
+    }
 }
 
-proptest! {
-    #[test]
-    fn prop_add_matches_wrapping_u64(a in any::<u64>(), b in any::<u64>(), w in arb_width()) {
-        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-        let (a, b) = (a & mask, b & mask);
-        let s = Bv::from_u64(a, w).add(&Bv::from_u64(b, w));
-        prop_assert_eq!(s.to_u64(), Some(a.wrapping_add(b) & mask));
-    }
-
-    #[test]
-    fn prop_sub_matches_wrapping_u64(a in any::<u64>(), b in any::<u64>(), w in arb_width()) {
-        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-        let (a, b) = (a & mask, b & mask);
-        let s = Bv::from_u64(a, w).sub(&Bv::from_u64(b, w));
-        prop_assert_eq!(s.to_u64(), Some(a.wrapping_sub(b) & mask));
-    }
-
-    #[test]
-    fn prop_shift_matches_u64(a in any::<u64>(), sh in 0usize..70) {
+#[test]
+#[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+fn prop_shift_matches_u64() {
+    let mut rng = Prng::seed_from_u64(0xb175_0002);
+    for _ in 0..PROP_ITERS {
+        let a = rng.gen::<u64>();
+        let sh = rng.gen_range(0..70usize);
         let v = Bv::from_u64(a, 64);
-        prop_assert_eq!(v.shl(sh).to_u64(), Some(if sh >= 64 { 0 } else { a << sh }));
-        prop_assert_eq!(v.lshr(sh).to_u64(), Some(if sh >= 64 { 0 } else { a >> sh }));
+        assert_eq!(v.shl(sh).to_u64(), Some(if sh >= 64 { 0 } else { a << sh }));
+        assert_eq!(
+            v.lshr(sh).to_u64(),
+            Some(if sh >= 64 { 0 } else { a >> sh })
+        );
         let expect_ashr = if sh >= 64 {
             ((a as i64) >> 63) as u64
         } else {
             ((a as i64) >> sh) as u64
         };
-        prop_assert_eq!(v.ashr(sh).to_u64(), Some(expect_ashr));
+        assert_eq!(v.ashr(sh).to_u64(), Some(expect_ashr));
     }
+}
 
-    #[test]
-    fn prop_rotl_matches_u64(a in any::<u64>(), sh in 0usize..128) {
+#[test]
+#[allow(clippy::cast_possible_truncation)]
+fn prop_rotl_matches_u64() {
+    let mut rng = Prng::seed_from_u64(0xb175_0003);
+    for _ in 0..PROP_ITERS {
+        let a = rng.gen::<u64>();
+        let sh = rng.gen_range(0..128usize);
         let v = Bv::from_u64(a, 64);
-        prop_assert_eq!(v.rotl(sh).to_u64(), Some(a.rotate_left((sh % 64) as u32)));
+        assert_eq!(v.rotl(sh).to_u64(), Some(a.rotate_left((sh % 64) as u32)));
     }
+}
 
-    #[test]
-    fn prop_logic_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn prop_logic_matches_u64() {
+    let mut rng = Prng::seed_from_u64(0xb175_0004);
+    for _ in 0..PROP_ITERS {
+        let (a, b) = (rng.gen::<u64>(), rng.gen::<u64>());
         let (va, vb) = (Bv::from_u64(a, 64), Bv::from_u64(b, 64));
-        prop_assert_eq!(va.and(&vb).to_u64(), Some(a & b));
-        prop_assert_eq!(va.or(&vb).to_u64(), Some(a | b));
-        prop_assert_eq!(va.xor(&vb).to_u64(), Some(a ^ b));
-        prop_assert_eq!(va.not().to_u64(), Some(!a));
-        prop_assert_eq!(va.nand(&vb).to_u64(), Some(!(a & b)));
-        prop_assert_eq!(va.nor(&vb).to_u64(), Some(!(a | b)));
-        prop_assert_eq!(va.eqv(&vb).to_u64(), Some(!(a ^ b)));
-        prop_assert_eq!(va.andc(&vb).to_u64(), Some(a & !b));
-        prop_assert_eq!(va.orc(&vb).to_u64(), Some(a | !b));
+        assert_eq!(va.and(&vb).to_u64(), Some(a & b));
+        assert_eq!(va.or(&vb).to_u64(), Some(a | b));
+        assert_eq!(va.xor(&vb).to_u64(), Some(a ^ b));
+        assert_eq!(va.not().to_u64(), Some(!a));
+        assert_eq!(va.nand(&vb).to_u64(), Some(!(a & b)));
+        assert_eq!(va.nor(&vb).to_u64(), Some(!(a | b)));
+        assert_eq!(va.eqv(&vb).to_u64(), Some(!(a ^ b)));
+        assert_eq!(va.andc(&vb).to_u64(), Some(a & !b));
+        assert_eq!(va.orc(&vb).to_u64(), Some(a | !b));
     }
+}
 
-    #[test]
-    fn prop_compare_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+#[allow(clippy::cast_sign_loss)]
+fn prop_compare_matches_i64() {
+    let mut rng = Prng::seed_from_u64(0xb175_0005);
+    for _ in 0..PROP_ITERS {
+        let (a, b) = (rng.gen::<i64>(), rng.gen::<i64>());
         let (va, vb) = (Bv::from_i64(a, 64), Bv::from_i64(b, 64));
-        prop_assert_eq!(va.lt_signed(&vb).to_bool(), Some(a < b));
-        prop_assert_eq!(va.lt_unsigned(&vb).to_bool(), Some((a as u64) < (b as u64)));
-        prop_assert_eq!(va.eq_lifted(&vb).to_bool(), Some(a == b));
+        assert_eq!(va.lt_signed(&vb).to_bool(), Some(a < b));
+        assert_eq!(va.lt_unsigned(&vb).to_bool(), Some((a as u64) < (b as u64)));
+        assert_eq!(va.eq_lifted(&vb).to_bool(), Some(a == b));
     }
+}
 
-    #[test]
-    fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss
+)]
+fn prop_mul_matches_u128() {
+    let mut rng = Prng::seed_from_u64(0xb175_0006);
+    for _ in 0..PROP_ITERS {
+        let (a, b) = (rng.gen::<u64>(), rng.gen::<u64>());
         let (va, vb) = (Bv::from_u64(a, 64), Bv::from_u64(b, 64));
-        let full = (a as u128) * (b as u128);
-        prop_assert_eq!(va.mul_low(&vb).to_u64(), Some(a.wrapping_mul(b)));
-        prop_assert_eq!(va.mul_high(&vb, false).to_u64(), Some((full >> 64) as u64));
-        let sfull = (a as i64 as i128) * (b as i64 as i128);
-        prop_assert_eq!(va.mul_high(&vb, true).to_u64(), Some((sfull >> 64) as u64));
+        let full = u128::from(a) * u128::from(b);
+        assert_eq!(va.mul_low(&vb).to_u64(), Some(a.wrapping_mul(b)));
+        assert_eq!(va.mul_high(&vb, false).to_u64(), Some((full >> 64) as u64));
+        let sfull = i128::from(a as i64) * i128::from(b as i64);
+        assert_eq!(va.mul_high(&vb, true).to_u64(), Some((sfull >> 64) as u64));
     }
+}
 
-    #[test]
-    fn prop_exts_extz_round_trip(a in any::<u64>(), w in 1usize..=32) {
+#[test]
+fn prop_exts_extz_round_trip() {
+    let mut rng = Prng::seed_from_u64(0xb175_0007);
+    for _ in 0..PROP_ITERS {
+        let a = rng.gen::<u64>();
+        let w = rng.gen_range(1..33usize);
         let mask = (1u64 << w) - 1;
         let v = Bv::from_u64(a & mask, w);
-        prop_assert_eq!(v.extz(64).to_u64(), Some(a & mask));
-        prop_assert_eq!(v.exts(64).to_i64(), v.to_i64());
-        prop_assert_eq!(&v.extz(64).extz(w), &v);
+        assert_eq!(v.extz(64).to_u64(), Some(a & mask));
+        assert_eq!(v.exts(64).to_i64(), v.to_i64());
+        assert_eq!(v.extz(64).extz(w), v);
     }
+}
 
-    #[test]
-    fn prop_slice_concat_identity(a in any::<u64>(), cut in 1usize..63) {
+#[test]
+fn prop_slice_concat_identity() {
+    let mut rng = Prng::seed_from_u64(0xb175_0008);
+    for _ in 0..PROP_ITERS {
+        let a = rng.gen::<u64>();
+        let cut = rng.gen_range(1..63usize);
         let v = Bv::from_u64(a, 64);
         let hi = v.slice(0, cut);
         let lo = v.slice(cut, 64 - cut);
-        prop_assert_eq!(&hi.concat(&lo), &v);
+        assert_eq!(hi.concat(&lo), v);
     }
+}
 
-    #[test]
-    fn prop_neg_is_sub_from_zero(a in any::<u64>(), w in arb_width()) {
+#[test]
+fn prop_neg_is_sub_from_zero() {
+    let mut rng = Prng::seed_from_u64(0xb175_0009);
+    for _ in 0..PROP_ITERS {
+        let a = rng.gen::<u64>();
+        let w = rng.gen_range(1..65usize);
         let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
         let v = Bv::from_u64(a & mask, w);
-        prop_assert_eq!(&v.neg(), &Bv::zeros(w).sub(&v));
+        assert_eq!(v.neg(), Bv::zeros(w).sub(&v));
     }
+}
 
-    #[test]
-    fn prop_undef_is_contagious_for_add(pos in 0usize..8) {
-        // An undef bit never yields a *wrong* defined answer: adding with
-        // an undef operand bit leaves all bits at or above it undef.
+#[test]
+fn prop_undef_is_contagious_for_add() {
+    // An undef bit never yields a *wrong* defined answer: adding with
+    // an undef operand bit leaves all bits at or above it undef.
+    for pos in 0..8usize {
         let a = Bv::from_u64(0xFF, 8).with_bit(pos, Bit::Undef);
         let s = a.add(&Bv::from_u64(1, 8));
         for i in 0..=pos {
-            prop_assert!(s.bit(i).is_undef());
+            assert!(s.bit(i).is_undef());
         }
     }
+}
 
-    #[test]
-    fn prop_byte_reverse_involution(bytes in proptest::collection::vec(any::<u8>(), 1..8)) {
+#[test]
+fn prop_byte_reverse_involution() {
+    let mut rng = Prng::seed_from_u64(0xb175_000a);
+    for _ in 0..PROP_ITERS {
+        let n = rng.gen_range(1..8usize);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.gen::<u8>()).collect();
         let v = Bv::from_bytes(&bytes);
-        prop_assert_eq!(&v.byte_reverse().byte_reverse(), &v);
+        assert_eq!(v.byte_reverse().byte_reverse(), v);
     }
 }

@@ -169,15 +169,7 @@ impl ElfBuilder {
         // .strtab
         push_section(&mut out, 9, 3, strtab_off as u64, strtab.len() as u64, 0, 0);
         // .shstrtab
-        push_section(
-            &mut out,
-            17,
-            3,
-            shstr_off as u64,
-            shstr.len() as u64,
-            0,
-            0,
-        );
+        push_section(&mut out, 17, 3, shstr_off as u64, shstr.len() as u64, 0, 0);
 
         // Patch e_shoff.
         out[e_shoff_pos..e_shoff_pos + 8].copy_from_slice(&(shoff as u64).to_be_bytes());

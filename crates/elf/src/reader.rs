@@ -179,7 +179,13 @@ pub fn parse_elf(bytes: &[u8]) -> Result<Elf, ElfError> {
                 .position(|&b| b == 0)
                 .ok_or(ElfError::Malformed("unterminated symbol name"))?;
             let name = String::from_utf8_lossy(&strtab[name_off..name_off + end]).into_owned();
-            symbols.insert(name, Symbol { addr, size: symsize });
+            symbols.insert(
+                name,
+                Symbol {
+                    addr,
+                    size: symsize,
+                },
+            );
         }
     }
 

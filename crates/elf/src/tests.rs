@@ -68,7 +68,10 @@ fn rejects_wrong_machine() {
 fn rejects_non_executable() {
     let mut image = ElfBuilder::new(0).text(0, &sample_code()).build();
     image[17] = 3; // ET_DYN
-    assert_eq!(parse_elf(&image).unwrap_err(), ElfError::NotStaticExecutable);
+    assert_eq!(
+        parse_elf(&image).unwrap_err(),
+        ElfError::NotStaticExecutable
+    );
 }
 
 #[test]

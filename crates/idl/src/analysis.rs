@@ -423,7 +423,11 @@ fn next_stmt(st: &mut AnaState) -> Option<Stmt> {
                 downto,
                 body,
             }) => {
-                let finished = if *downto { *next < *last } else { *next > *last };
+                let finished = if *downto {
+                    *next < *last
+                } else {
+                    *next > *last
+                };
                 if finished {
                     st.stack.pop();
                     continue;
@@ -478,11 +482,7 @@ fn ana_exp(exp: &Exp, st: &AnaState) -> (Bv, Taint) {
     match exp {
         Exp::Const(v) => (v.clone(), Taint::new()),
         Exp::Local(l) => {
-            let v = st
-                .env
-                .get(*l)
-                .cloned()
-                .unwrap_or_else(|| Bv::undef(64));
+            let v = st.env.get(*l).cloned().unwrap_or_else(|| Bv::undef(64));
             (v, st.taint[l.0 as usize].clone())
         }
         Exp::Unop(op, e) => {
@@ -513,7 +513,11 @@ fn ana_exp(exp: &Exp, st: &AnaState) -> (Bv, Taint) {
             // preserve the structural-identity rules (the taint union
             // still records the dependency).
             let e = if a == b {
-                Exp::Binop(*op, Box::new(Exp::Const(x.clone())), Box::new(Exp::Const(x)))
+                Exp::Binop(
+                    *op,
+                    Box::new(Exp::Const(x.clone())),
+                    Box::new(Exp::Const(x)),
+                )
             } else {
                 Exp::Binop(*op, Box::new(Exp::Const(x)), Box::new(Exp::Const(y)))
             };

@@ -6,7 +6,9 @@
 //! builder is invoked per decoded instruction — so field references become
 //! constants, exactly as Sail's `decode` pattern-match binds them.
 
-use crate::ast::{BarrierKind, Binop, Exp, Local, ReadKind, RegIndex, RegRef, Sem, Stmt, Unop, WriteKind};
+use crate::ast::{
+    BarrierKind, Binop, Exp, Local, ReadKind, RegIndex, RegRef, Sem, Stmt, Unop, WriteKind,
+};
 use crate::reg::{Reg, RegSlice};
 use ppc_bits::Bv;
 use std::sync::Arc;

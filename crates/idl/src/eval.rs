@@ -227,8 +227,9 @@ fn identity_binop(op: Binop, x: &Bv) -> Option<Bv> {
         Binop::Eqv | Binop::Orc => Some(Bv::ones(n)),
         Binop::And | Binop::Or => Some(x.clone()),
         Binop::Eq => Some(Bv::from_bit(Bit::One)),
-        Binop::Ne | Binop::LtSigned | Binop::LtUnsigned | Binop::GtSigned
-        | Binop::GtUnsigned => Some(Bv::from_bit(Bit::Zero)),
+        Binop::Ne | Binop::LtSigned | Binop::LtUnsigned | Binop::GtSigned | Binop::GtUnsigned => {
+            Some(Bv::from_bit(Bit::Zero))
+        }
         _ => None,
     }
 }

@@ -255,10 +255,11 @@ impl InstrState {
     /// Whether all micro-operations have completed.
     #[must_use]
     pub fn is_done(&self) -> bool {
-        self.pending.is_none() && self.stack.iter().all(|f| match f {
-            Frame::Block { stmts, idx } => *idx >= stmts.len(),
-            Frame::Loop { .. } => false,
-        })
+        self.pending.is_none()
+            && self.stack.iter().all(|f| match f {
+                Frame::Block { stmts, idx } => *idx >= stmts.len(),
+                Frame::Loop { .. } => false,
+            })
     }
 
     /// Whether the state is suspended awaiting a `resume_*` call.
@@ -321,7 +322,11 @@ impl InstrState {
                     downto,
                     body,
                 }) => {
-                    let finished = if *downto { *next < *last } else { *next > *last };
+                    let finished = if *downto {
+                        *next < *last
+                    } else {
+                        *next > *last
+                    };
                     if finished {
                         self.stack.pop();
                         continue;
@@ -530,7 +535,9 @@ pub(crate) fn resolve_regref(rr: &RegRef, env: &Env) -> Result<RegSlice, IdlErro
     match &rr.slice {
         None => Ok(reg.whole()),
         Some((start, len)) => {
-            let s = eval_exp(start, env)?.to_u64().ok_or(IdlError::BadRegIndex)? as usize;
+            let s = eval_exp(start, env)?
+                .to_u64()
+                .ok_or(IdlError::BadRegIndex)? as usize;
             if s + len > reg.width() {
                 return Err(IdlError::BadRegIndex);
             }

@@ -73,7 +73,9 @@ mod reg;
 mod validate;
 
 pub use analysis::{analyze, analyze_from, AccessSet, Footprint, NiaTarget};
-pub use ast::{BarrierKind, Binop, Block, Exp, Local, ReadKind, RegIndex, RegRef, Sem, Stmt, Unop, WriteKind};
+pub use ast::{
+    BarrierKind, Binop, Block, Exp, Local, ReadKind, RegIndex, RegRef, Sem, Stmt, Unop, WriteKind,
+};
 pub use builder::SemBuilder;
 pub use eval::{eval_exp, Env};
 pub use interp::{IdlError, InstrState, Outcome};

@@ -120,12 +120,20 @@ pub(crate) fn pp_stmt(s: &Stmt, sem: &Sem) -> String {
         Stmt::ReadMem(l, a, sz, k) => format!(
             "{} := MEMr{} ({},{sz})",
             sem.local_name(*l),
-            if matches!(k, crate::ast::ReadKind::Reserve) { "-reserve" } else { "" },
+            if matches!(k, crate::ast::ReadKind::Reserve) {
+                "-reserve"
+            } else {
+                ""
+            },
             pp_exp(a, sem)
         ),
         Stmt::WriteMem(a, sz, d, k) => format!(
             "MEMw{} ({},{sz}) := {}",
-            if matches!(k, crate::ast::WriteKind::Conditional) { "-cond" } else { "" },
+            if matches!(k, crate::ast::WriteKind::Conditional) {
+                "-cond"
+            } else {
+                ""
+            },
             pp_exp(a, sem),
             pp_exp(d, sem)
         ),

@@ -1,25 +1,39 @@
 //! Property tests for the IDL: evaluation identities, analysis
-//! soundness, and interpreter/analysis agreement.
+//! soundness, and interpreter/analysis agreement (randomised over a
+//! deterministic [`Prng`] stream).
 
 use crate::{analyze, eval_exp, Binop, Env, Exp, InstrState, Outcome, Reg, SemBuilder};
-use ppc_bits::Bv;
-use proptest::prelude::*;
+use ppc_bits::{Bv, Prng};
 use std::sync::Arc;
 
-fn arb_bv64() -> impl Strategy<Value = Bv> {
-    any::<u64>().prop_map(|x| Bv::from_u64(x, 64))
-}
+const PROP_ITERS: usize = 128;
 
-proptest! {
-    /// The structural-identity rules agree with plain evaluation on
-    /// fully defined values (they only *add* definedness on undef).
-    #[test]
-    fn prop_identity_rules_sound(x in arb_bv64()) {
+/// The structural-identity rules agree with plain evaluation on
+/// fully defined values (they only *add* definedness on undef).
+#[test]
+fn prop_identity_rules_sound() {
+    let mut rng = Prng::seed_from_u64(0x1d1_0001);
+    for _ in 0..PROP_ITERS {
+        let x = Bv::from_u64(rng.gen::<u64>(), 64);
         let env = Env::new(0);
-        for op in [Binop::Xor, Binop::Sub, Binop::Andc, Binop::Eqv, Binop::Orc,
-                   Binop::And, Binop::Or, Binop::Eq, Binop::Ne,
-                   Binop::LtSigned, Binop::LtUnsigned] {
-            let same = Exp::Binop(op, Box::new(Exp::Const(x.clone())), Box::new(Exp::Const(x.clone())));
+        for op in [
+            Binop::Xor,
+            Binop::Sub,
+            Binop::Andc,
+            Binop::Eqv,
+            Binop::Orc,
+            Binop::And,
+            Binop::Or,
+            Binop::Eq,
+            Binop::Ne,
+            Binop::LtSigned,
+            Binop::LtUnsigned,
+        ] {
+            let same = Exp::Binop(
+                op,
+                Box::new(Exp::Const(x.clone())),
+                Box::new(Exp::Const(x.clone())),
+            );
             let v = eval_exp(&same, &env).expect("evaluates");
             // Compare against the op applied to two copies via a
             // non-identical expression (forcing the generic path).
@@ -29,15 +43,22 @@ proptest! {
                 Box::new(Exp::Const(x.clone())),
             );
             let w = eval_exp(&copy, &env).expect("evaluates");
-            prop_assert_eq!(v, w, "{:?}", op);
+            assert_eq!(v, w, "{op:?}");
         }
     }
+}
 
-    /// Static analysis over-approximates the dynamic behaviour: every
-    /// register slice a random add/load-shaped instruction actually
-    /// reads or writes is contained in the analysed footprint.
-    #[test]
-    fn prop_analysis_covers_execution(ra in 0u8..32, rb in 0u8..32, rt in 0u8..32, base in 0u64..0xFFFF) {
+/// Static analysis over-approximates the dynamic behaviour: every
+/// register slice a random add/load-shaped instruction actually
+/// reads or writes is contained in the analysed footprint.
+#[test]
+fn prop_analysis_covers_execution() {
+    let mut rng = Prng::seed_from_u64(0x1d1_0002);
+    for _ in 0..PROP_ITERS {
+        let ra = rng.gen_range(0..32u8);
+        let rb = rng.gen_range(0..32u8);
+        let rt = rng.gen_range(0..32u8);
+        let base = rng.gen_range(0..0xFFFFu64);
         let mut b = SemBuilder::new();
         let x = b.local("x");
         b.read_reg(x, Reg::Gpr(ra));
@@ -69,21 +90,26 @@ proptest! {
             }
         }
         for s in reads {
-            prop_assert!(fp.regs_in.iter().any(|f| f.contains(&s)), "{s} ∉ regs_in");
+            assert!(fp.regs_in.iter().any(|f| f.contains(&s)), "{s} ∉ regs_in");
         }
         for s in writes {
-            prop_assert!(fp.regs_out.iter().any(|f| f.contains(&s)), "{s} ∉ regs_out");
+            assert!(fp.regs_out.iter().any(|f| f.contains(&s)), "{s} ∉ regs_out");
         }
         // Both register reads feed the address.
-        prop_assert!(fp.addr_regs.contains(&Reg::Gpr(ra).whole()));
-        prop_assert!(fp.addr_regs.contains(&Reg::Gpr(rb).whole()));
+        assert!(fp.addr_regs.contains(&Reg::Gpr(ra).whole()));
+        assert!(fp.addr_regs.contains(&Reg::Gpr(rb).whole()));
     }
+}
 
-    /// Suspended states are true continuations: cloning at any
-    /// suspension point and resuming both clones with the same values
-    /// yields identical outcome traces.
-    #[test]
-    fn prop_clone_resume_deterministic(a in any::<u64>(), b_ in any::<u64>()) {
+/// Suspended states are true continuations: cloning at any
+/// suspension point and resuming both clones with the same values
+/// yields identical outcome traces.
+#[test]
+fn prop_clone_resume_deterministic() {
+    let mut rng = Prng::seed_from_u64(0x1d1_0003);
+    for _ in 0..PROP_ITERS {
+        let a = rng.gen::<u64>();
+        let b_ = rng.gen::<u64>();
         let mut bld = SemBuilder::new();
         let x = bld.local("x");
         bld.read_reg(x, Reg::Gpr(1));
@@ -99,7 +125,7 @@ proptest! {
         s2.resume_reg(Bv::from_u64(a, 64)).expect("resume");
         let t1 = drain(&mut s1, b_);
         let t2 = drain(&mut s2, b_);
-        prop_assert_eq!(t1, t2);
+        assert_eq!(t1, t2);
     }
 }
 

@@ -232,7 +232,10 @@ mod reg_tests {
     #[test]
     fn display_uses_architected_cr_numbers() {
         assert_eq!(RegSlice::new(Reg::Cr, 0, 4).to_string(), "CR[32..35]");
-        assert_eq!(RegSlice::new(Reg::Gpr(7), 32, 32).to_string(), "GPR7[32..63]");
+        assert_eq!(
+            RegSlice::new(Reg::Gpr(7), 32, 32).to_string(),
+            "GPR7[32..63]"
+        );
         assert_eq!(Reg::Gpr(7).whole().to_string(), "GPR7");
     }
 }

@@ -174,7 +174,11 @@ fn mem_read_suspension_and_resume() {
     st.resume_reg(Bv::from_u64(0x1000, 64)).unwrap();
     let _ = st.step().unwrap(); // EA :=
     match st.step().unwrap() {
-        Outcome::ReadMem { address, size, kind: _ } => {
+        Outcome::ReadMem {
+            address,
+            size,
+            kind: _,
+        } => {
             assert_eq!((address, size), (0x1008, 4));
         }
         o => panic!("unexpected {o:?}"),

@@ -120,11 +120,7 @@ fn check_block(
     Ok(())
 }
 
-fn check_regref(
-    rr: &RegRef,
-    defined: &BTreeSet<Local>,
-    sem: &Sem,
-) -> Result<(), ValidateError> {
+fn check_regref(rr: &RegRef, defined: &BTreeSet<Local>, sem: &Sem) -> Result<(), ValidateError> {
     if let RegIndex::GprDyn(e) = &rr.reg {
         check_exp(e, defined, sem)?;
     }

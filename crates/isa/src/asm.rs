@@ -237,20 +237,40 @@ pub fn parse_asm_ctx(
                 lk: false,
             }
         }
-        "blr" => Bclr { bo: 20, bi: 0, bh: 0, lk: false },
-        "blrl" => Bclr { bo: 20, bi: 0, bh: 0, lk: true },
-        "bctr" => Bcctr { bo: 20, bi: 0, bh: 0, lk: false },
-        "bctrl" => Bcctr { bo: 20, bi: 0, bh: 0, lk: true },
+        "blr" => Bclr {
+            bo: 20,
+            bi: 0,
+            bh: 0,
+            lk: false,
+        },
+        "blrl" => Bclr {
+            bo: 20,
+            bi: 0,
+            bh: 0,
+            lk: true,
+        },
+        "bctr" => Bcctr {
+            bo: 20,
+            bi: 0,
+            bh: 0,
+            lk: false,
+        },
+        "bctrl" => Bcctr {
+            bo: 20,
+            bi: 0,
+            bh: 0,
+            lk: true,
+        },
         "bclr" | "bclrl" => Bclr {
             bo: ops.imm(0)? as u8,
             bi: ops.imm(1)? as u8,
-            bh: 0,
+            bh: if ops.len() > 2 { ops.imm(2)? as u8 } else { 0 },
             lk: m == "bclrl",
         },
         "bcctr" | "bcctrl" => Bcctr {
             bo: ops.imm(0)? as u8,
             bi: ops.imm(1)? as u8,
-            bh: 0,
+            bh: if ops.len() > 2 { ops.imm(2)? as u8 } else { 0 },
             lk: m == "bcctrl",
         },
         // ---- CR ops -------------------------------------------------
@@ -274,11 +294,21 @@ pub fn parse_asm_ctx(
         }
         "crclr" => {
             let bt = ops.imm(0)? as u8;
-            CrLogical { op: CrOp::Xor, bt, ba: bt, bb: bt }
+            CrLogical {
+                op: CrOp::Xor,
+                bt,
+                ba: bt,
+                bb: bt,
+            }
         }
         "crset" => {
             let bt = ops.imm(0)? as u8;
-            CrLogical { op: CrOp::Eqv, bt, ba: bt, bb: bt }
+            CrLogical {
+                op: CrOp::Eqv,
+                bt,
+                ba: bt,
+                bb: bt,
+            }
         }
         "mcrf" => Mcrf {
             bf: ops.crf(0)?,
@@ -486,7 +516,14 @@ pub fn parse_asm_ctx(
             let rt = ops.reg(0)?;
             let ra = ops.reg(1)?;
             let rb = if op.has_rb() { ops.reg(2)? } else { 0 };
-            Arith { op, rt, ra, rb, oe, rc }
+            Arith {
+                op,
+                rt,
+                ra,
+                rb,
+                oe,
+                rc,
+            }
         }
         // ---- compares -----------------------------------------------
         "cmpw" | "cmpd" | "cmplw" | "cmpld" => {
@@ -664,8 +701,7 @@ pub fn parse_asm_ctx(
             me: ops.imm(4)? as u8,
             rc: m.ends_with('.'),
         },
-        "rldicl" | "rldicl." | "rldicr" | "rldicr." | "rldic" | "rldic." | "rldimi"
-        | "rldimi." => {
+        "rldicl" | "rldicl." | "rldicr" | "rldicr." | "rldic" | "rldic." | "rldimi" | "rldimi." => {
             let rc = m.ends_with('.');
             let base = m.trim_end_matches('.');
             let op = match base {
@@ -732,12 +768,30 @@ pub fn parse_asm_ctx(
             rc: m.ends_with('.'),
         },
         // ---- system registers --------------------------------------
-        "mflr" => Mfspr { rt: ops.reg(0)?, spr: SprName::Lr },
-        "mfctr" => Mfspr { rt: ops.reg(0)?, spr: SprName::Ctr },
-        "mfxer" => Mfspr { rt: ops.reg(0)?, spr: SprName::Xer },
-        "mtlr" => Mtspr { spr: SprName::Lr, rs: ops.reg(0)? },
-        "mtctr" => Mtspr { spr: SprName::Ctr, rs: ops.reg(0)? },
-        "mtxer" => Mtspr { spr: SprName::Xer, rs: ops.reg(0)? },
+        "mflr" => Mfspr {
+            rt: ops.reg(0)?,
+            spr: SprName::Lr,
+        },
+        "mfctr" => Mfspr {
+            rt: ops.reg(0)?,
+            spr: SprName::Ctr,
+        },
+        "mfxer" => Mfspr {
+            rt: ops.reg(0)?,
+            spr: SprName::Xer,
+        },
+        "mtlr" => Mtspr {
+            spr: SprName::Lr,
+            rs: ops.reg(0)?,
+        },
+        "mtctr" => Mtspr {
+            spr: SprName::Ctr,
+            rs: ops.reg(0)?,
+        },
+        "mtxer" => Mtspr {
+            spr: SprName::Xer,
+            rs: ops.reg(0)?,
+        },
         "mfcr" => Mfcr { rt: ops.reg(0)? },
         "mtcrf" => Mtcrf {
             fxm: ops.imm(0)? as u8,
@@ -752,7 +806,10 @@ pub fn parse_asm_ctx(
                 }
                 _ => ops.imm(0)? as u8,
             };
-            Mtocrf { fxm, rs: ops.reg(1)? }
+            Mtocrf {
+                fxm,
+                rs: ops.reg(1)?,
+            }
         }
         "mfocrf" => {
             let fxm = match ops.ops.get(1) {
@@ -762,7 +819,10 @@ pub fn parse_asm_ctx(
                 }
                 _ => ops.imm(1)? as u8,
             };
-            Mfocrf { rt: ops.reg(0)?, fxm }
+            Mfocrf {
+                rt: ops.reg(0)?,
+                fxm,
+            }
         }
         // ---- barriers -----------------------------------------------
         "sync" | "hwsync" => Sync { l: 0 },
@@ -822,8 +882,15 @@ impl Instruction {
         match self {
             B { li, .. } => format!("{m} {}", (*li as i64) << 2),
             Bc { bo, bi, bd, .. } => format!("{m} {bo},{bi},{}", (*bd as i64) << 2),
-            Bclr { bo, bi, .. } => format!("{m} {bo},{bi}"),
-            Bcctr { bo, bi, .. } => format!("{m} {bo},{bi}"),
+            Bclr { bo, bi, bh, .. } | Bcctr { bo, bi, bh, .. } => {
+                // The BH hint is printed only when set, so the common
+                // forms keep their two-operand spelling.
+                if *bh == 0 {
+                    format!("{m} {bo},{bi}")
+                } else {
+                    format!("{m} {bo},{bi},{bh}")
+                }
+            }
             CrLogical { bt, ba, bb, .. } => format!("{m} {bt},{ba},{bb}"),
             Mcrf { bf, bfa } => format!("{m} cr{bf},cr{bfa}"),
             Load { rt, ra, ea, .. } => match ea {
@@ -858,12 +925,23 @@ impl Instruction {
             LogImm { rs, ra, ui, .. } => format!("{m} r{ra},r{rs},{ui}"),
             Logical { rs, ra, rb, .. } => format!("{m} r{ra},r{rs},r{rb}"),
             Unary { rs, ra, .. } => format!("{m} r{ra},r{rs}"),
-            Rlwinm { rs, ra, sh, mb, me, .. } | Rlwimi { rs, ra, sh, mb, me, .. } => {
+            Rlwinm {
+                rs, ra, sh, mb, me, ..
+            }
+            | Rlwimi {
+                rs, ra, sh, mb, me, ..
+            } => {
                 format!("{m} r{ra},r{rs},{sh},{mb},{me}")
             }
-            Rlwnm { rs, ra, rb, mb, me, .. } => format!("{m} r{ra},r{rs},r{rb},{mb},{me}"),
-            Rld { rs, ra, sh, mbe, .. } => format!("{m} r{ra},r{rs},{sh},{mbe}"),
-            Rldc { rs, ra, rb, mbe, .. } => format!("{m} r{ra},r{rs},r{rb},{mbe}"),
+            Rlwnm {
+                rs, ra, rb, mb, me, ..
+            } => format!("{m} r{ra},r{rs},r{rb},{mb},{me}"),
+            Rld {
+                rs, ra, sh, mbe, ..
+            } => format!("{m} r{ra},r{rs},{sh},{mbe}"),
+            Rldc {
+                rs, ra, rb, mbe, ..
+            } => format!("{m} r{ra},r{rs},r{rb},{mbe}"),
             Shift { rs, ra, rb, .. } => format!("{m} r{ra},r{rs},r{rb}"),
             Srawi { rs, ra, sh, .. } | Sradi { rs, ra, sh, .. } => {
                 format!("{m} r{ra},r{rs},{sh}")

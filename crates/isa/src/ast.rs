@@ -260,7 +260,13 @@ pub enum Instruction {
     B { li: i32, aa: bool, lk: bool },
     /// `bc/bca/bcl/bcla` — B-form conditional branch; `bd` is the signed
     /// 14-bit word displacement field.
-    Bc { bo: u8, bi: u8, bd: i16, aa: bool, lk: bool },
+    Bc {
+        bo: u8,
+        bi: u8,
+        bd: i16,
+        aa: bool,
+        lk: bool,
+    },
     /// `bclr/bclrl` — branch conditional to link register.
     Bclr { bo: u8, bi: u8, bh: u8, lk: bool },
     /// `bcctr/bcctrl` — branch conditional to count register.
@@ -332,7 +338,12 @@ pub enum Instruction {
     Cmpl { bf: u8, l: bool, ra: u8, rb: u8 },
 
     /// D-form logical immediate.
-    LogImm { op: LogImmOp, rs: u8, ra: u8, ui: u32 },
+    LogImm {
+        op: LogImmOp,
+        rs: u8,
+        ra: u8,
+        ui: u32,
+    },
     /// X-form logical.
     Logical {
         op: LogOp,
@@ -342,19 +353,59 @@ pub enum Instruction {
         rc: bool,
     },
     /// X-form unary (sign-extension / count / popcount).
-    Unary { op: UnaryOp, rs: u8, ra: u8, rc: bool },
+    Unary {
+        op: UnaryOp,
+        rs: u8,
+        ra: u8,
+        rc: bool,
+    },
 
     /// `rlwinm RA,RS,SH,MB,ME`.
-    Rlwinm { rs: u8, ra: u8, sh: u8, mb: u8, me: u8, rc: bool },
+    Rlwinm {
+        rs: u8,
+        ra: u8,
+        sh: u8,
+        mb: u8,
+        me: u8,
+        rc: bool,
+    },
     /// `rlwnm RA,RS,RB,MB,ME`.
-    Rlwnm { rs: u8, ra: u8, rb: u8, mb: u8, me: u8, rc: bool },
+    Rlwnm {
+        rs: u8,
+        ra: u8,
+        rb: u8,
+        mb: u8,
+        me: u8,
+        rc: bool,
+    },
     /// `rlwimi RA,RS,SH,MB,ME`.
-    Rlwimi { rs: u8, ra: u8, sh: u8, mb: u8, me: u8, rc: bool },
+    Rlwimi {
+        rs: u8,
+        ra: u8,
+        sh: u8,
+        mb: u8,
+        me: u8,
+        rc: bool,
+    },
     /// MD-form 64-bit rotate with immediate shift; `mbe` is the 6-bit
     /// MB or ME field.
-    Rld { op: RldOp, rs: u8, ra: u8, sh: u8, mbe: u8, rc: bool },
+    Rld {
+        op: RldOp,
+        rs: u8,
+        ra: u8,
+        sh: u8,
+        mbe: u8,
+        rc: bool,
+    },
     /// MDS-form 64-bit rotate with register shift.
-    Rldc { op: RldcOp, rs: u8, ra: u8, rb: u8, mbe: u8, rc: bool },
+    Rldc {
+        op: RldcOp,
+        rs: u8,
+        ra: u8,
+        rb: u8,
+        mbe: u8,
+        rc: bool,
+    },
     /// X-form shifts with register amount.
     Shift {
         op: ShiftOp,
@@ -617,9 +668,7 @@ impl Instruction {
     #[must_use]
     pub fn is_invalid(&self) -> bool {
         match self {
-            Instruction::Load {
-                update, rt, ra, ..
-            } => *update && (*ra == 0 || ra == rt),
+            Instruction::Load { update, rt, ra, .. } => *update && (*ra == 0 || ra == rt),
             Instruction::Store { update, ra, .. } => *update && *ra == 0,
             // lmw is invalid if RA is in the range of registers loaded
             // (RT..31).

@@ -74,8 +74,18 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeError> {
             ra,
             si: d,
         },
-        12 => Instruction::Addic { rt, ra, si: d, rc: false },
-        13 => Instruction::Addic { rt, ra, si: d, rc: true },
+        12 => Instruction::Addic {
+            rt,
+            ra,
+            si: d,
+            rc: false,
+        },
+        13 => Instruction::Addic {
+            rt,
+            ra,
+            si: d,
+            rc: true,
+        },
         14 => Instruction::Addi { rt, ra, si: d },
         15 => Instruction::Addis { rt, ra, si: d },
         16 => Instruction::Bc {
@@ -201,7 +211,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeError> {
         46 => Instruction::Lmw { rt, ra, d },
         47 => Instruction::Stmw { rs: rt, ra, d },
         58 => {
-            let ds = (sext(bits(w, 16, 14), 14) << 2) as i32;
+            let ds = sext(bits(w, 16, 14), 14) << 2;
             match bits(w, 30, 2) {
                 0 => load_d(8, false, false, rt, ra, ds),
                 1 => load_d(8, false, true, rt, ra, ds),
@@ -210,7 +220,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeError> {
             }
         }
         62 => {
-            let ds = (sext(bits(w, 16, 14), 14) << 2) as i32;
+            let ds = sext(bits(w, 16, 14), 14) << 2;
             match bits(w, 30, 2) {
                 0 => store_d(8, false, rt, ra, ds),
                 1 => store_d(8, true, rt, ra, ds),
@@ -231,7 +241,14 @@ fn log_imm(op: LogImmOp, rs: u8, ra: u8, ui: u32) -> Instruction {
 }
 
 fn rld(op: RldOp, rs: u8, ra: u8, sh: u8, mbe: u8, rc: bool) -> Instruction {
-    Instruction::Rld { op, rs, ra, sh, mbe, rc }
+    Instruction::Rld {
+        op,
+        rs,
+        ra,
+        sh,
+        mbe,
+        rc,
+    }
 }
 
 fn load_d(size: u8, algebraic: bool, update: bool, rt: u8, ra: u8, d: i32) -> Instruction {
@@ -257,7 +274,15 @@ fn store_d(size: u8, update: bool, rs: u8, ra: u8, d: i32) -> Instruction {
     }
 }
 
-fn load_x(size: u8, algebraic: bool, update: bool, byterev: bool, rt: u8, ra: u8, rb: u8) -> Instruction {
+fn load_x(
+    size: u8,
+    algebraic: bool,
+    update: bool,
+    byterev: bool,
+    rt: u8,
+    ra: u8,
+    rb: u8,
+) -> Instruction {
     Instruction::Load {
         size,
         algebraic,
@@ -291,9 +316,19 @@ fn decode_op31(w: u32, rt: u8, ra: u8, rb: u8, rc: bool) -> Result<Instruction, 
         return check_valid(Instruction::Sradi { rs: rt, ra, sh, rc });
     }
 
-    // XO-form arithmetic (9-bit XO, bit 21 = OE).
+    // XO-form arithmetic (9-bit XO, bit 21 = OE). The RB field is
+    // reserved for the ze/me/neg forms: normalise it to zero so the
+    // abstract syntax (and hence re-encoding and assembly round-trips)
+    // is canonical.
     use xo31_arith as a;
-    let arith = |op: ArithOp| Instruction::Arith { op, rt, ra, rb, oe, rc };
+    let arith = |op: ArithOp| Instruction::Arith {
+        op,
+        rt,
+        ra,
+        rb: if op.has_rb() { rb } else { 0 },
+        oe,
+        rc,
+    };
     match xo9 {
         a::ADD => return check_valid(arith(ArithOp::Add)),
         a::SUBF => return check_valid(arith(ArithOp::Subf)),
@@ -360,7 +395,12 @@ fn decode_op31(w: u32, rt: u8, ra: u8, rb: u8, rc: bool) -> Result<Instruction, 
         x::SLD => shift(ShiftOp::Sld, rt, ra, rb, rc),
         x::SRD => shift(ShiftOp::Srd, rt, ra, rb, rc),
         x::SRAD => shift(ShiftOp::Srad, rt, ra, rb, rc),
-        x::SRAWI => Instruction::Srawi { rs: rt, ra, sh: rb, rc },
+        x::SRAWI => Instruction::Srawi {
+            rs: rt,
+            ra,
+            sh: rb,
+            rc,
+        },
         x::LWZX => load_x(4, false, false, false, rt, ra, rb),
         x::LWZUX => load_x(4, false, true, false, rt, ra, rb),
         x::LBZX => load_x(1, false, false, false, rt, ra, rb),
@@ -387,13 +427,36 @@ fn decode_op31(w: u32, rt: u8, ra: u8, rb: u8, rc: bool) -> Result<Instruction, 
         x::STHBRX => store_x(2, false, true, rt, ra, rb),
         x::STWBRX => store_x(4, false, true, rt, ra, rb),
         x::STDBRX => store_x(8, false, true, rt, ra, rb),
-        x::LWARX => Instruction::Larx { size: 4, rt, ra, rb },
-        x::LDARX => Instruction::Larx { size: 8, rt, ra, rb },
-        x::STWCX if rc => Instruction::Stcx { size: 4, rs: rt, ra, rb },
-        x::STDCX if rc => Instruction::Stcx { size: 8, rs: rt, ra, rb },
+        x::LWARX => Instruction::Larx {
+            size: 4,
+            rt,
+            ra,
+            rb,
+        },
+        x::LDARX => Instruction::Larx {
+            size: 8,
+            rt,
+            ra,
+            rb,
+        },
+        x::STWCX if rc => Instruction::Stcx {
+            size: 4,
+            rs: rt,
+            ra,
+            rb,
+        },
+        x::STDCX if rc => Instruction::Stcx {
+            size: 8,
+            rs: rt,
+            ra,
+            rb,
+        },
         x::LSWI => Instruction::Lswi { rt, ra, nb: rb },
         x::STSWI => Instruction::Stswi { rs: rt, ra, nb: rb },
-        x::SYNC => Instruction::Sync {
+        // Only L=0 (hwsync) and L=1 (lwsync) are modelled; L=2
+        // (ptesync) is a Book III barrier outside the user-mode
+        // fragment and L=3 is reserved.
+        x::SYNC if bits(w, 9, 2) < 2 => Instruction::Sync {
             l: bits(w, 9, 2) as u8,
         },
         x::EIEIO => Instruction::Eieio,

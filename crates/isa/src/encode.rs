@@ -42,10 +42,7 @@ fn xo_form(po: u32, rt: u8, ra: u8, rb: u8, oe: bool, xo: u32, rc: bool) -> u32 
 
 /// D-form with a signed 16-bit immediate.
 fn d_form(po: u32, rt: u8, ra: u8, imm: i32) -> u32 {
-    opcd(po)
-        | field(u32::from(rt), 6, 5)
-        | field(u32::from(ra), 11, 5)
-        | ((imm as u32) & 0xFFFF)
+    opcd(po) | field(u32::from(rt), 6, 5) | field(u32::from(ra), 11, 5) | ((imm as u32) & 0xFFFF)
 }
 
 /// The X-form extended opcodes of primary opcode 31 (bits 21..30).
@@ -199,7 +196,9 @@ fn load_xo(size: u8, algebraic: bool, update: bool, byterev: bool) -> u32 {
         (8, false, false, false) => LDX,
         (8, false, true, false) => LDUX,
         (8, false, false, true) => LDBRX,
-        _ => panic!("no X-form load encoding for size={size} alg={algebraic} u={update} brx={byterev}"),
+        _ => panic!(
+            "no X-form load encoding for size={size} alg={algebraic} u={update} brx={byterev}"
+        ),
     }
 }
 
@@ -292,7 +291,14 @@ pub fn encode(i: &Instruction) -> u32 {
             ra,
             ea,
         } => match ea {
-            Ea::Rb(rb) => x_form(31, *rt, *ra, *rb, load_xo(*size, *algebraic, *update, *byterev), false),
+            Ea::Rb(rb) => x_form(
+                31,
+                *rt,
+                *ra,
+                *rb,
+                load_xo(*size, *algebraic, *update, *byterev),
+                false,
+            ),
             Ea::D(d) => match (size, algebraic, update) {
                 (1, false, false) => d_form(34, *rt, *ra, *d),
                 (1, false, true) => d_form(35, *rt, *ra, *d),
@@ -347,10 +353,15 @@ pub fn encode(i: &Instruction) -> u32 {
         Addic { rt, ra, si, rc } => d_form(if *rc { 13 } else { 12 }, *rt, *ra, *si),
         Subfic { rt, ra, si } => d_form(8, *rt, *ra, *si),
         Mulli { rt, ra, si } => d_form(7, *rt, *ra, *si),
-        Arith { op, rt, ra, rb, oe, rc } => xo_form(31, *rt, *ra, *rb, *oe, arith_xo(*op), *rc),
-        Cmpi { bf, l, ra, si } => {
-            d_form(11, bf << 2 | u8::from(*l), *ra, *si)
-        }
+        Arith {
+            op,
+            rt,
+            ra,
+            rb,
+            oe,
+            rc,
+        } => xo_form(31, *rt, *ra, *rb, *oe, arith_xo(*op), *rc),
+        Cmpi { bf, l, ra, si } => d_form(11, bf << 2 | u8::from(*l), *ra, *si),
         Cmp { bf, l, ra, rb } => x_form(31, bf << 2 | u8::from(*l), *ra, *rb, xo31::CMP, false),
         Cmpli { bf, l, ra, ui } => {
             opcd(10)
@@ -368,10 +379,7 @@ pub fn encode(i: &Instruction) -> u32 {
                 LogImmOp::Xori => 26,
                 LogImmOp::Xoris => 27,
             };
-            opcd(po)
-                | field(u32::from(*rs), 6, 5)
-                | field(u32::from(*ra), 11, 5)
-                | (ui & 0xFFFF)
+            opcd(po) | field(u32::from(*rs), 6, 5) | field(u32::from(*ra), 11, 5) | (ui & 0xFFFF)
         }
         Logical { op, rs, ra, rb, rc } => {
             let xo = match op {
@@ -397,7 +405,14 @@ pub fn encode(i: &Instruction) -> u32 {
             };
             x_form(31, *rs, *ra, 0, xo, *rc)
         }
-        Rlwinm { rs, ra, sh, mb, me, rc } => {
+        Rlwinm {
+            rs,
+            ra,
+            sh,
+            mb,
+            me,
+            rc,
+        } => {
             opcd(21)
                 | field(u32::from(*rs), 6, 5)
                 | field(u32::from(*ra), 11, 5)
@@ -406,7 +421,14 @@ pub fn encode(i: &Instruction) -> u32 {
                 | field(u32::from(*me), 26, 5)
                 | rc_bit(*rc)
         }
-        Rlwnm { rs, ra, rb, mb, me, rc } => {
+        Rlwnm {
+            rs,
+            ra,
+            rb,
+            mb,
+            me,
+            rc,
+        } => {
             opcd(23)
                 | field(u32::from(*rs), 6, 5)
                 | field(u32::from(*ra), 11, 5)
@@ -415,7 +437,14 @@ pub fn encode(i: &Instruction) -> u32 {
                 | field(u32::from(*me), 26, 5)
                 | rc_bit(*rc)
         }
-        Rlwimi { rs, ra, sh, mb, me, rc } => {
+        Rlwimi {
+            rs,
+            ra,
+            sh,
+            mb,
+            me,
+            rc,
+        } => {
             opcd(20)
                 | field(u32::from(*rs), 6, 5)
                 | field(u32::from(*ra), 11, 5)
@@ -424,7 +453,14 @@ pub fn encode(i: &Instruction) -> u32 {
                 | field(u32::from(*me), 26, 5)
                 | rc_bit(*rc)
         }
-        Rld { op, rs, ra, sh, mbe, rc } => {
+        Rld {
+            op,
+            rs,
+            ra,
+            sh,
+            mbe,
+            rc,
+        } => {
             let xo = match op {
                 RldOp::Icl => 0,
                 RldOp::Icr => 1,
@@ -441,7 +477,14 @@ pub fn encode(i: &Instruction) -> u32 {
                 | field(u32::from(sh >> 5), 30, 1)
                 | rc_bit(*rc)
         }
-        Rldc { op, rs, ra, rb, mbe, rc } => {
+        Rldc {
+            op,
+            rs,
+            ra,
+            rb,
+            mbe,
+            rc,
+        } => {
             let xo = match op {
                 RldcOp::Cl => 8,
                 RldcOp::Cr => 9,

@@ -41,7 +41,9 @@ mod inventory;
 mod sem;
 
 pub use asm::{parse_asm, parse_asm_ctx, AsmError};
-pub use ast::{ArithOp, CrOp, Ea, Instruction, LogImmOp, LogOp, RldOp, RldcOp, ShiftOp, SprName, UnaryOp};
+pub use ast::{
+    ArithOp, CrOp, Ea, Instruction, LogImmOp, LogOp, RldOp, RldcOp, ShiftOp, SprName, UnaryOp,
+};
 pub use decode::{decode, DecodeError};
 pub use encode::encode;
 pub use inventory::{inventory, Category, InventoryEntry};

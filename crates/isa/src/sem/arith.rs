@@ -127,7 +127,10 @@ pub(crate) fn xo_arith(op: ArithOp, rt: u8, ra: u8, rb: u8, oe: bool, rc: bool) 
         b.assign(sum, b.add3(av.clone(), bv.clone(), cin.clone()));
         b.write_reg(Reg::Gpr(rt), b.l(sum));
         // Carry out for the carrying/extended forms.
-        if matches!(op, Addc | Subfc | Adde | Subfe | Addme | Subfme | Addze | Subfze) {
+        if matches!(
+            op,
+            Addc | Subfc | Adde | Subfe | Addme | Subfme | Addze | Subfze
+        ) {
             let ca = b.carry3(av.clone(), bv.clone(), cin.clone());
             b.write_xer_ca(ca);
         }
@@ -160,10 +163,7 @@ pub(crate) fn xo_arith(op: ArithOp, rt: u8, ra: u8, rb: u8, oe: bool, rc: bool) 
             let (a, bb) = word_operands(&mut b, ra, rb);
             // Full 64-bit signed product of the two words.
             let prod = b.local("prod");
-            b.assign(
-                prod,
-                b.mul_low(b.exts(b.l(a), 64), b.exts(b.l(bb), 64)),
-            );
+            b.assign(prod, b.mul_low(b.exts(b.l(a), 64), b.exts(b.l(bb), 64)));
             b.assign(result, b.l(prod));
             if oe {
                 // OV if the product is not representable in 32 bits.

@@ -71,11 +71,7 @@ fn bc_core(
         bld.assign(ctr_new, bld.sub(bld.l(ctr), bld.c64(1)));
         bld.write_reg(Reg::Ctr, bld.l(ctr_new));
         let zero_test = bld.eq(bld.l(ctr_new), bld.c64(0));
-        Some(if bo3 {
-            zero_test
-        } else {
-            bld.not(zero_test)
-        })
+        Some(if bo3 { zero_test } else { bld.not(zero_test) })
     };
 
     // Condition handling (only when BO[0] = 0): a single-bit CR read.
@@ -84,11 +80,7 @@ fn bc_core(
     } else {
         let crb = bld.local("cr_bi");
         bld.read_reg_slice(crb, Reg::Cr, usize::from(bi), 1);
-        Some(if bo1 {
-            bld.l(crb)
-        } else {
-            bld.not(bld.l(crb))
-        })
+        Some(if bo1 { bld.l(crb) } else { bld.not(bld.l(crb)) })
     };
 
     let taken = match (ctr_ok, cond_ok) {

@@ -100,10 +100,7 @@ pub(crate) fn lmw(rt: u8, ra: u8, d: i32) -> Sem {
     let m = b.local("m");
     let addr = b.local("addr");
     b.for_loop(r, b.c64(u64::from(rt)), b.c64(31), false, |b| {
-        let off = b.mul_low(
-            b.sub(b.l(r), b.c64(u64::from(rt))),
-            b.c64(4),
-        );
+        let off = b.mul_low(b.sub(b.l(r), b.c64(u64::from(rt))), b.c64(4));
         b.assign(addr, b.add(b.l(eal), off));
         b.read_mem(m, b.l(addr), 4);
         b.write_gpr_dyn(b.l(r), b.extz(b.l(m), 64));
@@ -119,10 +116,7 @@ pub(crate) fn stmw(rs: u8, ra: u8, d: i32) -> Sem {
     let w = b.local("w");
     let addr = b.local("addr");
     b.for_loop(r, b.c64(u64::from(rs)), b.c64(31), false, |b| {
-        let off = b.mul_low(
-            b.sub(b.l(r), b.c64(u64::from(rs))),
-            b.c64(4),
-        );
+        let off = b.mul_low(b.sub(b.l(r), b.c64(u64::from(rs))), b.c64(4));
         b.assign(addr, b.add(b.l(eal), off));
         b.read_gpr_dyn(w, b.l(r));
         b.write_mem(b.l(addr), 4, b.slice(b.l(w), 32, 32));

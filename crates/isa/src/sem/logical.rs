@@ -197,10 +197,7 @@ pub(crate) fn rlwimi(rs: u8, ra: u8, sh: u8, mb: u8, me: u8, rc: bool) -> Sem {
     b.assign(r, rot);
     let m = b.konst(mask64(usize::from(mb) + 32, usize::from(me) + 32));
     let result = b.local("result");
-    b.assign(
-        result,
-        b.or(b.and(b.l(r), m.clone()), b.andc(b.l(old), m)),
-    );
+    b.assign(result, b.or(b.and(b.l(r), m.clone()), b.andc(b.l(old), m)));
     b.write_reg(Reg::Gpr(ra), b.l(result));
     if rc {
         {

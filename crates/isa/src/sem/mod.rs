@@ -69,7 +69,14 @@ pub fn semantics(i: &Instruction) -> Sem {
         Addic { rt, ra, si, rc } => arith::addic(*rt, *ra, *si, *rc),
         Subfic { rt, ra, si } => arith::subfic(*rt, *ra, *si),
         Mulli { rt, ra, si } => arith::mulli(*rt, *ra, *si),
-        Arith { op, rt, ra, rb, oe, rc } => arith::xo_arith(*op, *rt, *ra, *rb, *oe, *rc),
+        Arith {
+            op,
+            rt,
+            ra,
+            rb,
+            oe,
+            rc,
+        } => arith::xo_arith(*op, *rt, *ra, *rb, *oe, *rc),
         Cmpi { bf, l, ra, si } => arith::cmp_imm(*bf, *l, *ra, *si, true),
         Cmp { bf, l, ra, rb } => arith::cmp_reg(*bf, *l, *ra, *rb, true),
         Cmpli { bf, l, ra, ui } => arith::cmp_imm(*bf, *l, *ra, *ui as i32, false),
@@ -77,11 +84,46 @@ pub fn semantics(i: &Instruction) -> Sem {
         LogImm { op, rs, ra, ui } => logical::log_imm(*op, *rs, *ra, *ui),
         Logical { op, rs, ra, rb, rc } => logical::log_reg(*op, *rs, *ra, *rb, *rc),
         Unary { op, rs, ra, rc } => logical::unary(*op, *rs, *ra, *rc),
-        Rlwinm { rs, ra, sh, mb, me, rc } => logical::rlwinm(*rs, *ra, *sh, *mb, *me, *rc),
-        Rlwnm { rs, ra, rb, mb, me, rc } => logical::rlwnm(*rs, *ra, *rb, *mb, *me, *rc),
-        Rlwimi { rs, ra, sh, mb, me, rc } => logical::rlwimi(*rs, *ra, *sh, *mb, *me, *rc),
-        Rld { op, rs, ra, sh, mbe, rc } => logical::rld(*op, *rs, *ra, *sh, *mbe, *rc),
-        Rldc { op, rs, ra, rb, mbe, rc } => logical::rldc(*op, *rs, *ra, *rb, *mbe, *rc),
+        Rlwinm {
+            rs,
+            ra,
+            sh,
+            mb,
+            me,
+            rc,
+        } => logical::rlwinm(*rs, *ra, *sh, *mb, *me, *rc),
+        Rlwnm {
+            rs,
+            ra,
+            rb,
+            mb,
+            me,
+            rc,
+        } => logical::rlwnm(*rs, *ra, *rb, *mb, *me, *rc),
+        Rlwimi {
+            rs,
+            ra,
+            sh,
+            mb,
+            me,
+            rc,
+        } => logical::rlwimi(*rs, *ra, *sh, *mb, *me, *rc),
+        Rld {
+            op,
+            rs,
+            ra,
+            sh,
+            mbe,
+            rc,
+        } => logical::rld(*op, *rs, *ra, *sh, *mbe, *rc),
+        Rldc {
+            op,
+            rs,
+            ra,
+            rb,
+            mbe,
+            rc,
+        } => logical::rldc(*op, *rs, *ra, *rb, *mbe, *rc),
         Shift { op, rs, ra, rb, rc } => logical::shift(*op, *rs, *ra, *rb, *rc),
         Srawi { rs, ra, sh, rc } => logical::srawi(*rs, *ra, *sh, *rc),
         Sradi { rs, ra, sh, rc } => logical::sradi(*rs, *ra, *sh, *rc),

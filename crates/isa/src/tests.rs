@@ -129,38 +129,187 @@ impl Mini {
 fn sample_instructions() -> Vec<Instruction> {
     use Instruction::*;
     let mut v = vec![
-        B { li: 0x1234, aa: false, lk: false },
-        B { li: -4, aa: false, lk: true },
-        Bc { bo: 12, bi: 2, bd: 3, aa: false, lk: false },
-        Bc { bo: 4, bi: 14, bd: -2, aa: false, lk: false },
-        Bclr { bo: 20, bi: 0, bh: 0, lk: false },
-        Bcctr { bo: 20, bi: 0, bh: 0, lk: true },
+        B {
+            li: 0x1234,
+            aa: false,
+            lk: false,
+        },
+        B {
+            li: -4,
+            aa: false,
+            lk: true,
+        },
+        Bc {
+            bo: 12,
+            bi: 2,
+            bd: 3,
+            aa: false,
+            lk: false,
+        },
+        Bc {
+            bo: 4,
+            bi: 14,
+            bd: -2,
+            aa: false,
+            lk: false,
+        },
+        Bclr {
+            bo: 20,
+            bi: 0,
+            bh: 0,
+            lk: false,
+        },
+        Bcctr {
+            bo: 20,
+            bi: 0,
+            bh: 0,
+            lk: true,
+        },
         Mcrf { bf: 3, bfa: 7 },
-        Lmw { rt: 29, ra: 1, d: 8 },
-        Stmw { rs: 29, ra: 1, d: -8 },
-        Lswi { rt: 5, ra: 1, nb: 7 },
-        Stswi { rs: 5, ra: 1, nb: 0 },
-        Larx { size: 4, rt: 3, ra: 0, rb: 5 },
-        Larx { size: 8, rt: 3, ra: 4, rb: 5 },
-        Stcx { size: 4, rs: 3, ra: 0, rb: 5 },
-        Stcx { size: 8, rs: 3, ra: 4, rb: 5 },
-        Addi { rt: 1, ra: 2, si: -1 },
-        Addis { rt: 1, ra: 0, si: 0x7FFF },
-        Addic { rt: 1, ra: 2, si: 3, rc: true },
-        Addic { rt: 1, ra: 2, si: 3, rc: false },
-        Subfic { rt: 1, ra: 2, si: -5 },
-        Mulli { rt: 1, ra: 2, si: 100 },
-        Cmpi { bf: 7, l: false, ra: 3, si: -1 },
-        Cmp { bf: 0, l: true, ra: 3, rb: 4 },
-        Cmpli { bf: 2, l: false, ra: 3, ui: 0xFFFF },
-        Cmpl { bf: 1, l: true, ra: 3, rb: 4 },
-        Rlwinm { rs: 1, ra: 2, sh: 5, mb: 0, me: 31, rc: true },
-        Rlwnm { rs: 1, ra: 2, rb: 3, mb: 4, me: 27, rc: false },
-        Rlwimi { rs: 1, ra: 2, sh: 16, mb: 0, me: 15, rc: false },
-        Srawi { rs: 1, ra: 2, sh: 31, rc: false },
-        Sradi { rs: 1, ra: 2, sh: 63, rc: true },
-        Mfspr { rt: 3, spr: SprName::Lr },
-        Mtspr { spr: SprName::Ctr, rs: 3 },
+        Lmw {
+            rt: 29,
+            ra: 1,
+            d: 8,
+        },
+        Stmw {
+            rs: 29,
+            ra: 1,
+            d: -8,
+        },
+        Lswi {
+            rt: 5,
+            ra: 1,
+            nb: 7,
+        },
+        Stswi {
+            rs: 5,
+            ra: 1,
+            nb: 0,
+        },
+        Larx {
+            size: 4,
+            rt: 3,
+            ra: 0,
+            rb: 5,
+        },
+        Larx {
+            size: 8,
+            rt: 3,
+            ra: 4,
+            rb: 5,
+        },
+        Stcx {
+            size: 4,
+            rs: 3,
+            ra: 0,
+            rb: 5,
+        },
+        Stcx {
+            size: 8,
+            rs: 3,
+            ra: 4,
+            rb: 5,
+        },
+        Addi {
+            rt: 1,
+            ra: 2,
+            si: -1,
+        },
+        Addis {
+            rt: 1,
+            ra: 0,
+            si: 0x7FFF,
+        },
+        Addic {
+            rt: 1,
+            ra: 2,
+            si: 3,
+            rc: true,
+        },
+        Addic {
+            rt: 1,
+            ra: 2,
+            si: 3,
+            rc: false,
+        },
+        Subfic {
+            rt: 1,
+            ra: 2,
+            si: -5,
+        },
+        Mulli {
+            rt: 1,
+            ra: 2,
+            si: 100,
+        },
+        Cmpi {
+            bf: 7,
+            l: false,
+            ra: 3,
+            si: -1,
+        },
+        Cmp {
+            bf: 0,
+            l: true,
+            ra: 3,
+            rb: 4,
+        },
+        Cmpli {
+            bf: 2,
+            l: false,
+            ra: 3,
+            ui: 0xFFFF,
+        },
+        Cmpl {
+            bf: 1,
+            l: true,
+            ra: 3,
+            rb: 4,
+        },
+        Rlwinm {
+            rs: 1,
+            ra: 2,
+            sh: 5,
+            mb: 0,
+            me: 31,
+            rc: true,
+        },
+        Rlwnm {
+            rs: 1,
+            ra: 2,
+            rb: 3,
+            mb: 4,
+            me: 27,
+            rc: false,
+        },
+        Rlwimi {
+            rs: 1,
+            ra: 2,
+            sh: 16,
+            mb: 0,
+            me: 15,
+            rc: false,
+        },
+        Srawi {
+            rs: 1,
+            ra: 2,
+            sh: 31,
+            rc: false,
+        },
+        Sradi {
+            rs: 1,
+            ra: 2,
+            sh: 63,
+            rc: true,
+        },
+        Mfspr {
+            rt: 3,
+            spr: SprName::Lr,
+        },
+        Mtspr {
+            spr: SprName::Ctr,
+            rs: 3,
+        },
         Mfcr { rt: 9 },
         Mfocrf { rt: 9, fxm: 0x10 },
         Mtcrf { fxm: 0xFF, rs: 9 },
@@ -170,8 +319,22 @@ fn sample_instructions() -> Vec<Instruction> {
         Eieio,
         Isync,
     ];
-    for op in [CrOp::And, CrOp::Or, CrOp::Xor, CrOp::Nand, CrOp::Nor, CrOp::Eqv, CrOp::Andc, CrOp::Orc] {
-        v.push(CrLogical { op, bt: 1, ba: 2, bb: 3 });
+    for op in [
+        CrOp::And,
+        CrOp::Or,
+        CrOp::Xor,
+        CrOp::Nand,
+        CrOp::Nor,
+        CrOp::Eqv,
+        CrOp::Andc,
+        CrOp::Orc,
+    ] {
+        v.push(CrLogical {
+            op,
+            bt: 1,
+            ba: 2,
+            bb: 3,
+        });
     }
     // All load shapes.
     for &(size, alg, upd, brx) in &[
@@ -201,6 +364,7 @@ fn sample_instructions() -> Vec<Instruction> {
         });
         // D-forms exist except for byte-reversed and lwa-update; lwax
         // exists but lwaux only as X-form.
+        #[allow(clippy::nonminimal_bool)]
         if !brx && !(size == 4 && alg && upd) {
             v.push(Load {
                 size,
@@ -209,11 +373,23 @@ fn sample_instructions() -> Vec<Instruction> {
                 byterev: false,
                 rt: 7,
                 ra: 3,
-                ea: Ea::D(if size == 8 || (size == 4 && alg) { 16 } else { 17 }),
+                ea: Ea::D(if size == 8 || (size == 4 && alg) {
+                    16
+                } else {
+                    17
+                }),
             });
         }
     }
-    v.push(Load { size: 4, algebraic: true, update: true, byterev: false, rt: 7, ra: 3, ea: Ea::Rb(9) });
+    v.push(Load {
+        size: 4,
+        algebraic: true,
+        update: true,
+        byterev: false,
+        rt: 7,
+        ra: 3,
+        ea: Ea::Rb(9),
+    });
     // All store shapes.
     for &(size, upd, brx) in &[
         (1u8, false, false),
@@ -228,7 +404,14 @@ fn sample_instructions() -> Vec<Instruction> {
         (8, true, false),
         (8, false, true),
     ] {
-        v.push(Store { size, update: upd, byterev: brx, rs: 7, ra: 3, ea: Ea::Rb(9) });
+        v.push(Store {
+            size,
+            update: upd,
+            byterev: brx,
+            rs: 7,
+            ra: 3,
+            ea: Ea::Rb(9),
+        });
         if !brx {
             v.push(Store {
                 size,
@@ -242,38 +425,151 @@ fn sample_instructions() -> Vec<Instruction> {
     }
     // Arithmetic: all ops with all flag shapes.
     for op in [
-        ArithOp::Add, ArithOp::Subf, ArithOp::Addc, ArithOp::Subfc, ArithOp::Adde,
-        ArithOp::Subfe, ArithOp::Addme, ArithOp::Subfme, ArithOp::Addze, ArithOp::Subfze,
-        ArithOp::Neg, ArithOp::Mullw, ArithOp::Mulhw, ArithOp::Mulhwu, ArithOp::Mulld,
-        ArithOp::Mulhd, ArithOp::Mulhdu, ArithOp::Divw, ArithOp::Divwu, ArithOp::Divd,
+        ArithOp::Add,
+        ArithOp::Subf,
+        ArithOp::Addc,
+        ArithOp::Subfc,
+        ArithOp::Adde,
+        ArithOp::Subfe,
+        ArithOp::Addme,
+        ArithOp::Subfme,
+        ArithOp::Addze,
+        ArithOp::Subfze,
+        ArithOp::Neg,
+        ArithOp::Mullw,
+        ArithOp::Mulhw,
+        ArithOp::Mulhwu,
+        ArithOp::Mulld,
+        ArithOp::Mulhd,
+        ArithOp::Mulhdu,
+        ArithOp::Divw,
+        ArithOp::Divwu,
+        ArithOp::Divd,
         ArithOp::Divdu,
     ] {
         let rb = if op.has_rb() { 6 } else { 0 };
-        v.push(Instruction::Arith { op, rt: 4, ra: 5, rb, oe: false, rc: false });
-        v.push(Instruction::Arith { op, rt: 4, ra: 5, rb, oe: false, rc: true });
+        v.push(Instruction::Arith {
+            op,
+            rt: 4,
+            ra: 5,
+            rb,
+            oe: false,
+            rc: false,
+        });
+        v.push(Instruction::Arith {
+            op,
+            rt: 4,
+            ra: 5,
+            rb,
+            oe: false,
+            rc: true,
+        });
         if op.has_oe() {
-            v.push(Instruction::Arith { op, rt: 4, ra: 5, rb, oe: true, rc: true });
+            v.push(Instruction::Arith {
+                op,
+                rt: 4,
+                ra: 5,
+                rb,
+                oe: true,
+                rc: true,
+            });
         }
     }
-    for op in [LogImmOp::Andi, LogImmOp::Andis, LogImmOp::Ori, LogImmOp::Oris, LogImmOp::Xori, LogImmOp::Xoris] {
-        v.push(Instruction::LogImm { op, rs: 1, ra: 2, ui: 0xBEEF });
+    for op in [
+        LogImmOp::Andi,
+        LogImmOp::Andis,
+        LogImmOp::Ori,
+        LogImmOp::Oris,
+        LogImmOp::Xori,
+        LogImmOp::Xoris,
+    ] {
+        v.push(Instruction::LogImm {
+            op,
+            rs: 1,
+            ra: 2,
+            ui: 0xBEEF,
+        });
     }
-    for op in [LogOp::And, LogOp::Or, LogOp::Xor, LogOp::Nand, LogOp::Nor, LogOp::Eqv, LogOp::Andc, LogOp::Orc] {
-        v.push(Instruction::Logical { op, rs: 1, ra: 2, rb: 3, rc: false });
-        v.push(Instruction::Logical { op, rs: 1, ra: 2, rb: 3, rc: true });
+    for op in [
+        LogOp::And,
+        LogOp::Or,
+        LogOp::Xor,
+        LogOp::Nand,
+        LogOp::Nor,
+        LogOp::Eqv,
+        LogOp::Andc,
+        LogOp::Orc,
+    ] {
+        v.push(Instruction::Logical {
+            op,
+            rs: 1,
+            ra: 2,
+            rb: 3,
+            rc: false,
+        });
+        v.push(Instruction::Logical {
+            op,
+            rs: 1,
+            ra: 2,
+            rb: 3,
+            rc: true,
+        });
     }
-    for op in [UnaryOp::Extsb, UnaryOp::Extsh, UnaryOp::Extsw, UnaryOp::Cntlzw, UnaryOp::Cntlzd] {
-        v.push(Instruction::Unary { op, rs: 1, ra: 2, rc: true });
+    for op in [
+        UnaryOp::Extsb,
+        UnaryOp::Extsh,
+        UnaryOp::Extsw,
+        UnaryOp::Cntlzw,
+        UnaryOp::Cntlzd,
+    ] {
+        v.push(Instruction::Unary {
+            op,
+            rs: 1,
+            ra: 2,
+            rc: true,
+        });
     }
-    v.push(Instruction::Unary { op: UnaryOp::Popcntb, rs: 1, ra: 2, rc: false });
+    v.push(Instruction::Unary {
+        op: UnaryOp::Popcntb,
+        rs: 1,
+        ra: 2,
+        rc: false,
+    });
     for op in [RldOp::Icl, RldOp::Icr, RldOp::Ic, RldOp::Imi] {
-        v.push(Instruction::Rld { op, rs: 1, ra: 2, sh: 43, mbe: 37, rc: false });
+        v.push(Instruction::Rld {
+            op,
+            rs: 1,
+            ra: 2,
+            sh: 43,
+            mbe: 37,
+            rc: false,
+        });
     }
     for op in [RldcOp::Cl, RldcOp::Cr] {
-        v.push(Instruction::Rldc { op, rs: 1, ra: 2, rb: 3, mbe: 37, rc: true });
+        v.push(Instruction::Rldc {
+            op,
+            rs: 1,
+            ra: 2,
+            rb: 3,
+            mbe: 37,
+            rc: true,
+        });
     }
-    for op in [ShiftOp::Slw, ShiftOp::Srw, ShiftOp::Sraw, ShiftOp::Sld, ShiftOp::Srd, ShiftOp::Srad] {
-        v.push(Instruction::Shift { op, rs: 1, ra: 2, rb: 3, rc: false });
+    for op in [
+        ShiftOp::Slw,
+        ShiftOp::Srw,
+        ShiftOp::Sraw,
+        ShiftOp::Sld,
+        ShiftOp::Srd,
+        ShiftOp::Srad,
+    ] {
+        v.push(Instruction::Shift {
+            op,
+            rs: 1,
+            ra: 2,
+            rb: 3,
+            rc: false,
+        });
     }
     v
 }
@@ -283,7 +579,12 @@ fn decode_encode_round_trip() {
     for i in sample_instructions() {
         let w = encode(&i);
         let back = decode(w).unwrap_or_else(|e| panic!("{}: {e}", i.mnemonic()));
-        assert_eq!(back, i, "round trip failed for {} (0x{w:08x})", i.mnemonic());
+        assert_eq!(
+            back,
+            i,
+            "round trip failed for {} (0x{w:08x})",
+            i.mnemonic()
+        );
     }
 }
 
@@ -305,8 +606,7 @@ fn asm_round_trip() {
 fn all_semantics_validate() {
     for i in sample_instructions() {
         let sem = semantics(&i);
-        ppc_idl::validate(&sem)
-            .unwrap_or_else(|e| panic!("{}: {e}", i.mnemonic()));
+        ppc_idl::validate(&sem).unwrap_or_else(|e| panic!("{}: {e}", i.mnemonic()));
     }
 }
 
@@ -314,33 +614,74 @@ fn all_semantics_validate() {
 fn extended_mnemonics_parse() {
     assert_eq!(
         parse_asm("li r5,10").unwrap(),
-        Instruction::Addi { rt: 5, ra: 0, si: 10 }
+        Instruction::Addi {
+            rt: 5,
+            ra: 0,
+            si: 10
+        }
     );
     assert_eq!(
         parse_asm("mr r6,r5").unwrap(),
-        Instruction::Logical { op: LogOp::Or, rs: 5, ra: 6, rb: 5, rc: false }
+        Instruction::Logical {
+            op: LogOp::Or,
+            rs: 5,
+            ra: 6,
+            rb: 5,
+            rc: false
+        }
     );
     assert_eq!(
         parse_asm("cmpw r5,r7").unwrap(),
-        Instruction::Cmp { bf: 0, l: false, ra: 5, rb: 7 }
+        Instruction::Cmp {
+            bf: 0,
+            l: false,
+            ra: 5,
+            rb: 7
+        }
     );
     assert_eq!(
         parse_asm("cmpwi r5,0").unwrap(),
-        Instruction::Cmpi { bf: 0, l: false, ra: 5, si: 0 }
+        Instruction::Cmpi {
+            bf: 0,
+            l: false,
+            ra: 5,
+            si: 0
+        }
     );
     assert_eq!(parse_asm("sync").unwrap(), Instruction::Sync { l: 0 });
     assert_eq!(parse_asm("lwsync").unwrap(), Instruction::Sync { l: 1 });
     assert_eq!(
         parse_asm("beq 8").unwrap(),
-        Instruction::Bc { bo: 12, bi: 2, bd: 2, aa: false, lk: false }
+        Instruction::Bc {
+            bo: 12,
+            bi: 2,
+            bd: 2,
+            aa: false,
+            lk: false
+        }
     );
     assert_eq!(
         parse_asm("bne cr1,8").unwrap(),
-        Instruction::Bc { bo: 4, bi: 6, bd: 2, aa: false, lk: false }
+        Instruction::Bc {
+            bo: 4,
+            bi: 6,
+            bd: 2,
+            aa: false,
+            lk: false
+        }
     );
     // Label resolution.
     let i = crate::parse_asm_ctx("beq L0", 4, &|l| (l == "L0").then_some(12)).unwrap();
-    assert_eq!(i, Instruction::Bc { bo: 12, bi: 2, bd: 2, aa: false, lk: false });
+    assert_eq!(
+        i,
+        Instruction::Bc {
+            bo: 12,
+            bi: 2,
+            bd: 2,
+            aa: false,
+            lk: false
+        }
+    );
 }
 
 #[test]
@@ -355,7 +696,10 @@ fn invalid_forms_rejected() {
         ra: 5,
         ea: Ea::D(0),
     });
-    assert!(matches!(decode(w), Err(crate::DecodeError::InvalidForm { .. })));
+    assert!(matches!(
+        decode(w),
+        Err(crate::DecodeError::InvalidForm { .. })
+    ));
     // stwu with RA == 0 is invalid.
     let w = encode(&Instruction::Store {
         size: 4,
@@ -365,7 +709,10 @@ fn invalid_forms_rejected() {
         ra: 0,
         ea: Ea::D(0),
     });
-    assert!(matches!(decode(w), Err(crate::DecodeError::InvalidForm { .. })));
+    assert!(matches!(
+        decode(w),
+        Err(crate::DecodeError::InvalidForm { .. })
+    ));
 }
 
 // ----- semantics behaviour --------------------------------------------
@@ -684,8 +1031,10 @@ fn lswi_stswi() {
 
 #[test]
 fn branches() {
-    let mut m = Mini::default();
-    m.cia = 0x100;
+    let mut m = Mini {
+        cia: 0x100,
+        ..Default::default()
+    };
     m.exec(&parse_asm("b 16").unwrap());
     assert_eq!(m.cia, 0x110);
     // bl sets LR.
@@ -847,9 +1196,7 @@ fn store_addr_taint_excludes_data() {
     let fp = analyze(&sem);
     assert!(fp.addr_regs.contains(&Reg::Gpr(1).whole()));
     assert!(fp.addr_regs.contains(&Reg::Gpr(2).whole()));
-    assert!(!fp
-        .addr_regs
-        .contains(&RegSlice::new(Reg::Gpr(7), 32, 32)));
+    assert!(!fp.addr_regs.contains(&RegSlice::new(Reg::Gpr(7), 32, 32)));
 }
 
 #[test]

@@ -80,9 +80,7 @@ fn mp_variant(w: WEdge, r: REdge) -> LitmusEntry {
     let reader = match r {
         REdge::Po => " lwz r5,0(r2) ;\n | lwz r4,0(r1) ;\n",
         REdge::Addr => " lwz r5,0(r2) ;\n | xor r6,r5,r5 ;\n | lwzx r4,r6,r1 ;\n",
-        REdge::Ctrl => {
-            " lwz r5,0(r2) ;\n | cmpw r5,r7 ;\n | beq L ;\n | L: ;\n | lwz r4,0(r1) ;\n"
-        }
+        REdge::Ctrl => " lwz r5,0(r2) ;\n | cmpw r5,r7 ;\n | beq L ;\n | L: ;\n | lwz r4,0(r1) ;\n",
         REdge::CtrlIsync => {
             " lwz r5,0(r2) ;\n | cmpw r5,r7 ;\n | beq L ;\n | L: ;\n | isync ;\n | lwz r4,0(r1) ;\n"
         }
@@ -210,7 +208,10 @@ fn lb_variant(a: LbEdge, b: LbEdge) -> LitmusEntry {
 
 fn rows_for(e: LbEdge, other: &str) -> Vec<String> {
     match e {
-        LbEdge::Po => vec!["lwz r5,0(r1)".replace("r1", loc_reg(other)), format!("stw r9,0({other})")],
+        LbEdge::Po => vec![
+            "lwz r5,0(r1)".replace("r1", loc_reg(other)),
+            format!("stw r9,0({other})"),
+        ],
         LbEdge::Addr => vec![
             "lwz r5,0(r1)".replace("r1", loc_reg(other)),
             "xor r10,r5,r5".to_owned(),

@@ -1,0 +1,248 @@
+//! The batch litmus-conformance harness: run a whole suite of
+//! [`LitmusEntry`]s in parallel against the exhaustive oracle, with
+//! per-test budgets, and report every verdict against its paper/hardware
+//! expectation.
+//!
+//! This is the repo's standing test oracle: the §7 concurrent validation
+//! ("we ran the tool on a library of litmus tests...comparing the model
+//! verdicts against the architectural intent") packaged as a reusable
+//! engine. Tests are distributed over a worker pool (test-level
+//! parallelism composes with the oracle's own sharded-frontier
+//! parallelism via [`ModelParams::threads`]); each test gets a state
+//! budget and an optional wall-clock deadline, and a truncated
+//! exploration is reported as *inconclusive* rather than silently
+//! counted as a pass.
+
+use crate::library::LitmusEntry;
+use crate::run::run_entry_limited;
+use crate::test::Expectation;
+use ppc_model::{ExploreLimits, ModelParams};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration for a harness run.
+#[derive(Clone, Debug, Default)]
+pub struct HarnessConfig {
+    /// Model parameters for every test. `params.threads` is the *inner*
+    /// (per-exploration) parallelism — keep it at 1 when `jobs` already
+    /// saturates the machine — and `params.max_states` is the per-test
+    /// distinct-state budget.
+    pub params: ModelParams,
+    /// Concurrent tests (`0` = one per available CPU).
+    pub jobs: usize,
+    /// Per-test wall-clock budget (soft; checked between search rounds).
+    pub timeout_per_test: Option<Duration>,
+}
+
+impl HarnessConfig {
+    /// The effective number of concurrent tests.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        ppc_model::resolve_threads(self.jobs)
+    }
+}
+
+/// One test's outcome in a harness run — the machine-readable row of the
+/// conformance report.
+#[derive(Clone, Debug)]
+pub struct TestReport {
+    /// Test name.
+    pub name: String,
+    /// Which part of the paper/validation pins the expectation.
+    pub pinned_by: String,
+    /// The paper/hardware expectation.
+    pub expected: Expectation,
+    /// The model's verdict for the `exists` condition.
+    pub model_allows: bool,
+    /// Whether the verdict matches the expectation.
+    pub matches: bool,
+    /// Whether the exploration hit its state budget or deadline. A
+    /// truncated, unwitnessed run is *inconclusive*, not a pass.
+    pub truncated: bool,
+    /// Distinct observable final states.
+    pub finals: usize,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions fired.
+    pub transitions: usize,
+    /// Wall-clock time for the exploration.
+    pub wall: Duration,
+}
+
+impl TestReport {
+    /// Whether the run fully decided the verdict: either the state space
+    /// was exhausted, or a witness was found (a witness is definitive
+    /// even in a truncated run).
+    #[must_use]
+    pub fn conclusive(&self) -> bool {
+        !self.truncated || self.model_allows
+    }
+
+    /// The model verdict as the conventional litmus word.
+    #[must_use]
+    pub fn verdict(&self) -> &'static str {
+        if self.model_allows {
+            "Allowed"
+        } else {
+            "Forbidden"
+        }
+    }
+
+    /// One JSON object (a single line, suitable for JSONL reports).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"expected\":\"{}\",\"model\":\"{}\",\"match\":{},\"conclusive\":{},\"truncated\":{},\"states\":{},\"transitions\":{},\"finals\":{},\"wall_ms\":{:.3},\"pinned_by\":{}}}",
+            json_str(&self.name),
+            self.expected,
+            self.verdict(),
+            self.matches,
+            self.conclusive(),
+            self.truncated,
+            self.states,
+            self.transitions,
+            self.finals,
+            self.wall.as_secs_f64() * 1e3,
+            json_str(&self.pinned_by),
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The aggregate result of a harness run.
+#[derive(Clone, Debug)]
+pub struct HarnessReport {
+    /// Per-test reports, in suite order.
+    pub reports: Vec<TestReport>,
+    /// Total wall-clock for the whole run.
+    pub wall: Duration,
+}
+
+impl HarnessReport {
+    /// Tests whose conclusive verdict contradicts the expectation.
+    #[must_use]
+    pub fn mismatches(&self) -> Vec<&TestReport> {
+        self.reports
+            .iter()
+            .filter(|r| r.conclusive() && !r.matches)
+            .collect()
+    }
+
+    /// Tests whose exploration was truncated without finding a witness
+    /// (inconclusive; listed explicitly, never silently passed).
+    #[must_use]
+    pub fn inconclusive(&self) -> Vec<&TestReport> {
+        self.reports.iter().filter(|r| !r.conclusive()).collect()
+    }
+
+    /// Whether every test ran to a conclusive, matching verdict.
+    #[must_use]
+    pub fn all_conclusive_matches(&self) -> bool {
+        self.reports.iter().all(|r| r.conclusive() && r.matches)
+    }
+
+    /// The whole report as JSON lines, one test per line.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for r in &self.reports {
+            s.push_str(&r.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// A one-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let total = self.reports.len();
+        let matched = self
+            .reports
+            .iter()
+            .filter(|r| r.conclusive() && r.matches)
+            .count();
+        let inconclusive = self.inconclusive().len();
+        let mismatched = self.mismatches().len();
+        format!(
+            "{total} tests: {matched} match, {mismatched} mismatch, {inconclusive} inconclusive ({:.1}s)",
+            self.wall.as_secs_f64()
+        )
+    }
+}
+
+/// Run a whole suite through the exhaustive oracle on a worker pool.
+///
+/// Entries are claimed off a shared counter, so long tests don't strand
+/// idle workers; the report preserves suite order regardless of
+/// completion order.
+#[must_use]
+pub fn run_suite(entries: &[LitmusEntry], cfg: &HarnessConfig) -> HarnessReport {
+    let t0 = Instant::now();
+    let jobs = cfg.effective_jobs().min(entries.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<TestReport>>> = Mutex::new(vec![None; entries.len()]);
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(entry) = entries.get(i) else { break };
+                let report = run_one(entry, cfg);
+                slots.lock().expect("report slots poisoned")[i] = Some(report);
+            });
+        }
+    });
+
+    let reports = slots
+        .into_inner()
+        .expect("report slots poisoned")
+        .into_iter()
+        .map(|r| r.expect("every entry produced a report"))
+        .collect();
+    HarnessReport {
+        reports,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Run a single entry under the harness budgets.
+#[must_use]
+pub fn run_one(entry: &LitmusEntry, cfg: &HarnessConfig) -> TestReport {
+    let limits = ExploreLimits {
+        deadline: cfg.timeout_per_test.map(|t| Instant::now() + t),
+        ..ExploreLimits::from_params(&cfg.params)
+    };
+    let t0 = Instant::now();
+    let check = run_entry_limited(entry, &cfg.params, &limits);
+    let wall = t0.elapsed();
+    TestReport {
+        name: entry.name.to_owned(),
+        pinned_by: entry.pinned_by.to_owned(),
+        expected: check.expect,
+        model_allows: check.result.witnessed,
+        matches: check.matches,
+        truncated: check.result.stats.truncated,
+        finals: check.result.finals,
+        states: check.result.stats.states,
+        transitions: check.result.stats.transitions,
+        wall,
+    }
+}

@@ -27,6 +27,7 @@
 
 mod cond;
 mod families;
+pub mod harness;
 mod library;
 mod parser;
 mod run;
@@ -34,9 +35,12 @@ mod test;
 
 pub use cond::{Cond, CondAtom, CondExpr, Quantifier};
 pub use families::generated_suite;
+pub use harness::{run_suite, HarnessConfig, HarnessReport, TestReport};
 pub use library::{library, paper_section2_suite, LitmusEntry};
 pub use parser::{parse, ParseError};
-pub use run::{build_system, run, run_entry, CheckReport, RunResult};
+pub use run::{
+    build_system, run, run_entry, run_entry_limited, run_limited, CheckReport, RunResult,
+};
 pub use test::{Expectation, LitmusTest, ThreadCode};
 
 #[cfg(test)]

@@ -374,8 +374,7 @@ impl CondParser {
                     .ok_or_else(|| ParseError::BadCond(t.clone()))?;
                 let value = parse_int(rhs).ok_or_else(|| ParseError::BadCond(t.clone()))?;
                 if let Some((tid, reg)) = lhs.split_once(':') {
-                    let tid: usize =
-                        tid.parse().map_err(|_| ParseError::BadCond(t.clone()))?;
+                    let tid: usize = tid.parse().map_err(|_| ParseError::BadCond(t.clone()))?;
                     let gpr: u8 = reg
                         .trim_start_matches('r')
                         .parse()

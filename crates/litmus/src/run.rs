@@ -5,7 +5,7 @@ use crate::library::LitmusEntry;
 use crate::test::{Expectation, LitmusTest};
 use ppc_bits::Bv;
 use ppc_idl::Reg;
-use ppc_model::{explore, ModelParams, Program, SystemState};
+use ppc_model::{explore_limited, ExploreLimits, ModelParams, Program, SystemState};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -67,28 +67,30 @@ pub fn build_system(test: &LitmusTest, params: &ModelParams) -> SystemState {
     SystemState::new(program, thread_inits, &initial_mem, params.clone())
 }
 
-/// Exhaustively run a test and evaluate its final condition.
+/// Exhaustively run a test and evaluate its final condition, with
+/// parallelism and the state budget taken from `params`.
 #[must_use]
 pub fn run(test: &LitmusTest, params: &ModelParams) -> RunResult {
+    run_limited(test, params, &ExploreLimits::from_params(params))
+}
+
+/// [`run`] with explicit exploration limits (thread count, state budget,
+/// and an optional wall-clock deadline).
+#[must_use]
+pub fn run_limited(test: &LitmusTest, params: &ModelParams, limits: &ExploreLimits) -> RunResult {
     let state = build_system(test, params);
     let mut reg_obs = Vec::new();
     test.cond.expr.reg_atoms(&mut reg_obs);
     reg_obs.sort_unstable();
     reg_obs.dedup();
-    let reg_obs: Vec<(usize, Reg)> = reg_obs
-        .into_iter()
-        .map(|(t, g)| (t, Reg::Gpr(g)))
-        .collect();
+    let reg_obs: Vec<(usize, Reg)> = reg_obs.into_iter().map(|(t, g)| (t, Reg::Gpr(g))).collect();
     let mut mem_names = Vec::new();
     test.cond.expr.mem_atoms(&mut mem_names);
     mem_names.sort_unstable();
     mem_names.dedup();
-    let mem_obs: Vec<(u64, usize)> = mem_names
-        .iter()
-        .map(|n| (test.locations[n], 4))
-        .collect();
+    let mem_obs: Vec<(u64, usize)> = mem_names.iter().map(|n| (test.locations[n], 4)).collect();
 
-    let out = explore(&state, &reg_obs, &mem_obs);
+    let out = explore_limited(&state, &reg_obs, &mem_obs, limits);
     let witnessed = out
         .finals
         .iter()
@@ -132,8 +134,23 @@ pub struct CheckReport {
 /// fixed).
 #[must_use]
 pub fn run_entry(entry: &LitmusEntry, params: &ModelParams) -> CheckReport {
+    run_entry_limited(entry, params, &ExploreLimits::from_params(params))
+}
+
+/// [`run_entry`] with explicit exploration limits.
+///
+/// # Panics
+///
+/// Panics if the entry's source fails to parse (library sources are
+/// fixed).
+#[must_use]
+pub fn run_entry_limited(
+    entry: &LitmusEntry,
+    params: &ModelParams,
+    limits: &ExploreLimits,
+) -> CheckReport {
     let test = crate::parse(entry.source).expect("library test parses");
-    let result = run(&test, params);
+    let result = run_limited(&test, params, limits);
     let model_allows = result.witnessed;
     let matches = match entry.expect {
         Expectation::Allowed => model_allows,

@@ -4,7 +4,7 @@
 
 use crate::cond::{CondAtom, CondExpr, Quantifier};
 use crate::test::Expectation;
-use crate::{library, parse, paper_section2_suite, run, run_entry};
+use crate::{library, paper_section2_suite, parse, run, run_entry};
 use ppc_model::ModelParams;
 
 const MP_SRC: &str = r"POWER MP

@@ -33,11 +33,14 @@ pub mod system;
 pub mod thread;
 mod types;
 
-pub use oracle::{explore, run_sequential, ExplorationStats, FinalState, Outcomes};
+pub use oracle::{
+    explore, explore_bounded, explore_limited, run_sequential, ExplorationStats, ExploreLimits,
+    FinalState, Outcomes,
+};
 pub use storage::{StorageState, StorageTransition};
 pub use system::{Program, SystemState, Transition};
 pub use thread::{InstanceId, InstrInstance, ThreadState, ThreadTransition};
-pub use types::{BarrierEv, BarrierId, ModelParams, ThreadId, Write, WriteId};
+pub use types::{resolve_threads, BarrierEv, BarrierId, ModelParams, ThreadId, Write, WriteId};
 
 #[cfg(test)]
 mod storage_tests;

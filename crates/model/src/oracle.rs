@@ -4,13 +4,36 @@
 //! "This lets one either interactively explore or exhaustively compute
 //! the set of all allowed behaviours of intricate test cases, to provide
 //! a reference for hardware and software development" (paper abstract).
+//!
+//! Exhaustive exploration comes in two observably equivalent flavours:
+//!
+//! - a **sequential depth-first search** (the historical implementation),
+//!   used when [`ModelParams::threads`] is `1`;
+//! - a **parallel sharded-frontier breadth-first search** used for
+//!   `threads >= 2`: each round, the frontier is split across worker
+//!   threads, each worker expands its chunk and deduplicates successor
+//!   states against a digest-sharded visited set (one lock per shard, so
+//!   contention is negligible), and the per-worker final-state sets and
+//!   statistics are merged deterministically (final states live in a
+//!   `BTreeSet`, so merge order cannot matter).
+//!
+//! Both flavours visit exactly the same reachable state set, so for any
+//! run that does not exhaust its state budget the resulting
+//! [`Outcomes::finals`] are identical bit for bit — the property the
+//! `parallel_oracle` integration tests pin down. The paper's §8 point
+//! that exhaustive checking is "combinatorially challenging" is exactly
+//! why the parallel engine exists: state expansion (clone + transition
+//! application + eager deterministic progress) dominates the cost and
+//! parallelises embarrassingly.
 
 use crate::system::{SystemState, Transition};
 use crate::thread::ThreadTransition;
-use crate::types::{ThreadId, WriteId};
+use crate::types::{ModelParams, ThreadId, WriteId};
 use ppc_bits::Bv;
 use ppc_idl::Reg;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// One observable final state: the queried registers and memory
 /// locations.
@@ -41,15 +64,61 @@ pub struct ExplorationStats {
     pub transitions: usize,
     /// Final (quiescent) states reached, pre-deduplication.
     pub final_hits: usize,
-    /// Whether the state budget was exhausted (results incomplete).
+    /// Whether the state budget (or deadline) was exhausted (results
+    /// incomplete).
     pub truncated: bool,
 }
 
 /// Default state budget for exhaustive exploration.
-const DEFAULT_MAX_STATES: usize = 5_000_000;
+const DEFAULT_MAX_STATES: usize = ModelParams::DEFAULT_MAX_STATES;
+
+/// Resource limits and parallelism for one exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreLimits {
+    /// Worker threads (`0` = one per available CPU, `1` = sequential).
+    pub threads: usize,
+    /// Distinct-state budget; exceeding it sets
+    /// [`ExplorationStats::truncated`].
+    pub max_states: usize,
+    /// Optional wall-clock deadline; exploration stops (truncated) when
+    /// it passes. Checked between search rounds, so it is a soft bound.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            threads: 1,
+            max_states: DEFAULT_MAX_STATES,
+            deadline: None,
+        }
+    }
+}
+
+impl ExploreLimits {
+    /// The limits implied by a state's [`ModelParams`].
+    #[must_use]
+    pub fn from_params(params: &ModelParams) -> Self {
+        ExploreLimits {
+            threads: params.effective_threads(),
+            max_states: params.max_states,
+            deadline: None,
+        }
+    }
+
+    /// The effective worker-thread count (resolves `threads == 0` to the
+    /// available parallelism).
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        crate::types::resolve_threads(self.threads)
+    }
+}
 
 /// Exhaustively explore all executions of `initial`, observing the given
 /// registers and memory footprints in each reachable final state.
+///
+/// Parallelism and the state budget come from `initial.params`
+/// ([`ModelParams::threads`] / [`ModelParams::max_states`]).
 ///
 /// Final memory values are enumerated over every coherence-consistent
 /// linearisation of the writes covering each queried location (writes to
@@ -61,16 +130,103 @@ pub fn explore(
     reg_obs: &[(ThreadId, Reg)],
     mem_obs: &[(u64, usize)],
 ) -> Outcomes {
-    explore_bounded(initial, reg_obs, mem_obs, DEFAULT_MAX_STATES)
+    explore_limited(
+        initial,
+        reg_obs,
+        mem_obs,
+        &ExploreLimits::from_params(&initial.params),
+    )
 }
 
-/// [`explore`] with an explicit state budget.
+/// [`explore`] with an explicit state budget (single-threaded).
 #[must_use]
 pub fn explore_bounded(
     initial: &SystemState,
     reg_obs: &[(ThreadId, Reg)],
     mem_obs: &[(u64, usize)],
     max_states: usize,
+) -> Outcomes {
+    explore_limited(
+        initial,
+        reg_obs,
+        mem_obs,
+        &ExploreLimits {
+            threads: 1,
+            max_states,
+            deadline: None,
+        },
+    )
+}
+
+/// [`explore`] with explicit limits and parallelism.
+#[must_use]
+pub fn explore_limited(
+    initial: &SystemState,
+    reg_obs: &[(ThreadId, Reg)],
+    mem_obs: &[(u64, usize)],
+    limits: &ExploreLimits,
+) -> Outcomes {
+    let threads = limits.effective_threads();
+    if threads <= 1 {
+        explore_seq(initial, reg_obs, mem_obs, limits)
+    } else {
+        explore_par(initial, reg_obs, mem_obs, threads, limits)
+    }
+}
+
+/// What expanding one state yields.
+struct Expansion {
+    /// Successor states (pre-dedup), or empty for a quiescent state.
+    succs: Vec<SystemState>,
+    /// Transitions fired.
+    transitions: usize,
+    /// Whether the state was quiescent (a final hit).
+    is_final: bool,
+}
+
+/// Expand one state: either classify it as quiescent (collecting its
+/// observable final states into `finals`) or produce its successors.
+/// Shared verbatim by the sequential and parallel engines so they cannot
+/// drift apart.
+fn expand(
+    state: &SystemState,
+    reg_obs: &[(ThreadId, Reg)],
+    mem_obs: &[(u64, usize)],
+    finals: &mut BTreeSet<FinalState>,
+) -> Expansion {
+    let ts = state.enumerate_transitions();
+    let all_finished = state
+        .threads
+        .iter()
+        .all(crate::thread::ThreadState::all_finished);
+    let fetchable = ts
+        .iter()
+        .any(|t| matches!(t, Transition::Thread(ThreadTransition::Fetch { .. })));
+    if all_finished && !fetchable {
+        for fs in extract_finals(state, reg_obs, mem_obs) {
+            finals.insert(fs);
+        }
+        return Expansion {
+            succs: Vec::new(),
+            transitions: 0,
+            is_final: true,
+        };
+    }
+    let transitions = ts.len();
+    let succs = ts.iter().map(|t| state.apply(t)).collect();
+    Expansion {
+        succs,
+        transitions,
+        is_final: false,
+    }
+}
+
+/// The sequential depth-first engine.
+fn explore_seq(
+    initial: &SystemState,
+    reg_obs: &[(ThreadId, Reg)],
+    mem_obs: &[(u64, usize)],
+    limits: &ExploreLimits,
 ) -> Outcomes {
     let mut stats = ExplorationStats::default();
     let mut finals = BTreeSet::new();
@@ -80,31 +236,168 @@ pub fn explore_bounded(
 
     while let Some(state) = stack.pop() {
         stats.states += 1;
-        if stats.states > max_states {
+        if stats.states > limits.max_states {
             stats.truncated = true;
             break;
         }
-        let ts = state.enumerate_transitions();
-        let all_finished = state
-            .threads
-            .iter()
-            .all(crate::thread::ThreadState::all_finished);
-        let fetchable = ts
-            .iter()
-            .any(|t| matches!(t, Transition::Thread(ThreadTransition::Fetch { .. })));
-        if all_finished && !fetchable {
-            stats.final_hits += 1;
-            for fs in extract_finals(&state, reg_obs, mem_obs) {
-                finals.insert(fs);
+        if stats.states % 4096 == 0 {
+            if let Some(d) = limits.deadline {
+                if Instant::now() >= d {
+                    stats.truncated = true;
+                    break;
+                }
             }
+        }
+        let exp = expand(&state, reg_obs, mem_obs, &mut finals);
+        if exp.is_final {
+            stats.final_hits += 1;
             continue;
         }
-        for t in ts {
-            let next = state.apply(&t);
-            stats.transitions += 1;
+        stats.transitions += exp.transitions;
+        for next in exp.succs {
             if seen.insert(next.digest()) {
                 stack.push(next);
             }
+        }
+    }
+    Outcomes { finals, stats }
+}
+
+/// A digest-sharded visited set: one mutexed `HashSet` per shard, shard
+/// chosen by the low digest bits. Workers only contend when two distinct
+/// successor states hash into the same shard at the same moment.
+struct ShardedSeen {
+    shards: Vec<Mutex<HashSet<u64>>>,
+    mask: u64,
+}
+
+impl ShardedSeen {
+    fn new(threads: usize) -> Self {
+        let n = (threads * 16).next_power_of_two();
+        ShardedSeen {
+            shards: (0..n).map(|_| Mutex::new(HashSet::new())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Insert; true iff the digest was new.
+    fn insert(&self, digest: u64) -> bool {
+        let shard = &self.shards[(digest & self.mask) as usize];
+        shard.lock().expect("seen shard poisoned").insert(digest)
+    }
+}
+
+/// Per-worker output of one parallel round.
+struct WorkerOut {
+    next: Vec<SystemState>,
+    finals: BTreeSet<FinalState>,
+    transitions: usize,
+    final_hits: usize,
+}
+
+/// Expand one chunk of the frontier against the shared visited set.
+/// This is the whole body of a parallel worker; the narrow-frontier
+/// inline path calls it directly on the coordinating thread.
+fn expand_chunk(
+    states: &[SystemState],
+    reg_obs: &[(ThreadId, Reg)],
+    mem_obs: &[(u64, usize)],
+    seen: &ShardedSeen,
+) -> WorkerOut {
+    let mut out = WorkerOut {
+        next: Vec::new(),
+        finals: BTreeSet::new(),
+        transitions: 0,
+        final_hits: 0,
+    };
+    for state in states {
+        let exp = expand(state, reg_obs, mem_obs, &mut out.finals);
+        if exp.is_final {
+            out.final_hits += 1;
+            continue;
+        }
+        out.transitions += exp.transitions;
+        for next in exp.succs {
+            if seen.insert(next.digest()) {
+                out.next.push(next);
+            }
+        }
+    }
+    out
+}
+
+/// The parallel sharded-frontier breadth-first engine.
+///
+/// Level-synchronous BFS: each round expands the whole frontier across
+/// `threads` scoped workers. Successor digests are claimed in the shared
+/// sharded visited set, so exactly one worker keeps each newly
+/// discovered state. Because the visited set is keyed by the same
+/// digests the sequential engine uses, both engines visit the same state
+/// set, and merging the per-worker `BTreeSet`s of final states is
+/// order-insensitive — results are deterministic and identical to the
+/// sequential engine's whenever the budget is not exhausted.
+fn explore_par(
+    initial: &SystemState,
+    reg_obs: &[(ThreadId, Reg)],
+    mem_obs: &[(u64, usize)],
+    threads: usize,
+    limits: &ExploreLimits,
+) -> Outcomes {
+    let mut stats = ExplorationStats::default();
+    let mut finals = BTreeSet::new();
+    let seen = ShardedSeen::new(threads);
+    seen.insert(initial.digest());
+    let mut frontier = vec![initial.clone()];
+
+    while !frontier.is_empty() {
+        // Budget: process at most the remaining allowance this round.
+        let remaining = limits.max_states.saturating_sub(stats.states);
+        if remaining == 0 {
+            stats.truncated = true;
+            break;
+        }
+        if let Some(d) = limits.deadline {
+            if Instant::now() >= d {
+                stats.truncated = true;
+                break;
+            }
+        }
+        if frontier.len() > remaining {
+            frontier.truncate(remaining);
+            stats.truncated = true;
+        }
+        stats.states += frontier.len();
+
+        // Narrow frontiers (the first/last BFS levels of every test, and
+        // most levels of deep-narrow state spaces) are cheaper to expand
+        // inline than to split across freshly spawned workers. The inline
+        // path uses the same shared visited set and the same merge, so
+        // the visited state set — and hence `finals` — is unchanged.
+        let outs: Vec<WorkerOut> = if frontier.len() < threads * 4 {
+            vec![expand_chunk(&frontier, reg_obs, mem_obs, &seen)]
+        } else {
+            let chunk = frontier.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk)
+                    .map(|states| {
+                        let seen = &seen;
+                        s.spawn(move || expand_chunk(states, reg_obs, mem_obs, seen))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("exploration worker panicked"))
+                    .collect()
+            })
+        };
+
+        frontier = Vec::with_capacity(outs.iter().map(|o| o.next.len()).sum());
+        for out in outs {
+            stats.transitions += out.transitions;
+            stats.final_hits += out.final_hits;
+            finals.extend(out.finals);
+            frontier.extend(out.next);
         }
     }
     Outcomes { finals, stats }
@@ -159,7 +452,15 @@ fn final_values_at(state: &SystemState, addr: u64, size: usize) -> Vec<Bv> {
     let mut values = BTreeSet::new();
     let mut order = Vec::new();
     let mut used = vec![false; covering.len()];
-    permute(state, &covering, &mut used, &mut order, addr, size, &mut values);
+    permute(
+        state,
+        &covering,
+        &mut used,
+        &mut order,
+        addr,
+        size,
+        &mut values,
+    );
     values.into_iter().collect()
 }
 
@@ -232,7 +533,10 @@ pub fn run_sequential(initial: &SystemState, max_steps: usize) -> (SystemState, 
             Some(t) => {
                 state = state.apply(&t);
                 steps += 1;
-                assert!(steps <= max_steps, "sequential run exceeded {max_steps} steps");
+                assert!(
+                    steps <= max_steps,
+                    "sequential run exceeded {max_steps} steps"
+                );
             }
             None => return (state, steps),
         }
@@ -241,9 +545,9 @@ pub fn run_sequential(initial: &SystemState, max_steps: usize) -> (SystemState, 
 
 fn choose_sequential(state: &SystemState, ts: &[Transition]) -> Option<Transition> {
     // 1. Non-fetch thread transitions.
-    if let Some(t) = ts.iter().find(|t| {
-        matches!(t, Transition::Thread(tt) if !matches!(tt, ThreadTransition::Fetch { .. }))
-    }) {
+    if let Some(t) = ts.iter().find(
+        |t| matches!(t, Transition::Thread(tt) if !matches!(tt, ThreadTransition::Fetch { .. })),
+    ) {
         return Some(t.clone());
     }
     // 2. Storage transitions.

@@ -41,7 +41,10 @@ impl SystemState {
                 .map(|e| match e {
                     StorageEvent::W(w) => self.render_write(*w),
                     StorageEvent::B(b) => {
-                        format!("Barrier {:?} by Thread {}", self.storage.barriers[b].kind, self.storage.barriers[b].tid)
+                        format!(
+                            "Barrier {:?} by Thread {}",
+                            self.storage.barriers[b].kind, self.storage.barriers[b].tid
+                        )
                     }
                 })
                 .collect();
@@ -68,10 +71,18 @@ impl SystemState {
                     inst.instr.to_asm(),
                     if inst.finished { "  [finished]" } else { "" }
                 );
-                let regs_in: Vec<String> =
-                    inst.static_fp.regs_in.iter().map(ToString::to_string).collect();
-                let regs_out: Vec<String> =
-                    inst.static_fp.regs_out.iter().map(ToString::to_string).collect();
+                let regs_in: Vec<String> = inst
+                    .static_fp
+                    .regs_in
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+                let regs_out: Vec<String> = inst
+                    .static_fp
+                    .regs_out
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
                 let nias: Vec<String> = inst
                     .static_fp
                     .nias
@@ -91,7 +102,8 @@ impl SystemState {
                 );
                 for w in &inst.mem_writes {
                     if let Some(id) = w.committed {
-                        let _ = writeln!(out, "    committed memory write: {}", self.render_write(id));
+                        let _ =
+                            writeln!(out, "    committed memory write: {}", self.render_write(id));
                     } else {
                         let _ = writeln!(
                             out,
@@ -144,11 +156,10 @@ impl SystemState {
                     format!("({tid}) Fetch from address 0x{addr:x}: {name}")
                 }
                 ThreadTransition::SatisfyReadForward {
-                    tid,
-                    ioid,
-                    from,
-                    ..
-                } => format!("({tid}:{ioid}) Satisfy memory read by forwarding from instance {from}"),
+                    tid, ioid, from, ..
+                } => {
+                    format!("({tid}:{ioid}) Satisfy memory read by forwarding from instance {from}")
+                }
                 ThreadTransition::SatisfyReadStorage { tid, ioid } => {
                     format!("({tid}:{ioid}) Memory read request from storage")
                 }
@@ -168,7 +179,10 @@ impl SystemState {
             },
             Transition::Storage(st) => match st {
                 crate::storage::StorageTransition::PropagateWrite { write, to } => {
-                    format!("Propagate write to thread: {} to Thread {to}", self.render_write(*write))
+                    format!(
+                        "Propagate write to thread: {} to Thread {to}",
+                        self.render_write(*write)
+                    )
                 }
                 crate::storage::StorageTransition::PropagateBarrier { barrier, to } => {
                     format!("Propagate barrier {barrier:?} to Thread {to}")

@@ -280,9 +280,7 @@ impl StorageState {
         let Some(b) = self.barriers.get(&barrier) else {
             return false;
         };
-        if to >= self.threads
-            || self.events_propagated_to[to].contains(&StorageEvent::B(barrier))
-        {
+        if to >= self.threads || self.events_propagated_to[to].contains(&StorageEvent::B(barrier)) {
             return false;
         }
         self.prefix_before(b.tid, StorageEvent::B(barrier))
@@ -347,9 +345,7 @@ impl StorageState {
             for &b in &ids[i + 1..] {
                 let wa = &self.writes[&a];
                 let wb = &self.writes[&b];
-                if wa.overlaps(wb.addr, wb.size)
-                    && !self.coh_before(a, b)
-                    && !self.coh_before(b, a)
+                if wa.overlaps(wb.addr, wb.size) && !self.coh_before(a, b) && !self.coh_before(b, a)
                 {
                     out.push((a, b));
                     out.push((b, a));
@@ -384,7 +380,10 @@ impl StorageState {
         }
         if coherence_commitments {
             for (a, b) in self.unrelated_overlapping_pairs() {
-                out.push(StorageTransition::PartialCoherence { first: a, second: b });
+                out.push(StorageTransition::PartialCoherence {
+                    first: a,
+                    second: b,
+                });
             }
         }
         out

@@ -27,7 +27,9 @@ use crate::thread::{
 };
 use crate::types::{BarrierEv, BarrierId, ModelParams, ThreadId, Write, WriteId, INIT_TID};
 use ppc_bits::Bv;
-use ppc_idl::{analyze, BarrierKind, Footprint, InstrState, Outcome, ReadKind, Reg, Sem, WriteKind};
+use ppc_idl::{
+    analyze, BarrierKind, Footprint, InstrState, Outcome, ReadKind, Reg, Sem, WriteKind,
+};
 use ppc_isa::Instruction;
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
@@ -223,7 +225,11 @@ impl SystemState {
             let outcome = {
                 let inst = self.threads[tid].instances.get_mut(&id).expect("live");
                 inst.state.step().unwrap_or_else(|e| {
-                    panic!("instruction {} at 0x{:x}: {e}", inst.instr.mnemonic(), inst.addr)
+                    panic!(
+                        "instruction {} at 0x{:x}: {e}",
+                        inst.instr.mnemonic(),
+                        inst.addr
+                    )
                 })
             };
             changed = true;
@@ -235,9 +241,7 @@ impl SystemState {
                 Outcome::WriteReg { slice, value } => {
                     let inst = self.threads[tid].instances.get_mut(&id).expect("live");
                     if slice.reg == Reg::Nia {
-                        let nia = value
-                            .to_u64()
-                            .expect("NIA written with an undefined value");
+                        let nia = value.to_u64().expect("NIA written with an undefined value");
                         inst.nia = Some(nia);
                     } else {
                         inst.reg_writes.push((slice, value));
@@ -299,7 +303,13 @@ impl SystemState {
     /// Restart every po-later read that overlaps a newly determined write
     /// of instance `k` but was satisfied from something po-before it (or
     /// from storage, which at this point cannot include the new write).
-    fn restart_reads_skipping_write(&mut self, tid: ThreadId, k: InstanceId, addr: u64, size: usize) {
+    fn restart_reads_skipping_write(
+        &mut self,
+        tid: ThreadId,
+        k: InstanceId,
+        addr: u64,
+        size: usize,
+    ) {
         let th = &self.threads[tid];
         let mut seed = BTreeSet::new();
         for d in th.descendants(k) {
@@ -335,8 +345,7 @@ impl SystemState {
         loop {
             let mut changed = false;
             for id in self.threads[tid].instance_ids() {
-                if self.threads[tid].instances.contains_key(&id) && self.advance_instance(tid, id)
-                {
+                if self.threads[tid].instances.contains_key(&id) && self.advance_instance(tid, id) {
                     changed = true;
                 }
             }
@@ -428,10 +437,7 @@ impl SystemState {
                 }
                 for t in targets {
                     if self.program.contains(t)
-                        && !inst
-                            .children
-                            .iter()
-                            .any(|c| th.instances[c].addr == t)
+                        && !inst.children.iter().any(|c| th.instances[c].addr == t)
                     {
                         out.push(Transition::Thread(ThreadTransition::Fetch {
                             tid,
@@ -520,9 +526,7 @@ impl SystemState {
             }
 
             // Barrier commit.
-            if inst.barrier.is_some()
-                && !inst.barrier_committed
-                && self.can_commit_barrier(tid, id)
+            if inst.barrier.is_some() && !inst.barrier_committed && self.can_commit_barrier(tid, id)
             {
                 out.push(Transition::Thread(ThreadTransition::CommitBarrier {
                     tid,
@@ -532,7 +536,10 @@ impl SystemState {
 
             // Finish.
             if self.can_finish(tid, id) {
-                out.push(Transition::Thread(ThreadTransition::Finish { tid, ioid: id }));
+                out.push(Transition::Thread(ThreadTransition::Finish {
+                    tid,
+                    ioid: id,
+                }));
             }
         }
     }
@@ -604,10 +611,11 @@ impl SystemState {
             if !k.done && !k.dyn_fp.mem_writes.is_determined() {
                 return false;
             }
-            if k.mem_writes
-                .iter()
-                .any(|w| w.committed.is_none() && w.addr < addr + size as u64 && addr < w.addr + w.size as u64)
-            {
+            if k.mem_writes.iter().any(|w| {
+                w.committed.is_none()
+                    && w.addr < addr + size as u64
+                    && addr < w.addr + w.size as u64
+            }) {
                 return false;
             }
             if !k.done && k.dyn_fp.mem_writes.may_overlap(addr, size) {
@@ -659,17 +667,9 @@ impl SystemState {
         }
         // Barrier obligations of this instruction itself.
         match inst.barrier {
-            Some(BarrierKind::Sync) => {
-                if !inst.barrier_acked {
-                    return false;
-                }
-            }
-            Some(_) => {
-                if !inst.barrier_committed {
-                    return false;
-                }
-            }
-            None => {}
+            Some(BarrierKind::Sync) if !inst.barrier_acked => return false,
+            Some(k) if k != BarrierKind::Sync && !inst.barrier_committed => return false,
+            _ => {}
         }
         // All writes committed (or decided, for stcx).
         if inst
@@ -753,8 +753,9 @@ impl SystemState {
                     from,
                     windex,
                 } => {
-                    let (addr, size, reserve) =
-                        self.threads[*tid].instances[ioid].pending_read.expect("pending");
+                    let (addr, size, reserve) = self.threads[*tid].instances[ioid]
+                        .pending_read
+                        .expect("pending");
                     assert!(!reserve, "load-reserve satisfies from storage");
                     let value = {
                         let src = &self.threads[*tid].instances[from].mem_writes[*windex];
@@ -774,8 +775,9 @@ impl SystemState {
                     );
                 }
                 ThreadTransition::SatisfyReadStorage { tid, ioid } => {
-                    let (addr, size, reserve) =
-                        self.threads[*tid].instances[ioid].pending_read.expect("pending");
+                    let (addr, size, reserve) = self.threads[*tid].instances[ioid]
+                        .pending_read
+                        .expect("pending");
                     let (value, sources) = self.storage.read(*tid, addr, size);
                     if reserve {
                         self.threads[*tid].reservation = Some((addr, size));
@@ -925,7 +927,9 @@ impl SystemState {
             let inst = self.threads[tid].instances.get_mut(&ioid).expect("live");
             inst.pending_read = None;
             inst.mem_reads.push(read.clone());
-            inst.state.resume_mem(read.value.clone()).expect("pending mem");
+            inst.state
+                .resume_mem(read.value.clone())
+                .expect("pending mem");
         }
         // Coherence-order restart check on po-later satisfied reads.
         let th = &self.threads[tid];
@@ -1057,6 +1061,14 @@ impl SystemState {
                 inst.nia.hash(&mut h);
             }
         }
+        // Hash the *content* behind every event id, not just the ids:
+        // write/barrier ids are allocated in path order, so the same id
+        // can denote different events on different interleavings. Ids
+        // alone would make semantically different states collide (and
+        // id-mentioning structures like coherence ambiguous), losing
+        // states in an order-dependent way.
+        self.storage.writes.hash(&mut h);
+        self.storage.barriers.hash(&mut h);
         self.storage.writes_seen.hash(&mut h);
         self.storage.coherence.hash(&mut h);
         self.storage.events_propagated_to.hash(&mut h);

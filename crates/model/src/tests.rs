@@ -55,6 +55,7 @@ pub(crate) fn asm_thread(lines: &[&str]) -> Vec<Instruction> {
 /// Build a system: `threads` are (code lines, initial `(reg, value)`
 /// pairs). All four locations get 8-byte zero initial writes unless
 /// overridden in `mem_init`.
+#[allow(clippy::type_complexity)]
 pub(crate) fn sys(
     threads: &[(&[&str], &[(u8, u64)])],
     mem_init: &[(u64, u64)],
@@ -116,10 +117,7 @@ pub(crate) fn reg_outcomes(
         .collect()
 }
 
-fn observed(
-    outs: &[BTreeMap<(usize, u8), u64>],
-    want: &[((usize, u8), u64)],
-) -> bool {
+fn observed(outs: &[BTreeMap<(usize, u8), u64>], want: &[((usize, u8), u64)]) -> bool {
     outs.iter()
         .any(|o| want.iter().all(|(k, v)| o.get(k) == Some(v)))
 }
@@ -195,13 +193,7 @@ fn mp_sync_ctrl_allowed() {
                 &[(1, X), (2, Y), (7, 1), (8, 1)],
             ),
             (
-                &[
-                    "lwz r5,0(r2)",
-                    "cmpw r5,r7",
-                    "beq L",
-                    "L:",
-                    "lwz r4,0(r1)",
-                ],
+                &["lwz r5,0(r2)", "cmpw r5,r7", "beq L", "L:", "lwz r4,0(r1)"],
                 &[(1, X), (2, Y), (7, 1)],
             ),
         ],
@@ -402,14 +394,8 @@ fn ppoaa_forbidden() {
 fn lb_allowed() {
     let s = sys(
         &[
-            (
-                &["lwz r5,0(r1)", "stw r9,0(r2)"],
-                &[(1, X), (2, Y), (9, 1)],
-            ),
-            (
-                &["lwz r6,0(r2)", "stw r9,0(r1)"],
-                &[(1, X), (2, Y), (9, 1)],
-            ),
+            (&["lwz r5,0(r1)", "stw r9,0(r2)"], &[(1, X), (2, Y), (9, 1)]),
+            (&["lwz r6,0(r2)", "stw r9,0(r1)"], &[(1, X), (2, Y), (9, 1)]),
         ],
         &[],
         ModelParams::default(),
@@ -456,11 +442,21 @@ fn lb_addrs_ww_forbidden() {
         &[
             (
                 // address dependency: z + (r5 xor r5)
-                &["lwz r5,0(r1)", "xor r10,r5,r5", "stwx r9,r10,r3", "stw r9,0(r2)"],
+                &[
+                    "lwz r5,0(r1)",
+                    "xor r10,r5,r5",
+                    "stwx r9,r10,r3",
+                    "stw r9,0(r2)",
+                ],
                 &[(1, X), (2, Y), (3, Z), (9, 1)],
             ),
             (
-                &["lwz r6,0(r2)", "xor r10,r6,r6", "stwx r9,r10,r4", "stw r9,0(r1)"],
+                &[
+                    "lwz r6,0(r2)",
+                    "xor r10,r6,r6",
+                    "stwx r9,r10,r4",
+                    "stw r9,0(r1)",
+                ],
                 &[(1, X), (2, Y), (4, W), (9, 1)],
             ),
         ],
@@ -481,7 +477,10 @@ fn lb_addrs_ww_forbidden() {
 fn mp_allowed() {
     let s = sys(
         &[
-            (&["stw r7,0(r1)", "stw r8,0(r2)"], &[(1, X), (2, Y), (7, 1), (8, 1)]),
+            (
+                &["stw r7,0(r1)", "stw r8,0(r2)"],
+                &[(1, X), (2, Y), (7, 1), (8, 1)],
+            ),
             (&["lwz r5,0(r2)", "lwz r4,0(r1)"], &[(1, X), (2, Y)]),
         ],
         &[],
@@ -502,10 +501,7 @@ fn mp_syncs_forbidden() {
                 &["stw r7,0(r1)", "sync", "stw r8,0(r2)"],
                 &[(1, X), (2, Y), (7, 1), (8, 1)],
             ),
-            (
-                &["lwz r5,0(r2)", "sync", "lwz r4,0(r1)"],
-                &[(1, X), (2, Y)],
-            ),
+            (&["lwz r5,0(r2)", "sync", "lwz r4,0(r1)"], &[(1, X), (2, Y)]),
         ],
         &[],
         ModelParams::default(),
@@ -692,10 +688,7 @@ fn rdw_forbidden() {
     // (second z read) = 0 (the old), with the x read stale.
     let outs = reg_outcomes(&s, &[(1, 5), (1, 6), (1, 7), (1, 8)]);
     assert!(
-        !observed(
-            &outs,
-            &[((1, 5), 1), ((1, 6), 1), ((1, 7), 0), ((1, 8), 0)]
-        ),
+        !observed(&outs, &[((1, 5), 1), ((1, 6), 1), ((1, 7), 0), ((1, 8), 0)]),
         "RDW: reading different writes forbids the stale x; got {outs:?}"
     );
 }
@@ -724,8 +717,14 @@ fn coww_final_value() {
 fn two_plus_two_w() {
     let s = sys(
         &[
-            (&["stw r7,0(r1)", "stw r8,0(r2)"], &[(1, X), (2, Y), (7, 1), (8, 2)]),
-            (&["stw r7,0(r2)", "stw r8,0(r1)"], &[(1, X), (2, Y), (7, 1), (8, 2)]),
+            (
+                &["stw r7,0(r1)", "stw r8,0(r2)"],
+                &[(1, X), (2, Y), (7, 1), (8, 2)],
+            ),
+            (
+                &["stw r7,0(r2)", "stw r8,0(r1)"],
+                &[(1, X), (2, Y), (7, 1), (8, 2)],
+            ),
         ],
         &[],
         ModelParams::default(),
@@ -738,7 +737,11 @@ fn two_plus_two_w() {
         .collect();
     // x ∈ {1 (t0), 2 (t1)}, y ∈ {2 (t0), 1 (t1)} — all four combinations
     // reachable without barriers.
-    assert_eq!(pairs.len(), 4, "2+2W should reach all four final pairs; got {pairs:?}");
+    assert_eq!(
+        pairs.len(),
+        4,
+        "2+2W should reach all four final pairs; got {pairs:?}"
+    );
 }
 
 // ---- cumulativity -------------------------------------------------------
@@ -774,10 +777,7 @@ fn wrc_pos_allowed() {
     let s = sys(
         &[
             (&["stw r7,0(r1)"], &[(1, X), (7, 1)]),
-            (
-                &["lwz r5,0(r1)", "stw r7,0(r2)"],
-                &[(1, X), (2, Y), (7, 1)],
-            ),
+            (&["lwz r5,0(r1)", "stw r7,0(r2)"], &[(1, X), (2, Y), (7, 1)]),
             (
                 &["lwz r6,0(r2)", "xor r9,r6,r6", "lwzx r4,r9,r1"],
                 &[(1, X), (2, Y)],

@@ -189,9 +189,7 @@ impl InstrInstance {
             let fp = Arc::make_mut(&mut self.dyn_fp);
             fp.mem_reads = ppc_idl::AccessSet::None;
             fp.mem_writes = ppc_idl::AccessSet::None;
-        } else if self.static_fp.mem_reads.may_access()
-            || self.static_fp.mem_writes.may_access()
-        {
+        } else if self.static_fp.mem_reads.may_access() || self.static_fp.mem_writes.may_access() {
             self.dyn_fp = Arc::new(analyze_from(&self.state));
         }
         // Otherwise the static footprint (no memory access) stays exact.
@@ -210,10 +208,7 @@ impl InstrInstance {
             self.mem_writes.iter().all(|w| w.committed.is_none()),
             "committed writes cannot restart"
         );
-        assert!(
-            !self.barrier_committed,
-            "committed barriers cannot restart"
-        );
+        assert!(!self.barrier_committed, "committed barriers cannot restart");
         self.state = InstrState::new(self.sem.clone());
         self.dyn_fp = self.static_fp.clone();
         self.reg_reads.clear();
@@ -426,8 +421,9 @@ impl ThreadState {
             return;
         };
         let children = self.instances[&id].children.clone();
-        let (keep, drop): (Vec<_>, Vec<_>) =
-            children.into_iter().partition(|c| self.instances[c].addr == nia);
+        let (keep, drop): (Vec<_>, Vec<_>) = children
+            .into_iter()
+            .partition(|c| self.instances[c].addr == nia);
         self.instances.get_mut(&id).expect("exists").children = keep;
         for d in drop {
             for sub in self.descendants(d) {

@@ -90,6 +90,39 @@ pub struct ModelParams {
     /// permits it; turning it off prunes the failure branch when a valid
     /// reservation is held, useful to keep lock-based tests small).
     pub allow_spurious_stcx_failure: bool,
+    /// Worker threads used by exhaustive exploration. `1` runs the
+    /// sequential depth-first search; `>= 2` runs the sharded-frontier
+    /// parallel search, which visits exactly the same state set (and so
+    /// produces identical `Outcomes::finals`) whenever the state budget
+    /// is not exhausted. `0` means "one worker per available CPU".
+    pub threads: usize,
+    /// State budget for exhaustive exploration; beyond it the search
+    /// stops and `ExplorationStats::truncated` is set.
+    pub max_states: usize,
+}
+
+/// Resolve a worker-count knob: `0` means one worker per available CPU.
+/// The single definition of what `threads == 0` / `jobs == 0` means,
+/// shared by [`ModelParams`], `ExploreLimits`, and the litmus harness.
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+impl ModelParams {
+    /// Default state budget for exhaustive exploration.
+    pub const DEFAULT_MAX_STATES: usize = 5_000_000;
+
+    /// The effective worker-thread count (resolves `threads == 0` to the
+    /// available parallelism).
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
 }
 
 impl Default for ModelParams {
@@ -98,6 +131,8 @@ impl Default for ModelParams {
             max_instances_per_thread: 32,
             coherence_commitments: false,
             allow_spurious_stcx_failure: false,
+            threads: 1,
+            max_states: Self::DEFAULT_MAX_STATES,
         }
     }
 }

@@ -178,9 +178,11 @@ impl SeqMachine {
                 }
                 Outcome::WriteReg { slice, value } => {
                     if slice.reg == Reg::Nia {
-                        nia = Some(value.to_u64().ok_or(SeqError::Interp(
-                            ppc_idl::IdlError::UndefAddress,
-                        ))?);
+                        nia = Some(
+                            value
+                                .to_u64()
+                                .ok_or(SeqError::Interp(ppc_idl::IdlError::UndefAddress))?,
+                        );
                     } else {
                         self.write_slice(slice, value);
                     }

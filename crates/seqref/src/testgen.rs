@@ -10,12 +10,13 @@
 //! compared *up to undef*.
 
 use crate::machine::{MachineState, SeqMachine};
+use ppc_bits::rng::Prng;
 use ppc_bits::Bv;
 use ppc_idl::Reg;
-use ppc_isa::{ArithOp, Ea, Instruction, LogImmOp, LogOp, RldOp, RldcOp, ShiftOp, SprName, UnaryOp};
+use ppc_isa::{
+    ArithOp, Ea, Instruction, LogImmOp, LogOp, RldOp, RldcOp, ShiftOp, SprName, UnaryOp,
+};
 use ppc_model::{run_sequential, ModelParams, Program, SystemState};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -36,7 +37,7 @@ pub struct SeqTest {
     pub init: MachineState,
 }
 
-fn rand_reg_value(rng: &mut StdRng) -> u64 {
+fn rand_reg_value(rng: &mut Prng) -> u64 {
     // Interesting values: small, boundary, random.
     match rng.gen_range(0..6u8) {
         0 => 0,
@@ -48,7 +49,7 @@ fn rand_reg_value(rng: &mut StdRng) -> u64 {
     }
 }
 
-fn base_state(rng: &mut StdRng) -> MachineState {
+fn base_state(rng: &mut Prng) -> MachineState {
     let mut st = MachineState::default();
     for n in 0..32u8 {
         st.regs
@@ -59,8 +60,7 @@ fn base_state(rng: &mut StdRng) -> MachineState {
     // XER: random SO/OV/CA bits only.
     let xer = (u64::from(rng.gen::<u8>() & 0b111)) << 29;
     st.regs.insert(Reg::Xer, Bv::from_u64(xer, 64));
-    st.regs
-        .insert(Reg::Lr, Bv::from_u64(CODE_ADDR + 0x40, 64));
+    st.regs.insert(Reg::Lr, Bv::from_u64(CODE_ADDR + 0x40, 64));
     st.regs
         .insert(Reg::Ctr, Bv::from_u64(rng.gen_range(0..4), 64));
     // Scratch memory with random bytes.
@@ -86,13 +86,13 @@ fn pin_index(st: &mut MachineState, rb: u8) {
 }
 
 /// A random GPR number.
-fn r(rng: &mut StdRng) -> u8 {
+fn r(rng: &mut Prng) -> u8 {
     rng.gen_range(0..32)
 }
 
 /// A random non-zero GPR number different from `avoid` (memory tests pin
 /// base and index registers separately, so they must not collide).
-fn r_distinct(rng: &mut StdRng, avoid: u8) -> u8 {
+fn r_distinct(rng: &mut Prng, avoid: u8) -> u8 {
     loop {
         let c = rng.gen_range(1..32);
         if c != avoid {
@@ -106,12 +106,12 @@ fn r_distinct(rng: &mut StdRng, avoid: u8) -> u8 {
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn generate_tests(seed: u64, per_config: usize) -> Vec<SeqTest> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     // A second stream for instruction *fields*, so field choice and
     // machine-state generation don't fight over one borrow.
-    let mut frng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let mut frng = Prng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
     let mut out = Vec::new();
-    let mut push = |rng: &mut StdRng, instr: Instruction, fix: &dyn Fn(&mut MachineState)| {
+    let mut push = |rng: &mut Prng, instr: Instruction, fix: &dyn Fn(&mut MachineState)| {
         if instr.is_invalid() {
             return;
         }
@@ -125,7 +125,6 @@ pub fn generate_tests(seed: u64, per_config: usize) -> Vec<SeqTest> {
             });
         }
     };
-
 
     // ---- arithmetic (OE/Rc exhaustive) --------------------------------
     for op in [
@@ -475,6 +474,7 @@ pub fn generate_tests(seed: u64, per_config: usize) -> Vec<SeqTest> {
             pin_index(st, rb);
         });
         // D-form where it exists.
+        #[allow(clippy::nonminimal_bool)]
         if !byterev && !(size == 4 && algebraic && update) {
             let (rt, ra) = (r(&mut frng), frng.gen_range(1..32));
             let d_raw = frng.gen_range(-0x40i64..0x40);
@@ -540,11 +540,9 @@ pub fn generate_tests(seed: u64, per_config: usize) -> Vec<SeqTest> {
     }
     // Multiple/string.
     let rt = frng.gen_range(26..32);
-    push(
-        &mut rng,
-        Instruction::Lmw { rt, ra: 1, d: 8 },
-        &|st| pin_base(st, 1, 8),
-    );
+    push(&mut rng, Instruction::Lmw { rt, ra: 1, d: 8 }, &|st| {
+        pin_base(st, 1, 8)
+    });
     push(
         &mut rng,
         Instruction::Stmw {
@@ -604,8 +602,22 @@ pub fn generate_tests(seed: u64, per_config: usize) -> Vec<SeqTest> {
         &|_| {},
     );
     for spr in [SprName::Lr, SprName::Ctr, SprName::Xer] {
-        push(&mut rng, Instruction::Mfspr { rt: r(&mut frng), spr }, &|_| {});
-        push(&mut rng, Instruction::Mtspr { spr, rs: r(&mut frng) }, &|_| {});
+        push(
+            &mut rng,
+            Instruction::Mfspr {
+                rt: r(&mut frng),
+                spr,
+            },
+            &|_| {},
+        );
+        push(
+            &mut rng,
+            Instruction::Mtspr {
+                spr,
+                rs: r(&mut frng),
+            },
+            &|_| {},
+        );
     }
     push(&mut rng, Instruction::Mfcr { rt: r(&mut frng) }, &|_| {});
     push(
@@ -664,15 +676,24 @@ pub fn generate_tests(seed: u64, per_config: usize) -> Vec<SeqTest> {
     }
     push(
         &mut rng,
-        Instruction::Bclr { bo: 20, bi: 0, bh: 0, lk: false },
+        Instruction::Bclr {
+            bo: 20,
+            bi: 0,
+            bh: 0,
+            lk: false,
+        },
         &|_| {},
     );
     push(
         &mut rng,
-        Instruction::Bcctr { bo: 20, bi: 0, bh: 0, lk: false },
+        Instruction::Bcctr {
+            bo: 20,
+            bi: 0,
+            bh: 0,
+            lk: false,
+        },
         &|st| {
-            st.regs
-                .insert(Reg::Ctr, Bv::from_u64(CODE_ADDR + 0x20, 64));
+            st.regs.insert(Reg::Ctr, Bv::from_u64(CODE_ADDR + 0x20, 64));
         },
     );
 

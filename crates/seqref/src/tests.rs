@@ -23,13 +23,7 @@ fn straight_line_arithmetic() {
 
 #[test]
 fn loop_runs_to_completion() {
-    let mut m = machine(&[
-        "li r1,10",
-        "mtctr r1",
-        "li r2,0",
-        "addi r2,r2,3",
-        "bdnz -4",
-    ]);
+    let mut m = machine(&["li r1,10", "mtctr r1", "li r2,0", "addi r2,r2,3", "bdnz -4"]);
     m.run(200).expect("runs");
     assert_eq!(m.state.reg(Reg::Gpr(2)).to_u64(), Some(30));
 }
@@ -66,10 +60,7 @@ fn compatibility_up_to_undef() {
 fn generator_covers_the_isa() {
     let tests = generate_tests(7, 1);
     // One state per shape still covers > 150 distinct encodings.
-    let mut mnemonics: Vec<String> = tests
-        .iter()
-        .map(|t| t.instr.mnemonic())
-        .collect();
+    let mut mnemonics: Vec<String> = tests.iter().map(|t| t.instr.mnemonic()).collect();
     mnemonics.sort();
     mnemonics.dedup();
     assert!(

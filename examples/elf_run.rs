@@ -16,7 +16,7 @@ use std::sync::Arc;
 fn main() {
     // A small program: counter = counter * 2 + 5.
     let code: Vec<ppcmem::isa::Instruction> = [
-        "lis r9,0x2000",      // r9 = &counter (0x2000_0000 >> 16 = 0x2000)
+        "lis r9,0x2000", // r9 = &counter (0x2000_0000 >> 16 = 0x2000)
         "lwz r5,0(r9)",
         "mulli r5,r5,2",
         "addi r5,r5,5",

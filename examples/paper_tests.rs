@@ -10,7 +10,10 @@ use ppcmem::model::ModelParams;
 
 fn main() {
     println!("The paper's §2 tests, model verdict vs the paper:");
-    println!("{:<18} {:>10} {:>10} {:>8}", "test", "model", "paper", "match");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}",
+        "test", "model", "paper", "match"
+    );
     println!("{}", "-".repeat(50));
     let params = ModelParams::default();
     let mut all_ok = true;

@@ -21,14 +21,11 @@ use std::sync::Arc;
 const COUNTER: u64 = 0x1000;
 
 fn main() {
-    let atomic_inc: Vec<ppcmem::isa::Instruction> = [
-        "lwarx r5,r0,r1",
-        "addi r5,r5,1",
-        "stwcx. r5,r0,r1",
-    ]
-    .iter()
-    .map(|s| ppcmem::isa::parse_asm(s).expect("asm"))
-    .collect();
+    let atomic_inc: Vec<ppcmem::isa::Instruction> =
+        ["lwarx r5,r0,r1", "addi r5,r5,1", "stwcx. r5,r0,r1"]
+            .iter()
+            .map(|s| ppcmem::isa::parse_asm(s).expect("asm"))
+            .collect();
 
     let program = Arc::new(Program::from_threads(&[
         (0x5_0000, atomic_inc.clone()),

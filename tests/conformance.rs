@@ -1,0 +1,195 @@
+//! Litmus conformance: the paper's §2 suite, one test per entry, plus a
+//! budgeted sweep over the full built-in library through the batch
+//! harness (the complete, unbudgeted library and generated families run
+//! in the `conformance` binary and the `#[ignore]`d sweeps below).
+
+use ppcmem::litmus::harness::{run_suite, HarnessConfig};
+use ppcmem::litmus::{generated_suite, library, paper_section2_suite, run_entry, LitmusEntry};
+use ppcmem::model::ModelParams;
+
+fn check_entry(name: &str) {
+    let entry = paper_section2_suite()
+        .into_iter()
+        .chain(library())
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("{name} in library"));
+    let report = run_entry(&entry, &ModelParams::default());
+    assert!(
+        report.matches,
+        "{name}: model witnessed={}, paper says {} (pinned by {})",
+        report.result.witnessed, report.expect, entry.pinned_by
+    );
+}
+
+// ---- §2: one test per printed example, with the paper's verdict -------
+
+/// §2.1.1 — speculative execution: control dependency alone does not
+/// order the reads (Allowed).
+#[test]
+fn paper_s2_mp_sync_ctrl() {
+    check_entry("MP+sync+ctrl");
+}
+
+/// §2.1.2 — no per-thread shadow register state: register reuse does
+/// not order the reads (Allowed).
+#[test]
+fn paper_s2_mp_sync_rs() {
+    check_entry("MP+sync+rs");
+}
+
+/// §2.1.4 — register granularity: writing CR3 and reading CR4 carries
+/// no dependency (Allowed).
+#[test]
+fn paper_s2_mp_sync_addr_cr() {
+    check_entry("MP+sync+addr-cr");
+}
+
+/// §2.1.5 — forwarding from uncommitted speculative writes (Allowed).
+#[test]
+fn paper_s2_ppoca() {
+    check_entry("PPOCA");
+}
+
+/// §2.1.6 — store footprints determined after address reads only: data
+/// dependencies into the middle writes leave the last writes free
+/// (Allowed).
+#[test]
+fn paper_s2_lb_datas_ww() {
+    check_entry("LB+datas+WW");
+}
+
+/// §2.1.6 — undetermined middle-write *addresses* block the last writes
+/// (Forbidden).
+#[test]
+fn paper_s2_lb_addrs_ww() {
+    check_entry("LB+addrs+WW");
+}
+
+// ---- the full built-in library, budgeted -------------------------------
+
+/// Library tests known to exceed the sweep's per-test state budget;
+/// they are covered unbudgeted by the `#[ignore]`d sweep below and by
+/// the `conformance` binary.
+const BIG_TESTS: &[&str] = &[
+    "PPOCA",
+    "LB+datas+WW",
+    "LB+addrs+WW",
+    "SB+lwsyncs",
+    "PPOAA",
+    "WRC+lwsync+addr",
+    "2+2W+syncs",
+];
+
+/// Every library test either matches its expectation conclusively or is
+/// one of the known-big tests whose budget ran out — never a mismatch,
+/// and never an unexpected truncation.
+#[test]
+fn library_budgeted_sweep_has_no_mismatch() {
+    let mut cfg = HarnessConfig::default();
+    cfg.params.max_states = 40_000;
+    let report = run_suite(&library(), &cfg);
+    let mismatches: Vec<String> = report
+        .mismatches()
+        .iter()
+        .map(|r| {
+            format!(
+                "{} (model {}, expected {})",
+                r.name,
+                r.verdict(),
+                r.expected
+            )
+        })
+        .collect();
+    assert!(mismatches.is_empty(), "verdict mismatches: {mismatches:?}");
+    for r in report.inconclusive() {
+        assert!(
+            BIG_TESTS.contains(&r.name.as_str()),
+            "{} unexpectedly exceeded the state budget ({} states)",
+            r.name,
+            r.states
+        );
+    }
+    // The budget must actually decide the bulk of the library.
+    assert!(
+        report.reports.len() - report.inconclusive().len() >= 23,
+        "budget too small: only {} conclusive of {}",
+        report.reports.len() - report.inconclusive().len(),
+        report.reports.len()
+    );
+}
+
+/// A sample of the generated systematic families (the full set runs in
+/// the `conformance` binary and the `#[ignore]`d sweep).
+#[test]
+fn generated_families_sample_matches() {
+    let suite = generated_suite();
+    let pick = |name: &str| -> LitmusEntry {
+        *suite
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("{name} in generated suite"))
+    };
+    let cfg = HarnessConfig::default();
+    for name in [
+        "MP+po+po",
+        "MP+sync+addr",
+        "MP+lwsync+ctrlisync",
+        "SB+sync+sync",
+        "SB+lwsync+po",
+        "LB+addr+data",
+        "WRC+sync+addr",
+    ] {
+        let r = ppcmem::litmus::harness::run_one(&pick(name), &cfg);
+        assert!(r.conclusive(), "{name} truncated");
+        assert!(
+            r.matches,
+            "{name}: model {}, expected {}",
+            r.verdict(),
+            r.expected
+        );
+    }
+}
+
+/// The full library, unbudgeted (slow: minutes). `cargo test -- --ignored`
+/// or the `conformance` binary.
+#[test]
+#[ignore = "minutes of exhaustive exploration; run via `cargo test -- --ignored` or the conformance binary"]
+fn library_full_sweep_unbudgeted() {
+    let report = run_suite(&library(), &HarnessConfig::default());
+    assert!(
+        report.all_conclusive_matches(),
+        "mismatches: {:?}, inconclusive: {:?}",
+        report
+            .mismatches()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect::<Vec<_>>(),
+        report
+            .inconclusive()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The generated systematic families, unbudgeted (slow: tens of
+/// minutes).
+#[test]
+#[ignore = "tens of minutes of exhaustive exploration; run via the conformance binary"]
+fn generated_full_sweep_unbudgeted() {
+    let report = run_suite(&generated_suite(), &HarnessConfig::default());
+    assert!(
+        report.all_conclusive_matches(),
+        "mismatches: {:?}, inconclusive: {:?}",
+        report
+            .mismatches()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect::<Vec<_>>(),
+        report
+            .inconclusive()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect::<Vec<_>>()
+    );
+}

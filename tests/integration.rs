@@ -45,19 +45,9 @@ exists (1:r5=1 /\ 1:r4=0)
     assert!(!r.witnessed);
 }
 
-/// The paper's §2 suite matches the paper's verdicts end-to-end.
-#[test]
-fn paper_section2_suite_matches() {
-    let params = ModelParams::default();
-    for e in ppcmem::litmus::paper_section2_suite() {
-        let report = run_entry(&e, &params);
-        assert!(
-            report.matches,
-            "{}: model witnessed={}, paper says {}",
-            e.name, report.result.witnessed, report.expect
-        );
-    }
-}
+// The paper's §2 suite is covered one-test-per-entry in
+// `tests/conformance.rs`; the full library and generated families run
+// through the batch harness there and in the `conformance` binary.
 
 /// ELF pipeline: builder → reader → loader → sequential execution.
 #[test]
@@ -66,7 +56,9 @@ fn elf_pipeline_end_to_end() {
         .iter()
         .map(|s| ppcmem::isa::parse_asm(s).expect("asm"))
         .collect();
-    let image = ElfBuilder::new(0x1000_0000).text(0x1000_0000, &code).build();
+    let image = ElfBuilder::new(0x1000_0000)
+        .text(0x1000_0000, &code)
+        .build();
     let elf = parse_elf(&image).expect("parses");
     let program = Arc::new(Program::new(&elf.code_words()));
     let state = SystemState::new(
@@ -173,7 +165,10 @@ fn mixed_size_reads_assemble_bytes() {
         ModelParams::default(),
     );
     let (fin, _) = run_sequential(&state, 1_000);
-    assert_eq!(fin.threads[0].final_reg(Reg::Gpr(6)).to_u64(), Some(0x5566_7788));
+    assert_eq!(
+        fin.threads[0].final_reg(Reg::Gpr(6)).to_u64(),
+        Some(0x5566_7788)
+    );
     assert_eq!(fin.threads[0].final_reg(Reg::Gpr(7)).to_u64(), Some(0x88));
     assert_eq!(fin.threads[0].final_reg(Reg::Gpr(8)).to_u64(), Some(0x1122));
 }

@@ -1,0 +1,151 @@
+//! Observational equivalence of the parallel sharded-frontier oracle:
+//! for a ladder of library tests, exploring with 2 and 4 worker threads
+//! must yield *byte-identical* `Outcomes::finals` (and the same state
+//! count and verdict) as the single-threaded engine.
+
+use ppcmem::idl::Reg;
+use ppcmem::litmus::{build_system, library, parse, run, run_limited};
+use ppcmem::model::{explore_limited, ExploreLimits, ModelParams};
+
+/// The equivalence ladder: coherence shapes up through three-thread
+/// cumulativity tests (kept to sizes that explore three times over in
+/// CI-friendly time).
+const LADDER: &[&str] = &[
+    "CoRR",
+    "CoWW",
+    "CoWR",
+    "MP",
+    "SB",
+    "LB",
+    "MP+syncs",
+    "MP+sync+addr",
+    "S+sync+addr",
+    "2+2W",
+    "WRC+pos",
+];
+
+#[test]
+fn parallel_explore_matches_sequential_on_ladder() {
+    let params = ModelParams::default();
+    for name in LADDER {
+        let entry = library()
+            .into_iter()
+            .find(|e| e.name == *name)
+            .unwrap_or_else(|| panic!("{name} in library"));
+        let test = parse(entry.source).expect("library parses");
+        let seq = run_limited(&test, &params, &ExploreLimits::default());
+        for threads in [2, 4] {
+            let par = run_limited(
+                &test,
+                &params,
+                &ExploreLimits {
+                    threads,
+                    ..ExploreLimits::default()
+                },
+            );
+            assert_eq!(
+                seq.finals, par.finals,
+                "{name}: distinct-final-state count diverged at {threads} threads"
+            );
+            assert_eq!(
+                seq.witnessed, par.witnessed,
+                "{name}: verdict diverged at {threads} threads"
+            );
+            assert_eq!(
+                seq.stats.states, par.stats.states,
+                "{name}: visited-state count diverged at {threads} threads"
+            );
+            assert_eq!(
+                seq.stats.transitions, par.stats.transitions,
+                "{name}: transition count diverged at {threads} threads"
+            );
+            assert!(!par.stats.truncated, "{name}: unexpected truncation");
+        }
+    }
+}
+
+/// The raw oracle outcomes (register and memory observations, not just
+/// the condition verdict) are byte-identical between engines.
+#[test]
+fn parallel_outcomes_bytes_identical() {
+    let entry = library()
+        .into_iter()
+        .find(|e| e.name == "MP")
+        .expect("MP in library");
+    let test = parse(entry.source).expect("parses");
+    let state = build_system(&test, &ModelParams::default());
+    let reg_obs: Vec<(usize, Reg)> = vec![(1, Reg::Gpr(4)), (1, Reg::Gpr(5))];
+    let mem_obs: Vec<(u64, usize)> = test.locations.values().map(|&a| (a, 4)).collect();
+    let seq = explore_limited(&state, &reg_obs, &mem_obs, &ExploreLimits::default());
+    for threads in [2, 4] {
+        let par = explore_limited(
+            &state,
+            &reg_obs,
+            &mem_obs,
+            &ExploreLimits {
+                threads,
+                ..ExploreLimits::default()
+            },
+        );
+        // BTreeSet<FinalState> equality is element-wise over every
+        // observed register and memory bitvector.
+        assert_eq!(
+            seq.finals, par.finals,
+            "finals diverged at {threads} threads"
+        );
+        assert_eq!(seq.stats.final_hits, par.stats.final_hits);
+    }
+}
+
+/// `ModelParams::threads` drives the parallel engine through the plain
+/// `run` entry point.
+#[test]
+fn model_params_threads_knob() {
+    let entry = library()
+        .into_iter()
+        .find(|e| e.name == "MP+syncs")
+        .expect("MP+syncs in library");
+    let test = parse(entry.source).expect("parses");
+    let seq = run(&test, &ModelParams::default());
+    let par = run(
+        &test,
+        &ModelParams {
+            threads: 4,
+            ..ModelParams::default()
+        },
+    );
+    assert_eq!(seq.finals, par.finals);
+    assert_eq!(seq.witnessed, par.witnessed);
+    assert!(!seq.witnessed, "MP+syncs is forbidden");
+}
+
+/// Both engines respect the state budget and report truncation.
+#[test]
+fn both_engines_report_truncation() {
+    let entry = library()
+        .into_iter()
+        .find(|e| e.name == "2+2W")
+        .expect("2+2W in library");
+    let test = parse(entry.source).expect("parses");
+    let params = ModelParams::default();
+    for threads in [1, 4] {
+        let r = run_limited(
+            &test,
+            &params,
+            &ExploreLimits {
+                threads,
+                max_states: 500,
+                deadline: None,
+            },
+        );
+        assert!(
+            r.stats.truncated,
+            "threads={threads}: 500-state budget must truncate 2+2W"
+        );
+        assert!(
+            r.stats.states <= 501,
+            "threads={threads}: budget overrun ({} states)",
+            r.stats.states
+        );
+    }
+}
