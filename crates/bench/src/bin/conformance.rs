@@ -6,44 +6,27 @@
 //! Usage:
 //!
 //! ```text
-//! conformance [--jobs N] [--model-threads N] [--max-states N]
-//!             [--timeout-secs S] [--json PATH] [--library-only]
-//!             [--paper-only] [--quiet]
+//! conformance [--jobs N] [--model-threads N] [--steal-batch N]
+//!             [--max-states N] [--timeout-secs S] [--json PATH]
+//!             [--library-only] [--paper-only] [--quiet]
 //! ```
 //!
 //! Exit status is non-zero if any conclusive verdict mismatches its
 //! paper/hardware expectation, or any test was budget-truncated without
 //! a witness (inconclusive results are listed, never silently passed).
 
+use bench::args::{arg_value, parse_arg};
 use ppc_litmus::harness::{run_suite, HarnessConfig};
 use ppc_litmus::{generated_suite, library, paper_section2_suite};
 use ppc_model::ModelParams;
 use std::io::Write as _;
 use std::time::Duration;
 
-fn arg_value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-/// Parse `name`'s value, defaulting only when the flag is absent. A flag
-/// given an unparseable value is an error, not a silent default — the
-/// same principle as rejecting unknown flags.
-fn parse_arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
-    match arg_value(args, name) {
-        None => default,
-        Some(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("conformance: invalid value `{v}` for {name}");
-            std::process::exit(2);
-        }),
-    }
-}
-
 /// Flags taking a value (the next argument is consumed).
 const VALUE_FLAGS: &[&str] = &[
     "--jobs",
     "--model-threads",
+    "--steal-batch",
     "--max-states",
     "--timeout-secs",
     "--json",
@@ -68,8 +51,9 @@ fn check_args(args: &[String]) {
         } else {
             eprintln!("conformance: unknown argument `{a}`");
             eprintln!(
-                "usage: conformance [--jobs N] [--model-threads N] [--max-states N] \
-                 [--timeout-secs S] [--json PATH] [--library-only] [--paper-only] [--quiet]"
+                "usage: conformance [--jobs N] [--model-threads N] [--steal-batch N] \
+                 [--max-states N] [--timeout-secs S] [--json PATH] [--library-only] \
+                 [--paper-only] [--quiet]"
             );
             std::process::exit(2);
         }
@@ -80,10 +64,16 @@ fn check_args(args: &[String]) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     check_args(&args);
-    let jobs: usize = parse_arg(&args, "--jobs", 0);
-    let model_threads: usize = parse_arg(&args, "--model-threads", 1);
-    let max_states: usize = parse_arg(&args, "--max-states", ModelParams::DEFAULT_MAX_STATES);
-    let timeout_secs: u64 = parse_arg(&args, "--timeout-secs", 0);
+    let jobs: usize = parse_arg("conformance", &args, "--jobs", 0);
+    let model_threads: usize = parse_arg("conformance", &args, "--model-threads", 1);
+    let steal_batch: usize = parse_arg("conformance", &args, "--steal-batch", 0);
+    let max_states: usize = parse_arg(
+        "conformance",
+        &args,
+        "--max-states",
+        ModelParams::DEFAULT_MAX_STATES,
+    );
+    let timeout_secs: u64 = parse_arg("conformance", &args, "--timeout-secs", 0);
     let json_path = arg_value(&args, "--json");
     let quiet = args.iter().any(|a| a == "--quiet");
 
@@ -100,6 +90,7 @@ fn main() {
     let cfg = HarnessConfig {
         params: ModelParams {
             threads: model_threads,
+            steal_batch,
             max_states,
             ..ModelParams::default()
         },
@@ -112,9 +103,11 @@ fn main() {
     };
 
     eprintln!(
-        "conformance: {} tests, {} jobs × {} model threads, {} state budget{}",
+        "conformance: {} tests, {} jobs × {} model threads (budgeted from {} requested), \
+         {} state budget{}",
         entries.len(),
-        cfg.effective_jobs(),
+        cfg.pool_size(entries.len()),
+        cfg.inner_threads_for(cfg.pool_size(entries.len())),
         cfg.params.effective_threads(),
         max_states,
         cfg.timeout_per_test

@@ -4,11 +4,13 @@
 //!
 //! Prints, for a ladder of tests of growing size, the number of distinct
 //! states, transitions, final states and wall-clock time of exhaustive
-//! exploration — sequentially and with the parallel sharded-frontier
-//! engine (`--threads N`, default 4) — cross-checking that both engines
-//! produce identical verdicts. For contrast it also shows the per-test
-//! cost of a sequential run.
+//! exploration — sequentially and with the parallel work-stealing
+//! engine (`--threads N`, default 4; `--steal-batch N` sets the number
+//! of states a thief moves per steal) — cross-checking that both
+//! engines produce identical verdicts. For contrast it also shows the
+//! per-test cost of a sequential run.
 
+use bench::args::parse_arg;
 use ppc_litmus::{library, parse, run_limited};
 use ppc_model::{run_sequential, ExploreLimits, ModelParams};
 use std::time::Instant;
@@ -32,13 +34,17 @@ pub const LADDER: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let threads: usize = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+    let threads: usize = parse_arg("statespace", &args, "--threads", 4);
+    let steal_batch: usize = parse_arg("statespace", &args, "--steal-batch", 0);
 
+    let params = ModelParams {
+        steal_batch,
+        ..ModelParams::default()
+    };
+    println!(
+        "parallel engine: work-stealing, {threads} workers, steal batch {}",
+        params.effective_steal_batch()
+    );
     println!(
         "{:<22} {:>9} {:>12} {:>8} {:>9} {:>9} {:>8}",
         "test",
@@ -50,7 +56,6 @@ fn main() {
         "speedup"
     );
     println!("{}", "-".repeat(84));
-    let params = ModelParams::default();
     for name in LADDER {
         let Some(e) = library().into_iter().find(|e| e.name == *name) else {
             continue;

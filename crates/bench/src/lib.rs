@@ -8,3 +8,32 @@
 //! - `isa_inventory` (E6): the coverage counts vs. the paper's §4.1;
 //! - `statespace` (E5): state/transition counts and timing per test;
 //! - Criterion benches `oracle` and `sequential` (E5 timing shapes).
+
+/// Command-line flag parsing shared by the experiment binaries.
+pub mod args {
+    /// The value following flag `name`, if present.
+    #[must_use]
+    pub fn arg_value(args: &[String], name: &str) -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    }
+
+    /// Parse `name`'s value, defaulting only when the flag is absent. A
+    /// flag given an unparseable value is a usage error (exit 2), not a
+    /// silent default — the same principle as rejecting unknown flags.
+    pub fn parse_arg<T: std::str::FromStr>(
+        prog: &str,
+        args: &[String],
+        name: &str,
+        default: T,
+    ) -> T {
+        match arg_value(args, name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("{prog}: invalid value `{v}` for {name}");
+                std::process::exit(2);
+            }),
+        }
+    }
+}

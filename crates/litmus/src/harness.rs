@@ -7,11 +7,13 @@
 //! ("we ran the tool on a library of litmus tests...comparing the model
 //! verdicts against the architectural intent") packaged as a reusable
 //! engine. Tests are distributed over a worker pool (test-level
-//! parallelism composes with the oracle's own sharded-frontier
-//! parallelism via [`ModelParams::threads`]); each test gets a state
-//! budget and an optional wall-clock deadline, and a truncated
-//! exploration is reported as *inconclusive* rather than silently
-//! counted as a pass.
+//! parallelism composes with the oracle's own work-stealing parallelism
+//! via [`ModelParams::threads`], with the per-test exploration thread
+//! budget clamped by [`HarnessConfig::inner_threads_for`] so the two
+//! layers never oversubscribe the machine); each test gets a state
+//! budget and
+//! an optional wall-clock deadline, and a truncated exploration is
+//! reported as *inconclusive* rather than silently counted as a pass.
 
 use crate::library::LitmusEntry;
 use crate::run::run_entry_limited;
@@ -41,11 +43,45 @@ impl HarnessConfig {
     pub fn effective_jobs(&self) -> usize {
         ppc_model::resolve_threads(self.jobs)
     }
+
+    /// The number of concurrent tests a suite of `entries` tests
+    /// actually runs with — the pool never spawns more workers than
+    /// there are tests.
+    #[must_use]
+    pub fn pool_size(&self, entries: usize) -> usize {
+        self.effective_jobs().min(entries).max(1)
+    }
+
+    /// The per-test exploration thread budget when `pool` tests run
+    /// concurrently: the configured `params.threads`, clamped so that
+    /// `pool × threads` workers never oversubscribe the machine.
+    /// Test-level parallelism is strictly more efficient than
+    /// intra-exploration parallelism — tests are independent, so there
+    /// is no shared visited set or stealing traffic — so when the two
+    /// layers compete for cores the test pool wins and each exploration
+    /// falls back toward the sequential engine (always keeping at least
+    /// one worker). With a single concurrent test there is no
+    /// competition, so an explicitly requested thread count is honoured
+    /// as-is (e.g. `--jobs 1 --model-threads 4` drives the
+    /// work-stealing engine even on a 1-CPU host, where it is the only
+    /// way to exercise that engine through the harness). The clamp uses
+    /// the *actual* pool size, not the configured job count, so a small
+    /// suite on a big machine keeps its exploration parallelism instead
+    /// of idling the spare cores.
+    #[must_use]
+    pub fn inner_threads_for(&self, pool: usize) -> usize {
+        let want = self.params.effective_threads();
+        if pool <= 1 {
+            return want;
+        }
+        let cpus = ppc_model::resolve_threads(0);
+        want.min((cpus / pool).max(1))
+    }
 }
 
 /// One test's outcome in a harness run — the machine-readable row of the
 /// conformance report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TestReport {
     /// Test name.
     pub name: String,
@@ -107,6 +143,127 @@ impl TestReport {
             json_str(&self.pinned_by),
         )
     }
+
+    /// Parse one line of a JSONL conformance report back into a
+    /// [`TestReport`] — the inverse of [`TestReport::to_json`], used by
+    /// downstream tooling and by the schema-stability round-trip test.
+    /// Every field of the schema
+    /// (`name`/`expected`/`model`/`match`/`conclusive`/`truncated`/
+    /// `states`/`transitions`/`finals`/`wall_ms`/`pinned_by`) must be
+    /// present, and the redundant `conclusive` field must agree with the
+    /// value derived from `truncated` and `model` — a disagreement means
+    /// the producer and consumer have drifted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json_line(line: &str) -> Result<TestReport, String> {
+        let get = |key: &str| json_field(line, key).ok_or_else(|| format!("missing `{key}`"));
+        let get_str = |key: &str| -> Result<String, String> {
+            let raw = get(key)?;
+            json_unescape(raw).ok_or_else(|| format!("`{key}` is not a JSON string"))
+        };
+        let get_bool = |key: &str| -> Result<bool, String> {
+            match get(key)? {
+                "true" => Ok(true),
+                "false" => Ok(false),
+                v => Err(format!("`{key}` is not a bool: `{v}`")),
+            }
+        };
+        let get_usize = |key: &str| -> Result<usize, String> {
+            get(key)?
+                .parse()
+                .map_err(|_| format!("`{key}` is not an integer"))
+        };
+        let expected = match get_str("expected")?.as_str() {
+            "Allowed" => Expectation::Allowed,
+            "Forbidden" => Expectation::Forbidden,
+            other => return Err(format!("unknown expectation `{other}`")),
+        };
+        let model_allows = match get_str("model")?.as_str() {
+            "Allowed" => true,
+            "Forbidden" => false,
+            other => return Err(format!("unknown model verdict `{other}`")),
+        };
+        let wall_ms: f64 = get("wall_ms")?
+            .parse()
+            .map_err(|_| "`wall_ms` is not a number".to_owned())?;
+        let report = TestReport {
+            name: get_str("name")?,
+            pinned_by: get_str("pinned_by")?,
+            expected,
+            model_allows,
+            matches: get_bool("match")?,
+            truncated: get_bool("truncated")?,
+            finals: get_usize("finals")?,
+            states: get_usize("states")?,
+            transitions: get_usize("transitions")?,
+            wall: Duration::from_secs_f64(wall_ms / 1e3),
+        };
+        let conclusive = get_bool("conclusive")?;
+        if conclusive != report.conclusive() {
+            return Err(format!(
+                "`conclusive` field ({conclusive}) disagrees with the value derived \
+                 from `truncated`/`model` ({})",
+                report.conclusive()
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// Find the raw value text of `key` in a single-line flat JSON object:
+/// for string values the text between the quotes (escapes intact), for
+/// scalars the text up to the next `,` or `}`.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // Scan for the closing quote, skipping escaped characters.
+        let bytes = stripped.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(&stripped[..i]),
+                _ => i += 1,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Decode the escapes produced by [`json_str`] (the exact inverse: the
+/// reports only ever contain `\"`, `\\`, `\n`, `\t`, and `\uXXXX`).
+fn json_unescape(raw: &str) -> Option<String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let v = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(v)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -196,7 +353,8 @@ impl HarnessReport {
 #[must_use]
 pub fn run_suite(entries: &[LitmusEntry], cfg: &HarnessConfig) -> HarnessReport {
     let t0 = Instant::now();
-    let jobs = cfg.effective_jobs().min(entries.len()).max(1);
+    let jobs = cfg.pool_size(entries.len());
+    let inner_threads = cfg.inner_threads_for(jobs);
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<TestReport>>> = Mutex::new(vec![None; entries.len()]);
 
@@ -205,7 +363,7 @@ pub fn run_suite(entries: &[LitmusEntry], cfg: &HarnessConfig) -> HarnessReport 
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(entry) = entries.get(i) else { break };
-                let report = run_one(entry, cfg);
+                let report = run_one_with_threads(entry, cfg, inner_threads);
                 slots.lock().expect("report slots poisoned")[i] = Some(report);
             });
         }
@@ -223,10 +381,23 @@ pub fn run_suite(entries: &[LitmusEntry], cfg: &HarnessConfig) -> HarnessReport 
     }
 }
 
-/// Run a single entry under the harness budgets.
+/// Run a single entry under the harness budgets (state budget and
+/// deadline from the config). A lone test has no pool to share the
+/// machine with, so the configured exploration thread count is used
+/// as-is; inside [`run_suite`] the thread budget is clamped by
+/// [`HarnessConfig::inner_threads_for`] instead, so the test pool and
+/// the oracle's work-stealing workers share the machine rather than
+/// fighting over it.
 #[must_use]
 pub fn run_one(entry: &LitmusEntry, cfg: &HarnessConfig) -> TestReport {
+    run_one_with_threads(entry, cfg, cfg.inner_threads_for(1))
+}
+
+/// [`run_one`] with an explicit exploration thread budget (the
+/// suite-level clamp already resolved by the caller).
+fn run_one_with_threads(entry: &LitmusEntry, cfg: &HarnessConfig, threads: usize) -> TestReport {
     let limits = ExploreLimits {
+        threads,
         deadline: cfg.timeout_per_test.map(|t| Instant::now() + t),
         ..ExploreLimits::from_params(&cfg.params)
     };

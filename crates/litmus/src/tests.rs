@@ -158,3 +158,97 @@ fn paper_suite_has_expected_verdicts_recorded() {
     assert!(verdicts.contains(&("MP+sync+ctrl", Expectation::Allowed)));
     assert!(verdicts.contains(&("LB+addrs+WW", Expectation::Forbidden)));
 }
+
+// ---- conformance-report JSONL schema round-trip ----------------------
+
+/// `TestReport::to_json` → `TestReport::from_json_line` is the identity
+/// (up to the millisecond rounding of `wall_ms`), on real harness output
+/// for a fast slice of the library.
+#[test]
+fn jsonl_report_round_trips() {
+    use crate::harness::{run_suite, HarnessConfig, TestReport};
+
+    let fast = ["CoWW", "CoRR", "MP", "LB+addrs"];
+    let entries: Vec<_> = library()
+        .into_iter()
+        .filter(|e| fast.contains(&e.name))
+        .collect();
+    assert_eq!(entries.len(), fast.len(), "fast slice present in library");
+    let report = run_suite(&entries, &HarnessConfig::default());
+
+    let jsonl = report.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), report.reports.len());
+    for (line, original) in lines.iter().zip(&report.reports) {
+        let parsed = TestReport::from_json_line(line)
+            .unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n{line}"));
+        // `wall_ms` is serialised at millisecond precision; everything
+        // else must come back exactly.
+        let wall_err = (parsed.wall.as_secs_f64() - original.wall.as_secs_f64()).abs();
+        assert!(wall_err < 2e-6, "wall clock drifted {wall_err}s\n{line}");
+        let mut normalised = parsed.clone();
+        normalised.wall = original.wall;
+        assert_eq!(&normalised, original, "fields drifted\n{line}");
+    }
+}
+
+/// The JSONL schema itself is pinned: a frozen report line from the
+/// current producer must keep parsing with these exact field names and
+/// meanings. Renaming or dropping any of
+/// name/expected/model/match/conclusive/truncated/states/transitions/
+/// finals/wall_ms/pinned_by breaks this test — by design, since it also
+/// breaks every downstream consumer of `conformance-report.jsonl`.
+#[test]
+fn jsonl_schema_is_stable() {
+    use crate::harness::TestReport;
+
+    let frozen = r#"{"name":"MP+sync+\"q\"","expected":"Allowed","model":"Forbidden","match":false,"conclusive":true,"truncated":false,"states":1155,"transitions":3383,"finals":4,"wall_ms":42.125,"pinned_by":"baseline\treordering"}"#;
+    let r = TestReport::from_json_line(frozen).expect("frozen schema line parses");
+    assert_eq!(r.name, "MP+sync+\"q\"");
+    assert_eq!(r.expected, Expectation::Allowed);
+    assert!(!r.model_allows);
+    assert!(!r.matches);
+    assert!(!r.truncated);
+    assert!(r.conclusive());
+    assert_eq!(r.states, 1155);
+    assert_eq!(r.transitions, 3383);
+    assert_eq!(r.finals, 4);
+    assert!((r.wall.as_secs_f64() - 0.042_125).abs() < 1e-9);
+    assert_eq!(r.pinned_by, "baseline\treordering");
+
+    // A `conclusive` flag that contradicts `truncated`/`model` is a
+    // producer/consumer drift and must be rejected, not repaired.
+    let drifted = frozen.replace("\"conclusive\":true", "\"conclusive\":false");
+    assert!(TestReport::from_json_line(&drifted).is_err());
+
+    // Missing fields are errors, never defaults.
+    let missing = frozen.replace("\"states\":1155,", "");
+    assert!(TestReport::from_json_line(&missing).is_err());
+}
+
+/// Escaped names survive the full serialise → parse cycle.
+#[test]
+fn jsonl_escaping_round_trips() {
+    use crate::harness::TestReport;
+    use std::time::Duration;
+
+    let original = TestReport {
+        name: "weird \"name\"\\with\nescapes\tand \u{1} control".to_owned(),
+        pinned_by: "§2.1.1 (\"quoted\")".to_owned(),
+        expected: Expectation::Forbidden,
+        model_allows: false,
+        matches: true,
+        truncated: true,
+        finals: 0,
+        states: 17,
+        transitions: 23,
+        wall: Duration::from_micros(1500),
+    };
+    let line = original.to_json();
+    let parsed = TestReport::from_json_line(&line).expect("parses");
+    assert_eq!(parsed, original);
+    assert!(
+        !parsed.conclusive(),
+        "truncated + unwitnessed must parse back as inconclusive"
+    );
+}

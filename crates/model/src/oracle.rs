@@ -9,29 +9,44 @@
 //!
 //! - a **sequential depth-first search** (the historical implementation),
 //!   used when [`ModelParams::threads`] is `1`;
-//! - a **parallel sharded-frontier breadth-first search** used for
-//!   `threads >= 2`: each round, the frontier is split across worker
-//!   threads, each worker expands its chunk and deduplicates successor
-//!   states against a digest-sharded visited set (one lock per shard, so
-//!   contention is negligible), and the per-worker final-state sets and
-//!   statistics are merged deterministically (final states live in a
-//!   `BTreeSet`, so merge order cannot matter).
+//! - a **parallel work-stealing search** used for `threads >= 2`: each
+//!   worker owns a deque of unexpanded states, popping from its own back
+//!   (depth-first locality) and, when dry, stealing a batch
+//!   ([`ModelParams::steal_batch`]) from the front of a victim's deque.
+//!   Successor states are deduplicated against a digest-sharded visited
+//!   set (one lock per shard, so contention is negligible), and the
+//!   per-worker final-state sets and statistics are merged
+//!   deterministically (final states live in a `BTreeSet`, so merge
+//!   order cannot matter). Termination is detected by a global count of
+//!   *pending* states — states enqueued anywhere or mid-expansion — a
+//!   worker only retires when every deque is empty **and** no expansion
+//!   is in flight (`pending == 0`).
 //!
-//! Both flavours visit exactly the same reachable state set, so for any
-//! run that does not exhaust its state budget the resulting
-//! [`Outcomes::finals`] are identical bit for bit — the property the
-//! `parallel_oracle` integration tests pin down. The paper's §8 point
-//! that exhaustive checking is "combinatorially challenging" is exactly
-//! why the parallel engine exists: state expansion (clone + transition
-//! application + eager deterministic progress) dominates the cost and
-//! parallelises embarrassingly.
+//! The earlier level-synchronous sharded-frontier BFS (PR 1) stalled all
+//! workers at a barrier after every level; work stealing removes the
+//! barrier, so a single deep branch no longer serialises the whole
+//! machine and workers stay busy across level boundaries.
+//!
+//! Both flavours visit exactly the same reachable state set — a state is
+//! expanded iff its digest wins the insertion race in the shared visited
+//! set, which is keyed by the same digests the sequential engine uses —
+//! so for any run that does not exhaust its state budget the resulting
+//! [`Outcomes::finals`] are identical bit for bit, and so are the
+//! visited-state and transition counts. The `parallel_oracle`
+//! integration tests and the randomized `oracle_fuzz` differential
+//! tests pin this down. The paper's §8 point that exhaustive checking
+//! is "combinatorially challenging" is exactly why the parallel engine
+//! exists: state expansion (clone + transition application + eager
+//! deterministic progress) dominates the cost and parallelises
+//! embarrassingly.
 
 use crate::system::{SystemState, Transition};
 use crate::thread::ThreadTransition;
 use crate::types::{ModelParams, ThreadId, WriteId};
 use ppc_bits::Bv;
 use ppc_idl::Reg;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -287,55 +302,218 @@ impl ShardedSeen {
     }
 }
 
-/// Per-worker output of one parallel round.
+/// Per-worker private accumulator of a work-stealing exploration.
 struct WorkerOut {
-    next: Vec<SystemState>,
     finals: BTreeSet<FinalState>,
     transitions: usize,
     final_hits: usize,
 }
 
-/// Expand one chunk of the frontier against the shared visited set.
-/// This is the whole body of a parallel worker; the narrow-frontier
-/// inline path calls it directly on the coordinating thread.
-fn expand_chunk(
-    states: &[SystemState],
+/// How often (in expanded states, per worker) the wall-clock deadline is
+/// polled. Expansions are short, so this keeps the deadline soft but
+/// tight without an `Instant::now()` syscall per state.
+const DEADLINE_POLL_PERIOD: usize = 256;
+
+/// The shared control block of one work-stealing exploration.
+struct StealPool<'a> {
+    /// One deque of unexpanded states per worker. Owners push/pop at the
+    /// back (depth-first locality, keeps deques shallow); thieves drain
+    /// batches from the front (the oldest states, which in this search
+    /// tend to root the largest unexplored subtrees).
+    deques: Vec<Mutex<VecDeque<SystemState>>>,
+    /// Termination detector: states enqueued in any deque *plus* states
+    /// currently being expanded. A worker increments it for each fresh
+    /// successor *before* decrementing it for the parent it just
+    /// expanded, so `pending` can only reach zero once no undiscovered
+    /// work can exist anywhere — at which point every worker retires.
+    pending: AtomicUsize,
+    /// States claimed against `limits.max_states`. Claims are made
+    /// cooperatively by workers, one state at a time, immediately before
+    /// expansion — there are no level boundaries to batch the check at —
+    /// and a failed claim is rolled back, so at rest this equals the
+    /// number of states actually expanded ([`ExplorationStats::states`]).
+    claimed: AtomicUsize,
+    /// Set when the budget or deadline trips; all workers quit promptly,
+    /// abandoning whatever is left in the deques.
+    stop: AtomicBool,
+    /// Whether the stop was a truncation (budget/deadline), as opposed to
+    /// natural exhaustion of the state space.
+    truncated: AtomicBool,
+    /// The digest-sharded visited set (shared with the old BFS engine's
+    /// design): exactly one worker wins the insertion race for each new
+    /// state, so each reachable state is expanded exactly once.
+    seen: ShardedSeen,
+    limits: &'a ExploreLimits,
+    /// States a thief moves per steal ([`ModelParams::steal_batch`]).
+    steal_batch: usize,
+}
+
+impl StealPool<'_> {
+    /// Pop from the worker's own deque (back = most recently discovered).
+    fn pop_local(&self, me: usize) -> Option<SystemState> {
+        self.deques[me].lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Steal from the first non-empty victim, scanning round-robin from
+    /// the worker's right-hand neighbour. Takes up to `steal_batch`
+    /// states from the *front* of the victim's deque: one is returned
+    /// for immediate expansion, the rest move to the thief's own deque
+    /// (amortising the victim-lock handshake across the batch).
+    fn steal(&self, me: usize) -> Option<SystemState> {
+        let n = self.deques.len();
+        for k in 1..n {
+            let v = (me + k) % n;
+            let mut batch: Vec<SystemState> = {
+                let mut victim = self.deques[v].lock().expect("deque poisoned");
+                if victim.is_empty() {
+                    continue;
+                }
+                let take = self.steal_batch.min(victim.len());
+                victim.drain(..take).collect()
+            };
+            let first = batch.pop().expect("stolen batch is non-empty");
+            if !batch.is_empty() {
+                self.deques[me]
+                    .lock()
+                    .expect("deque poisoned")
+                    .extend(batch);
+            }
+            return Some(first);
+        }
+        None
+    }
+
+    /// Record a truncation (budget or deadline) and tell every worker to
+    /// stop.
+    fn trip(&self) {
+        self.truncated.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Trips the pool's stop flag if the worker unwinds, so a panic inside
+/// one expansion cannot leave the other workers spinning forever on a
+/// `pending` count that will never drain — they exit, the scope joins,
+/// and the panic propagates.
+struct StopOnPanic<'a>(&'a StealPool<'a>);
+
+impl Drop for StopOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.stop.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The body of one work-stealing worker: claim states against the budget,
+/// expand them, dedup successors through the shared visited set, and
+/// feed fresh ones back into the local deque for neighbours to steal.
+///
+/// All counter traffic uses `SeqCst`: one atomic RMW per expanded state
+/// is noise next to the `SystemState` clones expansion performs, and it
+/// keeps the termination argument (see [`StealPool::pending`]) free of
+/// ordering subtleties.
+fn steal_worker(
+    pool: &StealPool<'_>,
+    me: usize,
     reg_obs: &[(ThreadId, Reg)],
     mem_obs: &[(u64, usize)],
-    seen: &ShardedSeen,
 ) -> WorkerOut {
+    let _guard = StopOnPanic(pool);
     let mut out = WorkerOut {
-        next: Vec::new(),
         finals: BTreeSet::new(),
         transitions: 0,
         final_hits: 0,
     };
-    for state in states {
-        let exp = expand(state, reg_obs, mem_obs, &mut out.finals);
+    let mut idle_spins: u32 = 0;
+    loop {
+        if pool.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Some(state) = pool.pop_local(me).or_else(|| pool.steal(me)) else {
+            // No work anywhere we looked. Retire only once no expansion
+            // is in flight either — an in-flight expansion may yet
+            // publish new work to steal.
+            if pool.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            idle_spins += 1;
+            if idle_spins < 64 {
+                std::hint::spin_loop();
+            } else if idle_spins < 1024 {
+                std::thread::yield_now();
+            } else {
+                // Long starvation (one worker stuck on a deep chain):
+                // keep the deadline honest while parked.
+                if let Some(d) = pool.limits.deadline {
+                    if Instant::now() >= d {
+                        pool.trip();
+                        break;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            continue;
+        };
+        idle_spins = 0;
+
+        // Cooperative budget claim, one state at a time. A failed claim
+        // is rolled back so `claimed` settles at the expanded count.
+        let n = pool.claimed.fetch_add(1, Ordering::SeqCst);
+        if n >= pool.limits.max_states {
+            pool.claimed.fetch_sub(1, Ordering::SeqCst);
+            pool.pending.fetch_sub(1, Ordering::SeqCst);
+            pool.trip();
+            break;
+        }
+        if n.is_multiple_of(DEADLINE_POLL_PERIOD) {
+            if let Some(d) = pool.limits.deadline {
+                if Instant::now() >= d {
+                    pool.claimed.fetch_sub(1, Ordering::SeqCst);
+                    pool.pending.fetch_sub(1, Ordering::SeqCst);
+                    pool.trip();
+                    break;
+                }
+            }
+        }
+
+        let exp = expand(&state, reg_obs, mem_obs, &mut out.finals);
         if exp.is_final {
             out.final_hits += 1;
+            pool.pending.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
         out.transitions += exp.transitions;
-        for next in exp.succs {
-            if seen.insert(next.digest()) {
-                out.next.push(next);
-            }
+        let fresh: Vec<SystemState> = exp
+            .succs
+            .into_iter()
+            .filter(|next| pool.seen.insert(next.digest()))
+            .collect();
+        if !fresh.is_empty() {
+            // Publish successors (and bump `pending`) before retiring the
+            // parent, so `pending` cannot dip to zero while work remains.
+            pool.pending.fetch_add(fresh.len(), Ordering::SeqCst);
+            pool.deques[me]
+                .lock()
+                .expect("deque poisoned")
+                .extend(fresh);
         }
+        pool.pending.fetch_sub(1, Ordering::SeqCst);
     }
     out
 }
 
-/// The parallel sharded-frontier breadth-first engine.
+/// The parallel work-stealing engine.
 ///
-/// Level-synchronous BFS: each round expands the whole frontier across
-/// `threads` scoped workers. Successor digests are claimed in the shared
-/// sharded visited set, so exactly one worker keeps each newly
-/// discovered state. Because the visited set is keyed by the same
-/// digests the sequential engine uses, both engines visit the same state
-/// set, and merging the per-worker `BTreeSet`s of final states is
-/// order-insensitive — results are deterministic and identical to the
-/// sequential engine's whenever the budget is not exhausted.
+/// Workers are spawned once per exploration (worker 0 runs on the
+/// calling thread) and run until the shared pending-count hits zero or a
+/// limit trips — there are no per-level barriers, so a lone deep branch
+/// keeps only one worker busy instead of stalling all of them, and no
+/// per-round spawn overhead. Because the visited set is keyed by the
+/// same digests the sequential engine uses, both engines expand exactly
+/// the same state set, and merging the per-worker `BTreeSet`s of final
+/// states is order-insensitive — results are deterministic and identical
+/// to the sequential engine's whenever the budget is not exhausted.
 fn explore_par(
     initial: &SystemState,
     reg_obs: &[(ThreadId, Reg)],
@@ -343,62 +521,46 @@ fn explore_par(
     threads: usize,
     limits: &ExploreLimits,
 ) -> Outcomes {
-    let mut stats = ExplorationStats::default();
+    let pool = StealPool {
+        deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(1),
+        claimed: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        truncated: AtomicBool::new(false),
+        seen: ShardedSeen::new(threads),
+        limits,
+        steal_batch: initial.params.effective_steal_batch(),
+    };
+    pool.seen.insert(initial.digest());
+    pool.deques[0]
+        .lock()
+        .expect("deque poisoned")
+        .push_back(initial.clone());
+
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let pool = &pool;
+        let handles: Vec<_> = (1..threads)
+            .map(|me| s.spawn(move || steal_worker(pool, me, reg_obs, mem_obs)))
+            .collect();
+        let mut outs = vec![steal_worker(pool, 0, reg_obs, mem_obs)];
+        outs.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exploration worker panicked")),
+        );
+        outs
+    });
+
+    let mut stats = ExplorationStats {
+        states: pool.claimed.load(Ordering::SeqCst),
+        truncated: pool.truncated.load(Ordering::SeqCst),
+        ..ExplorationStats::default()
+    };
     let mut finals = BTreeSet::new();
-    let seen = ShardedSeen::new(threads);
-    seen.insert(initial.digest());
-    let mut frontier = vec![initial.clone()];
-
-    while !frontier.is_empty() {
-        // Budget: process at most the remaining allowance this round.
-        let remaining = limits.max_states.saturating_sub(stats.states);
-        if remaining == 0 {
-            stats.truncated = true;
-            break;
-        }
-        if let Some(d) = limits.deadline {
-            if Instant::now() >= d {
-                stats.truncated = true;
-                break;
-            }
-        }
-        if frontier.len() > remaining {
-            frontier.truncate(remaining);
-            stats.truncated = true;
-        }
-        stats.states += frontier.len();
-
-        // Narrow frontiers (the first/last BFS levels of every test, and
-        // most levels of deep-narrow state spaces) are cheaper to expand
-        // inline than to split across freshly spawned workers. The inline
-        // path uses the same shared visited set and the same merge, so
-        // the visited state set — and hence `finals` — is unchanged.
-        let outs: Vec<WorkerOut> = if frontier.len() < threads * 4 {
-            vec![expand_chunk(&frontier, reg_obs, mem_obs, &seen)]
-        } else {
-            let chunk = frontier.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = frontier
-                    .chunks(chunk)
-                    .map(|states| {
-                        let seen = &seen;
-                        s.spawn(move || expand_chunk(states, reg_obs, mem_obs, seen))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("exploration worker panicked"))
-                    .collect()
-            })
-        };
-
-        frontier = Vec::with_capacity(outs.iter().map(|o| o.next.len()).sum());
-        for out in outs {
-            stats.transitions += out.transitions;
-            stats.final_hits += out.final_hits;
-            finals.extend(out.finals);
-            frontier.extend(out.next);
-        }
+    for out in outs {
+        stats.transitions += out.transitions;
+        stats.final_hits += out.final_hits;
+        finals.extend(out.finals);
     }
     Outcomes { finals, stats }
 }
@@ -543,7 +705,7 @@ pub fn run_sequential(initial: &SystemState, max_steps: usize) -> (SystemState, 
     }
 }
 
-fn choose_sequential(state: &SystemState, ts: &[Transition]) -> Option<Transition> {
+pub(crate) fn choose_sequential(state: &SystemState, ts: &[Transition]) -> Option<Transition> {
     // 1. Non-fetch thread transitions.
     if let Some(t) = ts.iter().find(
         |t| matches!(t, Transition::Thread(tt) if !matches!(tt, ThreadTransition::Fetch { .. })),

@@ -99,6 +99,13 @@ pub struct ModelParams {
     /// State budget for exhaustive exploration; beyond it the search
     /// stops and `ExplorationStats::truncated` is set.
     pub max_states: usize,
+    /// Work-stealing granularity for the parallel engine: how many
+    /// unexpanded states a thief moves from a victim's deque per steal.
+    /// Larger batches amortise the lock handshake, smaller batches
+    /// spread sparse work faster. `0` means
+    /// [`ModelParams::DEFAULT_STEAL_BATCH`]. Purely a performance knob:
+    /// it cannot change which states are visited, only who expands them.
+    pub steal_batch: usize,
 }
 
 /// Resolve a worker-count knob: `0` means one worker per available CPU.
@@ -117,11 +124,28 @@ impl ModelParams {
     /// Default state budget for exhaustive exploration.
     pub const DEFAULT_MAX_STATES: usize = 5_000_000;
 
+    /// Default steal-batch size for the work-stealing parallel engine.
+    /// Litmus-scale expansions are cheap (a state clone plus a handful of
+    /// transition applications), so a moderate batch keeps thieves off
+    /// the victims' locks without hoarding work.
+    pub const DEFAULT_STEAL_BATCH: usize = 32;
+
     /// The effective worker-thread count (resolves `threads == 0` to the
     /// available parallelism).
     #[must_use]
     pub fn effective_threads(&self) -> usize {
         resolve_threads(self.threads)
+    }
+
+    /// The effective steal-batch size (resolves `steal_batch == 0` to
+    /// [`Self::DEFAULT_STEAL_BATCH`]).
+    #[must_use]
+    pub fn effective_steal_batch(&self) -> usize {
+        if self.steal_batch == 0 {
+            Self::DEFAULT_STEAL_BATCH
+        } else {
+            self.steal_batch
+        }
     }
 }
 
@@ -133,6 +157,7 @@ impl Default for ModelParams {
             allow_spurious_stcx_failure: false,
             threads: 1,
             max_states: Self::DEFAULT_MAX_STATES,
+            steal_batch: Self::DEFAULT_STEAL_BATCH,
         }
     }
 }
