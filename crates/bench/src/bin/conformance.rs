@@ -7,9 +7,14 @@
 //!
 //! ```text
 //! conformance [--jobs N] [--model-threads N] [--steal-batch N]
-//!             [--max-states N] [--timeout-secs S] [--json PATH]
-//!             [--library-only] [--paper-only] [--quiet]
+//!             [--max-states N] [--max-resident N] [--timeout-secs S]
+//!             [--json PATH] [--library-only] [--paper-only] [--quiet]
 //! ```
+//!
+//! `--max-resident N` bounds each exploration's in-memory frontier to N
+//! decoded states (overflow spills to temp files through the canonical
+//! state codec; `0` = unlimited), so total frontier memory is bounded by
+//! `jobs × N × sizeof(state)` however big the state spaces get.
 //!
 //! Exit status is non-zero if any conclusive verdict mismatches its
 //! paper/hardware expectation, or any test was budget-truncated without
@@ -28,6 +33,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--model-threads",
     "--steal-batch",
     "--max-states",
+    "--max-resident",
     "--timeout-secs",
     "--json",
 ];
@@ -52,8 +58,8 @@ fn check_args(args: &[String]) {
             eprintln!("conformance: unknown argument `{a}`");
             eprintln!(
                 "usage: conformance [--jobs N] [--model-threads N] [--steal-batch N] \
-                 [--max-states N] [--timeout-secs S] [--json PATH] [--library-only] \
-                 [--paper-only] [--quiet]"
+                 [--max-states N] [--max-resident N] [--timeout-secs S] [--json PATH] \
+                 [--library-only] [--paper-only] [--quiet]"
             );
             std::process::exit(2);
         }
@@ -73,6 +79,7 @@ fn main() {
         "--max-states",
         ModelParams::DEFAULT_MAX_STATES,
     );
+    let max_resident: usize = parse_arg("conformance", &args, "--max-resident", 0);
     let timeout_secs: u64 = parse_arg("conformance", &args, "--timeout-secs", 0);
     let json_path = arg_value(&args, "--json");
     let quiet = args.iter().any(|a| a == "--quiet");
@@ -92,6 +99,7 @@ fn main() {
             threads: model_threads,
             steal_batch,
             max_states,
+            max_resident_states: max_resident,
             ..ModelParams::default()
         },
         jobs,
@@ -104,12 +112,17 @@ fn main() {
 
     eprintln!(
         "conformance: {} tests, {} jobs × {} model threads (budgeted from {} requested), \
-         {} state budget{}",
+         {} state budget{}{}",
         entries.len(),
         cfg.pool_size(entries.len()),
         cfg.inner_threads_for(cfg.pool_size(entries.len())),
         cfg.params.effective_threads(),
         max_states,
+        if max_resident == 0 {
+            String::new()
+        } else {
+            format!(", {max_resident} resident states (spill-to-disk)")
+        },
         cfg.timeout_per_test
             .map(|t| format!(", {}s timeout", t.as_secs()))
             .unwrap_or_default(),

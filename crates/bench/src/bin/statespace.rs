@@ -6,9 +6,11 @@
 //! states, transitions, final states and wall-clock time of exhaustive
 //! exploration — sequentially and with the parallel work-stealing
 //! engine (`--threads N`, default 4; `--steal-batch N` sets the number
-//! of states a thief moves per steal) — cross-checking that both
-//! engines produce identical verdicts. For contrast it also shows the
-//! per-test cost of a sequential run.
+//! of states a thief moves per steal; `--max-resident N` bounds the
+//! in-memory frontier, spilling overflow to disk through the canonical
+//! state codec) — cross-checking that both engines produce identical
+//! verdicts. For contrast it also shows the per-test cost of a
+//! sequential run.
 
 use bench::args::parse_arg;
 use ppc_litmus::{library, parse, run_limited};
@@ -36,14 +38,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let threads: usize = parse_arg("statespace", &args, "--threads", 4);
     let steal_batch: usize = parse_arg("statespace", &args, "--steal-batch", 0);
+    let max_resident: usize = parse_arg("statespace", &args, "--max-resident", 0);
 
     let params = ModelParams {
         steal_batch,
+        max_resident_states: max_resident,
         ..ModelParams::default()
     };
     println!(
-        "parallel engine: work-stealing, {threads} workers, steal batch {}",
-        params.effective_steal_batch()
+        "parallel engine: work-stealing, {threads} workers, steal batch {}{}",
+        params.effective_steal_batch(),
+        if max_resident == 0 {
+            String::new()
+        } else {
+            format!(", {max_resident} resident states (spill-to-disk)")
+        }
     );
     println!(
         "{:<22} {:>9} {:>12} {:>8} {:>9} {:>9} {:>8}",

@@ -36,11 +36,13 @@
 mod arith;
 mod bit;
 mod bv;
+pub mod codec;
 mod fmt;
 pub mod rng;
 
 pub use bit::{Bit, Tribool};
 pub use bv::Bv;
+pub use codec::{DecodeError, Reader, Writer};
 pub use rng::Prng;
 
 #[cfg(test)]

@@ -39,6 +39,15 @@ impl Env {
         self.slots[i] = Some(v);
     }
 
+    /// The number of slots (assigned or not) — the exact structural
+    /// size, needed by the canonical state codec to reproduce `Env`
+    /// equality (two environments with different trailing-`None` slot
+    /// counts are structurally distinct).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Iterate over assigned locals as `(Local, &Bv)`.
     pub fn iter(&self) -> impl Iterator<Item = (Local, &Bv)> {
         self.slots

@@ -169,11 +169,11 @@ pub(crate) enum Pending {
 /// per-address cache, as the concurrency model does.
 #[derive(Clone, Debug)]
 pub struct InstrState {
-    sem: Arc<Sem>,
+    pub(crate) sem: Arc<Sem>,
     pub(crate) env: Env,
     pub(crate) stack: Vec<Frame>,
     pub(crate) pending: Option<Pending>,
-    fuel: u32,
+    pub(crate) fuel: u32,
 }
 
 /// Generous default step budget; real POWER fixed-point semantics complete

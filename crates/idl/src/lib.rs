@@ -66,6 +66,7 @@
 mod analysis;
 mod ast;
 mod builder;
+pub mod codec;
 mod eval;
 mod interp;
 mod pretty;

@@ -28,8 +28,14 @@ use std::time::{Duration, Instant};
 pub struct HarnessConfig {
     /// Model parameters for every test. `params.threads` is the *inner*
     /// (per-exploration) parallelism — keep it at 1 when `jobs` already
-    /// saturates the machine — and `params.max_states` is the per-test
-    /// distinct-state budget.
+    /// saturates the machine — `params.max_states` is the per-test
+    /// distinct-state budget, and `params.max_resident_states` is the
+    /// per-test *resident-state* (memory) budget: each exploration keeps
+    /// at most that many decoded frontier states in memory, spilling
+    /// overflow to temp files through the canonical state codec, so a
+    /// whole run's frontier memory is bounded by
+    /// `pool × max_resident_states × sizeof(state)` regardless of how
+    /// big the individual state spaces grow (`0` = unlimited).
     pub params: ModelParams,
     /// Concurrent tests (`0` = one per available CPU).
     pub jobs: usize,
@@ -102,6 +108,10 @@ pub struct TestReport {
     pub states: usize,
     /// Transitions fired.
     pub transitions: usize,
+    /// Peak decoded frontier states resident in memory during the
+    /// exploration (softly bounded by the configured
+    /// `max_resident_states` when spilling is enabled).
+    pub resident_peak: usize,
     /// Wall-clock time for the exploration.
     pub wall: Duration,
 }
@@ -126,10 +136,14 @@ impl TestReport {
     }
 
     /// One JSON object (a single line, suitable for JSONL reports).
+    ///
+    /// Schema evolution is *additive only*: existing fields keep their
+    /// names and order (`resident_peak` was appended in the spill-store
+    /// change; everything before it is bit-for-bit the PR 2 schema).
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"name\":{},\"expected\":\"{}\",\"model\":\"{}\",\"match\":{},\"conclusive\":{},\"truncated\":{},\"states\":{},\"transitions\":{},\"finals\":{},\"wall_ms\":{:.3},\"pinned_by\":{}}}",
+            "{{\"name\":{},\"expected\":\"{}\",\"model\":\"{}\",\"match\":{},\"conclusive\":{},\"truncated\":{},\"states\":{},\"transitions\":{},\"finals\":{},\"wall_ms\":{:.3},\"pinned_by\":{},\"resident_peak\":{}}}",
             json_str(&self.name),
             self.expected,
             self.verdict(),
@@ -141,6 +155,7 @@ impl TestReport {
             self.finals,
             self.wall.as_secs_f64() * 1e3,
             json_str(&self.pinned_by),
+            self.resident_peak,
         )
     }
 
@@ -149,10 +164,11 @@ impl TestReport {
     /// downstream tooling and by the schema-stability round-trip test.
     /// Every field of the schema
     /// (`name`/`expected`/`model`/`match`/`conclusive`/`truncated`/
-    /// `states`/`transitions`/`finals`/`wall_ms`/`pinned_by`) must be
-    /// present, and the redundant `conclusive` field must agree with the
-    /// value derived from `truncated` and `model` — a disagreement means
-    /// the producer and consumer have drifted.
+    /// `states`/`transitions`/`finals`/`wall_ms`/`pinned_by`/
+    /// `resident_peak`) must be present, and the redundant `conclusive`
+    /// field must agree with the value derived from `truncated` and
+    /// `model` — a disagreement means the producer and consumer have
+    /// drifted.
     ///
     /// # Errors
     ///
@@ -198,6 +214,7 @@ impl TestReport {
             finals: get_usize("finals")?,
             states: get_usize("states")?,
             transitions: get_usize("transitions")?,
+            resident_peak: get_usize("resident_peak")?,
             wall: Duration::from_secs_f64(wall_ms / 1e3),
         };
         let conclusive = get_bool("conclusive")?;
@@ -414,6 +431,7 @@ fn run_one_with_threads(entry: &LitmusEntry, cfg: &HarnessConfig, threads: usize
         finals: check.result.finals,
         states: check.result.stats.states,
         transitions: check.result.stats.transitions,
+        resident_peak: check.result.stats.resident_peak,
         wall,
     }
 }

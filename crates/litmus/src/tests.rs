@@ -196,13 +196,16 @@ fn jsonl_report_round_trips() {
 /// current producer must keep parsing with these exact field names and
 /// meanings. Renaming or dropping any of
 /// name/expected/model/match/conclusive/truncated/states/transitions/
-/// finals/wall_ms/pinned_by breaks this test — by design, since it also
-/// breaks every downstream consumer of `conformance-report.jsonl`.
+/// finals/wall_ms/pinned_by/resident_peak breaks this test — by design,
+/// since it also breaks every downstream consumer of
+/// `conformance-report.jsonl`. Schema changes are additive only:
+/// `resident_peak` was appended (spill-store change); everything before
+/// it is the PR 2 line, fields in the same order.
 #[test]
 fn jsonl_schema_is_stable() {
     use crate::harness::TestReport;
 
-    let frozen = r#"{"name":"MP+sync+\"q\"","expected":"Allowed","model":"Forbidden","match":false,"conclusive":true,"truncated":false,"states":1155,"transitions":3383,"finals":4,"wall_ms":42.125,"pinned_by":"baseline\treordering"}"#;
+    let frozen = r#"{"name":"MP+sync+\"q\"","expected":"Allowed","model":"Forbidden","match":false,"conclusive":true,"truncated":false,"states":1155,"transitions":3383,"finals":4,"wall_ms":42.125,"pinned_by":"baseline\treordering","resident_peak":96}"#;
     let r = TestReport::from_json_line(frozen).expect("frozen schema line parses");
     assert_eq!(r.name, "MP+sync+\"q\"");
     assert_eq!(r.expected, Expectation::Allowed);
@@ -213,6 +216,7 @@ fn jsonl_schema_is_stable() {
     assert_eq!(r.states, 1155);
     assert_eq!(r.transitions, 3383);
     assert_eq!(r.finals, 4);
+    assert_eq!(r.resident_peak, 96);
     assert!((r.wall.as_secs_f64() - 0.042_125).abs() < 1e-9);
     assert_eq!(r.pinned_by, "baseline\treordering");
 
@@ -221,9 +225,12 @@ fn jsonl_schema_is_stable() {
     let drifted = frozen.replace("\"conclusive\":true", "\"conclusive\":false");
     assert!(TestReport::from_json_line(&drifted).is_err());
 
-    // Missing fields are errors, never defaults.
+    // Missing fields are errors, never defaults — including the
+    // appended `resident_peak`.
     let missing = frozen.replace("\"states\":1155,", "");
     assert!(TestReport::from_json_line(&missing).is_err());
+    let missing_peak = frozen.replace(",\"resident_peak\":96", "");
+    assert!(TestReport::from_json_line(&missing_peak).is_err());
 }
 
 /// Escaped names survive the full serialise → parse cycle.
@@ -242,6 +249,7 @@ fn jsonl_escaping_round_trips() {
         finals: 0,
         states: 17,
         transitions: 23,
+        resident_peak: 5,
         wall: Duration::from_micros(1500),
     };
     let line = original.to_json();

@@ -33,7 +33,9 @@
 
 pub mod oracle;
 pub mod pretty;
+pub mod state_codec;
 pub mod storage;
+pub mod store;
 pub mod system;
 pub mod thread;
 mod types;
@@ -42,7 +44,9 @@ pub use oracle::{
     explore, explore_bounded, explore_limited, run_sequential, ExplorationStats, ExploreLimits,
     FinalState, Outcomes,
 };
+pub use state_codec::{decode_state, encode_state, CodecCtx};
 pub use storage::{StorageState, StorageTransition};
+pub use store::StateStore;
 pub use system::{Program, SystemState, Transition};
 pub use thread::{InstanceId, InstrInstance, ThreadState, ThreadTransition};
 pub use types::{resolve_threads, BarrierEv, BarrierId, ModelParams, ThreadId, Write, WriteId};

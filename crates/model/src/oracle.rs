@@ -40,12 +40,13 @@
 //! deterministic progress) dominates the cost and parallelises
 //! embarrassingly.
 
+use crate::store::StateStore;
 use crate::system::{SystemState, Transition};
 use crate::thread::ThreadTransition;
 use crate::types::{ModelParams, ThreadId, WriteId};
 use ppc_bits::Bv;
 use ppc_idl::Reg;
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -82,6 +83,16 @@ pub struct ExplorationStats {
     /// Whether the state budget (or deadline) was exhausted (results
     /// incomplete).
     pub truncated: bool,
+    /// Peak number of decoded frontier states resident in memory at
+    /// once. Bounded (softly) by [`ModelParams::max_resident_states`]
+    /// when that is non-zero — overflow spills to disk through the
+    /// canonical state codec.
+    pub resident_peak: usize,
+    /// Frontier states that round-tripped through disk segments (always
+    /// `0` when [`ModelParams::max_resident_states`] is unlimited).
+    /// Lets tests assert that a forced-spill run actually exercised the
+    /// spill path rather than staying under its budget.
+    pub spilled_states: usize,
 }
 
 /// Default state budget for exhaustive exploration.
@@ -237,19 +248,43 @@ fn expand(
 }
 
 /// The sequential depth-first engine.
+///
+/// The visited set and frontier both live in a [`StateStore`]: fully in
+/// memory when [`ModelParams::max_resident_states`] is `0`, spilling the
+/// *oldest* (bottom-of-stack) frontier states and overgrown visited
+/// shards to temp files when the budget is crossed. Spilling cannot
+/// change the result — membership stays exact and decoded states are
+/// structurally identical to the originals — so finals and counts are
+/// byte-identical in both modes.
 fn explore_seq(
     initial: &SystemState,
     reg_obs: &[(ThreadId, Reg)],
     mem_obs: &[(u64, usize)],
     limits: &ExploreLimits,
 ) -> Outcomes {
+    let store = StateStore::new(initial.program.clone(), &initial.params, 1);
     let mut stats = ExplorationStats::default();
     let mut finals = BTreeSet::new();
-    let mut seen: HashSet<u64> = HashSet::new();
     let mut stack: Vec<SystemState> = vec![initial.clone()];
-    seen.insert(initial.digest());
+    store.insert_visited(initial.digest());
+    store.note_enqueued(1);
 
-    while let Some(state) = stack.pop() {
+    loop {
+        let state = match stack.pop() {
+            Some(s) => s,
+            None => {
+                // In-memory frontier dry: reload the newest spilled
+                // segment (sequential batched readback), if any.
+                let Some(seg) = store.unspill() else { break };
+                store.note_enqueued(seg.len());
+                stack.extend(seg);
+                match stack.pop() {
+                    Some(s) => s,
+                    None => break,
+                }
+            }
+        };
+        store.note_dequeued(1);
         stats.states += 1;
         if stats.states > limits.max_states {
             stats.truncated = true;
@@ -270,36 +305,25 @@ fn explore_seq(
         }
         stats.transitions += exp.transitions;
         for next in exp.succs {
-            if seen.insert(next.digest()) {
+            if store.insert_visited(next.digest()) {
+                store.note_enqueued(1);
                 stack.push(next);
             }
         }
-    }
-    Outcomes { finals, stats }
-}
-
-/// A digest-sharded visited set: one mutexed `HashSet` per shard, shard
-/// chosen by the low digest bits. Workers only contend when two distinct
-/// successor states hash into the same shard at the same moment.
-struct ShardedSeen {
-    shards: Vec<Mutex<HashSet<u64>>>,
-    mask: u64,
-}
-
-impl ShardedSeen {
-    fn new(threads: usize) -> Self {
-        let n = (threads * 16).next_power_of_two();
-        ShardedSeen {
-            shards: (0..n).map(|_| Mutex::new(HashSet::new())).collect(),
-            mask: (n - 1) as u64,
+        // Over budget: spill the oldest states (the stack bottom, the
+        // ones depth-first search would touch last anyway) down to half
+        // the budget, so spills are batched rather than per-push.
+        let budget = store.budget();
+        if budget != 0 && stack.len() > budget {
+            let excess = stack.len() - budget / 2;
+            let victims: Vec<SystemState> = stack.drain(..excess).collect();
+            store.spill_batch(&victims);
+            store.note_dequeued(victims.len());
         }
     }
-
-    /// Insert; true iff the digest was new.
-    fn insert(&self, digest: u64) -> bool {
-        let shard = &self.shards[(digest & self.mask) as usize];
-        shard.lock().expect("seen shard poisoned").insert(digest)
-    }
+    stats.resident_peak = store.resident_peak();
+    stats.spilled_states = store.spilled_states();
+    Outcomes { finals, stats }
 }
 
 /// Per-worker private accumulator of a work-stealing exploration.
@@ -339,10 +363,15 @@ struct StealPool<'a> {
     /// Whether the stop was a truncation (budget/deadline), as opposed to
     /// natural exhaustion of the state space.
     truncated: AtomicBool,
-    /// The digest-sharded visited set (shared with the old BFS engine's
-    /// design): exactly one worker wins the insertion race for each new
-    /// state, so each reachable state is expanded exactly once.
-    seen: ShardedSeen,
+    /// The two-tier store: the digest-sharded visited set (exactly one
+    /// worker wins the insertion race for each new state, so each
+    /// reachable state is expanded exactly once) plus the frontier's
+    /// disk half. When the resident budget is crossed, freshly published
+    /// successors are serialised to segment files instead of entering a
+    /// deque; dry workers read segments back in batches. Spilled states
+    /// were counted in `pending` at publication, so the termination
+    /// protocol is unchanged.
+    store: &'a StateStore,
     limits: &'a ExploreLimits,
     /// States a thief moves per steal ([`ModelParams::steal_batch`]).
     steal_batch: usize,
@@ -381,6 +410,21 @@ impl StealPool<'_> {
             return Some(first);
         }
         None
+    }
+
+    /// Reload one spilled frontier segment into the worker's own deque
+    /// and pop a state from it. Returns `None` when nothing is spilled
+    /// (or when a neighbour stole the whole reloaded batch first — the
+    /// states are still in deques and `pending` still counts them, so
+    /// the caller just retries).
+    fn unspill(&self, me: usize) -> Option<SystemState> {
+        let states = self.store.unspill()?;
+        self.store.note_enqueued(states.len());
+        self.deques[me]
+            .lock()
+            .expect("deque poisoned")
+            .extend(states);
+        self.pop_local(me)
     }
 
     /// Record a truncation (budget or deadline) and tell every worker to
@@ -430,10 +474,14 @@ fn steal_worker(
         if pool.stop.load(Ordering::SeqCst) {
             break;
         }
-        let Some(state) = pool.pop_local(me).or_else(|| pool.steal(me)) else {
-            // No work anywhere we looked. Retire only once no expansion
-            // is in flight either — an in-flight expansion may yet
-            // publish new work to steal.
+        let Some(state) = pool
+            .pop_local(me)
+            .or_else(|| pool.steal(me))
+            .or_else(|| pool.unspill(me))
+        else {
+            // No work anywhere we looked (deques or disk). Retire only
+            // once no expansion is in flight either — an in-flight
+            // expansion may yet publish new work to steal or spill.
             if pool.pending.load(Ordering::SeqCst) == 0 {
                 break;
             }
@@ -455,6 +503,7 @@ fn steal_worker(
             }
             continue;
         };
+        pool.store.note_dequeued(1);
         idle_spins = 0;
 
         // Cooperative budget claim, one state at a time. A failed claim
@@ -487,16 +536,23 @@ fn steal_worker(
         let fresh: Vec<SystemState> = exp
             .succs
             .into_iter()
-            .filter(|next| pool.seen.insert(next.digest()))
+            .filter(|next| pool.store.insert_visited(next.digest()))
             .collect();
         if !fresh.is_empty() {
             // Publish successors (and bump `pending`) before retiring the
             // parent, so `pending` cannot dip to zero while work remains.
+            // Over the resident budget, the batch goes to a segment file
+            // instead of a deque; it stays pending either way.
             pool.pending.fetch_add(fresh.len(), Ordering::SeqCst);
-            pool.deques[me]
-                .lock()
-                .expect("deque poisoned")
-                .extend(fresh);
+            if pool.store.should_spill(fresh.len()) {
+                pool.store.spill_batch(&fresh);
+            } else {
+                pool.store.note_enqueued(fresh.len());
+                pool.deques[me]
+                    .lock()
+                    .expect("deque poisoned")
+                    .extend(fresh);
+            }
         }
         pool.pending.fetch_sub(1, Ordering::SeqCst);
     }
@@ -521,17 +577,19 @@ fn explore_par(
     threads: usize,
     limits: &ExploreLimits,
 ) -> Outcomes {
+    let store = StateStore::new(initial.program.clone(), &initial.params, threads);
     let pool = StealPool {
         deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         pending: AtomicUsize::new(1),
         claimed: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
         truncated: AtomicBool::new(false),
-        seen: ShardedSeen::new(threads),
+        store: &store,
         limits,
         steal_batch: initial.params.effective_steal_batch(),
     };
-    pool.seen.insert(initial.digest());
+    pool.store.insert_visited(initial.digest());
+    pool.store.note_enqueued(1);
     pool.deques[0]
         .lock()
         .expect("deque poisoned")
@@ -554,6 +612,8 @@ fn explore_par(
     let mut stats = ExplorationStats {
         states: pool.claimed.load(Ordering::SeqCst),
         truncated: pool.truncated.load(Ordering::SeqCst),
+        resident_peak: store.resident_peak(),
+        spilled_states: store.spilled_states(),
         ..ExplorationStats::default()
     };
     let mut finals = BTreeSet::new();

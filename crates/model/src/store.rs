@@ -1,0 +1,497 @@
+//! The two-tier exploration store: digest-sharded visited set and
+//! frontier segments, in memory by default, transparently spilling to
+//! temp files when the resident-state budget
+//! ([`ModelParams::max_resident_states`]) is crossed.
+//!
+//! Exhaustive exploration of the biggest litmus tests blows past what an
+//! in-memory visited set and frontier can hold (ROADMAP: "frontier
+//! spill-to-disk for >10^7-state tests"). The store keeps both exact
+//! while bounding resident memory:
+//!
+//! - **Visited set**: one mutexed shard per low-digest-bits bucket, as
+//!   the work-stealing engine always had. Each shard holds a *hot*
+//!   `HashSet` plus at most one *cold run* — a sorted file of 8-byte
+//!   digests with an in-memory sparse index (one key per 512-digest
+//!   block), so a cold membership probe costs one 4 KiB positioned read.
+//!   When the hot set outgrows its budget the shard streams hot ∪ cold
+//!   into a fresh sorted run (LSM-style, merge deferred until the hot
+//!   set is at least a quarter of the run, so total write amplification
+//!   stays logarithmic). Membership stays *exact* — a false "new" would
+//!   change visited-state counts, a false "seen" would drop states.
+//! - **Frontier segments**: overflow states are serialised through the
+//!   canonical [`crate::state_codec`] into length-prefixed segment
+//!   files (newest segment read back first, preserving the search's
+//!   depth-first flavour) and decoded in sequential batches on readback.
+//!   Decoding resolves all shared structure against the program cache,
+//!   so a spilled-and-reloaded state has the same digest and the same
+//!   successors as the original — spilling cannot change what is
+//!   explored, only where it waits.
+//!
+//! The work-stealing engine's pending-count termination protocol is
+//! unchanged: spilled states are still *pending* (they were counted when
+//! published and are only retired after expansion), so `pending == 0`
+//! still means "nothing left anywhere, including on disk".
+//!
+//! Temp files live in a per-exploration directory under the system temp
+//! dir, created lazily on first spill and removed when the store drops;
+//! consumed segments are deleted as soon as they are read back.
+
+use crate::state_codec::CodecCtx;
+use crate::system::{Program, SystemState};
+use crate::types::ModelParams;
+use std::collections::HashSet;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Digests per cold-run index block: one sparse-index key each, so a
+/// membership probe reads `512 * 8 = 4096` bytes.
+const RUN_BLOCK: usize = 512;
+
+/// Minimum hot digests per shard before any flush is considered, even
+/// under tiny budgets (digests are ~100× smaller than states, so the
+/// visited set deserves a proportionally larger resident allowance).
+const MIN_HOT: usize = 64;
+
+/// Target states per frontier segment file under a budget `b`
+/// (`max(b/2, 16)`): half a budget's worth, so a readback refills the
+/// frontier without immediately re-crossing the threshold.
+fn segment_target(budget: usize) -> usize {
+    (budget / 2).max(16)
+}
+
+/// Process-unique suffix for spill directories.
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One shard of the visited set: exact membership over a hot in-memory
+/// set plus at most one cold sorted run on disk.
+struct VisitedShard {
+    hot: HashSet<u64>,
+    cold: Option<ColdRun>,
+}
+
+/// A sorted run of digests on disk, with a sparse in-memory index.
+struct ColdRun {
+    file: File,
+    path: PathBuf,
+    /// Number of digests in the run.
+    len: usize,
+    /// The first digest of each `RUN_BLOCK`-sized block.
+    index: Vec<u64>,
+}
+
+impl ColdRun {
+    /// Exact membership probe: locate the candidate block via the sparse
+    /// index, read it, binary-search within.
+    fn contains(&mut self, d: u64) -> bool {
+        // Last block whose first key is <= d.
+        let b = match self.index.partition_point(|&k| k <= d) {
+            0 => return false, // d precedes every key
+            p => p - 1,
+        };
+        let start = b * RUN_BLOCK;
+        let count = RUN_BLOCK.min(self.len - start);
+        let mut buf = vec![0u8; count * 8];
+        self.file
+            .seek(SeekFrom::Start((start * 8) as u64))
+            .expect("seek visited run");
+        self.file.read_exact(&mut buf).expect("read visited run");
+        let mut lo = 0usize;
+        let mut hi = count;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let k = u64::from_le_bytes(buf[mid * 8..mid * 8 + 8].try_into().expect("8 bytes"));
+            match k.cmp(&d) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        false
+    }
+}
+
+impl Drop for ColdRun {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// A finalized, unread frontier segment on disk.
+struct Segment {
+    path: PathBuf,
+    states: usize,
+}
+
+/// The open (still-appending) frontier segment.
+struct OpenSegment {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    states: usize,
+}
+
+/// The frontier's disk half: an optional open segment plus the stack of
+/// finalized ones (LIFO, so readback prefers the newest spill).
+#[derive(Default)]
+struct FrontierSpill {
+    open: Option<OpenSegment>,
+    segments: Vec<Segment>,
+}
+
+/// The two-tier exploration store shared by one exploration's workers.
+pub struct StateStore {
+    /// The codec context, built on first spill: the per-address block
+    /// enumerations walk every semantics AST, which is wasted work in
+    /// the (default, unlimited-budget) configuration where nothing ever
+    /// touches disk.
+    ctx: std::sync::OnceLock<CodecCtx>,
+    program: Arc<Program>,
+    params: ModelParams,
+    /// Resident-state budget (`0` = unlimited, never spill).
+    budget: usize,
+    /// Hot-digest budget per visited shard before a flush is considered.
+    hot_budget: usize,
+    shards: Vec<Mutex<VisitedShard>>,
+    mask: u64,
+    frontier: Mutex<FrontierSpill>,
+    /// Decoded frontier states currently resident in memory (all deques
+    /// or stacks), maintained by the engines via
+    /// [`StateStore::note_enqueued`] / [`StateStore::note_dequeued`].
+    resident: AtomicUsize,
+    resident_peak: AtomicUsize,
+    /// States that have been written to segment files (statistics).
+    spilled: AtomicUsize,
+    /// Lazily created spill directory.
+    dir: Mutex<Option<PathBuf>>,
+    seq: AtomicU64,
+}
+
+impl StateStore {
+    /// A store for one exploration: `threads` sizes the visited-set
+    /// sharding (as the work-stealing engine always did), and the
+    /// resident budget comes from `params.max_resident_states`.
+    #[must_use]
+    pub fn new(program: Arc<Program>, params: &ModelParams, threads: usize) -> Self {
+        let n = (threads.max(1) * 16).next_power_of_two();
+        let budget = params.max_resident_states;
+        // Digests are two orders of magnitude smaller than states, so
+        // the visited set's resident allowance scales the state budget
+        // up by 8× before splitting it across shards.
+        let hot_budget = if budget == 0 {
+            usize::MAX
+        } else {
+            (budget * 8 / n).max(MIN_HOT)
+        };
+        StateStore {
+            ctx: std::sync::OnceLock::new(),
+            program,
+            params: params.clone(),
+            budget,
+            hot_budget,
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(VisitedShard {
+                        hot: HashSet::new(),
+                        cold: None,
+                    })
+                })
+                .collect(),
+            mask: (n - 1) as u64,
+            frontier: Mutex::new(FrontierSpill::default()),
+            resident: AtomicUsize::new(0),
+            resident_peak: AtomicUsize::new(0),
+            spilled: AtomicUsize::new(0),
+            dir: Mutex::new(None),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The resident-state budget (`0` = unlimited).
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The codec context, built on first use.
+    fn ctx(&self) -> &CodecCtx {
+        self.ctx
+            .get_or_init(|| CodecCtx::new(self.program.clone(), self.params.clone()))
+    }
+
+    /// Whether publishing `incoming` more resident states would cross
+    /// the budget (always `false` when unlimited).
+    #[must_use]
+    pub fn should_spill(&self, incoming: usize) -> bool {
+        self.budget != 0 && self.resident.load(Ordering::Relaxed) + incoming > self.budget
+    }
+
+    /// Record `n` states entering in-memory frontiers.
+    pub fn note_enqueued(&self, n: usize) {
+        let now = self.resident.fetch_add(n, Ordering::Relaxed) + n;
+        self.resident_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record `n` states leaving in-memory frontiers.
+    pub fn note_dequeued(&self, n: usize) {
+        self.resident.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Peak number of resident frontier states observed.
+    #[must_use]
+    pub fn resident_peak(&self) -> usize {
+        self.resident_peak.load(Ordering::Relaxed)
+    }
+
+    /// Total states spilled to segment files (statistics/tests).
+    #[must_use]
+    pub fn spilled_states(&self) -> usize {
+        self.spilled.load(Ordering::Relaxed)
+    }
+
+    // ---- visited set ---------------------------------------------------
+
+    /// Insert a digest into the visited set; `true` iff it was new.
+    /// Exact regardless of spilling: the hot set and the cold run are
+    /// both consulted before inserting.
+    pub fn insert_visited(&self, digest: u64) -> bool {
+        let shard = &self.shards[(digest & self.mask) as usize];
+        let mut s = shard.lock().expect("visited shard poisoned");
+        if s.hot.contains(&digest) {
+            return false;
+        }
+        if let Some(cold) = &mut s.cold {
+            if cold.contains(digest) {
+                return false;
+            }
+        }
+        s.hot.insert(digest);
+        // LSM-style deferred flush: only once the hot set is both over
+        // its budget and a meaningful fraction of the cold run, so each
+        // merge grows the run geometrically and total rewrite cost stays
+        // O(n log n).
+        let cold_len = s.cold.as_ref().map_or(0, |c| c.len);
+        if s.hot.len() >= self.hot_budget && s.hot.len() * 4 >= cold_len {
+            self.flush_shard(&mut s);
+        }
+        true
+    }
+
+    /// Merge a shard's hot set and cold run into a fresh sorted run.
+    fn flush_shard(&self, s: &mut VisitedShard) {
+        let mut hot: Vec<u64> = s.hot.drain().collect();
+        hot.sort_unstable();
+        let path = self.fresh_path("run");
+        let file = File::create(&path).expect("create visited run");
+        let mut out = BufWriter::new(file);
+        let mut index = Vec::new();
+        let mut written = 0usize;
+        let push =
+            |out: &mut BufWriter<File>, index: &mut Vec<u64>, written: &mut usize, k: u64| {
+                if written.is_multiple_of(RUN_BLOCK) {
+                    index.push(k);
+                }
+                out.write_all(&k.to_le_bytes()).expect("write visited run");
+                *written += 1;
+            };
+        match s.cold.take() {
+            None => {
+                for &k in &hot {
+                    push(&mut out, &mut index, &mut written, k);
+                }
+            }
+            Some(mut old) => {
+                // Stream-merge the old run with the sorted hot set. The
+                // two are disjoint by construction (inserts probe cold
+                // before landing in hot).
+                old.file
+                    .seek(SeekFrom::Start(0))
+                    .expect("rewind visited run");
+                let mut reader = BufReader::new(&old.file);
+                let mut buf = [0u8; 8];
+                let mut next_old: Option<u64> = None;
+                let mut remaining = old.len;
+                let mut hi = 0usize;
+                loop {
+                    if next_old.is_none() && remaining > 0 {
+                        reader.read_exact(&mut buf).expect("read visited run");
+                        next_old = Some(u64::from_le_bytes(buf));
+                        remaining -= 1;
+                    }
+                    match (next_old, hot.get(hi)) {
+                        (None, None) => break,
+                        (Some(o), Some(&h)) if o < h => {
+                            push(&mut out, &mut index, &mut written, o);
+                            next_old = None;
+                        }
+                        (Some(_), Some(&h)) => {
+                            push(&mut out, &mut index, &mut written, h);
+                            hi += 1;
+                        }
+                        (Some(o), None) => {
+                            push(&mut out, &mut index, &mut written, o);
+                            next_old = None;
+                        }
+                        (None, Some(&h)) => {
+                            push(&mut out, &mut index, &mut written, h);
+                            hi += 1;
+                        }
+                    }
+                }
+                drop(reader);
+                // `old` drops here, deleting its file.
+            }
+        }
+        out.flush().expect("flush visited run");
+        drop(out);
+        let file = File::open(&path).expect("reopen visited run");
+        s.cold = Some(ColdRun {
+            file,
+            path,
+            len: written,
+            index,
+        });
+    }
+
+    // ---- frontier segments ---------------------------------------------
+
+    /// Spill a batch of frontier states to the current open segment,
+    /// finalizing it once it reaches the segment target. The states must
+    /// belong to this store's program/params (they are encoded through
+    /// the canonical codec).
+    pub fn spill_batch(&self, states: &[SystemState]) {
+        if states.is_empty() {
+            return;
+        }
+        // Encode outside the frontier lock: encoding is the CPU-heavy
+        // part, writing is sequential-buffered.
+        let encoded: Vec<Vec<u8>> = states.iter().map(|s| self.ctx().encode(s)).collect();
+        let target = segment_target(self.budget);
+        let mut fr = self.frontier.lock().expect("frontier spill poisoned");
+        for bytes in encoded {
+            let open = fr.open.get_or_insert_with(|| {
+                let path = self.fresh_path("seg");
+                OpenSegment {
+                    writer: BufWriter::new(File::create(&path).expect("create frontier segment")),
+                    path,
+                    states: 0,
+                }
+            });
+            let len = u32::try_from(bytes.len()).expect("encoded state fits u32");
+            open.writer
+                .write_all(&len.to_le_bytes())
+                .expect("write frontier segment");
+            open.writer
+                .write_all(&bytes)
+                .expect("write frontier segment");
+            open.states += 1;
+            if open.states >= target {
+                let open = fr.open.take().expect("open segment present");
+                fr.segments.push(seal(open));
+            }
+        }
+        self.spilled.fetch_add(states.len(), Ordering::Relaxed);
+    }
+
+    /// Read back one spilled segment (the newest), decoding its states
+    /// in order. Returns `None` when nothing is spilled. The caller owns
+    /// the returned states (and should [`StateStore::note_enqueued`]
+    /// them if they re-enter an in-memory frontier).
+    pub fn unspill(&self) -> Option<Vec<SystemState>> {
+        let seg = {
+            let mut fr = self.frontier.lock().expect("frontier spill poisoned");
+            match fr.segments.pop() {
+                Some(seg) => seg,
+                None => {
+                    let open = fr.open.take()?;
+                    seal(open)
+                }
+            }
+        };
+        let file = File::open(&seg.path).expect("open frontier segment");
+        let mut reader = BufReader::new(file);
+        let mut out = Vec::with_capacity(seg.states);
+        let mut lenbuf = [0u8; 4];
+        for _ in 0..seg.states {
+            reader
+                .read_exact(&mut lenbuf)
+                .expect("read frontier segment");
+            let n = u32::from_le_bytes(lenbuf) as usize;
+            let mut bytes = vec![0u8; n];
+            reader
+                .read_exact(&mut bytes)
+                .expect("read frontier segment");
+            let state = self
+                .ctx()
+                .decode(&bytes)
+                .expect("spilled state decodes exactly");
+            out.push(state);
+        }
+        let _ = fs::remove_file(&seg.path);
+        Some(out)
+    }
+
+    /// Whether any frontier states are currently on disk.
+    #[must_use]
+    pub fn has_spilled_frontier(&self) -> bool {
+        let fr = self.frontier.lock().expect("frontier spill poisoned");
+        !fr.segments.is_empty() || fr.open.as_ref().is_some_and(|o| o.states > 0)
+    }
+
+    // ---- temp-file lifecycle -------------------------------------------
+
+    /// A fresh file path in the (lazily created) spill directory.
+    fn fresh_path(&self, kind: &str) -> PathBuf {
+        let mut dir = self.dir.lock().expect("spill dir poisoned");
+        let dir = dir.get_or_insert_with(|| {
+            let d = std::env::temp_dir().join(format!(
+                "ppcmem-spill-{}-{}",
+                std::process::id(),
+                SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&d).expect("create spill dir");
+            d
+        });
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        dir.join(format!("{kind}-{n}.bin"))
+    }
+}
+
+/// Finalize an open segment: flush and convert to a readable [`Segment`].
+fn seal(open: OpenSegment) -> Segment {
+    let OpenSegment {
+        path,
+        mut writer,
+        states,
+    } = open;
+    writer.flush().expect("flush frontier segment");
+    drop(writer);
+    Segment { path, states }
+}
+
+impl Drop for StateStore {
+    fn drop(&mut self) {
+        // Cold runs delete their own files; remove any remaining
+        // segments and the directory itself (best effort).
+        if let Ok(mut fr) = self.frontier.lock() {
+            if let Some(open) = fr.open.take() {
+                let _ = fs::remove_file(&open.path);
+            }
+            for seg in fr.segments.drain(..) {
+                let _ = fs::remove_file(&seg.path);
+            }
+        }
+        // Drop shards' cold runs before removing the directory.
+        for shard in &self.shards {
+            if let Ok(mut s) = shard.lock() {
+                s.cold = None;
+            }
+        }
+        if let Ok(dir) = self.dir.lock() {
+            if let Some(d) = dir.as_ref() {
+                let _ = fs::remove_dir_all(d);
+            }
+        }
+    }
+}

@@ -113,9 +113,27 @@ pub struct SystemState {
     pub storage: StorageState,
     /// Model parameters.
     pub params: ModelParams,
-    next_write_id: u32,
-    next_barrier_id: u32,
+    pub(crate) next_write_id: u32,
+    pub(crate) next_barrier_id: u32,
 }
+
+/// Structural equality of whole system states. Programs are compared by
+/// pointer (they are shared, immutable, and cached per search); all
+/// dynamic state — threads, storage, event-id allocators, parameters —
+/// is compared structurally. This is the `decode(encode(s)) == s`
+/// contract of the canonical state codec.
+impl PartialEq for SystemState {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.program, &other.program)
+            && self.threads == other.threads
+            && self.storage == other.storage
+            && self.params == other.params
+            && self.next_write_id == other.next_write_id
+            && self.next_barrier_id == other.next_barrier_id
+    }
+}
+
+impl Eq for SystemState {}
 
 impl SystemState {
     /// Build the initial state: threads with initial registers and entry

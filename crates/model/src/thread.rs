@@ -130,6 +130,41 @@ pub struct InstrInstance {
     pub nia: Option<u64>,
 }
 
+/// Structural equality of instruction instances. The shared semantics
+/// is compared by pointer (instances of the same program share one
+/// `Arc<Sem>` per address via the program cache — and [`InstrState`]'s
+/// own equality already requires pointer-equal semantics); footprints
+/// are compared by content (the dynamic footprint is re-analysed per
+/// state, so its `Arc` is not always shared).
+impl PartialEq for InstrInstance {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.parent == other.parent
+            && self.children == other.children
+            && self.addr == other.addr
+            && self.instr == other.instr
+            && Arc::ptr_eq(&self.sem, &other.sem)
+            && self.state == other.state
+            && *self.static_fp == *other.static_fp
+            && *self.dyn_fp == *other.dyn_fp
+            && self.reg_reads == other.reg_reads
+            && self.reg_writes == other.reg_writes
+            && self.mem_reads == other.mem_reads
+            && self.pending_read == other.pending_read
+            && self.mem_writes == other.mem_writes
+            && self.pending_cond_write == other.pending_cond_write
+            && self.barrier == other.barrier
+            && self.barrier_committed == other.barrier_committed
+            && self.barrier_id == other.barrier_id
+            && self.barrier_acked == other.barrier_acked
+            && self.done == other.done
+            && self.finished == other.finished
+            && self.nia == other.nia
+    }
+}
+
+impl Eq for InstrInstance {}
+
 impl InstrInstance {
     /// Whether the instance's static analysis says it can branch (more
     /// than one possible next address).
@@ -224,7 +259,7 @@ impl InstrInstance {
 }
 
 /// The per-thread half of a system state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ThreadState {
     /// This thread's id.
     pub tid: ThreadId,

@@ -106,6 +106,15 @@ pub struct ModelParams {
     /// [`ModelParams::DEFAULT_STEAL_BATCH`]. Purely a performance knob:
     /// it cannot change which states are visited, only who expands them.
     pub steal_batch: usize,
+    /// Resident-state budget for exhaustive exploration: the maximum
+    /// number of *decoded* frontier states held in memory at once. When
+    /// the frontier crosses it, overflow states are spilled to temp
+    /// files through the canonical state codec (and visited-set shards
+    /// flush digests to sorted on-disk runs), so explorations far larger
+    /// than RAM stay exact. `0` means unlimited (everything stays in
+    /// memory, as before). Purely a memory/perf knob: spilling cannot
+    /// change which states are visited, the counts, or the finals.
+    pub max_resident_states: usize,
 }
 
 /// Resolve a worker-count knob: `0` means one worker per available CPU.
@@ -158,6 +167,7 @@ impl Default for ModelParams {
             threads: 1,
             max_states: Self::DEFAULT_MAX_STATES,
             steal_batch: Self::DEFAULT_STEAL_BATCH,
+            max_resident_states: 0,
         }
     }
 }

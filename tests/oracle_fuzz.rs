@@ -1,14 +1,17 @@
 //! Randomized differential fuzzing of the work-stealing parallel oracle.
 //!
-//! A seeded [`Prng`] generates small random litmus programs — 2–4
-//! hardware threads of loads, stores, barriers, and address/data/control
-//! dependencies over 2–3 shared word locations — and every program is
-//! explored exhaustively by both engines: the sequential depth-first
-//! reference and the work-stealing parallel engine (with randomized
-//! worker counts and steal-batch sizes). The engines must agree *byte
-//! for byte* on `Outcomes::finals`, and on the visited-state and
-//! transition counts. Any mismatch prints the offending seed and the
-//! generated program so the failure replays deterministically.
+//! A seeded [`Prng`] generates small random litmus programs (shared
+//! generator in `tests/common`) — 2–4 hardware threads of loads, stores,
+//! barriers, address/data/control dependencies, and `lwarx`/`stwcx.`
+//! read-modify-write pairs over 2–3 shared word locations — and every
+//! program is explored exhaustively by both engines: the sequential
+//! depth-first reference and the work-stealing parallel engine (with
+//! randomized worker counts, steal-batch sizes, and — for programs with
+//! reservation pairs — randomized spurious-stcx-failure permission).
+//! The engines must agree *byte for byte* on `Outcomes::finals`, and on
+//! the visited-state and transition counts. Any mismatch prints the
+//! offending seed and the generated program so the failure replays
+//! deterministically.
 //!
 //! Also here: the `ExploreLimits` truncation contract under the new
 //! engine — a deliberately oversized test must come back truncated from
@@ -21,187 +24,25 @@
 //! per-program distinct-state budget — raise it to differentially check
 //! the bigger tail of generated programs instead of skipping them).
 
+mod common;
+
+use common::{env_u64, gen_program, has_rmw};
 use ppcmem::bits::Prng;
-use ppcmem::idl::Reg;
 use ppcmem::litmus::harness::{run_one, run_suite, HarnessConfig};
 use ppcmem::litmus::{build_system, library, parse, run_limited};
 use ppcmem::model::{explore_limited, ExploreLimits, ModelParams};
 use std::time::{Duration, Instant};
 
-/// Shared memory locations the generator draws from.
-const LOC_NAMES: [&str; 3] = ["x", "y", "z"];
-
-/// Barrier menu (everything the front end accepts that reaches the
-/// model: full sync, lwsync, eieio, and the execution barrier isync).
-const BARRIERS: [&str; 4] = ["sync", "lwsync", "eieio", "isync"];
-
-/// One generated litmus program plus the observation footprint the
-/// differential check explores with.
-struct GenProgram {
-    /// The `.litmus` source text (fed through the real parser, so the
-    /// fuzzer also exercises the front end).
-    source: String,
-    /// Every load destination register, by thread.
-    reg_obs: Vec<(usize, Reg)>,
-}
-
-/// Generate one random program from `seed`.
-///
-/// Shapes are kept small enough that exhaustive exploration stays in
-/// CI-friendly territory: thread counts are weighted toward 2–3, and
-/// per-thread operation counts shrink as the thread count grows (the
-/// state space is roughly exponential in total operations).
-fn gen_program(seed: u64) -> GenProgram {
-    let mut rng = Prng::seed_from_u64(seed);
-    let nthreads: usize = [2, 2, 2, 3, 3, 4][rng.gen_range(0..6usize)];
-    let nlocs: usize = rng.gen_range(2..4usize);
-    // The state space is roughly exponential in the *total* number of
-    // memory operations, so the generator budgets operations across the
-    // whole program (3 or 4), not per thread: every thread gets at least
-    // one, the surplus lands at random (capped at 3 per thread).
-    let total_ops = (3 + rng.gen_range(0..2usize)).max(nthreads);
-    let mut ops_of = vec![1usize; nthreads];
-    let mut surplus = total_ops.saturating_sub(nthreads);
-    while surplus > 0 {
-        let t = rng.gen_range(0..nthreads);
-        if ops_of[t] < 3 {
-            ops_of[t] += 1;
-            surplus -= 1;
-        }
-    }
-
-    let mut reg_obs: Vec<(usize, Reg)> = Vec::new();
-    let mut threads: Vec<Vec<String>> = Vec::new();
-    for (tid, &nops) in ops_of.iter().enumerate() {
-        let mut lines: Vec<String> = Vec::new();
-        // r1..r{nlocs} hold location addresses; fresh value registers
-        // are allocated from r4 up (r0 is avoided: it reads as zero in
-        // D-form addressing).
-        let mut next_reg: u8 = 4;
-        let mut alloc = || {
-            let r = next_reg;
-            next_reg += 1;
-            r
-        };
-        // Destination of the most recent load, for dependency ops.
-        let mut last_load: Option<u8> = None;
-        for op in 0..nops {
-            let loc_reg = 1 + rng.gen_range(0..nlocs as u8);
-            let kind = rng.gen_range(0..10u32);
-            match kind {
-                // Plain store of a small constant.
-                0..=2 => {
-                    let rc = alloc();
-                    let k = rng.gen_range(1..3u64);
-                    lines.push(format!("li r{rc},{k}"));
-                    lines.push(format!("stw r{rc},0(r{loc_reg})"));
-                }
-                // Plain load.
-                3..=5 => {
-                    let rd = alloc();
-                    lines.push(format!("lwz r{rd},0(r{loc_reg})"));
-                    last_load = Some(rd);
-                    reg_obs.push((tid, Reg::Gpr(rd)));
-                }
-                // A barrier.
-                6 => {
-                    lines.push(BARRIERS[rng.gen_range(0..BARRIERS.len())].to_owned());
-                }
-                // Address-dependent load (falls back to a plain load when
-                // no prior load exists to depend on).
-                7 => {
-                    let rd = alloc();
-                    if let Some(rp) = last_load {
-                        let rt = alloc();
-                        lines.push(format!("xor r{rt},r{rp},r{rp}"));
-                        lines.push(format!("lwzx r{rd},r{loc_reg},r{rt}"));
-                    } else {
-                        lines.push(format!("lwz r{rd},0(r{loc_reg})"));
-                    }
-                    last_load = Some(rd);
-                    reg_obs.push((tid, Reg::Gpr(rd)));
-                }
-                // Data-dependent store.
-                8 => {
-                    let rt = alloc();
-                    let k = rng.gen_range(1..3u64);
-                    if let Some(rp) = last_load {
-                        lines.push(format!("xor r{rt},r{rp},r{rp}"));
-                        lines.push(format!("addi r{rt},r{rt},{k}"));
-                    } else {
-                        lines.push(format!("li r{rt},{k}"));
-                    }
-                    lines.push(format!("stw r{rt},0(r{loc_reg})"));
-                }
-                // Control-dependent store (an always-taken compare/branch
-                // off the last load, as in the MP+sync+ctrl family).
-                _ => {
-                    let rc = alloc();
-                    let k = rng.gen_range(1..3u64);
-                    if let Some(rp) = last_load {
-                        let label = format!("LC{tid}x{op}");
-                        lines.push(format!("cmpw r{rp},r{rp}"));
-                        lines.push(format!("beq {label}"));
-                        lines.push(format!("{label}:"));
-                    }
-                    lines.push(format!("li r{rc},{k}"));
-                    lines.push(format!("stw r{rc},0(r{loc_reg})"));
-                }
-            }
-        }
-        threads.push(lines);
-    }
-
-    // Init block: address registers for every thread, zeroed locations.
-    let mut init = String::new();
-    for tid in 0..nthreads {
-        for (i, loc) in LOC_NAMES.iter().take(nlocs).enumerate() {
-            init.push_str(&format!("{tid}:r{}={loc}; ", i + 1));
-        }
-        init.push('\n');
-    }
-    for loc in LOC_NAMES.iter().take(nlocs) {
-        init.push_str(&format!("{loc}=0; "));
-    }
-
-    // Column-per-thread code table.
-    let header: Vec<String> = (0..nthreads).map(|t| format!("P{t}")).collect();
-    let mut table = format!(" {} ;\n", header.join(" | "));
-    let rows = threads.iter().map(Vec::len).max().unwrap_or(0);
-    for r in 0..rows {
-        let cells: Vec<&str> = threads
-            .iter()
-            .map(|t| t.get(r).map_or("", String::as_str))
-            .collect();
-        table.push_str(&format!(" {} ;\n", cells.join(" | ")));
-    }
-
-    // A plausible exists-condition over the loaded registers (the
-    // differential check observes the registers directly, but this keeps
-    // the generated source a complete, parser-valid litmus test).
-    let cond = if reg_obs.is_empty() {
-        "exists (true)".to_owned()
-    } else {
-        let atoms: Vec<String> = reg_obs
-            .iter()
-            .map(|&(tid, reg)| {
-                let Reg::Gpr(g) = reg else { unreachable!() };
-                format!("{tid}:r{g}={}", rng.gen_range(0..3u64))
-            })
-            .collect();
-        format!("exists ({})", atoms.join(" /\\ "))
-    };
-
-    GenProgram {
-        source: format!("POWER FUZZ_{seed:016x}\n{{\n{init}\n}}\n{table}{cond}\n"),
-        reg_obs,
-    }
-}
-
 /// The outcome of one differential run.
 enum FuzzOutcome {
-    /// Both engines ran to exhaustion and agreed.
-    Checked,
+    /// Both engines ran to exhaustion and agreed. Carries whether the
+    /// program contained an lwarx/stwcx. pair, for coverage accounting
+    /// (the check derives it anyway, so the caller need not regenerate
+    /// the program).
+    Checked {
+        /// The program exercised the reservation machinery.
+        rmw: bool,
+    },
     /// The sequential reference blew the per-program state budget —
     /// truncated explorations may legitimately visit different prefixes,
     /// so the program is skipped (and counted, so a generator drift that
@@ -225,9 +66,16 @@ fn differential_check(seed: u64, budget: usize) -> FuzzOutcome {
     let mut cfg_rng = Prng::seed_from_u64(seed ^ 0x0057_EA1B_A7C4_FFFF);
     let threads: usize = [2, 3, 4][cfg_rng.gen_range(0..3usize)];
     let steal_batch: usize = [1, 2, 7, 64][cfg_rng.gen_range(0..4usize)];
+    // For programs with a reservation pair, sometimes also allow
+    // spurious store-conditional failures — the extra failure branch is
+    // part of the architectural envelope and exercises the restart-free
+    // stcx-fail path in `thread.rs`/`system.rs`.
+    let rmw = has_rmw(&prog);
+    let spurious = rmw && cfg_rng.gen_range(0..4u32) == 0;
 
     let params = ModelParams {
         steal_batch,
+        allow_spurious_stcx_failure: spurious,
         ..ModelParams::default()
     };
     let state = build_system(&test, &params);
@@ -259,7 +107,8 @@ fn differential_check(seed: u64, budget: usize) -> FuzzOutcome {
 
     let context = || {
         format!(
-            "fuzz seed {seed:#018x} ({threads} workers, steal batch {steal_batch})\n\
+            "fuzz seed {seed:#018x} ({threads} workers, steal batch {steal_batch}, \
+             spurious stcx {spurious})\n\
              replay: ORACLE_FUZZ_SEED={seed:#x} ORACLE_FUZZ_PROGRAMS=1 \
              cargo test --release --test oracle_fuzz\n{}",
             prog.source
@@ -295,20 +144,7 @@ fn differential_check(seed: u64, budget: usize) -> FuzzOutcome {
         par.finals.len(),
         context()
     );
-    FuzzOutcome::Checked
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Err(_) => default,
-        Ok(v) => {
-            let v = v.trim();
-            let parsed = v
-                .strip_prefix("0x")
-                .map_or_else(|| v.parse().ok(), |h| u64::from_str_radix(h, 16).ok());
-            parsed.unwrap_or_else(|| panic!("{name}: unparseable value `{v}`"))
-        }
-    }
+    FuzzOutcome::Checked { rmw }
 }
 
 #[test]
@@ -323,21 +159,37 @@ fn fuzz_work_stealing_matches_sequential() {
 
     let mut checked = 0usize;
     let mut skipped = 0usize;
+    let mut rmw_checked = 0usize;
     for i in 0..programs {
         let seed = base.wrapping_add(i as u64);
         match differential_check(seed, budget) {
-            FuzzOutcome::Checked => checked += 1,
+            FuzzOutcome::Checked { rmw } => {
+                checked += 1;
+                rmw_checked += usize::from(rmw);
+            }
             FuzzOutcome::Skipped => skipped += 1,
         }
     }
-    println!("oracle fuzz: {checked} programs checked, {skipped} skipped (base seed {base:#x})");
-    // The generator is tuned so the vast majority of programs fit the
-    // budget; if that drifts, the differential coverage quietly rots, so
-    // fail loudly instead.
+    println!(
+        "oracle fuzz: {checked} programs checked ({rmw_checked} with lwarx/stwcx.), \
+         {skipped} skipped (base seed {base:#x})"
+    );
+    // About two thirds of generated programs fit the default budget
+    // (lwarx/stwcx. pairs inflate the tail past it — CI's release soak
+    // raises ORACLE_FUZZ_BUDGET to differentially check deeper); if
+    // coverage drifts below half, the differential sweep is quietly
+    // rotting, so fail loudly instead.
     assert!(
         checked >= programs.div_ceil(2),
         "only {checked}/{programs} fuzz programs fit the {budget}-state budget — \
          shrink the generator shapes or raise the budget"
+    );
+    // Likewise for the reservation machinery: a full-size sweep that
+    // never differentially checks an lwarx/stwcx. program means the op
+    // menu drifted and the §6.2 paths went dark.
+    assert!(
+        programs < 50 || rmw_checked > 0,
+        "no lwarx/stwcx. program survived the budget in a {programs}-program sweep"
     );
 }
 
