@@ -214,32 +214,32 @@ struct Expansion {
 /// observable final states into `finals`) or produce its successors.
 /// Shared verbatim by the sequential and parallel engines so they cannot
 /// drift apart.
+///
+/// `scratch` is a per-worker transition buffer reused across every state
+/// the worker expands (the enumeration is rebuilt into it each call), so
+/// the hot loop performs no per-state transition-list allocation.
 fn expand(
     state: &SystemState,
     reg_obs: &[(ThreadId, Reg)],
     mem_obs: &[(u64, usize)],
     finals: &mut BTreeSet<FinalState>,
+    scratch: &mut Vec<Transition>,
 ) -> Expansion {
-    let ts = state.enumerate_transitions();
-    let all_finished = state
-        .threads
-        .iter()
-        .all(crate::thread::ThreadState::all_finished);
-    let fetchable = ts
+    state.enumerate_transitions_into(scratch);
+    let all_finished = state.threads.iter().all(|th| th.all_finished());
+    let fetchable = scratch
         .iter()
         .any(|t| matches!(t, Transition::Thread(ThreadTransition::Fetch { .. })));
     if all_finished && !fetchable {
-        for fs in extract_finals(state, reg_obs, mem_obs) {
-            finals.insert(fs);
-        }
+        extract_finals(state, reg_obs, mem_obs, finals);
         return Expansion {
             succs: Vec::new(),
             transitions: 0,
             is_final: true,
         };
     }
-    let transitions = ts.len();
-    let succs = ts.iter().map(|t| state.apply(t)).collect();
+    let transitions = scratch.len();
+    let succs = scratch.iter().map(|t| state.apply(t)).collect();
     Expansion {
         succs,
         transitions,
@@ -265,6 +265,7 @@ fn explore_seq(
     let store = StateStore::new(initial.program.clone(), &initial.params, 1);
     let mut stats = ExplorationStats::default();
     let mut finals = BTreeSet::new();
+    let mut scratch = Vec::new();
     let mut stack: Vec<SystemState> = vec![initial.clone()];
     store.insert_visited(initial.digest());
     store.note_enqueued(1);
@@ -298,7 +299,7 @@ fn explore_seq(
                 }
             }
         }
-        let exp = expand(&state, reg_obs, mem_obs, &mut finals);
+        let exp = expand(&state, reg_obs, mem_obs, &mut finals, &mut scratch);
         if exp.is_final {
             stats.final_hits += 1;
             continue;
@@ -469,6 +470,7 @@ fn steal_worker(
         transitions: 0,
         final_hits: 0,
     };
+    let mut scratch = Vec::new();
     let mut idle_spins: u32 = 0;
     loop {
         if pool.stop.load(Ordering::SeqCst) {
@@ -526,7 +528,7 @@ fn steal_worker(
             }
         }
 
-        let exp = expand(&state, reg_obs, mem_obs, &mut out.finals);
+        let exp = expand(&state, reg_obs, mem_obs, &mut out.finals, &mut scratch);
         if exp.is_final {
             out.final_hits += 1;
             pool.pending.fetch_sub(1, Ordering::SeqCst);
@@ -627,12 +629,19 @@ fn explore_par(
 
 /// Extract the observable final states of a quiescent system state
 /// (possibly several, one per coherence completion of each queried
-/// location).
+/// location) straight into `finals`.
+///
+/// The cartesian product over locations works on *borrowed* candidate
+/// values and clones each register map and memory value exactly once, at
+/// the leaf that builds the emitted [`FinalState`] — the earlier
+/// level-by-level construction cloned every partial state (whole maps)
+/// once per candidate per location.
 fn extract_finals(
     state: &SystemState,
     reg_obs: &[(ThreadId, Reg)],
     mem_obs: &[(u64, usize)],
-) -> Vec<FinalState> {
+    finals: &mut BTreeSet<FinalState>,
+) {
     let mut regs = BTreeMap::new();
     for &(tid, reg) in reg_obs {
         regs.insert((tid, reg), state.threads[tid].final_reg(reg));
@@ -642,23 +651,38 @@ fn extract_finals(
     for &(addr, size) in mem_obs {
         per_loc.push((addr, final_values_at(state, addr, size)));
     }
-    // Cartesian product over locations.
-    let mut out = vec![FinalState {
-        regs,
-        mem: BTreeMap::new(),
-    }];
-    for (addr, candidates) in per_loc {
-        let mut next = Vec::new();
-        for partial in &out {
-            for v in &candidates {
-                let mut fs = partial.clone();
-                fs.mem.insert(addr, v.clone());
-                next.push(fs);
+    // Cartesian product over locations, borrowing until the leaf.
+    let mut chosen: Vec<(u64, &Bv)> = Vec::with_capacity(per_loc.len());
+    finals_product(&regs, &per_loc, &mut chosen, finals);
+}
+
+/// Recursive leg of the per-location cartesian product: `chosen` holds
+/// one borrowed candidate per already-visited location; each complete
+/// assignment becomes one owned [`FinalState`].
+fn finals_product<'a>(
+    regs: &BTreeMap<(ThreadId, Reg), Bv>,
+    per_loc: &'a [(u64, Vec<Bv>)],
+    chosen: &mut Vec<(u64, &'a Bv)>,
+    finals: &mut BTreeSet<FinalState>,
+) {
+    // `chosen` borrows from earlier `per_loc` entries, so the recursion
+    // threads the remaining suffix; `split_first` keeps lifetimes tied
+    // to `per_loc` itself.
+    match per_loc.split_first() {
+        None => {
+            finals.insert(FinalState {
+                regs: regs.clone(),
+                mem: chosen.iter().map(|&(a, v)| (a, v.clone())).collect(),
+            });
+        }
+        Some(((addr, candidates), rest)) => {
+            for v in candidates {
+                chosen.push((*addr, v));
+                finals_product(regs, rest, chosen, finals);
+                chosen.pop();
             }
         }
-        out = next;
     }
-    out
 }
 
 /// All possible final values of `[addr, addr+size)`: one per
@@ -696,15 +720,25 @@ fn permute(
     values: &mut BTreeSet<Bv>,
 ) {
     if order.len() == covering.len() {
-        let mut v = Bv::empty();
+        // Assemble the value bit-by-bit from the *borrowed* supplying
+        // writes; the only allocation is the final `Bv` inserted into
+        // the set (the per-byte `final_byte_value` path cloned a fresh
+        // one-byte `Bv` per byte per linearisation, then re-allocated
+        // the accumulator on every concat).
+        let mut bits = Vec::with_capacity(size * 8);
         for i in 0..size {
             let b = addr + i as u64;
-            match state.storage.final_byte_value(order, b) {
-                Some(byte) => v = v.concat(&byte),
-                None => v = v.concat(&Bv::undef(8)),
+            match state.storage.final_byte_write(order, b) {
+                Some(w) => {
+                    let off = ((b - w.addr) as usize) * 8;
+                    for k in 0..8 {
+                        bits.push(w.value.bit(off + k));
+                    }
+                }
+                None => bits.extend(std::iter::repeat_n(ppc_bits::Bit::Undef, 8)),
             }
         }
-        values.insert(v);
+        values.insert(Bv::from_bits(bits));
         return;
     }
     for (i, &w) in covering.iter().enumerate() {

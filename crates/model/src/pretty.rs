@@ -20,12 +20,12 @@ impl SystemState {
         let mut out = String::new();
         let _ = writeln!(out, "Storage subsystem state:");
         let _ = writeln!(out, "  writes seen = {{");
-        for w in &self.storage.writes_seen {
+        for w in self.storage.writes_seen.iter() {
             let _ = writeln!(out, "    {}", self.render_write(*w));
         }
         let _ = writeln!(out, "  }}");
         let _ = writeln!(out, "  coherence = {{");
-        for (a, b) in &self.storage.coherence {
+        for (a, b) in self.storage.coherence.iter() {
             let _ = writeln!(
                 out,
                 "    {} -> {}",

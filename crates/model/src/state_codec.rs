@@ -29,7 +29,7 @@ use crate::system::{Program, SystemState};
 use crate::thread::{
     InstanceId, InstrInstance, PendingWrite, ReadSource, RegReadRec, SatRead, ThreadState,
 };
-use crate::types::{BarrierEv, BarrierId, ModelParams, Write, WriteId};
+use crate::types::{BarrierEv, BarrierId, DigestCell, ModelParams, Write, WriteId};
 use ppc_bits::{DecodeError, Reader, Writer};
 use ppc_idl::codec::{
     decode_barrier_kind, decode_footprint, decode_instr_state, decode_reg, decode_reg_slice,
@@ -132,11 +132,12 @@ impl CodecCtx {
         }
         Ok(SystemState {
             program: self.program.clone(),
-            threads,
-            storage,
+            threads: threads.into_iter().map(Arc::new).collect(),
+            storage: Arc::new(storage),
             params: self.params.clone(),
             next_write_id,
             next_barrier_id,
+            digest: DigestCell::new(),
         })
     }
 
@@ -179,7 +180,7 @@ impl CodecCtx {
         let mut instances = BTreeMap::new();
         for _ in 0..r.usizev()? {
             let inst = self.decode_instance(r)?;
-            instances.insert(inst.id, inst);
+            instances.insert(inst.id, Arc::new(inst));
         }
         Ok(ThreadState {
             tid,
@@ -189,6 +190,7 @@ impl CodecCtx {
             next_id,
             reservation,
             start_addr,
+            digest: DigestCell::new(),
         })
     }
 
@@ -443,18 +445,18 @@ fn encode_storage(w: &mut Writer, st: &StorageState) {
         encode_barrier_kind(w, b.kind);
     }
     w.usizev(st.writes_seen.len());
-    for id in &st.writes_seen {
+    for id in st.writes_seen.iter() {
         w.u64v(u64::from(id.0));
     }
     w.usizev(st.coherence.len());
-    for (a, b) in &st.coherence {
+    for (a, b) in st.coherence.iter() {
         w.u64v(u64::from(a.0));
         w.u64v(u64::from(b.0));
     }
     w.usizev(st.events_propagated_to.len());
     for list in &st.events_propagated_to {
         w.usizev(list.len());
-        for ev in list {
+        for ev in list.iter() {
             match ev {
                 StorageEvent::W(id) => {
                     w.byte(0);
@@ -468,7 +470,7 @@ fn encode_storage(w: &mut Writer, st: &StorageState) {
         }
     }
     w.usizev(st.unacknowledged_sync_requests.len());
-    for id in &st.unacknowledged_sync_requests {
+    for id in st.unacknowledged_sync_requests.iter() {
         w.u64v(u64::from(id.0));
     }
 }
@@ -550,12 +552,13 @@ fn decode_storage(r: &mut Reader<'_>) -> Result<StorageState, DecodeError> {
     }
     Ok(StorageState {
         threads,
-        writes,
-        barriers,
-        writes_seen,
-        coherence,
-        events_propagated_to,
-        unacknowledged_sync_requests,
+        writes: Arc::new(writes),
+        barriers: Arc::new(barriers),
+        writes_seen: Arc::new(writes_seen),
+        coherence: Arc::new(coherence),
+        events_propagated_to: events_propagated_to.into_iter().map(Arc::new).collect(),
+        unacknowledged_sync_requests: Arc::new(unacknowledged_sync_requests),
+        digest: DigestCell::new(),
     })
 }
 

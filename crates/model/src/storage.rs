@@ -23,10 +23,12 @@
 //! answered byte-wise from the most recent propagated write covering each
 //! byte.
 
-use crate::types::{BarrierEv, BarrierId, ThreadId, Write, WriteId, INIT_TID};
+use crate::types::{BarrierEv, BarrierId, DigestCell, ThreadId, Write, WriteId, INIT_TID};
 use ppc_bits::Bv;
 use ppc_idl::BarrierKind;
 use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// An event in a per-thread propagation list.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,24 +40,38 @@ pub enum StorageEvent {
 }
 
 /// The storage-subsystem half of a system state.
+///
+/// Lives behind an `Arc` inside [`crate::SystemState`], and every
+/// non-scalar component is behind its own `Arc`, so copy-on-write
+/// successor generation clones only what a transition actually touches:
+/// a thread-only transition shares the whole storage state, a write
+/// propagation clones one per-thread event list (plus coherence if new
+/// edges commit), and so on. Mutation goes through
+/// [`crate::SystemState::storage_mut`], which invalidates the cached
+/// digest; the `&mut self` methods here additionally invalidate it
+/// themselves, so direct use on an owned state stays correct.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StorageState {
     /// Number of (real) threads.
     pub threads: usize,
     /// All write events, by id (append-only table; initial writes
     /// included).
-    pub writes: BTreeMap<WriteId, Write>,
+    pub writes: Arc<BTreeMap<WriteId, Write>>,
     /// All barrier events, by id.
-    pub barriers: BTreeMap<BarrierId, BarrierEv>,
+    pub barriers: Arc<BTreeMap<BarrierId, BarrierEv>>,
     /// The writes the storage subsystem has seen.
-    pub writes_seen: BTreeSet<WriteId>,
+    pub writes_seen: Arc<BTreeSet<WriteId>>,
     /// Coherence: a strict partial order over overlapping writes, kept
     /// transitively closed.
-    pub coherence: BTreeSet<(WriteId, WriteId)>,
-    /// Events propagated to each thread, oldest first.
-    pub events_propagated_to: Vec<Vec<StorageEvent>>,
+    pub coherence: Arc<BTreeSet<(WriteId, WriteId)>>,
+    /// Events propagated to each thread, oldest first. Each thread's
+    /// list is independently shared, so propagating to one thread leaves
+    /// the other lists untouched.
+    pub events_propagated_to: Vec<Arc<Vec<StorageEvent>>>,
     /// Sync barriers not yet acknowledged to their origin thread.
-    pub unacknowledged_sync_requests: BTreeSet<BarrierId>,
+    pub unacknowledged_sync_requests: Arc<BTreeSet<BarrierId>>,
+    /// Compute-once cache of [`StorageState::digest`].
+    pub(crate) digest: DigestCell,
 }
 
 /// Storage transitions enumerated by the system layer.
@@ -100,23 +116,50 @@ impl StorageState {
     pub fn new(threads: usize, initial_writes: Vec<Write>) -> Self {
         let mut writes = BTreeMap::new();
         let mut seen = BTreeSet::new();
-        let mut prop = vec![Vec::new(); threads];
-        for w in initial_writes {
+        let mut prop = Vec::new();
+        for w in &initial_writes {
             seen.insert(w.id);
-            for list in prop.iter_mut() {
-                list.push(StorageEvent::W(w.id));
-            }
+            prop.push(StorageEvent::W(w.id));
+        }
+        for w in initial_writes {
             writes.insert(w.id, w);
         }
+        // All threads start with the same propagation list; share it.
+        let prop = Arc::new(prop);
         StorageState {
             threads,
-            writes,
-            barriers: BTreeMap::new(),
-            writes_seen: seen,
-            coherence: BTreeSet::new(),
-            events_propagated_to: prop,
-            unacknowledged_sync_requests: BTreeSet::new(),
+            writes: Arc::new(writes),
+            barriers: Arc::new(BTreeMap::new()),
+            writes_seen: Arc::new(seen),
+            coherence: Arc::new(BTreeSet::new()),
+            events_propagated_to: vec![prop; threads],
+            unacknowledged_sync_requests: Arc::new(BTreeSet::new()),
+            digest: DigestCell::new(),
         }
+    }
+
+    /// The storage subsystem's structural digest, cached compute-once.
+    ///
+    /// Hashes the *content* behind every event id, not just the ids:
+    /// write/barrier ids are allocated in path order, so the same id can
+    /// denote different events on different interleavings. Ids alone
+    /// would make semantically different states collide (and
+    /// id-mentioning structures like coherence ambiguous), losing states
+    /// in an order-dependent way. Any new storage-side state must both
+    /// enter this hash and be covered by the invalidation discipline
+    /// (mutating methods call `self.digest.invalidate()` first).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest.get_or_compute(|| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.writes.hash(&mut h);
+            self.barriers.hash(&mut h);
+            self.writes_seen.hash(&mut h);
+            self.coherence.hash(&mut h);
+            self.events_propagated_to.hash(&mut h);
+            self.unacknowledged_sync_requests.hash(&mut h);
+            h.finish()
+        })
     }
 
     /// Whether `a` is coherence-before `b`.
@@ -150,10 +193,12 @@ impl StorageState {
                 .filter(|(x, _)| *x == b)
                 .map(|(_, y)| *y),
         );
+        self.digest.invalidate();
+        let coherence = Arc::make_mut(&mut self.coherence);
         for &x in &befores {
             for &y in &afters {
                 if x != y {
-                    self.coherence.insert((x, y));
+                    coherence.insert((x, y));
                 }
             }
         }
@@ -179,13 +224,14 @@ impl StorageState {
             .filter(|id| self.writes[id].overlaps(w.addr, w.size))
             .collect();
         let id = w.id;
-        self.writes_seen.insert(id);
-        self.writes.insert(id, w);
+        self.digest.invalidate();
+        Arc::make_mut(&mut self.writes_seen).insert(id);
+        Arc::make_mut(&mut self.writes).insert(id, w);
         for o in overlapping {
             let ok = self.add_coherence(o, id);
             debug_assert!(ok, "fresh write cannot be coherence-before existing");
         }
-        self.events_propagated_to[tid].push(StorageEvent::W(id));
+        Arc::make_mut(&mut self.events_propagated_to[tid]).push(StorageEvent::W(id));
     }
 
     /// Accept a barrier from a thread (its Group A is implicitly the
@@ -193,11 +239,12 @@ impl StorageState {
     pub fn accept_barrier(&mut self, b: BarrierEv) {
         let tid = b.tid;
         let id = b.id;
+        self.digest.invalidate();
         if b.kind == BarrierKind::Sync {
-            self.unacknowledged_sync_requests.insert(id);
+            Arc::make_mut(&mut self.unacknowledged_sync_requests).insert(id);
         }
-        self.barriers.insert(id, b);
-        self.events_propagated_to[tid].push(StorageEvent::B(id));
+        Arc::make_mut(&mut self.barriers).insert(id, b);
+        Arc::make_mut(&mut self.events_propagated_to[tid]).push(StorageEvent::B(id));
     }
 
     /// The events preceding `ev` in thread `tid`'s propagation list
@@ -235,7 +282,7 @@ impl StorageState {
         }
         // Coherence compatibility: the write must not be coherence-before
         // any overlapping write already propagated to `to`.
-        for ev in &self.events_propagated_to[to] {
+        for ev in self.events_propagated_to[to].iter() {
             if let StorageEvent::W(o) = ev {
                 if self.writes[o].overlaps(w.addr, w.size) && self.coh_before(write, *o) {
                     return false;
@@ -263,13 +310,14 @@ impl StorageState {
             })
             .filter(|id| *id != write && self.writes[id].overlaps(addr, size))
             .collect();
+        self.digest.invalidate();
         for o in overlapping {
             if !self.coh_before(o, write) {
                 let ok = self.add_coherence(o, write);
                 debug_assert!(ok, "enabledness guaranteed no reverse edge");
             }
         }
-        self.events_propagated_to[to].push(StorageEvent::W(write));
+        Arc::make_mut(&mut self.events_propagated_to[to]).push(StorageEvent::W(write));
         (addr, size)
     }
 
@@ -290,7 +338,8 @@ impl StorageState {
 
     /// Apply `PropagateBarrier`.
     pub fn propagate_barrier(&mut self, barrier: BarrierId, to: ThreadId) {
-        self.events_propagated_to[to].push(StorageEvent::B(barrier));
+        self.digest.invalidate();
+        Arc::make_mut(&mut self.events_propagated_to[to]).push(StorageEvent::B(barrier));
     }
 
     /// Whether a sync can be acknowledged: propagated to every thread.
@@ -303,7 +352,8 @@ impl StorageState {
 
     /// Apply `AcknowledgeSync` (the thread layer marks the instruction).
     pub fn acknowledge_sync(&mut self, barrier: BarrierId) {
-        self.unacknowledged_sync_requests.remove(&barrier);
+        self.digest.invalidate();
+        Arc::make_mut(&mut self.unacknowledged_sync_requests).remove(&barrier);
     }
 
     /// Answer a read request from `tid` for `[addr, addr+size)`: for each
@@ -359,34 +409,59 @@ impl StorageState {
     #[must_use]
     pub fn enumerate(&self, coherence_commitments: bool) -> Vec<StorageTransition> {
         let mut out = Vec::new();
-        for &w in &self.writes_seen {
+        self.enumerate_each(coherence_commitments, |t| out.push(t));
+        out
+    }
+
+    /// [`StorageState::enumerate`] driven through a callback, so callers
+    /// assembling a mixed transition list (the system layer) can push
+    /// straight into their own reusable buffer without an intermediate
+    /// allocation per state.
+    pub fn enumerate_each(
+        &self,
+        coherence_commitments: bool,
+        mut f: impl FnMut(StorageTransition),
+    ) {
+        for &w in self.writes_seen.iter() {
             for t in 0..self.threads {
                 if self.can_propagate_write(w, t) {
-                    out.push(StorageTransition::PropagateWrite { write: w, to: t });
+                    f(StorageTransition::PropagateWrite { write: w, to: t });
                 }
             }
         }
         for &b in self.barriers.keys() {
             for t in 0..self.threads {
                 if self.can_propagate_barrier(b, t) {
-                    out.push(StorageTransition::PropagateBarrier { barrier: b, to: t });
+                    f(StorageTransition::PropagateBarrier { barrier: b, to: t });
                 }
             }
         }
-        for &b in &self.unacknowledged_sync_requests {
+        for &b in self.unacknowledged_sync_requests.iter() {
             if self.can_acknowledge_sync(b) {
-                out.push(StorageTransition::AcknowledgeSync { barrier: b });
+                f(StorageTransition::AcknowledgeSync { barrier: b });
             }
         }
         if coherence_commitments {
             for (a, b) in self.unrelated_overlapping_pairs() {
-                out.push(StorageTransition::PartialCoherence {
+                f(StorageTransition::PartialCoherence {
                     first: a,
                     second: b,
                 });
             }
         }
-        out
+    }
+
+    /// The write supplying byte `b` under a *linearisation* `order` of
+    /// the writes (the last covering write in the order), borrowed — the
+    /// hot final-state extraction reads bits straight out of it without
+    /// cloning per-byte values.
+    #[must_use]
+    pub fn final_byte_write(&self, order: &[WriteId], b: u64) -> Option<&Write> {
+        order
+            .iter()
+            .rev()
+            .find(|id| self.writes[id].covers(b))
+            .map(|id| &self.writes[id])
     }
 
     /// The coherence-maximal value of each byte of `[addr, addr+size)`
@@ -394,10 +469,6 @@ impl StorageState {
     /// extraction; `order` lists all writes, coherence-consistent).
     #[must_use]
     pub fn final_byte_value(&self, order: &[WriteId], b: u64) -> Option<Bv> {
-        order
-            .iter()
-            .rev()
-            .find(|id| self.writes[id].covers(b))
-            .map(|id| self.writes[id].byte_at(b))
+        self.final_byte_write(order, b).map(|w| w.byte_at(b))
     }
 }

@@ -360,16 +360,26 @@ impl StateStore {
     /// finalizing it once it reaches the segment target. The states must
     /// belong to this store's program/params (they are encoded through
     /// the canonical codec).
+    ///
+    /// Each record carries the state's 64-bit digest alongside the
+    /// canonical bytes. Spilled states had their digest computed at
+    /// visited-set insertion, so this is a cached read; on readback the
+    /// digest seeds the decoded state's compute-once cache, so no
+    /// downstream consumer ever re-hashes a state that round-tripped
+    /// through disk.
     pub fn spill_batch(&self, states: &[SystemState]) {
         if states.is_empty() {
             return;
         }
         // Encode outside the frontier lock: encoding is the CPU-heavy
         // part, writing is sequential-buffered.
-        let encoded: Vec<Vec<u8>> = states.iter().map(|s| self.ctx().encode(s)).collect();
+        let encoded: Vec<(u64, Vec<u8>)> = states
+            .iter()
+            .map(|s| (s.digest(), self.ctx().encode(s)))
+            .collect();
         let target = segment_target(self.budget);
         let mut fr = self.frontier.lock().expect("frontier spill poisoned");
-        for bytes in encoded {
+        for (digest, bytes) in encoded {
             let open = fr.open.get_or_insert_with(|| {
                 let path = self.fresh_path("seg");
                 OpenSegment {
@@ -381,6 +391,9 @@ impl StateStore {
             let len = u32::try_from(bytes.len()).expect("encoded state fits u32");
             open.writer
                 .write_all(&len.to_le_bytes())
+                .expect("write frontier segment");
+            open.writer
+                .write_all(&digest.to_le_bytes())
                 .expect("write frontier segment");
             open.writer
                 .write_all(&bytes)
@@ -413,11 +426,15 @@ impl StateStore {
         let mut reader = BufReader::new(file);
         let mut out = Vec::with_capacity(seg.states);
         let mut lenbuf = [0u8; 4];
+        let mut digestbuf = [0u8; 8];
         for _ in 0..seg.states {
             reader
                 .read_exact(&mut lenbuf)
                 .expect("read frontier segment");
             let n = u32::from_le_bytes(lenbuf) as usize;
+            reader
+                .read_exact(&mut digestbuf)
+                .expect("read frontier segment");
             let mut bytes = vec![0u8; n];
             reader
                 .read_exact(&mut bytes)
@@ -426,6 +443,10 @@ impl StateStore {
                 .ctx()
                 .decode(&bytes)
                 .expect("spilled state decodes exactly");
+            // Seed the compute-once cache with the digest recorded at
+            // spill time (decode resolves shared structure back to the
+            // program cache, so the structural digest is unchanged).
+            state.digest.seed(u64::from_le_bytes(digestbuf));
             out.push(state);
         }
         let _ = fs::remove_file(&seg.path);

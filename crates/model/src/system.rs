@@ -25,7 +25,9 @@ use crate::thread::{
     InstanceId, InstrInstance, PendingWrite, ReadSource, RegReadRec, SatRead, ThreadState,
     ThreadTransition,
 };
-use crate::types::{BarrierEv, BarrierId, ModelParams, ThreadId, Write, WriteId, INIT_TID};
+use crate::types::{
+    BarrierEv, BarrierId, DigestCell, ModelParams, ThreadId, Write, WriteId, INIT_TID,
+};
 use ppc_bits::Bv;
 use ppc_idl::{
     analyze, BarrierKind, Footprint, InstrState, Outcome, ReadKind, Reg, Sem, WriteKind,
@@ -103,18 +105,33 @@ pub enum Transition {
 }
 
 /// The complete model state.
+///
+/// Laid out for O(changed) successor generation: each thread state and
+/// the storage subsystem live behind `Arc`s, so [`SystemState::clone`]
+/// copies only a handful of reference counts and
+/// [`SystemState::apply`]'s mutation path deep-clones just the thread
+/// subtree / storage component a transition actually touches
+/// (copy-on-write via [`SystemState::thread_mut`] /
+/// [`SystemState::storage_mut`], which also invalidate the cached
+/// digests). Before this layout every successor paid a full deep clone
+/// of every thread tree and every storage event list.
 #[derive(Clone, Debug)]
 pub struct SystemState {
     /// The (shared, immutable) program.
     pub program: Arc<Program>,
-    /// Per-thread states.
-    pub threads: Vec<ThreadState>,
-    /// The storage subsystem.
-    pub storage: StorageState,
+    /// Per-thread states, individually shared with predecessor states.
+    /// Mutate through [`SystemState::thread_mut`] only.
+    pub threads: Vec<Arc<ThreadState>>,
+    /// The storage subsystem, shared with predecessor states. Mutate
+    /// through [`SystemState::storage_mut`] only.
+    pub storage: Arc<StorageState>,
     /// Model parameters.
     pub params: ModelParams,
     pub(crate) next_write_id: u32,
     pub(crate) next_barrier_id: u32,
+    /// Compute-once cache of [`SystemState::digest`] (empty in clones;
+    /// invalidated by the mutation funnels).
+    pub(crate) digest: DigestCell,
 }
 
 /// Structural equality of whole system states. Programs are compared by
@@ -163,17 +180,41 @@ impl SystemState {
         let threads = threads
             .into_iter()
             .enumerate()
-            .map(|(tid, (regs, start))| ThreadState::new(tid, regs, start))
+            .map(|(tid, (regs, start))| Arc::new(ThreadState::new(tid, regs, start)))
             .collect();
         let mut st = SystemState {
             program,
             threads,
-            storage,
+            storage: Arc::new(storage),
             params,
             next_write_id,
             next_barrier_id: 0,
+            digest: DigestCell::new(),
         };
         st.advance_all();
+        st
+    }
+
+    // ---- copy-on-write mutation funnels --------------------------------
+
+    /// Copy-on-write mutable access to one thread: clones the thread
+    /// state out of shared `Arc`s only if a predecessor state still
+    /// shares it, and invalidates the thread's and the whole state's
+    /// cached digests. Every thread mutation must come through here.
+    pub fn thread_mut(&mut self, tid: ThreadId) -> &mut ThreadState {
+        self.digest.invalidate();
+        let th = Arc::make_mut(&mut self.threads[tid]);
+        th.digest.invalidate();
+        th
+    }
+
+    /// Copy-on-write mutable access to the storage subsystem (see
+    /// [`SystemState::thread_mut`]). Every storage mutation must come
+    /// through here.
+    pub fn storage_mut(&mut self) -> &mut StorageState {
+        self.digest.invalidate();
+        let st = Arc::make_mut(&mut self.storage);
+        st.digest.invalidate();
         st
     }
 
@@ -221,8 +262,7 @@ impl SystemState {
                     // Try to satisfy the register read.
                     match self.threads[tid].resolve_reg_read(id, slice) {
                         Some((value, sources)) => {
-                            let th = &mut self.threads[tid];
-                            let inst = th.instances.get_mut(&id).expect("live");
+                            let inst = self.thread_mut(tid).inst_mut(id).expect("live");
                             inst.reg_reads.push(RegReadRec {
                                 slice,
                                 value: value.clone(),
@@ -241,7 +281,7 @@ impl SystemState {
             }
             // Take an interpreter step.
             let outcome = {
-                let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                let inst = self.thread_mut(tid).inst_mut(id).expect("live");
                 inst.state.step().unwrap_or_else(|e| {
                     panic!(
                         "instruction {} at 0x{:x}: {e}",
@@ -257,7 +297,7 @@ impl SystemState {
                     // state became pending; loop round to satisfy
                 }
                 Outcome::WriteReg { slice, value } => {
-                    let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                    let inst = self.thread_mut(tid).inst_mut(id).expect("live");
                     if slice.reg == Reg::Nia {
                         let nia = value.to_u64().expect("NIA written with an undefined value");
                         inst.nia = Some(nia);
@@ -270,7 +310,7 @@ impl SystemState {
                     size,
                     kind,
                 } => {
-                    let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                    let inst = self.thread_mut(tid).inst_mut(id).expect("live");
                     inst.pending_read = Some((address, size, kind == ReadKind::Reserve));
                 }
                 Outcome::WriteMem {
@@ -281,7 +321,7 @@ impl SystemState {
                 } => {
                     let conditional = kind == WriteKind::Conditional;
                     {
-                        let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                        let inst = self.thread_mut(tid).inst_mut(id).expect("live");
                         inst.mem_writes.push(PendingWrite {
                             addr: address,
                             size,
@@ -298,11 +338,11 @@ impl SystemState {
                     self.restart_reads_skipping_write(tid, id, address, size);
                 }
                 Outcome::Barrier { kind } => {
-                    let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                    let inst = self.thread_mut(tid).inst_mut(id).expect("live");
                     inst.barrier = Some(kind);
                 }
                 Outcome::Done => {
-                    let inst = self.threads[tid].instances.get_mut(&id).expect("live");
+                    let inst = self.thread_mut(tid).inst_mut(id).expect("live");
                     inst.done = true;
                     if inst.nia.is_none() {
                         inst.nia = Some(inst.addr + 4);
@@ -311,7 +351,7 @@ impl SystemState {
             }
         }
         if changed {
-            if let Some(inst) = self.threads[tid].instances.get_mut(&id) {
+            if let Some(inst) = self.thread_mut(tid).inst_mut(id) {
                 inst.refresh_dyn_fp();
             }
         }
@@ -354,7 +394,7 @@ impl SystemState {
             }
         }
         if !seed.is_empty() {
-            self.threads[tid].cascade_restart(seed);
+            self.thread_mut(tid).cascade_restart(seed);
             self.advance_all_thread(tid);
         }
     }
@@ -411,13 +451,22 @@ impl SystemState {
     #[must_use]
     pub fn enumerate_transitions(&self) -> Vec<Transition> {
         let mut out = Vec::new();
-        for tid in 0..self.threads.len() {
-            self.enumerate_thread(tid, &mut out);
-        }
-        for s in self.storage.enumerate(self.params.coherence_commitments) {
-            out.push(Transition::Storage(s));
-        }
+        self.enumerate_transitions_into(&mut out);
         out
+    }
+
+    /// [`SystemState::enumerate_transitions`] into a caller-provided
+    /// buffer (cleared first), so per-state exploration loops can reuse
+    /// one allocation across the whole search.
+    pub fn enumerate_transitions_into(&self, out: &mut Vec<Transition>) {
+        out.clear();
+        for tid in 0..self.threads.len() {
+            self.enumerate_thread(tid, out);
+        }
+        self.storage
+            .enumerate_each(self.params.coherence_commitments, |s| {
+                out.push(Transition::Storage(s));
+            });
     }
 
     #[allow(clippy::too_many_lines)]
@@ -798,7 +847,7 @@ impl SystemState {
                         .expect("pending");
                     let (value, sources) = self.storage.read(*tid, addr, size);
                     if reserve {
-                        self.threads[*tid].reservation = Some((addr, size));
+                        self.thread_mut(*tid).reservation = Some((addr, size));
                     }
                     self.finish_read_satisfaction(
                         *tid,
@@ -822,14 +871,14 @@ impl SystemState {
                         .position(|w| w.conditional && w.committed.is_none())
                         .expect("conditional write");
                     self.commit_write(*tid, *ioid, windex);
-                    self.threads[*tid].reservation = None;
-                    let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                    self.thread_mut(*tid).reservation = None;
+                    let inst = self.thread_mut(*tid).inst_mut(*ioid).expect("live");
                     inst.pending_cond_write = false;
                     inst.state.resume_write_cond(true).expect("pending cond");
                 }
                 ThreadTransition::CommitStcxFail { tid, ioid } => {
-                    self.threads[*tid].reservation = None;
-                    let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                    self.thread_mut(*tid).reservation = None;
+                    let inst = self.thread_mut(*tid).inst_mut(*ioid).expect("live");
                     let windex = inst
                         .mem_writes
                         .iter()
@@ -844,52 +893,53 @@ impl SystemState {
                     if kind.goes_to_storage() {
                         let id = BarrierId(self.next_barrier_id);
                         self.next_barrier_id += 1;
-                        self.storage.accept_barrier(BarrierEv {
+                        self.storage_mut().accept_barrier(BarrierEv {
                             id,
                             tid: *tid,
                             ioid: (*tid, *ioid),
                             kind,
                         });
-                        let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                        let inst = self.thread_mut(*tid).inst_mut(*ioid).expect("live");
                         inst.barrier_committed = true;
                         inst.barrier_id = Some(id);
                     } else {
-                        let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                        let inst = self.thread_mut(*tid).inst_mut(*ioid).expect("live");
                         inst.barrier_committed = true;
                     }
                 }
                 ThreadTransition::Finish { tid, ioid } => {
-                    let inst = self.threads[*tid].instances.get_mut(ioid).expect("live");
+                    let inst = self.thread_mut(*tid).inst_mut(*ioid).expect("live");
                     inst.finished = true;
-                    self.threads[*tid].prune_children(*ioid);
+                    self.thread_mut(*tid).prune_children(*ioid);
                 }
             },
             Transition::Storage(st) => match st {
                 StorageTransition::PropagateWrite { write, to } => {
-                    let (addr, size) = self.storage.propagate_write(*write, *to);
+                    let (addr, size) = self.storage_mut().propagate_write(*write, *to);
                     // A foreign write propagating into the thread kills
                     // an overlapping reservation.
                     let w_tid = self.storage.writes[write].tid;
                     if w_tid != *to {
                         if let Some((ra, rs)) = self.threads[*to].reservation {
                             if ra < addr + size as u64 && addr < ra + rs as u64 {
-                                self.threads[*to].reservation = None;
+                                self.thread_mut(*to).reservation = None;
                             }
                         }
                     }
                 }
                 StorageTransition::PropagateBarrier { barrier, to } => {
-                    self.storage.propagate_barrier(*barrier, *to);
+                    self.storage_mut().propagate_barrier(*barrier, *to);
                 }
                 StorageTransition::AcknowledgeSync { barrier } => {
-                    self.storage.acknowledge_sync(*barrier);
+                    self.storage_mut().acknowledge_sync(*barrier);
                     let (tid, ioid) = self.storage.barriers[barrier].ioid;
-                    if let Some(inst) = self.threads[tid].instances.get_mut(&ioid) {
+                    if self.threads[tid].instances.contains_key(&ioid) {
+                        let inst = self.thread_mut(tid).inst_mut(ioid).expect("live");
                         inst.barrier_acked = true;
                     }
                 }
                 StorageTransition::PartialCoherence { first, second } => {
-                    let ok = self.storage.add_coherence(*first, *second);
+                    let ok = self.storage_mut().add_coherence(*first, *second);
                     assert!(ok, "partial coherence commitment must be acyclic");
                 }
             },
@@ -897,12 +947,15 @@ impl SystemState {
     }
 
     fn fetch(&mut self, tid: ThreadId, parent: Option<InstanceId>, addr: u64) {
-        let entry = self
-            .program
-            .entries
-            .get(&addr)
-            .expect("fetch of unmapped address");
-        let th = &mut self.threads[tid];
+        let (instr, sem, fp) = {
+            let entry = self
+                .program
+                .entries
+                .get(&addr)
+                .expect("fetch of unmapped address");
+            (entry.instr.clone(), entry.sem.clone(), entry.fp.clone())
+        };
+        let th = self.thread_mut(tid);
         let id = th.next_id;
         th.next_id += 1;
         let inst = InstrInstance {
@@ -910,11 +963,11 @@ impl SystemState {
             parent,
             children: Vec::new(),
             addr,
-            instr: entry.instr.clone(),
-            sem: entry.sem.clone(),
-            state: InstrState::new(entry.sem.clone()),
-            static_fp: entry.fp.clone(),
-            dyn_fp: entry.fp.clone(),
+            instr,
+            state: InstrState::new(sem.clone()),
+            sem,
+            static_fp: fp.clone(),
+            dyn_fp: fp,
             reg_reads: Vec::new(),
             reg_writes: Vec::new(),
             mem_reads: Vec::new(),
@@ -929,10 +982,10 @@ impl SystemState {
             finished: false,
             nia: None,
         };
-        th.instances.insert(id, inst);
+        th.instances.insert(id, Arc::new(inst));
         match parent {
             None => th.root = Some(id),
-            Some(p) => th.instances.get_mut(&p).expect("parent").children.push(id),
+            Some(p) => th.inst_mut(p).expect("parent").children.push(id),
         }
     }
 
@@ -942,7 +995,7 @@ impl SystemState {
     /// restart).
     fn finish_read_satisfaction(&mut self, tid: ThreadId, ioid: InstanceId, read: SatRead) {
         {
-            let inst = self.threads[tid].instances.get_mut(&ioid).expect("live");
+            let inst = self.thread_mut(tid).inst_mut(ioid).expect("live");
             inst.pending_read = None;
             inst.mem_reads.push(read.clone());
             inst.state
@@ -976,7 +1029,7 @@ impl SystemState {
             }
         }
         if !seed.is_empty() {
-            self.threads[tid].cascade_restart(seed);
+            self.thread_mut(tid).cascade_restart(seed);
         }
     }
 
@@ -1023,7 +1076,7 @@ impl SystemState {
             let w = &self.threads[tid].instances[&ioid].mem_writes[windex];
             (w.addr, w.size, w.value.clone())
         };
-        self.storage.accept_write(Write {
+        self.storage_mut().accept_write(Write {
             id,
             tid,
             ioid: Some((tid, ioid)),
@@ -1031,9 +1084,8 @@ impl SystemState {
             size,
             value,
         });
-        self.threads[tid]
-            .instances
-            .get_mut(&ioid)
+        self.thread_mut(tid)
+            .inst_mut(ioid)
             .expect("live")
             .mem_writes[windex]
             .committed = Some(id);
@@ -1047,51 +1099,39 @@ impl SystemState {
     /// are enumerated over all coherence completions.)
     #[must_use]
     pub fn is_final(&self) -> bool {
-        self.threads.iter().all(ThreadState::all_finished)
+        self.threads.iter().all(|th| th.all_finished())
             && !self
                 .enumerate_transitions()
                 .iter()
                 .any(|t| matches!(t, Transition::Thread(ThreadTransition::Fetch { .. })))
     }
 
-    /// A 64-bit structural digest for search memoisation.
+    /// A 64-bit structural digest for search memoisation, computed once
+    /// per state and cached.
+    ///
+    /// The digest is a fold of per-component digests — one per thread
+    /// ([`ThreadState::digest`], covering the reservation and the full
+    /// instance content) plus the storage subsystem's
+    /// ([`StorageState::digest`], which hashes the *content* behind
+    /// every event id; see its docs for why ids alone would collide).
+    /// Components are `Arc`-shared with successor states, and each
+    /// caches its own digest, so after a transition only the touched
+    /// thread and/or storage component is re-hashed and the rest fold in
+    /// as cached 64-bit values: digesting a successor is O(changed), not
+    /// O(state). Mutation funnels ([`SystemState::thread_mut`] /
+    /// [`SystemState::storage_mut`]) invalidate the affected caches; any
+    /// new storage-side state must both enter [`StorageState::digest`]
+    /// and follow that invalidation discipline.
     #[must_use]
     pub fn digest(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        for th in &self.threads {
-            th.reservation.hash(&mut h);
-            for (id, inst) in &th.instances {
-                id.hash(&mut h);
-                inst.parent.hash(&mut h);
-                inst.addr.hash(&mut h);
-                inst.state.hash(&mut h);
-                inst.reg_reads.hash(&mut h);
-                inst.reg_writes.hash(&mut h);
-                inst.mem_reads.hash(&mut h);
-                inst.pending_read.hash(&mut h);
-                inst.mem_writes.hash(&mut h);
-                inst.pending_cond_write.hash(&mut h);
-                inst.barrier.hash(&mut h);
-                inst.barrier_committed.hash(&mut h);
-                inst.barrier_acked.hash(&mut h);
-                inst.done.hash(&mut h);
-                inst.finished.hash(&mut h);
-                inst.nia.hash(&mut h);
+        self.digest.get_or_compute(|| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for th in &self.threads {
+                th.digest().hash(&mut h);
             }
-        }
-        // Hash the *content* behind every event id, not just the ids:
-        // write/barrier ids are allocated in path order, so the same id
-        // can denote different events on different interleavings. Ids
-        // alone would make semantically different states collide (and
-        // id-mentioning structures like coherence ambiguous), losing
-        // states in an order-dependent way.
-        self.storage.writes.hash(&mut h);
-        self.storage.barriers.hash(&mut h);
-        self.storage.writes_seen.hash(&mut h);
-        self.storage.coherence.hash(&mut h);
-        self.storage.events_propagated_to.hash(&mut h);
-        self.storage.unacknowledged_sync_requests.hash(&mut h);
-        h.finish()
+            self.storage.digest().hash(&mut h);
+            h.finish()
+        })
     }
 }
 

@@ -12,11 +12,12 @@
 //! reads and writes the instruction has performed (cleared if the
 //! instruction is restarted)" (§5).
 
-use crate::types::{ThreadId, WriteId};
+use crate::types::{DigestCell, ThreadId, WriteId};
 use ppc_bits::{Bit, Bv};
 use ppc_idl::{analyze_from, BarrierKind, Footprint, InstrState, Reg, RegSlice, Sem};
 use ppc_isa::Instruction;
 use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// An instruction-instance identifier, unique within its thread.
@@ -259,6 +260,15 @@ impl InstrInstance {
 }
 
 /// The per-thread half of a system state.
+///
+/// Lives behind an `Arc` inside [`crate::SystemState`] so that applying
+/// a transition clones only the touched thread (copy-on-write via
+/// `Arc::make_mut`); within a thread, each [`InstrInstance`] is itself
+/// `Arc`-shared, so mutating one instance deep-clones just that instance
+/// while the rest of the instruction tree stays shared with the parent
+/// state. All mutation must go through
+/// [`crate::SystemState::thread_mut`] (or clone-before-mutate paths
+/// equivalent to it) so the cached per-thread digest is invalidated.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ThreadState {
     /// This thread's id.
@@ -267,8 +277,9 @@ pub struct ThreadState {
     /// zero.
     pub init_regs: BTreeMap<Reg, Bv>,
     /// All instances, live and pruned-free (pruned subtrees are removed
-    /// from the map).
-    pub instances: BTreeMap<InstanceId, InstrInstance>,
+    /// from the map). Values are `Arc`-shared with predecessor states;
+    /// use [`ThreadState::inst_mut`] to get a copy-on-write `&mut`.
+    pub instances: BTreeMap<InstanceId, Arc<InstrInstance>>,
     /// The root instance (first fetch), if fetched.
     pub root: Option<InstanceId>,
     /// Next instance id.
@@ -277,6 +288,9 @@ pub struct ThreadState {
     pub reservation: Option<(u64, usize)>,
     /// Initial fetch address.
     pub start_addr: u64,
+    /// Compute-once cache of [`ThreadState::digest`]. Invalidated by
+    /// [`crate::SystemState::thread_mut`]; empty in any CoW clone.
+    pub(crate) digest: DigestCell,
 }
 
 impl ThreadState {
@@ -291,7 +305,50 @@ impl ThreadState {
             next_id: 0,
             reservation: None,
             start_addr,
+            digest: DigestCell::new(),
         }
+    }
+
+    /// Copy-on-write mutable access to one instance: clones the instance
+    /// out of shared `Arc`s only if predecessor states still share it.
+    /// Invalidates the thread's cached digest (like
+    /// [`crate::StorageState`]'s mutating methods do for storage), so
+    /// direct use on an owned thread state stays digest-correct even
+    /// outside the [`crate::SystemState::thread_mut`] funnel.
+    pub fn inst_mut(&mut self, id: InstanceId) -> Option<&mut InstrInstance> {
+        self.digest.invalidate();
+        self.instances.get_mut(&id).map(Arc::make_mut)
+    }
+
+    /// The thread's structural digest (reservation + full instance
+    /// content), cached compute-once: successor states share unchanged
+    /// threads by `Arc`, so only the thread a transition touched is ever
+    /// re-hashed.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest.get_or_compute(|| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.reservation.hash(&mut h);
+            for (id, inst) in &self.instances {
+                id.hash(&mut h);
+                inst.parent.hash(&mut h);
+                inst.addr.hash(&mut h);
+                inst.state.hash(&mut h);
+                inst.reg_reads.hash(&mut h);
+                inst.reg_writes.hash(&mut h);
+                inst.mem_reads.hash(&mut h);
+                inst.pending_read.hash(&mut h);
+                inst.mem_writes.hash(&mut h);
+                inst.pending_cond_write.hash(&mut h);
+                inst.barrier.hash(&mut h);
+                inst.barrier_committed.hash(&mut h);
+                inst.barrier_acked.hash(&mut h);
+                inst.done.hash(&mut h);
+                inst.finished.hash(&mut h);
+                inst.nia.hash(&mut h);
+            }
+            h.finish()
+        })
     }
 
     /// The initial value of a register (zeros if unspecified).
@@ -306,8 +363,8 @@ impl ThreadState {
     /// Iterate over the po-previous instances of `id`, nearest first.
     pub fn ancestors(&self, id: InstanceId) -> impl Iterator<Item = &InstrInstance> {
         std::iter::successors(
-            self.instances[&id].parent.map(|p| &self.instances[&p]),
-            move |i| i.parent.map(|p| &self.instances[&p]),
+            self.instances[&id].parent.map(|p| &*self.instances[&p]),
+            move |i| i.parent.map(|p| &*self.instances[&p]),
         )
     }
 
@@ -441,7 +498,7 @@ impl ThreadState {
             }
         }
         for id in &set {
-            if let Some(inst) = self.instances.get_mut(id) {
+            if let Some(inst) = self.inst_mut(*id) {
                 inst.restart();
             }
         }
@@ -459,7 +516,7 @@ impl ThreadState {
         let (keep, drop): (Vec<_>, Vec<_>) = children
             .into_iter()
             .partition(|c| self.instances[c].addr == nia);
-        self.instances.get_mut(&id).expect("exists").children = keep;
+        self.inst_mut(id).expect("exists").children = keep;
         for d in drop {
             for sub in self.descendants(d) {
                 self.instances.remove(&sub);

@@ -174,3 +174,66 @@ impl Default for ModelParams {
 
 /// The pseudo "thread" owning the initial-state writes.
 pub(crate) const INIT_TID: ThreadId = usize::MAX;
+
+/// A compute-once digest cache attached to a state component.
+///
+/// The copy-on-write state layout shares unchanged components between a
+/// state and its successors via `Arc`, so a component's digest can be
+/// computed once and reused by every state that still shares it. The
+/// cell is deliberately *not* part of a component's identity:
+///
+/// - **`Clone` empties the cell.** A component is only ever cloned on
+///   the copy-on-write path (`Arc::make_mut` just before a mutation),
+///   so the copy's digest is about to be stale anyway; starting empty
+///   makes a stale carry-over impossible even if an invalidation call
+///   is missed after the clone.
+/// - **`PartialEq` ignores the cell** (always equal), so structural
+///   equality of states — the codec's `decode(encode(s)) == s`
+///   contract — is unaffected by which digests happen to be cached.
+///
+/// Mutation paths must still call [`DigestCell::invalidate`] before
+/// changing the component they guard (the in-place case, where no clone
+/// happens because the `Arc` is unshared).
+#[derive(Debug, Default)]
+pub struct DigestCell(std::sync::OnceLock<u64>);
+
+impl DigestCell {
+    /// An empty (uncomputed) cell.
+    #[must_use]
+    pub const fn new() -> Self {
+        DigestCell(std::sync::OnceLock::new())
+    }
+
+    /// The cached digest, computing and caching it on first use.
+    pub fn get_or_compute(&self, f: impl FnOnce() -> u64) -> u64 {
+        *self.0.get_or_init(f)
+    }
+
+    /// Drop any cached digest (call before mutating the guarded data).
+    pub fn invalidate(&mut self) {
+        self.0.take();
+    }
+
+    /// Seed the cell with a known digest (e.g. one carried alongside a
+    /// spilled state record). A no-op if already populated.
+    pub fn seed(&self, digest: u64) {
+        let _ = self.0.set(digest);
+    }
+}
+
+/// Cloning a component copies it *in order to change it* (CoW), so the
+/// clone starts with no cached digest — see the type-level invariant.
+impl Clone for DigestCell {
+    fn clone(&self) -> Self {
+        DigestCell::new()
+    }
+}
+
+/// The cache never participates in structural equality.
+impl PartialEq for DigestCell {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for DigestCell {}
