@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! oracle_bench [--out PATH] [--smoke] [--threads N] [--repeat N]
+//!              [--baseline PATH]
 //! ```
 //!
 //! - `--out PATH`: where to write the JSON report (default
@@ -19,6 +20,11 @@
 //!   (default 2; the sequential engine is always measured too).
 //! - `--repeat N`: repeat each suite N times and keep the best wall
 //!   clock per engine (default 1).
+//! - `--baseline PATH`: read a previously committed report (the repo's
+//!   `BENCH_oracle.json`) and print a states/sec comparison per
+//!   suite × engine. **Report-only**: CI hardware is shared and noisy,
+//!   so the comparison makes perf regressions visible per push without
+//!   ever failing the build.
 //!
 //! The runner is dependency-free: JSON is emitted by hand, timing is
 //! `std::time::Instant`, and peak RSS comes from `/proc/self/status`
@@ -88,6 +94,79 @@ impl SuiteRow {
             .map(|t| t.resident_peak)
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// One suite × engine entry of a committed baseline report.
+struct BaselineRow {
+    suite: String,
+    engine: String,
+    states_per_sec: f64,
+}
+
+/// Extract the `(suite, engine, states_per_sec)` triples from a report
+/// this binary previously wrote. Dependency-free: the emitter two
+/// screens down fixes the field order (`"suite"`, then `"engine"`, then
+/// counters), so a field-order scan is exact for our own files — and a
+/// malformed or foreign file just yields no rows (the comparison is
+/// report-only, never load-bearing).
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
+    fn str_field(chunk: &str, key: &str) -> Option<String> {
+        let tail = chunk.split(&format!("\"{key}\": \"")).nth(1)?;
+        Some(tail.split('"').next()?.to_owned())
+    }
+    fn num_field(chunk: &str, key: &str) -> Option<f64> {
+        let tail = chunk.split(&format!("\"{key}\": ")).nth(1)?;
+        tail.split([',', '\n', '}']).next()?.trim().parse().ok()
+    }
+    text.split("\"suite\": ")
+        .skip(1)
+        .filter_map(|chunk| {
+            Some(BaselineRow {
+                // The chunk starts right at the suite's string literal.
+                suite: chunk.split('"').nth(1)?.to_owned(),
+                engine: str_field(chunk, "engine")?,
+                states_per_sec: num_field(chunk, "states_per_sec")?,
+            })
+        })
+        .collect()
+}
+
+/// Print the report-only states/sec comparison of this run against a
+/// committed baseline report.
+fn print_baseline_comparison(rows: &[SuiteRow], baseline_path: &str) {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("oracle_bench: baseline {baseline_path} unreadable; skipping comparison");
+        return;
+    };
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        eprintln!("oracle_bench: baseline {baseline_path} has no rows; skipping comparison");
+        return;
+    }
+    eprintln!("states/sec vs baseline {baseline_path} (report-only, shared hardware is noisy):");
+    for row in rows {
+        let now = row.states() as f64 / row.wall_s.max(1e-9);
+        match baseline
+            .iter()
+            .find(|b| b.suite == row.suite && b.engine == row.engine)
+        {
+            Some(b) if b.states_per_sec > 0.0 => {
+                let ratio = now / b.states_per_sec;
+                eprintln!(
+                    "  {:<20} {:<18} {:>9.0} now vs {:>9.0} baseline  ({:+.1}%)",
+                    row.suite,
+                    row.engine,
+                    now,
+                    b.states_per_sec,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            _ => eprintln!(
+                "  {:<20} {:<18} {:>9.0} now (no baseline entry)",
+                row.suite, row.engine, now
+            ),
+        }
     }
 }
 
@@ -163,6 +242,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let threads: usize = parse_arg("oracle_bench", &args, "--threads", 2);
     let repeat: usize = parse_arg("oracle_bench", &args, "--repeat", 1).max(1);
+    let baseline = arg_value(&args, "--baseline");
 
     let lib = library();
     let gen = generated_suite();
@@ -330,4 +410,8 @@ fn main() {
 
     std::fs::write(&out_path, &j).expect("write benchmark report");
     eprintln!("wrote {out_path}");
+
+    if let Some(baseline_path) = baseline {
+        print_baseline_comparison(&rows, &baseline_path);
+    }
 }

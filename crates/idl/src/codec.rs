@@ -114,7 +114,9 @@ pub fn decode_reg_slice(r: &mut Reader<'_>) -> Result<RegSlice, DecodeError> {
     let reg = decode_reg(r)?;
     let start = r.usizev()?;
     let len = r.usizev()?;
-    if start + len > reg.width() {
+    // Checked: corrupt varints must reject, not overflow (debug builds
+    // trap the addition).
+    if start.checked_add(len).is_none_or(|end| end > reg.width()) {
         return Err(DecodeError::Invalid("RegSlice out of register range"));
     }
     Ok(RegSlice::new(reg, start, len))
@@ -158,6 +160,13 @@ fn encode_env(w: &mut Writer, env: &Env) {
 
 fn decode_env(r: &mut Reader<'_>) -> Result<Env, DecodeError> {
     let n = r.usizev()?;
+    // Every slot takes at least one byte (its option flag), so a slot
+    // count beyond the remaining input is certain truncation — reject it
+    // *before* sizing the slot vector, lest a corrupt varint become a
+    // pathological allocation (which panics rather than `Err`s).
+    if n > r.remaining() {
+        return Err(DecodeError::Truncated);
+    }
     let mut env = Env::new(n);
     for i in 0..n {
         if let Some(v) = r.option(Reader::bv)? {
@@ -260,8 +269,11 @@ pub fn decode_instr_state(
     blocks: &[Block],
 ) -> Result<InstrState, DecodeError> {
     let env = decode_env(r)?;
+    // No capacity hint: a corrupt frame-count varint must surface as a
+    // decode error from the per-frame reads, not as a pathological
+    // up-front allocation (capacity overflow panics, it doesn't `Err`).
     let frames = r.usizev()?;
-    let mut stack = Vec::with_capacity(frames);
+    let mut stack = Vec::new();
     let get_block = |i: usize| -> Result<Block, DecodeError> {
         blocks
             .get(i)

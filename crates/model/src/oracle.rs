@@ -815,7 +815,7 @@ pub(crate) fn choose_sequential(state: &SystemState, ts: &[Transition]) -> Optio
         .find(|t| match t {
             Transition::Thread(ThreadTransition::Fetch { tid, parent, .. }) => match parent {
                 None => true,
-                Some(p) => state.threads[*tid].instances[p].nia.is_some(),
+                Some(p) => state.threads[*tid].instances[*p].nia.is_some(),
             },
             _ => false,
         })

@@ -62,7 +62,7 @@ impl SystemState {
         );
         for th in &self.threads {
             let _ = writeln!(out, "\nThread {} state:", th.tid);
-            for (id, inst) in &th.instances {
+            for (id, inst) in th.instances.iter() {
                 let _ = writeln!(
                     out,
                     "  instruction: {id} ioid: ({},{id}) address: 0x{:016x} {}{}",

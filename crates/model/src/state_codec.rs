@@ -27,7 +27,8 @@
 use crate::storage::{StorageEvent, StorageState};
 use crate::system::{Program, SystemState};
 use crate::thread::{
-    InstanceId, InstrInstance, PendingWrite, ReadSource, RegReadRec, SatRead, ThreadState,
+    InstanceArena, InstanceId, InstrInstance, PendingWrite, ReadSource, RegReadRec, SatRead,
+    ThreadState,
 };
 use crate::types::{BarrierEv, BarrierId, DigestCell, ModelParams, Write, WriteId};
 use ppc_bits::{DecodeError, Reader, Writer};
@@ -117,8 +118,11 @@ impl CodecCtx {
                 tag: v,
             });
         }
+        // No capacity hint: `nthreads` is attacker-controlled until the
+        // per-thread decodes validate it, and a corrupt varint must not
+        // become a pathological up-front allocation.
         let nthreads = r.usizev()?;
-        let mut threads = Vec::with_capacity(nthreads);
+        let mut threads = Vec::new();
         for _ in 0..nthreads {
             threads.push(self.decode_thread(&mut r)?);
         }
@@ -151,7 +155,7 @@ impl CodecCtx {
             w.usizev(s);
         });
         w.usizev(th.init_regs.len());
-        for (&reg, v) in &th.init_regs {
+        for (&reg, v) in th.init_regs.iter() {
             encode_reg(w, reg);
             w.bv(v);
         }
@@ -177,14 +181,25 @@ impl CodecCtx {
             let v = r.bv()?;
             init_regs.insert(reg, v);
         }
-        let mut instances = BTreeMap::new();
+        // Instances travel in ascending id order (the arena's live
+        // sequence, formerly the `BTreeMap`'s — bytes are unchanged).
+        // Ids index the dense arena, so bound them by the thread's own
+        // id allocator before inserting: a corrupt varint must surface
+        // as a decode error, not as a near-usize::MAX slot allocation.
+        let mut instances = InstanceArena::new();
         for _ in 0..r.usizev()? {
             let inst = self.decode_instance(r)?;
-            instances.insert(inst.id, Arc::new(inst));
+            if inst.id >= next_id {
+                return Err(DecodeError::Invalid("instance id beyond next_id"));
+            }
+            if instances.contains(inst.id) {
+                return Err(DecodeError::Invalid("duplicate instance id"));
+            }
+            instances.insert(Arc::new(inst));
         }
         Ok(ThreadState {
             tid,
-            init_regs,
+            init_regs: Arc::new(init_regs),
             instances,
             root,
             next_id,
@@ -351,6 +366,7 @@ impl CodecCtx {
             done,
             finished,
             nia,
+            digest: DigestCell::new(),
         })
     }
 }

@@ -150,16 +150,22 @@ impl StorageState {
     /// (mutating methods call `self.digest.invalidate()` first).
     #[must_use]
     pub fn digest(&self) -> u64 {
-        self.digest.get_or_compute(|| {
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            self.writes.hash(&mut h);
-            self.barriers.hash(&mut h);
-            self.writes_seen.hash(&mut h);
-            self.coherence.hash(&mut h);
-            self.events_propagated_to.hash(&mut h);
-            self.unacknowledged_sync_requests.hash(&mut h);
-            h.finish()
-        })
+        self.digest.get_or_compute(|| self.digest_uncached())
+    }
+
+    /// [`StorageState::digest`] recomputed from scratch, bypassing the
+    /// cache — the reference the `debug_assertions` digest audit in
+    /// [`crate::SystemState::digest`] compares stale cells against.
+    #[must_use]
+    pub fn digest_uncached(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.writes.hash(&mut h);
+        self.barriers.hash(&mut h);
+        self.writes_seen.hash(&mut h);
+        self.coherence.hash(&mut h);
+        self.events_propagated_to.hash(&mut h);
+        self.unacknowledged_sync_requests.hash(&mut h);
+        h.finish()
     }
 
     /// Whether `a` is coherence-before `b`.

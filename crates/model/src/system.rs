@@ -104,6 +104,76 @@ pub enum Transition {
     Storage(StorageTransition),
 }
 
+/// The set of instances that took at least one deterministic step during
+/// the eager-progress phase of one [`SystemState::apply`] (an *advance
+/// trace*). The steps are confluent, so the set — unlike the step
+/// sequence — is engine-independent: the incremental worklist engine and
+/// the full-rescan reference must produce identical traces, which is
+/// what the differential tests compare to prove the worklist never
+/// skips a wake-up.
+pub type AdvanceTrace = BTreeSet<(ThreadId, InstanceId)>;
+
+/// The dirty-instance worklist driving incremental eager progress.
+///
+/// A transition touches one thread (or only storage), so instead of
+/// rescanning every thread × every instance to a global fixed point
+/// after each transition, [`SystemState::apply_mut`] seeds the worklist
+/// with exactly the instances the transition unblocked, and the drain
+/// re-seeds from an instance's *descendants* whenever a step changes it
+/// (the only cross-instance dependence inside eager progress is a
+/// pending register read on its po-ancestors) and from every instance a
+/// restart cascade touches. Entries are deduplicated over the undrained
+/// tail only — a drained instance may legitimately become dirty again.
+#[derive(Debug, Default)]
+pub(crate) struct Worklist {
+    items: Vec<(ThreadId, InstanceId)>,
+    /// Index of the next undrained entry (drained entries are kept so
+    /// `items` never shifts; the whole list is transient per `apply`).
+    next: usize,
+    /// When present, collects the advance trace (instances that changed).
+    trace: Option<AdvanceTrace>,
+}
+
+impl Worklist {
+    fn new(traced: bool) -> Self {
+        Worklist {
+            items: Vec::new(),
+            next: 0,
+            trace: traced.then(BTreeSet::new),
+        }
+    }
+
+    /// Empty the list for reuse, keeping its allocation (the hot
+    /// [`SystemState::apply`] path borrows one per-thread scratch
+    /// worklist instead of allocating per transition).
+    fn reset(&mut self, traced: bool) {
+        self.items.clear();
+        self.next = 0;
+        self.trace = traced.then(BTreeSet::new);
+    }
+
+    /// Mark an instance dirty (no-op if it is already queued and
+    /// undrained).
+    pub(crate) fn push(&mut self, tid: ThreadId, id: InstanceId) {
+        let key = (tid, id);
+        if !self.items[self.next..].contains(&key) {
+            self.items.push(key);
+        }
+    }
+
+    fn pop(&mut self) -> Option<(ThreadId, InstanceId)> {
+        let item = self.items.get(self.next).copied();
+        self.next += item.is_some() as usize;
+        item
+    }
+
+    fn record_changed(&mut self, tid: ThreadId, id: InstanceId) {
+        if let Some(trace) = &mut self.trace {
+            trace.insert((tid, id));
+        }
+    }
+}
+
 /// The complete model state.
 ///
 /// Laid out for O(changed) successor generation: each thread state and
@@ -220,17 +290,46 @@ impl SystemState {
 
     // ---- eager deterministic progress --------------------------------
 
-    /// Run every instance forward through its confluent steps until each
-    /// blocks on a genuine architectural choice.
+    /// Drain the dirty-instance worklist: advance each queued instance
+    /// through its confluent deterministic steps, re-seeding from its
+    /// descendants whenever a step changes it (their pending register
+    /// reads may now resolve — the only cross-instance dependence inside
+    /// eager progress) and from every instance a restart cascade
+    /// touches. Eager progress is confluent (see the module docs), so
+    /// the fixed point — and therefore the successor state — is
+    /// identical to the full rescan's; only the work to find it shrinks
+    /// from O(threads × instances) per transition to O(dirty).
+    fn advance_worklist(&mut self, wl: &mut Worklist) {
+        while let Some((tid, id)) = wl.pop() {
+            if !self.threads[tid].instances.contains(id) {
+                continue; // pruned while queued
+            }
+            if self.advance_instance(tid, id, wl) {
+                wl.record_changed(tid, id);
+                self.threads[tid].for_each_descendant(id, &mut |d| wl.push(tid, d));
+            }
+        }
+    }
+
+    /// The retained full-rescan reference for eager progress: run every
+    /// instance of every thread until a global fixed point. Used to seed
+    /// the initial state and by [`SystemState::apply_rescan_traced`] as
+    /// the differential baseline the worklist engine is checked against;
+    /// the hot path ([`SystemState::apply`]) uses the worklist instead.
     pub(crate) fn advance_all(&mut self) {
+        let mut wl = Worklist::new(false);
+        self.advance_all_with(&mut wl);
+    }
+
+    fn advance_all_with(&mut self, wl: &mut Worklist) {
         loop {
             let mut changed = false;
             for tid in 0..self.threads.len() {
-                let ids = self.threads[tid].instance_ids();
-                for id in ids {
-                    if self.threads[tid].instances.contains_key(&id)
-                        && self.advance_instance(tid, id)
+                for id in 0..self.threads[tid].instances.id_bound() {
+                    if self.threads[tid].instances.contains(id)
+                        && self.advance_instance(tid, id, wl)
                     {
+                        wl.record_changed(tid, id);
                         changed = true;
                     }
                 }
@@ -241,12 +340,17 @@ impl SystemState {
         }
     }
 
-    /// Advance one instance; returns whether anything changed.
+    /// Advance one instance; returns whether anything changed. Restarts
+    /// triggered by a newly determined write are *deferred*: the
+    /// restarted instances go onto `wl` instead of being advanced
+    /// re-entrantly from inside this loop (the old re-entrant
+    /// `advance_all_thread` could come back to this very instance
+    /// mid-advance).
     #[allow(clippy::too_many_lines)]
-    fn advance_instance(&mut self, tid: ThreadId, id: InstanceId) -> bool {
+    fn advance_instance(&mut self, tid: ThreadId, id: InstanceId, wl: &mut Worklist) -> bool {
         let mut changed = false;
         loop {
-            let inst = &self.threads[tid].instances[&id];
+            let inst = &self.threads[tid].instances[id];
             if inst.finished || inst.done {
                 break;
             }
@@ -283,8 +387,11 @@ impl SystemState {
             let outcome = {
                 let inst = self.thread_mut(tid).inst_mut(id).expect("live");
                 inst.state.step().unwrap_or_else(|e| {
+                    // Attribution matters for fuzz-found failures: name
+                    // the thread and instance ids, not just the opcode.
                     panic!(
-                        "instruction {} at 0x{:x}: {e}",
+                        "thread {tid} instance {id} (ioid {tid}:{id}): \
+                         instruction {} at 0x{:x}: {e}",
                         inst.instr.mnemonic(),
                         inst.addr
                     )
@@ -334,8 +441,9 @@ impl SystemState {
                         }
                     }
                     // A newly determined write invalidates po-later reads
-                    // that "skipped" it (§2 restarts).
-                    self.restart_reads_skipping_write(tid, id, address, size);
+                    // that "skipped" it (§2 restarts). The restarted
+                    // instances are queued, not advanced re-entrantly.
+                    self.restart_reads_skipping_write(tid, id, address, size, wl);
                 }
                 Outcome::Barrier { kind } => {
                     let inst = self.thread_mut(tid).inst_mut(id).expect("live");
@@ -361,19 +469,28 @@ impl SystemState {
     /// Restart every po-later read that overlaps a newly determined write
     /// of instance `k` but was satisfied from something po-before it (or
     /// from storage, which at this point cannot include the new write).
+    ///
+    /// The restarted closure is *queued* on the worklist rather than
+    /// advanced here: this runs from inside [`SystemState::advance_instance`]'s
+    /// step loop, and the old re-entrant `advance_all_thread` call could
+    /// advance (and cascade further restarts over) the very instance the
+    /// caller is still mid-way through — deferring keeps exactly one
+    /// advance loop live per instance at a time, with the same fixed
+    /// point by confluence.
     fn restart_reads_skipping_write(
         &mut self,
         tid: ThreadId,
         k: InstanceId,
         addr: u64,
         size: usize,
+        wl: &mut Worklist,
     ) {
         let th = &self.threads[tid];
         let mut seed = BTreeSet::new();
-        for d in th.descendants(k) {
-            let inst = &th.instances[&d];
+        th.for_each_descendant(k, &mut |d| {
+            let inst = &th.instances[d];
             if inst.finished {
-                continue;
+                return;
             }
             for r in &inst.mem_reads {
                 let overlaps = r.addr < addr + size as u64 && addr < r.addr + r.size as u64;
@@ -392,23 +509,11 @@ impl SystemState {
                     seed.insert(d);
                 }
             }
-        }
+        });
         if !seed.is_empty() {
-            self.thread_mut(tid).cascade_restart(seed);
-            self.advance_all_thread(tid);
-        }
-    }
-
-    fn advance_all_thread(&mut self, tid: ThreadId) {
-        loop {
-            let mut changed = false;
-            for id in self.threads[tid].instance_ids() {
-                if self.threads[tid].instances.contains_key(&id) && self.advance_instance(tid, id) {
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
+            let restarted = self.thread_mut(tid).cascade_restart(seed);
+            for id in restarted {
+                wl.push(tid, id);
             }
         }
     }
@@ -483,28 +588,36 @@ impl SystemState {
             }));
         }
 
-        for (&id, inst) in &th.instances {
-            // Fetches of successors.
+        for (id, inst) in th.instances.iter() {
+            // Fetches of successors. Candidate targets live in a tiny
+            // inline buffer (a resolved NIA is one target; static NIA
+            // lists are at most a successor plus a branch target), not a
+            // heap set — this runs for every instance of every state.
             if live < self.params.max_instances_per_thread {
-                let mut targets: BTreeSet<u64> = BTreeSet::new();
+                let mut targets = [0u64; 8];
+                let mut ntargets = 0usize;
+                let mut add = |t: u64| {
+                    if !targets[..ntargets].contains(&t) {
+                        assert!(ntargets < targets.len(), "more than 8 static NIA targets");
+                        targets[ntargets] = t;
+                        ntargets += 1;
+                    }
+                };
                 if let Some(nia) = inst.nia {
-                    targets.insert(nia);
+                    add(nia);
                 } else {
                     for n in &inst.static_fp.nias {
                         match n {
-                            ppc_idl::NiaTarget::Succ => {
-                                targets.insert(inst.addr + 4);
-                            }
-                            ppc_idl::NiaTarget::Concrete(t) => {
-                                targets.insert(*t);
-                            }
+                            ppc_idl::NiaTarget::Succ => add(inst.addr + 4),
+                            ppc_idl::NiaTarget::Concrete(t) => add(*t),
                             ppc_idl::NiaTarget::Indirect => {}
                         }
                     }
                 }
-                for t in targets {
+                targets[..ntargets].sort_unstable();
+                for &t in &targets[..ntargets] {
                     if self.program.contains(t)
-                        && !inst.children.iter().any(|c| th.instances[c].addr == t)
+                        && !inst.children.iter().any(|&c| th.instances[c].addr == t)
                     {
                         out.push(Transition::Thread(ThreadTransition::Fetch {
                             tid,
@@ -703,7 +816,7 @@ impl SystemState {
     /// Preconditions for committing a barrier of instance `i`.
     fn can_commit_barrier(&self, tid: ThreadId, i: InstanceId) -> bool {
         let th = &self.threads[tid];
-        let kind = th.instances[&i].barrier.expect("barrier present");
+        let kind = th.instances[i].barrier.expect("barrier present");
         if !self.non_speculative(tid, i) {
             return false;
         }
@@ -725,7 +838,7 @@ impl SystemState {
     #[allow(clippy::too_many_lines)]
     fn can_finish(&self, tid: ThreadId, i: InstanceId) -> bool {
         let th = &self.threads[tid];
-        let inst = &th.instances[&i];
+        let inst = &th.instances[i];
         if inst.finished || !inst.done || inst.state.is_pending() {
             return false;
         }
@@ -748,7 +861,7 @@ impl SystemState {
         }
         // Register dataflow sources irrevocable.
         for r in &inst.reg_reads {
-            for s in &r.sources {
+            for &s in &r.sources {
                 if !th.instances[s].finished {
                     return false;
                 }
@@ -803,29 +916,85 @@ impl SystemState {
     /// to the same state).
     #[must_use]
     pub fn apply(&self, t: &Transition) -> SystemState {
-        let mut s = self.clone();
-        s.apply_mut(t);
-        s.advance_all();
-        s
+        thread_local! {
+            /// Per-thread scratch worklist: `apply` runs hundreds of
+            /// thousands of times per exploration, and the list is
+            /// always drained before return, so one reusable buffer per
+            /// OS thread removes an allocation from every transition.
+            static SCRATCH: std::cell::RefCell<Worklist> =
+                std::cell::RefCell::new(Worklist::new(false));
+        }
+        SCRATCH.with(|wl| {
+            let mut wl = wl.borrow_mut();
+            wl.reset(false);
+            let mut s = self.clone();
+            s.apply_mut(t, &mut wl);
+            s.advance_worklist(&mut wl);
+            s
+        })
     }
 
+    /// [`SystemState::apply`] returning the advance trace alongside the
+    /// successor (the instances eager progress actually stepped). This
+    /// is the incremental worklist engine — the differential tests
+    /// compare its trace against [`SystemState::apply_rescan_traced`]'s.
+    #[must_use]
+    pub fn apply_traced(&self, t: &Transition) -> (SystemState, AdvanceTrace) {
+        let mut s = self.clone();
+        let mut wl = Worklist::new(true);
+        s.apply_mut(t, &mut wl);
+        s.advance_worklist(&mut wl);
+        let trace = wl.trace.take().expect("traced worklist");
+        (s, trace)
+    }
+
+    /// Apply a transition through the retained full-rescan reference
+    /// path: after the transition mutates the state, *every* instance of
+    /// every thread is re-advanced to a global fixed point, exactly like
+    /// the pre-worklist engine (worklist seeds are ignored; the rescan
+    /// subsumes them). Same successor and same advance trace as
+    /// [`SystemState::apply_traced`] by confluence — kept so the
+    /// differential tests can prove the worklist never misses a wake-up.
+    #[must_use]
+    pub fn apply_rescan_traced(&self, t: &Transition) -> (SystemState, AdvanceTrace) {
+        let mut s = self.clone();
+        let mut wl = Worklist::new(true);
+        s.apply_mut(t, &mut wl);
+        s.advance_all_with(&mut wl);
+        let trace = wl.trace.take().expect("traced worklist");
+        (s, trace)
+    }
+
+    /// Mutate `self` by one transition, seeding `wl` with the instances
+    /// the transition may have unblocked. Seeding rules (the worklist
+    /// contract): every instance whose own fields this method mutates is
+    /// pushed — the fetched instance, a satisfied reader, a decided
+    /// store-conditional, a committed or finished instruction, a sync
+    /// acknowledgement's origin instance (cross-thread) — and every
+    /// instance a restart cascade clears. Pure storage bookkeeping (write/barrier
+    /// propagation, coherence edges, reservation kills) seeds nothing:
+    /// eager progress never consults storage state, so propagation can
+    /// enable new *transitions* but never a deterministic step.
     #[allow(clippy::too_many_lines)]
-    fn apply_mut(&mut self, t: &Transition) {
+    fn apply_mut(&mut self, t: &Transition, wl: &mut Worklist) {
         match t {
             Transition::Thread(tt) => match tt {
-                ThreadTransition::Fetch { tid, parent, addr } => self.fetch(*tid, *parent, *addr),
+                ThreadTransition::Fetch { tid, parent, addr } => {
+                    let id = self.fetch(*tid, *parent, *addr);
+                    wl.push(*tid, id);
+                }
                 ThreadTransition::SatisfyReadForward {
                     tid,
                     ioid,
                     from,
                     windex,
                 } => {
-                    let (addr, size, reserve) = self.threads[*tid].instances[ioid]
+                    let (addr, size, reserve) = self.threads[*tid].instances[*ioid]
                         .pending_read
                         .expect("pending");
                     assert!(!reserve, "load-reserve satisfies from storage");
                     let value = {
-                        let src = &self.threads[*tid].instances[from].mem_writes[*windex];
+                        let src = &self.threads[*tid].instances[*from].mem_writes[*windex];
                         let off = (addr - src.addr) as usize;
                         src.value.slice(off * 8, size * 8)
                     };
@@ -839,10 +1008,11 @@ impl SystemState {
                             source: ReadSource::Forward(*from, *windex),
                             reserve: false,
                         },
+                        wl,
                     );
                 }
                 ThreadTransition::SatisfyReadStorage { tid, ioid } => {
-                    let (addr, size, reserve) = self.threads[*tid].instances[ioid]
+                    let (addr, size, reserve) = self.threads[*tid].instances[*ioid]
                         .pending_read
                         .expect("pending");
                     let (value, sources) = self.storage.read(*tid, addr, size);
@@ -859,13 +1029,15 @@ impl SystemState {
                             source: ReadSource::Storage(sources),
                             reserve,
                         },
+                        wl,
                     );
                 }
                 ThreadTransition::CommitWrite { tid, ioid, windex } => {
                     self.commit_write(*tid, *ioid, *windex);
+                    wl.push(*tid, *ioid);
                 }
                 ThreadTransition::CommitStcxSuccess { tid, ioid } => {
-                    let windex = self.threads[*tid].instances[ioid]
+                    let windex = self.threads[*tid].instances[*ioid]
                         .mem_writes
                         .iter()
                         .position(|w| w.conditional && w.committed.is_none())
@@ -875,6 +1047,7 @@ impl SystemState {
                     let inst = self.thread_mut(*tid).inst_mut(*ioid).expect("live");
                     inst.pending_cond_write = false;
                     inst.state.resume_write_cond(true).expect("pending cond");
+                    wl.push(*tid, *ioid);
                 }
                 ThreadTransition::CommitStcxFail { tid, ioid } => {
                     self.thread_mut(*tid).reservation = None;
@@ -887,9 +1060,12 @@ impl SystemState {
                     inst.mem_writes.remove(windex);
                     inst.pending_cond_write = false;
                     inst.state.resume_write_cond(false).expect("pending cond");
+                    wl.push(*tid, *ioid);
                 }
                 ThreadTransition::CommitBarrier { tid, ioid } => {
-                    let kind = self.threads[*tid].instances[ioid].barrier.expect("barrier");
+                    let kind = self.threads[*tid].instances[*ioid]
+                        .barrier
+                        .expect("barrier");
                     if kind.goes_to_storage() {
                         let id = BarrierId(self.next_barrier_id);
                         self.next_barrier_id += 1;
@@ -906,18 +1082,23 @@ impl SystemState {
                         let inst = self.thread_mut(*tid).inst_mut(*ioid).expect("live");
                         inst.barrier_committed = true;
                     }
+                    // The paused instruction resumes stepping.
+                    wl.push(*tid, *ioid);
                 }
                 ThreadTransition::Finish { tid, ioid } => {
                     let inst = self.thread_mut(*tid).inst_mut(*ioid).expect("live");
                     inst.finished = true;
                     self.thread_mut(*tid).prune_children(*ioid);
+                    wl.push(*tid, *ioid);
                 }
             },
             Transition::Storage(st) => match st {
                 StorageTransition::PropagateWrite { write, to } => {
                     let (addr, size) = self.storage_mut().propagate_write(*write, *to);
                     // A foreign write propagating into the thread kills
-                    // an overlapping reservation.
+                    // an overlapping reservation. (No worklist seed:
+                    // reservations gate store-conditional *transitions*,
+                    // never a deterministic step.)
                     let w_tid = self.storage.writes[write].tid;
                     if w_tid != *to {
                         if let Some((ra, rs)) = self.threads[*to].reservation {
@@ -932,10 +1113,14 @@ impl SystemState {
                 }
                 StorageTransition::AcknowledgeSync { barrier } => {
                     self.storage_mut().acknowledge_sync(*barrier);
+                    // Cross-thread unblock: the acknowledgement lands in
+                    // the *origin* thread's instance, so that thread —
+                    // and only that thread — re-enters eager progress.
                     let (tid, ioid) = self.storage.barriers[barrier].ioid;
-                    if self.threads[tid].instances.contains_key(&ioid) {
+                    if self.threads[tid].instances.contains(ioid) {
                         let inst = self.thread_mut(tid).inst_mut(ioid).expect("live");
                         inst.barrier_acked = true;
+                        wl.push(tid, ioid);
                     }
                 }
                 StorageTransition::PartialCoherence { first, second } => {
@@ -946,7 +1131,7 @@ impl SystemState {
         }
     }
 
-    fn fetch(&mut self, tid: ThreadId, parent: Option<InstanceId>, addr: u64) {
+    fn fetch(&mut self, tid: ThreadId, parent: Option<InstanceId>, addr: u64) -> InstanceId {
         let (instr, sem, fp) = {
             let entry = self
                 .program
@@ -981,19 +1166,28 @@ impl SystemState {
             done: false,
             finished: false,
             nia: None,
+            digest: crate::types::DigestCell::new(),
         };
-        th.instances.insert(id, Arc::new(inst));
+        th.instances.insert(Arc::new(inst));
         match parent {
             None => th.root = Some(id),
             Some(p) => th.inst_mut(p).expect("parent").children.push(id),
         }
+        id
     }
 
     /// Record a read satisfaction and restart po-later same-footprint
     /// reads that read from different (hence coherence-suspect) sources
     /// (RDW forbidden; RSW stays allowed because equal sources don't
-    /// restart).
-    fn finish_read_satisfaction(&mut self, tid: ThreadId, ioid: InstanceId, read: SatRead) {
+    /// restart). The satisfied reader and every restarted instance are
+    /// queued on the worklist for eager progress.
+    fn finish_read_satisfaction(
+        &mut self,
+        tid: ThreadId,
+        ioid: InstanceId,
+        read: SatRead,
+        wl: &mut Worklist,
+    ) {
         {
             let inst = self.thread_mut(tid).inst_mut(ioid).expect("live");
             inst.pending_read = None;
@@ -1002,13 +1196,14 @@ impl SystemState {
                 .resume_mem(read.value.clone())
                 .expect("pending mem");
         }
+        wl.push(tid, ioid);
         // Coherence-order restart check on po-later satisfied reads.
         let th = &self.threads[tid];
         let mut seed = BTreeSet::new();
-        for d in th.descendants(ioid) {
-            let dinst = &th.instances[&d];
+        th.for_each_descendant(ioid, &mut |d| {
+            let dinst = &th.instances[d];
             if dinst.finished {
-                continue;
+                return;
             }
             for r2 in &dinst.mem_reads {
                 let overlaps =
@@ -1027,9 +1222,12 @@ impl SystemState {
                     seed.insert(d);
                 }
             }
-        }
+        });
         if !seed.is_empty() {
-            self.thread_mut(tid).cascade_restart(seed);
+            let restarted = self.thread_mut(tid).cascade_restart(seed);
+            for id in restarted {
+                wl.push(tid, id);
+            }
         }
     }
 
@@ -1058,7 +1256,7 @@ impl SystemState {
             ReadSource::Forward(from, widx) => {
                 match self.threads[tid]
                     .instances
-                    .get(from)
+                    .get(*from)
                     .and_then(|i| i.mem_writes.get(*widx))
                     .and_then(|w| w.committed)
                 {
@@ -1073,7 +1271,7 @@ impl SystemState {
         let id = WriteId(self.next_write_id);
         self.next_write_id += 1;
         let (addr, size, value) = {
-            let w = &self.threads[tid].instances[&ioid].mem_writes[windex];
+            let w = &self.threads[tid].instances[ioid].mem_writes[windex];
             (w.addr, w.size, w.value.clone())
         };
         self.storage_mut().accept_write(Write {
@@ -1124,6 +1322,8 @@ impl SystemState {
     /// and follow that invalidation discipline.
     #[must_use]
     pub fn digest(&self) -> u64 {
+        #[cfg(debug_assertions)]
+        self.audit_digest_caches();
         self.digest.get_or_compute(|| {
             let mut h = std::collections::hash_map::DefaultHasher::new();
             for th in &self.threads {
@@ -1132,6 +1332,62 @@ impl SystemState {
             self.storage.digest().hash(&mut h);
             h.finish()
         })
+    }
+
+    /// Debug-build digest audit, run on every [`SystemState::digest`]
+    /// call (i.e. at successor-publish time, when the oracle engines
+    /// dedup against the visited set): every *populated* `DigestCell` is
+    /// recomputed from scratch and compared against its cached value, so
+    /// a mutation that bypassed the `thread_mut`/`storage_mut`/`inst_mut`
+    /// funnels — the standing digest hazard — fails loudly in `cargo
+    /// test` instead of silently colliding or dropping states. Empty
+    /// cells need no check (their next read computes fresh). Costs one
+    /// full-state hash per call, debug builds only.
+    #[cfg(debug_assertions)]
+    fn audit_digest_caches(&self) {
+        for th in &self.threads {
+            if let Some(cached) = th.digest.peek() {
+                assert_eq!(
+                    cached,
+                    th.digest_uncached(),
+                    "stale cached digest for thread {}: some mutation bypassed \
+                     SystemState::thread_mut / ThreadState::inst_mut",
+                    th.tid
+                );
+            }
+            for (id, inst) in th.instances.iter() {
+                if let Some(cached) = inst.digest.peek() {
+                    assert_eq!(
+                        cached,
+                        inst.digest_uncached(),
+                        "stale cached digest for instance {}:{id}: some mutation \
+                         bypassed ThreadState::inst_mut",
+                        th.tid
+                    );
+                }
+            }
+        }
+        if let Some(cached) = self.storage.digest.peek() {
+            assert_eq!(
+                cached,
+                self.storage.digest_uncached(),
+                "stale cached storage digest: some mutation bypassed \
+                 SystemState::storage_mut"
+            );
+        }
+        if let Some(cached) = self.digest.peek() {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for th in &self.threads {
+                th.digest_uncached().hash(&mut h);
+            }
+            self.storage.digest_uncached().hash(&mut h);
+            assert_eq!(
+                cached,
+                h.finish(),
+                "stale cached whole-state digest: some mutation bypassed the \
+                 SystemState mutation funnels"
+            );
+        }
     }
 }
 

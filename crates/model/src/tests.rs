@@ -922,7 +922,7 @@ fn choose_sequential_respects_priority_classes() {
                 Transition::Thread(ThreadTransition::Fetch { tid, parent, .. }) => {
                     if let Some(p) = parent {
                         assert!(
-                            state.threads[*tid].instances[p].nia.is_some(),
+                            state.threads[*tid].instances[*p].nia.is_some(),
                             "step {steps}: chose a fetch whose parent address is unresolved"
                         );
                     }

@@ -21,7 +21,149 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// An instruction-instance identifier, unique within its thread.
+///
+/// Ids are allocated densely from zero ([`ThreadState::next_id`]), so
+/// they double as direct indices into the thread's [`InstanceArena`].
 pub type InstanceId = usize;
+
+/// A dense arena of instruction instances, indexed by [`InstanceId`].
+///
+/// Instance ids are allocated densely from zero, so the arena is a plain
+/// `Vec` of slots: lookup is an array index (the instruction-tree walks
+/// — `ancestors`, per-bit register resolution, descendant scans — are
+/// the hottest loops in successor generation, and each hop used to be a
+/// `BTreeMap` search), and id iteration allocates nothing. Pruned
+/// instances leave `None` holes; in a live state the slot vector always
+/// has length [`ThreadState::next_id`].
+///
+/// Equality and the canonical codec see only the *live* `(id, instance)`
+/// sequence in id order — exactly what the former
+/// `BTreeMap<InstanceId, Arc<InstrInstance>>` exposed — so canonical
+/// bytes and digests are unchanged by the layout.
+#[derive(Clone, Debug, Default)]
+pub struct InstanceArena {
+    slots: Vec<Option<Arc<InstrInstance>>>,
+    live: usize,
+}
+
+impl InstanceArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        InstanceArena::default()
+    }
+
+    /// Number of live instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no instance is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether `id` names a live instance.
+    #[must_use]
+    pub fn contains(&self, id: InstanceId) -> bool {
+        self.slots.get(id).is_some_and(Option::is_some)
+    }
+
+    /// The live instance at `id`, if any.
+    #[must_use]
+    pub fn get(&self, id: InstanceId) -> Option<&InstrInstance> {
+        self.slots.get(id).and_then(|s| s.as_deref())
+    }
+
+    /// Copy-on-write mutable access to the instance at `id` (see
+    /// [`ThreadState::inst_mut`], which is the funnel callers use).
+    pub(crate) fn make_mut(&mut self, id: InstanceId) -> Option<&mut InstrInstance> {
+        self.slots
+            .get_mut(id)
+            .and_then(Option::as_mut)
+            .map(Arc::make_mut)
+    }
+
+    /// Insert an instance at its own id (fills the slot, extending the
+    /// vector with holes if the id is past the end — decode inserts in
+    /// id order, live execution always appends at `next_id`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied (instance ids are unique).
+    pub fn insert(&mut self, inst: Arc<InstrInstance>) {
+        let id = inst.id;
+        if id >= self.slots.len() {
+            self.slots.resize_with(id + 1, || None);
+        }
+        assert!(self.slots[id].is_none(), "instance id {id} inserted twice");
+        self.slots[id] = Some(inst);
+        self.live += 1;
+    }
+
+    /// Remove (prune) the instance at `id`, leaving a hole.
+    pub fn remove(&mut self, id: InstanceId) -> Option<Arc<InstrInstance>> {
+        let out = self.slots.get_mut(id).and_then(Option::take);
+        if out.is_some() {
+            self.live -= 1;
+        }
+        out
+    }
+
+    /// Iterate over live instance ids in ascending order,
+    /// allocation-free.
+    pub fn ids(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_ref().map(|_| id))
+    }
+
+    /// One past the highest id ever allocated (the slot-vector length):
+    /// every live id is `< id_bound()`, so `0..id_bound()` plus a
+    /// [`InstanceArena::contains`] check walks the arena without
+    /// borrowing it across the loop body.
+    #[must_use]
+    pub fn id_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterate over live `(id, instance)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceId, &InstrInstance)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_deref().map(|i| (id, i)))
+    }
+
+    /// Iterate over live instances in id order.
+    pub fn values(&self) -> impl Iterator<Item = &InstrInstance> + '_ {
+        self.slots.iter().filter_map(|s| s.as_deref())
+    }
+}
+
+impl std::ops::Index<InstanceId> for InstanceArena {
+    type Output = InstrInstance;
+
+    fn index(&self, id: InstanceId) -> &InstrInstance {
+        self.get(id)
+            .unwrap_or_else(|| panic!("no live instance with id {id}"))
+    }
+}
+
+/// Structural equality over the live `(id, instance)` sequence only —
+/// hole layout and slot-vector length are representation details (a
+/// decoded arena's vector stops at the highest live id, a live one's at
+/// `next_id`), exactly as the former `BTreeMap` compared.
+impl PartialEq for InstanceArena {
+    fn eq(&self, other: &Self) -> bool {
+        self.live == other.live && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for InstanceArena {}
 
 /// Where a satisfied memory read got its value.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -129,6 +271,13 @@ pub struct InstrInstance {
     /// Resolved next-instruction address (set by an `NIA` write, or at
     /// `Done` to the successor when no `NIA` write happened).
     pub nia: Option<u64>,
+    /// Compute-once cache of this instance's digest contribution
+    /// (clone-empties, `PartialEq`-ignored — see [`DigestCell`]).
+    /// Invalidated by [`ThreadState::inst_mut`], so after a transition
+    /// the thread digest re-hashes only the touched instance; hashing
+    /// the suspended interpreter continuations of every untouched
+    /// instance per successor was the oracle's single largest cost.
+    pub(crate) digest: DigestCell,
 }
 
 /// Structural equality of instruction instances. The shared semantics
@@ -167,6 +316,41 @@ impl PartialEq for InstrInstance {
 impl Eq for InstrInstance {}
 
 impl InstrInstance {
+    /// The instance's structural digest contribution, cached
+    /// compute-once (see the `digest` field).
+    #[must_use]
+    pub(crate) fn digest(&self) -> u64 {
+        self.digest.get_or_compute(|| self.digest_uncached())
+    }
+
+    /// [`InstrInstance::digest`] recomputed from scratch, bypassing the
+    /// cache (the `debug_assertions` digest audit's reference). Hashes
+    /// the same fields structural equality compares, except those that
+    /// are derivable (children mirror parents, `dyn_fp` is a function of
+    /// `state`, `barrier_id` of the barrier's commit) — identical to
+    /// what the thread-level digest hashed before the per-instance
+    /// cache existed.
+    #[must_use]
+    pub(crate) fn digest_uncached(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.parent.hash(&mut h);
+        self.addr.hash(&mut h);
+        self.state.hash(&mut h);
+        self.reg_reads.hash(&mut h);
+        self.reg_writes.hash(&mut h);
+        self.mem_reads.hash(&mut h);
+        self.pending_read.hash(&mut h);
+        self.mem_writes.hash(&mut h);
+        self.pending_cond_write.hash(&mut h);
+        self.barrier.hash(&mut h);
+        self.barrier_committed.hash(&mut h);
+        self.barrier_acked.hash(&mut h);
+        self.done.hash(&mut h);
+        self.finished.hash(&mut h);
+        self.nia.hash(&mut h);
+        h.finish()
+    }
+
     /// Whether the instance's static analysis says it can branch (more
     /// than one possible next address).
     #[must_use]
@@ -274,12 +458,14 @@ pub struct ThreadState {
     /// This thread's id.
     pub tid: ThreadId,
     /// Initial (architected) register values; unmentioned registers are
-    /// zero.
-    pub init_regs: BTreeMap<Reg, Bv>,
-    /// All instances, live and pruned-free (pruned subtrees are removed
-    /// from the map). Values are `Arc`-shared with predecessor states;
+    /// zero. Immutable after construction, so it sits behind an `Arc`
+    /// and a copy-on-write thread clone bumps a refcount instead of
+    /// deep-cloning the map on every applied transition.
+    pub init_regs: Arc<BTreeMap<Reg, Bv>>,
+    /// All live instances, in a dense id-indexed arena (pruned subtrees
+    /// leave holes). Values are `Arc`-shared with predecessor states;
     /// use [`ThreadState::inst_mut`] to get a copy-on-write `&mut`.
-    pub instances: BTreeMap<InstanceId, Arc<InstrInstance>>,
+    pub instances: InstanceArena,
     /// The root instance (first fetch), if fetched.
     pub root: Option<InstanceId>,
     /// Next instance id.
@@ -299,8 +485,8 @@ impl ThreadState {
     pub fn new(tid: ThreadId, init_regs: BTreeMap<Reg, Bv>, start_addr: u64) -> Self {
         ThreadState {
             tid,
-            init_regs,
-            instances: BTreeMap::new(),
+            init_regs: Arc::new(init_regs),
+            instances: InstanceArena::new(),
             root: None,
             next_id: 0,
             reservation: None,
@@ -317,38 +503,47 @@ impl ThreadState {
     /// outside the [`crate::SystemState::thread_mut`] funnel.
     pub fn inst_mut(&mut self, id: InstanceId) -> Option<&mut InstrInstance> {
         self.digest.invalidate();
-        self.instances.get_mut(&id).map(Arc::make_mut)
+        let inst = self.instances.make_mut(id)?;
+        // `make_mut` only empties the instance's cell when it clones
+        // (shared `Arc`); the unshared in-place case must invalidate
+        // explicitly, exactly like the thread- and storage-level cells.
+        inst.digest.invalidate();
+        Some(inst)
     }
 
     /// The thread's structural digest (reservation + full instance
-    /// content), cached compute-once: successor states share unchanged
-    /// threads by `Arc`, so only the thread a transition touched is ever
-    /// re-hashed.
+    /// content), cached compute-once at *two* levels: successor states
+    /// share unchanged threads by `Arc`, so only the touched thread is
+    /// re-folded — and within it each instance caches its own digest
+    /// ([`InstrInstance::digest`]), so the re-fold re-hashes only the
+    /// touched instance's content (suspended interpreter continuations
+    /// are by far the largest thing hashed anywhere in a state).
     #[must_use]
     pub fn digest(&self) -> u64 {
         self.digest.get_or_compute(|| {
             let mut h = std::collections::hash_map::DefaultHasher::new();
             self.reservation.hash(&mut h);
-            for (id, inst) in &self.instances {
+            for (id, inst) in self.instances.iter() {
                 id.hash(&mut h);
-                inst.parent.hash(&mut h);
-                inst.addr.hash(&mut h);
-                inst.state.hash(&mut h);
-                inst.reg_reads.hash(&mut h);
-                inst.reg_writes.hash(&mut h);
-                inst.mem_reads.hash(&mut h);
-                inst.pending_read.hash(&mut h);
-                inst.mem_writes.hash(&mut h);
-                inst.pending_cond_write.hash(&mut h);
-                inst.barrier.hash(&mut h);
-                inst.barrier_committed.hash(&mut h);
-                inst.barrier_acked.hash(&mut h);
-                inst.done.hash(&mut h);
-                inst.finished.hash(&mut h);
-                inst.nia.hash(&mut h);
+                inst.digest().hash(&mut h);
             }
             h.finish()
         })
+    }
+
+    /// [`ThreadState::digest`] recomputed from scratch, bypassing both
+    /// the thread-level and every instance-level cache — the reference
+    /// the `debug_assertions` digest audit in
+    /// [`crate::SystemState::digest`] compares stale cells against.
+    #[must_use]
+    pub fn digest_uncached(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.reservation.hash(&mut h);
+        for (id, inst) in self.instances.iter() {
+            id.hash(&mut h);
+            inst.digest_uncached().hash(&mut h);
+        }
+        h.finish()
     }
 
     /// The initial value of a register (zeros if unspecified).
@@ -363,8 +558,8 @@ impl ThreadState {
     /// Iterate over the po-previous instances of `id`, nearest first.
     pub fn ancestors(&self, id: InstanceId) -> impl Iterator<Item = &InstrInstance> {
         std::iter::successors(
-            self.instances[&id].parent.map(|p| &*self.instances[&p]),
-            move |i| i.parent.map(|p| &*self.instances[&p]),
+            self.instances[id].parent.map(|p| &self.instances[p]),
+            move |i| i.parent.map(|p| &self.instances[p]),
         )
     }
 
@@ -378,12 +573,20 @@ impl ThreadState {
     #[must_use]
     pub fn descendants(&self, id: InstanceId) -> Vec<InstanceId> {
         let mut out = Vec::new();
-        let mut stack = self.instances[&id].children.clone();
-        while let Some(c) = stack.pop() {
-            out.push(c);
-            stack.extend(self.instances[&c].children.iter().copied());
-        }
+        self.for_each_descendant(id, &mut |d| out.push(d));
         out
+    }
+
+    /// Visit every descendant of `id` (its whole subtree, excluding
+    /// itself), allocation-free — the hot restart scans walk subtrees on
+    /// every satisfied read, so they must not build an id `Vec` each
+    /// time. Pre-order; recursion depth is bounded by the instance tree
+    /// depth, itself bounded by `max_instances_per_thread`.
+    pub fn for_each_descendant(&self, id: InstanceId, f: &mut impl FnMut(InstanceId)) {
+        for &c in &self.instances[id].children {
+            f(c);
+            self.for_each_descendant(c, f);
+        }
     }
 
     /// Resolve a register-slice read for instance `reader`: walk the
@@ -400,7 +603,7 @@ impl ThreadState {
         slice: RegSlice,
     ) -> Option<(Bv, BTreeSet<InstanceId>)> {
         if slice.reg == Reg::Cia {
-            let v = Bv::from_u64(self.instances[&reader].addr, 64).slice(slice.start, slice.len);
+            let v = Bv::from_u64(self.instances[reader].addr, 64).slice(slice.start, slice.len);
             return Some((v, BTreeSet::new()));
         }
         let mut bits = vec![Bit::Undef; slice.len];
@@ -438,7 +641,7 @@ impl ThreadState {
         // Find the deepest instance on the path.
         let mut last = self.root;
         while let Some(l) = last {
-            match self.instances[&l].children.as_slice() {
+            match self.instances[l].children.as_slice() {
                 [] => break,
                 [c] => last = Some(*c),
                 _ => break, // unresolved tree; best effort
@@ -450,7 +653,7 @@ impl ThreadState {
             let bit_slice = RegSlice::new(reg, bitpos, 1);
             let mut cur = last;
             while let Some(c) = cur {
-                let j = &self.instances[&c];
+                let j = &self.instances[c];
                 if let Some((ws, wv)) = j
                     .reg_writes
                     .iter()
@@ -474,12 +677,13 @@ impl ThreadState {
         let mut set = seed;
         loop {
             let mut grew = false;
-            let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
-            for id in ids {
+            for id in 0..self.instances.id_bound() {
+                let Some(inst) = self.instances.get(id) else {
+                    continue;
+                };
                 if set.contains(&id) {
                     continue;
                 }
-                let inst = &self.instances[&id];
                 let depends = inst
                     .reg_reads
                     .iter()
@@ -509,26 +713,25 @@ impl ThreadState {
     /// fetch address differs from the resolved `nia` are discarded
     /// (paper §2.1.1).
     pub fn prune_children(&mut self, id: InstanceId) {
-        let Some(nia) = self.instances[&id].nia else {
+        let Some(nia) = self.instances[id].nia else {
             return;
         };
-        let children = self.instances[&id].children.clone();
+        let children = self.instances[id].children.clone();
         let (keep, drop): (Vec<_>, Vec<_>) = children
             .into_iter()
-            .partition(|c| self.instances[c].addr == nia);
+            .partition(|&c| self.instances[c].addr == nia);
         self.inst_mut(id).expect("exists").children = keep;
         for d in drop {
             for sub in self.descendants(d) {
-                self.instances.remove(&sub);
+                self.instances.remove(sub);
             }
-            self.instances.remove(&d);
+            self.instances.remove(d);
         }
     }
 
-    /// All live instance ids in id order.
-    #[must_use]
-    pub fn instance_ids(&self) -> Vec<InstanceId> {
-        self.instances.keys().copied().collect()
+    /// All live instance ids in id order, allocation-free.
+    pub fn instance_ids(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.instances.ids()
     }
 
     /// Whether every live instance is finished.

@@ -214,6 +214,17 @@ impl DigestCell {
         self.0.take();
     }
 
+    /// The cached digest, if one is populated (no computation). The
+    /// `debug_assertions` digest audit uses this to find populated cells
+    /// and compare them against a from-scratch recomputation — a stale
+    /// value here means some mutation bypassed the invalidating funnels.
+    /// Compiled only where the audit lives (debug builds).
+    #[cfg(debug_assertions)]
+    #[must_use]
+    pub fn peek(&self) -> Option<u64> {
+        self.0.get().copied()
+    }
+
     /// Seed the cell with a known digest (e.g. one carried alongside a
     /// spilled state record). A no-op if already populated.
     pub fn seed(&self, digest: u64) {

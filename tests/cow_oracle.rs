@@ -57,6 +57,21 @@ fn check_state(state: &SystemState, ctx: &CodecCtx, rng: &mut Prng) -> Option<Sy
             ctx.encode(&base),
             "canonical bytes depend on Arc sharing: {t:?}"
         );
+        // Advance-trace differential: the incremental dirty-instance
+        // worklist must step exactly the instances the retained
+        // full-rescan reference steps (a missed worklist seed would
+        // silently skip a wake-up and only *sometimes* change finals;
+        // the trace comparison catches it on every transition).
+        let (succ_inc, trace_inc) = state.apply_traced(t);
+        let (succ_ref, trace_ref) = state.apply_rescan_traced(t);
+        assert!(
+            succ_inc == succ && succ_ref == succ,
+            "traced engines disagree with apply: {t:?}"
+        );
+        assert_eq!(
+            trace_inc, trace_ref,
+            "worklist advance trace diverged from the full-rescan reference: {t:?}"
+        );
     }
     let pick = rng.gen_range(0..ts.len() as u32) as usize;
     Some(state.apply(&ts[pick]))
@@ -146,4 +161,26 @@ fn cached_digests_stay_sound_down_a_shared_chain() {
         );
         assert_eq!(fresh.digest(), state.digest());
     }
+}
+
+/// The `debug_assertions` digest audit must catch a mutation that
+/// bypasses the `thread_mut`/`inst_mut`/`storage_mut` funnels — the
+/// ROADMAP's standing digest hazard. A stale cached digest silently
+/// collides (or splits) visited-set entries, dropping states; the audit
+/// turns that into a loud failure at successor-publish time.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "stale cached digest")]
+fn digest_audit_catches_funnel_bypass() {
+    let params = ModelParams::default();
+    let prog = gen_program(0xBEEF_0001);
+    let test = parse(&prog.source).expect("generated program parses");
+    let mut state = build_system(&test, &params);
+    let _ = state.digest(); // populate every cache level
+                            // Bypass the funnel: mutate a digested field through the Arc
+                            // directly, without invalidating (the state is sole owner, so no
+                            // CoW clone empties the cell for us).
+    let th = std::sync::Arc::get_mut(&mut state.threads[0]).expect("sole owner");
+    th.reservation = Some((0xdead, 4));
+    let _ = state.digest(); // audit must detect the stale thread cell
 }

@@ -30,7 +30,7 @@ use common::{env_u64, gen_program, has_rmw};
 use ppcmem::bits::Prng;
 use ppcmem::litmus::harness::{run_one, run_suite, HarnessConfig};
 use ppcmem::litmus::{build_system, library, parse, run_limited};
-use ppcmem::model::{explore_limited, ExploreLimits, ModelParams};
+use ppcmem::model::{explore_limited, ExploreLimits, ModelParams, SystemState};
 use std::time::{Duration, Instant};
 
 /// The outcome of one differential run.
@@ -48,6 +48,41 @@ enum FuzzOutcome {
     /// so the program is skipped (and counted, so a generator drift that
     /// makes everything oversized fails the test).
     Skipped,
+}
+
+/// Walk a bounded random exploration prefix asserting, at every state
+/// and for every enabled transition, that the incremental dirty-instance
+/// worklist engine and the retained full-rescan reference produce the
+/// same successor *and the same advance trace* (set of instances
+/// stepped by eager progress). A worklist seeding rule that misses a
+/// wake-up would change which instances advance long before it changes
+/// finals — the trace comparison catches it at the first divergent
+/// transition, with the generating seed attached.
+fn advance_trace_differential(initial: &SystemState, seed: u64, steps: usize) {
+    let mut rng = Prng::seed_from_u64(seed ^ 0x7ACE_D1FF_0000_0000);
+    let mut state = initial.clone();
+    for step in 0..steps {
+        let ts = state.enumerate_transitions();
+        if ts.is_empty() {
+            break;
+        }
+        for t in &ts {
+            let (succ_inc, trace_inc) = state.apply_traced(t);
+            let (succ_ref, trace_ref) = state.apply_rescan_traced(t);
+            assert!(
+                succ_inc == succ_ref,
+                "fuzz seed {seed:#018x} step {step}: worklist successor differs \
+                 from full-rescan reference for {t:?}"
+            );
+            assert_eq!(
+                trace_inc, trace_ref,
+                "fuzz seed {seed:#018x} step {step}: advance trace diverged \
+                 (worklist skipped or added a wake-up) for {t:?}"
+            );
+        }
+        let pick = rng.gen_range(0..ts.len() as u32) as usize;
+        state = state.apply(&ts[pick]);
+    }
 }
 
 /// Explore one generated program with the sequential engine and the
@@ -80,6 +115,10 @@ fn differential_check(seed: u64, budget: usize) -> FuzzOutcome {
     };
     let state = build_system(&test, &params);
     let mem_obs: Vec<(u64, usize)> = test.locations.values().map(|&a| (a, 4)).collect();
+
+    // Pin the incremental advance against the full-rescan reference on
+    // a bounded walk before the (much larger) engine differential.
+    advance_trace_differential(&state, seed, 10);
 
     let seq = explore_limited(
         &state,
@@ -162,7 +201,28 @@ fn fuzz_work_stealing_matches_sequential() {
     let mut rmw_checked = 0usize;
     for i in 0..programs {
         let seed = base.wrapping_add(i as u64);
-        match differential_check(seed, budget) {
+        // Attach seed + program context to *any* panic from inside the
+        // model (e.g. an interpreter error deep in `advance_instance` —
+        // which itself names the thread/instance ids), not just to the
+        // differential asserts that already format it, so every
+        // fuzz-found failure replays deterministically.
+        let outcome = std::panic::catch_unwind(|| differential_check(seed, budget)).unwrap_or_else(
+            |payload| {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("(non-string panic payload)");
+                panic!(
+                    "fuzz seed {seed:#018x} panicked\n\
+                     replay: ORACLE_FUZZ_SEED={seed:#x} ORACLE_FUZZ_PROGRAMS=1 \
+                     cargo test --release --test oracle_fuzz\n\
+                     {}\npanic: {msg}",
+                    gen_program(seed).source
+                )
+            },
+        );
+        match outcome {
             FuzzOutcome::Checked { rmw } => {
                 checked += 1;
                 rmw_checked += usize::from(rmw);

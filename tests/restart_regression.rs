@@ -1,0 +1,200 @@
+//! Regression pins for the §2 restart machinery around *partial-overlap*
+//! reads — the path `restart_reads_skipping_write` guards, which PR 5
+//! rewired from a re-entrant `advance_all_thread` call (advancing other
+//! instances from *inside* an instance's own advance loop) to deferred
+//! dirty-instance worklist seeds.
+//!
+//! The scenario: a load is satisfied by *forwarding* from a po-earlier
+//! store while an intervening store's footprint is still undetermined
+//! (its address hangs off an unsatisfied load). When that address
+//! resolves and the write — partially overlapping the forwarded read —
+//! is recorded, the read must restart and re-satisfy against both
+//! writes. The test drives the exact transition sequence mechanically
+//! (pinning that the speculative forward is enabled and that the restart
+//! actually fires) and then pins the observable behaviour differentially
+//! against the sequentially consistent golden machine (`ppc_seqref`):
+//! the program is single-threaded, so *every* architecturally allowed
+//! execution must produce exactly the SC outcome — a missed or mangled
+//! restart shows up as a second final state.
+
+use ppcmem::bits::Bv;
+use ppcmem::idl::Reg;
+use ppcmem::model::{
+    explore, run_sequential, ModelParams, Program, SystemState, ThreadTransition, Transition,
+};
+use ppcmem::seqref::SeqMachine;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const ENTRY: u64 = 0x1_0000;
+const X: u64 = 0x2000;
+const Y: u64 = 0x3000;
+
+/// The pinned program. `stbx`'s effective address depends on the `lwz
+/// r5` result, so its write footprint stays undetermined until that load
+/// is satisfied — and `lwz r8` partially overlaps the byte it finally
+/// writes.
+fn program() -> Vec<ppcmem::isa::Instruction> {
+    [
+        "li r4,0x1234",  // i0
+        "stw r4,0(r2)",  // i1: W1 = [X, X+4)
+        "lwz r5,0(r3)",  // i2: r5 <- Y (= 0), feeds i3's address
+        "stbx r6,r5,r2", // i3: W2 = one byte at X + r5 = X
+        "lwz r8,0(r2)",  // i4: reads [X, X+4) — overlaps W1 fully, W2 partially
+    ]
+    .iter()
+    .map(|s| ppcmem::isa::parse_asm(s).expect("pinned asm parses"))
+    .collect()
+}
+
+fn init_regs() -> BTreeMap<Reg, Bv> {
+    let mut regs = BTreeMap::new();
+    regs.insert(Reg::Gpr(2), Bv::from_u64(X, 64));
+    regs.insert(Reg::Gpr(3), Bv::from_u64(Y, 64));
+    regs.insert(Reg::Gpr(6), Bv::from_u64(0x55, 64));
+    regs
+}
+
+fn initial_state() -> SystemState {
+    let program = Arc::new(Program::from_threads(&[(ENTRY, program())]));
+    SystemState::new(
+        program,
+        vec![(init_regs(), ENTRY)],
+        &[(X, Bv::zeros(32)), (Y, Bv::zeros(32))],
+        ModelParams::default(),
+    )
+}
+
+/// The SC golden outcome from the seqref machine.
+fn golden() -> ppcmem::seqref::MachineState {
+    let mut m = SeqMachine::from_instrs(&program(), ENTRY);
+    m.state.regs.extend(init_regs());
+    m.run(100).expect("golden run terminates");
+    m.state
+}
+
+/// Find the instance id executing the instruction at `addr`.
+fn instance_at(state: &SystemState, addr: u64) -> usize {
+    state.threads[0]
+        .instances
+        .iter()
+        .find(|(_, i)| i.addr == addr)
+        .map(|(id, _)| id)
+        .expect("instruction fetched")
+}
+
+/// Drive the exact interleaving: forward-satisfy the last load past the
+/// undetermined `stbx`, then resolve the `stbx` address and check the
+/// restart fires — then run to quiescence and compare against SC.
+#[test]
+fn partial_overlap_forward_restarts_when_skipped_write_determines() {
+    let mut state = initial_state();
+
+    // Fetch the whole straight line.
+    loop {
+        let ts = state.enumerate_transitions();
+        let Some(fetch) = ts
+            .iter()
+            .find(|t| matches!(t, Transition::Thread(ThreadTransition::Fetch { .. })))
+        else {
+            break;
+        };
+        state = state.apply(fetch);
+    }
+    let i1 = instance_at(&state, ENTRY + 4); // stw
+    let i2 = instance_at(&state, ENTRY + 8); // lwz r5
+    let i4 = instance_at(&state, ENTRY + 16); // lwz r8
+
+    // The speculative forward past the undetermined stbx footprint must
+    // be enabled (this is the behaviour the regression pins: satisfied
+    // by forwarding *before* the skipped write is determined)...
+    let forward = state
+        .enumerate_transitions()
+        .into_iter()
+        .find(|t| {
+            matches!(t, Transition::Thread(ThreadTransition::SatisfyReadForward { ioid, from, .. })
+                if *ioid == i4 && *from == i1)
+        })
+        .expect("forwarding past an undetermined intervening store footprint is enabled");
+    state = state.apply(&forward);
+    assert_eq!(
+        state.threads[0].instances[i4].mem_reads.len(),
+        1,
+        "read satisfied by forwarding"
+    );
+
+    // ...and storage satisfaction of the address-feeding load must then
+    // determine the stbx write, partially overlap the forwarded read,
+    // and restart it (mem_reads cleared, read re-issued).
+    let resolve = state
+        .enumerate_transitions()
+        .into_iter()
+        .find(|t| {
+            matches!(t, Transition::Thread(ThreadTransition::SatisfyReadStorage { ioid, .. })
+                if *ioid == i2)
+        })
+        .expect("address-feeding load can satisfy from storage");
+    state = state.apply(&resolve);
+    let i3 = instance_at(&state, ENTRY + 12); // stbx
+    assert_eq!(
+        state.threads[0].instances[i3].mem_writes.len(),
+        1,
+        "stbx write is now determined and recorded"
+    );
+    assert!(
+        state.threads[0].instances[i4].mem_reads.is_empty(),
+        "partial-overlap forwarded read must be restarted when the skipped \
+         write determines"
+    );
+
+    // Run this very execution to quiescence: it must land on the SC
+    // outcome (the restart re-satisfies against both writes).
+    let (fin, _) = run_sequential(&state, 10_000);
+    let gold = golden();
+    for r in [Reg::Gpr(5), Reg::Gpr(8)] {
+        assert!(
+            gold.reg(r).compatible(&fin.threads[0].final_reg(r)),
+            "register {r} diverged from SC after restart: golden {} vs model {}",
+            gold.reg(r),
+            fin.threads[0].final_reg(r)
+        );
+    }
+}
+
+/// Exhaustive envelope pin: the program is single-threaded, so every
+/// interleaving (including all speculative-forward-then-restart paths)
+/// must collapse to exactly the one SC final state.
+#[test]
+fn partial_overlap_restart_envelope_is_sequentially_consistent() {
+    let initial = initial_state();
+    let reg_obs = [(0usize, Reg::Gpr(5)), (0usize, Reg::Gpr(8))];
+    let mem_obs = [(X, 4usize)];
+    let out = explore(&initial, &reg_obs, &mem_obs);
+    assert!(!out.stats.truncated, "tiny test must not truncate");
+    assert_eq!(
+        out.finals.len(),
+        1,
+        "single-threaded program must have exactly the SC outcome, got: {:?}",
+        out.finals
+    );
+    let fin = out.finals.iter().next().expect("one final");
+    let gold = golden();
+    for r in [Reg::Gpr(5), Reg::Gpr(8)] {
+        assert!(
+            gold.reg(r).compatible(&fin.regs[&(0, r)]),
+            "register {r}: golden {} vs model {:?}",
+            gold.reg(r),
+            fin.regs[&(0, r)]
+        );
+    }
+    // Memory word at X: W1 overlaid with the stbx byte.
+    let mut gold_word = Bv::empty();
+    for b in X..X + 4 {
+        gold_word = gold_word.concat(&gold.byte(b));
+    }
+    assert!(
+        gold_word.compatible(&fin.mem[&X]),
+        "memory at X: golden {gold_word} vs model {}",
+        fin.mem[&X]
+    );
+}

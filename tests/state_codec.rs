@@ -204,3 +204,85 @@ fn convenience_helpers_and_error_paths() {
     long.push(0);
     assert!(decode_state(&long, &state.program, &params).is_err());
 }
+
+/// Corruption sweep: corrupting a valid encoding at *every* byte
+/// position must yield either a [`ppcmem::bits::DecodeError`]… or some
+/// decoded state — never a panic or a pathological allocation. Two
+/// passes per position: a single `0xff` byte (tag/flag corruption), and
+/// a spliced-in maximal LEB128 varint (`0xff…0x01`, ≈ `u64::MAX`) so
+/// every varint field in the stream is, at some position, read as a
+/// huge value. The interesting victims are the dense-arena instance
+/// ids (PR 5): ids index the arena directly, so an unchecked corrupt
+/// id would ask `InstanceArena::insert` for a near-`usize::MAX` slot
+/// vector and abort the process instead of returning the codec's
+/// contractual error — likewise the thread count's former up-front
+/// `Vec::with_capacity`.
+#[test]
+fn corrupt_byte_sweep_never_panics_or_overallocates() {
+    // A maximal unsigned LEB128 varint: nine continuation bytes and a
+    // terminator, decoding to a value near u64::MAX.
+    let huge_varint: [u8; 10] = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+
+    // Subjects chosen for stream variety: MP (plain loads/stores),
+    // MP+syncs (barrier events, barrier ids, sync acknowledgements in
+    // the storage half), and the lwarx/stwcx. source (reservations and
+    // pending conditional writes).
+    let mut subjects: Vec<(String, ModelParams)> = ["MP", "MP+syncs"]
+        .iter()
+        .map(|name| {
+            let entry = library()
+                .into_iter()
+                .find(|e| e.name == *name)
+                .unwrap_or_else(|| panic!("{name} in library"));
+            (entry.source.to_owned(), ModelParams::default())
+        })
+        .collect();
+    subjects.push((
+        RMW_SOURCE.to_owned(),
+        ModelParams {
+            allow_spurious_stcx_failure: true,
+            ..ModelParams::default()
+        },
+    ));
+
+    for (source, params) in subjects {
+        let test = parse(&source).expect("parses");
+        let mut state = build_system(&test, &params);
+        // Walk a while so threads carry live instruction instances and
+        // the storage half carries real events (the initial state has
+        // neither).
+        for _ in 0..14 {
+            let ts = state.enumerate_transitions();
+            let Some(t) = ts.first() else { break };
+            state = state.apply(t);
+        }
+        assert!(
+            state.threads.iter().any(|th| !th.instances.is_empty()),
+            "walk must produce instances for the sweep to corrupt their ids"
+        );
+        let bytes = encode_state(&state);
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] = 0xff;
+            // Err or a (different) state are both fine; an abort here
+            // means a length/id field was trusted before validation.
+            let _ = decode_state(&corrupt, &state.program, &params);
+
+            let mut spliced = bytes[..pos].to_vec();
+            spliced.extend_from_slice(&huge_varint);
+            spliced.extend_from_slice(&bytes[pos..]);
+            let _ = decode_state(&spliced, &state.program, &params);
+
+            // Replace exactly one byte with the huge varint: when `pos`
+            // is a single-byte varint field (instance ids, counts —
+            // values < 128 encode in one byte), the rest of the stream
+            // stays aligned and decodes as the original, so the huge
+            // value itself reaches the consuming code rather than
+            // derailing into a misalignment error first.
+            let mut replaced = bytes[..pos].to_vec();
+            replaced.extend_from_slice(&huge_varint);
+            replaced.extend_from_slice(&bytes[pos + 1..]);
+            let _ = decode_state(&replaced, &state.program, &params);
+        }
+    }
+}
