@@ -117,7 +117,16 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
     }
     fn num_field(chunk: &str, key: &str) -> Option<f64> {
         let tail = chunk.split(&format!("\"{key}\": ")).nth(1)?;
-        tail.split([',', '\n', '}']).next()?.trim().parse().ok()
+        tail.split([',', '\n', '}'])
+            .next()?
+            .trim()
+            .parse()
+            .ok()
+            // `f64::from_str` accepts "inf"/"NaN" spellings, which are
+            // not JSON and would propagate through every ratio printed;
+            // a baseline carrying them (from a run whose wall clock
+            // rounded to zero) is rejected field-by-field.
+            .filter(|v: &f64| v.is_finite())
     }
     text.split("\"suite\": ")
         .skip(1)
@@ -130,6 +139,29 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
             })
         })
         .collect()
+}
+
+/// A per-second rate over a measured wall clock, or `None` when the
+/// interval is too short to carry a meaningful rate. Dividing by a wall
+/// clock that rounds to (near) zero used to print absurd rates and
+/// could emit `inf`/`NaN` — which is not JSON — into the report; an
+/// unmeasurable rate is now `null` in the report and `n/a` on stderr.
+fn rate(count: usize, wall_s: f64) -> Option<f64> {
+    if wall_s < 1e-6 {
+        return None;
+    }
+    let r = count as f64 / wall_s;
+    r.is_finite().then_some(r)
+}
+
+/// `rate` formatted for stderr (`{:.0}` or `n/a`).
+fn rate_str(count: usize, wall_s: f64) -> String {
+    rate(count, wall_s).map_or_else(|| "n/a".to_owned(), |r| format!("{r:.0}"))
+}
+
+/// `rate` formatted as a JSON value (`{:.1}` or `null`).
+fn rate_json(count: usize, wall_s: f64) -> String {
+    rate(count, wall_s).map_or_else(|| "null".to_owned(), |r| format!("{r:.1}"))
 }
 
 /// Print the report-only states/sec comparison of this run against a
@@ -146,12 +178,14 @@ fn print_baseline_comparison(rows: &[SuiteRow], baseline_path: &str) {
     }
     eprintln!("states/sec vs baseline {baseline_path} (report-only, shared hardware is noisy):");
     for row in rows {
-        let now = row.states() as f64 / row.wall_s.max(1e-9);
-        match baseline
+        let now = rate(row.states(), row.wall_s);
+        let entry = baseline
             .iter()
-            .find(|b| b.suite == row.suite && b.engine == row.engine)
-        {
-            Some(b) if b.states_per_sec > 0.0 => {
+            .find(|b| b.suite == row.suite && b.engine == row.engine);
+        match (now, entry) {
+            // `parse_baseline` only yields finite fields, so the ratio
+            // below is finite whenever the baseline rate is positive.
+            (Some(now), Some(b)) if b.states_per_sec > 0.0 => {
                 let ratio = now / b.states_per_sec;
                 eprintln!(
                     "  {:<20} {:<18} {:>9.0} now vs {:>9.0} baseline  ({:+.1}%)",
@@ -163,8 +197,15 @@ fn print_baseline_comparison(rows: &[SuiteRow], baseline_path: &str) {
                 );
             }
             _ => eprintln!(
-                "  {:<20} {:<18} {:>9.0} now (no baseline entry)",
-                row.suite, row.engine, now
+                "  {:<20} {:<18} {:>9} now ({})",
+                row.suite,
+                row.engine,
+                rate_str(row.states(), row.wall_s),
+                if entry.is_some() {
+                    "unmeasurable or degenerate baseline"
+                } else {
+                    "no baseline entry"
+                }
             ),
         }
     }
@@ -322,13 +363,13 @@ fn main() {
         }
         for row in per_engine {
             eprintln!(
-                "  {:<20} {:<18} {:>9} states {:>12} transitions {:>9.2}s  {:>9.0} states/s",
+                "  {:<20} {:<18} {:>9} states {:>12} transitions {:>9.2}s  {:>9} states/s",
                 row.suite,
                 row.engine,
                 row.states(),
                 row.transitions(),
                 row.wall_s,
-                row.states() as f64 / row.wall_s.max(1e-9),
+                rate_str(row.states(), row.wall_s),
             );
             rows.push(row);
         }
@@ -368,13 +409,13 @@ fn main() {
         let _ = writeln!(j, "      \"wall_s\": {:.6},", row.wall_s);
         let _ = writeln!(
             j,
-            "      \"states_per_sec\": {:.1},",
-            states as f64 / row.wall_s.max(1e-9)
+            "      \"states_per_sec\": {},",
+            rate_json(states, row.wall_s)
         );
         let _ = writeln!(
             j,
-            "      \"transitions_per_sec\": {:.1},",
-            transitions as f64 / row.wall_s.max(1e-9)
+            "      \"transitions_per_sec\": {},",
+            rate_json(transitions, row.wall_s)
         );
         let _ = writeln!(
             j,
@@ -413,5 +454,56 @@ fn main() {
 
     if let Some(baseline_path) = baseline {
         print_baseline_comparison(&rows, &baseline_path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{parse_baseline, rate, rate_json, rate_str};
+
+    #[test]
+    fn rate_is_none_for_unmeasurable_walls() {
+        assert_eq!(rate(1000, 0.0), None);
+        assert_eq!(rate(1000, 1e-9), None);
+        assert_eq!(rate(0, 0.0), None);
+        let r = rate(1000, 0.5).expect("measurable");
+        assert!((r - 2000.0).abs() < 1e-9);
+        assert_eq!(rate_str(1000, 0.0), "n/a");
+        assert_eq!(rate_json(1000, 0.0), "null");
+        assert_eq!(rate_json(1000, 0.5), "2000.0");
+    }
+
+    #[test]
+    fn baseline_parser_rejects_non_finite_rates() {
+        let report = r#"{
+  "suites": [
+    {
+      "suite": "litmus-large",
+      "engine": "sequential",
+      "states_per_sec": 150000.0,
+      "transitions_per_sec": 600000.0
+    },
+    {
+      "suite": "litmus-small",
+      "engine": "sequential",
+      "states_per_sec": inf,
+      "transitions_per_sec": NaN
+    },
+    {
+      "suite": "generated-families",
+      "engine": "sequential",
+      "states_per_sec": null,
+      "transitions_per_sec": null
+    }
+  ]
+}
+"#;
+        let rows = parse_baseline(report);
+        // Only the finite row survives; inf/NaN (parseable by
+        // `f64::from_str` but not JSON) and null are rejected.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].suite, "litmus-large");
+        assert_eq!(rows[0].engine, "sequential");
+        assert!((rows[0].states_per_sec - 150_000.0).abs() < 1e-9);
     }
 }

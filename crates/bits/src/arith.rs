@@ -7,12 +7,17 @@
 //! comparisons and counts the result is undefined whenever undefined bits
 //! could change it.
 
+use crate::bv::mask;
 use crate::{Bit, Bv, Tribool};
 
 impl Bv {
     /// Bitwise NOT.
     #[must_use]
     pub fn not(&self) -> Bv {
+        if let Some((n, ones, undef)) = self.small_parts() {
+            // Defined bits flip; undef stays undef.
+            return Bv::small(n, mask(n) & !(ones | undef), undef);
+        }
         self.iter().map(Bit::not).collect()
     }
 
@@ -30,6 +35,15 @@ impl Bv {
             .collect()
     }
 
+    /// The packed planes of both operands when both are small, with the
+    /// length equality check the bitwise operations share.
+    fn zip_parts(&self, other: &Bv) -> Option<(usize, u64, u64, u64, u64)> {
+        let (n, ao, au) = self.small_parts()?;
+        let (m, bo, bu) = other.small_parts()?;
+        assert_eq!(n, m, "bitwise operation on different lengths {n} vs {m}");
+        Some((n, ao, au, bo, bu))
+    }
+
     /// Bitwise AND.
     ///
     /// # Panics
@@ -37,18 +51,34 @@ impl Bv {
     /// Panics if the lengths differ (as do the other bitwise operations).
     #[must_use]
     pub fn and(&self, other: &Bv) -> Bv {
+        if let Some((n, ao, au, bo, bu)) = self.zip_parts(other) {
+            // `0 & x = 0` even for undef x: a position is undef only if
+            // neither side is a definite zero and the result is not one.
+            let ones = ao & bo;
+            let undef = (ao | au) & (bo | bu) & !ones;
+            return Bv::small(n, ones, undef);
+        }
         self.zip_with(other, Bit::and)
     }
 
     /// Bitwise OR.
     #[must_use]
     pub fn or(&self, other: &Bv) -> Bv {
+        if let Some((n, ao, au, bo, bu)) = self.zip_parts(other) {
+            let ones = ao | bo;
+            let undef = (au | bu) & !ones;
+            return Bv::small(n, ones, undef);
+        }
         self.zip_with(other, Bit::or)
     }
 
     /// Bitwise XOR.
     #[must_use]
     pub fn xor(&self, other: &Bv) -> Bv {
+        if let Some((n, ao, au, bo, bu)) = self.zip_parts(other) {
+            let undef = au | bu;
+            return Bv::small(n, (ao ^ bo) & !undef, undef);
+        }
         self.zip_with(other, Bit::xor)
     }
 
@@ -96,12 +126,30 @@ impl Bv {
     pub fn add_with_carry(&self, other: &Bv, carry_in: Bit) -> (Bv, Bit, Bit) {
         assert_eq!(self.len(), other.len(), "add on different lengths");
         let n = self.len();
+        if n >= 1 && !carry_in.is_undef() {
+            if let (Some((_, a, 0)), Some((_, b, 0))) = (self.small_parts(), other.small_parts()) {
+                // Fully defined operands: one wide add replaces the
+                // per-bit carry chain.
+                let wide = u128::from(a) + u128::from(b) + u128::from(carry_in == Bit::One);
+                let sum = (wide as u64) & mask(n);
+                let carry_out = (wide >> n) & 1 == 1;
+                // Signed overflow: the sign of the result disagrees with
+                // both (same-signed) operands — equivalent to
+                // carry-into-MSB xor carry-out.
+                let overflow = ((sum ^ a) & (sum ^ b)) >> (n - 1) & 1 == 1;
+                return (
+                    Bv::small(n, sum, 0),
+                    Bit::from_bool(carry_out),
+                    Bit::from_bool(overflow),
+                );
+            }
+        }
         let mut out = vec![Bit::Undef; n];
         let mut carry = carry_in;
         let mut carry_prev = carry_in; // carry into the MSB position
         for i in (0..n).rev() {
-            let a = self.bits[i];
-            let b = other.bits[i];
+            let a = self.bit(i);
+            let b = other.bit(i);
             if i == 0 {
                 carry_prev = carry;
             }
@@ -230,9 +278,14 @@ impl Bv {
         if amount >= n {
             return Bv::zeros(n);
         }
-        let mut bits = self.bits[amount..].to_vec();
-        bits.extend(std::iter::repeat_n(Bit::Zero, amount));
-        Bv::from_bits(bits)
+        if let Some((_, ones, undef)) = self.small_parts() {
+            // amount < n <= 64, so the shifts are by at most 63.
+            return Bv::small(n, (ones << amount) & mask(n), (undef << amount) & mask(n));
+        }
+        self.iter()
+            .skip(amount)
+            .chain(std::iter::repeat_n(Bit::Zero, amount))
+            .collect()
     }
 
     /// Logical shift right by a concrete amount, filling with zeros.
@@ -242,9 +295,12 @@ impl Bv {
         if amount >= n {
             return Bv::zeros(n);
         }
-        let mut bits = vec![Bit::Zero; amount];
-        bits.extend_from_slice(&self.bits[..n - amount]);
-        Bv::from_bits(bits)
+        if let Some((_, ones, undef)) = self.small_parts() {
+            return Bv::small(n, ones >> amount, undef >> amount);
+        }
+        std::iter::repeat_n(Bit::Zero, amount)
+            .chain(self.iter().take(n - amount))
+            .collect()
     }
 
     /// Arithmetic shift right by a concrete amount, replicating the sign
@@ -252,13 +308,23 @@ impl Bv {
     #[must_use]
     pub fn ashr(&self, amount: usize) -> Bv {
         let n = self.len();
-        let sign = self.bits.first().copied().unwrap_or(Bit::Zero);
+        let sign = if n == 0 { Bit::Zero } else { self.bit(0) };
         if amount >= n {
-            return Bv::from_bits(vec![sign; n]);
+            return std::iter::repeat_n(sign, n).collect();
         }
-        let mut bits = vec![sign; amount];
-        bits.extend_from_slice(&self.bits[..n - amount]);
-        Bv::from_bits(bits)
+        if let Some((_, ones, undef)) = self.small_parts() {
+            let fill = mask(n) & !(mask(n) >> amount); // the top `amount` bits
+            let (mut ones, mut undef) = (ones >> amount, undef >> amount);
+            match sign {
+                Bit::Zero => {}
+                Bit::One => ones |= fill,
+                Bit::Undef => undef |= fill,
+            }
+            return Bv::small(n, ones, undef);
+        }
+        std::iter::repeat_n(sign, amount)
+            .chain(self.iter().take(n - amount))
+            .collect()
     }
 
     /// Rotate left by a concrete amount.
@@ -269,9 +335,18 @@ impl Bv {
             return Bv::empty();
         }
         let amount = amount % n;
-        let mut bits = self.bits[amount..].to_vec();
-        bits.extend_from_slice(&self.bits[..amount]);
-        Bv::from_bits(bits)
+        if amount == 0 {
+            return self.clone();
+        }
+        if let Some((_, ones, undef)) = self.small_parts() {
+            // 1 <= amount < n <= 64, so both shifts are by at most 63.
+            let rot = |v: u64| ((v << amount) | (v >> (n - amount))) & mask(n);
+            return Bv::small(n, rot(ones), rot(undef));
+        }
+        self.iter()
+            .skip(amount)
+            .chain(self.iter().take(amount))
+            .collect()
     }
 
     /// Unsigned comparison `self < other`; [`Tribool::Undef`] whenever
@@ -283,6 +358,9 @@ impl Bv {
     #[must_use]
     pub fn lt_unsigned(&self, other: &Bv) -> Tribool {
         assert_eq!(self.len(), other.len(), "compare on different lengths");
+        if let (Some((_, a, 0)), Some((_, b, 0))) = (self.small_parts(), other.small_parts()) {
+            return Tribool::from_bool(a < b);
+        }
         for (a, b) in self.iter().zip(other.iter()) {
             match (a, b) {
                 (Bit::Undef, _) | (_, Bit::Undef) => return Tribool::Undef,
@@ -312,6 +390,16 @@ impl Bv {
     #[must_use]
     pub fn eq_lifted(&self, other: &Bv) -> Tribool {
         assert_eq!(self.len(), other.len(), "compare on different lengths");
+        if let (Some((_, ao, au)), Some((_, bo, bu))) = (self.small_parts(), other.small_parts()) {
+            if (ao ^ bo) & !au & !bu != 0 {
+                return Tribool::False; // mutually defined bits differ
+            }
+            return if au | bu == 0 {
+                Tribool::True
+            } else {
+                Tribool::Undef
+            };
+        }
         let mut seen_undef = false;
         for (a, b) in self.iter().zip(other.iter()) {
             match (a, b) {
@@ -346,6 +434,9 @@ impl Bv {
     /// undefined.
     #[must_use]
     pub fn popcount(&self) -> Option<usize> {
+        if let Some((_, ones, undef)) = self.small_parts() {
+            return (undef == 0).then(|| ones.count_ones() as usize);
+        }
         let mut count = 0;
         for b in self.iter() {
             match b.to_bool() {

@@ -12,6 +12,17 @@ use crate::Bit;
 ///
 /// `Bv` values are immutable in style: operations return new vectors.
 ///
+/// # Representation
+///
+/// Vectors of at most 64 bits — every architected register, address,
+/// memory value, and flag in the model — are stored inline as two packed
+/// words (`ones` and `undef` planes), so constructing, slicing, and
+/// combining them never allocates. Longer vectors (only the 128-bit
+/// intermediate products of the multiply family) spill to a `Vec<Bit>`.
+/// The representation is *canonical*: `len <= 64` if and only if the
+/// packed form is used, which lets equality, ordering, and hashing
+/// compare the packed words directly.
+///
 /// # Example
 ///
 /// ```
@@ -22,31 +33,163 @@ use crate::Bit;
 /// assert_eq!(v.bit(3), Bit::Zero);  // LSB
 /// assert_eq!(v.slice(1, 2).to_u64().unwrap(), 0b01);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Clone)]
 pub struct Bv {
-    pub(crate) bits: Vec<Bit>,
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// `len <= 64`. MSB0 bit `i` lives at u64 bit position `len - 1 - i`
+    /// (LSB-aligned), so `ones` *is* `to_u64()` for fully defined
+    /// vectors. Invariants: `ones & undef == 0` (an undef bit has no
+    /// ones-plane value) and bits at positions `>= len` are zero in both
+    /// planes.
+    Small { len: u8, ones: u64, undef: u64 },
+    /// `len > 64` only (the canonicality invariant): currently just the
+    /// double-width multiply intermediates.
+    Heap(Vec<Bit>),
+}
+
+/// The low-`len` bit mask (`len <= 64`).
+pub(crate) fn mask(len: usize) -> u64 {
+    debug_assert!(len <= 64);
+    if len == 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    }
+}
+
+/// Incremental MSB-first constructor: packs into the small form and
+/// spills to the heap form at the 65th bit. [`FromIterator`] and the
+/// generic paths of the bitwise operations are built on this.
+pub(crate) enum Builder {
+    Small { len: usize, ones: u64, undef: u64 },
+    Heap(Vec<Bit>),
+}
+
+impl Builder {
+    pub(crate) fn new() -> Self {
+        Builder::Small {
+            len: 0,
+            ones: 0,
+            undef: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, b: Bit) {
+        match self {
+            Builder::Small { len, ones, undef } if *len < 64 => {
+                *ones <<= 1;
+                *undef <<= 1;
+                match b {
+                    Bit::Zero => {}
+                    Bit::One => *ones |= 1,
+                    Bit::Undef => *undef |= 1,
+                }
+                *len += 1;
+            }
+            Builder::Small { len, ones, undef } => {
+                let mut bits = Vec::with_capacity(*len + 1);
+                for i in 0..*len {
+                    let p = *len - 1 - i;
+                    bits.push(unpack(*ones, *undef, p));
+                }
+                bits.push(b);
+                *self = Builder::Heap(bits);
+            }
+            Builder::Heap(bits) => bits.push(b),
+        }
+    }
+
+    pub(crate) fn finish(self) -> Bv {
+        match self {
+            Builder::Small { len, ones, undef } => Bv::small(len, ones, undef),
+            Builder::Heap(bits) => Bv::heap(bits),
+        }
+    }
+}
+
+/// The bit stored at u64 position `p` of the packed planes.
+fn unpack(ones: u64, undef: u64, p: usize) -> Bit {
+    if (undef >> p) & 1 == 1 {
+        Bit::Undef
+    } else if (ones >> p) & 1 == 1 {
+        Bit::One
+    } else {
+        Bit::Zero
+    }
 }
 
 impl Bv {
+    /// The canonical small constructor; enforces the representation
+    /// invariants in debug builds.
+    pub(crate) fn small(len: usize, ones: u64, undef: u64) -> Self {
+        debug_assert!(len <= 64, "small form holds at most 64 bits");
+        debug_assert_eq!(ones & undef, 0, "ones/undef planes overlap");
+        debug_assert_eq!(
+            (ones | undef) & !mask(len),
+            0,
+            "bits set above the vector length"
+        );
+        Bv {
+            repr: Repr::Small {
+                len: len as u8,
+                ones,
+                undef,
+            },
+        }
+    }
+
+    /// Heap constructor for `len > 64`; packs short vectors to keep the
+    /// representation canonical.
+    fn heap(bits: Vec<Bit>) -> Self {
+        if bits.len() <= 64 {
+            let mut b = Builder::new();
+            for bit in bits {
+                b.push(bit);
+            }
+            b.finish()
+        } else {
+            Bv {
+                repr: Repr::Heap(bits),
+            }
+        }
+    }
+
+    /// The packed planes `(len, ones, undef)` when in small form — the
+    /// hook the fast paths in `arith.rs` dispatch on.
+    pub(crate) fn small_parts(&self) -> Option<(usize, u64, u64)> {
+        match &self.repr {
+            Repr::Small { len, ones, undef } => Some((*len as usize, *ones, *undef)),
+            Repr::Heap(_) => None,
+        }
+    }
+
     /// An empty (zero-length) bitvector.
     #[must_use]
     pub fn empty() -> Self {
-        Bv { bits: Vec::new() }
+        Bv::small(0, 0, 0)
     }
 
     /// A vector of `len` zero bits.
     #[must_use]
     pub fn zeros(len: usize) -> Self {
-        Bv {
-            bits: vec![Bit::Zero; len],
+        if len <= 64 {
+            Bv::small(len, 0, 0)
+        } else {
+            Bv::heap(vec![Bit::Zero; len])
         }
     }
 
     /// A vector of `len` one bits.
     #[must_use]
     pub fn ones(len: usize) -> Self {
-        Bv {
-            bits: vec![Bit::One; len],
+        if len <= 64 {
+            Bv::small(len, mask(len), 0)
+        } else {
+            Bv::heap(vec![Bit::One; len])
         }
     }
 
@@ -56,15 +199,17 @@ impl Bv {
     /// distinguished *unknown* fed to reads during footprint analysis.
     #[must_use]
     pub fn undef(len: usize) -> Self {
-        Bv {
-            bits: vec![Bit::Undef; len],
+        if len <= 64 {
+            Bv::small(len, 0, mask(len))
+        } else {
+            Bv::heap(vec![Bit::Undef; len])
         }
     }
 
     /// Build from an explicit MSB-first bit sequence.
     #[must_use]
     pub fn from_bits(bits: Vec<Bit>) -> Self {
-        Bv { bits }
+        Bv::heap(bits)
     }
 
     /// The low `len` bits of `value`, MSB-first.
@@ -75,11 +220,7 @@ impl Bv {
     #[must_use]
     pub fn from_u64(value: u64, len: usize) -> Self {
         assert!(len <= 64, "from_u64 supports at most 64 bits, got {len}");
-        let mut bits = Vec::with_capacity(len);
-        for i in (0..len).rev() {
-            bits.push(Bit::from_bool((value >> i) & 1 == 1));
-        }
-        Bv { bits }
+        Bv::small(len, value & mask(len), 0)
     }
 
     /// The low `len` bits of a signed value, two's complement, MSB-first.
@@ -91,31 +232,46 @@ impl Bv {
     /// A single bit as a 1-length vector.
     #[must_use]
     pub fn from_bit(b: Bit) -> Self {
-        Bv { bits: vec![b] }
+        match b {
+            Bit::Zero => Bv::small(1, 0, 0),
+            Bit::One => Bv::small(1, 1, 0),
+            Bit::Undef => Bv::small(1, 0, 1),
+        }
     }
 
     /// Build from big-endian bytes (byte 0 is most significant).
     #[must_use]
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        let mut bits = Vec::with_capacity(bytes.len() * 8);
-        for &byte in bytes {
-            for i in (0..8).rev() {
-                bits.push(Bit::from_bool((byte >> i) & 1 == 1));
+        if bytes.len() <= 8 {
+            let mut ones = 0u64;
+            for &byte in bytes {
+                ones = (ones << 8) | u64::from(byte);
             }
+            Bv::small(bytes.len() * 8, ones, 0)
+        } else {
+            let mut bits = Vec::with_capacity(bytes.len() * 8);
+            for &byte in bytes {
+                for i in (0..8).rev() {
+                    bits.push(Bit::from_bool((byte >> i) & 1 == 1));
+                }
+            }
+            Bv::heap(bits)
         }
-        Bv { bits }
     }
 
     /// The number of bits.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.bits.len()
+        match &self.repr {
+            Repr::Small { len, .. } => *len as usize,
+            Repr::Heap(bits) => bits.len(),
+        }
     }
 
     /// Whether the vector has zero length.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        self.len() == 0
     }
 
     /// The bit at MSB0 index `i`.
@@ -125,7 +281,14 @@ impl Bv {
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn bit(&self, i: usize) -> Bit {
-        self.bits[i]
+        match &self.repr {
+            Repr::Small { len, ones, undef } => {
+                let len = *len as usize;
+                assert!(i < len, "bit index {i} out of range for Bv of length {len}");
+                unpack(*ones, *undef, len - 1 - i)
+            }
+            Repr::Heap(bits) => bits[i],
+        }
     }
 
     /// Replace the bit at MSB0 index `i`, returning the new vector.
@@ -135,39 +298,57 @@ impl Bv {
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn with_bit(&self, i: usize, b: Bit) -> Self {
-        let mut bits = self.bits.clone();
-        bits[i] = b;
-        Bv { bits }
+        match &self.repr {
+            Repr::Small { len, ones, undef } => {
+                let len = *len as usize;
+                assert!(i < len, "bit index {i} out of range for Bv of length {len}");
+                let p = len - 1 - i;
+                let (mut ones, mut undef) = (ones & !(1 << p), undef & !(1 << p));
+                match b {
+                    Bit::Zero => {}
+                    Bit::One => ones |= 1 << p,
+                    Bit::Undef => undef |= 1 << p,
+                }
+                Bv::small(len, ones, undef)
+            }
+            Repr::Heap(bits) => {
+                let mut bits = bits.clone();
+                bits[i] = b;
+                Bv::heap(bits)
+            }
+        }
     }
 
     /// Iterate over bits MSB-first.
     pub fn iter(&self) -> impl Iterator<Item = Bit> + '_ {
-        self.bits.iter().copied()
+        (0..self.len()).map(|i| self.bit(i))
     }
 
     /// Whether any bit is undefined.
     #[must_use]
     pub fn has_undef(&self) -> bool {
-        self.bits.iter().any(|b| b.is_undef())
+        match &self.repr {
+            Repr::Small { undef, .. } => *undef != 0,
+            Repr::Heap(bits) => bits.iter().any(|b| b.is_undef()),
+        }
     }
 
     /// Whether every bit is undefined.
     #[must_use]
     pub fn all_undef(&self) -> bool {
-        !self.bits.is_empty() && self.bits.iter().all(|b| b.is_undef())
+        match &self.repr {
+            Repr::Small { len, undef, .. } => *len > 0 && *undef == mask(*len as usize),
+            Repr::Heap(bits) => bits.iter().all(|b| b.is_undef()),
+        }
     }
 
     /// The concrete unsigned value, if fully defined and at most 64 bits.
     #[must_use]
     pub fn to_u64(&self) -> Option<u64> {
-        if self.len() > 64 {
-            return None;
+        match &self.repr {
+            Repr::Small { ones, undef: 0, .. } => Some(*ones),
+            _ => None,
         }
-        let mut acc: u64 = 0;
-        for b in &self.bits {
-            acc = (acc << 1) | u64::from(b.to_bool()?);
-        }
-        Some(acc)
     }
 
     /// The concrete signed (two's complement) value, if fully defined.
@@ -188,13 +369,24 @@ impl Bv {
         if !self.len().is_multiple_of(8) {
             return None;
         }
-        let mut out = Vec::with_capacity(self.len() / 8);
-        for chunk in self.bits.chunks(8) {
-            let mut byte = 0u8;
-            for b in chunk {
-                byte = (byte << 1) | u8::from(b.to_bool()?);
+        if let Some((n, ones, undef)) = self.small_parts() {
+            if undef != 0 {
+                return None;
             }
-            out.push(byte);
+            return Some(
+                (0..n / 8)
+                    .map(|k| (ones >> (n - 8 * (k + 1))) as u8)
+                    .collect(),
+            );
+        }
+        let mut out = Vec::with_capacity(self.len() / 8);
+        let mut byte = 0u8;
+        for (i, b) in self.iter().enumerate() {
+            byte = (byte << 1) | u8::from(b.to_bool()?);
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
         }
         Some(out)
     }
@@ -211,10 +403,7 @@ impl Bv {
             self.len().is_multiple_of(8),
             "to_lifted_bytes requires whole bytes"
         );
-        self.bits
-            .chunks(8)
-            .map(|c| Bv { bits: c.to_vec() })
-            .collect()
+        (0..self.len() / 8).map(|k| self.slice(8 * k, 8)).collect()
     }
 
     /// The contiguous slice of `len` bits starting at MSB0 index `start`.
@@ -230,8 +419,26 @@ impl Bv {
             start + len,
             self.len()
         );
-        Bv {
-            bits: self.bits[start..start + len].to_vec(),
+        match &self.repr {
+            Repr::Small {
+                len: n,
+                ones,
+                undef,
+            } => {
+                let shift = *n as usize - start - len;
+                Bv::small(
+                    len,
+                    (ones >> shift) & mask(len),
+                    (undef >> shift) & mask(len),
+                )
+            }
+            Repr::Heap(bits) => {
+                if len > 64 {
+                    Bv::heap(bits[start..start + len].to_vec())
+                } else {
+                    bits[start..start + len].iter().copied().collect()
+                }
+            }
         }
     }
 
@@ -248,18 +455,46 @@ impl Bv {
             start + value.len(),
             self.len()
         );
-        let mut bits = self.bits.clone();
-        bits[start..start + value.len()].copy_from_slice(&value.bits);
-        Bv { bits }
+        match &self.repr {
+            Repr::Small { len, ones, undef } => {
+                // value.len() <= self.len() <= 64, so value is small too.
+                let (vlen, vones, vundef) = value.small_parts().expect("canonical small");
+                let n = *len as usize;
+                let shift = n - start - vlen;
+                let field = mask(vlen) << shift;
+                Bv::small(
+                    n,
+                    (ones & !field) | (vones << shift),
+                    (undef & !field) | (vundef << shift),
+                )
+            }
+            Repr::Heap(bits) => {
+                let mut bits = bits.clone();
+                for (k, b) in value.iter().enumerate() {
+                    bits[start + k] = b;
+                }
+                Bv::heap(bits)
+            }
+        }
     }
 
     /// Concatenate `self` (more significant) with `other` (less significant).
     #[must_use]
     pub fn concat(&self, other: &Bv) -> Self {
-        let mut bits = Vec::with_capacity(self.len() + other.len());
-        bits.extend_from_slice(&self.bits);
-        bits.extend_from_slice(&other.bits);
-        Bv { bits }
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        if let (Some((an, ao, au)), Some((bn, bo, bu))) = (self.small_parts(), other.small_parts())
+        {
+            // Both non-empty, so the shifts below are by at most 63.
+            if an + bn <= 64 {
+                return Bv::small(an + bn, (ao << bn) | bo, (au << bn) | bu);
+            }
+        }
+        self.iter().chain(other.iter()).collect()
     }
 
     /// Zero-extend (or truncate, keeping low bits) to `len` bits.
@@ -268,9 +503,15 @@ impl Bv {
         if len <= self.len() {
             return self.slice(self.len() - len, len);
         }
-        let mut bits = vec![Bit::Zero; len - self.len()];
-        bits.extend_from_slice(&self.bits);
-        Bv { bits }
+        if len <= 64 {
+            // Small (self.len() < len <= 64): the packed value is already
+            // LSB-aligned, so widening is a no-op on the planes.
+            let (_, ones, undef) = self.small_parts().expect("canonical small");
+            return Bv::small(len, ones, undef);
+        }
+        std::iter::repeat_n(Bit::Zero, len - self.len())
+            .chain(self.iter())
+            .collect()
     }
 
     /// Sign-extend (or truncate, keeping low bits) to `len` bits.
@@ -281,10 +522,23 @@ impl Bv {
         if len <= self.len() {
             return self.slice(self.len() - len, len);
         }
-        let sign = self.bits.first().copied().unwrap_or(Bit::Zero);
-        let mut bits = vec![sign; len - self.len()];
-        bits.extend_from_slice(&self.bits);
-        Bv { bits }
+        if self.is_empty() {
+            return Bv::zeros(len);
+        }
+        let sign = self.bit(0);
+        if len <= 64 {
+            let (n, mut ones, mut undef) = self.small_parts().expect("canonical small");
+            let ext = mask(len) ^ mask(n);
+            match sign {
+                Bit::Zero => {}
+                Bit::One => ones |= ext,
+                Bit::Undef => undef |= ext,
+            }
+            return Bv::small(len, ones, undef);
+        }
+        std::iter::repeat_n(sign, len - self.len())
+            .chain(self.iter())
+            .collect()
     }
 
     /// Whether two vectors are equal *up to undef*: same length and every
@@ -292,12 +546,14 @@ impl Bv {
     /// observed hardware values (paper §7).
     #[must_use]
     pub fn compatible(&self, other: &Bv) -> bool {
-        self.len() == other.len()
-            && self
-                .bits
-                .iter()
-                .zip(&other.bits)
-                .all(|(a, b)| a.compatible(*b))
+        if self.len() != other.len() {
+            return false;
+        }
+        if let (Some((_, ao, au)), Some((_, bo, bu))) = (self.small_parts(), other.small_parts()) {
+            // Incompatible iff some mutually defined position differs.
+            return (ao ^ bo) & !au & !bu == 0;
+        }
+        self.iter().zip(other.iter()).all(|(a, b)| a.compatible(b))
     }
 
     /// Reverse the byte order (for the byte-reversed load/store family).
@@ -311,11 +567,101 @@ impl Bv {
             self.len().is_multiple_of(8),
             "byte_reverse requires whole bytes"
         );
-        let mut bits = Vec::with_capacity(self.len());
-        for chunk in self.bits.chunks(8).rev() {
-            bits.extend_from_slice(chunk);
+        match &self.repr {
+            Repr::Small { len: 0, .. } => Bv::empty(),
+            Repr::Small { len, ones, undef } => {
+                // Shift the value to the top of the word so swap_bytes
+                // lands the reversed bytes LSB-aligned again.
+                let shift = 64 - *len as usize;
+                Bv::small(
+                    *len as usize,
+                    (ones << shift).swap_bytes(),
+                    (undef << shift).swap_bytes(),
+                )
+            }
+            Repr::Heap(bits) => {
+                let mut out = Vec::with_capacity(bits.len());
+                for chunk in bits.chunks(8).rev() {
+                    out.extend_from_slice(chunk);
+                }
+                Bv::heap(out)
+            }
         }
-        Bv { bits }
+    }
+}
+
+impl Default for Bv {
+    fn default() -> Self {
+        Bv::empty()
+    }
+}
+
+impl PartialEq for Bv {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (
+                Repr::Small { len, ones, undef },
+                Repr::Small {
+                    len: l2,
+                    ones: o2,
+                    undef: u2,
+                },
+            ) => len == l2 && ones == o2 && undef == u2,
+            (Repr::Heap(a), Repr::Heap(b)) => a == b,
+            // Canonical representation: different variants have different
+            // lengths (<= 64 vs > 64).
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Bv {}
+
+impl Ord for Bv {
+    /// Lexicographic MSB-first per-bit order with `Zero < One < Undef`
+    /// (the order the pre-packed `Vec<Bit>` representation derived).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if let (Some((an, ao, au)), Some((bn, bo, bu))) = (self.small_parts(), other.small_parts())
+        {
+            let common = an.min(bn);
+            if common == 0 {
+                return an.cmp(&bn);
+            }
+            // Align the top `common` bits of both vectors (shifts <= 63).
+            let (ao, au) = (ao >> (an - common), au >> (an - common));
+            let (bo, bu) = (bo >> (bn - common), bu >> (bn - common));
+            let diff = (ao ^ bo) | (au ^ bu);
+            if diff == 0 {
+                return an.cmp(&bn);
+            }
+            // Highest differing position is the first MSB0 difference;
+            // per-bit code Zero=0 < One=1 < Undef=2.
+            let p = 63 - diff.leading_zeros();
+            let code = |ones: u64, undef: u64| ((ones >> p) & 1) | (((undef >> p) & 1) << 1);
+            return code(ao, au).cmp(&code(bo, bu));
+        }
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl PartialOrd for Bv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Bv {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Equal values share a representation (canonicality), so each
+        // variant may hash its own natural form.
+        match &self.repr {
+            Repr::Small { len, ones, undef } => {
+                state.write_u8(*len);
+                state.write_u64(*ones);
+                state.write_u64(*undef);
+            }
+            Repr::Heap(bits) => bits.hash(state),
+        }
     }
 }
 
@@ -327,8 +673,10 @@ impl From<bool> for Bv {
 
 impl FromIterator<Bit> for Bv {
     fn from_iter<I: IntoIterator<Item = Bit>>(iter: I) -> Self {
-        Bv {
-            bits: iter.into_iter().collect(),
+        let mut b = Builder::new();
+        for bit in iter {
+            b.push(bit);
         }
+        b.finish()
     }
 }

@@ -29,10 +29,10 @@ impl fmt::Display for Bv {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.len().is_multiple_of(4) && !self.has_undef() && !self.is_empty() {
             write!(f, "0x")?;
-            for chunk in self.bits.chunks(4) {
+            for start in (0..self.len()).step_by(4) {
                 let mut nib = 0u8;
-                for b in chunk {
-                    nib = (nib << 1) | u8::from(b.to_bool().expect("defined"));
+                for j in 0..4 {
+                    nib = (nib << 1) | u8::from(self.bit(start + j).to_bool().expect("defined"));
                 }
                 write!(f, "{nib:x}")?;
             }

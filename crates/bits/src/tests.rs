@@ -392,3 +392,157 @@ fn prop_byte_reverse_involution() {
         assert_eq!(v.byte_reverse().byte_reverse(), v);
     }
 }
+
+/// A random lifted vector of length `n`, with undef density ~1/4.
+fn gen_lifted(rng: &mut Prng, n: usize) -> Vec<Bit> {
+    (0..n)
+        .map(|_| match rng.gen_range(0..4u8) {
+            0 => Bit::Undef,
+            1 | 2 => Bit::One,
+            _ => Bit::Zero,
+        })
+        .collect()
+}
+
+/// Differential check of the packed small representation against the
+/// per-bit reference semantics, across the small/heap boundary
+/// (lengths 63, 64, 65): every operation must give the same bit
+/// sequence whichever representation it runs on.
+#[test]
+fn prop_packed_representation_matches_per_bit_reference() {
+    let mut rng = Prng::seed_from_u64(0xb175_000b);
+    for _ in 0..PROP_ITERS {
+        let n = *[1usize, 7, 8, 32, 63, 64, 65, 128]
+            .get(rng.gen_range(0..8u32) as usize)
+            .unwrap();
+        let abits = gen_lifted(&mut rng, n);
+        let bbits = gen_lifted(&mut rng, n);
+        let a = Bv::from_bits(abits.clone());
+        let b = Bv::from_bits(bbits.clone());
+
+        // Construction round-trips through the representation.
+        assert_eq!(a.iter().collect::<Vec<_>>(), abits);
+        assert_eq!(a.len(), n);
+        for (i, &bit) in abits.iter().enumerate() {
+            assert_eq!(a.bit(i), bit);
+        }
+
+        // Bitwise operations against the per-bit tables.
+        let zip = |f: fn(Bit, Bit) -> Bit| -> Vec<Bit> {
+            abits.iter().zip(&bbits).map(|(&x, &y)| f(x, y)).collect()
+        };
+        assert_eq!(a.and(&b).iter().collect::<Vec<_>>(), zip(Bit::and));
+        assert_eq!(a.or(&b).iter().collect::<Vec<_>>(), zip(Bit::or));
+        assert_eq!(a.xor(&b).iter().collect::<Vec<_>>(), zip(Bit::xor));
+        assert_eq!(
+            a.not().iter().collect::<Vec<_>>(),
+            abits.iter().map(|&x| x.not()).collect::<Vec<_>>()
+        );
+
+        // Shifts/rotates against explicit sequence surgery.
+        let amount = rng.gen_range(0..(n as u32 + 2)) as usize;
+        if amount < n {
+            let mut shl = abits[amount..].to_vec();
+            shl.extend(std::iter::repeat_n(Bit::Zero, amount));
+            assert_eq!(a.shl(amount).iter().collect::<Vec<_>>(), shl);
+            let mut lshr = vec![Bit::Zero; amount];
+            lshr.extend_from_slice(&abits[..n - amount]);
+            assert_eq!(a.lshr(amount).iter().collect::<Vec<_>>(), lshr);
+            let mut ashr = vec![abits[0]; amount];
+            ashr.extend_from_slice(&abits[..n - amount]);
+            assert_eq!(a.ashr(amount).iter().collect::<Vec<_>>(), ashr);
+        }
+        let rot = amount % n;
+        let mut rotl = abits[rot..].to_vec();
+        rotl.extend_from_slice(&abits[..rot]);
+        assert_eq!(a.rotl(amount).iter().collect::<Vec<_>>(), rotl);
+
+        // Slicing, splicing, concatenation.
+        let start = rng.gen_range(0..n as u32) as usize;
+        let slen = rng.gen_range(0..(n - start) as u32 + 1) as usize;
+        assert_eq!(
+            a.slice(start, slen).iter().collect::<Vec<_>>(),
+            abits[start..start + slen].to_vec()
+        );
+        let mut spliced = abits.clone();
+        spliced[start..start + slen].copy_from_slice(&bbits[start..start + slen]);
+        assert_eq!(
+            a.with_slice(start, &b.slice(start, slen))
+                .iter()
+                .collect::<Vec<_>>(),
+            spliced
+        );
+        let mut cat = abits.clone();
+        cat.extend_from_slice(&bbits);
+        assert_eq!(a.concat(&b).iter().collect::<Vec<_>>(), cat);
+
+        // Extension in both regimes (below, at, and above 64 bits).
+        for target in [n / 2, n, n + 1, 64, 65, 130] {
+            let extz = a.extz(target);
+            let exts = a.exts(target);
+            assert_eq!(extz.len(), target);
+            assert_eq!(exts.len(), target);
+            if target >= n {
+                let mut ez = vec![Bit::Zero; target - n];
+                ez.extend_from_slice(&abits);
+                assert_eq!(extz.iter().collect::<Vec<_>>(), ez);
+                let sign = abits.first().copied().unwrap_or(Bit::Zero);
+                let mut es = vec![sign; target - n];
+                es.extend_from_slice(&abits);
+                assert_eq!(exts.iter().collect::<Vec<_>>(), es);
+            } else {
+                assert_eq!(
+                    extz.iter().collect::<Vec<_>>(),
+                    abits[n - target..].to_vec()
+                );
+            }
+        }
+
+        // Comparisons and counts agree with the reference definitions.
+        assert_eq!(
+            a.compatible(&b),
+            abits.iter().zip(&bbits).all(|(&x, &y)| x.compatible(y))
+        );
+        let undef_a = abits.iter().any(|b| b.is_undef());
+        assert_eq!(a.has_undef(), undef_a);
+        assert_eq!(
+            a.popcount(),
+            (!undef_a).then(|| abits.iter().filter(|b| **b == Bit::One).count())
+        );
+
+        // Ordering and equality must match the lexicographic per-bit
+        // order the Vec<Bit> representation derived.
+        assert_eq!(a.cmp(&b), abits.cmp(&bbits));
+        assert_eq!(a == b, abits == bbits);
+    }
+}
+
+/// Equal values hash equally whatever path constructed them, and
+/// ordering is total and consistent across the length boundary.
+#[test]
+fn prop_hash_and_ord_consistency() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let hash_of = |v: &Bv| {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    };
+    let mut rng = Prng::seed_from_u64(0xb175_000c);
+    for _ in 0..PROP_ITERS {
+        let n = rng.gen_range(0..130u32) as usize;
+        let bits = gen_lifted(&mut rng, n);
+        // Two construction paths: explicit bits vs incremental collect.
+        let a = Bv::from_bits(bits.clone());
+        let b: Bv = bits.iter().copied().collect();
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        // A prefix always orders strictly before its extension.
+        if n > 0 {
+            let prefix = a.slice(0, n - 1);
+            assert_eq!(prefix.cmp(&a), std::cmp::Ordering::Less);
+            assert_eq!(a.cmp(&prefix), std::cmp::Ordering::Greater);
+        }
+    }
+}

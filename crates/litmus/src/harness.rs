@@ -174,10 +174,21 @@ impl TestReport {
     ///
     /// Returns a description of the first missing or malformed field.
     pub fn from_json_line(line: &str) -> Result<TestReport, String> {
-        let get = |key: &str| json_field(line, key).ok_or_else(|| format!("missing `{key}`"));
+        let fields = parse_flat_object(line)?;
+        let get = |key: &str| -> Result<&str, String> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("missing `{key}`"))
+        };
         let get_str = |key: &str| -> Result<String, String> {
             let raw = get(key)?;
-            json_unescape(raw).ok_or_else(|| format!("`{key}` is not a JSON string"))
+            let inner = raw
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .ok_or_else(|| format!("`{key}` is not a JSON string"))?;
+            json_unescape(inner).ok_or_else(|| format!("`{key}` is not a JSON string"))
         };
         let get_bool = |key: &str| -> Result<bool, String> {
             match get(key)? {
@@ -229,28 +240,90 @@ impl TestReport {
     }
 }
 
-/// Find the raw value text of `key` in a single-line flat JSON object:
-/// for string values the text between the quotes (escapes intact), for
-/// scalars the text up to the next `,` or `}`.
-fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\":");
-    let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
-    if let Some(stripped) = rest.strip_prefix('"') {
-        // Scan for the closing quote, skipping escaped characters.
-        let bytes = stripped.as_bytes();
-        let mut i = 0;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'\\' => i += 2,
-                b'"' => return Some(&stripped[..i]),
-                _ => i += 1,
-            }
+/// Index of the closing quote in `s`, which starts just *after* an
+/// opening quote; escaped characters are skipped.
+fn scan_string(s: &str) -> Result<usize, String> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Ok(i),
+            _ => i += 1,
         }
-        None
-    } else {
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        Some(rest[..end].trim())
+    }
+    Err("unterminated string".to_owned())
+}
+
+/// Tokenize a single-line *flat* JSON object (string and scalar values
+/// only — the report schema has no nested containers) into its
+/// `key → raw value` pairs. String values keep their surrounding quotes
+/// and interior escapes; scalars are the trimmed literal text.
+///
+/// Unlike a per-key substring scan, one structural pass rejects what a
+/// scan silently tolerates: duplicate keys (a scan reads whichever
+/// comes first and masks a corrupted or maliciously doubled line),
+/// trailing garbage after the closing brace (e.g. two records glued
+/// onto one line by a broken appender), and key-lookalike text inside
+/// string values. Unknown keys are fine — the schema is additive.
+fn parse_flat_object(line: &str) -> Result<Vec<(&str, &str)>, String> {
+    let rest = line.trim();
+    let mut rest = rest
+        .strip_prefix('{')
+        .ok_or_else(|| "not a JSON object (missing `{`)".to_owned())?
+        .trim_start();
+    let mut fields: Vec<(&str, &str)> = Vec::new();
+    let check_tail = |tail: &str| -> Result<(), String> {
+        let tail = tail.trim();
+        if tail.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("trailing garbage after closing `}}`: `{tail}`"))
+        }
+    };
+    if let Some(tail) = rest.strip_prefix('}') {
+        check_tail(tail)?;
+        return Ok(fields);
+    }
+    loop {
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or_else(|| "expected a quoted key".to_owned())?;
+        let kend = scan_string(after_quote)?;
+        let key = &after_quote[..kend];
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate key `{key}`"));
+        }
+        rest = after_quote[kend + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("missing `:` after key `{key}`"))?
+            .trim_start();
+        let value;
+        if rest.starts_with('"') {
+            let vend = scan_string(&rest[1..])?;
+            value = &rest[..vend + 2]; // quotes included
+            rest = rest[vend + 2..].trim_start();
+        } else {
+            let end = rest
+                .find([',', '}'])
+                .ok_or_else(|| format!("unterminated value for key `{key}`"))?;
+            value = rest[..end].trim();
+            if value.is_empty() {
+                return Err(format!("empty value for key `{key}`"));
+            }
+            rest = &rest[end..];
+        }
+        fields.push((key, value));
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+            continue;
+        }
+        let tail = rest
+            .strip_prefix('}')
+            .ok_or_else(|| format!("expected `,` or `}}` after value for key `{key}`"))?;
+        check_tail(tail)?;
+        return Ok(fields);
     }
 }
 

@@ -260,3 +260,61 @@ fn jsonl_escaping_round_trips() {
         "truncated + unwitnessed must parse back as inconclusive"
     );
 }
+
+/// The report parser is a structural pass over the whole line, not a
+/// per-key substring scan: corrupted lines that a scan would silently
+/// tolerate — duplicated keys, two records glued onto one line, junk
+/// after the closing brace — must be rejected, while unknown keys
+/// (additive schema evolution) must be accepted.
+#[test]
+fn jsonl_parser_rejects_malformed_lines() {
+    use crate::harness::TestReport;
+
+    let good = r#"{"name":"MP","expected":"Allowed","model":"Allowed","match":true,"conclusive":true,"truncated":false,"states":100,"transitions":300,"finals":3,"wall_ms":1.000,"pinned_by":"x","resident_peak":9}"#;
+    assert!(TestReport::from_json_line(good).is_ok());
+
+    // A future producer may append fields; unknown keys are ignored.
+    let extended = good.replace(
+        ",\"resident_peak\":9}",
+        ",\"resident_peak\":9,\"new_field\":\"v\"}",
+    );
+    assert!(TestReport::from_json_line(&extended).is_ok());
+
+    // Duplicate keys: a field-order scan would read the first and mask
+    // the disagreement; the parser reports the duplication.
+    let dup = good.replace("\"states\":100,", "\"states\":100,\"states\":200,");
+    let err = TestReport::from_json_line(&dup).expect_err("duplicate key accepted");
+    assert!(err.contains("duplicate key `states`"), "got: {err}");
+
+    // Trailing garbage after the object — e.g. two records on one line.
+    for tail in ["{}", good, "x", ","] {
+        let glued = format!("{good}{tail}");
+        let err = TestReport::from_json_line(&glued).expect_err("trailing garbage accepted");
+        assert!(err.contains("trailing garbage"), "got: {err}");
+    }
+
+    // Structural malformations.
+    for bad in [
+        "",
+        "null",
+        "[1,2]",
+        "{\"name\"}",
+        "{\"name\":}",
+        "{\"name\":\"unterminated}",
+        "{\"name\":\"MP\",}",
+        &good[..good.len() - 1], // missing closing brace
+    ] {
+        assert!(
+            TestReport::from_json_line(bad).is_err(),
+            "malformed line accepted: {bad}"
+        );
+    }
+
+    // A key-lookalike inside a *string value* must not satisfy the
+    // lookup for the real key (a substring scan would match it).
+    let name_smuggles_states = good
+        .replace("\"name\":\"MP\"", "\"name\":\"\\\"states\\\":7\"")
+        .replace("\"states\":100,", "");
+    let err = TestReport::from_json_line(&name_smuggles_states).expect_err("smuggled key used");
+    assert!(err.contains("missing `states`"), "got: {err}");
+}

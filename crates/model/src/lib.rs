@@ -47,9 +47,11 @@ pub use oracle::{
 pub use state_codec::{decode_state, encode_state, CodecCtx};
 pub use storage::{StorageState, StorageTransition};
 pub use store::StateStore;
-pub use system::{AdvanceTrace, Program, SystemState, Transition};
+pub use system::{AdvanceTrace, EnumTrace, Program, SystemState, Transition};
 pub use thread::{InstanceArena, InstanceId, InstrInstance, ThreadState, ThreadTransition};
-pub use types::{resolve_threads, BarrierEv, BarrierId, ModelParams, ThreadId, Write, WriteId};
+pub use types::{
+    resolve_threads, BarrierEv, BarrierId, Digested, ModelParams, ThreadId, Write, WriteId,
+};
 
 #[cfg(test)]
 mod storage_tests;

@@ -804,11 +804,11 @@ pub(crate) fn choose_sequential(state: &SystemState, ts: &[Transition]) -> Optio
     if let Some(t) = ts.iter().find(
         |t| matches!(t, Transition::Thread(tt) if !matches!(tt, ThreadTransition::Fetch { .. })),
     ) {
-        return Some(t.clone());
+        return Some(*t);
     }
     // 2. Storage transitions.
     if let Some(t) = ts.iter().find(|t| matches!(t, Transition::Storage(_))) {
-        return Some(t.clone());
+        return Some(*t);
     }
     // 3. Resolved fetches only.
     ts.iter()

@@ -15,8 +15,29 @@ use std::fmt::Write as _;
 
 impl SystemState {
     /// Render the full state in the style of the paper's Fig. 3.
+    ///
+    /// The enabled transitions are enumerated through
+    /// [`SystemState::enumerate_transitions_into`] — the exact buffered
+    /// path the oracle engines drive — so the printed indices are the
+    /// indices an engine (or an interactive driver applying
+    /// `enumerate_transitions()[k]`) sees for this state. Drivers that
+    /// already hold the list they will index a selection into should use
+    /// [`SystemState::render_with`] with that list instead, which makes
+    /// the agreement structural rather than relying on enumeration
+    /// determinism.
     #[must_use]
     pub fn render(&self) -> String {
+        let mut ts = Vec::new();
+        self.enumerate_transitions_into(&mut ts);
+        self.render_with(&ts)
+    }
+
+    /// [`SystemState::render`] with a caller-supplied enabled-transition
+    /// list: the numbered transition section renders exactly `ts`, so an
+    /// interactive driver that applies `ts[k]` can never act on a
+    /// different transition than the one it printed.
+    #[must_use]
+    pub fn render_with(&self, ts: &[Transition]) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "Storage subsystem state:");
         let _ = writeln!(out, "  writes seen = {{");
@@ -132,7 +153,7 @@ impl SystemState {
             }
         }
         let _ = writeln!(out, "\nEnabled transitions:");
-        for (k, t) in self.enumerate_transitions().iter().enumerate() {
+        for (k, t) in ts.iter().enumerate() {
             let _ = writeln!(out, "  {k} {}", self.render_transition(t));
         }
         out

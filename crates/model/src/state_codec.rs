@@ -30,7 +30,9 @@ use crate::thread::{
     InstanceArena, InstanceId, InstrInstance, PendingWrite, ReadSource, RegReadRec, SatRead,
     ThreadState,
 };
-use crate::types::{BarrierEv, BarrierId, DigestCell, ModelParams, Write, WriteId};
+use crate::types::{
+    BarrierEv, BarrierId, DigestCell, Digested, ModelParams, TransitionCache, Write, WriteId,
+};
 use ppc_bits::{DecodeError, Reader, Writer};
 use ppc_idl::codec::{
     decode_barrier_kind, decode_footprint, decode_instr_state, decode_reg, decode_reg_slice,
@@ -206,6 +208,7 @@ impl CodecCtx {
             reservation,
             start_addr,
             digest: DigestCell::new(),
+            enum_cache: TransitionCache::new(),
         })
     }
 
@@ -568,13 +571,17 @@ fn decode_storage(r: &mut Reader<'_>) -> Result<StorageState, DecodeError> {
     }
     Ok(StorageState {
         threads,
-        writes: Arc::new(writes),
-        barriers: Arc::new(barriers),
-        writes_seen: Arc::new(writes_seen),
-        coherence: Arc::new(coherence),
-        events_propagated_to: events_propagated_to.into_iter().map(Arc::new).collect(),
-        unacknowledged_sync_requests: Arc::new(unacknowledged_sync_requests),
+        writes: Arc::new(Digested::new(writes)),
+        barriers: Arc::new(Digested::new(barriers)),
+        writes_seen: Arc::new(Digested::new(writes_seen)),
+        coherence: Arc::new(Digested::new(coherence)),
+        events_propagated_to: events_propagated_to
+            .into_iter()
+            .map(|l| Arc::new(Digested::new(l)))
+            .collect(),
+        unacknowledged_sync_requests: Arc::new(Digested::new(unacknowledged_sync_requests)),
         digest: DigestCell::new(),
+        enum_cache: TransitionCache::new(),
     })
 }
 

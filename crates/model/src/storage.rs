@@ -23,7 +23,9 @@
 //! answered byte-wise from the most recent propagated write covering each
 //! byte.
 
-use crate::types::{BarrierEv, BarrierId, DigestCell, ThreadId, Write, WriteId, INIT_TID};
+use crate::types::{
+    BarrierEv, BarrierId, DigestCell, Digested, ThreadId, TransitionCache, Write, WriteId, INIT_TID,
+};
 use ppc_bits::Bv;
 use ppc_idl::BarrierKind;
 use std::collections::{BTreeMap, BTreeSet};
@@ -56,26 +58,34 @@ pub struct StorageState {
     pub threads: usize,
     /// All write events, by id (append-only table; initial writes
     /// included).
-    pub writes: Arc<BTreeMap<WriteId, Write>>,
+    pub writes: Arc<Digested<BTreeMap<WriteId, Write>>>,
     /// All barrier events, by id.
-    pub barriers: Arc<BTreeMap<BarrierId, BarrierEv>>,
+    pub barriers: Arc<Digested<BTreeMap<BarrierId, BarrierEv>>>,
     /// The writes the storage subsystem has seen.
-    pub writes_seen: Arc<BTreeSet<WriteId>>,
+    pub writes_seen: Arc<Digested<BTreeSet<WriteId>>>,
     /// Coherence: a strict partial order over overlapping writes, kept
     /// transitively closed.
-    pub coherence: Arc<BTreeSet<(WriteId, WriteId)>>,
+    pub coherence: Arc<Digested<BTreeSet<(WriteId, WriteId)>>>,
     /// Events propagated to each thread, oldest first. Each thread's
     /// list is independently shared, so propagating to one thread leaves
     /// the other lists untouched.
-    pub events_propagated_to: Vec<Arc<Vec<StorageEvent>>>,
+    pub events_propagated_to: Vec<Arc<Digested<Vec<StorageEvent>>>>,
     /// Sync barriers not yet acknowledged to their origin thread.
-    pub unacknowledged_sync_requests: Arc<BTreeSet<BarrierId>>,
-    /// Compute-once cache of [`StorageState::digest`].
+    pub unacknowledged_sync_requests: Arc<Digested<BTreeSet<BarrierId>>>,
+    /// Compute-once cache of [`StorageState::digest`]: the fold of the
+    /// per-component digests (each cached inside its component's `Arc`
+    /// via [`Digested`], so a storage transition re-hashes only the
+    /// component it touched and this fold re-combines ~six cached
+    /// 64-bit values).
     pub(crate) digest: DigestCell,
+    /// Compute-once cache of the enabled storage transitions (see
+    /// [`TransitionCache`]). Invalidated wherever `digest` is.
+    pub(crate) enum_cache: TransitionCache<StorageTransition>,
 }
 
-/// Storage transitions enumerated by the system layer.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// Storage transitions enumerated by the system layer. All-scalar and
+/// `Copy`, so replaying a cached enumeration is a flat memcpy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StorageTransition {
     /// Propagate a write to another thread.
     PropagateWrite {
@@ -125,20 +135,28 @@ impl StorageState {
             writes.insert(w.id, w);
         }
         // All threads start with the same propagation list; share it.
-        let prop = Arc::new(prop);
+        let prop = Arc::new(Digested::new(prop));
         StorageState {
             threads,
-            writes: Arc::new(writes),
-            barriers: Arc::new(BTreeMap::new()),
-            writes_seen: Arc::new(seen),
-            coherence: Arc::new(BTreeSet::new()),
+            writes: Arc::new(Digested::new(writes)),
+            barriers: Arc::new(Digested::new(BTreeMap::new())),
+            writes_seen: Arc::new(Digested::new(seen)),
+            coherence: Arc::new(Digested::new(BTreeSet::new())),
             events_propagated_to: vec![prop; threads],
-            unacknowledged_sync_requests: Arc::new(BTreeSet::new()),
+            unacknowledged_sync_requests: Arc::new(Digested::new(BTreeSet::new())),
             digest: DigestCell::new(),
+            enum_cache: TransitionCache::new(),
         }
     }
 
-    /// The storage subsystem's structural digest, cached compute-once.
+    /// The storage subsystem's structural digest, cached compute-once at
+    /// *two* levels: the top-level fold here, and one [`Digested`] cell
+    /// per component (writes, barriers, writes-seen, coherence, each
+    /// per-thread propagation list, sync requests). Components are
+    /// `Arc`-shared with successor states, so after a storage transition
+    /// only the touched component is re-hashed and the rest fold in as
+    /// cached 64-bit values — digesting a successor's storage half is
+    /// O(changed), not O(events).
     ///
     /// Hashes the *content* behind every event id, not just the ids:
     /// write/barrier ids are allocated in path order, so the same id can
@@ -147,31 +165,89 @@ impl StorageState {
     /// id-mentioning structures like coherence ambiguous), losing states
     /// in an order-dependent way. Any new storage-side state must both
     /// enter this hash and be covered by the invalidation discipline
-    /// (mutating methods call `self.digest.invalidate()` first).
+    /// (mutating methods invalidate the top-level cell, and component
+    /// mutation goes through [`Digested`]'s auto-invalidating access).
     #[must_use]
     pub fn digest(&self) -> u64 {
-        self.digest.get_or_compute(|| self.digest_uncached())
+        self.digest.get_or_compute(|| {
+            let mut h = crate::types::DigestHasher::new();
+            self.writes.digest().hash(&mut h);
+            self.barriers.digest().hash(&mut h);
+            self.writes_seen.digest().hash(&mut h);
+            self.coherence.digest().hash(&mut h);
+            for list in &self.events_propagated_to {
+                list.digest().hash(&mut h);
+            }
+            self.unacknowledged_sync_requests.digest().hash(&mut h);
+            h.finish()
+        })
     }
 
     /// [`StorageState::digest`] recomputed from scratch, bypassing the
-    /// cache — the reference the `debug_assertions` digest audit in
+    /// top-level cache *and* every per-component cell — the reference
+    /// the `debug_assertions` digest audit in
     /// [`crate::SystemState::digest`] compares stale cells against.
+    /// Folds the components in the same order as [`StorageState::digest`]
+    /// so the two agree whenever every cell is sound.
     #[must_use]
     pub fn digest_uncached(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.writes.hash(&mut h);
-        self.barriers.hash(&mut h);
-        self.writes_seen.hash(&mut h);
-        self.coherence.hash(&mut h);
-        self.events_propagated_to.hash(&mut h);
-        self.unacknowledged_sync_requests.hash(&mut h);
+        let mut h = crate::types::DigestHasher::new();
+        self.writes.digest_uncached().hash(&mut h);
+        self.barriers.digest_uncached().hash(&mut h);
+        self.writes_seen.digest_uncached().hash(&mut h);
+        self.coherence.digest_uncached().hash(&mut h);
+        for list in &self.events_propagated_to {
+            list.digest_uncached().hash(&mut h);
+        }
+        self.unacknowledged_sync_requests
+            .digest_uncached()
+            .hash(&mut h);
         h.finish()
+    }
+
+    /// Debug-build audit of every per-component [`Digested`] cell:
+    /// recompute each *populated* cell from scratch and compare, so a
+    /// component mutation that bypassed the auto-invalidating access
+    /// (e.g. interior mutation smuggled around `Arc::make_mut`) fails
+    /// loudly. Called from [`crate::SystemState::digest`]'s audit.
+    #[cfg(debug_assertions)]
+    pub(crate) fn audit_component_digests(&self) {
+        fn check<T: std::hash::Hash>(component: &Digested<T>, name: &str) {
+            if let Some(cached) = component.peek() {
+                assert_eq!(
+                    cached,
+                    component.digest_uncached(),
+                    "stale cached digest for storage component {name}: some \
+                     mutation bypassed the Digested auto-invalidating access"
+                );
+            }
+        }
+        check(&self.writes, "writes");
+        check(&self.barriers, "barriers");
+        check(&self.writes_seen, "writes_seen");
+        check(&self.coherence, "coherence");
+        for (tid, list) in self.events_propagated_to.iter().enumerate() {
+            check(list, &format!("events_propagated_to[{tid}]"));
+        }
+        check(
+            &self.unacknowledged_sync_requests,
+            "unacknowledged_sync_requests",
+        );
     }
 
     /// Whether `a` is coherence-before `b`.
     #[must_use]
     pub fn coh_before(&self, a: WriteId, b: WriteId) -> bool {
         self.coherence.contains(&(a, b))
+    }
+
+    /// Invalidate the caches derived from storage content (the top-level
+    /// digest fold and the enabled-transition list). Every `&mut self`
+    /// mutator calls this before touching a component; the component's
+    /// own digest cell is invalidated by [`Digested`]'s mutable access.
+    fn touch(&mut self) {
+        self.digest.invalidate();
+        self.enum_cache.invalidate();
     }
 
     /// Add a coherence edge and re-close transitively. Returns `false`
@@ -199,7 +275,7 @@ impl StorageState {
                 .filter(|(x, _)| *x == b)
                 .map(|(_, y)| *y),
         );
-        self.digest.invalidate();
+        self.touch();
         let coherence = Arc::make_mut(&mut self.coherence);
         for &x in &befores {
             for &y in &afters {
@@ -230,7 +306,7 @@ impl StorageState {
             .filter(|id| self.writes[id].overlaps(w.addr, w.size))
             .collect();
         let id = w.id;
-        self.digest.invalidate();
+        self.touch();
         Arc::make_mut(&mut self.writes_seen).insert(id);
         Arc::make_mut(&mut self.writes).insert(id, w);
         for o in overlapping {
@@ -245,7 +321,7 @@ impl StorageState {
     pub fn accept_barrier(&mut self, b: BarrierEv) {
         let tid = b.tid;
         let id = b.id;
-        self.digest.invalidate();
+        self.touch();
         if b.kind == BarrierKind::Sync {
             Arc::make_mut(&mut self.unacknowledged_sync_requests).insert(id);
         }
@@ -316,7 +392,7 @@ impl StorageState {
             })
             .filter(|id| *id != write && self.writes[id].overlaps(addr, size))
             .collect();
-        self.digest.invalidate();
+        self.touch();
         for o in overlapping {
             if !self.coh_before(o, write) {
                 let ok = self.add_coherence(o, write);
@@ -344,7 +420,7 @@ impl StorageState {
 
     /// Apply `PropagateBarrier`.
     pub fn propagate_barrier(&mut self, barrier: BarrierId, to: ThreadId) {
-        self.digest.invalidate();
+        self.touch();
         Arc::make_mut(&mut self.events_propagated_to[to]).push(StorageEvent::B(barrier));
     }
 
@@ -358,7 +434,7 @@ impl StorageState {
 
     /// Apply `AcknowledgeSync` (the thread layer marks the instruction).
     pub fn acknowledge_sync(&mut self, barrier: BarrierId) {
-        self.digest.invalidate();
+        self.touch();
         Arc::make_mut(&mut self.unacknowledged_sync_requests).remove(&barrier);
     }
 
@@ -454,6 +530,27 @@ impl StorageState {
                     second: b,
                 });
             }
+        }
+    }
+
+    /// [`StorageState::enumerate_each`] through the compute-once cache:
+    /// the enabled storage transitions are a pure function of this state
+    /// plus `coherence_commitments`, so successor states still sharing
+    /// this storage `Arc` replay the cached list instead of re-scanning
+    /// every event. On a key mismatch (the params drifted while the
+    /// storage was shared) the enumeration runs fresh without caching.
+    pub(crate) fn enumerate_cached(
+        &self,
+        coherence_commitments: bool,
+        mut f: impl FnMut(StorageTransition),
+    ) {
+        let key = u64::from(coherence_commitments);
+        match self
+            .enum_cache
+            .get_or_compute(key, || self.enumerate(coherence_commitments))
+        {
+            Some(cached) => cached.iter().copied().for_each(&mut f),
+            None => self.enumerate_each(coherence_commitments, f),
         }
     }
 

@@ -96,13 +96,26 @@ impl Program {
 }
 
 /// A system transition: one thread or storage step.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Transition {
     /// A thread-subsystem transition.
     Thread(ThreadTransition),
     /// A storage-subsystem transition.
     Storage(StorageTransition),
 }
+
+/// A per-component breakdown of one state's enabled transitions: one
+/// `Vec` per thread (in thread order) plus the storage list — exactly
+/// the slices the per-component enumeration caches hold, in exactly the
+/// order [`SystemState::enumerate_transitions`] concatenates them.
+///
+/// Like [`AdvanceTrace`] for eager progress, this is the differential
+/// contract for incremental enumeration: [`SystemState::enumerate_traced`]
+/// (the cached path) and [`SystemState::enumerate_rescan_traced`] (the
+/// cache-bypassing full rescan) must produce identical traces, so a
+/// missed cache invalidation fails loudly per-slot instead of hiding in
+/// a flat list comparison.
+pub type EnumTrace = (Vec<Vec<ThreadTransition>>, Vec<StorageTransition>);
 
 /// The set of instances that took at least one deterministic step during
 /// the eager-progress phase of one [`SystemState::apply`] (an *advance
@@ -275,6 +288,7 @@ impl SystemState {
         self.digest.invalidate();
         let th = Arc::make_mut(&mut self.threads[tid]);
         th.digest.invalidate();
+        th.enum_cache.invalidate();
         th
     }
 
@@ -285,6 +299,7 @@ impl SystemState {
         self.digest.invalidate();
         let st = Arc::make_mut(&mut self.storage);
         st.digest.invalidate();
+        st.enum_cache.invalidate();
         st
     }
 
@@ -553,6 +568,15 @@ impl SystemState {
 
     /// Enumerate every enabled transition (the paper's
     /// `enumerate_transitions_of_system`).
+    ///
+    /// The order is a stable contract shared by every consumer (the
+    /// oracle engines, the interactive pretty-printer, the differential
+    /// suites): threads in thread order, each thread's transitions in
+    /// instance-id order with the per-instance kinds in a fixed sequence
+    /// (fetches, read satisfactions, write commits, store-conditional
+    /// decisions, barrier commit, finish), then the storage transitions.
+    /// [`SystemState::enumerate_traced`] exposes the same enumeration
+    /// broken down per component.
     #[must_use]
     pub fn enumerate_transitions(&self) -> Vec<Transition> {
         let mut out = Vec::new();
@@ -563,29 +587,110 @@ impl SystemState {
     /// [`SystemState::enumerate_transitions`] into a caller-provided
     /// buffer (cleared first), so per-state exploration loops can reuse
     /// one allocation across the whole search.
+    ///
+    /// Incremental: each thread's list and the storage list come from
+    /// per-component compute-once caches that live inside the same
+    /// `Arc`s copy-on-write successor generation shares, invalidated by
+    /// the same funnels that invalidate the digests
+    /// ([`SystemState::thread_mut`] / [`SystemState::storage_mut`] /
+    /// [`ThreadState::inst_mut`]). After a transition, only the touched
+    /// component is re-enumerated; the untouched components replay
+    /// their cached lists. [`SystemState::enumerate_rescan_traced`] is
+    /// the retained cache-bypassing reference the differential tests
+    /// compare against.
     pub fn enumerate_transitions_into(&self, out: &mut Vec<Transition>) {
         out.clear();
+        let key = self.thread_enum_key();
         for tid in 0..self.threads.len() {
-            self.enumerate_thread(tid, out);
+            match self.threads[tid].enum_cache.get_or_compute(key, || {
+                let mut fresh = Vec::new();
+                self.enumerate_thread_into(tid, &mut fresh);
+                fresh
+            }) {
+                Some(cached) => out.extend(cached.iter().copied().map(Transition::Thread)),
+                // Key mismatch (program/params drifted while the thread
+                // was shared): enumerate fresh without caching.
+                None => {
+                    let mut fresh = Vec::new();
+                    self.enumerate_thread_into(tid, &mut fresh);
+                    out.extend(fresh.into_iter().map(Transition::Thread));
+                }
+            }
         }
         self.storage
-            .enumerate_each(self.params.coherence_commitments, |s| {
+            .enumerate_cached(self.params.coherence_commitments, |s| {
                 out.push(Transition::Storage(s));
             });
     }
 
+    /// The enumeration-context fingerprint guarding the per-thread
+    /// transition caches: everything thread enumeration reads besides
+    /// the thread state itself. The program is identified by pointer
+    /// (shared and immutable per search, like state hashing does).
+    fn thread_enum_key(&self) -> u64 {
+        let mut h = crate::types::DigestHasher::new();
+        (Arc::as_ptr(&self.program) as usize).hash(&mut h);
+        self.params.max_instances_per_thread.hash(&mut h);
+        self.params.allow_spurious_stcx_failure.hash(&mut h);
+        h.finish()
+    }
+
+    /// The enabled transitions broken down per state component (the
+    /// cached incremental path — see [`EnumTrace`]). Concatenating the
+    /// trace in order reproduces [`SystemState::enumerate_transitions`].
+    #[must_use]
+    pub fn enumerate_traced(&self) -> EnumTrace {
+        let key = self.thread_enum_key();
+        let threads = (0..self.threads.len())
+            .map(|tid| {
+                let compute = || {
+                    let mut fresh = Vec::new();
+                    self.enumerate_thread_into(tid, &mut fresh);
+                    fresh
+                };
+                match self.threads[tid].enum_cache.get_or_compute(key, compute) {
+                    Some(cached) => cached.to_vec(),
+                    None => compute(),
+                }
+            })
+            .collect();
+        let mut storage = Vec::new();
+        self.storage
+            .enumerate_cached(self.params.coherence_commitments, |s| storage.push(s));
+        (threads, storage)
+    }
+
+    /// The retained full-rescan reference for enumeration: every thread
+    /// and the storage subsystem enumerated from scratch, bypassing
+    /// every transition cache. Same trace as
+    /// [`SystemState::enumerate_traced`] whenever the caches are sound —
+    /// the differential tests compare the two on every state they visit,
+    /// so a missed cache invalidation fails loudly.
+    #[must_use]
+    pub fn enumerate_rescan_traced(&self) -> EnumTrace {
+        let threads = (0..self.threads.len())
+            .map(|tid| {
+                let mut fresh = Vec::new();
+                self.enumerate_thread_into(tid, &mut fresh);
+                fresh
+            })
+            .collect();
+        let storage = self.storage.enumerate(self.params.coherence_commitments);
+        (threads, storage)
+    }
+
     #[allow(clippy::too_many_lines)]
-    fn enumerate_thread(&self, tid: ThreadId, out: &mut Vec<Transition>) {
+    fn enumerate_thread_into(&self, tid: ThreadId, out: &mut Vec<ThreadTransition>) {
         let th = &self.threads[tid];
         let live = th.instances.len();
 
         // Fetch the root.
         if th.root.is_none() && self.program.contains(th.start_addr) {
-            out.push(Transition::Thread(ThreadTransition::Fetch {
+            out.push(ThreadTransition::Fetch {
                 tid,
                 parent: None,
                 addr: th.start_addr,
-            }));
+            });
         }
 
         for (id, inst) in th.instances.iter() {
@@ -619,11 +724,11 @@ impl SystemState {
                     if self.program.contains(t)
                         && !inst.children.iter().any(|&c| th.instances[c].addr == t)
                     {
-                        out.push(Transition::Thread(ThreadTransition::Fetch {
+                        out.push(ThreadTransition::Fetch {
                             tid,
                             parent: Some(id),
                             addr: t,
-                        }));
+                        });
                     }
                 }
             }
@@ -643,23 +748,18 @@ impl SystemState {
                                 if covers
                                     && self.no_determined_write_between(tid, j.id, id, addr, size)
                                 {
-                                    out.push(Transition::Thread(
-                                        ThreadTransition::SatisfyReadForward {
-                                            tid,
-                                            ioid: id,
-                                            from: j.id,
-                                            windex: widx,
-                                        },
-                                    ));
+                                    out.push(ThreadTransition::SatisfyReadForward {
+                                        tid,
+                                        ioid: id,
+                                        from: j.id,
+                                        windex: widx,
+                                    });
                                 }
                             }
                         }
                     }
                     if self.storage_read_ok(tid, id, addr, size) {
-                        out.push(Transition::Thread(ThreadTransition::SatisfyReadStorage {
-                            tid,
-                            ioid: id,
-                        }));
+                        out.push(ThreadTransition::SatisfyReadStorage { tid, ioid: id });
                     }
                 }
             }
@@ -670,11 +770,11 @@ impl SystemState {
                     && !w.conditional
                     && self.can_commit_write(tid, id, w.addr, w.size)
                 {
-                    out.push(Transition::Thread(ThreadTransition::CommitWrite {
+                    out.push(ThreadTransition::CommitWrite {
                         tid,
                         ioid: id,
                         windex: widx,
-                    }));
+                    });
                 }
             }
 
@@ -691,16 +791,10 @@ impl SystemState {
                         .map(|(ra, rs)| ra < w.addr + w.size as u64 && w.addr < ra + rs as u64)
                         .unwrap_or(false);
                     if reservation_valid {
-                        out.push(Transition::Thread(ThreadTransition::CommitStcxSuccess {
-                            tid,
-                            ioid: id,
-                        }));
+                        out.push(ThreadTransition::CommitStcxSuccess { tid, ioid: id });
                     }
                     if !reservation_valid || self.params.allow_spurious_stcx_failure {
-                        out.push(Transition::Thread(ThreadTransition::CommitStcxFail {
-                            tid,
-                            ioid: id,
-                        }));
+                        out.push(ThreadTransition::CommitStcxFail { tid, ioid: id });
                     }
                 }
             }
@@ -708,18 +802,12 @@ impl SystemState {
             // Barrier commit.
             if inst.barrier.is_some() && !inst.barrier_committed && self.can_commit_barrier(tid, id)
             {
-                out.push(Transition::Thread(ThreadTransition::CommitBarrier {
-                    tid,
-                    ioid: id,
-                }));
+                out.push(ThreadTransition::CommitBarrier { tid, ioid: id });
             }
 
             // Finish.
             if self.can_finish(tid, id) {
-                out.push(Transition::Thread(ThreadTransition::Finish {
-                    tid,
-                    ioid: id,
-                }));
+                out.push(ThreadTransition::Finish { tid, ioid: id });
             }
         }
     }
@@ -1325,7 +1413,7 @@ impl SystemState {
         #[cfg(debug_assertions)]
         self.audit_digest_caches();
         self.digest.get_or_compute(|| {
-            let mut h = std::collections::hash_map::DefaultHasher::new();
+            let mut h = crate::types::DigestHasher::new();
             for th in &self.threads {
                 th.digest().hash(&mut h);
             }
@@ -1367,6 +1455,7 @@ impl SystemState {
                 }
             }
         }
+        self.storage.audit_component_digests();
         if let Some(cached) = self.storage.digest.peek() {
             assert_eq!(
                 cached,
@@ -1376,7 +1465,7 @@ impl SystemState {
             );
         }
         if let Some(cached) = self.digest.peek() {
-            let mut h = std::collections::hash_map::DefaultHasher::new();
+            let mut h = crate::types::DigestHasher::new();
             for th in &self.threads {
                 th.digest_uncached().hash(&mut h);
             }

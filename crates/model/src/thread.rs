@@ -12,7 +12,7 @@
 //! reads and writes the instruction has performed (cleared if the
 //! instruction is restarted)" (§5).
 
-use crate::types::{DigestCell, ThreadId, WriteId};
+use crate::types::{DigestCell, ThreadId, TransitionCache, WriteId};
 use ppc_bits::{Bit, Bv};
 use ppc_idl::{analyze_from, BarrierKind, Footprint, InstrState, Reg, RegSlice, Sem};
 use ppc_isa::Instruction;
@@ -332,7 +332,7 @@ impl InstrInstance {
     /// cache existed.
     #[must_use]
     pub(crate) fn digest_uncached(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = crate::types::DigestHasher::new();
         self.parent.hash(&mut h);
         self.addr.hash(&mut h);
         self.state.hash(&mut h);
@@ -477,6 +477,12 @@ pub struct ThreadState {
     /// Compute-once cache of [`ThreadState::digest`]. Invalidated by
     /// [`crate::SystemState::thread_mut`]; empty in any CoW clone.
     pub(crate) digest: DigestCell,
+    /// Compute-once cache of this thread's enabled transitions (see
+    /// [`TransitionCache`]): thread enumeration is a pure function of
+    /// this state plus the program and two `ModelParams` knobs (the
+    /// cache key), so successor states still sharing this thread `Arc`
+    /// replay the cached list. Invalidated wherever `digest` is.
+    pub(crate) enum_cache: TransitionCache<crate::thread::ThreadTransition>,
 }
 
 impl ThreadState {
@@ -492,6 +498,7 @@ impl ThreadState {
             reservation: None,
             start_addr,
             digest: DigestCell::new(),
+            enum_cache: TransitionCache::new(),
         }
     }
 
@@ -503,6 +510,7 @@ impl ThreadState {
     /// outside the [`crate::SystemState::thread_mut`] funnel.
     pub fn inst_mut(&mut self, id: InstanceId) -> Option<&mut InstrInstance> {
         self.digest.invalidate();
+        self.enum_cache.invalidate();
         let inst = self.instances.make_mut(id)?;
         // `make_mut` only empties the instance's cell when it clones
         // (shared `Arc`); the unshared in-place case must invalidate
@@ -521,7 +529,7 @@ impl ThreadState {
     #[must_use]
     pub fn digest(&self) -> u64 {
         self.digest.get_or_compute(|| {
-            let mut h = std::collections::hash_map::DefaultHasher::new();
+            let mut h = crate::types::DigestHasher::new();
             self.reservation.hash(&mut h);
             for (id, inst) in self.instances.iter() {
                 id.hash(&mut h);
@@ -537,7 +545,7 @@ impl ThreadState {
     /// [`crate::SystemState::digest`] compares stale cells against.
     #[must_use]
     pub fn digest_uncached(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = crate::types::DigestHasher::new();
         self.reservation.hash(&mut h);
         for (id, inst) in self.instances.iter() {
             id.hash(&mut h);
@@ -741,8 +749,9 @@ impl ThreadState {
     }
 }
 
-/// Thread transitions enumerated by the system layer.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// Thread transitions enumerated by the system layer. All-scalar and
+/// `Copy`, so replaying a cached enumeration is a flat memcpy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ThreadTransition {
     /// Fetch and decode the instruction at `addr` as a new child of
     /// `parent` (or as the root).

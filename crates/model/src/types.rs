@@ -175,6 +175,77 @@ impl Default for ModelParams {
 /// The pseudo "thread" owning the initial-state writes.
 pub(crate) const INIT_TID: ThreadId = usize::MAX;
 
+/// The hasher behind every state digest.
+///
+/// Digests are *in-process* visited-set keys and dirty-cache
+/// validity stamps — never persisted (the canonical codec is the
+/// durable format) — so the only requirements are determinism within a
+/// run and good 64-bit dispersion. Exploration hashes a few mutated
+/// components per successor, hundreds of thousands of times per test,
+/// and `SipHash` (the `DefaultHasher`) was ~a quarter of sequential
+/// exploration time. This is the MurmurHash3 mixing step: four
+/// multiply/rotate ops per word instead of SipHash's compression
+/// rounds, with a full avalanche finalizer.
+#[derive(Default)]
+pub(crate) struct DigestHasher(u64);
+
+impl DigestHasher {
+    pub(crate) fn new() -> Self {
+        // Arbitrary odd seed so a digest never starts at zero.
+        DigestHasher(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+impl std::hash::Hasher for DigestHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail so "ab" | "c" != "a" | "bc".
+            tail[7] = rest.len() as u8;
+            self.write_u64(u64::from_le_bytes(tail));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut k = v.wrapping_mul(0x87c3_7b91_1142_53d5);
+        k = k.rotate_left(31);
+        k = k.wrapping_mul(0x4cf5_ad43_2745_937f);
+        self.0 ^= k;
+        self.0 = self
+            .0
+            .rotate_left(27)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dc_e729);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        // MurmurHash3 fmix64: every input bit avalanches to every
+        // output bit, so shard selection by digest prefix stays
+        // unbiased.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+}
+
 /// A compute-once digest cache attached to a state component.
 ///
 /// The copy-on-write state layout shares unchanged components between a
@@ -248,3 +319,144 @@ impl PartialEq for DigestCell {
 }
 
 impl Eq for DigestCell {}
+
+/// A value paired with its own [`DigestCell`], for per-component digest
+/// caching *inside* a shared `Arc`.
+///
+/// The storage subsystem's components (`writes`, `barriers`,
+/// `writes_seen`, `coherence`, each per-thread propagation list, the
+/// sync-request set) each live behind their own `Arc` so copy-on-write
+/// successor generation clones only what a transition touches — but a
+/// digest cell stored *beside* those `Arc`s (in [`crate::StorageState`]
+/// itself) would be emptied by every storage CoW clone, re-hashing every
+/// component even though all but one are still shared. Storing the cell
+/// *inside* the `Arc` gives the cell exactly the component's sharing
+/// lifetime: a storage clone bumps refcounts and keeps every component
+/// digest; mutating one component clones (or invalidates) only that
+/// component's cell.
+///
+/// Reads deref transparently to `T`. **All mutable access goes through
+/// [`Digested::deref_mut`], which invalidates the cell first** — so the
+/// `Arc::make_mut(..).mutate()` idiom used by every storage mutator is
+/// digest-correct by construction in both the cloning case (`Clone`
+/// empties the cell) and the refcount-1 in-place case (`DerefMut`
+/// invalidates it).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Digested<T> {
+    cell: DigestCell,
+    value: T,
+}
+
+impl<T: std::hash::Hash> Digested<T> {
+    /// Wrap a component value with an empty digest cell.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Digested {
+            cell: DigestCell::new(),
+            value,
+        }
+    }
+
+    /// The component's structural digest, cached compute-once.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.cell.get_or_compute(|| self.digest_uncached())
+    }
+
+    /// [`Digested::digest`] recomputed from scratch, bypassing the cache
+    /// — the reference the `debug_assertions` digest audit compares
+    /// populated cells against.
+    #[must_use]
+    pub fn digest_uncached(&self) -> u64 {
+        let mut h = crate::types::DigestHasher::new();
+        std::hash::Hash::hash(&self.value, &mut h);
+        std::hash::Hasher::finish(&h)
+    }
+
+    /// The cached digest, if populated (no computation) — the digest
+    /// audit's probe. Debug builds only, like [`DigestCell::peek`].
+    #[cfg(debug_assertions)]
+    #[must_use]
+    pub fn peek(&self) -> Option<u64> {
+        self.cell.peek()
+    }
+}
+
+impl<T> std::ops::Deref for Digested<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+/// Mutable access invalidates the digest cell first (see the type docs).
+impl<T> std::ops::DerefMut for Digested<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.cell.invalidate();
+        &mut self.value
+    }
+}
+
+/// A compute-once cache of a state component's enabled-transition list,
+/// keyed by an *enumeration context* fingerprint.
+///
+/// Transition enumeration is a pure function of one state component
+/// (a [`crate::ThreadState`], or the [`crate::StorageState`]) plus
+/// enumeration context that is constant across one exploration (the
+/// program and the relevant [`ModelParams`] knobs). Successor states
+/// share untouched components by `Arc`, so caching the enumeration
+/// inside the component makes re-enumerating a successor O(changed):
+/// only the slot a transition invalidated (through the
+/// `thread_mut`/`storage_mut`/`inst_mut` funnels) is recomputed, the
+/// rest replay as `memcpy`s of cached lists.
+///
+/// The key guards the one hazard: a caller cloning a state and then
+/// editing `params` (or swapping programs) while still sharing
+/// components. A mismatched key makes [`TransitionCache::get`] miss, so
+/// the caller recomputes without poisoning the cache. Like
+/// [`DigestCell`], the cell is emptied by `Clone` and ignored by
+/// `PartialEq`, so it is invisible to structural equality and the
+/// canonical codec.
+#[derive(Debug, Default)]
+pub(crate) struct TransitionCache<T>(std::sync::OnceLock<(u64, Vec<T>)>);
+
+impl<T> TransitionCache<T> {
+    /// An empty (uncomputed) cache.
+    #[must_use]
+    pub(crate) const fn new() -> Self {
+        TransitionCache(std::sync::OnceLock::new())
+    }
+
+    /// The cached list for context `key`, computing and caching on first
+    /// use. Returns `None` on a key mismatch (cache populated under a
+    /// different enumeration context); the caller must then enumerate
+    /// fresh without caching.
+    pub(crate) fn get_or_compute(&self, key: u64, f: impl FnOnce() -> Vec<T>) -> Option<&[T]> {
+        let (k, v) = self.0.get_or_init(|| (key, f()));
+        (*k == key).then_some(v.as_slice())
+    }
+
+    /// Drop the cached list (call before mutating the component whose
+    /// enumeration it caches — wired into the same funnels that
+    /// invalidate the digest cells).
+    pub(crate) fn invalidate(&mut self) {
+        self.0.take();
+    }
+}
+
+/// A CoW clone is about to diverge from the cached enumeration.
+impl<T> Clone for TransitionCache<T> {
+    fn clone(&self) -> Self {
+        TransitionCache::new()
+    }
+}
+
+/// The cache never participates in structural equality.
+impl<T> PartialEq for TransitionCache<T> {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl<T> Eq for TransitionCache<T> {}

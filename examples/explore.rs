@@ -42,7 +42,11 @@ exists (1:r5=1 /\ 1:r4=0)
         println!("step {k}: {}", state.render_transition(&t));
         state = state.apply(&t);
     }
-    println!("\n{}", state.render());
+    // Render against the same list a driver would index a selection
+    // into, so the printed numbers and the applied transitions can
+    // never drift apart.
+    let ts = state.enumerate_transitions();
+    println!("\n{}", state.render_with(&ts));
 }
 
 /// Prefer fetches, then commits, then anything else — a readable prefix.
@@ -52,7 +56,7 @@ fn pick(ts: &[Transition]) -> Option<Transition> {
         .iter()
         .find(|t| matches!(t, Transition::Thread(TT::Fetch { .. })));
     if let Some(t) = fetch {
-        return Some(t.clone());
+        return Some(*t);
     }
     let commit = ts.iter().find(|t| {
         matches!(
@@ -61,7 +65,7 @@ fn pick(ts: &[Transition]) -> Option<Transition> {
         )
     });
     if let Some(t) = commit {
-        return Some(t.clone());
+        return Some(*t);
     }
-    ts.first().cloned()
+    ts.first().copied()
 }

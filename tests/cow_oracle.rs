@@ -31,6 +31,35 @@ fn check_state(state: &SystemState, ctx: &CodecCtx, rng: &mut Prng) -> Option<Sy
 
     let ts = state.enumerate_transitions();
     assert_eq!(deep.enumerate_transitions(), ts);
+    // Enumeration-trace differential: the per-component transition
+    // caches (possibly populated by ancestors sharing the same Arcs)
+    // must reproduce exactly what a cache-bypassing full rescan
+    // enumerates — per slot, not just as a flat list — so a missed
+    // cache invalidation in a mutation funnel fails loudly here.
+    let trace_cached = state.enumerate_traced();
+    let trace_rescan = state.enumerate_rescan_traced();
+    assert_eq!(
+        trace_cached, trace_rescan,
+        "cached enumeration diverged from the full-rescan reference"
+    );
+    let flat: Vec<_> = trace_cached
+        .0
+        .iter()
+        .flatten()
+        .copied()
+        .map(ppcmem::model::Transition::Thread)
+        .chain(
+            trace_cached
+                .1
+                .iter()
+                .copied()
+                .map(ppcmem::model::Transition::Storage),
+        )
+        .collect();
+    assert_eq!(
+        flat, ts,
+        "enumeration trace does not concatenate to enumerate_transitions"
+    );
     if ts.is_empty() {
         return None;
     }

@@ -197,3 +197,68 @@ exists (x=1)
     let out = explore(&state, &[], &[(t.addr_of("x"), 4)]);
     assert_eq!(out.finals.len(), 1);
 }
+
+/// Enumeration-order stability: the renderer's numbered transition list,
+/// `enumerate_transitions()`, and the flattened per-component
+/// [`ppcmem::model::EnumTrace`] must all agree index-for-index, at every
+/// state along a deterministic walk. An interactive driver reads an index
+/// off `render()` and applies `enumerate_transitions()[k]`; if the two
+/// paths ever ordered transitions differently the driver would silently
+/// apply the wrong transition.
+#[test]
+fn enumeration_order_is_stable_across_render_and_engines() {
+    let t = parse(
+        r"POWER MP
+{
+0:r1=x; 0:r2=y; 0:r7=1; 0:r8=1;
+1:r1=x; 1:r2=y;
+x=0; y=0;
+}
+ P0           | P1           ;
+ stw r7,0(r1) | lwz r5,0(r2) ;
+ stw r8,0(r2) | lwz r4,0(r1) ;
+exists (1:r5=1 /\ 1:r4=0)
+",
+    )
+    .expect("parses");
+    let mut state = ppcmem::litmus::build_system(&t, &ModelParams::default());
+    let mut checked = 0usize;
+    for _ in 0..32 {
+        let ts = state.enumerate_transitions();
+        // Flattened trace (threads in thread order, then storage) is the
+        // same list the engines and the renderer consume.
+        let (per_thread, storage) = state.enumerate_traced();
+        let flat: Vec<_> = per_thread
+            .iter()
+            .flatten()
+            .copied()
+            .map(ppcmem::model::Transition::Thread)
+            .chain(
+                storage
+                    .iter()
+                    .copied()
+                    .map(ppcmem::model::Transition::Storage),
+            )
+            .collect();
+        assert_eq!(flat, ts, "trace order diverged from enumerate_transitions");
+        // The rendered transition section must number exactly this list.
+        let rendered = state.render();
+        let section = rendered
+            .split("Enabled transitions:\n")
+            .nth(1)
+            .expect("render emits a transition section");
+        let lines: Vec<&str> = section.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), ts.len(), "renderer count differs");
+        for (k, tr) in ts.iter().enumerate() {
+            assert_eq!(
+                lines[k],
+                format!("  {k} {}", state.render_transition(tr)),
+                "renderer numbering diverged at index {k}"
+            );
+        }
+        checked += 1;
+        let Some(first) = ts.first() else { break };
+        state = state.apply(first);
+    }
+    assert!(checked > 8, "walk too short to pin ordering ({checked})");
+}

@@ -63,6 +63,16 @@ fn advance_trace_differential(initial: &SystemState, seed: u64, steps: usize) {
     let mut state = initial.clone();
     for step in 0..steps {
         let ts = state.enumerate_transitions();
+        // Enumeration-trace differential alongside the advance one: the
+        // per-component transition caches (shared down the walk via the
+        // CoW Arcs, so ancestors may have populated them) must agree
+        // per-slot with a cache-bypassing rescan on every visited state.
+        assert_eq!(
+            state.enumerate_traced(),
+            state.enumerate_rescan_traced(),
+            "fuzz seed {seed:#018x} step {step}: cached enumeration diverged \
+             from the full-rescan reference"
+        );
         if ts.is_empty() {
             break;
         }

@@ -133,13 +133,37 @@ fn codec_round_trips_reservation_machinery() {
 /// codec context.
 #[test]
 fn encoding_is_stable_across_independent_builds() {
-    let params = ModelParams::default();
-    for name in ["MP+syncs", "PPOCA"] {
-        let entry = library()
+    // Subjects chosen so the walks populate every independently digested
+    // storage component (PR 6's per-component cells): MP+syncs and PPOCA
+    // for barriers / propagation lists / sync acknowledgements, 2+2W
+    // (both with and without the partial-coherence transition enabled)
+    // for the coherence order, and the lwarx/stwcx. source for
+    // reservations and pending conditional writes.
+    let coherence = ModelParams {
+        coherence_commitments: true,
+        ..ModelParams::default()
+    };
+    let spurious = ModelParams {
+        allow_spurious_stcx_failure: true,
+        ..ModelParams::default()
+    };
+    let from_library = |name: &str| {
+        library()
             .into_iter()
             .find(|e| e.name == name)
-            .unwrap_or_else(|| panic!("{name} in library"));
-        let test = parse(entry.source).expect("library parses");
+            .unwrap_or_else(|| panic!("{name} in library"))
+            .source
+            .to_owned()
+    };
+    let subjects = [
+        ("MP+syncs", from_library("MP+syncs"), ModelParams::default()),
+        ("PPOCA", from_library("PPOCA"), ModelParams::default()),
+        ("2+2W", from_library("2+2W"), ModelParams::default()),
+        ("2+2W+pco", from_library("2+2W"), coherence),
+        ("RMW", RMW_SOURCE.to_owned(), spurious),
+    ];
+    for (name, source, params) in subjects {
+        let test = parse(&source).expect("library parses");
         // Two fully independent builds: separate programs, separate Arcs.
         let a0 = build_system(&test, &params);
         let b0 = build_system(&test, &params);
@@ -174,6 +198,85 @@ fn encoding_is_stable_across_independent_builds() {
             b = b.apply(&ts[pick]);
         }
     }
+}
+
+/// Canonical bytes are frozen across PRs: deterministic walks over
+/// three subjects (barriers, coherence-heavy 2+2W, reservations) must
+/// encode to the exact hex strings committed in
+/// `tests/data/golden_encodings.txt`, captured before the
+/// per-component-digest and inline-`Bv` refactors. A diff here means
+/// the codec's byte format changed — which breaks resumable spills and
+/// cross-machine exploration — not just an in-memory representation.
+#[test]
+fn canonical_bytes_match_committed_golden_encodings() {
+    let golden = include_str!("data/golden_encodings.txt");
+    let mut expected: std::collections::BTreeMap<(String, usize), String> =
+        std::collections::BTreeMap::new();
+    for line in golden.lines().filter(|l| !l.trim().is_empty()) {
+        let mut parts = line.splitn(3, '|');
+        let name = parts.next().expect("name").to_owned();
+        let step: usize = parts.next().expect("step").parse().expect("step number");
+        let hex = parts.next().expect("hex").to_owned();
+        expected.insert((name, step), hex);
+    }
+    assert_eq!(expected.len(), 10, "golden file should hold 10 checkpoints");
+
+    let subject_source = |name: &str| {
+        library()
+            .into_iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("{name} in library"))
+            .source
+            .to_owned()
+    };
+    let subjects = [
+        (
+            "MP+syncs",
+            subject_source("MP+syncs"),
+            ModelParams::default(),
+        ),
+        ("2+2W", subject_source("2+2W"), ModelParams::default()),
+        (
+            "RMW",
+            RMW_SOURCE.to_owned(),
+            ModelParams {
+                allow_spurious_stcx_failure: true,
+                ..ModelParams::default()
+            },
+        ),
+    ];
+
+    let mut seen = 0;
+    for (name, source, params) in subjects {
+        let test = parse(&source).expect("parses");
+        let mut state = build_system(&test, &params);
+        let ctx = CodecCtx::for_state(&state);
+        // Deterministic walk: always apply the first enabled transition,
+        // checkpointing every sixth step (same recipe that captured the
+        // golden file).
+        for step in 0..=18 {
+            if step % 6 == 0 {
+                let hex: String = ctx
+                    .encode(&state)
+                    .iter()
+                    .map(|b| format!("{b:02x}"))
+                    .collect();
+                let want = expected
+                    .get(&(name.to_owned(), step))
+                    .unwrap_or_else(|| panic!("{name} step {step} missing from golden file"));
+                assert_eq!(
+                    &hex, want,
+                    "{name} step {step}: canonical bytes diverged from the \
+                     committed PR 3/4/5 encoding"
+                );
+                seen += 1;
+            }
+            let ts = state.enumerate_transitions();
+            let Some(t) = ts.first() else { break };
+            state = state.apply(t);
+        }
+    }
+    assert_eq!(seen, 10, "every committed checkpoint must be re-checked");
 }
 
 /// The one-shot helpers agree with the context-based API, and malformed
@@ -223,10 +326,13 @@ fn corrupt_byte_sweep_never_panics_or_overallocates() {
     // terminator, decoding to a value near u64::MAX.
     let huge_varint: [u8; 10] = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
 
-    // Subjects chosen for stream variety: MP (plain loads/stores),
-    // MP+syncs (barrier events, barrier ids, sync acknowledgements in
-    // the storage half), and the lwarx/stwcx. source (reservations and
-    // pending conditional writes).
+    // Subjects chosen for stream variety, one per independently
+    // digested storage component: MP (plain loads/stores), MP+syncs
+    // (barrier events, barrier ids, sync acknowledgements in the
+    // storage half), 2+2W with partial coherence commitments enabled
+    // (coherence-order pairs in the encoded stream), and the
+    // lwarx/stwcx. source (reservations and pending conditional
+    // writes).
     let mut subjects: Vec<(String, ModelParams)> = ["MP", "MP+syncs"]
         .iter()
         .map(|name| {
@@ -237,6 +343,17 @@ fn corrupt_byte_sweep_never_panics_or_overallocates() {
             (entry.source.to_owned(), ModelParams::default())
         })
         .collect();
+    let two_two_w = library()
+        .into_iter()
+        .find(|e| e.name == "2+2W")
+        .expect("2+2W in library");
+    subjects.push((
+        two_two_w.source.to_owned(),
+        ModelParams {
+            coherence_commitments: true,
+            ..ModelParams::default()
+        },
+    ));
     subjects.push((
         RMW_SOURCE.to_owned(),
         ModelParams {
