@@ -26,17 +26,32 @@
 //!   so the comparison makes perf regressions visible per push without
 //!   ever failing the build.
 //!
+//! Besides the two exhaustive engines a `sequential-reduced` entry runs
+//! the sleep-set partial-order reduction; its rows carry a
+//! `states_ratio_vs_sequential` field (reduced ÷ unreduced explored
+//! states — the reduction's measured payoff, < 1.0 is a win).
+//!
 //! The runner is dependency-free: JSON is emitted by hand, timing is
 //! `std::time::Instant`, and peak RSS comes from `/proc/self/status`
-//! (`null` on platforms without it). Both engines are cross-checked per
-//! test (finals, witness, state count) — a benchmark run that diverges
-//! is a bug, not a slow day.
+//! (`null` on platforms without it). The exhaustive engines are
+//! cross-checked per test (finals, witness, state count); the reduced
+//! engine is cross-checked on finals only — identical verdicts over a
+//! smaller explored set is precisely its contract. A benchmark run that
+//! diverges is a bug, not a slow day.
 
-use bench::args::{arg_value, parse_arg};
+use bench::args::{arg_value, check_flags, parse_nonzero_arg};
 use ppc_litmus::{generated_suite, library, parse, run_limited, LitmusEntry};
 use ppc_model::{ExploreLimits, ModelParams};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Flags taking a value (the next argument is consumed).
+const VALUE_FLAGS: &[&str] = &["--out", "--threads", "--repeat", "--baseline"];
+/// Boolean flags.
+const BOOL_FLAGS: &[&str] = &["--smoke"];
+
+const USAGE: &str = "oracle_bench [--out PATH] [--smoke] [--threads N] [--repeat N] \
+     [--baseline PATH]";
 
 /// The pinned small suite: quick tests, dominated by per-test setup.
 const SMALL: &[&str] = &[
@@ -79,6 +94,9 @@ struct SuiteRow {
     engine: String,
     tests: Vec<TestRow>,
     wall_s: f64,
+    /// Explored states of this engine ÷ the exhaustive sequential
+    /// engine's, for reduced entries (`None` on exhaustive rows).
+    states_ratio: Option<f64>,
 }
 
 impl SuiteRow {
@@ -273,16 +291,18 @@ fn run_suite_once(
         engine,
         tests,
         wall_s: t0.elapsed().as_secs_f64(),
+        states_ratio: None,
     }
 }
 
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    check_flags("oracle_bench", &args, VALUE_FLAGS, BOOL_FLAGS, USAGE);
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_oracle.json".to_owned());
     let smoke = args.iter().any(|a| a == "--smoke");
-    let threads: usize = parse_arg("oracle_bench", &args, "--threads", 2);
-    let repeat: usize = parse_arg("oracle_bench", &args, "--repeat", 1).max(1);
+    let threads: usize = parse_nonzero_arg("oracle_bench", &args, "--threads", 2);
+    let repeat: usize = parse_nonzero_arg("oracle_bench", &args, "--repeat", 1);
     let baseline = arg_value(&args, "--baseline");
 
     let lib = library();
@@ -309,20 +329,41 @@ fn main() {
     suites.push(("generated-families", gen.iter().take(gen_take).collect()));
 
     let params = ModelParams::default();
-    let engines: Vec<(String, ExploreLimits)> = vec![
+    let reduced_params = ModelParams {
+        sleep_sets: true,
+        ..ModelParams::default()
+    };
+    // (name, params, limits, finals_only): `finals_only` marks engines
+    // whose contract is identical verdicts over a *different* explored
+    // set (the sleep-set reduction), excluded from the state/transition
+    // equality check.
+    let engines: Vec<(String, ModelParams, ExploreLimits, bool)> = vec![
         (
             "sequential".to_owned(),
+            params.clone(),
             ExploreLimits {
                 threads: 1,
                 ..ExploreLimits::default()
             },
+            false,
         ),
         (
             format!("work-stealing-{threads}"),
+            params.clone(),
             ExploreLimits {
                 threads,
                 ..ExploreLimits::default()
             },
+            false,
+        ),
+        (
+            "sequential-reduced".to_owned(),
+            reduced_params,
+            ExploreLimits {
+                threads: 1,
+                ..ExploreLimits::default()
+            },
+            true,
         ),
     ];
 
@@ -336,40 +377,60 @@ fn main() {
 
     let mut rows: Vec<SuiteRow> = Vec::new();
     for (suite, entries) in &suites {
-        let mut per_engine: Vec<SuiteRow> = Vec::new();
-        for (engine, limits) in &engines {
+        let mut per_engine: Vec<(SuiteRow, bool)> = Vec::new();
+        for (engine, engine_params, limits, finals_only) in &engines {
             let mut best: Option<SuiteRow> = None;
             for _ in 0..repeat {
-                let row = run_suite_once(suite, engine.clone(), entries, &params, limits);
+                let row = run_suite_once(suite, engine.clone(), entries, engine_params, limits);
                 if best.as_ref().is_none_or(|b| row.wall_s < b.wall_s) {
                     best = Some(row);
                 }
             }
-            per_engine.push(best.expect("repeat >= 1"));
+            per_engine.push((best.expect("repeat >= 1"), *finals_only));
         }
         // Engine equivalence: identical states / transitions / finals
-        // per test (the exhaustive-equivalence contract the whole PR
-        // hangs off — a fast engine that explores a different envelope
-        // measures nothing).
-        let base = &per_engine[0];
-        for other in &per_engine[1..] {
-            for (a, b) in base.tests.iter().zip(&other.tests) {
-                assert_eq!(
-                    (&a.name, a.states, a.transitions, a.finals),
-                    (&b.name, b.states, b.transitions, b.finals),
-                    "engine divergence in suite {suite}"
-                );
+        // per test for the exhaustive engines (the exhaustive-
+        // equivalence contract the whole PR hangs off — a fast engine
+        // that explores a different envelope measures nothing); the
+        // reduced engine must reproduce the finals exactly while
+        // exploring fewer states, so it is checked on finals only and
+        // its state-count ratio is recorded instead.
+        let base_states = per_engine[0].0.states();
+        {
+            let (base, _) = &per_engine[0];
+            for (other, finals_only) in &per_engine[1..] {
+                for (a, b) in base.tests.iter().zip(&other.tests) {
+                    if *finals_only {
+                        assert_eq!(
+                            (&a.name, a.finals),
+                            (&b.name, b.finals),
+                            "reduced-engine finals divergence in suite {suite}"
+                        );
+                    } else {
+                        assert_eq!(
+                            (&a.name, a.states, a.transitions, a.finals),
+                            (&b.name, b.states, b.transitions, b.finals),
+                            "engine divergence in suite {suite}"
+                        );
+                    }
+                }
             }
         }
-        for row in per_engine {
+        for (mut row, finals_only) in per_engine {
+            if finals_only && base_states > 0 {
+                row.states_ratio = Some(row.states() as f64 / base_states as f64);
+            }
             eprintln!(
-                "  {:<20} {:<18} {:>9} states {:>12} transitions {:>9.2}s  {:>9} states/s",
+                "  {:<20} {:<18} {:>9} states {:>12} transitions {:>9.2}s  {:>9} states/s{}",
                 row.suite,
                 row.engine,
                 row.states(),
                 row.transitions(),
                 row.wall_s,
                 rate_str(row.states(), row.wall_s),
+                row.states_ratio
+                    .map(|r| format!("  ({:.2}x states vs sequential)", r))
+                    .unwrap_or_default(),
             );
             rows.push(row);
         }
@@ -422,6 +483,9 @@ fn main() {
             "      \"resident_peak_states\": {},",
             row.resident_peak()
         );
+        if let Some(r) = row.states_ratio {
+            let _ = writeln!(j, "      \"states_ratio_vs_sequential\": {r:.4},");
+        }
         j.push_str("      \"per_test\": [\n");
         for (k, t) in row.tests.iter().enumerate() {
             let _ = write!(

@@ -9,13 +9,31 @@
 //! of states a thief moves per steal; `--max-resident N` bounds the
 //! in-memory frontier, spilling overflow to disk through the canonical
 //! state codec) — cross-checking that both engines produce identical
-//! verdicts. For contrast it also shows the per-test cost of a
-//! sequential run.
+//! verdicts. `--reduced` turns on sleep-set partial-order reduction
+//! (identical finals, fewer states — the cross-check then compares
+//! finals only, since explored-state counts are the point of the
+//! reduction); `--context-bound N` caps context switches per execution
+//! (an approximation: the engines may legitimately disagree, so the
+//! cross-check is skipped and rows are labelled). For contrast it also
+//! shows the per-test cost of a sequential run.
 
-use bench::args::parse_arg;
+use bench::args::{check_flags, parse_arg, parse_nonzero_arg};
 use ppc_litmus::{library, parse, run_limited};
 use ppc_model::{run_sequential, ExploreLimits, ModelParams};
 use std::time::Instant;
+
+/// Flags taking a value (the next argument is consumed).
+const VALUE_FLAGS: &[&str] = &[
+    "--threads",
+    "--steal-batch",
+    "--max-resident",
+    "--context-bound",
+];
+/// Boolean flags.
+const BOOL_FLAGS: &[&str] = &["--reduced"];
+
+const USAGE: &str =
+    "statespace [--threads N] [--steal-batch N] [--max-resident N] [--context-bound N] [--reduced]";
 
 /// The ladder of representative tests, roughly by state-space size.
 pub const LADDER: &[&str] = &[
@@ -36,22 +54,33 @@ pub const LADDER: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    check_flags("statespace", &args, VALUE_FLAGS, BOOL_FLAGS, USAGE);
     let threads: usize = parse_arg("statespace", &args, "--threads", 4);
-    let steal_batch: usize = parse_arg("statespace", &args, "--steal-batch", 0);
+    let steal_batch: usize = parse_nonzero_arg("statespace", &args, "--steal-batch", 0);
     let max_resident: usize = parse_arg("statespace", &args, "--max-resident", 0);
+    let context_bound: usize = parse_nonzero_arg("statespace", &args, "--context-bound", 0);
+    let reduced = args.iter().any(|a| a == "--reduced");
 
     let params = ModelParams {
         steal_batch,
         max_resident_states: max_resident,
+        sleep_sets: reduced,
+        max_context_switches: context_bound,
         ..ModelParams::default()
     };
     println!(
-        "parallel engine: work-stealing, {threads} workers, steal batch {}{}",
+        "parallel engine: work-stealing, {threads} workers, steal batch {}{}{}{}",
         params.effective_steal_batch(),
         if max_resident == 0 {
             String::new()
         } else {
             format!(", {max_resident} resident states (spill-to-disk)")
+        },
+        if reduced { ", sleep-set reduction" } else { "" },
+        if context_bound == 0 {
+            String::new()
+        } else {
+            format!(", context bound {context_bound} (approximate)")
         }
     );
     println!(
@@ -84,11 +113,26 @@ fn main() {
         let t0 = Instant::now();
         let rn = run_limited(&test, &params, &par);
         let dtn = t0.elapsed().as_secs_f64();
-        assert_eq!(
-            (r1.finals, r1.witnessed, r1.stats.states),
-            (rn.finals, rn.witnessed, rn.stats.states),
-            "{name}: parallel exploration diverged from sequential"
-        );
+        if context_bound != 0 {
+            // Bounded exploration is order-dependent (which path first
+            // reaches a state fixes its switch budget), so the engines
+            // may legitimately disagree — no cross-check.
+        } else if reduced {
+            // The reduction guarantees identical *finals*; explored
+            // state counts are exactly what it shrinks (and the
+            // parallel count varies run to run with steal order).
+            assert_eq!(
+                (r1.finals, r1.witnessed),
+                (rn.finals, rn.witnessed),
+                "{name}: reduced parallel exploration diverged from sequential"
+            );
+        } else {
+            assert_eq!(
+                (r1.finals, r1.witnessed, r1.stats.states),
+                (rn.finals, rn.witnessed, rn.stats.states),
+                "{name}: parallel exploration diverged from sequential"
+            );
+        }
         println!(
             "{:<22} {:>9} {:>12} {:>8} {:>9.2} {:>9.2} {:>7.2}x",
             name,

@@ -112,17 +112,23 @@ pub struct TestReport {
     /// exploration (softly bounded by the configured
     /// `max_resident_states` when spilling is enabled).
     pub resident_peak: usize,
+    /// Whether the exploration ran under a context-switch bound that
+    /// actually suppressed at least one successor. A bounded run is an
+    /// explicit approximation: like truncation, an unwitnessed verdict
+    /// is *inconclusive*, never presented as an exhaustive "Forbidden".
+    pub bounded: bool,
     /// Wall-clock time for the exploration.
     pub wall: Duration,
 }
 
 impl TestReport {
     /// Whether the run fully decided the verdict: either the state space
-    /// was exhausted, or a witness was found (a witness is definitive
-    /// even in a truncated run).
+    /// was exhausted (neither truncated nor context-bounded), or a
+    /// witness was found (a witness is definitive even in a truncated
+    /// or bounded run).
     #[must_use]
     pub fn conclusive(&self) -> bool {
-        !self.truncated || self.model_allows
+        (!self.truncated && !self.bounded) || self.model_allows
     }
 
     /// The model verdict as the conventional litmus word.
@@ -139,11 +145,12 @@ impl TestReport {
     ///
     /// Schema evolution is *additive only*: existing fields keep their
     /// names and order (`resident_peak` was appended in the spill-store
-    /// change; everything before it is bit-for-bit the PR 2 schema).
+    /// change, `bounded` in the context-bounding change; everything
+    /// before `resident_peak` is bit-for-bit the PR 2 schema).
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"name\":{},\"expected\":\"{}\",\"model\":\"{}\",\"match\":{},\"conclusive\":{},\"truncated\":{},\"states\":{},\"transitions\":{},\"finals\":{},\"wall_ms\":{:.3},\"pinned_by\":{},\"resident_peak\":{}}}",
+            "{{\"name\":{},\"expected\":\"{}\",\"model\":\"{}\",\"match\":{},\"conclusive\":{},\"truncated\":{},\"states\":{},\"transitions\":{},\"finals\":{},\"wall_ms\":{:.3},\"pinned_by\":{},\"resident_peak\":{},\"bounded\":{}}}",
             json_str(&self.name),
             self.expected,
             self.verdict(),
@@ -156,6 +163,7 @@ impl TestReport {
             self.wall.as_secs_f64() * 1e3,
             json_str(&self.pinned_by),
             self.resident_peak,
+            self.bounded,
         )
     }
 
@@ -165,10 +173,10 @@ impl TestReport {
     /// Every field of the schema
     /// (`name`/`expected`/`model`/`match`/`conclusive`/`truncated`/
     /// `states`/`transitions`/`finals`/`wall_ms`/`pinned_by`/
-    /// `resident_peak`) must be present, and the redundant `conclusive`
-    /// field must agree with the value derived from `truncated` and
-    /// `model` — a disagreement means the producer and consumer have
-    /// drifted.
+    /// `resident_peak`/`bounded`) must be present, and the redundant
+    /// `conclusive` field must agree with the value derived from
+    /// `truncated`, `bounded`, and `model` — a disagreement means the
+    /// producer and consumer have drifted.
     ///
     /// # Errors
     ///
@@ -226,13 +234,14 @@ impl TestReport {
             states: get_usize("states")?,
             transitions: get_usize("transitions")?,
             resident_peak: get_usize("resident_peak")?,
+            bounded: get_bool("bounded")?,
             wall: Duration::from_secs_f64(wall_ms / 1e3),
         };
         let conclusive = get_bool("conclusive")?;
         if conclusive != report.conclusive() {
             return Err(format!(
                 "`conclusive` field ({conclusive}) disagrees with the value derived \
-                 from `truncated`/`model` ({})",
+                 from `truncated`/`bounded`/`model` ({})",
                 report.conclusive()
             ));
         }
@@ -505,6 +514,7 @@ fn run_one_with_threads(entry: &LitmusEntry, cfg: &HarnessConfig, threads: usize
         states: check.result.stats.states,
         transitions: check.result.stats.transitions,
         resident_peak: check.result.stats.resident_peak,
+        bounded: check.result.stats.bounded,
         wall,
     }
 }

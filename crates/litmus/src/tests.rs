@@ -196,22 +196,24 @@ fn jsonl_report_round_trips() {
 /// current producer must keep parsing with these exact field names and
 /// meanings. Renaming or dropping any of
 /// name/expected/model/match/conclusive/truncated/states/transitions/
-/// finals/wall_ms/pinned_by/resident_peak breaks this test — by design,
-/// since it also breaks every downstream consumer of
+/// finals/wall_ms/pinned_by/resident_peak/bounded breaks this test — by
+/// design, since it also breaks every downstream consumer of
 /// `conformance-report.jsonl`. Schema changes are additive only:
-/// `resident_peak` was appended (spill-store change); everything before
-/// it is the PR 2 line, fields in the same order.
+/// `resident_peak` was appended (spill-store change) and `bounded` after
+/// it (context-bounding change); everything before `resident_peak` is
+/// the PR 2 line, fields in the same order.
 #[test]
 fn jsonl_schema_is_stable() {
     use crate::harness::TestReport;
 
-    let frozen = r#"{"name":"MP+sync+\"q\"","expected":"Allowed","model":"Forbidden","match":false,"conclusive":true,"truncated":false,"states":1155,"transitions":3383,"finals":4,"wall_ms":42.125,"pinned_by":"baseline\treordering","resident_peak":96}"#;
+    let frozen = r#"{"name":"MP+sync+\"q\"","expected":"Allowed","model":"Forbidden","match":false,"conclusive":true,"truncated":false,"states":1155,"transitions":3383,"finals":4,"wall_ms":42.125,"pinned_by":"baseline\treordering","resident_peak":96,"bounded":false}"#;
     let r = TestReport::from_json_line(frozen).expect("frozen schema line parses");
     assert_eq!(r.name, "MP+sync+\"q\"");
     assert_eq!(r.expected, Expectation::Allowed);
     assert!(!r.model_allows);
     assert!(!r.matches);
     assert!(!r.truncated);
+    assert!(!r.bounded);
     assert!(r.conclusive());
     assert_eq!(r.states, 1155);
     assert_eq!(r.transitions, 3383);
@@ -220,17 +222,19 @@ fn jsonl_schema_is_stable() {
     assert!((r.wall.as_secs_f64() - 0.042_125).abs() < 1e-9);
     assert_eq!(r.pinned_by, "baseline\treordering");
 
-    // A `conclusive` flag that contradicts `truncated`/`model` is a
-    // producer/consumer drift and must be rejected, not repaired.
+    // A `conclusive` flag that contradicts `truncated`/`bounded`/`model`
+    // is a producer/consumer drift and must be rejected, not repaired.
     let drifted = frozen.replace("\"conclusive\":true", "\"conclusive\":false");
     assert!(TestReport::from_json_line(&drifted).is_err());
 
     // Missing fields are errors, never defaults — including the
-    // appended `resident_peak`.
+    // appended `resident_peak` and `bounded`.
     let missing = frozen.replace("\"states\":1155,", "");
     assert!(TestReport::from_json_line(&missing).is_err());
     let missing_peak = frozen.replace(",\"resident_peak\":96", "");
     assert!(TestReport::from_json_line(&missing_peak).is_err());
+    let missing_bounded = frozen.replace(",\"bounded\":false", "");
+    assert!(TestReport::from_json_line(&missing_bounded).is_err());
 }
 
 /// Escaped names survive the full serialise → parse cycle.
@@ -250,6 +254,7 @@ fn jsonl_escaping_round_trips() {
         states: 17,
         transitions: 23,
         resident_peak: 5,
+        bounded: false,
         wall: Duration::from_micros(1500),
     };
     let line = original.to_json();
@@ -270,13 +275,13 @@ fn jsonl_escaping_round_trips() {
 fn jsonl_parser_rejects_malformed_lines() {
     use crate::harness::TestReport;
 
-    let good = r#"{"name":"MP","expected":"Allowed","model":"Allowed","match":true,"conclusive":true,"truncated":false,"states":100,"transitions":300,"finals":3,"wall_ms":1.000,"pinned_by":"x","resident_peak":9}"#;
+    let good = r#"{"name":"MP","expected":"Allowed","model":"Allowed","match":true,"conclusive":true,"truncated":false,"states":100,"transitions":300,"finals":3,"wall_ms":1.000,"pinned_by":"x","resident_peak":9,"bounded":false}"#;
     assert!(TestReport::from_json_line(good).is_ok());
 
     // A future producer may append fields; unknown keys are ignored.
     let extended = good.replace(
-        ",\"resident_peak\":9}",
-        ",\"resident_peak\":9,\"new_field\":\"v\"}",
+        ",\"bounded\":false}",
+        ",\"bounded\":false,\"new_field\":\"v\"}",
     );
     assert!(TestReport::from_json_line(&extended).is_ok());
 
@@ -317,4 +322,84 @@ fn jsonl_parser_rejects_malformed_lines() {
         .replace("\"states\":100,", "");
     let err = TestReport::from_json_line(&name_smuggles_states).expect_err("smuggled key used");
     assert!(err.contains("missing `states`"), "got: {err}");
+}
+
+// ---- context-bounded reporting ---------------------------------------
+
+/// A context-bounded run that suppressed successors reports
+/// `bounded:true` and survives the JSONL round-trip; the same test
+/// without a bound keeps `bounded:false`. The two must never be
+/// conflated — the flag is exactly how a consumer tells an
+/// explicitly-approximate fast-tier line from an exhaustive one.
+#[test]
+fn bounded_run_reports_honestly_and_round_trips() {
+    use crate::harness::{run_one, HarnessConfig, TestReport};
+
+    let entries = library();
+    let mp = entries
+        .iter()
+        .find(|e| e.name == "MP")
+        .expect("MP in library");
+
+    // A 1-switch bound cannot cover MP's storage propagation plus both
+    // threads, so some successor must be suppressed.
+    let mut cfg = HarnessConfig::default();
+    cfg.params.max_context_switches = 1;
+    let report = run_one(mp, &cfg);
+    assert!(
+        report.bounded,
+        "a 1-switch bound must suppress successors on MP"
+    );
+
+    let parsed = TestReport::from_json_line(&report.to_json()).expect("bounded line parses");
+    assert_eq!(parsed.bounded, report.bounded);
+    assert_eq!(parsed.finals, report.finals);
+    assert_eq!(parsed.conclusive(), report.conclusive());
+
+    // The unbounded run of the same test must not set the flag.
+    let full = run_one(mp, &HarnessConfig::default());
+    assert!(!full.bounded);
+    assert!(full.conclusive());
+}
+
+/// The truncation contract extends to bounding: a bounded, unwitnessed
+/// report is inconclusive no matter what else it claims, a witness is
+/// definitive even under a bound, and a serialised line asserting a
+/// conclusive unwitnessed bounded verdict is rejected as drift.
+#[test]
+fn bounded_unwitnessed_is_never_conclusive() {
+    use crate::harness::TestReport;
+    use std::time::Duration;
+
+    let r = TestReport {
+        name: "B".to_owned(),
+        pinned_by: "truncation contract".to_owned(),
+        expected: Expectation::Forbidden,
+        model_allows: false,
+        matches: true,
+        truncated: false,
+        finals: 2,
+        states: 10,
+        transitions: 12,
+        resident_peak: 3,
+        bounded: true,
+        wall: Duration::from_millis(1),
+    };
+    assert!(
+        !r.conclusive(),
+        "bounded + unwitnessed must be inconclusive"
+    );
+    let witnessed = TestReport {
+        model_allows: true,
+        ..r.clone()
+    };
+    assert!(
+        witnessed.conclusive(),
+        "a witness is definitive under a bound"
+    );
+
+    let line = r
+        .to_json()
+        .replace("\"conclusive\":false", "\"conclusive\":true");
+    assert!(TestReport::from_json_line(&line).is_err());
 }

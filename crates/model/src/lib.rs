@@ -33,6 +33,7 @@
 
 pub mod oracle;
 pub mod pretty;
+pub mod reduction;
 pub mod state_codec;
 pub mod storage;
 pub mod store;
@@ -41,9 +42,10 @@ pub mod thread;
 mod types;
 
 pub use oracle::{
-    explore, explore_bounded, explore_limited, run_sequential, ExplorationStats, ExploreLimits,
-    FinalState, Outcomes,
+    explore, explore_bounded, explore_limited, run_sequential, Actor, ExplorationStats,
+    ExploreLimits, FinalState, Frame, Outcomes,
 };
+pub use reduction::independent;
 pub use state_codec::{decode_state, encode_state, CodecCtx};
 pub use storage::{StorageState, StorageTransition};
 pub use store::StateStore;

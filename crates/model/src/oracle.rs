@@ -93,6 +93,14 @@ pub struct ExplorationStats {
     /// Lets tests assert that a forced-spill run actually exercised the
     /// spill path rather than staying under its budget.
     pub spilled_states: usize,
+    /// Whether the context-switch bound
+    /// ([`ModelParams::max_context_switches`]) actually suppressed at
+    /// least one successor. A bounded run is explicitly approximate:
+    /// absent outcomes may still be architecturally allowed, so it must
+    /// never be reported as a conclusive exhaustive result. Stays
+    /// `false` when a bound is set but never reached (the exploration
+    /// was exhaustive after all).
+    pub bounded: bool,
 }
 
 /// Default state budget for exhaustive exploration.
@@ -200,31 +208,125 @@ pub fn explore_limited(
     }
 }
 
-/// What expanding one state yields.
+/// The actor whose transition produced a state: a hardware thread, or
+/// the storage subsystem. Context-bounded exploration
+/// ([`ModelParams::max_context_switches`]) counts changes of actor
+/// along each execution path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Actor {
+    /// The root state — no transition taken yet (the first transition
+    /// is never a context switch).
+    None,
+    /// A transition of thread `.0`.
+    Thread(ThreadId),
+    /// A storage-subsystem transition.
+    Storage,
+}
+
+/// One frontier record: an unexpanded state plus the search metadata
+/// the reduction and context-bounding layers thread through the
+/// frontier (and through the spill codec, as additive record fields).
+/// In the default (unreduced, unbounded) configuration the metadata is
+/// inert: the sleep set stays empty and the switch count is ignored.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The unexpanded state.
+    pub state: SystemState,
+    /// The sleep set inherited from the parent: transitions whose
+    /// exploration here is redundant because an independent sibling
+    /// branch already explores them. Kept sorted and deduplicated.
+    /// Always empty when [`ModelParams::sleep_sets`] is off.
+    pub sleep: Vec<Transition>,
+    /// Wake-up restriction for a reduced-mode *re*-visit: when
+    /// non-empty, only these transitions (the ones slept on the state's
+    /// earlier visits but awake now) are expanded — everything else was
+    /// already explored from this state. Empty on first visits and
+    /// whenever [`ModelParams::sleep_sets`] is off.
+    pub wake: Vec<Transition>,
+    /// The actor of the transition that produced this state.
+    pub last_actor: Actor,
+    /// Context switches accumulated along the producing path.
+    pub switches: u32,
+}
+
+impl Frame {
+    /// The root frame of an exploration.
+    #[must_use]
+    pub fn root(state: SystemState) -> Self {
+        Frame {
+            state,
+            sleep: Vec::new(),
+            wake: Vec::new(),
+            last_actor: Actor::None,
+            switches: 0,
+        }
+    }
+}
+
+/// The actor a transition belongs to.
+fn actor_of(t: &Transition) -> Actor {
+    match t {
+        Transition::Thread(tt) => Actor::Thread(match tt {
+            ThreadTransition::Fetch { tid, .. }
+            | ThreadTransition::SatisfyReadForward { tid, .. }
+            | ThreadTransition::SatisfyReadStorage { tid, .. }
+            | ThreadTransition::CommitWrite { tid, .. }
+            | ThreadTransition::CommitStcxSuccess { tid, .. }
+            | ThreadTransition::CommitStcxFail { tid, .. }
+            | ThreadTransition::CommitBarrier { tid, .. }
+            | ThreadTransition::Finish { tid, .. } => *tid,
+        }),
+        Transition::Storage(_) => Actor::Storage,
+    }
+}
+
+/// What expanding one frame yields.
 struct Expansion {
-    /// Successor states (pre-dedup), or empty for a quiescent state.
-    succs: Vec<SystemState>,
-    /// Transitions fired.
+    /// Successor frames (pre-dedup), or empty for a quiescent state.
+    succs: Vec<Frame>,
+    /// Transitions fired (= successors produced; sleep-set-skipped and
+    /// bound-suppressed transitions are not fired).
     transitions: usize,
     /// Whether the state was quiescent (a final hit).
     is_final: bool,
+    /// Whether the context-switch bound suppressed at least one
+    /// successor here.
+    bounded_hit: bool,
 }
 
-/// Expand one state: either classify it as quiescent (collecting its
-/// observable final states into `finals`) or produce its successors.
-/// Shared verbatim by the sequential and parallel engines so they cannot
-/// drift apart.
+/// Expand one frame: either classify its state as quiescent (collecting
+/// its observable final states into `finals`) or produce its successor
+/// frames. Shared verbatim by the sequential and parallel engines so
+/// they cannot drift apart.
+///
+/// With [`ModelParams::sleep_sets`] on, this is the sleep-set step
+/// (Godefroid): walking the enabled transitions in their stable
+/// enumeration order, a transition in the current sleep set is skipped
+/// (some earlier branch explores everything it leads to), each explored
+/// transition `t` passes on the subset of the sleep set independent of
+/// `t`, and `t` itself then joins the sleep set for its later siblings
+/// — so of two adjacent independent transitions only one interleaving
+/// is expanded, while every reachable *state* (in particular every
+/// final) is still reached. Independence comes from
+/// [`crate::reduction::independent`].
+///
+/// With [`ModelParams::max_context_switches`] nonzero, a successor
+/// whose path would exceed the bound is suppressed (and reported via
+/// [`Expansion::bounded_hit`] — never silently). A suppressed
+/// transition does *not* join the sleep set: nothing explores it, so
+/// it cannot excuse skipping siblings.
 ///
 /// `scratch` is a per-worker transition buffer reused across every state
 /// the worker expands (the enumeration is rebuilt into it each call), so
 /// the hot loop performs no per-state transition-list allocation.
 fn expand(
-    state: &SystemState,
+    frame: &Frame,
     reg_obs: &[(ThreadId, Reg)],
     mem_obs: &[(u64, usize)],
     finals: &mut BTreeSet<FinalState>,
     scratch: &mut Vec<Transition>,
 ) -> Expansion {
+    let state = &frame.state;
     state.enumerate_transitions_into(scratch);
     let all_finished = state.threads.iter().all(|th| th.all_finished());
     let fetchable = scratch
@@ -236,15 +338,151 @@ fn expand(
             succs: Vec::new(),
             transitions: 0,
             is_final: true,
+            bounded_hit: false,
         };
     }
-    let transitions = scratch.len();
-    let succs = scratch.iter().map(|t| state.apply(t)).collect();
-    Expansion {
-        succs,
-        transitions,
-        is_final: false,
+    let reduce = state.params.sleep_sets;
+    let bound = state.params.max_context_switches;
+    // The working sleep set: the inherited one restricted to transitions
+    // still enabled here (dropping a disabled member is conservative —
+    // it only costs pruning), growing by each explored transition.
+    let mut sleep_now: Vec<Transition> = if reduce {
+        frame
+            .sleep
+            .iter()
+            .filter(|t| scratch.contains(t))
+            .copied()
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let inherited = sleep_now.len();
+    let mut succs = Vec::with_capacity(scratch.len());
+    let mut bounded_hit = false;
+    for t in scratch.iter() {
+        // Skip members of the inherited sleep set (but not transitions
+        // added for earlier siblings below — the enumeration has no
+        // duplicates, so they cannot recur anyway).
+        if reduce && sleep_now[..inherited].contains(t) {
+            continue;
+        }
+        // A re-visit expands only its awakened transitions: everything
+        // else was explored from this state before, under a sleep set
+        // whose extra members are exactly the `wake` list — and those
+        // are recovered right here, from the state itself, by the
+        // independence that put them to sleep in the first place.
+        if !frame.wake.is_empty() && !frame.wake.contains(t) {
+            continue;
+        }
+        let actor = actor_of(t);
+        let switches = frame.switches
+            + u32::from(frame.last_actor != Actor::None && frame.last_actor != actor);
+        if bound != 0 && switches as usize > bound {
+            bounded_hit = true;
+            continue;
+        }
+        let sleep = if reduce {
+            let mut s: Vec<Transition> = sleep_now
+                .iter()
+                .copied()
+                .filter(|u| u != t && crate::reduction::independent(state, t, u))
+                .collect();
+            s.sort_unstable();
+            s
+        } else {
+            Vec::new()
+        };
+        succs.push(Frame {
+            state: state.apply(t),
+            sleep,
+            wake: Vec::new(),
+            last_actor: actor,
+            switches,
+        });
+        if reduce {
+            sleep_now.push(*t);
+        }
     }
+    Expansion {
+        transitions: succs.len(),
+        succs,
+        is_final: false,
+        bounded_hit,
+    }
+}
+
+/// The per-state sleep-set memo driving reduced-mode deduplication: for
+/// every state reached so far, the sleep set it was (last) explored
+/// with. In reduced mode this *replaces* the digest-only visited set —
+/// admission needs the stored set, and a state must be *re*-explored
+/// when it is reached again with a strictly less restrictive sleep set
+/// (else outcomes only reachable through its sleeping transitions would
+/// be lost).
+type SleepMap = std::collections::HashMap<u64, Box<[Transition]>>;
+
+/// Admit a frame into the reduced search. Returns `None` to prune, or
+/// `Some(wake)` — the wake-up restriction for the visit:
+///
+/// - first arrival: admitted unrestricted (`wake` empty — every
+///   non-slept transition is expanded) and the sleep set is stored;
+/// - re-arrival whose sleep set covers the stored one: pruned — the
+///   earlier visit already expanded at least as much;
+/// - re-arrival whose sleep set *misses* some stored members: those
+///   members (`stored \ sleep`) were slept on every earlier visit but
+///   must be explored under this arrival's pruning argument — the visit
+///   is admitted restricted to exactly them (everything else was
+///   expanded before), and the stored set shrinks to the intersection.
+///   The shrink is strict, so each state re-explores at most
+///   `|enabled|` times — termination.
+fn reduced_admit(map: &mut SleepMap, digest: u64, sleep: &[Transition]) -> Option<Vec<Transition>> {
+    debug_assert!(sleep.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+    match map.entry(digest) {
+        std::collections::hash_map::Entry::Vacant(v) => {
+            v.insert(sleep.into());
+            Some(Vec::new())
+        }
+        std::collections::hash_map::Entry::Occupied(mut o) => {
+            let wake = sorted_diff(o.get(), sleep);
+            if wake.is_empty() {
+                return None;
+            }
+            o.insert(sorted_intersect(sleep, o.get()).into_boxed_slice());
+            Some(wake)
+        }
+    }
+}
+
+/// The elements of sorted `a` not in sorted `b`, sorted.
+fn sorted_diff(a: &[Transition], b: &[Transition]) -> Vec<Transition> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for x in a {
+        while j < b.len() && b[j] < *x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != *x {
+            out.push(*x);
+        }
+    }
+    out
+}
+
+/// The intersection of two sorted transition slices, sorted.
+fn sorted_intersect(a: &[Transition], b: &[Transition]) -> Vec<Transition> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 /// The sequential depth-first engine.
@@ -262,16 +500,25 @@ fn explore_seq(
     mem_obs: &[(u64, usize)],
     limits: &ExploreLimits,
 ) -> Outcomes {
+    let reduce = initial.params.sleep_sets;
     let store = StateStore::new(initial.program.clone(), &initial.params, 1);
     let mut stats = ExplorationStats::default();
     let mut finals = BTreeSet::new();
     let mut scratch = Vec::new();
-    let mut stack: Vec<SystemState> = vec![initial.clone()];
-    store.insert_visited(initial.digest());
+    let mut stack: Vec<Frame> = vec![Frame::root(initial.clone())];
+    // Reduced mode replaces the digest-only visited set with the sleep
+    // memo (admission needs the stored sleep set, and spilling digests
+    // to cold runs would lose it); the frontier's disk half is shared.
+    let mut sleep_map = SleepMap::new();
+    if reduce {
+        sleep_map.insert(initial.digest(), Box::from([]));
+    } else {
+        store.insert_visited(initial.digest());
+    }
     store.note_enqueued(1);
 
     loop {
-        let state = match stack.pop() {
+        let frame = match stack.pop() {
             Some(s) => s,
             None => {
                 // In-memory frontier dry: reload the newest spilled
@@ -299,14 +546,26 @@ fn explore_seq(
                 }
             }
         }
-        let exp = expand(&state, reg_obs, mem_obs, &mut finals, &mut scratch);
+        let exp = expand(&frame, reg_obs, mem_obs, &mut finals, &mut scratch);
+        stats.bounded |= exp.bounded_hit;
         if exp.is_final {
             stats.final_hits += 1;
             continue;
         }
         stats.transitions += exp.transitions;
-        for next in exp.succs {
-            if store.insert_visited(next.digest()) {
+        for mut next in exp.succs {
+            let admitted = if reduce {
+                match reduced_admit(&mut sleep_map, next.state.digest(), &next.sleep) {
+                    None => false,
+                    Some(wake) => {
+                        next.wake = wake;
+                        true
+                    }
+                }
+            } else {
+                store.insert_visited(next.state.digest())
+            };
+            if admitted {
                 store.note_enqueued(1);
                 stack.push(next);
             }
@@ -317,7 +576,7 @@ fn explore_seq(
         let budget = store.budget();
         if budget != 0 && stack.len() > budget {
             let excess = stack.len() - budget / 2;
-            let victims: Vec<SystemState> = stack.drain(..excess).collect();
+            let victims: Vec<Frame> = stack.drain(..excess).collect();
             store.spill_batch(&victims);
             store.note_dequeued(victims.len());
         }
@@ -341,11 +600,11 @@ const DEADLINE_POLL_PERIOD: usize = 256;
 
 /// The shared control block of one work-stealing exploration.
 struct StealPool<'a> {
-    /// One deque of unexpanded states per worker. Owners push/pop at the
+    /// One deque of unexpanded frames per worker. Owners push/pop at the
     /// back (depth-first locality, keeps deques shallow); thieves drain
     /// batches from the front (the oldest states, which in this search
     /// tend to root the largest unexplored subtrees).
-    deques: Vec<Mutex<VecDeque<SystemState>>>,
+    deques: Vec<Mutex<VecDeque<Frame>>>,
     /// Termination detector: states enqueued in any deque *plus* states
     /// currently being expanded. A worker increments it for each fresh
     /// successor *before* decrementing it for the parent it just
@@ -376,11 +635,18 @@ struct StealPool<'a> {
     limits: &'a ExploreLimits,
     /// States a thief moves per steal ([`ModelParams::steal_batch`]).
     steal_batch: usize,
+    /// Reduced mode's sharded sleep memo (see [`SleepMap`]), replacing
+    /// the store's digest-only visited set; `None` when
+    /// [`ModelParams::sleep_sets`] is off. One lock per
+    /// low-digest-bits shard, like the visited set itself.
+    sleep: Option<Vec<Mutex<SleepMap>>>,
+    /// Whether any worker's expansion hit the context-switch bound.
+    bounded: AtomicBool,
 }
 
 impl StealPool<'_> {
     /// Pop from the worker's own deque (back = most recently discovered).
-    fn pop_local(&self, me: usize) -> Option<SystemState> {
+    fn pop_local(&self, me: usize) -> Option<Frame> {
         self.deques[me].lock().expect("deque poisoned").pop_back()
     }
 
@@ -389,11 +655,11 @@ impl StealPool<'_> {
     /// states from the *front* of the victim's deque: one is returned
     /// for immediate expansion, the rest move to the thief's own deque
     /// (amortising the victim-lock handshake across the batch).
-    fn steal(&self, me: usize) -> Option<SystemState> {
+    fn steal(&self, me: usize) -> Option<Frame> {
         let n = self.deques.len();
         for k in 1..n {
             let v = (me + k) % n;
-            let mut batch: Vec<SystemState> = {
+            let mut batch: Vec<Frame> = {
                 let mut victim = self.deques[v].lock().expect("deque poisoned");
                 if victim.is_empty() {
                     continue;
@@ -418,7 +684,7 @@ impl StealPool<'_> {
     /// (or when a neighbour stole the whole reloaded batch first — the
     /// states are still in deques and `pending` still counts them, so
     /// the caller just retries).
-    fn unspill(&self, me: usize) -> Option<SystemState> {
+    fn unspill(&self, me: usize) -> Option<Frame> {
         let states = self.store.unspill()?;
         self.store.note_enqueued(states.len());
         self.deques[me]
@@ -426,6 +692,31 @@ impl StealPool<'_> {
             .expect("deque poisoned")
             .extend(states);
         self.pop_local(me)
+    }
+
+    /// Decide whether `frame` enters the frontier: the visited-set
+    /// insertion race in unreduced mode, [`reduced_admit`] against the
+    /// digest's sleep shard in reduced mode (possibly restricting the
+    /// frame to a wake-up list on a re-visit). Same-digest arrivals
+    /// serialise on the shard lock, so the reduced admission is
+    /// race-free.
+    fn admit(&self, frame: &mut Frame) -> bool {
+        match &self.sleep {
+            None => self.store.insert_visited(frame.state.digest()),
+            Some(shards) => {
+                let digest = frame.state.digest();
+                let mut map = shards[(digest & (shards.len() as u64 - 1)) as usize]
+                    .lock()
+                    .expect("sleep shard poisoned");
+                match reduced_admit(&mut map, digest, &frame.sleep) {
+                    None => false,
+                    Some(wake) => {
+                        frame.wake = wake;
+                        true
+                    }
+                }
+            }
+        }
     }
 
     /// Record a truncation (budget or deadline) and tell every worker to
@@ -476,7 +767,7 @@ fn steal_worker(
         if pool.stop.load(Ordering::SeqCst) {
             break;
         }
-        let Some(state) = pool
+        let Some(frame) = pool
             .pop_local(me)
             .or_else(|| pool.steal(me))
             .or_else(|| pool.unspill(me))
@@ -528,17 +819,20 @@ fn steal_worker(
             }
         }
 
-        let exp = expand(&state, reg_obs, mem_obs, &mut out.finals, &mut scratch);
+        let exp = expand(&frame, reg_obs, mem_obs, &mut out.finals, &mut scratch);
+        if exp.bounded_hit {
+            pool.bounded.store(true, Ordering::SeqCst);
+        }
         if exp.is_final {
             out.final_hits += 1;
             pool.pending.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
         out.transitions += exp.transitions;
-        let fresh: Vec<SystemState> = exp
+        let fresh: Vec<Frame> = exp
             .succs
             .into_iter()
-            .filter(|next| pool.store.insert_visited(next.digest()))
+            .filter_map(|mut next| pool.admit(&mut next).then_some(next))
             .collect();
         if !fresh.is_empty() {
             // Publish successors (and bump `pending`) before retiring the
@@ -589,13 +883,20 @@ fn explore_par(
         store: &store,
         limits,
         steal_batch: initial.params.effective_steal_batch(),
+        sleep: initial.params.sleep_sets.then(|| {
+            let n = (threads.max(1) * 16).next_power_of_two();
+            (0..n).map(|_| Mutex::new(SleepMap::new())).collect()
+        }),
+        bounded: AtomicBool::new(false),
     };
-    pool.store.insert_visited(initial.digest());
+    let mut root = Frame::root(initial.clone());
+    let admitted = pool.admit(&mut root);
+    debug_assert!(admitted, "the root always enters an empty frontier");
     pool.store.note_enqueued(1);
     pool.deques[0]
         .lock()
         .expect("deque poisoned")
-        .push_back(initial.clone());
+        .push_back(root);
 
     let outs: Vec<WorkerOut> = std::thread::scope(|s| {
         let pool = &pool;
@@ -616,6 +917,7 @@ fn explore_par(
         truncated: pool.truncated.load(Ordering::SeqCst),
         resident_peak: store.resident_peak(),
         spilled_states: store.spilled_states(),
+        bounded: pool.bounded.load(Ordering::SeqCst),
         ..ExplorationStats::default()
     };
     let mut finals = BTreeSet::new();

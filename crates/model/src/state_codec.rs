@@ -24,8 +24,9 @@
 //! `BTreeSet` contents are emitted in their (deterministic) sorted
 //! order, and the stream opens with a one-byte format version.
 
-use crate::storage::{StorageEvent, StorageState};
-use crate::system::{Program, SystemState};
+use crate::storage::{StorageEvent, StorageState, StorageTransition};
+use crate::system::{Program, SystemState, Transition};
+use crate::thread::ThreadTransition;
 use crate::thread::{
     InstanceArena, InstanceId, InstrInstance, PendingWrite, ReadSource, RegReadRec, SatRead,
     ThreadState,
@@ -582,6 +583,154 @@ fn decode_storage(r: &mut Reader<'_>) -> Result<StorageState, DecodeError> {
         unacknowledged_sync_requests: Arc::new(Digested::new(unacknowledged_sync_requests)),
         digest: DigestCell::new(),
         enum_cache: TransitionCache::new(),
+    })
+}
+
+/// Encode one [`Transition`] (tag byte + LEB128 fields). Used by the
+/// frontier spill records to carry a frame's sleep set alongside the
+/// canonical state bytes; `decode_transition` is its exact inverse.
+pub fn encode_transition(w: &mut Writer, t: &Transition) {
+    match t {
+        Transition::Thread(tt) => match tt {
+            ThreadTransition::Fetch { tid, parent, addr } => {
+                w.byte(0);
+                w.usizev(*tid);
+                w.option(parent.as_ref(), |w, &p| w.usizev(p));
+                w.u64v(*addr);
+            }
+            ThreadTransition::SatisfyReadForward {
+                tid,
+                ioid,
+                from,
+                windex,
+            } => {
+                w.byte(1);
+                w.usizev(*tid);
+                w.usizev(*ioid);
+                w.usizev(*from);
+                w.usizev(*windex);
+            }
+            ThreadTransition::SatisfyReadStorage { tid, ioid } => {
+                w.byte(2);
+                w.usizev(*tid);
+                w.usizev(*ioid);
+            }
+            ThreadTransition::CommitWrite { tid, ioid, windex } => {
+                w.byte(3);
+                w.usizev(*tid);
+                w.usizev(*ioid);
+                w.usizev(*windex);
+            }
+            ThreadTransition::CommitStcxSuccess { tid, ioid } => {
+                w.byte(4);
+                w.usizev(*tid);
+                w.usizev(*ioid);
+            }
+            ThreadTransition::CommitStcxFail { tid, ioid } => {
+                w.byte(5);
+                w.usizev(*tid);
+                w.usizev(*ioid);
+            }
+            ThreadTransition::CommitBarrier { tid, ioid } => {
+                w.byte(6);
+                w.usizev(*tid);
+                w.usizev(*ioid);
+            }
+            ThreadTransition::Finish { tid, ioid } => {
+                w.byte(7);
+                w.usizev(*tid);
+                w.usizev(*ioid);
+            }
+        },
+        Transition::Storage(st) => match st {
+            StorageTransition::PropagateWrite { write, to } => {
+                w.byte(8);
+                w.u64v(u64::from(write.0));
+                w.usizev(*to);
+            }
+            StorageTransition::PropagateBarrier { barrier, to } => {
+                w.byte(9);
+                w.u64v(u64::from(barrier.0));
+                w.usizev(*to);
+            }
+            StorageTransition::AcknowledgeSync { barrier } => {
+                w.byte(10);
+                w.u64v(u64::from(barrier.0));
+            }
+            StorageTransition::PartialCoherence { first, second } => {
+                w.byte(11);
+                w.u64v(u64::from(first.0));
+                w.u64v(u64::from(second.0));
+            }
+        },
+    }
+}
+
+/// Decode one [`Transition`] written by [`encode_transition`].
+///
+/// # Errors
+///
+/// Any truncation or unknown tag.
+pub fn decode_transition(r: &mut Reader<'_>) -> Result<Transition, DecodeError> {
+    let tag = r.byte()?;
+    Ok(match tag {
+        0 => Transition::Thread(ThreadTransition::Fetch {
+            tid: r.usizev()?,
+            parent: r.option(Reader::usizev)?,
+            addr: r.u64v()?,
+        }),
+        1 => Transition::Thread(ThreadTransition::SatisfyReadForward {
+            tid: r.usizev()?,
+            ioid: r.usizev()?,
+            from: r.usizev()?,
+            windex: r.usizev()?,
+        }),
+        2 => Transition::Thread(ThreadTransition::SatisfyReadStorage {
+            tid: r.usizev()?,
+            ioid: r.usizev()?,
+        }),
+        3 => Transition::Thread(ThreadTransition::CommitWrite {
+            tid: r.usizev()?,
+            ioid: r.usizev()?,
+            windex: r.usizev()?,
+        }),
+        4 => Transition::Thread(ThreadTransition::CommitStcxSuccess {
+            tid: r.usizev()?,
+            ioid: r.usizev()?,
+        }),
+        5 => Transition::Thread(ThreadTransition::CommitStcxFail {
+            tid: r.usizev()?,
+            ioid: r.usizev()?,
+        }),
+        6 => Transition::Thread(ThreadTransition::CommitBarrier {
+            tid: r.usizev()?,
+            ioid: r.usizev()?,
+        }),
+        7 => Transition::Thread(ThreadTransition::Finish {
+            tid: r.usizev()?,
+            ioid: r.usizev()?,
+        }),
+        8 => Transition::Storage(StorageTransition::PropagateWrite {
+            write: decode_write_id(r)?,
+            to: r.usizev()?,
+        }),
+        9 => Transition::Storage(StorageTransition::PropagateBarrier {
+            barrier: decode_barrier_id(r)?,
+            to: r.usizev()?,
+        }),
+        10 => Transition::Storage(StorageTransition::AcknowledgeSync {
+            barrier: decode_barrier_id(r)?,
+        }),
+        11 => Transition::Storage(StorageTransition::PartialCoherence {
+            first: decode_write_id(r)?,
+            second: decode_write_id(r)?,
+        }),
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "Transition",
+                tag,
+            })
+        }
     })
 }
 

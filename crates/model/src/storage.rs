@@ -467,6 +467,46 @@ impl StorageState {
         (value, sources)
     }
 
+    /// The thread that issued `write` (queried by the independence
+    /// relation in [`crate::reduction`] to name the propagation list a
+    /// `PropagateWrite` reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write id is unknown.
+    #[must_use]
+    pub fn write_origin(&self, write: WriteId) -> ThreadId {
+        self.writes[&write].tid
+    }
+
+    /// The thread that issued `barrier` (see [`StorageState::write_origin`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier id is unknown.
+    #[must_use]
+    pub fn barrier_origin(&self, barrier: BarrierId) -> ThreadId {
+        self.barriers[&barrier].tid
+    }
+
+    /// Whether applying `PropagateWrite { write, to }` would commit new
+    /// coherence edges (an overlapping write is already in `to`'s list
+    /// without being coherence-before `write`). The independence
+    /// relation uses this to decide whether a propagation writes the
+    /// global coherence order or only `to`'s propagation list.
+    #[must_use]
+    pub fn would_commit_coherence(&self, write: WriteId, to: ThreadId) -> bool {
+        let w = &self.writes[&write];
+        self.events_propagated_to[to].iter().any(|e| match e {
+            StorageEvent::W(o) => {
+                *o != write
+                    && self.writes[o].overlaps(w.addr, w.size)
+                    && !self.coh_before(*o, write)
+            }
+            StorageEvent::B(_) => false,
+        })
+    }
+
     /// All unrelated overlapping write pairs (candidates for
     /// `PartialCoherence`).
     #[must_use]

@@ -36,9 +36,11 @@
 //! dir, created lazily on first spill and removed when the store drops;
 //! consumed segments are deleted as soon as they are read back.
 
-use crate::state_codec::CodecCtx;
-use crate::system::{Program, SystemState};
+use crate::oracle::{Actor, Frame};
+use crate::state_codec::{decode_transition, encode_transition, CodecCtx};
+use crate::system::{Program, Transition};
 use crate::types::ModelParams;
+use ppc_bits::{Reader, Writer};
 use std::collections::HashSet;
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write as _};
@@ -356,26 +358,28 @@ impl StateStore {
 
     // ---- frontier segments ---------------------------------------------
 
-    /// Spill a batch of frontier states to the current open segment,
+    /// Spill a batch of frontier frames to the current open segment,
     /// finalizing it once it reaches the segment target. The states must
     /// belong to this store's program/params (they are encoded through
     /// the canonical codec).
     ///
-    /// Each record carries the state's 64-bit digest alongside the
-    /// canonical bytes. Spilled states had their digest computed at
-    /// visited-set insertion, so this is a cached read; on readback the
-    /// digest seeds the decoded state's compute-once cache, so no
-    /// downstream consumer ever re-hashes a state that round-tripped
-    /// through disk.
-    pub fn spill_batch(&self, states: &[SystemState]) {
-        if states.is_empty() {
+    /// Each record carries the state's 64-bit digest and the frame's
+    /// search metadata (context-switch count, last actor, sleep set —
+    /// additive fields ahead of the state bytes; the canonical state
+    /// encoding itself is unchanged) alongside the canonical bytes.
+    /// Spilled states had their digest computed at admission, so this is
+    /// a cached read; on readback the digest seeds the decoded state's
+    /// compute-once cache, so no downstream consumer ever re-hashes a
+    /// state that round-tripped through disk.
+    pub fn spill_batch(&self, frames: &[Frame]) {
+        if frames.is_empty() {
             return;
         }
         // Encode outside the frontier lock: encoding is the CPU-heavy
         // part, writing is sequential-buffered.
-        let encoded: Vec<(u64, Vec<u8>)> = states
+        let encoded: Vec<(u64, Vec<u8>)> = frames
             .iter()
-            .map(|s| (s.digest(), self.ctx().encode(s)))
+            .map(|f| (f.state.digest(), self.encode_record(f)))
             .collect();
         let target = segment_target(self.budget);
         let mut fr = self.frontier.lock().expect("frontier spill poisoned");
@@ -404,14 +408,71 @@ impl StateStore {
                 fr.segments.push(seal(open));
             }
         }
-        self.spilled.fetch_add(states.len(), Ordering::Relaxed);
+        self.spilled.fetch_add(frames.len(), Ordering::Relaxed);
     }
 
-    /// Read back one spilled segment (the newest), decoding its states
+    /// One spill record's payload: the frame metadata (switch count,
+    /// actor tag, sleep set) followed by the canonical state bytes.
+    fn encode_record(&self, f: &Frame) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64v(u64::from(f.switches));
+        match f.last_actor {
+            Actor::None => w.byte(0),
+            Actor::Storage => w.byte(1),
+            Actor::Thread(tid) => {
+                w.byte(2);
+                w.usizev(tid);
+            }
+        }
+        w.usizev(f.sleep.len());
+        for t in &f.sleep {
+            encode_transition(&mut w, t);
+        }
+        w.usizev(f.wake.len());
+        for t in &f.wake {
+            encode_transition(&mut w, t);
+        }
+        w.bytes(&self.ctx().encode(&f.state));
+        w.into_bytes()
+    }
+
+    /// Inverse of [`StateStore::encode_record`].
+    fn decode_record(&self, bytes: &[u8]) -> Frame {
+        let mut r = Reader::new(bytes);
+        let parse = |r: &mut Reader<'_>| -> Result<Frame, ppc_bits::DecodeError> {
+            let switches = u32::try_from(r.u64v()?)
+                .map_err(|_| ppc_bits::DecodeError::Invalid("switch count range"))?;
+            let last_actor = match r.byte()? {
+                0 => Actor::None,
+                1 => Actor::Storage,
+                2 => Actor::Thread(r.usizev()?),
+                tag => return Err(ppc_bits::DecodeError::BadTag { what: "Actor", tag }),
+            };
+            let mut sleep: Vec<Transition> = Vec::new();
+            for _ in 0..r.usizev()? {
+                sleep.push(decode_transition(r)?);
+            }
+            let mut wake: Vec<Transition> = Vec::new();
+            for _ in 0..r.usizev()? {
+                wake.push(decode_transition(r)?);
+            }
+            let state = self.ctx().decode(r.bytes(r.remaining())?)?;
+            Ok(Frame {
+                state,
+                sleep,
+                wake,
+                last_actor,
+                switches,
+            })
+        };
+        parse(&mut r).expect("spilled frame decodes exactly")
+    }
+
+    /// Read back one spilled segment (the newest), decoding its frames
     /// in order. Returns `None` when nothing is spilled. The caller owns
-    /// the returned states (and should [`StateStore::note_enqueued`]
+    /// the returned frames (and should [`StateStore::note_enqueued`]
     /// them if they re-enter an in-memory frontier).
-    pub fn unspill(&self) -> Option<Vec<SystemState>> {
+    pub fn unspill(&self) -> Option<Vec<Frame>> {
         let seg = {
             let mut fr = self.frontier.lock().expect("frontier spill poisoned");
             match fr.segments.pop() {
@@ -439,15 +500,12 @@ impl StateStore {
             reader
                 .read_exact(&mut bytes)
                 .expect("read frontier segment");
-            let state = self
-                .ctx()
-                .decode(&bytes)
-                .expect("spilled state decodes exactly");
+            let frame = self.decode_record(&bytes);
             // Seed the compute-once cache with the digest recorded at
             // spill time (decode resolves shared structure back to the
             // program cache, so the structural digest is unchanged).
-            state.digest.seed(u64::from_le_bytes(digestbuf));
-            out.push(state);
+            frame.state.digest.seed(u64::from_le_bytes(digestbuf));
+            out.push(frame);
         }
         let _ = fs::remove_file(&seg.path);
         Some(out)
@@ -494,25 +552,84 @@ fn seal(open: OpenSegment) -> Segment {
 impl Drop for StateStore {
     fn drop(&mut self) {
         // Cold runs delete their own files; remove any remaining
-        // segments and the directory itself (best effort).
-        if let Ok(mut fr) = self.frontier.lock() {
-            if let Some(open) = fr.open.take() {
-                let _ = fs::remove_file(&open.path);
-            }
-            for seg in fr.segments.drain(..) {
-                let _ = fs::remove_file(&seg.path);
-            }
+        // segments and the directory itself (best effort). Locks may be
+        // poisoned if a worker panicked mid-exploration — cleanup must
+        // still run then (the data is being discarded either way), so
+        // recover the guard from the poison instead of skipping.
+        let mut fr = self
+            .frontier
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(open) = fr.open.take() {
+            let _ = fs::remove_file(&open.path);
         }
+        for seg in fr.segments.drain(..) {
+            let _ = fs::remove_file(&seg.path);
+        }
+        drop(fr);
         // Drop shards' cold runs before removing the directory.
         for shard in &self.shards {
-            if let Ok(mut s) = shard.lock() {
-                s.cold = None;
-            }
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .cold = None;
         }
-        if let Ok(dir) = self.dir.lock() {
-            if let Some(d) = dir.as_ref() {
-                let _ = fs::remove_dir_all(d);
-            }
+        let dir = self
+            .dir
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(d) = dir.as_ref() {
+            let _ = fs::remove_dir_all(d);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Frame;
+    use crate::tests::sys;
+
+    /// A worker panicking mid-exploration poisons the store's locks;
+    /// [`Drop`] must still delete every segment file and the spill
+    /// directory itself. The regression was an `expect()` on the
+    /// poisoned guards that aborted cleanup, leaking a
+    /// `ppcmem-spill-*` temp directory on every panicked run.
+    #[test]
+    fn drop_cleans_spill_dir_after_worker_panic() {
+        let params = ModelParams {
+            max_resident_states: 2,
+            ..ModelParams::default()
+        };
+        let state = sys(&[(&["li r1,1"], &[])], &[], params.clone());
+        let store = Arc::new(StateStore::new(state.program.clone(), &params, 2));
+        store.spill_batch(&[Frame::root(state)]);
+        let dir = store
+            .dir
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("spilling created the temp dir");
+        assert!(dir.exists(), "segment written ⇒ directory on disk");
+
+        // Poison every lock the destructor takes, the way a panicking
+        // worker would: grab them on another thread and panic while
+        // holding them. (The panic output below is expected.)
+        let s = Arc::clone(&store);
+        let worker = std::thread::spawn(move || {
+            let _frontier = s.frontier.lock().unwrap();
+            let _dir = s.dir.lock().unwrap();
+            let _shard = s.shards[0].lock().unwrap();
+            panic!("simulated worker panic");
+        });
+        assert!(worker.join().is_err(), "worker must have panicked");
+        assert!(store.frontier.lock().is_err(), "frontier lock poisoned");
+        assert!(store.dir.lock().is_err(), "dir lock poisoned");
+
+        drop(store);
+        assert!(
+            !dir.exists(),
+            "a poisoned drop must still remove the spill directory"
+        );
     }
 }

@@ -115,6 +115,23 @@ pub struct ModelParams {
     /// memory, as before). Purely a memory/perf knob: spilling cannot
     /// change which states are visited, the counts, or the finals.
     pub max_resident_states: usize,
+    /// Enable the sleep-set partial-order reduction layer. The reduced
+    /// engines prune redundant interleavings of *independent*
+    /// transitions (see `ppc_model::reduction`) while producing exactly
+    /// the same `Outcomes::finals` as the unreduced search — pinned by
+    /// the POR differential in `tests/oracle_fuzz.rs`. Explored-state
+    /// counts drop (and, in the parallel engine, become run-to-run
+    /// dependent on work arrival order), so state/transition counts are
+    /// only comparable between runs with the same `sleep_sets` setting.
+    pub sleep_sets: bool,
+    /// Context-switch bound for the explicitly-approximate fast tier:
+    /// when nonzero, any execution path is cut off once the active
+    /// *actor* (a thread, or the storage subsystem) has changed more
+    /// than this many times. `0` means unbounded (exhaustive). A run in
+    /// which the bound actually suppressed a successor reports
+    /// `ExplorationStats::bounded = true` and must never be presented
+    /// as an exhaustive result.
+    pub max_context_switches: usize,
 }
 
 /// Resolve a worker-count knob: `0` means one worker per available CPU.
@@ -168,6 +185,8 @@ impl Default for ModelParams {
             max_states: Self::DEFAULT_MAX_STATES,
             steal_batch: Self::DEFAULT_STEAL_BATCH,
             max_resident_states: 0,
+            sleep_sets: false,
+            max_context_switches: 0,
         }
     }
 }

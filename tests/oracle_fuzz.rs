@@ -23,14 +23,22 @@
 //! deterministic; accepts `0x…` hex), and `ORACLE_FUZZ_BUDGET` (the
 //! per-program distinct-state budget — raise it to differentially check
 //! the bigger tail of generated programs instead of skipping them).
+//!
+//! The `por_`-prefixed tests are the sleep-set partial-order-reduction
+//! differential: reduced exploration must reproduce the unreduced
+//! engine's `Outcomes::finals` byte for byte (over a *disjoint* seed
+//! range — `ORACLE_POR_SEED`/`ORACLE_POR_PROGRAMS`/`ORACLE_POR_BUDGET`),
+//! and the footprint-based independence relation the reduction relies on
+//! must actually commute on sampled enabled pairs.
 
 mod common;
 
 use common::{env_u64, gen_program, has_rmw};
 use ppcmem::bits::Prng;
+use ppcmem::idl::Reg;
 use ppcmem::litmus::harness::{run_one, run_suite, HarnessConfig};
 use ppcmem::litmus::{build_system, library, parse, run_limited};
-use ppcmem::model::{explore_limited, ExploreLimits, ModelParams, SystemState};
+use ppcmem::model::{explore_limited, independent, ExploreLimits, ModelParams, SystemState};
 use std::time::{Duration, Instant};
 
 /// The outcome of one differential run.
@@ -372,4 +380,324 @@ fn harness_reports_expired_deadline_as_inconclusive() {
         "a zero deadline must truncate {OVERSIZED}"
     );
     assert!(!report.conclusive());
+}
+
+// ---- Sleep-set partial-order reduction differential ------------------
+
+/// Explore one generated program with the unreduced sequential engine
+/// and with sleep-set reduction enabled (randomized reduced-engine
+/// worker count and spill bound, so the reduced frontier codec and the
+/// sharded sleep map both get fuzzed), and require the reduction to
+/// reproduce `Outcomes::finals` byte for byte while firing no more
+/// transitions than the unreduced engine.
+fn por_differential_check(seed: u64, budget: usize) -> FuzzOutcome {
+    let prog = gen_program(seed);
+    let test = parse(&prog.source).unwrap_or_else(|e| {
+        panic!(
+            "por seed {seed:#018x}: generated source failed to parse: {e}\n{}",
+            prog.source
+        )
+    });
+    // Independent configuration stream, as in the engine differential.
+    let mut cfg_rng = Prng::seed_from_u64(seed ^ 0x00B5_1EE9_5E75_FFFF);
+    let threads: usize = [1, 2, 3][cfg_rng.gen_range(0..3usize)];
+    // Sometimes bound the resident frontier so reduced-mode frames
+    // (sleep and wake sets included) round-trip through the spill codec.
+    let max_resident: usize = [0, 0, 64][cfg_rng.gen_range(0..3usize)];
+    let rmw = has_rmw(&prog);
+    let spurious = rmw && cfg_rng.gen_range(0..4u32) == 0;
+
+    let params = ModelParams {
+        allow_spurious_stcx_failure: spurious,
+        ..ModelParams::default()
+    };
+    let state = build_system(&test, &params);
+    let mem_obs: Vec<(u64, usize)> = test.locations.values().map(|&a| (a, 4)).collect();
+
+    let full = explore_limited(
+        &state,
+        &prog.reg_obs,
+        &mem_obs,
+        &ExploreLimits {
+            threads: 1,
+            max_states: budget,
+            deadline: None,
+        },
+    );
+    if full.stats.truncated {
+        return FuzzOutcome::Skipped;
+    }
+
+    let red_params = ModelParams {
+        sleep_sets: true,
+        max_resident_states: max_resident,
+        allow_spurious_stcx_failure: spurious,
+        ..ModelParams::default()
+    };
+    let red_state = build_system(&test, &red_params);
+    // Reduced-mode *expansions* can exceed the distinct-state count
+    // (wake-up re-visits are counted), so only the unreduced reference
+    // decides skipping; the reduced run gets headroom.
+    let red = explore_limited(
+        &red_state,
+        &prog.reg_obs,
+        &mem_obs,
+        &ExploreLimits {
+            threads,
+            max_states: budget.saturating_mul(4),
+            deadline: None,
+        },
+    );
+
+    let context = || {
+        format!(
+            "por seed {seed:#018x} ({threads} reduced workers, max resident {max_resident}, \
+             spurious stcx {spurious})\n\
+             replay: ORACLE_POR_SEED={seed:#x} ORACLE_POR_PROGRAMS=1 \
+             cargo test --release --test oracle_fuzz por_reduced\n{}",
+            prog.source
+        )
+    };
+    assert!(
+        !red.stats.truncated,
+        "reduced engine truncated where the unreduced reference did not\n{}",
+        context()
+    );
+    // Each (state, transition) edge fires at most once under sleep sets
+    // (wake-up re-visits only fire previously-slept members), so the
+    // reduced transition count can never exceed the unreduced one.
+    assert!(
+        red.stats.transitions <= full.stats.transitions,
+        "reduction fired more transitions ({} vs {})\n{}",
+        red.stats.transitions,
+        full.stats.transitions,
+        context()
+    );
+    assert!(
+        full.finals == red.finals,
+        "sleep-set reduction changed the finals (unreduced {} vs reduced {})\n{}",
+        full.finals.len(),
+        red.finals.len(),
+        context()
+    );
+    FuzzOutcome::Checked { rmw }
+}
+
+#[test]
+fn por_reduced_matches_unreduced_finals() {
+    let programs = env_u64("ORACLE_POR_PROGRAMS", 100) as usize;
+    // Disjoint seed base from the engine sweep, so the two differentials
+    // cover different program ranges in the same CI run.
+    let base = env_u64("ORACLE_POR_SEED", 0x5EE9_5E75_0DD5_EED5);
+    let budget = env_u64("ORACLE_POR_BUDGET", 10_000) as usize;
+
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    let mut rmw_checked = 0usize;
+    for i in 0..programs {
+        let seed = base.wrapping_add(i as u64);
+        let outcome = std::panic::catch_unwind(|| por_differential_check(seed, budget))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("(non-string panic payload)");
+                panic!(
+                    "por seed {seed:#018x} panicked\n\
+                         replay: ORACLE_POR_SEED={seed:#x} ORACLE_POR_PROGRAMS=1 \
+                         cargo test --release --test oracle_fuzz por_reduced\n\
+                         {}\npanic: {msg}",
+                    gen_program(seed).source
+                )
+            });
+        match outcome {
+            FuzzOutcome::Checked { rmw } => {
+                checked += 1;
+                rmw_checked += usize::from(rmw);
+            }
+            FuzzOutcome::Skipped => skipped += 1,
+        }
+    }
+    println!(
+        "por fuzz: {checked} programs checked ({rmw_checked} with lwarx/stwcx.), \
+         {skipped} skipped (base seed {base:#x})"
+    );
+    assert!(
+        checked >= programs.div_ceil(2),
+        "only {checked}/{programs} por fuzz programs fit the {budget}-state budget — \
+         shrink the generator shapes or raise the budget"
+    );
+}
+
+/// Walk a bounded random prefix of one generated program, and at every
+/// visited state check that each enabled pair the footprint relation
+/// deems [`independent`] really commutes: each transition leaves the
+/// other enabled, and the two interleavings converge on the *same*
+/// successor state. This ties the conservative component-mask relation
+/// to the semantic property the sleep-set soundness argument needs.
+/// Returns how many independent pairs were checked.
+fn por_commutation_check(seed: u64, max_pairs: usize) -> usize {
+    let prog = gen_program(seed);
+    let test = parse(&prog.source).unwrap_or_else(|e| {
+        panic!(
+            "por seed {seed:#018x}: generated source failed to parse: {e}\n{}",
+            prog.source
+        )
+    });
+    let mut rng = Prng::seed_from_u64(seed ^ 0xC033_07E5_0000_0000);
+    let mut state = build_system(&test, &ModelParams::default());
+    let mut pairs = 0usize;
+    for step in 0..12 {
+        let ts = state.enumerate_transitions();
+        if ts.is_empty() {
+            break;
+        }
+        'pairs: for i in 0..ts.len() {
+            for j in (i + 1)..ts.len() {
+                let (a, b) = (&ts[i], &ts[j]);
+                if !independent(&state, a, b) {
+                    continue;
+                }
+                let sa = state.apply(a);
+                let sb = state.apply(b);
+                assert!(
+                    sa.enumerate_transitions().contains(b),
+                    "por seed {seed:#018x} step {step}: {b:?} claimed independent of \
+                     {a:?} but is disabled after it\n{}",
+                    prog.source
+                );
+                assert!(
+                    sb.enumerate_transitions().contains(a),
+                    "por seed {seed:#018x} step {step}: {a:?} claimed independent of \
+                     {b:?} but is disabled after it\n{}",
+                    prog.source
+                );
+                assert!(
+                    sa.apply(b) == sb.apply(a),
+                    "por seed {seed:#018x} step {step}: independent pair does not \
+                     commute ({a:?} vs {b:?})\n{}",
+                    prog.source
+                );
+                pairs += 1;
+                if pairs >= max_pairs {
+                    break 'pairs;
+                }
+            }
+        }
+        let pick = rng.gen_range(0..ts.len() as u32) as usize;
+        state = state.apply(&ts[pick]);
+    }
+    pairs
+}
+
+#[test]
+fn por_independent_pairs_commute() {
+    let programs = env_u64("ORACLE_POR_COMMUTE_PROGRAMS", 40) as usize;
+    // Offset from the finals sweep so the two por tests see different
+    // programs too.
+    let base = env_u64("ORACLE_POR_SEED", 0x5EE9_5E75_0DD5_EED5) ^ 0x00FF_0000_0000_0000;
+    let mut total = 0usize;
+    for i in 0..programs {
+        let seed = base.wrapping_add(i as u64);
+        total += por_commutation_check(seed, 16);
+    }
+    println!("por commutation: {total} independent pairs checked across {programs} programs");
+    // If the relation stops finding independent pairs the reduction is
+    // silently vacuous (sleep sets would never prune anything).
+    assert!(
+        total >= programs,
+        "only {total} independent pairs in {programs} programs — \
+         the independence relation has gone vacuous"
+    );
+}
+
+/// The reduction on real library tests: a small/medium slice (the full
+/// 30-test sweep runs via `conformance --reduced` in CI) must keep the
+/// verdict — final-state count, witness, quantified condition — exactly,
+/// while firing no more transitions than the unreduced engine.
+#[test]
+fn por_reduced_library_slice_keeps_verdicts() {
+    const SLICE: &[&str] = &[
+        "CoWW",
+        "CoRR",
+        "SB",
+        "MP",
+        "LB",
+        "MP+syncs",
+        "MP+sync+addr",
+        "MP+sync+ctrl",
+    ];
+    let limits = ExploreLimits {
+        threads: 1,
+        max_states: ModelParams::DEFAULT_MAX_STATES,
+        deadline: None,
+    };
+    for name in SLICE {
+        let e = library()
+            .into_iter()
+            .find(|e| e.name == *name)
+            .unwrap_or_else(|| panic!("{name} in library"));
+        let test = parse(e.source).expect("library parses");
+        let full = run_limited(&test, &ModelParams::default(), &limits);
+        let red_params = ModelParams {
+            sleep_sets: true,
+            ..ModelParams::default()
+        };
+        let red = run_limited(&test, &red_params, &limits);
+        assert!(
+            !full.stats.truncated && !red.stats.truncated,
+            "{name}: library slice must fit the default budget"
+        );
+        assert_eq!(
+            (full.finals, full.witnessed, full.holds),
+            (red.finals, red.witnessed, red.holds),
+            "{name}: sleep-set reduction changed the verdict"
+        );
+        assert!(
+            red.stats.transitions <= full.stats.transitions,
+            "{name}: reduction fired more transitions ({} vs {})",
+            red.stats.transitions,
+            full.stats.transitions
+        );
+    }
+}
+
+/// Byte-identical finals on a library test, through the same observation
+/// extraction the harness uses — not just counts. `MP+syncs` is the
+/// largest Forbidden slice member, so agreement is over the full
+/// reachable envelope (no early witness can mask a divergence).
+#[test]
+fn por_reduced_library_finals_byte_identical() {
+    let e = library()
+        .into_iter()
+        .find(|e| e.name == "MP+syncs")
+        .expect("MP+syncs in library");
+    let test = parse(e.source).expect("library parses");
+    let mut regs = Vec::new();
+    test.cond.expr.reg_atoms(&mut regs);
+    regs.sort_unstable();
+    regs.dedup();
+    let reg_obs: Vec<(usize, Reg)> = regs.into_iter().map(|(t, g)| (t, Reg::Gpr(g))).collect();
+    let mem_obs: Vec<(u64, usize)> = test.locations.values().map(|&a| (a, 4)).collect();
+    let limits = ExploreLimits {
+        threads: 1,
+        max_states: ModelParams::DEFAULT_MAX_STATES,
+        deadline: None,
+    };
+    let full_state = build_system(&test, &ModelParams::default());
+    let full = explore_limited(&full_state, &reg_obs, &mem_obs, &limits);
+    let red_params = ModelParams {
+        sleep_sets: true,
+        ..ModelParams::default()
+    };
+    let red_state = build_system(&test, &red_params);
+    let red = explore_limited(&red_state, &reg_obs, &mem_obs, &limits);
+    assert!(!full.stats.truncated && !red.stats.truncated);
+    assert!(
+        full.finals == red.finals,
+        "MP+syncs: reduced finals diverged (unreduced {} vs reduced {})",
+        full.finals.len(),
+        red.finals.len()
+    );
 }

@@ -198,3 +198,216 @@ fn partial_overlap_restart_envelope_is_sequentially_consistent() {
         fin.mem[&X]
     );
 }
+
+// ---- Mixed-size partial-overlap forwarding ---------------------------
+//
+// The tests above pin a *byte* store overlapping a *word* read. The
+// corpus below walks the other mixed-size shapes — byte/halfword stores
+// overlapping halfword/word reads, and byte reads carved out of a word
+// store — again single-threaded, so the entire architectural envelope
+// must collapse to the one SC outcome from the seqref golden machine.
+
+/// Parse a straight-line program.
+fn asm(srcs: &[&str]) -> Vec<ppcmem::isa::Instruction> {
+    srcs.iter()
+        .map(|s| ppcmem::isa::parse_asm(s).expect("pinned asm parses"))
+        .collect()
+}
+
+/// Initial model state for `instrs` with the standard register file and
+/// word-sized locations X and Y (`y_init` seeds the word at Y).
+fn state_for(instrs: Vec<ppcmem::isa::Instruction>, y_init: u32) -> SystemState {
+    let program = Arc::new(Program::from_threads(&[(ENTRY, instrs)]));
+    SystemState::new(
+        program,
+        vec![(init_regs(), ENTRY)],
+        &[(X, Bv::zeros(32)), (Y, Bv::from_u64(u64::from(y_init), 32))],
+        ModelParams::default(),
+    )
+}
+
+/// SC golden outcome for `instrs` under the same initial state.
+fn golden_for(instrs: &[ppcmem::isa::Instruction], y_init: u32) -> ppcmem::seqref::MachineState {
+    let mut m = SeqMachine::from_instrs(instrs, ENTRY);
+    m.state.regs.extend(init_regs());
+    for (i, byte) in y_init.to_be_bytes().into_iter().enumerate() {
+        m.state
+            .mem
+            .insert(Y + i as u64, Bv::from_u64(u64::from(byte), 8));
+    }
+    m.run(100).expect("golden run terminates");
+    m.state
+}
+
+/// Explore the full envelope of a single-threaded program and require
+/// exactly the SC outcome on the observed registers and the word at X.
+fn assert_sc_envelope(
+    instrs: Vec<ppcmem::isa::Instruction>,
+    y_init: u32,
+    obs_regs: &[Reg],
+    what: &str,
+) {
+    let initial = state_for(instrs.clone(), y_init);
+    let reg_obs: Vec<(usize, Reg)> = obs_regs.iter().map(|&r| (0usize, r)).collect();
+    let mem_obs = [(X, 4usize)];
+    let out = explore(&initial, &reg_obs, &mem_obs);
+    assert!(!out.stats.truncated, "{what}: tiny test must not truncate");
+    assert_eq!(
+        out.finals.len(),
+        1,
+        "{what}: single-threaded program must have exactly the SC outcome, got: {:?}",
+        out.finals
+    );
+    let fin = out.finals.iter().next().expect("one final");
+    let gold = golden_for(&instrs, y_init);
+    for &r in obs_regs {
+        assert!(
+            gold.reg(r).compatible(&fin.regs[&(0, r)]),
+            "{what}: register {r} diverged from SC: golden {} vs model {:?}",
+            gold.reg(r),
+            fin.regs[&(0, r)]
+        );
+    }
+    let mut gold_word = Bv::empty();
+    for b in X..X + 4 {
+        gold_word = gold_word.concat(&gold.byte(b));
+    }
+    assert!(
+        gold_word.compatible(&fin.mem[&X]),
+        "{what}: memory at X: golden {gold_word} vs model {}",
+        fin.mem[&X]
+    );
+}
+
+/// Byte store into a word, then halfword/byte reads carved across both
+/// writes: `lhz` overlaps the `stw` *and* the `stb`, the `lbz`s pick out
+/// the overwritten and untouched bytes.
+#[test]
+fn mixed_size_byte_into_word_envelope_is_sequentially_consistent() {
+    assert_sc_envelope(
+        asm(&[
+            "li r4,0x1234",
+            "stw r4,0(r2)", // word at X: 00 00 12 34
+            "stb r6,1(r2)", // byte at X+1: 55
+            "lhz r5,0(r2)", // halfword [X,X+2) — spans both stores
+            "lbz r7,1(r2)", // the stb byte
+            "lbz r8,3(r2)", // an stw-only byte
+        ]),
+        0,
+        &[Reg::Gpr(5), Reg::Gpr(7), Reg::Gpr(8)],
+        "byte-into-word",
+    );
+}
+
+/// Halfword store into a word read: `sth` overwrites the top half of
+/// the `stw` word, the `lwz` must stitch its value from both stores.
+#[test]
+fn mixed_size_halfword_into_word_envelope_is_sequentially_consistent() {
+    assert_sc_envelope(
+        asm(&[
+            "li r4,0x1234",
+            "stw r4,0(r2)", // word at X: 00 00 12 34
+            "sth r6,0(r2)", // halfword [X,X+2): 00 55
+            "lwz r5,0(r2)", // word — spans both stores
+            "lhz r7,2(r2)", // the untouched stw half
+        ]),
+        0,
+        &[Reg::Gpr(5), Reg::Gpr(7)],
+        "halfword-into-word",
+    );
+}
+
+/// The pinned *pending-footprint* mixed-size program: a halfword store
+/// forwards to a same-size read while an address-dependent byte store
+/// between them is still undetermined; when it determines it partially
+/// overlaps the forwarded halfword.
+fn pending_byte_into_half_program() -> Vec<ppcmem::isa::Instruction> {
+    asm(&[
+        "li r4,0x1234",  // i0
+        "sth r4,0(r2)",  // i1: W1 = halfword [X,X+2) = 12 34
+        "lwz r5,0(r3)",  // i2: r5 <- Y (= 1), feeds i3's address
+        "stbx r6,r5,r2", // i3: W2 = one byte at X + r5 = X+1
+        "lhz r8,0(r2)",  // i4: halfword [X,X+2) — W1 fully, W2 partially
+    ])
+}
+
+/// Drive the halfword variant of the restart scenario mechanically:
+/// forward `lhz` from `sth` past the undetermined `stbx` footprint,
+/// resolve the address, and require the partial-overlap restart — then
+/// run to quiescence and compare with SC.
+#[test]
+fn mixed_size_halfword_forward_restarts_when_byte_write_determines() {
+    let mut state = state_for(pending_byte_into_half_program(), 1);
+
+    loop {
+        let ts = state.enumerate_transitions();
+        let Some(fetch) = ts
+            .iter()
+            .find(|t| matches!(t, Transition::Thread(ThreadTransition::Fetch { .. })))
+        else {
+            break;
+        };
+        state = state.apply(fetch);
+    }
+    let i1 = instance_at(&state, ENTRY + 4); // sth
+    let i2 = instance_at(&state, ENTRY + 8); // lwz r5
+    let i4 = instance_at(&state, ENTRY + 16); // lhz r8
+
+    let forward = state
+        .enumerate_transitions()
+        .into_iter()
+        .find(|t| {
+            matches!(t, Transition::Thread(ThreadTransition::SatisfyReadForward { ioid, from, .. })
+                if *ioid == i4 && *from == i1)
+        })
+        .expect("halfword forwarding past an undetermined byte-store footprint is enabled");
+    state = state.apply(&forward);
+    assert_eq!(
+        state.threads[0].instances[i4].mem_reads.len(),
+        1,
+        "halfword read satisfied by forwarding"
+    );
+
+    let resolve = state
+        .enumerate_transitions()
+        .into_iter()
+        .find(|t| {
+            matches!(t, Transition::Thread(ThreadTransition::SatisfyReadStorage { ioid, .. })
+                if *ioid == i2)
+        })
+        .expect("address-feeding load can satisfy from storage");
+    state = state.apply(&resolve);
+    let i3 = instance_at(&state, ENTRY + 12); // stbx
+    assert_eq!(
+        state.threads[0].instances[i3].mem_writes.len(),
+        1,
+        "stbx write is now determined and recorded"
+    );
+    assert!(
+        state.threads[0].instances[i4].mem_reads.is_empty(),
+        "byte-into-halfword forwarded read must be restarted when the skipped \
+         write determines"
+    );
+
+    let (fin, _) = run_sequential(&state, 10_000);
+    let gold = golden_for(&pending_byte_into_half_program(), 1);
+    for r in [Reg::Gpr(5), Reg::Gpr(8)] {
+        assert!(
+            gold.reg(r).compatible(&fin.threads[0].final_reg(r)),
+            "register {r} diverged from SC after restart: golden {} vs model {}",
+            gold.reg(r),
+            fin.threads[0].final_reg(r)
+        );
+    }
+}
+
+/// Exhaustive envelope for the pending-footprint halfword program.
+#[test]
+fn mixed_size_halfword_restart_envelope_is_sequentially_consistent() {
+    assert_sc_envelope(
+        pending_byte_into_half_program(),
+        1,
+        &[Reg::Gpr(5), Reg::Gpr(8)],
+        "pending-byte-into-half",
+    );
+}
