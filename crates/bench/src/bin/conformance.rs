@@ -8,14 +8,20 @@
 //! ```text
 //! conformance [--jobs N] [--model-threads N] [--steal-batch N]
 //!             [--max-states N] [--max-resident N] [--timeout-secs S]
-//!             [--context-bound N] [--reduced] [--json PATH]
-//!             [--library-only] [--paper-only] [--quiet]
+//!             [--context-bound N] [--reduced] [--distributed N]
+//!             [--json PATH] [--library-only] [--paper-only] [--quiet]
 //! ```
 //!
 //! `--max-resident N` bounds each exploration's in-memory frontier to N
 //! decoded states (overflow spills to temp files through the canonical
 //! state codec; `0` = unlimited), so total frontier memory is bounded by
 //! `jobs × N × sizeof(state)` however big the state spaces get.
+//!
+//! `--distributed N` runs each exploration on N worker *processes*
+//! (digest-partitioned visited set, shard-routed frontier batches —
+//! `crates/model/src/distrib.rs`); the binary re-executes itself as
+//! the workers. Verdicts and counts are byte-identical to the
+//! in-process engines, so the exit policy is unchanged.
 //!
 //! `--reduced` turns on sleep-set partial-order reduction: the same
 //! final-state verdicts (the POR differential pins this), fewer explored
@@ -47,6 +53,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-resident",
     "--timeout-secs",
     "--context-bound",
+    "--distributed",
     "--json",
 ];
 /// Boolean flags.
@@ -54,10 +61,13 @@ const BOOL_FLAGS: &[&str] = &["--reduced", "--library-only", "--paper-only", "--
 
 const USAGE: &str = "conformance [--jobs N] [--model-threads N] [--steal-batch N] \
      [--max-states N] [--max-resident N] [--timeout-secs S] [--context-bound N] \
-     [--reduced] [--json PATH] [--library-only] [--paper-only] [--quiet]";
+     [--reduced] [--distributed N] [--json PATH] [--library-only] [--paper-only] [--quiet]";
 
 #[allow(clippy::too_many_lines)]
 fn main() {
+    // Under --distributed this binary re-executes itself as the worker
+    // processes; a worker never returns from here.
+    ppc_litmus::maybe_run_worker();
     let args: Vec<String> = std::env::args().skip(1).collect();
     check_flags("conformance", &args, VALUE_FLAGS, BOOL_FLAGS, USAGE);
     let jobs: usize = parse_arg("conformance", &args, "--jobs", 0);
@@ -72,6 +82,7 @@ fn main() {
     let max_resident: usize = parse_arg("conformance", &args, "--max-resident", 0);
     let timeout_secs: u64 = parse_arg("conformance", &args, "--timeout-secs", 0);
     let context_bound: usize = parse_nonzero_arg("conformance", &args, "--context-bound", 0);
+    let distributed: usize = parse_arg("conformance", &args, "--distributed", 0);
     let reduced = args.iter().any(|a| a == "--reduced");
     let json_path = arg_value(&args, "--json");
     let quiet = args.iter().any(|a| a == "--quiet");
@@ -102,11 +113,12 @@ fn main() {
         } else {
             Some(Duration::from_secs(timeout_secs))
         },
+        distributed,
     };
 
     eprintln!(
         "conformance: {} tests, {} jobs × {} model threads (budgeted from {} requested), \
-         {} state budget{}{}{}{}",
+         {} state budget{}{}{}{}{}",
         entries.len(),
         cfg.pool_size(entries.len()),
         cfg.inner_threads_for(cfg.pool_size(entries.len())),
@@ -122,6 +134,11 @@ fn main() {
             String::new()
         } else {
             format!(", context bound {context_bound} (approximate tier)")
+        },
+        if distributed == 0 {
+            String::new()
+        } else {
+            format!(", {distributed} distributed worker processes")
         },
         cfg.timeout_per_test
             .map(|t| format!(", {}s timeout", t.as_secs()))

@@ -16,10 +16,19 @@
 //! (an approximation: the engines may legitimately disagree, so the
 //! cross-check is skipped and rows are labelled). For contrast it also
 //! shows the per-test cost of a sequential run.
+//!
+//! `--distributed N` swaps the in-process parallel engine for the
+//! multi-process distributed oracle (N forked workers, each owning a
+//! digest-prefix shard of the visited set; `crates/model/src/distrib.rs`),
+//! cross-checked against the sequential engine under the same rules.
+//! `--checkpoint PATH` makes each distributed exploration resumable:
+//! a budget/deadline pause writes `PATH.<test>`, and a rerun picks up
+//! where it stopped (the file is deleted on completion).
 
-use bench::args::{check_flags, parse_arg, parse_nonzero_arg};
+use bench::args::{arg_value, check_flags, parse_arg, parse_nonzero_arg};
+use ppc_litmus::distrib::{run_source_distributed, DistribConfig};
 use ppc_litmus::{library, parse, run_limited};
-use ppc_model::{run_sequential, ExploreLimits, ModelParams};
+use ppc_model::{resolve_threads, run_sequential, ExploreLimits, ModelParams};
 use std::time::Instant;
 
 /// Flags taking a value (the next argument is consumed).
@@ -28,12 +37,14 @@ const VALUE_FLAGS: &[&str] = &[
     "--steal-batch",
     "--max-resident",
     "--context-bound",
+    "--distributed",
+    "--checkpoint",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &["--reduced"];
 
-const USAGE: &str =
-    "statespace [--threads N] [--steal-batch N] [--max-resident N] [--context-bound N] [--reduced]";
+const USAGE: &str = "statespace [--threads N] [--steal-batch N] [--max-resident N] \
+     [--context-bound N] [--reduced] [--distributed N] [--checkpoint PATH]";
 
 /// The ladder of representative tests, roughly by state-space size.
 pub const LADDER: &[&str] = &[
@@ -53,12 +64,21 @@ pub const LADDER: &[&str] = &[
 ];
 
 fn main() {
+    // Under --distributed this binary re-executes itself as the worker
+    // processes; a worker never returns from here.
+    ppc_litmus::maybe_run_worker();
     let args: Vec<String> = std::env::args().skip(1).collect();
     check_flags("statespace", &args, VALUE_FLAGS, BOOL_FLAGS, USAGE);
-    let threads: usize = parse_arg("statespace", &args, "--threads", 4);
+    // The default worker count is clamped to the machine (matching
+    // `HarnessConfig::inner_threads_for`): 4 time-sliced workers on a
+    // 1-CPU host only measure scheduler churn. An explicit --threads is
+    // honoured as requested.
+    let threads: usize = parse_arg("statespace", &args, "--threads", 4.min(resolve_threads(0)));
     let steal_batch: usize = parse_nonzero_arg("statespace", &args, "--steal-batch", 0);
     let max_resident: usize = parse_arg("statespace", &args, "--max-resident", 0);
     let context_bound: usize = parse_nonzero_arg("statespace", &args, "--context-bound", 0);
+    let distributed: usize = parse_arg("statespace", &args, "--distributed", 0);
+    let checkpoint = arg_value(&args, "--checkpoint");
     let reduced = args.iter().any(|a| a == "--reduced");
 
     let params = ModelParams {
@@ -68,6 +88,15 @@ fn main() {
         max_context_switches: context_bound,
         ..ModelParams::default()
     };
+    if distributed != 0 {
+        println!(
+            "distributed engine: {distributed} worker processes, digest-prefix sharded visited set{}",
+            checkpoint
+                .as_deref()
+                .map(|p| format!(", checkpointing to {p}.<test>"))
+                .unwrap_or_default()
+        );
+    }
     println!(
         "parallel engine: work-stealing, {threads} workers, steal batch {}{}{}{}",
         params.effective_steal_batch(),
@@ -90,7 +119,11 @@ fn main() {
         "transitions",
         "finals",
         "t1(s)",
-        format!("t{threads}(s)"),
+        if distributed != 0 {
+            format!("d{distributed}(s)")
+        } else {
+            format!("t{threads}(s)")
+        },
         "speedup"
     );
     println!("{}", "-".repeat(84));
@@ -111,12 +144,32 @@ fn main() {
         let r1 = run_limited(&test, &params, &seq);
         let dt1 = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let rn = run_limited(&test, &params, &par);
+        let rn = if distributed != 0 {
+            let dcfg = DistribConfig {
+                workers: distributed,
+                checkpoint: checkpoint
+                    .as_deref()
+                    .map(|p| std::path::PathBuf::from(format!("{p}.{name}"))),
+                ..DistribConfig::default()
+            };
+            let r = run_source_distributed(e.source, &params, &par, &dcfg);
+            if let Some(err) = &r.stats.store_error {
+                eprintln!("{name}: distributed run degraded: {err}");
+            }
+            r
+        } else {
+            run_limited(&test, &params, &par)
+        };
         let dtn = t0.elapsed().as_secs_f64();
         if context_bound != 0 {
             // Bounded exploration is order-dependent (which path first
             // reaches a state fixes its switch budget), so the engines
             // may legitimately disagree — no cross-check.
+        } else if rn.stats.truncated {
+            // A truncated run (budget/deadline pause or a degraded
+            // distributed run) legitimately saw a prefix; the row is
+            // still printed but cannot be cross-checked.
+            eprintln!("{name}: truncated — cross-check skipped");
         } else if reduced {
             // The reduction guarantees identical *finals*; explored
             // state counts are exactly what it shrinks (and the

@@ -55,8 +55,10 @@ pub fn sem_blocks(sem: &Sem) -> Vec<Block> {
 
 /// The index of `block` in `blocks`, preferring pointer identity (the
 /// interpreter only ever pushes clones of AST sub-blocks) with a
-/// content-equality fallback.
-fn block_index(blocks: &[Block], block: &Block) -> usize {
+/// content-equality fallback. Also the control-stack identity
+/// [`InstrState`](crate::InstrState)'s `Hash` uses: the index is
+/// rebuild- and process-stable where the `Arc` pointer is not.
+pub(crate) fn block_index(blocks: &[Block], block: &Block) -> usize {
     if let Some(i) = blocks.iter().position(|b| Arc::ptr_eq(b, block)) {
         return i;
     }

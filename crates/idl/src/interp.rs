@@ -181,29 +181,42 @@ pub struct InstrState {
 const DEFAULT_FUEL: u32 = 100_000;
 
 impl std::hash::Hash for InstrState {
+    /// Process-stable: control-stack blocks are identified by their
+    /// index in the canonical [`crate::sem_blocks`] enumeration, never
+    /// by `Arc` pointer. A pointer is a valid identity proxy within one
+    /// process (semantics are shared via a per-address cache) but
+    /// differs between processes, and the distributed oracle's
+    /// digest-partitioned visited set needs every worker to compute the
+    /// same hash for the same logical state. The semantics itself is
+    /// not hashed at all: within a process `Eq` ties it to the pointer,
+    /// and every digest embedding this hash also hashes the owning
+    /// instruction's address, which identifies the semantics.
     fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
-        (Arc::as_ptr(&self.sem) as usize).hash(h);
         self.env.hash(h);
-        for f in &self.stack {
-            match f {
-                Frame::Block { stmts, idx } => {
-                    0u8.hash(h);
-                    (Arc::as_ptr(stmts) as usize).hash(h);
-                    idx.hash(h);
-                }
-                Frame::Loop {
-                    var,
-                    next,
-                    last,
-                    downto,
-                    body,
-                } => {
-                    1u8.hash(h);
-                    var.hash(h);
-                    next.hash(h);
-                    last.hash(h);
-                    downto.hash(h);
-                    (Arc::as_ptr(body) as usize).hash(h);
+        self.stack.len().hash(h);
+        if !self.stack.is_empty() {
+            let blocks = crate::codec::sem_blocks(&self.sem);
+            for f in &self.stack {
+                match f {
+                    Frame::Block { stmts, idx } => {
+                        0u8.hash(h);
+                        crate::codec::block_index(&blocks, stmts).hash(h);
+                        idx.hash(h);
+                    }
+                    Frame::Loop {
+                        var,
+                        next,
+                        last,
+                        downto,
+                        body,
+                    } => {
+                        1u8.hash(h);
+                        var.hash(h);
+                        next.hash(h);
+                        last.hash(h);
+                        downto.hash(h);
+                        crate::codec::block_index(&blocks, body).hash(h);
+                    }
                 }
             }
         }

@@ -434,3 +434,44 @@ fn clone_is_a_true_snapshot() {
     let mut replay = snap;
     assert!(matches!(replay.step().unwrap(), Outcome::ReadReg { .. }));
 }
+
+/// The digest-partitioned distributed oracle requires `InstrState`'s
+/// hash to be identical across *processes*: a state decoded against a
+/// freshly built (different-allocation, content-equal) semantics must
+/// hash the same as the original. Pointer-based hashing passes every
+/// single-process test and silently breaks exactly this.
+#[test]
+fn instr_state_hash_is_rebuild_stable() {
+    use crate::codec::{decode_instr_state, encode_instr_state, sem_blocks};
+    use ppc_bits::{Reader, Writer};
+    use std::hash::{Hash, Hasher};
+
+    fn fingerprint(st: &InstrState) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        st.hash(&mut h);
+        h.finish()
+    }
+
+    // Two builds of the same semantics: content-equal, disjoint Arcs —
+    // what two worker processes see after parsing the same program.
+    let ours = stw_sem(7, 1, 0);
+    let theirs = stw_sem(7, 1, 0);
+    assert!(!Arc::ptr_eq(&ours, &theirs));
+
+    // Suspend mid-execution so the control stack holds a sub-block
+    // (the `RA == 0` else-branch) and `pending` is live.
+    let mut st = InstrState::new(ours.clone());
+    assert!(matches!(st.step().unwrap(), Outcome::ReadReg { .. }));
+
+    let mut w = Writer::new();
+    encode_instr_state(&mut w, &st, &sem_blocks(&ours));
+    let bytes = w.into_bytes();
+    let rebuilt = decode_instr_state(&mut Reader::new(&bytes), &theirs, &sem_blocks(&theirs))
+        .expect("state decodes against the content-equal semantics");
+
+    assert_eq!(
+        fingerprint(&st),
+        fingerprint(&rebuilt),
+        "InstrState hash must not depend on which process built the semantics"
+    );
+}

@@ -1,0 +1,375 @@
+//! Running litmus tests on the multi-process distributed oracle
+//! ([`ppc_model::distrib`]): job shipping, worker spawning, and the
+//! error folding that turns any infrastructure failure into a
+//! *truncated* (inconclusive) result instead of a panic or a silent
+//! partial pass.
+//!
+//! The coordinator binds a Unix socket in a fresh collision-safe temp
+//! directory, re-executes its own binary N times with
+//! [`SOCKET_ENV`] pointing at the socket, and sends each accepted
+//! connection a job frame: shard index, shard count, the encoded
+//! [`ModelParams`], and the litmus source text. Each worker re-parses
+//! and rebuilds the test locally — the canonical codec's digests are
+//! rebuild-stable, so independently rebuilt workers agree on frame
+//! bytes and shard ownership — and enters
+//! [`ppc_model::distrib::run_worker`].
+//!
+//! Binaries that can be distributed coordinators call
+//! [`maybe_run_worker`] first thing in `main`; test binaries expose a
+//! `distrib_worker_shim` test and spawn themselves with
+//! `["distrib_worker_shim", "--exact"]` as the worker args. Either
+//! way, a process with [`SOCKET_ENV`] set never returns from
+//! [`maybe_run_worker`].
+
+use crate::library::LitmusEntry;
+use crate::run::{build_system, observations, result_from_outcomes, CheckReport, RunResult};
+use crate::test::{Expectation, LitmusTest};
+use ppc_bits::{Reader, Writer};
+use ppc_model::distrib::{
+    self, load_checkpoint, read_blob, write_blob, Checkpoint, CoordinatorConfig, DistribOutcome,
+    WorkerEnv,
+};
+use ppc_model::store::create_unique_temp_dir;
+use ppc_model::{CodecCtx, ExplorationStats, ExploreLimits, Frame, ModelParams, Outcomes};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Environment variable carrying the coordinator's socket path; its
+/// presence turns a process into a distributed worker (see
+/// [`maybe_run_worker`]).
+pub const SOCKET_ENV: &str = "PPCMEM_DISTRIB_SOCKET";
+
+/// How long the coordinator waits for all spawned workers to connect.
+const ACCEPT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Configuration for one distributed exploration.
+#[derive(Clone, Debug, Default)]
+pub struct DistribConfig {
+    /// Worker processes (each owns one digest-prefix shard); `0` is
+    /// treated as `1`.
+    pub workers: usize,
+    /// Checkpoint path: resumed from when it exists, written on a
+    /// graceful budget/deadline stop, deleted on untruncated
+    /// completion.
+    pub checkpoint: Option<PathBuf>,
+    /// Extra argv for the re-executed worker processes (empty for
+    /// binaries that call [`maybe_run_worker`] in `main`; test binaries
+    /// pass `["distrib_worker_shim", "--exact"]`).
+    pub worker_args: Vec<String>,
+    /// Extra environment for the workers — fault injection
+    /// ([`ppc_model::distrib::DIE_AFTER_ENV`]) goes here, per-command,
+    /// never via global `set_var`.
+    pub worker_env: Vec<(String, String)>,
+}
+
+/// If [`SOCKET_ENV`] is set, run this process as a distributed worker
+/// and **exit** (status 0 after a clean Result handoff, 1 on a
+/// transport/parse failure — the coordinator sees the vanished socket
+/// and degrades gracefully either way). A no-op when the variable is
+/// absent.
+pub fn maybe_run_worker() {
+    let Ok(path) = std::env::var(SOCKET_ENV) else {
+        return;
+    };
+    match worker_main(&path) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("ppcmem distributed worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Connect back to the coordinator, receive the job, rebuild the test
+/// locally, and run the worker loop to completion.
+fn worker_main(sock_path: &str) -> io::Result<()> {
+    let mut sock = UnixStream::connect(sock_path)?;
+    let job = read_blob(&mut sock)?;
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let mut r = Reader::new(&job);
+    let parse_job = |r: &mut Reader<'_>| -> Result<(usize, usize, ModelParams, Vec<u8>), ppc_bits::DecodeError> {
+        let shard = r.usizev()?;
+        let n_shards = r.usizev()?;
+        let params = distrib::decode_params(r)?;
+        let n = r.usizev()?;
+        let source = r.bytes(n)?.to_vec();
+        Ok((shard, n_shards, params, source))
+    };
+    let (shard, n_shards, params, source) =
+        parse_job(&mut r).map_err(|e| bad(&format!("corrupt job frame: {e}")))?;
+    let source = String::from_utf8(source).map_err(|_| bad("job source is not UTF-8"))?;
+    let test = crate::parse(&source).map_err(|e| bad(&format!("job source: {e}")))?;
+    let initial = build_system(&test, &params);
+    let (reg_obs, mem_obs) = observations(&test);
+    distrib::run_worker(
+        sock,
+        &WorkerEnv {
+            shard,
+            n_shards,
+            initial: &initial,
+            reg_obs: &reg_obs,
+            mem_obs: &mem_obs,
+        },
+    )
+}
+
+/// FNV-1a over the job identity (source text + encoded params): the
+/// checkpoint fingerprint that stops a resume from silently mixing two
+/// different explorations.
+fn job_digest(source: &str, params: &ModelParams) -> u64 {
+    let mut w = Writer::new();
+    distrib::encode_params(&mut w, params);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in source.as_bytes().iter().chain(w.into_bytes().iter()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Spawn the workers, ship the job, and coordinate the exploration.
+///
+/// # Errors
+///
+/// Infrastructure failures only — socket setup, spawn, worker
+/// connection timeout, or a checkpoint that belongs to a different job.
+/// Exploration-level failures (worker death, store errors) do *not*
+/// error: they come back as a truncated [`DistribOutcome`].
+pub fn explore_distributed(
+    source: &str,
+    test: &LitmusTest,
+    params: &ModelParams,
+    limits: &ExploreLimits,
+    cfg: &DistribConfig,
+) -> io::Result<DistribOutcome> {
+    let n = cfg.workers.max(1);
+    let digest = job_digest(source, params);
+
+    // Resume first: refuse a mismatched checkpoint before any spawn.
+    let resume: Option<Checkpoint> = match &cfg.checkpoint {
+        Some(path) if path.exists() => {
+            let ck = load_checkpoint(path)?;
+            if ck.job_digest != digest {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "checkpoint belongs to a different test/params combination",
+                ));
+            }
+            Some(ck)
+        }
+        _ => None,
+    };
+
+    let dir = create_unique_temp_dir("ppcmem-distrib")?;
+    let sock_path = dir.join("coord.sock");
+    let listener = UnixListener::bind(&sock_path)?;
+    listener.set_nonblocking(true)?;
+
+    let exe = std::env::current_exe()?;
+    let spawn_all = || -> io::Result<Vec<Child>> {
+        (0..n)
+            .map(|_| {
+                let mut cmd = Command::new(&exe);
+                cmd.args(&cfg.worker_args)
+                    .env(SOCKET_ENV, &sock_path)
+                    .stdin(Stdio::null())
+                    // Workers re-execute this binary; its normal stdout
+                    // (test-harness chatter, report tables) would
+                    // corrupt nothing — the protocol runs on the socket
+                    // — but it would interleave garbage into the
+                    // coordinator's own output.
+                    .stdout(Stdio::null());
+                for (k, v) in &cfg.worker_env {
+                    cmd.env(k, v);
+                }
+                cmd.spawn()
+            })
+            .collect()
+    };
+    let mut children: Vec<Child> = match spawn_all() {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(e);
+        }
+    };
+
+    // Accept exactly n connections, watching for workers that die
+    // before connecting (bad exec, immediate fault injection).
+    let mut conns: Vec<UnixStream> = Vec::with_capacity(n);
+    let t0 = Instant::now();
+    let accept_err = loop {
+        match listener.accept() {
+            Ok((s, _)) => {
+                conns.push(s);
+                if conns.len() == n {
+                    break None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if t0.elapsed() > ACCEPT_DEADLINE {
+                    break Some(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "distributed workers failed to connect",
+                    ));
+                }
+                if children
+                    .iter_mut()
+                    .any(|c| c.try_wait().map(|st| st.is_some()).unwrap_or(true))
+                {
+                    break Some(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "a distributed worker died before connecting",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => break Some(e),
+        }
+    };
+    if let Some(e) = accept_err {
+        for c in &mut children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        return Err(e);
+    }
+
+    // Ship the job: shard identity + params + source.
+    let mut job_err = None;
+    for (shard, conn) in conns.iter_mut().enumerate() {
+        conn.set_nonblocking(false)?;
+        let mut w = Writer::new();
+        w.usizev(shard);
+        w.usizev(n);
+        distrib::encode_params(&mut w, params);
+        let src = source.as_bytes();
+        w.usizev(src.len());
+        w.bytes(src);
+        if let Err(e) = write_blob(conn, &w.into_bytes()) {
+            job_err = Some(e);
+            break;
+        }
+    }
+    if let Some(e) = job_err {
+        for c in &mut children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        return Err(e);
+    }
+
+    let initial = build_system(test, params);
+    let ctx = CodecCtx::new(initial.program.clone(), params.clone());
+    let root = Frame::root(initial);
+    let outcome = distrib::coordinate(
+        conns,
+        children,
+        root,
+        &ctx,
+        CoordinatorConfig {
+            limits,
+            checkpoint: cfg.checkpoint.as_deref(),
+            job_digest: digest,
+            resume,
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(outcome)
+}
+
+/// Run a litmus source on the distributed oracle and evaluate its final
+/// condition. Infrastructure failures fold into a truncated
+/// (inconclusive) [`RunResult`] carrying the error in
+/// [`ExplorationStats::store_error`] — callers report them exactly like
+/// a budget truncation, never as a verdict.
+///
+/// # Panics
+///
+/// Panics if `source` fails to parse (callers ship fixed library or
+/// generated sources that already parsed once).
+#[must_use]
+pub fn run_source_distributed(
+    source: &str,
+    params: &ModelParams,
+    limits: &ExploreLimits,
+    cfg: &DistribConfig,
+) -> RunResult {
+    let test = crate::parse(source).expect("distributed source parses");
+    match explore_distributed(source, &test, params, limits, cfg) {
+        Ok(out) => result_from_outcomes(&test, &out.outcomes),
+        Err(e) => RunResult {
+            name: test.name.clone(),
+            finals: 0,
+            witnessed: false,
+            holds: false,
+            stats: ExplorationStats {
+                truncated: true,
+                store_error: Some(format!("distributed setup failed: {e}")),
+                ..ExplorationStats::default()
+            },
+        },
+    }
+}
+
+/// [`crate::run_entry_limited`] on the distributed oracle: run a
+/// library entry across worker processes and compare against its
+/// expectation.
+///
+/// # Panics
+///
+/// Panics if the entry's source fails to parse (library sources are
+/// fixed).
+#[must_use]
+pub fn run_entry_distributed(
+    entry: &LitmusEntry,
+    params: &ModelParams,
+    limits: &ExploreLimits,
+    cfg: &DistribConfig,
+) -> CheckReport {
+    let result = run_source_distributed(entry.source, params, limits, cfg);
+    let model_allows = result.witnessed;
+    let matches = match entry.expect {
+        Expectation::Allowed => model_allows,
+        Expectation::Forbidden => !model_allows,
+    };
+    CheckReport {
+        result,
+        expect: entry.expect,
+        matches,
+    }
+}
+
+/// Raw distributed exploration of a source: the merged [`Outcomes`]
+/// (for byte-identical differential comparison against the in-process
+/// engines), with infrastructure failures folded to a truncated
+/// outcome.
+///
+/// # Panics
+///
+/// Panics if `source` fails to parse.
+#[must_use]
+pub fn outcomes_distributed(
+    source: &str,
+    params: &ModelParams,
+    limits: &ExploreLimits,
+    cfg: &DistribConfig,
+) -> Outcomes {
+    let test = crate::parse(source).expect("distributed source parses");
+    match explore_distributed(source, &test, params, limits, cfg) {
+        Ok(out) => out.outcomes,
+        Err(e) => Outcomes {
+            finals: std::collections::BTreeSet::new(),
+            stats: ExplorationStats {
+                truncated: true,
+                store_error: Some(format!("distributed setup failed: {e}")),
+                ..ExplorationStats::default()
+            },
+        },
+    }
+}

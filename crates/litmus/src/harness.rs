@@ -41,6 +41,12 @@ pub struct HarnessConfig {
     pub jobs: usize,
     /// Per-test wall-clock budget (soft; checked between search rounds).
     pub timeout_per_test: Option<Duration>,
+    /// Worker *processes* per exploration (`0` = in-process engines).
+    /// When non-zero each test runs on the distributed oracle
+    /// ([`crate::distrib`]): the harness binary re-executes itself as
+    /// the workers, so its `main` must call
+    /// [`crate::distrib::maybe_run_worker`] first.
+    pub distributed: usize,
 }
 
 impl HarnessConfig {
@@ -117,6 +123,13 @@ pub struct TestReport {
     /// explicit approximation: like truncation, an unwitnessed verdict
     /// is *inconclusive*, never presented as an exhaustive "Forbidden".
     pub bounded: bool,
+    /// Frontier states that round-tripped through disk (spill-to-disk
+    /// traffic; `0` when `max_resident_states` is unlimited or never
+    /// exceeded).
+    pub spilled: usize,
+    /// Distributed worker processes the exploration ran on (`0` = the
+    /// in-process engines).
+    pub workers: usize,
     /// Wall-clock time for the exploration.
     pub wall: Duration,
 }
@@ -145,12 +158,13 @@ impl TestReport {
     ///
     /// Schema evolution is *additive only*: existing fields keep their
     /// names and order (`resident_peak` was appended in the spill-store
-    /// change, `bounded` in the context-bounding change; everything
+    /// change, `bounded` in the context-bounding change, and
+    /// `spilled`/`workers` in the distributed-oracle change; everything
     /// before `resident_peak` is bit-for-bit the PR 2 schema).
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"name\":{},\"expected\":\"{}\",\"model\":\"{}\",\"match\":{},\"conclusive\":{},\"truncated\":{},\"states\":{},\"transitions\":{},\"finals\":{},\"wall_ms\":{:.3},\"pinned_by\":{},\"resident_peak\":{},\"bounded\":{}}}",
+            "{{\"name\":{},\"expected\":\"{}\",\"model\":\"{}\",\"match\":{},\"conclusive\":{},\"truncated\":{},\"states\":{},\"transitions\":{},\"finals\":{},\"wall_ms\":{:.3},\"pinned_by\":{},\"resident_peak\":{},\"bounded\":{},\"spilled\":{},\"workers\":{}}}",
             json_str(&self.name),
             self.expected,
             self.verdict(),
@@ -164,6 +178,8 @@ impl TestReport {
             json_str(&self.pinned_by),
             self.resident_peak,
             self.bounded,
+            self.spilled,
+            self.workers,
         )
     }
 
@@ -173,7 +189,8 @@ impl TestReport {
     /// Every field of the schema
     /// (`name`/`expected`/`model`/`match`/`conclusive`/`truncated`/
     /// `states`/`transitions`/`finals`/`wall_ms`/`pinned_by`/
-    /// `resident_peak`/`bounded`) must be present, and the redundant
+    /// `resident_peak`/`bounded`/`spilled`/`workers`) must be present,
+    /// and the redundant
     /// `conclusive` field must agree with the value derived from
     /// `truncated`, `bounded`, and `model` — a disagreement means the
     /// producer and consumer have drifted.
@@ -235,6 +252,8 @@ impl TestReport {
             transitions: get_usize("transitions")?,
             resident_peak: get_usize("resident_peak")?,
             bounded: get_bool("bounded")?,
+            spilled: get_usize("spilled")?,
+            workers: get_usize("workers")?,
             wall: Duration::from_secs_f64(wall_ms / 1e3),
         };
         let conclusive = get_bool("conclusive")?;
@@ -501,7 +520,19 @@ fn run_one_with_threads(entry: &LitmusEntry, cfg: &HarnessConfig, threads: usize
         ..ExploreLimits::from_params(&cfg.params)
     };
     let t0 = Instant::now();
-    let check = run_entry_limited(entry, &cfg.params, &limits);
+    let check = if cfg.distributed > 0 {
+        crate::distrib::run_entry_distributed(
+            entry,
+            &cfg.params,
+            &limits,
+            &crate::distrib::DistribConfig {
+                workers: cfg.distributed,
+                ..crate::distrib::DistribConfig::default()
+            },
+        )
+    } else {
+        run_entry_limited(entry, &cfg.params, &limits)
+    };
     let wall = t0.elapsed();
     TestReport {
         name: entry.name.to_owned(),
@@ -515,6 +546,8 @@ fn run_one_with_threads(entry: &LitmusEntry, cfg: &HarnessConfig, threads: usize
         transitions: check.result.stats.transitions,
         resident_peak: check.result.stats.resident_peak,
         bounded: check.result.stats.bounded,
+        spilled: check.result.stats.spilled_states,
+        workers: cfg.distributed,
         wall,
     }
 }

@@ -26,6 +26,7 @@
 //! ```
 
 mod cond;
+pub mod distrib;
 mod families;
 pub mod harness;
 mod library;
@@ -34,12 +35,14 @@ mod run;
 mod test;
 
 pub use cond::{Cond, CondAtom, CondExpr, Quantifier};
+pub use distrib::{maybe_run_worker, run_entry_distributed, run_source_distributed, DistribConfig};
 pub use families::generated_suite;
 pub use harness::{run_suite, HarnessConfig, HarnessReport, TestReport};
 pub use library::{library, paper_section2_suite, LitmusEntry};
 pub use parser::{parse, ParseError};
 pub use run::{
-    build_system, run, run_entry, run_entry_limited, run_limited, CheckReport, RunResult,
+    build_system, observations, run, run_entry, run_entry_limited, run_limited, CheckReport,
+    RunResult,
 };
 pub use test::{Expectation, LitmusTest, ThreadCode};
 

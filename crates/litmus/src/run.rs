@@ -79,6 +79,22 @@ pub fn run(test: &LitmusTest, params: &ModelParams) -> RunResult {
 #[must_use]
 pub fn run_limited(test: &LitmusTest, params: &ModelParams, limits: &ExploreLimits) -> RunResult {
     let state = build_system(test, params);
+    let (reg_obs, mem_obs) = observations(test);
+    let out = explore_limited(&state, &reg_obs, &mem_obs, limits);
+    result_from_outcomes(test, &out)
+}
+
+/// The observation footprint a test's final condition needs: the
+/// queried `(thread, register)` pairs and `(address, width)` memory
+/// locations, each sorted and deduplicated.
+pub type Observations = (Vec<(usize, Reg)>, Vec<(u64, usize)>);
+
+/// The [`Observations`] of a test's final condition. Shared by the
+/// in-process engines and the distributed workers (every process must
+/// observe the *same* footprint or finals could not be merged
+/// byte-identically).
+#[must_use]
+pub fn observations(test: &LitmusTest) -> Observations {
     let mut reg_obs = Vec::new();
     test.cond.expr.reg_atoms(&mut reg_obs);
     reg_obs.sort_unstable();
@@ -89,8 +105,12 @@ pub fn run_limited(test: &LitmusTest, params: &ModelParams, limits: &ExploreLimi
     mem_names.sort_unstable();
     mem_names.dedup();
     let mem_obs: Vec<(u64, usize)> = mem_names.iter().map(|n| (test.locations[n], 4)).collect();
+    (reg_obs, mem_obs)
+}
 
-    let out = explore_limited(&state, &reg_obs, &mem_obs, limits);
+/// Evaluate a test's condition over explored outcomes — the common tail
+/// of [`run_limited`] and the distributed runner.
+pub(crate) fn result_from_outcomes(test: &LitmusTest, out: &ppc_model::Outcomes) -> RunResult {
     let witnessed = out
         .finals
         .iter()
@@ -109,7 +129,7 @@ pub fn run_limited(test: &LitmusTest, params: &ModelParams, limits: &ExploreLimi
         finals: out.finals.len(),
         witnessed,
         holds,
-        stats: out.stats,
+        stats: out.stats.clone(),
     }
 }
 

@@ -196,17 +196,19 @@ fn jsonl_report_round_trips() {
 /// current producer must keep parsing with these exact field names and
 /// meanings. Renaming or dropping any of
 /// name/expected/model/match/conclusive/truncated/states/transitions/
-/// finals/wall_ms/pinned_by/resident_peak/bounded breaks this test — by
+/// finals/wall_ms/pinned_by/resident_peak/bounded/spilled/workers
+/// breaks this test — by
 /// design, since it also breaks every downstream consumer of
 /// `conformance-report.jsonl`. Schema changes are additive only:
-/// `resident_peak` was appended (spill-store change) and `bounded` after
-/// it (context-bounding change); everything before `resident_peak` is
+/// `resident_peak` was appended (spill-store change), `bounded` after
+/// it (context-bounding change), and `spilled`/`workers` after that
+/// (distributed-oracle change); everything before `resident_peak` is
 /// the PR 2 line, fields in the same order.
 #[test]
 fn jsonl_schema_is_stable() {
     use crate::harness::TestReport;
 
-    let frozen = r#"{"name":"MP+sync+\"q\"","expected":"Allowed","model":"Forbidden","match":false,"conclusive":true,"truncated":false,"states":1155,"transitions":3383,"finals":4,"wall_ms":42.125,"pinned_by":"baseline\treordering","resident_peak":96,"bounded":false}"#;
+    let frozen = r#"{"name":"MP+sync+\"q\"","expected":"Allowed","model":"Forbidden","match":false,"conclusive":true,"truncated":false,"states":1155,"transitions":3383,"finals":4,"wall_ms":42.125,"pinned_by":"baseline\treordering","resident_peak":96,"bounded":false,"spilled":31,"workers":2}"#;
     let r = TestReport::from_json_line(frozen).expect("frozen schema line parses");
     assert_eq!(r.name, "MP+sync+\"q\"");
     assert_eq!(r.expected, Expectation::Allowed);
@@ -219,6 +221,8 @@ fn jsonl_schema_is_stable() {
     assert_eq!(r.transitions, 3383);
     assert_eq!(r.finals, 4);
     assert_eq!(r.resident_peak, 96);
+    assert_eq!(r.spilled, 31);
+    assert_eq!(r.workers, 2);
     assert!((r.wall.as_secs_f64() - 0.042_125).abs() < 1e-9);
     assert_eq!(r.pinned_by, "baseline\treordering");
 
@@ -235,6 +239,10 @@ fn jsonl_schema_is_stable() {
     assert!(TestReport::from_json_line(&missing_peak).is_err());
     let missing_bounded = frozen.replace(",\"bounded\":false", "");
     assert!(TestReport::from_json_line(&missing_bounded).is_err());
+    let missing_spilled = frozen.replace(",\"spilled\":31", "");
+    assert!(TestReport::from_json_line(&missing_spilled).is_err());
+    let missing_workers = frozen.replace(",\"workers\":2", "");
+    assert!(TestReport::from_json_line(&missing_workers).is_err());
 }
 
 /// Escaped names survive the full serialise → parse cycle.
@@ -255,6 +263,8 @@ fn jsonl_escaping_round_trips() {
         transitions: 23,
         resident_peak: 5,
         bounded: false,
+        spilled: 0,
+        workers: 0,
         wall: Duration::from_micros(1500),
     };
     let line = original.to_json();
@@ -275,14 +285,11 @@ fn jsonl_escaping_round_trips() {
 fn jsonl_parser_rejects_malformed_lines() {
     use crate::harness::TestReport;
 
-    let good = r#"{"name":"MP","expected":"Allowed","model":"Allowed","match":true,"conclusive":true,"truncated":false,"states":100,"transitions":300,"finals":3,"wall_ms":1.000,"pinned_by":"x","resident_peak":9,"bounded":false}"#;
+    let good = r#"{"name":"MP","expected":"Allowed","model":"Allowed","match":true,"conclusive":true,"truncated":false,"states":100,"transitions":300,"finals":3,"wall_ms":1.000,"pinned_by":"x","resident_peak":9,"bounded":false,"spilled":0,"workers":0}"#;
     assert!(TestReport::from_json_line(good).is_ok());
 
     // A future producer may append fields; unknown keys are ignored.
-    let extended = good.replace(
-        ",\"bounded\":false}",
-        ",\"bounded\":false,\"new_field\":\"v\"}",
-    );
+    let extended = good.replace(",\"workers\":0}", ",\"workers\":0,\"new_field\":\"v\"}");
     assert!(TestReport::from_json_line(&extended).is_ok());
 
     // Duplicate keys: a field-order scan would read the first and mask
@@ -383,6 +390,8 @@ fn bounded_unwitnessed_is_never_conclusive() {
         transitions: 12,
         resident_peak: 3,
         bounded: true,
+        spilled: 0,
+        workers: 0,
         wall: Duration::from_millis(1),
     };
     assert!(

@@ -1,0 +1,1618 @@
+//! Distributed exploration: the visited set partitioned across N worker
+//! *processes* by digest prefix, with successor states shipped between
+//! shards as canonical-codec frame batches and termination detected by a
+//! coordinator-driven two-phase quiescence probe.
+//!
+//! This is ROADMAP item 2, and the reason the canonical state codec
+//! ([`crate::state_codec`]) was specified rebuild-stable: each worker
+//! independently rebuilds the program from source, decodes incoming
+//! frames against its own program cache, and still computes the *same*
+//! structural digests — so "which shard owns this state" is a pure
+//! function of the digest, consistent across every process.
+//!
+//! ## Topology and wire format
+//!
+//! Hub-and-spoke over Unix sockets: the coordinator relays every
+//! worker→worker frame batch, so each process owns exactly one
+//! connection and FIFO ordering per link is guaranteed by the socket.
+//! Both sides run a dedicated reader thread that drains the socket into
+//! an unbounded channel, so neither side ever blocks a write on its
+//! peer's reads (no deadlock by construction).
+//!
+//! Every message is a length-prefixed blob: `[u32 LE length][tag
+//! byte][body]`. A frontier frame on the wire is `[u64 digest][frame
+//! record]` where the record is byte-for-byte the spill-segment record
+//! of [`crate::store`] — switch count, last actor, sleep/wake sets,
+//! then the canonical state bytes. One encoding everywhere a frame
+//! leaves the process: spill file, socket, checkpoint.
+//!
+//! ## Ownership and equivalence
+//!
+//! A successor with digest `d` belongs to shard [`shard_of`]`(d, n)` —
+//! a contiguous prefix range of the top 16 digest bits (safe to carve
+//! up because [`crate::types::DigestHasher`] finishes with a full
+//! avalanche, so the prefix is uniform). Each distinct state is
+//! admitted by exactly one shard's visited set and expanded exactly
+//! once, and [`crate::oracle`]'s `expand` is deterministic — so the
+//! summed state/transition counts and the merged `finals` of an
+//! untruncated distributed run are byte-identical to the single-process
+//! engines', the same argument (and the same differential tests) as for
+//! the work-stealing engine.
+//!
+//! ## Termination wave
+//!
+//! The pending-count detector generalises to messages: the coordinator
+//! tracks `r_out[w]` — Batch frames forwarded to worker `w` — and
+//! probes on channel silence. A probe round is **clean** when every
+//! worker replies idle (empty stack, empty spill, flushed outbox), no
+//! relay happened during the round, and each worker's replied
+//! `received` equals `r_out[w]` (FIFO: the reply counts everything the
+//! coordinator ever sent). A clean round means no frame is in flight
+//! anywhere — a worker's un-relayed Route would have reached the
+//! coordinator before that worker's ProbeReply — and two consecutive
+//! clean rounds are required before `Finish`, belt and braces.
+//!
+//! ## Checkpoint / resume and degradation
+//!
+//! A serialised frontier + visited set *is* a resumable exploration.
+//! On a graceful stop (state budget or deadline) with a checkpoint path
+//! configured, every worker dumps its visited entries, unexpanded
+//! frames, and unflushed outbox; the coordinator adds frames it was
+//! still relaying and writes one atomic (tmp+rename) checkpoint file.
+//! Resume seeds any number of workers — the dump is flat, so the shard
+//! count may change — and continues to byte-identical finals/counts.
+//! If a worker *dies* (socket EOF before its Result), the run degrades
+//! gracefully: remaining workers are stopped, the result is reported
+//! truncated with [`ExplorationStats::store_error`] set, and no
+//! checkpoint is written (the dead worker's frontier is lost, so a
+//! checkpoint would silently drop states).
+
+use crate::oracle::{
+    expand, reduced_admit, ExplorationStats, ExploreLimits, FinalState, Frame, Outcomes, SleepMap,
+};
+use crate::state_codec::{decode_transition, encode_transition, CodecCtx};
+use crate::store::{decode_frame, encode_frame, StateStore, StoreError};
+use crate::system::{SystemState, Transition};
+use crate::types::{ModelParams, ThreadId};
+use ppc_bits::{Bv, DecodeError, Reader, Writer};
+use ppc_idl::codec::{decode_reg, encode_reg};
+use ppc_idl::Reg;
+use std::collections::BTreeSet;
+use std::io::{self, BufReader};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::process::Child;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Frames buffered per destination shard before a Route is sent.
+const ROUTE_BATCH: usize = 64;
+
+/// Visited entries per SeedVisited message during resume seeding.
+const SEED_BATCH: usize = 4096;
+
+/// Expansions between worker Beat messages (the coordinator's view of
+/// budget progress is at most this stale per worker).
+const BEAT_PERIOD: u64 = 128;
+
+/// Channel-silence pacing between termination probes.
+const PROBE_PACE: Duration = Duration::from_millis(5);
+
+/// How long the coordinator waits for worker Results after broadcasting
+/// Stop/Finish before declaring the stragglers dead.
+const WIND_DOWN_GRACE: Duration = Duration::from_secs(30);
+
+/// Hard sanity cap on one wire message (a frame batch of
+/// [`ROUTE_BATCH`] litmus-scale states is orders of magnitude smaller).
+const MAX_BLOB: usize = 256 << 20;
+
+/// Fault-injection env var: abort the worker process after this many
+/// expansions (tests the coordinator's dead-worker degradation).
+pub const DIE_AFTER_ENV: &str = "PPCMEM_DISTRIB_DIE_AFTER";
+/// Fault-injection env var: which shard [`DIE_AFTER_ENV`] applies to
+/// (default `0`).
+pub const DIE_SHARD_ENV: &str = "PPCMEM_DISTRIB_DIE_SHARD";
+
+/// The shard owning a digest among `n`: the top 16 bits scaled into `n`
+/// contiguous prefix ranges. Uniform because the digest hasher's fmix64
+/// finaliser avalanches every input bit into the prefix.
+#[must_use]
+pub fn shard_of(digest: u64, n: usize) -> usize {
+    (((digest >> 48) as usize) * n) >> 16
+}
+
+// ---- length-prefixed blobs ---------------------------------------------
+
+/// Write one `[u32 LE length][payload]` blob and flush.
+pub fn write_blob(w: &mut impl io::Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "blob too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one `[u32 LE length][payload]` blob.
+pub fn read_blob(r: &mut impl io::Read) -> io::Result<Vec<u8>> {
+    let mut lenbuf = [0u8; 4];
+    r.read_exact(&mut lenbuf)?;
+    let n = u32::from_le_bytes(lenbuf) as usize;
+    if n > MAX_BLOB {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized wire message",
+        ));
+    }
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn decode_failed(e: &DecodeError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt message: {e}"))
+}
+
+// ---- wire messages -----------------------------------------------------
+
+/// One frontier frame on the wire or in a checkpoint: the state digest
+/// (computed by the sender; rebuild-stable, so receivers seed their
+/// digest cache from it) plus the spill-record bytes.
+#[derive(Clone, Debug)]
+pub struct FrameRecord {
+    /// The state's structural digest (routing key).
+    pub digest: u64,
+    /// [`crate::store`] frame-record bytes (metadata + canonical state).
+    pub bytes: Vec<u8>,
+}
+
+/// One visited-set entry in a dump/checkpoint: the digest plus, in
+/// reduced mode, the sleep set it was last explored with (empty
+/// unreduced).
+#[derive(Clone, Debug)]
+pub struct VisitedEntry {
+    pub digest: u64,
+    pub sleep: Vec<Transition>,
+}
+
+/// A worker's final report: its share of the statistics and finals,
+/// plus — when a Stop requested one — a dump of its unexplored work.
+#[derive(Debug)]
+pub(crate) struct WorkerResult {
+    pub stats: ExplorationStats,
+    pub finals: BTreeSet<FinalState>,
+    pub dump: Option<WorkerDump>,
+}
+
+/// The resumable remainder of one worker's exploration.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerDump {
+    /// Every digest this shard admitted (hot ∪ cold), with sleep sets
+    /// in reduced mode.
+    pub visited: Vec<VisitedEntry>,
+    /// Admitted-but-unexpanded frames (stack + spilled segments).
+    pub frontier: Vec<FrameRecord>,
+    /// Routed-but-never-admitted candidates (the unflushed outbox);
+    /// these re-enter through normal admission on resume.
+    pub pending: Vec<FrameRecord>,
+}
+
+/// Protocol messages. Coordinator→worker: `Batch`, `SeedVisited`,
+/// `Probe`, `Stop`, `Finish`. Worker→coordinator: `Route`,
+/// `ProbeReply`, `Beat`, `Result`.
+#[derive(Debug)]
+pub(crate) enum Msg {
+    /// Frames for the receiving shard. `preadmitted` marks checkpoint
+    /// frontier frames, which were admitted before the pause (their
+    /// digests are in the seeded visited set) and bypass admission.
+    Batch {
+        preadmitted: bool,
+        frames: Vec<FrameRecord>,
+    },
+    /// Resume seeding: visited entries owned by the receiving shard.
+    SeedVisited { entries: Vec<VisitedEntry> },
+    /// Termination probe; the worker replies with a [`Msg::ProbeReply`]
+    /// carrying the same round number.
+    Probe { round: u64 },
+    /// Stop exploring; reply with a Result, dumping unexplored work iff
+    /// `dump`.
+    Stop { dump: bool },
+    /// Quiescence confirmed; reply with a Result (no dump needed —
+    /// there is nothing left to dump).
+    Finish,
+    /// Worker→coordinator: frames owned by another shard, to relay.
+    Route {
+        dest: usize,
+        frames: Vec<FrameRecord>,
+    },
+    /// Reply to [`Msg::Probe`]: `idle` = empty stack, empty spill,
+    /// flushed outbox; `received` = Batch frames consumed so far.
+    ProbeReply {
+        round: u64,
+        idle: bool,
+        received: u64,
+        expanded: u64,
+    },
+    /// Periodic progress (every [`BEAT_PERIOD`] expansions), feeding
+    /// the coordinator's budget/deadline enforcement.
+    Beat { expanded: u64 },
+    /// The worker's final report; the worker exits after sending it.
+    Result(Box<WorkerResult>),
+}
+
+fn encode_frame_record(w: &mut Writer, rec: &FrameRecord) {
+    w.bytes(&rec.digest.to_le_bytes());
+    w.usizev(rec.bytes.len());
+    w.bytes(&rec.bytes);
+}
+
+fn decode_frame_record(r: &mut Reader<'_>) -> Result<FrameRecord, DecodeError> {
+    let digest = u64::from_le_bytes(r.bytes(8)?.try_into().expect("8 bytes"));
+    let n = r.usizev()?;
+    Ok(FrameRecord {
+        digest,
+        bytes: r.bytes(n)?.to_vec(),
+    })
+}
+
+fn encode_frame_records(w: &mut Writer, recs: &[FrameRecord]) {
+    w.usizev(recs.len());
+    for rec in recs {
+        encode_frame_record(w, rec);
+    }
+}
+
+fn decode_frame_records(r: &mut Reader<'_>) -> Result<Vec<FrameRecord>, DecodeError> {
+    let n = r.usizev()?;
+    let mut out = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        out.push(decode_frame_record(r)?);
+    }
+    Ok(out)
+}
+
+fn encode_visited_entries(w: &mut Writer, entries: &[VisitedEntry]) {
+    w.usizev(entries.len());
+    for e in entries {
+        w.bytes(&e.digest.to_le_bytes());
+        w.usizev(e.sleep.len());
+        for t in &e.sleep {
+            encode_transition(w, t);
+        }
+    }
+}
+
+fn decode_visited_entries(r: &mut Reader<'_>) -> Result<Vec<VisitedEntry>, DecodeError> {
+    let n = r.usizev()?;
+    let mut out = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        let digest = u64::from_le_bytes(r.bytes(8)?.try_into().expect("8 bytes"));
+        let k = r.usizev()?;
+        let mut sleep = Vec::with_capacity(k.min(1024));
+        for _ in 0..k {
+            sleep.push(decode_transition(r)?);
+        }
+        out.push(VisitedEntry { digest, sleep });
+    }
+    Ok(out)
+}
+
+fn encode_stats(w: &mut Writer, s: &ExplorationStats) {
+    w.usizev(s.states);
+    w.usizev(s.transitions);
+    w.usizev(s.final_hits);
+    w.bool(s.truncated);
+    w.usizev(s.resident_peak);
+    w.usizev(s.spilled_states);
+    w.bool(s.bounded);
+    w.option(s.store_error.as_ref(), |w, e| {
+        w.usizev(e.len());
+        w.bytes(e.as_bytes());
+    });
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<ExplorationStats, DecodeError> {
+    Ok(ExplorationStats {
+        states: r.usizev()?,
+        transitions: r.usizev()?,
+        final_hits: r.usizev()?,
+        truncated: r.bool()?,
+        resident_peak: r.usizev()?,
+        spilled_states: r.usizev()?,
+        bounded: r.bool()?,
+        store_error: {
+            r.option(|r| {
+                let n = r.usizev()?;
+                String::from_utf8(r.bytes(n)?.to_vec())
+                    .map_err(|_| DecodeError::Invalid("store_error utf8"))
+            })?
+        },
+    })
+}
+
+fn encode_final(w: &mut Writer, f: &FinalState) {
+    w.usizev(f.regs.len());
+    for (&(tid, reg), v) in &f.regs {
+        w.usizev(tid);
+        encode_reg(w, reg);
+        w.bv(v);
+    }
+    w.usizev(f.mem.len());
+    for (&addr, v) in &f.mem {
+        w.u64v(addr);
+        w.bv(v);
+    }
+}
+
+fn decode_final(r: &mut Reader<'_>) -> Result<FinalState, DecodeError> {
+    let nr = r.usizev()?;
+    let mut regs = std::collections::BTreeMap::new();
+    for _ in 0..nr {
+        let tid: ThreadId = r.usizev()?;
+        let reg: Reg = decode_reg(r)?;
+        let v: Bv = r.bv()?;
+        regs.insert((tid, reg), v);
+    }
+    let nm = r.usizev()?;
+    let mut mem = std::collections::BTreeMap::new();
+    for _ in 0..nm {
+        let addr = r.u64v()?;
+        let v = r.bv()?;
+        mem.insert(addr, v);
+    }
+    Ok(FinalState { regs, mem })
+}
+
+fn encode_finals(w: &mut Writer, finals: &BTreeSet<FinalState>) {
+    w.usizev(finals.len());
+    for f in finals {
+        encode_final(w, f);
+    }
+}
+
+fn decode_finals(r: &mut Reader<'_>) -> Result<BTreeSet<FinalState>, DecodeError> {
+    let n = r.usizev()?;
+    let mut out = BTreeSet::new();
+    for _ in 0..n {
+        out.insert(decode_final(r)?);
+    }
+    Ok(out)
+}
+
+/// Serialise [`ModelParams`] for job shipping (all fields, in
+/// declaration order; additive like every codec in the repo).
+pub fn encode_params(w: &mut Writer, p: &ModelParams) {
+    w.usizev(p.max_instances_per_thread);
+    w.bool(p.coherence_commitments);
+    w.bool(p.allow_spurious_stcx_failure);
+    w.usizev(p.threads);
+    w.usizev(p.max_states);
+    w.usizev(p.steal_batch);
+    w.usizev(p.max_resident_states);
+    w.bool(p.sleep_sets);
+    w.usizev(p.max_context_switches);
+}
+
+/// Inverse of [`encode_params`].
+pub fn decode_params(r: &mut Reader<'_>) -> Result<ModelParams, DecodeError> {
+    Ok(ModelParams {
+        max_instances_per_thread: r.usizev()?,
+        coherence_commitments: r.bool()?,
+        allow_spurious_stcx_failure: r.bool()?,
+        threads: r.usizev()?,
+        max_states: r.usizev()?,
+        steal_batch: r.usizev()?,
+        max_resident_states: r.usizev()?,
+        sleep_sets: r.bool()?,
+        max_context_switches: r.usizev()?,
+    })
+}
+
+fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut w = Writer::new();
+    match msg {
+        Msg::Batch {
+            preadmitted,
+            frames,
+        } => {
+            w.byte(1);
+            w.bool(*preadmitted);
+            encode_frame_records(&mut w, frames);
+        }
+        Msg::SeedVisited { entries } => {
+            w.byte(2);
+            encode_visited_entries(&mut w, entries);
+        }
+        Msg::Probe { round } => {
+            w.byte(3);
+            w.u64v(*round);
+        }
+        Msg::Stop { dump } => {
+            w.byte(4);
+            w.bool(*dump);
+        }
+        Msg::Finish => {
+            w.byte(5);
+        }
+        Msg::Route { dest, frames } => {
+            w.byte(6);
+            w.usizev(*dest);
+            encode_frame_records(&mut w, frames);
+        }
+        Msg::ProbeReply {
+            round,
+            idle,
+            received,
+            expanded,
+        } => {
+            w.byte(7);
+            w.u64v(*round);
+            w.bool(*idle);
+            w.u64v(*received);
+            w.u64v(*expanded);
+        }
+        Msg::Beat { expanded } => {
+            w.byte(8);
+            w.u64v(*expanded);
+        }
+        Msg::Result(res) => {
+            w.byte(9);
+            encode_stats(&mut w, &res.stats);
+            encode_finals(&mut w, &res.finals);
+            w.option(res.dump.as_ref(), |w, d| {
+                encode_visited_entries(w, &d.visited);
+                encode_frame_records(w, &d.frontier);
+                encode_frame_records(w, &d.pending);
+            });
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_msg(bytes: &[u8]) -> Result<Msg, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let msg = match r.byte()? {
+        1 => Msg::Batch {
+            preadmitted: r.bool()?,
+            frames: decode_frame_records(&mut r)?,
+        },
+        2 => Msg::SeedVisited {
+            entries: decode_visited_entries(&mut r)?,
+        },
+        3 => Msg::Probe { round: r.u64v()? },
+        4 => Msg::Stop { dump: r.bool()? },
+        5 => Msg::Finish,
+        6 => Msg::Route {
+            dest: r.usizev()?,
+            frames: decode_frame_records(&mut r)?,
+        },
+        7 => Msg::ProbeReply {
+            round: r.u64v()?,
+            idle: r.bool()?,
+            received: r.u64v()?,
+            expanded: r.u64v()?,
+        },
+        8 => Msg::Beat {
+            expanded: r.u64v()?,
+        },
+        9 => {
+            let stats = decode_stats(&mut r)?;
+            let finals = decode_finals(&mut r)?;
+            let dump = r.option(|r| {
+                Ok(WorkerDump {
+                    visited: decode_visited_entries(r)?,
+                    frontier: decode_frame_records(r)?,
+                    pending: decode_frame_records(r)?,
+                })
+            })?;
+            Msg::Result(Box::new(WorkerResult {
+                stats,
+                finals,
+                dump,
+            }))
+        }
+        tag => return Err(DecodeError::BadTag { what: "Msg", tag }),
+    };
+    if !r.is_exhausted() {
+        return Err(DecodeError::Invalid("trailing bytes after message"));
+    }
+    Ok(msg)
+}
+
+fn write_msg(w: &mut impl io::Write, msg: &Msg) -> io::Result<()> {
+    write_blob(w, &encode_msg(msg))
+}
+
+fn read_msg(r: &mut impl io::Read) -> io::Result<Msg> {
+    let blob = read_blob(r)?;
+    decode_msg(&blob).map_err(|e| decode_failed(&e))
+}
+
+// ---- checkpoint --------------------------------------------------------
+
+const CK_MAGIC: &[u8; 8] = b"PPCMEMCK";
+const CK_VERSION: u8 = 1;
+
+/// A paused exploration: everything needed to resume it with any worker
+/// count (the dump is flat — routing re-derives ownership from the
+/// digests). State bytes inside the frame records are the canonical
+/// codec's, so the file is as rebuild-stable as the codec goldens.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// Fingerprint of the job (test source + params); resume refuses a
+    /// mismatch rather than silently mixing explorations.
+    pub job_digest: u64,
+    /// Statistics accumulated across all paused segments.
+    pub stats: ExplorationStats,
+    /// Finals accumulated so far.
+    pub finals: BTreeSet<FinalState>,
+    /// The merged visited set (digests + reduced-mode sleep sets).
+    pub visited: Vec<VisitedEntry>,
+    /// Admitted-but-unexpanded frames.
+    pub frontier: Vec<FrameRecord>,
+    /// Routed-but-unadmitted candidates (dedup on resume).
+    pub pending: Vec<FrameRecord>,
+}
+
+/// Serialise and atomically write a checkpoint (tmp + rename, so a
+/// crash mid-write can never leave a half checkpoint under the real
+/// name).
+pub fn save_checkpoint(path: &Path, ck: &Checkpoint) -> io::Result<()> {
+    let mut w = Writer::new();
+    w.bytes(CK_MAGIC);
+    w.byte(CK_VERSION);
+    w.bytes(&ck.job_digest.to_le_bytes());
+    encode_stats(&mut w, &ck.stats);
+    encode_finals(&mut w, &ck.finals);
+    encode_visited_entries(&mut w, &ck.visited);
+    encode_frame_records(&mut w, &ck.frontier);
+    encode_frame_records(&mut w, &ck.pending);
+    let tmp = path.with_extension("ck-tmp");
+    std::fs::write(&tmp, w.into_bytes())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Load a checkpoint written by [`save_checkpoint`].
+pub fn load_checkpoint(path: &Path) -> io::Result<Checkpoint> {
+    let bytes = std::fs::read(path)?;
+    let parse = |r: &mut Reader<'_>| -> Result<Checkpoint, DecodeError> {
+        if r.bytes(8)? != CK_MAGIC {
+            return Err(DecodeError::Invalid("not a ppcmem checkpoint"));
+        }
+        let version = r.byte()?;
+        if version != CK_VERSION {
+            return Err(DecodeError::BadTag {
+                what: "checkpoint version",
+                tag: version,
+            });
+        }
+        let job_digest = u64::from_le_bytes(r.bytes(8)?.try_into().expect("8 bytes"));
+        Ok(Checkpoint {
+            job_digest,
+            stats: decode_stats(r)?,
+            finals: decode_finals(r)?,
+            visited: decode_visited_entries(r)?,
+            frontier: decode_frame_records(r)?,
+            pending: decode_frame_records(r)?,
+        })
+    };
+    parse(&mut Reader::new(&bytes)).map_err(|e| decode_failed(&e))
+}
+
+// ---- worker ------------------------------------------------------------
+
+/// What a worker process needs beyond its socket: its shard identity
+/// and the (locally rebuilt) system the frames belong to.
+pub struct WorkerEnv<'a> {
+    /// This worker's shard index in `0..n_shards`.
+    pub shard: usize,
+    /// Total shard/worker count.
+    pub n_shards: usize,
+    /// The locally rebuilt initial state (supplies program, params, and
+    /// the codec context; the root frame itself arrives over the wire).
+    pub initial: &'a SystemState,
+    /// Observed registers, as in [`crate::oracle::explore`].
+    pub reg_obs: &'a [(ThreadId, Reg)],
+    /// Observed memory footprints.
+    pub mem_obs: &'a [(u64, usize)],
+}
+
+/// Run one worker's exploration loop over an established coordinator
+/// connection, until a Stop/Finish message (normal: returns `Ok`) or a
+/// transport failure (returns `Err`; the supervising process should
+/// exit nonzero, which the coordinator reports as a dead worker).
+///
+/// Store failures do *not* return `Err`: the worker reports a truncated
+/// Result with [`ExplorationStats::store_error`] set and exits cleanly
+/// — the exploration degrades to inconclusive, exactly like the
+/// single-process engines.
+pub fn run_worker(sock: UnixStream, env: &WorkerEnv<'_>) -> io::Result<()> {
+    Worker::new(sock, env)?.run()
+}
+
+/// Parse the fault-injection env vars (tests only): abort this worker
+/// after N expansions if its shard matches.
+fn fault_injection(shard: usize) -> Option<u64> {
+    let after: u64 = std::env::var(DIE_AFTER_ENV).ok()?.parse().ok()?;
+    let die_shard: usize = std::env::var(DIE_SHARD_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    (shard == die_shard).then_some(after)
+}
+
+struct Worker<'a> {
+    env: &'a WorkerEnv<'a>,
+    ctx: CodecCtx,
+    store: StateStore,
+    sleep_map: SleepMap,
+    stack: Vec<Frame>,
+    outbox: Vec<Vec<FrameRecord>>,
+    finals: BTreeSet<FinalState>,
+    stats: ExplorationStats,
+    scratch: Vec<Transition>,
+    /// Batch frames consumed (the probe's `received`).
+    received: u64,
+    /// States expanded (the probe/beat progress counter).
+    expanded: u64,
+    sock: UnixStream,
+    rx: mpsc::Receiver<io::Result<Msg>>,
+    die_after: Option<u64>,
+}
+
+impl<'a> Worker<'a> {
+    fn new(sock: UnixStream, env: &'a WorkerEnv<'a>) -> io::Result<Self> {
+        let params = &env.initial.params;
+        let reader_sock = sock.try_clone()?;
+        let (tx, rx) = mpsc::channel::<io::Result<Msg>>();
+        // Reader thread: drains the socket into the channel so the main
+        // loop polls between expansions without blocking (and so the
+        // socket never backs up while this side is busy writing).
+        std::thread::spawn(move || {
+            let mut rd = BufReader::new(reader_sock);
+            loop {
+                match read_msg(&mut rd) {
+                    Ok(m) => {
+                        if tx.send(Ok(m)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        });
+        Ok(Worker {
+            ctx: CodecCtx::new(env.initial.program.clone(), params.clone()),
+            store: StateStore::new(env.initial.program.clone(), params, 1),
+            sleep_map: SleepMap::new(),
+            stack: Vec::new(),
+            outbox: (0..env.n_shards).map(|_| Vec::new()).collect(),
+            finals: BTreeSet::new(),
+            stats: ExplorationStats::default(),
+            scratch: Vec::new(),
+            received: 0,
+            expanded: 0,
+            die_after: fault_injection(env.shard),
+            env,
+            sock,
+            rx,
+        })
+    }
+
+    fn reduce(&self) -> bool {
+        self.env.initial.params.sleep_sets
+    }
+
+    /// Send every buffered outbox batch to the coordinator for relay.
+    fn flush_outbox(&mut self) -> io::Result<()> {
+        for dest in 0..self.outbox.len() {
+            if !self.outbox[dest].is_empty() {
+                let frames = std::mem::take(&mut self.outbox[dest]);
+                write_msg(&mut self.sock, &Msg::Route { dest, frames })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Local-shard admission: the visited-set insertion (unreduced) or
+    /// the sleep-memo admission (reduced), exactly as in the
+    /// single-process engines.
+    fn admit_local(&mut self, digest: u64, frame: &mut Frame) -> Result<bool, StoreError> {
+        if self.reduce() {
+            Ok(
+                match reduced_admit(&mut self.sleep_map, digest, &frame.sleep) {
+                    None => false,
+                    Some(wake) => {
+                        frame.wake = wake;
+                        true
+                    }
+                },
+            )
+        } else {
+            self.store.insert_visited(digest)
+        }
+    }
+
+    /// Report a truncated Result (store failure or corrupt wire frame)
+    /// and end the worker cleanly — never a silent partial pass, never
+    /// a process abort.
+    fn finish_failed(&mut self, what: &str) -> io::Result<()> {
+        self.stats.truncated = true;
+        if self.stats.store_error.is_none() {
+            self.stats.store_error = Some(what.to_string());
+        }
+        self.send_result(None)
+    }
+
+    fn send_result(&mut self, dump: Option<WorkerDump>) -> io::Result<()> {
+        self.stats.resident_peak = self.store.resident_peak();
+        self.stats.spilled_states = self.store.spilled_states();
+        let res = WorkerResult {
+            stats: self.stats.clone(),
+            finals: std::mem::take(&mut self.finals),
+            dump,
+        };
+        write_msg(&mut self.sock, &Msg::Result(Box::new(res)))
+    }
+
+    /// Dump everything unexplored for a checkpoint: visited entries,
+    /// stack + spilled frames, unflushed outbox.
+    fn dump(&mut self) -> Result<WorkerDump, StoreError> {
+        let visited = if self.reduce() {
+            let mut v: Vec<VisitedEntry> = self
+                .sleep_map
+                .iter()
+                .map(|(&digest, sleep)| VisitedEntry {
+                    digest,
+                    sleep: sleep.to_vec(),
+                })
+                .collect();
+            v.sort_unstable_by_key(|e| e.digest);
+            v
+        } else {
+            self.store
+                .visited_snapshot()?
+                .into_iter()
+                .map(|digest| VisitedEntry {
+                    digest,
+                    sleep: Vec::new(),
+                })
+                .collect()
+        };
+        let mut frontier: Vec<FrameRecord> = Vec::with_capacity(self.stack.len());
+        for f in self.stack.drain(..) {
+            frontier.push(FrameRecord {
+                digest: f.state.digest(),
+                bytes: encode_frame(&self.ctx, &f),
+            });
+        }
+        while let Some(seg) = self.store.unspill()? {
+            for f in seg {
+                frontier.push(FrameRecord {
+                    digest: f.state.digest(),
+                    bytes: encode_frame(&self.ctx, &f),
+                });
+            }
+        }
+        let pending: Vec<FrameRecord> = self.outbox.iter_mut().flat_map(std::mem::take).collect();
+        Ok(WorkerDump {
+            visited,
+            frontier,
+            pending,
+        })
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        loop {
+            // Poll for messages between expansions; block (after
+            // flushing buffered routes — they are other shards' work)
+            // when there is nothing local to expand.
+            let idle = self.stack.is_empty() && !self.store.has_spilled_frontier();
+            let msg = if idle {
+                self.flush_outbox()?;
+                match self.rx.recv() {
+                    Ok(m) => Some(m?),
+                    Err(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "coordinator disconnected",
+                        ))
+                    }
+                }
+            } else {
+                match self.rx.try_recv() {
+                    Ok(m) => Some(m?),
+                    Err(mpsc::TryRecvError::Empty) => None,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "coordinator disconnected",
+                        ))
+                    }
+                }
+            };
+            if let Some(msg) = msg {
+                match msg {
+                    Msg::Batch {
+                        preadmitted,
+                        frames,
+                    } => {
+                        self.received += frames.len() as u64;
+                        for rec in frames {
+                            let mut frame = match decode_frame(&self.ctx, &rec.bytes) {
+                                Ok(f) => f,
+                                Err(e) => {
+                                    return self.finish_failed(&format!("corrupt wire frame: {e}"));
+                                }
+                            };
+                            // The sender computed the digest; it is
+                            // rebuild-stable, so seed the cache instead
+                            // of re-hashing.
+                            frame.state.digest.seed(rec.digest);
+                            let admitted = if preadmitted {
+                                // Checkpoint frontier: admitted before
+                                // the pause (its digest is in the seeded
+                                // visited set), so admission would
+                                // wrongly reject it.
+                                true
+                            } else {
+                                match self.admit_local(rec.digest, &mut frame) {
+                                    Ok(a) => a,
+                                    Err(e) => return self.finish_failed(&e.to_string()),
+                                }
+                            };
+                            if admitted {
+                                self.store.note_enqueued(1);
+                                self.stack.push(frame);
+                            }
+                        }
+                    }
+                    Msg::SeedVisited { entries } => {
+                        for e in entries {
+                            if self.reduce() {
+                                self.sleep_map.insert(e.digest, e.sleep.into_boxed_slice());
+                            } else if let Err(err) = self.store.insert_visited(e.digest) {
+                                return self.finish_failed(&err.to_string());
+                            }
+                        }
+                    }
+                    Msg::Probe { round } => {
+                        self.flush_outbox()?;
+                        let idle = self.stack.is_empty() && !self.store.has_spilled_frontier();
+                        let reply = Msg::ProbeReply {
+                            round,
+                            idle,
+                            received: self.received,
+                            expanded: self.expanded,
+                        };
+                        write_msg(&mut self.sock, &reply)?;
+                    }
+                    Msg::Stop { dump } => {
+                        self.stats.truncated = true;
+                        let d = if dump {
+                            match self.dump() {
+                                Ok(d) => Some(d),
+                                Err(e) => return self.finish_failed(&e.to_string()),
+                            }
+                        } else {
+                            None
+                        };
+                        return self.send_result(d);
+                    }
+                    Msg::Finish => {
+                        return self.send_result(None);
+                    }
+                    // Worker→coordinator messages never arrive here.
+                    Msg::Route { .. }
+                    | Msg::ProbeReply { .. }
+                    | Msg::Beat { .. }
+                    | Msg::Result(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "coordinator sent a worker-side message",
+                        ));
+                    }
+                }
+                continue;
+            }
+
+            // No message pending: expand one frame.
+            let frame = match self.stack.pop() {
+                Some(f) => f,
+                None => {
+                    let seg = match self.store.unspill() {
+                        Ok(Some(seg)) => seg,
+                        Ok(None) => continue,
+                        Err(e) => return self.finish_failed(&e.to_string()),
+                    };
+                    self.store.note_enqueued(seg.len());
+                    self.stack.extend(seg);
+                    match self.stack.pop() {
+                        Some(f) => f,
+                        None => continue,
+                    }
+                }
+            };
+            self.store.note_dequeued(1);
+            self.expanded += 1;
+            self.stats.states += 1;
+            if self.die_after.is_some_and(|k| self.expanded >= k) {
+                // Fault injection: die exactly the way a SIGKILL or OOM
+                // kill would — no unwind, no Result message.
+                std::process::abort();
+            }
+            let exp = expand(
+                &frame,
+                self.env.reg_obs,
+                self.env.mem_obs,
+                &mut self.finals,
+                &mut self.scratch,
+            );
+            self.stats.bounded |= exp.bounded_hit;
+            if exp.is_final {
+                self.stats.final_hits += 1;
+            } else {
+                self.stats.transitions += exp.transitions;
+                for mut next in exp.succs {
+                    let digest = next.state.digest();
+                    let owner = shard_of(digest, self.env.n_shards);
+                    if owner == self.env.shard {
+                        let admitted = match self.admit_local(digest, &mut next) {
+                            Ok(a) => a,
+                            Err(e) => return self.finish_failed(&e.to_string()),
+                        };
+                        if admitted {
+                            self.store.note_enqueued(1);
+                            self.stack.push(next);
+                        }
+                    } else {
+                        self.outbox[owner].push(FrameRecord {
+                            digest,
+                            bytes: encode_frame(&self.ctx, &next),
+                        });
+                        if self.outbox[owner].len() >= ROUTE_BATCH {
+                            let frames = std::mem::take(&mut self.outbox[owner]);
+                            write_msg(
+                                &mut self.sock,
+                                &Msg::Route {
+                                    dest: owner,
+                                    frames,
+                                },
+                            )?;
+                        }
+                    }
+                }
+            }
+            // Over the resident budget: spill the oldest states, same
+            // policy as the sequential engine.
+            let budget = self.store.budget();
+            if budget != 0 && self.stack.len() > budget {
+                let excess = self.stack.len() - budget / 2;
+                let victims: Vec<Frame> = self.stack.drain(..excess).collect();
+                if let Err(e) = self.store.spill_batch(&victims) {
+                    return self.finish_failed(&e.to_string());
+                }
+                self.store.note_dequeued(victims.len());
+            }
+            if self.expanded.is_multiple_of(BEAT_PERIOD) {
+                write_msg(
+                    &mut self.sock,
+                    &Msg::Beat {
+                        expanded: self.expanded,
+                    },
+                )?;
+            }
+        }
+    }
+}
+
+// ---- coordinator -------------------------------------------------------
+
+/// What the coordinator hands back: the merged outcome plus the
+/// degradation/checkpoint flags the caller reports.
+#[derive(Debug)]
+pub struct DistribOutcome {
+    pub outcomes: Outcomes,
+    /// At least one worker died before reporting (result truncated).
+    pub worker_died: bool,
+    /// A checkpoint file was written for this pause.
+    pub checkpoint_written: bool,
+}
+
+/// Coordinator-side configuration.
+pub struct CoordinatorConfig<'a> {
+    pub limits: &'a ExploreLimits,
+    /// Write a checkpoint here on a graceful budget/deadline stop (and
+    /// delete it after an untruncated completion).
+    pub checkpoint: Option<&'a Path>,
+    /// Job fingerprint stored in (and verified against) checkpoints.
+    pub job_digest: u64,
+    /// A previously saved checkpoint to resume from, instead of
+    /// starting at the root frame.
+    pub resume: Option<Checkpoint>,
+}
+
+/// The per-worker connection state the coordinator tracks.
+struct Link {
+    sock: UnixStream,
+    /// Batch frames forwarded to this worker (the probe invariant's
+    /// `r_out`).
+    r_out: u64,
+    /// Latest expansion count heard (Beat/ProbeReply/Result).
+    expanded: u64,
+    /// The worker's Result, once received.
+    result: Option<WorkerResult>,
+    /// Socket EOF seen (normal after a Result; fatal before one).
+    gone: bool,
+}
+
+/// An in-flight termination probe round.
+struct ProbeRound {
+    round: u64,
+    /// Per-worker `(idle, received)` replies.
+    replies: Vec<Option<(bool, u64)>>,
+    /// A relay happened during the round — the round cannot be clean.
+    dirty: bool,
+}
+
+/// Drive a distributed exploration over established worker connections.
+///
+/// `children` are the worker processes (killed and reaped on exit —
+/// by the time this returns, no zombies remain). The root frame is
+/// routed to its owning shard unless `cfg.resume` seeds the workers
+/// from a checkpoint instead. All failures degrade to a truncated
+/// outcome with [`ExplorationStats::store_error`] set — this function
+/// never panics on transport errors and never returns a partial result
+/// labelled conclusive.
+pub fn coordinate(
+    conns: Vec<UnixStream>,
+    mut children: Vec<Child>,
+    root: Frame,
+    ctx: &CodecCtx,
+    mut cfg: CoordinatorConfig<'_>,
+) -> DistribOutcome {
+    let n = conns.len();
+    assert!(n >= 1, "at least one worker");
+    let (tx, rx) = mpsc::channel::<(usize, Option<Msg>)>();
+    let mut links: Vec<Link> = Vec::with_capacity(n);
+    for (i, sock) in conns.into_iter().enumerate() {
+        if let Ok(rd) = sock.try_clone() {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut rd = BufReader::new(rd);
+                loop {
+                    match read_msg(&mut rd) {
+                        Ok(m) => {
+                            if tx.send((i, Some(m))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            let _ = tx.send((i, None));
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        links.push(Link {
+            sock,
+            r_out: 0,
+            expanded: 0,
+            result: None,
+            gone: false,
+        });
+    }
+    drop(tx);
+
+    let mut st = Coordinator {
+        links,
+        orphans: Vec::new(),
+        stopping: false,
+        want_dump: false,
+        died: false,
+        truncated: false,
+        probe: None,
+        next_round: 0,
+        clean_rounds: 0,
+        wind_down: None,
+        base_stats: ExplorationStats::default(),
+        base_finals: BTreeSet::new(),
+    };
+
+    // Seed the frontier: checkpoint resume or the root frame.
+    match cfg.resume.take() {
+        Some(ck) => st.seed_resume(ck),
+        None => {
+            let digest = root.state.digest();
+            let rec = FrameRecord {
+                digest,
+                bytes: encode_frame(ctx, &root),
+            };
+            st.send_batch(shard_of(digest, n), false, vec![rec]);
+        }
+    }
+
+    let mut last_probe = Instant::now();
+    loop {
+        if st.done() {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(2)) {
+            Ok((w, Some(msg))) => st.handle(w, msg, cfg.limits),
+            Ok((w, None)) => st.handle_eof(w),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(d) = cfg.limits.deadline {
+                    if !st.stopping && Instant::now() >= d {
+                        st.stop(cfg.checkpoint.is_some());
+                    }
+                }
+                if st.stopping {
+                    if let Some(t0) = st.wind_down {
+                        if t0.elapsed() > WIND_DOWN_GRACE {
+                            // Stragglers are hung or dead; stop waiting.
+                            for link in &mut st.links {
+                                if link.result.is_none() {
+                                    link.gone = true;
+                                    st.died = true;
+                                }
+                            }
+                            break;
+                        }
+                    }
+                } else if st.probe.is_none() && last_probe.elapsed() >= PROBE_PACE {
+                    last_probe = Instant::now();
+                    st.start_probe();
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // All reader threads exited; EOFs were delivered first.
+                break;
+            }
+        }
+    }
+
+    // Reap every worker: normally they have already exited after their
+    // Result; kill covers hung or fault-injected stragglers.
+    for c in &mut children {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+
+    st.finish(&cfg)
+}
+
+struct Coordinator {
+    links: Vec<Link>,
+    /// Frames caught mid-relay after the stop broadcast: no worker will
+    /// consume them, so they go into the checkpoint's pending list.
+    orphans: Vec<FrameRecord>,
+    stopping: bool,
+    want_dump: bool,
+    died: bool,
+    truncated: bool,
+    probe: Option<ProbeRound>,
+    next_round: u64,
+    clean_rounds: u32,
+    /// When the stop/finish broadcast went out (bounds the wait for
+    /// Results).
+    wind_down: Option<Instant>,
+    /// Stats/finals carried in from a resumed checkpoint.
+    base_stats: ExplorationStats,
+    base_finals: BTreeSet<FinalState>,
+}
+
+impl Coordinator {
+    fn n(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Every worker accounted for: Result received or socket gone.
+    fn done(&self) -> bool {
+        self.links.iter().all(|l| l.result.is_some() || l.gone)
+    }
+
+    /// Send to one worker; a failed send means the worker is dead
+    /// (handled like an EOF).
+    fn send(&mut self, w: usize, msg: &Msg) {
+        if self.links[w].gone {
+            return;
+        }
+        if write_msg(&mut self.links[w].sock, msg).is_err() {
+            self.handle_eof(w);
+        }
+    }
+
+    /// Forward a frame batch to its owner, counting it against the
+    /// probe invariant.
+    fn send_batch(&mut self, dest: usize, preadmitted: bool, frames: Vec<FrameRecord>) {
+        if frames.is_empty() {
+            return;
+        }
+        self.links[dest].r_out += frames.len() as u64;
+        self.send(
+            dest,
+            &Msg::Batch {
+                preadmitted,
+                frames,
+            },
+        );
+    }
+
+    /// Seed workers from a checkpoint: visited entries and preadmitted
+    /// frontier frames go to their owners; pending candidates re-enter
+    /// through normal admission.
+    fn seed_resume(&mut self, ck: Checkpoint) {
+        let n = self.n();
+        self.base_stats = ck.stats;
+        // The resumed run decides truncation afresh.
+        self.base_stats.truncated = false;
+        self.base_stats.store_error = None;
+        self.base_finals = ck.finals;
+        let mut by_owner: Vec<Vec<VisitedEntry>> = (0..n).map(|_| Vec::new()).collect();
+        for e in ck.visited {
+            by_owner[shard_of(e.digest, n)].push(e);
+        }
+        for (w, entries) in by_owner.into_iter().enumerate() {
+            for chunk in entries.chunks(SEED_BATCH) {
+                self.send(
+                    w,
+                    &Msg::SeedVisited {
+                        entries: chunk.to_vec(),
+                    },
+                );
+            }
+        }
+        let mut frontier: Vec<Vec<FrameRecord>> = (0..n).map(|_| Vec::new()).collect();
+        for rec in ck.frontier {
+            frontier[shard_of(rec.digest, n)].push(rec);
+        }
+        for (w, recs) in frontier.into_iter().enumerate() {
+            for chunk in recs.chunks(ROUTE_BATCH) {
+                self.send_batch(w, true, chunk.to_vec());
+            }
+        }
+        let mut pending: Vec<Vec<FrameRecord>> = (0..n).map(|_| Vec::new()).collect();
+        for rec in ck.pending {
+            pending[shard_of(rec.digest, n)].push(rec);
+        }
+        for (w, recs) in pending.into_iter().enumerate() {
+            for chunk in recs.chunks(ROUTE_BATCH) {
+                self.send_batch(w, false, chunk.to_vec());
+            }
+        }
+    }
+
+    /// Broadcast Stop: budget/deadline ran out, or a worker failed.
+    fn stop(&mut self, dump: bool) {
+        if self.stopping {
+            return;
+        }
+        self.stopping = true;
+        self.want_dump = dump;
+        self.truncated = true;
+        self.probe = None;
+        self.wind_down = Some(Instant::now());
+        for w in 0..self.n() {
+            self.send(w, &Msg::Stop { dump });
+        }
+    }
+
+    /// Broadcast Finish: quiescence confirmed.
+    fn finish_all(&mut self) {
+        self.stopping = true;
+        self.want_dump = false;
+        self.probe = None;
+        self.wind_down = Some(Instant::now());
+        for w in 0..self.n() {
+            self.send(w, &Msg::Finish);
+        }
+    }
+
+    fn start_probe(&mut self) {
+        self.next_round += 1;
+        let round = self.next_round;
+        self.probe = Some(ProbeRound {
+            round,
+            replies: (0..self.n()).map(|_| None).collect(),
+            dirty: false,
+        });
+        for w in 0..self.n() {
+            self.send(w, &Msg::Probe { round });
+        }
+    }
+
+    /// Total expansions heard of, for budget enforcement.
+    fn total_expanded(&self) -> usize {
+        self.base_stats.states
+            + self
+                .links
+                .iter()
+                .map(|l| l.expanded as usize)
+                .sum::<usize>()
+    }
+
+    fn note_progress(&mut self, limits: &ExploreLimits) {
+        if !self.stopping && self.total_expanded() > limits.max_states {
+            self.stop(true);
+        }
+    }
+
+    fn handle(&mut self, w: usize, msg: Msg, limits: &ExploreLimits) {
+        match msg {
+            Msg::Route { dest, frames } => {
+                if self.stopping {
+                    // No worker will consume these; preserve them for
+                    // the checkpoint's pending list.
+                    self.orphans.extend(frames);
+                } else {
+                    let dest = dest.min(self.n() - 1);
+                    self.clean_rounds = 0;
+                    if let Some(p) = &mut self.probe {
+                        p.dirty = true;
+                    }
+                    self.send_batch(dest, false, frames);
+                }
+            }
+            Msg::Beat { expanded } => {
+                self.links[w].expanded = self.links[w].expanded.max(expanded);
+                self.note_progress(limits);
+            }
+            Msg::ProbeReply {
+                round,
+                idle,
+                received,
+                expanded,
+            } => {
+                self.links[w].expanded = self.links[w].expanded.max(expanded);
+                self.note_progress(limits);
+                if self.stopping {
+                    return;
+                }
+                let complete = match &mut self.probe {
+                    Some(p) if p.round == round => {
+                        p.replies[w] = Some((idle, received));
+                        p.replies.iter().all(Option::is_some)
+                    }
+                    _ => false,
+                };
+                if complete {
+                    let p = self.probe.take().expect("probe is present");
+                    let clean = !p.dirty
+                        && p.replies.iter().enumerate().all(|(i, r)| {
+                            let (idle, received) = r.expect("all replies present");
+                            idle && received == self.links[i].r_out
+                        });
+                    if clean {
+                        self.clean_rounds += 1;
+                        if self.clean_rounds >= 2 {
+                            self.finish_all();
+                        } else {
+                            self.start_probe();
+                        }
+                    } else {
+                        self.clean_rounds = 0;
+                    }
+                }
+            }
+            Msg::Result(res) => {
+                self.links[w].expanded = self.links[w].expanded.max(res.stats.states as u64);
+                let unsolicited = !self.stopping;
+                if res.stats.truncated {
+                    self.truncated = true;
+                }
+                self.links[w].result = Some(*res);
+                if unsolicited {
+                    // A worker bailed on its own (store failure): stop
+                    // the rest. Its dump is absent, so no checkpoint.
+                    self.stop(false);
+                }
+            }
+            // Coordinator→worker messages never arrive here; ignore
+            // rather than kill the run.
+            Msg::Batch { .. }
+            | Msg::SeedVisited { .. }
+            | Msg::Probe { .. }
+            | Msg::Stop { .. }
+            | Msg::Finish => {}
+        }
+    }
+
+    fn handle_eof(&mut self, w: usize) {
+        if self.links[w].gone {
+            return;
+        }
+        self.links[w].gone = true;
+        if self.links[w].result.is_none() {
+            // Died before reporting: degrade gracefully — truncated,
+            // never silent, and no checkpoint (its frontier is lost).
+            self.died = true;
+            self.truncated = true;
+            self.stop(false);
+        }
+    }
+
+    /// Merge results, write/delete the checkpoint, build the outcome.
+    fn finish(mut self, cfg: &CoordinatorConfig<'_>) -> DistribOutcome {
+        let mut stats = self.base_stats.clone();
+        let mut finals = std::mem::take(&mut self.base_finals);
+        for link in &mut self.links {
+            let Some(res) = link.result.take() else {
+                continue;
+            };
+            stats.states += res.stats.states;
+            stats.transitions += res.stats.transitions;
+            stats.final_hits += res.stats.final_hits;
+            stats.resident_peak = stats.resident_peak.max(res.stats.resident_peak);
+            stats.spilled_states += res.stats.spilled_states;
+            stats.bounded |= res.stats.bounded;
+            if stats.store_error.is_none() {
+                stats.store_error = res.stats.store_error.clone();
+            }
+            finals.extend(res.finals);
+            if let Some(dump) = res.dump {
+                self.orphans.extend(dump.pending);
+                // Frontier/visited are merged below only if a
+                // checkpoint is written; stash them back.
+                link.result = Some(WorkerResult {
+                    stats: res.stats,
+                    finals: BTreeSet::new(),
+                    dump: Some(WorkerDump {
+                        visited: dump.visited,
+                        frontier: dump.frontier,
+                        pending: Vec::new(),
+                    }),
+                });
+            }
+        }
+        stats.truncated = self.truncated;
+        if self.died && stats.store_error.is_none() {
+            stats.store_error = Some("distributed worker died mid-exploration".to_string());
+        }
+
+        let mut checkpoint_written = false;
+        if let Some(path) = cfg.checkpoint {
+            let all_dumped = self
+                .links
+                .iter()
+                .all(|l| l.result.as_ref().is_some_and(|r| r.dump.is_some()));
+            if self.truncated && self.want_dump && !self.died && all_dumped {
+                let mut ck = Checkpoint {
+                    job_digest: cfg.job_digest,
+                    stats: stats.clone(),
+                    finals: finals.clone(),
+                    visited: Vec::new(),
+                    frontier: Vec::new(),
+                    pending: std::mem::take(&mut self.orphans),
+                };
+                for link in &mut self.links {
+                    let dump = link
+                        .result
+                        .as_mut()
+                        .and_then(|r| r.dump.take())
+                        .expect("all_dumped checked");
+                    ck.visited.extend(dump.visited);
+                    ck.frontier.extend(dump.frontier);
+                }
+                match save_checkpoint(path, &ck) {
+                    Ok(()) => checkpoint_written = true,
+                    Err(e) => {
+                        if stats.store_error.is_none() {
+                            stats.store_error = Some(format!("checkpoint write failed: {e}"));
+                        }
+                    }
+                }
+            } else if !self.truncated {
+                // Completed: a stale pause file must not resurrect on
+                // the next run.
+                let _ = std::fs::remove_file(path);
+            }
+        }
+
+        DistribOutcome {
+            outcomes: Outcomes { finals, stats },
+            worker_died: self.died,
+            checkpoint_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Prefix routing must cover `0..n` and be monotone in the digest.
+    #[test]
+    fn shard_of_is_a_partition() {
+        for n in 1..=7 {
+            assert_eq!(shard_of(0, n), 0);
+            assert_eq!(shard_of(u64::MAX, n), n - 1);
+            let mut last = 0;
+            for i in 0..1000u64 {
+                let d = i << 54; // walk the top bits
+                let s = shard_of(d, n);
+                assert!(s < n);
+                assert!(s >= last, "monotone in the prefix");
+                last = s;
+            }
+        }
+    }
+
+    /// The message codec round-trips every variant.
+    #[test]
+    fn msg_codec_round_trips() {
+        let rec = FrameRecord {
+            digest: 0xDEAD_BEEF_0BAD_F00D,
+            bytes: vec![1, 2, 3, 4, 5],
+        };
+        let entry = VisitedEntry {
+            digest: 42,
+            sleep: Vec::new(),
+        };
+        let msgs = vec![
+            Msg::Batch {
+                preadmitted: true,
+                frames: vec![rec.clone(), rec.clone()],
+            },
+            Msg::SeedVisited {
+                entries: vec![entry],
+            },
+            Msg::Probe { round: 7 },
+            Msg::Stop { dump: true },
+            Msg::Finish,
+            Msg::Route {
+                dest: 3,
+                frames: vec![rec],
+            },
+            Msg::ProbeReply {
+                round: 7,
+                idle: true,
+                received: 123,
+                expanded: 456,
+            },
+            Msg::Beat { expanded: 99 },
+            Msg::Result(Box::new(WorkerResult {
+                stats: ExplorationStats {
+                    states: 10,
+                    transitions: 20,
+                    final_hits: 3,
+                    truncated: true,
+                    resident_peak: 5,
+                    spilled_states: 2,
+                    bounded: false,
+                    store_error: Some("disk full".to_string()),
+                },
+                finals: BTreeSet::new(),
+                dump: Some(WorkerDump::default()),
+            })),
+        ];
+        for msg in msgs {
+            let bytes = encode_msg(&msg);
+            let back = decode_msg(&bytes).expect("round trip");
+            assert_eq!(encode_msg(&back), bytes, "re-encode is stable");
+        }
+    }
+
+    /// Params codec round-trips (job shipping depends on it).
+    #[test]
+    fn params_codec_round_trips() {
+        let p = ModelParams {
+            max_instances_per_thread: 7,
+            coherence_commitments: true,
+            allow_spurious_stcx_failure: false,
+            threads: 3,
+            max_states: 12345,
+            steal_batch: 9,
+            max_resident_states: 64,
+            sleep_sets: true,
+            max_context_switches: 5,
+        };
+        let mut w = Writer::new();
+        encode_params(&mut w, &p);
+        let bytes = w.into_bytes();
+        let back = decode_params(&mut Reader::new(&bytes)).expect("decode");
+        assert_eq!(back, p);
+    }
+}

@@ -31,6 +31,7 @@
 //! and a pending-count termination detector) that visits the same state
 //! envelope and produces bit-identical [`oracle::Outcomes`].
 
+pub mod distrib;
 pub mod oracle;
 pub mod pretty;
 pub mod reduction;

@@ -40,7 +40,7 @@
 //! deterministic progress) dominates the cost and parallelises
 //! embarrassingly.
 
-use crate::store::StateStore;
+use crate::store::{StateStore, StoreError};
 use crate::system::{SystemState, Transition};
 use crate::thread::ThreadTransition;
 use crate::types::{ModelParams, ThreadId, WriteId};
@@ -101,6 +101,12 @@ pub struct ExplorationStats {
     /// `false` when a bound is set but never reached (the exploration
     /// was exhaustive after all).
     pub bounded: bool,
+    /// A spill-store I/O/corruption failure (or, distributed, a dead
+    /// worker) that cut the exploration short. Always paired with
+    /// `truncated = true`: the result is inconclusive, never silently
+    /// partial, but the process survives (the failure used to be an
+    /// `expect()` abort).
+    pub store_error: Option<String>,
 }
 
 /// Default state budget for exhaustive exploration.
@@ -281,17 +287,17 @@ fn actor_of(t: &Transition) -> Actor {
 }
 
 /// What expanding one frame yields.
-struct Expansion {
+pub(crate) struct Expansion {
     /// Successor frames (pre-dedup), or empty for a quiescent state.
-    succs: Vec<Frame>,
+    pub(crate) succs: Vec<Frame>,
     /// Transitions fired (= successors produced; sleep-set-skipped and
     /// bound-suppressed transitions are not fired).
-    transitions: usize,
+    pub(crate) transitions: usize,
     /// Whether the state was quiescent (a final hit).
-    is_final: bool,
+    pub(crate) is_final: bool,
     /// Whether the context-switch bound suppressed at least one
     /// successor here.
-    bounded_hit: bool,
+    pub(crate) bounded_hit: bool,
 }
 
 /// Expand one frame: either classify its state as quiescent (collecting
@@ -319,7 +325,7 @@ struct Expansion {
 /// `scratch` is a per-worker transition buffer reused across every state
 /// the worker expands (the enumeration is rebuilt into it each call), so
 /// the hot loop performs no per-state transition-list allocation.
-fn expand(
+pub(crate) fn expand(
     frame: &Frame,
     reg_obs: &[(ThreadId, Reg)],
     mem_obs: &[(u64, usize)],
@@ -418,7 +424,7 @@ fn expand(
 /// when it is reached again with a strictly less restrictive sleep set
 /// (else outcomes only reachable through its sleeping transitions would
 /// be lost).
-type SleepMap = std::collections::HashMap<u64, Box<[Transition]>>;
+pub(crate) type SleepMap = std::collections::HashMap<u64, Box<[Transition]>>;
 
 /// Admit a frame into the reduced search. Returns `None` to prune, or
 /// `Some(wake)` — the wake-up restriction for the visit:
@@ -434,7 +440,11 @@ type SleepMap = std::collections::HashMap<u64, Box<[Transition]>>;
 ///   expanded before), and the stored set shrinks to the intersection.
 ///   The shrink is strict, so each state re-explores at most
 ///   `|enabled|` times — termination.
-fn reduced_admit(map: &mut SleepMap, digest: u64, sleep: &[Transition]) -> Option<Vec<Transition>> {
+pub(crate) fn reduced_admit(
+    map: &mut SleepMap,
+    digest: u64,
+    sleep: &[Transition],
+) -> Option<Vec<Transition>> {
     debug_assert!(sleep.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
     match map.entry(digest) {
         std::collections::hash_map::Entry::Vacant(v) => {
@@ -513,17 +523,35 @@ fn explore_seq(
     if reduce {
         sleep_map.insert(initial.digest(), Box::from([]));
     } else {
-        store.insert_visited(initial.digest());
+        // The store is empty: the first insert touches only the hot set,
+        // so no I/O can fail here.
+        store
+            .insert_visited(initial.digest())
+            .expect("root insert into an empty store cannot touch disk");
     }
     store.note_enqueued(1);
+    // A store failure (disk full, short read, corrupt segment) ends the
+    // search as *truncated* — inconclusive, never a silent partial pass
+    // and never a process abort.
+    let store_failed = |stats: &mut ExplorationStats, e: &StoreError| {
+        stats.truncated = true;
+        stats.store_error = Some(e.to_string());
+    };
 
-    loop {
+    'search: loop {
         let frame = match stack.pop() {
             Some(s) => s,
             None => {
                 // In-memory frontier dry: reload the newest spilled
                 // segment (sequential batched readback), if any.
-                let Some(seg) = store.unspill() else { break };
+                let seg = match store.unspill() {
+                    Ok(Some(seg)) => seg,
+                    Ok(None) => break,
+                    Err(e) => {
+                        store_failed(&mut stats, &e);
+                        break;
+                    }
+                };
                 store.note_enqueued(seg.len());
                 stack.extend(seg);
                 match stack.pop() {
@@ -563,7 +591,13 @@ fn explore_seq(
                     }
                 }
             } else {
-                store.insert_visited(next.state.digest())
+                match store.insert_visited(next.state.digest()) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        store_failed(&mut stats, &e);
+                        break 'search;
+                    }
+                }
             };
             if admitted {
                 store.note_enqueued(1);
@@ -577,7 +611,10 @@ fn explore_seq(
         if budget != 0 && stack.len() > budget {
             let excess = stack.len() - budget / 2;
             let victims: Vec<Frame> = stack.drain(..excess).collect();
-            store.spill_batch(&victims);
+            if let Err(e) = store.spill_batch(&victims) {
+                store_failed(&mut stats, &e);
+                break 'search;
+            }
             store.note_dequeued(victims.len());
         }
     }
@@ -642,6 +679,10 @@ struct StealPool<'a> {
     sleep: Option<Vec<Mutex<SleepMap>>>,
     /// Whether any worker's expansion hit the context-switch bound.
     bounded: AtomicBool,
+    /// First spill-store failure observed by any worker (the stop it
+    /// caused is recorded via [`StealPool::trip`], so the run surfaces
+    /// as truncated + this message, never as a panic or a silent pass).
+    store_error: Mutex<Option<String>>,
 }
 
 impl StealPool<'_> {
@@ -680,18 +721,20 @@ impl StealPool<'_> {
     }
 
     /// Reload one spilled frontier segment into the worker's own deque
-    /// and pop a state from it. Returns `None` when nothing is spilled
-    /// (or when a neighbour stole the whole reloaded batch first — the
-    /// states are still in deques and `pending` still counts them, so
-    /// the caller just retries).
-    fn unspill(&self, me: usize) -> Option<Frame> {
-        let states = self.store.unspill()?;
+    /// and pop a state from it. Returns `Ok(None)` when nothing is
+    /// spilled (or when a neighbour stole the whole reloaded batch first
+    /// — the states are still in deques and `pending` still counts
+    /// them, so the caller just retries).
+    fn unspill(&self, me: usize) -> Result<Option<Frame>, StoreError> {
+        let Some(states) = self.store.unspill()? else {
+            return Ok(None);
+        };
         self.store.note_enqueued(states.len());
         self.deques[me]
             .lock()
             .expect("deque poisoned")
             .extend(states);
-        self.pop_local(me)
+        Ok(self.pop_local(me))
     }
 
     /// Decide whether `frame` enters the frontier: the visited-set
@@ -700,7 +743,7 @@ impl StealPool<'_> {
     /// frame to a wake-up list on a re-visit). Same-digest arrivals
     /// serialise on the shard lock, so the reduced admission is
     /// race-free.
-    fn admit(&self, frame: &mut Frame) -> bool {
+    fn admit(&self, frame: &mut Frame) -> Result<bool, StoreError> {
         match &self.sleep {
             None => self.store.insert_visited(frame.state.digest()),
             Some(shards) => {
@@ -708,13 +751,13 @@ impl StealPool<'_> {
                 let mut map = shards[(digest & (shards.len() as u64 - 1)) as usize]
                     .lock()
                     .expect("sleep shard poisoned");
-                match reduced_admit(&mut map, digest, &frame.sleep) {
+                Ok(match reduced_admit(&mut map, digest, &frame.sleep) {
                     None => false,
                     Some(wake) => {
                         frame.wake = wake;
                         true
                     }
-                }
+                })
             }
         }
     }
@@ -724,6 +767,17 @@ impl StealPool<'_> {
     fn trip(&self) {
         self.truncated.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Record a spill-store failure and stop the exploration (truncated,
+    /// with the failure message attached to the stats).
+    fn fail_store(&self, e: &StoreError) {
+        let mut slot = self.store_error.lock().expect("store_error poisoned");
+        if slot.is_none() {
+            *slot = Some(e.to_string());
+        }
+        drop(slot);
+        self.trip();
     }
 }
 
@@ -767,11 +821,17 @@ fn steal_worker(
         if pool.stop.load(Ordering::SeqCst) {
             break;
         }
-        let Some(frame) = pool
-            .pop_local(me)
-            .or_else(|| pool.steal(me))
-            .or_else(|| pool.unspill(me))
-        else {
+        let popped = match pool.pop_local(me).or_else(|| pool.steal(me)) {
+            Some(f) => Some(f),
+            None => match pool.unspill(me) {
+                Ok(f) => f,
+                Err(e) => {
+                    pool.fail_store(&e);
+                    break;
+                }
+            },
+        };
+        let Some(frame) = popped else {
             // No work anywhere we looked (deques or disk). Retire only
             // once no expansion is in flight either — an in-flight
             // expansion may yet publish new work to steal or spill.
@@ -829,11 +889,24 @@ fn steal_worker(
             continue;
         }
         out.transitions += exp.transitions;
-        let fresh: Vec<Frame> = exp
-            .succs
-            .into_iter()
-            .filter_map(|mut next| pool.admit(&mut next).then_some(next))
-            .collect();
+        let mut fresh: Vec<Frame> = Vec::with_capacity(exp.succs.len());
+        let mut failed = false;
+        for mut next in exp.succs {
+            match pool.admit(&mut next) {
+                Ok(true) => fresh.push(next),
+                Ok(false) => {}
+                Err(e) => {
+                    pool.fail_store(&e);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            // The stop flag is set; abandoning `pending` bookkeeping is
+            // fine — every worker exits on the flag, not the count.
+            break;
+        }
         if !fresh.is_empty() {
             // Publish successors (and bump `pending`) before retiring the
             // parent, so `pending` cannot dip to zero while work remains.
@@ -841,7 +914,10 @@ fn steal_worker(
             // instead of a deque; it stays pending either way.
             pool.pending.fetch_add(fresh.len(), Ordering::SeqCst);
             if pool.store.should_spill(fresh.len()) {
-                pool.store.spill_batch(&fresh);
+                if let Err(e) = pool.store.spill_batch(&fresh) {
+                    pool.fail_store(&e);
+                    break;
+                }
             } else {
                 pool.store.note_enqueued(fresh.len());
                 pool.deques[me]
@@ -888,9 +964,13 @@ fn explore_par(
             (0..n).map(|_| Mutex::new(SleepMap::new())).collect()
         }),
         bounded: AtomicBool::new(false),
+        store_error: Mutex::new(None),
     };
     let mut root = Frame::root(initial.clone());
-    let admitted = pool.admit(&mut root);
+    // The store is empty, so the root admission cannot touch disk.
+    let admitted = pool
+        .admit(&mut root)
+        .expect("root insert into an empty store cannot touch disk");
     debug_assert!(admitted, "the root always enters an empty frontier");
     pool.store.note_enqueued(1);
     pool.deques[0]
@@ -918,6 +998,11 @@ fn explore_par(
         resident_peak: store.resident_peak(),
         spilled_states: store.spilled_states(),
         bounded: pool.bounded.load(Ordering::SeqCst),
+        store_error: pool
+            .store_error
+            .lock()
+            .expect("store_error poisoned")
+            .take(),
         ..ExplorationStats::default()
     };
     let mut finals = BTreeSet::new();

@@ -1,0 +1,334 @@
+//! Equivalence, fault-injection, and checkpoint/resume pinning of the
+//! multi-process distributed oracle (`crates/model/src/distrib.rs`).
+//!
+//! The distributed engine partitions the visited set across worker
+//! *processes* by digest prefix and ships successor states between
+//! shards as canonical-codec frame batches, so its acceptance bar is
+//! the same as every engine before it: **byte-identical**
+//! `Outcomes::finals` and identical visited-state / transition /
+//! final-hit counts against the single-process engines, on a library
+//! ladder and on random programs from the shared fuzz generator
+//! (`tests/common`, over a seed range disjoint from the other fuzz
+//! suites). Composition with `--max-resident` (per-worker spill
+//! stores) and `--reduced` (worker-local sleep memos; finals-identity,
+//! as for the in-process reduced engines) is pinned the same way.
+//!
+//! Robustness: a fault-injected worker death (`std::process::abort`
+//! mid-exploration, indistinguishable from SIGKILL/OOM) must surface
+//! as a *truncated* result carrying a `store_error` — never a silent
+//! partial pass — and must never write a checkpoint (the dead worker's
+//! frontier is lost, so a checkpoint would silently drop states). A
+//! graceful budget pause *does* checkpoint, and resuming completes to
+//! finals and counts byte-identical to an uninterrupted run.
+//!
+//! Worker processes are this test binary re-executed with
+//! `["distrib_worker_shim", "--exact"]`: the shim test calls
+//! [`ppcmem::litmus::maybe_run_worker`], which is a no-op in a normal
+//! test run and the worker entry point when the coordinator's socket
+//! env var is set.
+//!
+//! Environment knobs: `DISTRIB_FUZZ_PROGRAMS` (default 8),
+//! `DISTRIB_FUZZ_SEED`, `DISTRIB_FUZZ_BUDGET` (as in `oracle_fuzz`,
+//! disjoint seed base).
+
+mod common;
+
+use common::{env_u64, gen_program};
+use ppcmem::litmus::distrib::{outcomes_distributed, run_source_distributed, DistribConfig};
+use ppcmem::litmus::{build_system, library, observations, parse};
+use ppcmem::model::distrib::DIE_AFTER_ENV;
+use ppcmem::model::{explore_limited, ExploreLimits, ModelParams, Outcomes};
+
+/// Worker re-exec entry point: in a normal test run the env var is
+/// absent and this is an instant pass; in a spawned worker it runs the
+/// shard to completion and exits the process.
+#[test]
+fn distrib_worker_shim() {
+    ppcmem::litmus::maybe_run_worker();
+}
+
+/// The equivalence ladder (sizes chosen so each test distributes twice
+/// and explores sequentially once in CI-friendly time on one CPU).
+const LADDER: &[&str] = &[
+    "CoRR", "CoWW", "MP", "SB", "LB", "MP+syncs", "2+2W", "WRC+pos",
+];
+
+/// A worker config that re-executes this test binary as the workers.
+fn dcfg(workers: usize) -> DistribConfig {
+    DistribConfig {
+        workers,
+        checkpoint: None,
+        worker_args: vec!["distrib_worker_shim".to_owned(), "--exact".to_owned()],
+        worker_env: Vec::new(),
+    }
+}
+
+/// Sequential in-process reference with the same observation footprint
+/// the distributed workers derive from the test's condition.
+fn sequential_reference(source: &str, params: &ModelParams, limits: &ExploreLimits) -> Outcomes {
+    let test = parse(source).expect("source parses");
+    let (reg_obs, mem_obs) = observations(&test);
+    let state = build_system(&test, params);
+    explore_limited(
+        &state,
+        &reg_obs,
+        &mem_obs,
+        &ExploreLimits {
+            threads: 1,
+            ..limits.clone()
+        },
+    )
+}
+
+/// Byte-identity of a distributed run against the sequential reference:
+/// finals element-wise, and every count.
+fn assert_identical(name: &str, mode: &str, reference: &Outcomes, got: &Outcomes) {
+    assert!(
+        !got.stats.truncated,
+        "{name} [{mode}]: truncated ({:?})",
+        got.stats.store_error
+    );
+    assert_eq!(
+        reference.stats.states, got.stats.states,
+        "{name} [{mode}]: visited-state count diverged"
+    );
+    assert_eq!(
+        reference.stats.transitions, got.stats.transitions,
+        "{name} [{mode}]: transition count diverged"
+    );
+    assert_eq!(
+        reference.stats.final_hits, got.stats.final_hits,
+        "{name} [{mode}]: final-hit count diverged"
+    );
+    assert!(
+        reference.finals == got.finals,
+        "{name} [{mode}]: final states diverged ({} vs {})",
+        reference.finals.len(),
+        got.finals.len()
+    );
+}
+
+fn library_source(name: &str) -> &'static str {
+    library()
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("{name} in library"))
+        .source
+}
+
+/// The ladder, distributed over 2 and 3 shards, against the sequential
+/// engine: byte-identical finals and counts.
+#[test]
+fn distributed_matches_sequential_on_ladder() {
+    let params = ModelParams::default();
+    let limits = ExploreLimits::default();
+    for name in LADDER {
+        let source = library_source(name);
+        let reference = sequential_reference(source, &params, &limits);
+        assert!(!reference.stats.truncated, "{name}: reference truncated");
+        for workers in [2usize, 3] {
+            let got = outcomes_distributed(source, &params, &limits, &dcfg(workers));
+            assert_identical(name, &format!("dist-{workers}"), &reference, &got);
+        }
+    }
+}
+
+/// Composition with `--max-resident`: each worker runs its own spill
+/// store; a tiny resident budget must not change anything observable.
+#[test]
+fn distributed_composes_with_max_resident() {
+    let limits = ExploreLimits::default();
+    for name in ["MP", "2+2W", "WRC+pos"] {
+        let source = library_source(name);
+        let reference = sequential_reference(source, &ModelParams::default(), &limits);
+        let spill_params = ModelParams {
+            max_resident_states: 16,
+            ..ModelParams::default()
+        };
+        let got = outcomes_distributed(source, &spill_params, &limits, &dcfg(2));
+        assert_identical(name, "dist-2+spill", &reference, &got);
+    }
+}
+
+/// Composition with `--reduced`: worker-local sleep memos. As for the
+/// in-process engines, the reduction guarantees identical *finals*
+/// (counts are exactly what it shrinks, and shard arrival order makes
+/// them schedule-dependent), so finals-identity is the pin.
+#[test]
+fn distributed_reduced_matches_unreduced_finals() {
+    let limits = ExploreLimits::default();
+    for name in ["MP", "SB", "MP+syncs", "2+2W"] {
+        let source = library_source(name);
+        let reference = sequential_reference(source, &ModelParams::default(), &limits);
+        let reduced_params = ModelParams {
+            sleep_sets: true,
+            ..ModelParams::default()
+        };
+        let got = outcomes_distributed(source, &reduced_params, &limits, &dcfg(2));
+        assert!(
+            !got.stats.truncated,
+            "{name}: reduced distributed truncated ({:?})",
+            got.stats.store_error
+        );
+        // Finals-identity is the whole guarantee: expansion counts are
+        // schedule-dependent (a state re-expands when it later arrives
+        // with a smaller sleep set, and cross-shard arrival order can
+        // be adversarial versus sequential DFS), so no count is pinned.
+        assert!(
+            reference.finals == got.finals,
+            "{name}: reduced distributed finals diverged ({} vs {})",
+            reference.finals.len(),
+            got.finals.len()
+        );
+    }
+}
+
+/// Composition with `--context-bound`: the bound applies per worker
+/// exactly as in-process (the switch count rides in each shipped
+/// frame), and a bound that suppresses successors must surface as
+/// `bounded` — the explicitly-approximate flag — not as a conclusive
+/// exhaustive run.
+#[test]
+fn distributed_context_bound_reports_bounded() {
+    let source = library_source("MP");
+    let params = ModelParams {
+        max_context_switches: 1,
+        ..ModelParams::default()
+    };
+    let got = outcomes_distributed(source, &params, &ExploreLimits::default(), &dcfg(2));
+    assert!(
+        !got.stats.truncated,
+        "bounded run truncated ({:?})",
+        got.stats.store_error
+    );
+    assert!(
+        got.stats.bounded,
+        "a 1-switch bound on MP must suppress successors"
+    );
+}
+
+/// Fault injection: one worker process aborts mid-exploration (no
+/// unwind, no goodbye — exactly a SIGKILL/OOM). The coordinator must
+/// degrade to a *truncated* result with the death recorded, never a
+/// silent or partial pass, and must not write a checkpoint from the
+/// lossy remains.
+#[test]
+fn killed_worker_reports_truncation_never_silent() {
+    let tmp = std::env::temp_dir().join(format!("ppcmem-distrib-kill-ck-{}", std::process::id()));
+    let _ = std::fs::remove_file(&tmp);
+    let mut cfg = dcfg(2);
+    cfg.checkpoint = Some(tmp.clone());
+    cfg.worker_env = vec![(DIE_AFTER_ENV.to_owned(), "40".to_owned())];
+    let result = run_source_distributed(
+        library_source("MP"),
+        &ModelParams::default(),
+        &ExploreLimits::default(),
+        &cfg,
+    );
+    assert!(
+        result.stats.truncated,
+        "a killed worker must truncate the run"
+    );
+    let err = result
+        .stats
+        .store_error
+        .as_deref()
+        .expect("a killed worker must be recorded in store_error");
+    assert!(
+        err.contains("died") || err.contains("worker"),
+        "unhelpful death report: {err}"
+    );
+    assert!(
+        !tmp.exists(),
+        "a worker death must never produce a checkpoint (the dead \
+         worker's frontier is lost)"
+    );
+}
+
+/// Checkpoint → kill the run → resume: a graceful budget pause writes a
+/// checkpoint; the workers are then torn down (the coordinator kills
+/// and reaps them); a fresh set of workers resumes from the file and
+/// must complete to finals and counts byte-identical to an
+/// uninterrupted run. The checkpoint is deleted on completion.
+#[test]
+fn checkpoint_pause_resume_is_byte_identical() {
+    let source = library_source("MP");
+    let params = ModelParams::default();
+    let full = ExploreLimits::default();
+    let reference = sequential_reference(source, &params, &full);
+    assert!(!reference.stats.truncated);
+
+    let tmp = std::env::temp_dir().join(format!("ppcmem-distrib-ck-{}", std::process::id()));
+    let _ = std::fs::remove_file(&tmp);
+    let mut cfg = dcfg(2);
+    cfg.checkpoint = Some(tmp.clone());
+
+    // Phase 1: a state budget far below MP's space forces a graceful
+    // pause. The paused result is truncated (inconclusive) and the
+    // frontier+visited dump lands in the checkpoint.
+    let paused = outcomes_distributed(
+        source,
+        &params,
+        &ExploreLimits {
+            max_states: 200,
+            ..ExploreLimits::default()
+        },
+        &cfg,
+    );
+    assert!(paused.stats.truncated, "budget pause must truncate");
+    assert!(
+        paused.stats.states < reference.stats.states,
+        "pause must stop before exhaustion"
+    );
+    assert!(tmp.exists(), "graceful pause must write the checkpoint");
+
+    // Phase 2: resume with the full budget — on a different shard
+    // count, since the checkpoint format is resharding-agnostic.
+    cfg.workers = 3;
+    let resumed = outcomes_distributed(source, &params, &full, &cfg);
+    assert_identical("MP", "pause+resume", &reference, &resumed);
+    assert!(
+        !tmp.exists(),
+        "an untruncated completion must delete the checkpoint"
+    );
+}
+
+/// Random-program differential over a seed range disjoint from the
+/// other fuzz suites: sequential vs 2-shard distributed, byte for byte.
+#[test]
+fn distrib_fuzz_matches_sequential() {
+    let programs = env_u64("DISTRIB_FUZZ_PROGRAMS", 8);
+    let seed0 = env_u64("DISTRIB_FUZZ_SEED", 0xD157_AB1E_0000_0001);
+    let budget = env_u64("DISTRIB_FUZZ_BUDGET", 60_000) as usize;
+    let limits = ExploreLimits {
+        max_states: budget,
+        ..ExploreLimits::default()
+    };
+    let params = ModelParams::default();
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    for i in 0..programs {
+        let seed = seed0.wrapping_add(i);
+        let prog = gen_program(seed);
+        let reference = sequential_reference(&prog.source, &params, &limits);
+        if reference.stats.truncated {
+            // Truncated explorations legitimately visit different
+            // prefixes; counted so generator drift fails the test.
+            skipped += 1;
+            continue;
+        }
+        let got = outcomes_distributed(&prog.source, &params, &limits, &dcfg(2));
+        assert_identical(
+            &format!("seed {seed:#018x}\n{}", prog.source),
+            "dist-2",
+            &reference,
+            &got,
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > skipped,
+        "fuzz coverage collapsed: {checked} checked vs {skipped} skipped — \
+         the generator is producing mostly oversized programs"
+    );
+}
