@@ -57,11 +57,18 @@ const VALUE_FLAGS: &[&str] = &[
     "--json",
 ];
 /// Boolean flags.
-const BOOL_FLAGS: &[&str] = &["--reduced", "--library-only", "--paper-only", "--quiet"];
+const BOOL_FLAGS: &[&str] = &[
+    "--reduced",
+    "--library-only",
+    "--paper-only",
+    "--quiet",
+    "--tcp",
+];
 
 const USAGE: &str = "conformance [--jobs N] [--model-threads N] [--steal-batch N] \
      [--max-states N] [--max-resident N] [--timeout-secs S] [--context-bound N] \
-     [--reduced] [--distributed N] [--json PATH] [--library-only] [--paper-only] [--quiet]";
+     [--reduced] [--distributed N] [--tcp] [--json PATH] [--library-only] [--paper-only] \
+     [--quiet]";
 
 #[allow(clippy::too_many_lines)]
 fn main() {
@@ -83,6 +90,7 @@ fn main() {
     let timeout_secs: u64 = parse_arg("conformance", &args, "--timeout-secs", 0);
     let context_bound: usize = parse_nonzero_arg("conformance", &args, "--context-bound", 0);
     let distributed: usize = parse_arg("conformance", &args, "--distributed", 0);
+    let tcp = args.iter().any(|a| a == "--tcp");
     let reduced = args.iter().any(|a| a == "--reduced");
     let json_path = arg_value(&args, "--json");
     let quiet = args.iter().any(|a| a == "--quiet");
@@ -114,6 +122,7 @@ fn main() {
             Some(Duration::from_secs(timeout_secs))
         },
         distributed,
+        tcp,
     };
 
     eprintln!(
@@ -138,7 +147,10 @@ fn main() {
         if distributed == 0 {
             String::new()
         } else {
-            format!(", {distributed} distributed worker processes")
+            format!(
+                ", {distributed} distributed worker processes{}",
+                if tcp { " (loopback TCP)" } else { "" }
+            )
         },
         cfg.timeout_per_test
             .map(|t| format!(", {}s timeout", t.as_secs()))

@@ -24,9 +24,18 @@
 //! `--checkpoint PATH` makes each distributed exploration resumable:
 //! a budget/deadline pause writes `PATH.<test>`, and a rerun picks up
 //! where it stopped (the file is deleted on completion).
+//!
+//! `--tcp` moves the distributed run onto loopback TCP (same wire
+//! protocol, the multi-machine transport). For an actual multi-machine
+//! run the coordinator takes `--listen ADDR` and spawns nothing, while
+//! each worker machine runs `statespace --connect HOST:PORT` — a
+//! long-lived worker loop that serves one exploration per connection
+//! and reconnects (with bounded-retry backoff) for the next ladder
+//! test. Liveness tunables: `PPCMEM_DISTRIB_HEARTBEAT_MS`,
+//! `PPCMEM_DISTRIB_PEER_TIMEOUT_MS`, `PPCMEM_DISTRIB_ACCEPT_SECS`.
 
 use bench::args::{arg_value, check_flags, parse_arg, parse_nonzero_arg};
-use ppc_litmus::distrib::{run_source_distributed, DistribConfig};
+use ppc_litmus::distrib::{run_source_distributed, DistribConfig, WorkerLaunch};
 use ppc_litmus::{library, parse, run_limited};
 use ppc_model::{resolve_threads, run_sequential, ExploreLimits, ModelParams};
 use std::time::Instant;
@@ -39,12 +48,15 @@ const VALUE_FLAGS: &[&str] = &[
     "--context-bound",
     "--distributed",
     "--checkpoint",
+    "--listen",
+    "--connect",
 ];
 /// Boolean flags.
-const BOOL_FLAGS: &[&str] = &["--reduced"];
+const BOOL_FLAGS: &[&str] = &["--reduced", "--tcp"];
 
 const USAGE: &str = "statespace [--threads N] [--steal-batch N] [--max-resident N] \
-     [--context-bound N] [--reduced] [--distributed N] [--checkpoint PATH]";
+     [--context-bound N] [--reduced] [--distributed N] [--checkpoint PATH] \
+     [--tcp] [--listen ADDR] [--connect HOST:PORT]";
 
 /// The ladder of representative tests, roughly by state-space size.
 pub const LADDER: &[&str] = &[
@@ -69,6 +81,18 @@ fn main() {
     ppc_litmus::maybe_run_worker();
     let args: Vec<String> = std::env::args().skip(1).collect();
     check_flags("statespace", &args, VALUE_FLAGS, BOOL_FLAGS, USAGE);
+    // `--connect` makes this process a multi-machine worker: it serves
+    // distributed explorations for a remote coordinator until the
+    // coordinator goes away for good, then exits.
+    if let Some(addr) = arg_value(&args, "--connect") {
+        match ppc_litmus::run_remote_worker(&addr) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("statespace --connect {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     // The default worker count is clamped to the machine (matching
     // `HarnessConfig::inner_threads_for`): 4 time-sliced workers on a
     // 1-CPU host only measure scheduler churn. An explicit --threads is
@@ -80,6 +104,17 @@ fn main() {
     let distributed: usize = parse_arg("statespace", &args, "--distributed", 0);
     let checkpoint = arg_value(&args, "--checkpoint");
     let reduced = args.iter().any(|a| a == "--reduced");
+    let tcp = args.iter().any(|a| a == "--tcp");
+    let listen = arg_value(&args, "--listen");
+    let launch = match &listen {
+        Some(addr) => WorkerLaunch::TcpListen(addr.clone()),
+        None if tcp => WorkerLaunch::TcpLoopback,
+        None => WorkerLaunch::Unix,
+    };
+    if listen.is_some() && distributed == 0 {
+        eprintln!("statespace: --listen requires --distributed N (the worker count to wait for)");
+        std::process::exit(2);
+    }
 
     let params = ModelParams {
         steal_batch,
@@ -89,8 +124,14 @@ fn main() {
         ..ModelParams::default()
     };
     if distributed != 0 {
+        let transport = match &launch {
+            WorkerLaunch::Unix => String::new(),
+            WorkerLaunch::TcpLoopback => " over loopback TCP".to_owned(),
+            WorkerLaunch::TcpListen(addr) => format!(" listening on {addr} (external workers)"),
+        };
         println!(
-            "distributed engine: {distributed} worker processes, digest-prefix sharded visited set{}",
+            "distributed engine: {distributed} worker processes{transport}, \
+             digest-prefix sharded visited set{}",
             checkpoint
                 .as_deref()
                 .map(|p| format!(", checkpointing to {p}.<test>"))
@@ -150,6 +191,7 @@ fn main() {
                 checkpoint: checkpoint
                     .as_deref()
                     .map(|p| std::path::PathBuf::from(format!("{p}.{name}"))),
+                launch: launch.clone(),
                 ..DistribConfig::default()
             };
             let r = run_source_distributed(e.source, &params, &par, &dcfg);

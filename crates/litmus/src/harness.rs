@@ -47,6 +47,10 @@ pub struct HarnessConfig {
     /// the workers, so its `main` must call
     /// [`crate::distrib::maybe_run_worker`] first.
     pub distributed: usize,
+    /// Run distributed explorations over loopback TCP instead of Unix
+    /// sockets (exercises the multi-machine wire path; ignored when
+    /// `distributed` is `0`).
+    pub tcp: bool,
 }
 
 impl HarnessConfig {
@@ -527,6 +531,11 @@ fn run_one_with_threads(entry: &LitmusEntry, cfg: &HarnessConfig, threads: usize
             &limits,
             &crate::distrib::DistribConfig {
                 workers: cfg.distributed,
+                launch: if cfg.tcp {
+                    crate::distrib::WorkerLaunch::TcpLoopback
+                } else {
+                    crate::distrib::WorkerLaunch::Unix
+                },
                 ..crate::distrib::DistribConfig::default()
             },
         )

@@ -35,7 +35,10 @@ mod run;
 mod test;
 
 pub use cond::{Cond, CondAtom, CondExpr, Quantifier};
-pub use distrib::{maybe_run_worker, run_entry_distributed, run_source_distributed, DistribConfig};
+pub use distrib::{
+    maybe_run_worker, run_entry_distributed, run_remote_worker, run_source_distributed,
+    DistribConfig, WorkerLaunch,
+};
 pub use families::generated_suite;
 pub use harness::{run_suite, HarnessConfig, HarnessReport, TestReport};
 pub use library::{library, paper_section2_suite, LitmusEntry};

@@ -12,19 +12,34 @@
 //!
 //! ## Topology and wire format
 //!
-//! Hub-and-spoke over Unix sockets: the coordinator relays every
-//! worker→worker frame batch, so each process owns exactly one
-//! connection and FIFO ordering per link is guaranteed by the socket.
-//! Both sides run a dedicated reader thread that drains the socket into
-//! an unbounded channel, so neither side ever blocks a write on its
-//! peer's reads (no deadlock by construction).
+//! Hub-and-spoke over [`crate::net::Conn`] links — Unix sockets on one
+//! machine, TCP across machines, same bytes either way: the coordinator
+//! relays every worker→worker frame batch, so each process owns exactly
+//! one connection and FIFO ordering per link is guaranteed by the
+//! socket. Both sides run a dedicated reader thread that drains the
+//! socket into an unbounded channel, so neither side ever blocks a
+//! write on its peer's reads (no deadlock by construction).
 //!
-//! Every message is a length-prefixed blob: `[u32 LE length][tag
-//! byte][body]`. A frontier frame on the wire is `[u64 digest][frame
-//! record]` where the record is byte-for-byte the spill-segment record
-//! of [`crate::store`] — switch count, last actor, sleep/wake sets,
-//! then the canonical state bytes. One encoding everywhere a frame
-//! leaves the process: spill file, socket, checkpoint.
+//! Every message is a length-prefixed blob: `[u32 LE length][u64 LE
+//! seq][tag byte][body]`. The sequence number counts messages per link
+//! direction from zero; a receiver that observes a gap knows a frame
+//! was lost in transit (a lossy relay, a half-written crash) and fails
+//! the link loudly instead of silently under-exploring. A frontier
+//! frame on the wire is `[u64 digest][frame record]` where the record
+//! is byte-for-byte the spill-segment record of [`crate::store`] —
+//! switch count, last actor, sleep/wake sets, then the canonical state
+//! bytes. One encoding everywhere a frame leaves the process: spill
+//! file, socket, checkpoint.
+//!
+//! ## Liveness
+//!
+//! Each side sends a [`Msg::Heartbeat`] after
+//! [`crate::net::NetParams::heartbeat`] of write silence, and each
+//! side's socket reads carry a
+//! [`crate::net::NetParams::peer_timeout`] deadline — so a peer that
+//! hangs (or a network that partitions) without closing the socket is
+//! detected within the timeout and handled exactly like a death, never
+//! as an indefinite hang.
 //!
 //! ## Ownership and equivalence
 //!
@@ -61,12 +76,25 @@
 //! still relaying and writes one atomic (tmp+rename) checkpoint file.
 //! Resume seeds any number of workers — the dump is flat, so the shard
 //! count may change — and continues to byte-identical finals/counts.
-//! If a worker *dies* (socket EOF before its Result), the run degrades
-//! gracefully: remaining workers are stopped, the result is reported
-//! truncated with [`ExplorationStats::store_error`] set, and no
-//! checkpoint is written (the dead worker's frontier is lost, so a
-//! checkpoint would silently drop states).
+//!
+//! If a worker *dies* (socket EOF, a sequence gap, or dead-peer timeout
+//! before its Result), the run degrades gracefully: remaining workers
+//! are stopped and dumped, the result is reported truncated with
+//! [`ExplorationStats::store_error`] set, and — when a checkpoint path
+//! is configured — the coordinator still writes a *resumable*
+//! checkpoint. The dead shard's in-process state is unrecoverable, so
+//! the coordinator keeps a per-shard on-disk journal of every frame it
+//! ever forwarded; on death it drops the dead shard's visited set and
+//! replays that journal into the checkpoint's pending list. Every state
+//! the dead shard discovered is reachable from those journaled entry
+//! points through shard-internal expansion, so the resumed run
+//! re-derives the lost subtree: finals are byte-identical, and for a
+//! first-incarnation crash so are the state/transition counts (the dead
+//! worker's were never merged). A crash *after* an earlier pause/resume
+//! may recount dead-shard states expanded before the pause — counts can
+//! then exceed the single-process engines'; finals never differ.
 
+use crate::net::{is_timeout, Conn, FaultAction, FaultPlan, NetParams, SendKind};
 use crate::oracle::{
     expand, reduced_admit, ExplorationStats, ExploreLimits, FinalState, Frame, Outcomes, SleepMap,
 };
@@ -78,9 +106,9 @@ use ppc_bits::{Bv, DecodeError, Reader, Writer};
 use ppc_idl::codec::{decode_reg, encode_reg};
 use ppc_idl::Reg;
 use std::collections::BTreeSet;
-use std::io::{self, BufReader};
-use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
 use std::process::Child;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -95,8 +123,13 @@ const SEED_BATCH: usize = 4096;
 /// budget progress is at most this stale per worker).
 const BEAT_PERIOD: u64 = 128;
 
-/// Channel-silence pacing between termination probes.
+/// Initial channel-silence pacing between termination probes; doubles
+/// after each non-clean round (see [`ProbeTracker`]) up to
+/// [`PROBE_PACE_CAP`], and resets whenever a relay shows work moving.
 const PROBE_PACE: Duration = Duration::from_millis(5);
+
+/// Upper bound on the adaptive probe pace.
+const PROBE_PACE_CAP: Duration = Duration::from_millis(100);
 
 /// How long the coordinator waits for worker Results after broadcasting
 /// Stop/Finish before declaring the stragglers dead.
@@ -198,7 +231,7 @@ pub(crate) struct WorkerDump {
 
 /// Protocol messages. Coordinator→worker: `Batch`, `SeedVisited`,
 /// `Probe`, `Stop`, `Finish`. Worker→coordinator: `Route`,
-/// `ProbeReply`, `Beat`, `Result`.
+/// `ProbeReply`, `Beat`, `Result`. Either direction: `Heartbeat`.
 #[derive(Debug)]
 pub(crate) enum Msg {
     /// Frames for the receiving shard. `preadmitted` marks checkpoint
@@ -237,6 +270,10 @@ pub(crate) enum Msg {
     Beat { expanded: u64 },
     /// The worker's final report; the worker exits after sending it.
     Result(Box<WorkerResult>),
+    /// Link-liveness keepalive, sent by either side after
+    /// [`NetParams::heartbeat`] of write silence; carries no state and
+    /// is ignored beyond resetting the receiver's dead-peer deadline.
+    Heartbeat,
 }
 
 fn encode_frame_record(w: &mut Writer, rec: &FrameRecord) {
@@ -464,6 +501,9 @@ fn encode_msg(msg: &Msg) -> Vec<u8> {
                 encode_frame_records(w, &d.pending);
             });
         }
+        Msg::Heartbeat => {
+            w.byte(10);
+        }
     }
     w.into_bytes()
 }
@@ -510,6 +550,7 @@ fn decode_msg(bytes: &[u8]) -> Result<Msg, DecodeError> {
                 dump,
             }))
         }
+        10 => Msg::Heartbeat,
         tag => return Err(DecodeError::BadTag { what: "Msg", tag }),
     };
     if !r.is_exhausted() {
@@ -518,13 +559,58 @@ fn decode_msg(bytes: &[u8]) -> Result<Msg, DecodeError> {
     Ok(msg)
 }
 
-fn write_msg(w: &mut impl io::Write, msg: &Msg) -> io::Result<()> {
-    write_blob(w, &encode_msg(msg))
+/// The full wire payload of one message: `[u64 LE seq][tag][body]`.
+/// The sequence number is per link direction, starting at 0; the
+/// receiver verifies contiguity so a lost frame is *detected* rather
+/// than silently shrinking the exploration.
+fn encode_msg_seq(seq: u64, msg: &Msg) -> Vec<u8> {
+    let body = encode_msg(msg);
+    let mut payload = Vec::with_capacity(8 + body.len());
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&body);
+    payload
 }
 
-fn read_msg(r: &mut impl io::Read) -> io::Result<Msg> {
+/// Write one sequence-numbered message and advance the counter.
+fn write_msg(w: &mut impl io::Write, seq: &mut u64, msg: &Msg) -> io::Result<()> {
+    write_blob(w, &encode_msg_seq(*seq, msg))?;
+    *seq += 1;
+    Ok(())
+}
+
+/// Read one message, verifying the sequence number is the next
+/// expected. A gap means a frame was dropped in transit — fatal for the
+/// link (the exploration would otherwise silently lose states).
+fn read_msg(r: &mut impl io::Read, expected_seq: &mut u64) -> io::Result<Msg> {
     let blob = read_blob(r)?;
-    decode_msg(&blob).map_err(|e| decode_failed(&e))
+    if blob.len() < 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "runt wire message (no sequence number)",
+        ));
+    }
+    let seq = u64::from_le_bytes(blob[..8].try_into().expect("8 bytes"));
+    if seq != *expected_seq {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "message sequence gap (expected {expected_seq}, got {seq}): \
+                 a frame was lost in transit"
+            ),
+        ));
+    }
+    *expected_seq += 1;
+    decode_msg(&blob[8..]).map_err(|e| decode_failed(&e))
+}
+
+/// Humanise a link failure for `store_error`: timeouts get the
+/// dead-peer phrasing, everything else keeps the io error text.
+fn link_error(e: &io::Error) -> String {
+    if is_timeout(e) {
+        "peer silent past the dead-peer timeout (no heartbeat)".to_string()
+    } else {
+        e.to_string()
+    }
 }
 
 // ---- checkpoint --------------------------------------------------------
@@ -620,13 +706,14 @@ pub struct WorkerEnv<'a> {
 /// connection, until a Stop/Finish message (normal: returns `Ok`) or a
 /// transport failure (returns `Err`; the supervising process should
 /// exit nonzero, which the coordinator reports as a dead worker).
+/// `net` must match the coordinator's (it ships in the job frame).
 ///
 /// Store failures do *not* return `Err`: the worker reports a truncated
 /// Result with [`ExplorationStats::store_error`] set and exits cleanly
 /// — the exploration degrades to inconclusive, exactly like the
 /// single-process engines.
-pub fn run_worker(sock: UnixStream, env: &WorkerEnv<'_>) -> io::Result<()> {
-    Worker::new(sock, env)?.run()
+pub fn run_worker(sock: Conn, env: &WorkerEnv<'_>, net: &NetParams) -> io::Result<()> {
+    Worker::new(sock, env, *net)?.run()
 }
 
 /// Parse the fault-injection env vars (tests only): abort this worker
@@ -654,13 +741,20 @@ struct Worker<'a> {
     received: u64,
     /// States expanded (the probe/beat progress counter).
     expanded: u64,
-    sock: UnixStream,
+    sock: Conn,
     rx: mpsc::Receiver<io::Result<Msg>>,
+    net: NetParams,
+    /// Outgoing sequence counter (the wire envelope's `seq`).
+    seq_out: u64,
+    /// When this side last wrote anything (heartbeat pacing).
+    last_sent: Instant,
     die_after: Option<u64>,
+    /// Injected network faults (tests only; `None` in production).
+    faults: Option<FaultPlan>,
 }
 
 impl<'a> Worker<'a> {
-    fn new(sock: UnixStream, env: &'a WorkerEnv<'a>) -> io::Result<Self> {
+    fn new(sock: Conn, env: &'a WorkerEnv<'a>, net: NetParams) -> io::Result<Self> {
         let params = &env.initial.params;
         let reader_sock = sock.try_clone()?;
         let (tx, rx) = mpsc::channel::<io::Result<Msg>>();
@@ -669,8 +763,9 @@ impl<'a> Worker<'a> {
         // socket never backs up while this side is busy writing).
         std::thread::spawn(move || {
             let mut rd = BufReader::new(reader_sock);
+            let mut seq_in = 0u64;
             loop {
-                match read_msg(&mut rd) {
+                match read_msg(&mut rd, &mut seq_in) {
                     Ok(m) => {
                         if tx.send(Ok(m)).is_err() {
                             break;
@@ -694,11 +789,68 @@ impl<'a> Worker<'a> {
             scratch: Vec::new(),
             received: 0,
             expanded: 0,
+            net,
+            seq_out: 0,
+            last_sent: Instant::now(),
             die_after: fault_injection(env.shard),
+            faults: FaultPlan::from_env(env.shard),
             env,
             sock,
             rx,
         })
+    }
+
+    /// Every outgoing message funnels through here: fault injection,
+    /// sequence numbering, heartbeat pacing.
+    fn send(&mut self, msg: &Msg) -> io::Result<()> {
+        let kind = match msg {
+            Msg::Route { .. } => SendKind::Route,
+            Msg::ProbeReply { .. } => SendKind::ProbeReply,
+            _ => SendKind::Other,
+        };
+        match self
+            .faults
+            .as_mut()
+            .map_or(FaultAction::Pass, |f| f.action(kind))
+        {
+            FaultAction::Pass => {}
+            FaultAction::Drop => {
+                // Burn the sequence number without writing: the peer
+                // sees a gap on the next message — the "lossy relay"
+                // fault the envelope exists to catch.
+                self.seq_out += 1;
+                return Ok(());
+            }
+            FaultAction::Mute => {
+                // Pretend-send: pacing proceeds as if healthy, but the
+                // peer sees pure silence.
+                self.last_sent = Instant::now();
+                return Ok(());
+            }
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Truncate => {
+                // A crash mid-write: half a frame, then abort.
+                let payload = encode_msg_seq(self.seq_out, msg);
+                let len = u32::try_from(payload.len()).expect("payload fits u32");
+                let _ = self.sock.write_all(&len.to_le_bytes());
+                let _ = self.sock.write_all(&payload[..payload.len() / 2]);
+                let _ = self.sock.flush();
+                let _ = self.sock.shutdown_write();
+                std::process::abort();
+            }
+        }
+        self.last_sent = Instant::now();
+        write_msg(&mut self.sock, &mut self.seq_out, msg)
+    }
+
+    /// Send a heartbeat if nothing has been written for a heartbeat
+    /// period (the coordinator's dead-peer detector needs *some*
+    /// traffic from a healthy worker).
+    fn maybe_heartbeat(&mut self) -> io::Result<()> {
+        if self.last_sent.elapsed() >= self.net.heartbeat {
+            self.send(&Msg::Heartbeat)?;
+        }
+        Ok(())
     }
 
     fn reduce(&self) -> bool {
@@ -710,7 +862,7 @@ impl<'a> Worker<'a> {
         for dest in 0..self.outbox.len() {
             if !self.outbox[dest].is_empty() {
                 let frames = std::mem::take(&mut self.outbox[dest]);
-                write_msg(&mut self.sock, &Msg::Route { dest, frames })?;
+                self.send(&Msg::Route { dest, frames })?;
             }
         }
         Ok(())
@@ -754,7 +906,7 @@ impl<'a> Worker<'a> {
             finals: std::mem::take(&mut self.finals),
             dump,
         };
-        write_msg(&mut self.sock, &Msg::Result(Box::new(res)))
+        self.send(&Msg::Result(Box::new(res)))
     }
 
     /// Dump everything unexplored for a checkpoint: visited entries,
@@ -806,15 +958,23 @@ impl<'a> Worker<'a> {
 
     fn run(mut self) -> io::Result<()> {
         loop {
-            // Poll for messages between expansions; block (after
+            // Poll for messages between expansions; wait (after
             // flushing buffered routes — they are other shards' work)
-            // when there is nothing local to expand.
+            // when there is nothing local to expand, waking to keep the
+            // heartbeat flowing.
             let idle = self.stack.is_empty() && !self.store.has_spilled_frontier();
             let msg = if idle {
                 self.flush_outbox()?;
-                match self.rx.recv() {
+                self.maybe_heartbeat()?;
+                let wait = self
+                    .net
+                    .heartbeat
+                    .saturating_sub(self.last_sent.elapsed())
+                    .max(Duration::from_millis(1));
+                match self.rx.recv_timeout(wait) {
                     Ok(m) => Some(m?),
-                    Err(_) => {
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
                         return Err(io::Error::new(
                             io::ErrorKind::UnexpectedEof,
                             "coordinator disconnected",
@@ -822,6 +982,7 @@ impl<'a> Worker<'a> {
                     }
                 }
             } else {
+                self.maybe_heartbeat()?;
                 match self.rx.try_recv() {
                     Ok(m) => Some(m?),
                     Err(mpsc::TryRecvError::Empty) => None,
@@ -887,7 +1048,7 @@ impl<'a> Worker<'a> {
                             received: self.received,
                             expanded: self.expanded,
                         };
-                        write_msg(&mut self.sock, &reply)?;
+                        self.send(&reply)?;
                     }
                     Msg::Stop { dump } => {
                         self.stats.truncated = true;
@@ -904,6 +1065,9 @@ impl<'a> Worker<'a> {
                     Msg::Finish => {
                         return self.send_result(None);
                     }
+                    // Keepalive: nothing to do beyond the read itself
+                    // having reset the dead-peer deadline.
+                    Msg::Heartbeat => {}
                     // Worker→coordinator messages never arrive here.
                     Msg::Route { .. }
                     | Msg::ProbeReply { .. }
@@ -974,13 +1138,10 @@ impl<'a> Worker<'a> {
                         });
                         if self.outbox[owner].len() >= ROUTE_BATCH {
                             let frames = std::mem::take(&mut self.outbox[owner]);
-                            write_msg(
-                                &mut self.sock,
-                                &Msg::Route {
-                                    dest: owner,
-                                    frames,
-                                },
-                            )?;
+                            self.send(&Msg::Route {
+                                dest: owner,
+                                frames,
+                            })?;
                         }
                     }
                 }
@@ -997,12 +1158,9 @@ impl<'a> Worker<'a> {
                 self.store.note_dequeued(victims.len());
             }
             if self.expanded.is_multiple_of(BEAT_PERIOD) {
-                write_msg(
-                    &mut self.sock,
-                    &Msg::Beat {
-                        expanded: self.expanded,
-                    },
-                )?;
+                self.send(&Msg::Beat {
+                    expanded: self.expanded,
+                })?;
             }
         }
     }
@@ -1032,11 +1190,20 @@ pub struct CoordinatorConfig<'a> {
     /// A previously saved checkpoint to resume from, instead of
     /// starting at the root frame.
     pub resume: Option<Checkpoint>,
+    /// Link-liveness pacing (must match what the workers were told).
+    pub net: NetParams,
+    /// Directory for the per-shard relay journals that make a
+    /// worker-death checkpoint possible. `None` disables journaling
+    /// (sensible when `checkpoint` is `None` — the journal would never
+    /// be read).
+    pub journal_dir: Option<PathBuf>,
 }
 
 /// The per-worker connection state the coordinator tracks.
 struct Link {
-    sock: UnixStream,
+    sock: Conn,
+    /// Outgoing sequence counter for this link.
+    seq_out: u64,
     /// Batch frames forwarded to this worker (the probe invariant's
     /// `r_out`).
     r_out: u64,
@@ -1044,8 +1211,14 @@ struct Link {
     expanded: u64,
     /// The worker's Result, once received.
     result: Option<WorkerResult>,
-    /// Socket EOF seen (normal after a Result; fatal before one).
+    /// Link failed or closed (normal after a Result; fatal before one).
     gone: bool,
+    /// Append-only journal of every frame forwarded to this shard:
+    /// replayed into the checkpoint's pending list if the shard dies
+    /// without dumping.
+    journal: Option<BufWriter<File>>,
+    /// The journal file path, for replay.
+    journal_path: Option<PathBuf>,
 }
 
 /// An in-flight termination probe round.
@@ -1055,6 +1228,116 @@ struct ProbeRound {
     replies: Vec<Option<(bool, u64)>>,
     /// A relay happened during the round — the round cannot be clean.
     dirty: bool,
+}
+
+/// What [`ProbeTracker::on_reply`] concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProbeVerdict {
+    /// Round still incomplete (or the reply was stale — a round number
+    /// from an earlier epoch never advances the current round).
+    Pending,
+    /// Round completed non-clean: work is still moving.
+    NotClean,
+    /// Round completed clean, but quiescence needs a second consecutive
+    /// clean round — start another probe.
+    CleanUnconfirmed,
+    /// Two consecutive clean rounds: the exploration is quiescent.
+    Quiesced,
+}
+
+/// Termination-probe bookkeeping, factored out of the coordinator so
+/// the latency-robustness properties are unit-testable without sockets:
+/// every probe round carries a fresh epoch number, and a reply tagged
+/// with any other round — say an "idle" reply that sat in a slow pipe
+/// while new work was relayed — is ignored outright, so a stale idle
+/// reply can never complete (let alone terminate) the current round.
+struct ProbeTracker {
+    next_round: u64,
+    current: Option<ProbeRound>,
+    clean_rounds: u32,
+    /// Adaptive probe pacing: doubles after each non-clean round (up to
+    /// [`PROBE_PACE_CAP`]) so a busy-but-quiet fleet is not pelted with
+    /// probes, and resets to [`PROBE_PACE`] whenever a relay shows work
+    /// moving.
+    pace: Duration,
+}
+
+impl ProbeTracker {
+    fn new() -> Self {
+        ProbeTracker {
+            next_round: 0,
+            current: None,
+            clean_rounds: 0,
+            pace: PROBE_PACE,
+        }
+    }
+
+    /// Begin a new round for `n` workers; returns its epoch number.
+    fn start(&mut self, n: usize) -> u64 {
+        self.next_round += 1;
+        self.current = Some(ProbeRound {
+            round: self.next_round,
+            replies: (0..n).map(|_| None).collect(),
+            dirty: false,
+        });
+        self.next_round
+    }
+
+    fn active(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// A relay happened: any in-flight round is dirty, the clean streak
+    /// is broken, and probing may speed back up.
+    fn on_relay(&mut self) {
+        if let Some(p) = &mut self.current {
+            p.dirty = true;
+        }
+        self.clean_rounds = 0;
+        self.pace = PROBE_PACE;
+    }
+
+    /// Record worker `w`'s reply to `round`. `r_out[i]` is the frame
+    /// count the coordinator has forwarded to worker `i` — a clean
+    /// round requires every reply to match it (nothing in flight).
+    fn on_reply(
+        &mut self,
+        w: usize,
+        round: u64,
+        idle: bool,
+        received: u64,
+        r_out: &[u64],
+    ) -> ProbeVerdict {
+        let complete = match &mut self.current {
+            Some(p) if p.round == round => {
+                p.replies[w] = Some((idle, received));
+                p.replies.iter().all(Option::is_some)
+            }
+            // Stale epoch (or no round in flight): ignore entirely.
+            _ => false,
+        };
+        if !complete {
+            return ProbeVerdict::Pending;
+        }
+        let p = self.current.take().expect("probe is present");
+        let clean = !p.dirty
+            && p.replies.iter().enumerate().all(|(i, r)| {
+                let (idle, received) = r.expect("all replies present");
+                idle && received == r_out[i]
+            });
+        if clean {
+            self.clean_rounds += 1;
+            if self.clean_rounds >= 2 {
+                ProbeVerdict::Quiesced
+            } else {
+                ProbeVerdict::CleanUnconfirmed
+            }
+        } else {
+            self.clean_rounds = 0;
+            self.pace = (self.pace * 2).min(PROBE_PACE_CAP);
+            ProbeVerdict::NotClean
+        }
+    }
 }
 
 /// Drive a distributed exploration over established worker connections.
@@ -1067,7 +1350,7 @@ struct ProbeRound {
 /// never panics on transport errors and never returns a partial result
 /// labelled conclusive.
 pub fn coordinate(
-    conns: Vec<UnixStream>,
+    conns: Vec<Conn>,
     mut children: Vec<Child>,
     root: Frame,
     ctx: &CodecCtx,
@@ -1075,22 +1358,26 @@ pub fn coordinate(
 ) -> DistribOutcome {
     let n = conns.len();
     assert!(n >= 1, "at least one worker");
-    let (tx, rx) = mpsc::channel::<(usize, Option<Msg>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<Msg, String>)>();
     let mut links: Vec<Link> = Vec::with_capacity(n);
     for (i, sock) in conns.into_iter().enumerate() {
         if let Ok(rd) = sock.try_clone() {
             let tx = tx.clone();
             std::thread::spawn(move || {
                 let mut rd = BufReader::new(rd);
+                let mut seq_in = 0u64;
                 loop {
-                    match read_msg(&mut rd) {
+                    match read_msg(&mut rd, &mut seq_in) {
                         Ok(m) => {
-                            if tx.send((i, Some(m))).is_err() {
+                            if tx.send((i, Ok(m))).is_err() {
                                 break;
                             }
                         }
-                        Err(_) => {
-                            let _ = tx.send((i, None));
+                        Err(e) => {
+                            // The reason string reaches `store_error`,
+                            // so "sequence gap" and "dead-peer timeout"
+                            // read differently from a plain crash.
+                            let _ = tx.send((i, Err(link_error(&e))));
                             break;
                         }
                     }
@@ -1099,27 +1386,38 @@ pub fn coordinate(
         }
         links.push(Link {
             sock,
+            seq_out: 0,
             r_out: 0,
             expanded: 0,
             result: None,
             gone: false,
+            journal: None,
+            journal_path: None,
         });
     }
     drop(tx);
 
+    let journaling = cfg.checkpoint.is_some();
     let mut st = Coordinator {
         links,
         orphans: Vec::new(),
         stopping: false,
         want_dump: false,
         died: false,
+        death_reason: None,
         truncated: false,
-        probe: None,
-        next_round: 0,
-        clean_rounds: 0,
+        probe: ProbeTracker::new(),
         wind_down: None,
         base_stats: ExplorationStats::default(),
         base_finals: BTreeSet::new(),
+        journal_dir: if journaling {
+            cfg.journal_dir.clone()
+        } else {
+            None
+        },
+        journal_ok: true,
+        net: cfg.net,
+        last_heartbeat: Instant::now(),
     };
 
     // Seed the frontier: checkpoint resume or the root frame.
@@ -1135,40 +1433,53 @@ pub fn coordinate(
         }
     }
 
-    let mut last_probe = Instant::now();
+    // Event-driven main loop: sleep until the next message or the next
+    // scheduled duty (heartbeat, probe, deadline, wind-down bound) —
+    // an idle coordinator no longer spins on a 2 ms poll.
+    let mut last_activity = Instant::now();
     loop {
         if st.done() {
             break;
         }
-        match rx.recv_timeout(Duration::from_millis(2)) {
-            Ok((w, Some(msg))) => st.handle(w, msg, cfg.limits),
-            Ok((w, None)) => st.handle_eof(w),
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if let Some(d) = cfg.limits.deadline {
-                    if !st.stopping && Instant::now() >= d {
-                        st.stop(cfg.checkpoint.is_some());
-                    }
-                }
-                if st.stopping {
-                    if let Some(t0) = st.wind_down {
-                        if t0.elapsed() > WIND_DOWN_GRACE {
-                            // Stragglers are hung or dead; stop waiting.
-                            for link in &mut st.links {
-                                if link.result.is_none() {
-                                    link.gone = true;
-                                    st.died = true;
-                                }
-                            }
-                            break;
+        let now = Instant::now();
+        st.heartbeat_links(now);
+        if let Some(d) = cfg.limits.deadline {
+            if !st.stopping && now >= d {
+                st.stop(cfg.checkpoint.is_some());
+            }
+        }
+        if st.stopping {
+            if let Some(t0) = st.wind_down {
+                if t0.elapsed() > WIND_DOWN_GRACE {
+                    // Stragglers are hung or dead; stop waiting.
+                    for link in &mut st.links {
+                        if link.result.is_none() {
+                            link.gone = true;
+                            st.died = true;
                         }
                     }
-                } else if st.probe.is_none() && last_probe.elapsed() >= PROBE_PACE {
-                    last_probe = Instant::now();
-                    st.start_probe();
+                    if st.died {
+                        st.death_reason.get_or_insert_with(|| {
+                            "worker never reported after stop (wind-down expired)".to_string()
+                        });
+                    }
+                    break;
                 }
             }
+        } else if !st.probe.active() && last_activity.elapsed() >= st.probe.pace {
+            st.start_probe();
+        }
+        let wait = st.next_wait(now, cfg.limits, last_activity);
+        match rx.recv_timeout(wait) {
+            Ok((w, Ok(msg))) => {
+                last_activity = Instant::now();
+                st.handle(w, msg, cfg.limits);
+            }
+            Ok((w, Err(reason))) => st.handle_lost(w, &reason),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                // All reader threads exited; EOFs were delivered first.
+                // All reader threads exited; link errors were delivered
+                // first.
                 break;
             }
         }
@@ -1192,16 +1503,25 @@ struct Coordinator {
     stopping: bool,
     want_dump: bool,
     died: bool,
+    /// Why the first lost worker was declared dead (for `store_error`).
+    death_reason: Option<String>,
     truncated: bool,
-    probe: Option<ProbeRound>,
-    next_round: u64,
-    clean_rounds: u32,
+    probe: ProbeTracker,
     /// When the stop/finish broadcast went out (bounds the wait for
     /// Results).
     wind_down: Option<Instant>,
     /// Stats/finals carried in from a resumed checkpoint.
     base_stats: ExplorationStats,
     base_finals: BTreeSet<FinalState>,
+    /// Where per-shard relay journals live (`None`: journaling off).
+    journal_dir: Option<PathBuf>,
+    /// All journal appends so far succeeded; once false, a death
+    /// checkpoint is off the table (it would silently drop frames).
+    journal_ok: bool,
+    net: NetParams,
+    /// Last keepalive broadcast (workers detect a dead *coordinator*
+    /// by the same silence rule).
+    last_heartbeat: Instant,
 }
 
 impl Coordinator {
@@ -1215,22 +1535,124 @@ impl Coordinator {
     }
 
     /// Send to one worker; a failed send means the worker is dead
-    /// (handled like an EOF).
+    /// (handled like a lost link).
     fn send(&mut self, w: usize, msg: &Msg) {
         if self.links[w].gone {
             return;
         }
-        if write_msg(&mut self.links[w].sock, msg).is_err() {
-            self.handle_eof(w);
+        let link = &mut self.links[w];
+        if let Err(e) = write_msg(&mut link.sock, &mut link.seq_out, msg) {
+            self.handle_lost(w, &link_error(&e));
+        } else {
+            self.last_heartbeat = Instant::now();
         }
     }
 
+    /// Broadcast a heartbeat when nothing else has been written for a
+    /// heartbeat period, so idle-but-healthy links never trip a
+    /// worker's dead-peer timeout.
+    fn heartbeat_links(&mut self, now: Instant) {
+        if now.duration_since(self.last_heartbeat) < self.net.heartbeat {
+            return;
+        }
+        self.last_heartbeat = now;
+        for w in 0..self.n() {
+            if self.links[w].result.is_none() && !self.links[w].gone {
+                self.send(w, &Msg::Heartbeat);
+            }
+        }
+    }
+
+    /// How long the main loop may sleep: until the next heartbeat, the
+    /// next probe opportunity, the deadline, or the wind-down bound —
+    /// whichever is soonest (clamped to [1 ms, heartbeat]).
+    fn next_wait(&self, now: Instant, limits: &ExploreLimits, last_activity: Instant) -> Duration {
+        let mut wait = self.net.heartbeat;
+        if !self.stopping && !self.probe.active() {
+            let probe_in = self
+                .probe
+                .pace
+                .saturating_sub(now.duration_since(last_activity));
+            wait = wait.min(probe_in);
+        }
+        if let Some(d) = limits.deadline {
+            if !self.stopping {
+                wait = wait.min(d.saturating_duration_since(now));
+            }
+        }
+        if let Some(t0) = self.wind_down {
+            let grace_end = t0 + WIND_DOWN_GRACE;
+            wait = wait.min(grace_end.saturating_duration_since(now));
+        }
+        wait.max(Duration::from_millis(1))
+    }
+
+    /// Append `frames` to shard `dest`'s relay journal (when journaling
+    /// is on). Called *before* the send: frames black-holed by a dying
+    /// link must still be recoverable from the journal.
+    fn journal_frames(&mut self, dest: usize, frames: &[FrameRecord]) {
+        let Some(dir) = &self.journal_dir else {
+            return;
+        };
+        if !self.journal_ok {
+            return;
+        }
+        let link = &mut self.links[dest];
+        let mut append = || -> io::Result<()> {
+            if link.journal.is_none() {
+                let path = dir.join(format!("journal-{dest}.bin"));
+                link.journal = Some(BufWriter::new(File::create(&path)?));
+                link.journal_path = Some(path);
+            }
+            let j = link.journal.as_mut().expect("journal just created");
+            for rec in frames {
+                let mut w = Writer::new();
+                encode_frame_record(&mut w, rec);
+                write_blob(j, &w.into_bytes())?;
+            }
+            Ok(())
+        };
+        if append().is_err() {
+            // Journaling failed (disk full?): a death checkpoint would
+            // now silently drop frames, so disable it. Graceful-stop
+            // checkpoints (built from worker dumps) are unaffected.
+            self.journal_ok = false;
+        }
+    }
+
+    /// Read shard `w`'s journal back as frame records.
+    fn replay_journal(&mut self, w: usize) -> io::Result<Vec<FrameRecord>> {
+        let link = &mut self.links[w];
+        if let Some(j) = &mut link.journal {
+            j.flush()?;
+        }
+        let Some(path) = &link.journal_path else {
+            // No journal file: nothing was ever forwarded to this shard.
+            return Ok(Vec::new());
+        };
+        let mut rd = BufReader::new(File::open(path)?);
+        let mut out = Vec::new();
+        loop {
+            match read_blob(&mut rd) {
+                Ok(blob) => {
+                    let rec = decode_frame_record(&mut Reader::new(&blob))
+                        .map_err(|e| decode_failed(&e))?;
+                    out.push(rec);
+                }
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
     /// Forward a frame batch to its owner, counting it against the
-    /// probe invariant.
+    /// probe invariant and journaling it for death recovery.
     fn send_batch(&mut self, dest: usize, preadmitted: bool, frames: Vec<FrameRecord>) {
         if frames.is_empty() {
             return;
         }
+        self.journal_frames(dest, &frames);
         self.links[dest].r_out += frames.len() as u64;
         self.send(
             dest,
@@ -1293,7 +1715,7 @@ impl Coordinator {
         self.stopping = true;
         self.want_dump = dump;
         self.truncated = true;
-        self.probe = None;
+        self.probe.current = None;
         self.wind_down = Some(Instant::now());
         for w in 0..self.n() {
             self.send(w, &Msg::Stop { dump });
@@ -1304,21 +1726,21 @@ impl Coordinator {
     fn finish_all(&mut self) {
         self.stopping = true;
         self.want_dump = false;
-        self.probe = None;
+        self.probe.current = None;
         self.wind_down = Some(Instant::now());
         for w in 0..self.n() {
             self.send(w, &Msg::Finish);
         }
     }
 
+    /// Whether a worker-death checkpoint is possible: journaling was
+    /// requested and every append so far succeeded.
+    fn can_death_checkpoint(&self) -> bool {
+        self.journal_dir.is_some() && self.journal_ok
+    }
+
     fn start_probe(&mut self) {
-        self.next_round += 1;
-        let round = self.next_round;
-        self.probe = Some(ProbeRound {
-            round,
-            replies: (0..self.n()).map(|_| None).collect(),
-            dirty: false,
-        });
+        let round = self.probe.start(self.n());
         for w in 0..self.n() {
             self.send(w, &Msg::Probe { round });
         }
@@ -1349,16 +1771,17 @@ impl Coordinator {
                     self.orphans.extend(frames);
                 } else {
                     let dest = dest.min(self.n() - 1);
-                    self.clean_rounds = 0;
-                    if let Some(p) = &mut self.probe {
-                        p.dirty = true;
-                    }
+                    self.probe.on_relay();
                     self.send_batch(dest, false, frames);
                 }
             }
             Msg::Beat { expanded } => {
                 self.links[w].expanded = self.links[w].expanded.max(expanded);
                 self.note_progress(limits);
+            }
+            Msg::Heartbeat => {
+                // Keepalive: the read itself already reset the
+                // dead-peer deadline.
             }
             Msg::ProbeReply {
                 round,
@@ -1371,30 +1794,11 @@ impl Coordinator {
                 if self.stopping {
                     return;
                 }
-                let complete = match &mut self.probe {
-                    Some(p) if p.round == round => {
-                        p.replies[w] = Some((idle, received));
-                        p.replies.iter().all(Option::is_some)
-                    }
-                    _ => false,
-                };
-                if complete {
-                    let p = self.probe.take().expect("probe is present");
-                    let clean = !p.dirty
-                        && p.replies.iter().enumerate().all(|(i, r)| {
-                            let (idle, received) = r.expect("all replies present");
-                            idle && received == self.links[i].r_out
-                        });
-                    if clean {
-                        self.clean_rounds += 1;
-                        if self.clean_rounds >= 2 {
-                            self.finish_all();
-                        } else {
-                            self.start_probe();
-                        }
-                    } else {
-                        self.clean_rounds = 0;
-                    }
+                let r_out: Vec<u64> = self.links.iter().map(|l| l.r_out).collect();
+                match self.probe.on_reply(w, round, idle, received, &r_out) {
+                    ProbeVerdict::Quiesced => self.finish_all(),
+                    ProbeVerdict::CleanUnconfirmed => self.start_probe(),
+                    ProbeVerdict::Pending | ProbeVerdict::NotClean => {}
                 }
             }
             Msg::Result(res) => {
@@ -1406,8 +1810,10 @@ impl Coordinator {
                 self.links[w].result = Some(*res);
                 if unsolicited {
                     // A worker bailed on its own (store failure): stop
-                    // the rest. Its dump is absent, so no checkpoint.
-                    self.stop(false);
+                    // the rest, dumping them if a death checkpoint is
+                    // possible (the bailed worker's frontier comes back
+                    // from its relay journal).
+                    self.stop(self.can_death_checkpoint());
                 }
             }
             // Coordinator→worker messages never arrive here; ignore
@@ -1420,17 +1826,22 @@ impl Coordinator {
         }
     }
 
-    fn handle_eof(&mut self, w: usize) {
+    /// A link failed: EOF, reset, sequence gap, or dead-peer timeout.
+    /// Normal after the worker's Result (it exits after sending);
+    /// before one it means the worker is lost — degrade gracefully:
+    /// truncated, never silent, and *attempt* a checkpoint (survivors
+    /// dump; the lost shard is rebuilt from its relay journal).
+    fn handle_lost(&mut self, w: usize, reason: &str) {
         if self.links[w].gone {
             return;
         }
         self.links[w].gone = true;
         if self.links[w].result.is_none() {
-            // Died before reporting: degrade gracefully — truncated,
-            // never silent, and no checkpoint (its frontier is lost).
             self.died = true;
             self.truncated = true;
-            self.stop(false);
+            self.death_reason
+                .get_or_insert_with(|| format!("distributed worker {w} lost: {reason}"));
+            self.stop(self.can_death_checkpoint());
         }
     }
 
@@ -1469,16 +1880,23 @@ impl Coordinator {
         }
         stats.truncated = self.truncated;
         if self.died && stats.store_error.is_none() {
-            stats.store_error = Some("distributed worker died mid-exploration".to_string());
+            stats.store_error = Some(
+                self.death_reason
+                    .clone()
+                    .unwrap_or_else(|| "distributed worker died mid-exploration".to_string()),
+            );
         }
 
         let mut checkpoint_written = false;
         if let Some(path) = cfg.checkpoint {
-            let all_dumped = self
-                .links
-                .iter()
-                .all(|l| l.result.as_ref().is_some_and(|r| r.dump.is_some()));
-            if self.truncated && self.want_dump && !self.died && all_dumped {
+            if self.truncated && self.want_dump {
+                // Assemble the checkpoint: dumped links contribute
+                // their visited set and frontier directly; a link that
+                // never dumped (it died, or hung past wind-down) has
+                // its visited set *dropped* and its relay journal
+                // replayed into the pending list — the resumed run
+                // re-derives every state the lost shard had discovered
+                // from those entry points, so finals stay exact.
                 let mut ck = Checkpoint {
                     job_digest: cfg.job_digest,
                     stats: stats.clone(),
@@ -1487,20 +1905,36 @@ impl Coordinator {
                     frontier: Vec::new(),
                     pending: std::mem::take(&mut self.orphans),
                 };
-                for link in &mut self.links {
-                    let dump = link
-                        .result
-                        .as_mut()
-                        .and_then(|r| r.dump.take())
-                        .expect("all_dumped checked");
-                    ck.visited.extend(dump.visited);
-                    ck.frontier.extend(dump.frontier);
+                let mut assembled = true;
+                for w in 0..self.n() {
+                    let dump = self.links[w].result.as_mut().and_then(|r| r.dump.take());
+                    if let Some(dump) = dump {
+                        ck.visited.extend(dump.visited);
+                        ck.frontier.extend(dump.frontier);
+                    } else if !self.can_death_checkpoint() {
+                        // No journal (or an append failed): replaying a
+                        // missing/partial journal would silently drop
+                        // frames, so refuse the checkpoint.
+                        assembled = false;
+                    } else {
+                        match self.replay_journal(w) {
+                            Ok(recs) => ck.pending.extend(recs),
+                            Err(e) => {
+                                assembled = false;
+                                if stats.store_error.is_none() {
+                                    stats.store_error = Some(format!("journal replay failed: {e}"));
+                                }
+                            }
+                        }
+                    }
                 }
-                match save_checkpoint(path, &ck) {
-                    Ok(()) => checkpoint_written = true,
-                    Err(e) => {
-                        if stats.store_error.is_none() {
-                            stats.store_error = Some(format!("checkpoint write failed: {e}"));
+                if assembled {
+                    match save_checkpoint(path, &ck) {
+                        Ok(()) => checkpoint_written = true,
+                        Err(e) => {
+                            if stats.store_error.is_none() {
+                                stats.store_error = Some(format!("checkpoint write failed: {e}"));
+                            }
                         }
                     }
                 }
@@ -1573,6 +2007,7 @@ mod tests {
                 expanded: 456,
             },
             Msg::Beat { expanded: 99 },
+            Msg::Heartbeat,
             Msg::Result(Box::new(WorkerResult {
                 stats: ExplorationStats {
                     states: 10,
@@ -1593,6 +2028,139 @@ mod tests {
             let back = decode_msg(&bytes).expect("round trip");
             assert_eq!(encode_msg(&back), bytes, "re-encode is stable");
         }
+    }
+
+    /// The sequence-numbered envelope round-trips and detects gaps.
+    #[test]
+    fn seq_envelope_detects_dropped_frames() {
+        let mut buf = Vec::new();
+        let mut seq_out = 0u64;
+        write_msg(&mut buf, &mut seq_out, &Msg::Probe { round: 1 }).unwrap();
+        // Simulate a dropped frame: burn the sequence number.
+        seq_out += 1;
+        write_msg(&mut buf, &mut seq_out, &Msg::Probe { round: 2 }).unwrap();
+        let mut rd = io::Cursor::new(buf);
+        let mut seq_in = 0u64;
+        assert!(matches!(
+            read_msg(&mut rd, &mut seq_in).unwrap(),
+            Msg::Probe { round: 1 }
+        ));
+        let err = read_msg(&mut rd, &mut seq_in).unwrap_err();
+        assert!(
+            err.to_string().contains("sequence gap"),
+            "gap must be loud: {err}"
+        );
+    }
+
+    /// A probe round completes only with replies from its own epoch: a
+    /// stale "idle" reply from an earlier round — one that sat in a
+    /// slow pipe while new work was relayed — can never complete the
+    /// current round, so it can never terminate the run early.
+    #[test]
+    fn stale_probe_reply_cannot_complete_a_round() {
+        let mut t = ProbeTracker::new();
+        let r_out = [5u64, 7u64];
+        let round1 = t.start(2);
+        assert_eq!(round1, 1);
+        // Worker 0 replies idle to round 1; then a relay dirties it.
+        assert_eq!(
+            t.on_reply(0, round1, true, r_out[0], &r_out),
+            ProbeVerdict::Pending
+        );
+        t.on_relay();
+        assert_eq!(
+            t.on_reply(1, round1, true, r_out[1], &r_out),
+            ProbeVerdict::NotClean,
+            "relay during the round keeps it dirty"
+        );
+        // New round. Worker 0's *duplicate/stale* round-1 idle reply
+        // arrives late: it must be ignored, not complete round 2.
+        let round2 = t.start(2);
+        assert_eq!(
+            t.on_reply(0, round1, true, r_out[0], &r_out),
+            ProbeVerdict::Pending,
+            "stale epoch ignored"
+        );
+        assert_eq!(
+            t.on_reply(1, round2, true, r_out[1], &r_out),
+            ProbeVerdict::Pending,
+            "round 2 still lacks worker 0's round-2 reply"
+        );
+        // Worker 0 is actually busy now.
+        assert_eq!(
+            t.on_reply(0, round2, false, r_out[0], &r_out),
+            ProbeVerdict::NotClean
+        );
+    }
+
+    /// An in-flight frame (received < r_out) blocks a clean round even
+    /// when every worker claims idle.
+    #[test]
+    fn in_flight_frame_blocks_clean_round() {
+        let mut t = ProbeTracker::new();
+        let r_out = [10u64, 10u64];
+        let round = t.start(2);
+        assert_eq!(
+            t.on_reply(0, round, true, 10, &r_out),
+            ProbeVerdict::Pending
+        );
+        assert_eq!(
+            t.on_reply(1, round, true, 9, &r_out),
+            ProbeVerdict::NotClean,
+            "worker 1 has not consumed everything sent to it"
+        );
+    }
+
+    /// Two consecutive clean rounds quiesce; one does not.
+    #[test]
+    fn quiescence_needs_two_consecutive_clean_rounds() {
+        let mut t = ProbeTracker::new();
+        let r_out = [3u64];
+        let round = t.start(1);
+        assert_eq!(
+            t.on_reply(0, round, true, 3, &r_out),
+            ProbeVerdict::CleanUnconfirmed
+        );
+        let round = t.start(1);
+        assert_eq!(
+            t.on_reply(0, round, true, 3, &r_out),
+            ProbeVerdict::Quiesced
+        );
+        // And a dirty round in between resets the streak.
+        let mut t = ProbeTracker::new();
+        let round = t.start(1);
+        assert_eq!(
+            t.on_reply(0, round, true, 3, &r_out),
+            ProbeVerdict::CleanUnconfirmed
+        );
+        let round = t.start(1);
+        t.on_relay();
+        assert_eq!(
+            t.on_reply(0, round, true, 3, &r_out),
+            ProbeVerdict::NotClean
+        );
+        let round = t.start(1);
+        assert_eq!(
+            t.on_reply(0, round, true, 3, &r_out),
+            ProbeVerdict::CleanUnconfirmed,
+            "streak restarted from zero"
+        );
+    }
+
+    /// The adaptive pace backs off on non-clean rounds and resets on
+    /// relays.
+    #[test]
+    fn probe_pace_adapts() {
+        let mut t = ProbeTracker::new();
+        assert_eq!(t.pace, PROBE_PACE);
+        let r_out = [1u64];
+        for _ in 0..10 {
+            let round = t.start(1);
+            let _ = t.on_reply(0, round, false, 1, &r_out);
+        }
+        assert_eq!(t.pace, PROBE_PACE_CAP, "backed off to the cap");
+        t.on_relay();
+        assert_eq!(t.pace, PROBE_PACE, "relay resets the pace");
     }
 
     /// Params codec round-trips (job shipping depends on it).

@@ -32,6 +32,7 @@
 //! envelope and produces bit-identical [`oracle::Outcomes`].
 
 pub mod distrib;
+pub mod net;
 pub mod oracle;
 pub mod pretty;
 pub mod reduction;

@@ -16,10 +16,13 @@
 //! Robustness: a fault-injected worker death (`std::process::abort`
 //! mid-exploration, indistinguishable from SIGKILL/OOM) must surface
 //! as a *truncated* result carrying a `store_error` — never a silent
-//! partial pass — and must never write a checkpoint (the dead worker's
-//! frontier is lost, so a checkpoint would silently drop states). A
-//! graceful budget pause *does* checkpoint, and resuming completes to
-//! finals and counts byte-identical to an uninterrupted run.
+//! partial pass. When a checkpoint path is configured, the coordinator
+//! journals every cross-shard frame it relays and uses those journals
+//! to reconstruct the dead shard's entry points, so even a crashed
+//! fleet leaves a *resumable* checkpoint: resuming completes to finals
+//! byte-identical to an uninterrupted run. A graceful budget pause
+//! checkpoints exactly as before (byte-identical finals *and* counts
+//! on resume).
 //!
 //! Worker processes are this test binary re-executed with
 //! `["distrib_worker_shim", "--exact"]`: the shim test calls
@@ -57,9 +60,8 @@ const LADDER: &[&str] = &[
 fn dcfg(workers: usize) -> DistribConfig {
     DistribConfig {
         workers,
-        checkpoint: None,
         worker_args: vec!["distrib_worker_shim".to_owned(), "--exact".to_owned()],
-        worker_env: Vec::new(),
+        ..DistribConfig::default()
     }
 }
 
@@ -210,21 +212,26 @@ fn distributed_context_bound_reports_bounded() {
 /// Fault injection: one worker process aborts mid-exploration (no
 /// unwind, no goodbye — exactly a SIGKILL/OOM). The coordinator must
 /// degrade to a *truncated* result with the death recorded, never a
-/// silent or partial pass, and must not write a checkpoint from the
-/// lossy remains.
+/// silent or partial pass — and, because a checkpoint path is
+/// configured, must leave a death checkpoint assembled from the relay
+/// journals, from which a fresh fleet resumes to byte-identical
+/// *finals* (counts may legitimately overcount re-expanded states
+/// after a crash, so only the finals — the model's verdict — are
+/// pinned).
 #[test]
 fn killed_worker_reports_truncation_never_silent() {
+    let source = library_source("MP");
+    let params = ModelParams::default();
+    let limits = ExploreLimits::default();
+    let reference = sequential_reference(source, &params, &limits);
+    assert!(!reference.stats.truncated);
+
     let tmp = std::env::temp_dir().join(format!("ppcmem-distrib-kill-ck-{}", std::process::id()));
     let _ = std::fs::remove_file(&tmp);
     let mut cfg = dcfg(2);
     cfg.checkpoint = Some(tmp.clone());
     cfg.worker_env = vec![(DIE_AFTER_ENV.to_owned(), "40".to_owned())];
-    let result = run_source_distributed(
-        library_source("MP"),
-        &ModelParams::default(),
-        &ExploreLimits::default(),
-        &cfg,
-    );
+    let result = run_source_distributed(source, &params, &limits, &cfg);
     assert!(
         result.stats.truncated,
         "a killed worker must truncate the run"
@@ -235,13 +242,34 @@ fn killed_worker_reports_truncation_never_silent() {
         .as_deref()
         .expect("a killed worker must be recorded in store_error");
     assert!(
-        err.contains("died") || err.contains("worker"),
+        err.contains("died") || err.contains("worker") || err.contains("lost"),
         "unhelpful death report: {err}"
     );
     assert!(
+        tmp.exists(),
+        "a worker death with a configured checkpoint must leave a \
+         resumable death checkpoint (assembled from the relay journals)"
+    );
+
+    // Resume with the fault cleared: the crashed fleet's progress plus
+    // the journaled entry points must complete to the exact final-state
+    // set of an uninterrupted run.
+    cfg.worker_env.clear();
+    let resumed = outcomes_distributed(source, &params, &limits, &cfg);
+    assert!(
+        !resumed.stats.truncated,
+        "resume after death must complete ({:?})",
+        resumed.stats.store_error
+    );
+    assert!(
+        reference.finals == resumed.finals,
+        "finals after death-checkpoint resume diverged ({} vs {})",
+        reference.finals.len(),
+        resumed.finals.len()
+    );
+    assert!(
         !tmp.exists(),
-        "a worker death must never produce a checkpoint (the dead \
-         worker's frontier is lost)"
+        "an untruncated completion must delete the checkpoint"
     );
 }
 
