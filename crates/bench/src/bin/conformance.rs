@@ -9,8 +9,19 @@
 //! conformance [--jobs N] [--model-threads N] [--steal-batch N]
 //!             [--max-states N] [--max-resident N] [--timeout-secs S]
 //!             [--context-bound N] [--reduced] [--distributed N]
+//!             [--cache DIR] [--expect-cached]
 //!             [--json PATH] [--library-only] [--paper-only] [--quiet]
 //! ```
+//!
+//! `--cache DIR` routes the sweep through the oracle service's
+//! content-addressed result store (`crates/service`): each test's
+//! canonical query key is probed first and only misses explore, so a
+//! warm sweep performs *zero* explorations and its `--json` report is
+//! byte-identical to the cold run's (hits re-serve the stored record
+//! line verbatim). `--expect-cached` asserts the warm case — the run
+//! fails if any exploration happened. Cache keys include every
+//! envelope-affecting model parameter plus the codec/model versions,
+//! so changing e.g. `--context-bound` never serves a stale record.
 //!
 //! `--max-resident N` bounds each exploration's in-memory frontier to N
 //! decoded states (overflow spills to temp files through the canonical
@@ -38,9 +49,10 @@
 //! truncations) do.
 
 use bench::args::{arg_value, check_flags, parse_arg, parse_nonzero_arg};
-use ppc_litmus::harness::{run_suite, HarnessConfig};
+use ppc_litmus::harness::{run_suite, HarnessConfig, Job};
 use ppc_litmus::{generated_suite, library, paper_section2_suite};
 use ppc_model::ModelParams;
+use ppc_service::Oracle;
 use std::io::Write as _;
 use std::time::Duration;
 
@@ -54,6 +66,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--timeout-secs",
     "--context-bound",
     "--distributed",
+    "--cache",
     "--json",
 ];
 /// Boolean flags.
@@ -63,12 +76,13 @@ const BOOL_FLAGS: &[&str] = &[
     "--paper-only",
     "--quiet",
     "--tcp",
+    "--expect-cached",
 ];
 
 const USAGE: &str = "conformance [--jobs N] [--model-threads N] [--steal-batch N] \
      [--max-states N] [--max-resident N] [--timeout-secs S] [--context-bound N] \
-     [--reduced] [--distributed N] [--tcp] [--json PATH] [--library-only] [--paper-only] \
-     [--quiet]";
+     [--reduced] [--distributed N] [--tcp] [--cache DIR] [--expect-cached] \
+     [--json PATH] [--library-only] [--paper-only] [--quiet]";
 
 #[allow(clippy::too_many_lines)]
 fn main() {
@@ -92,8 +106,14 @@ fn main() {
     let distributed: usize = parse_arg("conformance", &args, "--distributed", 0);
     let tcp = args.iter().any(|a| a == "--tcp");
     let reduced = args.iter().any(|a| a == "--reduced");
+    let cache = arg_value(&args, "--cache");
+    let expect_cached = args.iter().any(|a| a == "--expect-cached");
     let json_path = arg_value(&args, "--json");
     let quiet = args.iter().any(|a| a == "--quiet");
+    if expect_cached && cache.is_none() {
+        eprintln!("conformance: --expect-cached requires --cache DIR");
+        std::process::exit(2);
+    }
 
     let entries = if args.iter().any(|a| a == "--paper-only") {
         paper_section2_suite()
@@ -156,7 +176,27 @@ fn main() {
             .map(|t| format!(", {}s timeout", t.as_secs()))
             .unwrap_or_default(),
     );
-    let report = run_suite(&entries, &cfg);
+    // With --cache the sweep becomes a facade over the oracle service:
+    // probe the content-addressed store per test, explore only misses.
+    // Without it the harness runs directly, exactly as before.
+    let (report, cached_jsonl, cache_stats) = if let Some(dir) = &cache {
+        let oracle =
+            Oracle::with_cache(cfg.clone(), std::path::Path::new(dir)).unwrap_or_else(|e| {
+                eprintln!("conformance: cannot open cache {dir}: {e}");
+                std::process::exit(1);
+            });
+        let jobs: Vec<Job> = entries.iter().map(Job::from_entry).collect();
+        let cached = oracle.run_suite_cached(&jobs);
+        let stats = oracle.stats();
+        eprintln!(
+            "conformance: cache {dir}: {} hits, {} misses, {} explorations, {} corrupt dropped",
+            stats.hits, stats.misses, stats.explorations, stats.corrupt_dropped
+        );
+        let jsonl = cached.to_jsonl();
+        (cached.report, Some(jsonl), Some(stats))
+    } else {
+        (run_suite(&entries, &cfg), None, None)
+    };
 
     if !quiet {
         println!(
@@ -218,10 +258,24 @@ fn main() {
     }
 
     if let Some(path) = json_path {
+        // Cached runs write the record lines verbatim (byte-identical
+        // between cold and warm sweeps); uncached runs serialize fresh.
+        let jsonl = cached_jsonl.unwrap_or_else(|| report.to_jsonl());
         let mut f = std::fs::File::create(&path).expect("create JSON report file");
-        f.write_all(report.to_jsonl().as_bytes())
-            .expect("write JSON report");
+        f.write_all(jsonl.as_bytes()).expect("write JSON report");
         eprintln!("wrote {path}");
+    }
+
+    if expect_cached {
+        let explorations = cache_stats.map_or(0, |s| s.explorations);
+        if explorations != 0 {
+            eprintln!(
+                "conformance: --expect-cached violated: {explorations} explorations on a run \
+                 that should have been fully served from the cache"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("conformance: fully cached (0 explorations)");
     }
 
     // A context-bounded run is an explicitly approximate tier:

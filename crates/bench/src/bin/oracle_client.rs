@@ -1,0 +1,149 @@
+//! `oracle-client` — submit litmus programs to a running `oracled`.
+//!
+//! Usage:
+//!
+//! ```text
+//! oracle-client --connect HOST:PORT [FILE…] [--expect allowed|forbidden]
+//!               [--pinned-by WHO] [--max-states N] [--timeout-ms MS]
+//!               [--stats] [--shutdown]
+//! ```
+//!
+//! Each `FILE` (or stdin, when no files are given) is one litmus
+//! program; the server's JSONL record line is printed per submission,
+//! prefixed with `cached ` or `explored ` on stderr so scripts can
+//! split the verdict stream (stdout) from the provenance notes.
+//! `--stats` prints the server's counter snapshot after the
+//! submissions; `--shutdown` asks the server to stop afterwards.
+//!
+//! Exit status: 0 when every submission was answered, 1 when any was
+//! rejected (e.g. a parse error), 2 on usage errors.
+
+use bench::args::{arg_value, check_flags, parse_arg};
+use ppc_litmus::Expectation;
+use ppc_service::{Budget, Client, Response};
+use std::io::Read as _;
+
+const VALUE_FLAGS: &[&str] = &[
+    "--connect",
+    "--expect",
+    "--pinned-by",
+    "--max-states",
+    "--timeout-ms",
+];
+const BOOL_FLAGS: &[&str] = &["--stats", "--shutdown"];
+
+const USAGE: &str = "oracle-client --connect HOST:PORT [FILE…] \
+     [--expect allowed|forbidden] [--pinned-by WHO] [--max-states N] \
+     [--timeout-ms MS] [--stats] [--shutdown]";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Positional FILE arguments are anything not consumed by a flag.
+    let mut files = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let a = raw[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            flags.push(raw[i].clone());
+            if let Some(v) = raw.get(i + 1) {
+                flags.push(v.clone());
+            }
+            i += 2;
+        } else if BOOL_FLAGS.contains(&a) || a.starts_with("--") {
+            flags.push(raw[i].clone());
+            i += 1;
+        } else {
+            files.push(raw[i].clone());
+            i += 1;
+        }
+    }
+    check_flags("oracle-client", &flags, VALUE_FLAGS, BOOL_FLAGS, USAGE);
+    let Some(addr) = arg_value(&flags, "--connect") else {
+        eprintln!("oracle-client: --connect HOST:PORT is required");
+        eprintln!("usage: {USAGE}");
+        std::process::exit(2);
+    };
+    let expect = match arg_value(&flags, "--expect").as_deref() {
+        None | Some("allowed") => Expectation::Allowed,
+        Some("forbidden") => Expectation::Forbidden,
+        Some(v) => {
+            eprintln!("oracle-client: --expect must be `allowed` or `forbidden`, got `{v}`");
+            std::process::exit(2);
+        }
+    };
+    let pinned_by = arg_value(&flags, "--pinned-by").unwrap_or_else(|| "oracle-client".to_owned());
+    let budget = Budget {
+        max_states: parse_arg("oracle-client", &flags, "--max-states", 0),
+        timeout_ms: parse_arg("oracle-client", &flags, "--timeout-ms", 0),
+    };
+    let want_stats = flags.iter().any(|a| a == "--stats");
+    let want_shutdown = flags.iter().any(|a| a == "--shutdown");
+
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("oracle-client: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+
+    // Collect (label, source) submissions: the files, else stdin.
+    let mut submissions: Vec<(String, String)> = Vec::new();
+    if files.is_empty() {
+        if !want_stats && !want_shutdown {
+            let mut source = String::new();
+            std::io::stdin()
+                .read_to_string(&mut source)
+                .unwrap_or_else(|e| {
+                    eprintln!("oracle-client: cannot read stdin: {e}");
+                    std::process::exit(1);
+                });
+            submissions.push(("<stdin>".to_owned(), source));
+        }
+    } else {
+        for f in &files {
+            let source = std::fs::read_to_string(f).unwrap_or_else(|e| {
+                eprintln!("oracle-client: cannot read {f}: {e}");
+                std::process::exit(1);
+            });
+            submissions.push((f.clone(), source));
+        }
+    }
+
+    let mut rejected = false;
+    for (label, source) in &submissions {
+        match client.query(source, expect, &pinned_by, budget) {
+            Ok(Response::Result { cached, line }) => {
+                eprintln!(
+                    "oracle-client: {label}: {}",
+                    if cached { "cached" } else { "explored" }
+                );
+                println!("{line}");
+            }
+            Ok(Response::Error(msg)) => {
+                eprintln!("oracle-client: {label}: rejected: {msg}");
+                rejected = true;
+            }
+            Err(e) => {
+                eprintln!("oracle-client: {label}: transport error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want_stats {
+        let s = client.stats().unwrap_or_else(|e| {
+            eprintln!("oracle-client: stats failed: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "stats: hits={} misses={} explorations={} coalesced={} corrupt_dropped={}",
+            s.hits, s.misses, s.explorations, s.coalesced, s.corrupt_dropped
+        );
+    }
+    if want_shutdown {
+        client.shutdown().unwrap_or_else(|e| {
+            eprintln!("oracle-client: shutdown failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("oracle-client: server acknowledged shutdown");
+    }
+    std::process::exit(i32::from(rejected));
+}

@@ -1,0 +1,104 @@
+//! `oracled` — the oracle-as-a-service daemon (ROADMAP item 2's
+//! production shape): a long-running TCP server answering litmus
+//! queries from a content-addressed result store, exploring at most
+//! once per distinct content key.
+//!
+//! Usage:
+//!
+//! ```text
+//! oracled [--listen ADDR] [--cache DIR] [--model-threads N]
+//!         [--max-states N] [--max-resident N] [--timeout-secs S]
+//! ```
+//!
+//! `--listen` defaults to `127.0.0.1:0` (an OS-assigned port); the
+//! bound address is printed as `oracled: listening on HOST:PORT` and
+//! stdout is flushed, so scripts can scrape the port. `--cache DIR` is
+//! strongly recommended — without it every query explores. The budget
+//! flags set the server's *defaults and maxima*: a client's
+//! per-request budget is clamped by them (narrower is allowed, wider
+//! is not).
+//!
+//! The server runs until a client sends a `shutdown` request (or the
+//! process is killed — the store is crash-safe, so a kill → restart
+//! serves the same cache).
+
+use bench::args::{arg_value, check_flags, parse_arg};
+use ppc_litmus::harness::HarnessConfig;
+use ppc_model::ModelParams;
+use ppc_service::{serve, Oracle, ServerConfig};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Flags taking a value (the next argument is consumed).
+const VALUE_FLAGS: &[&str] = &[
+    "--listen",
+    "--cache",
+    "--model-threads",
+    "--max-states",
+    "--max-resident",
+    "--timeout-secs",
+];
+/// Boolean flags.
+const BOOL_FLAGS: &[&str] = &[];
+
+const USAGE: &str = "oracled [--listen ADDR] [--cache DIR] [--model-threads N] \
+     [--max-states N] [--max-resident N] [--timeout-secs S]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    check_flags("oracled", &args, VALUE_FLAGS, BOOL_FLAGS, USAGE);
+    let listen = arg_value(&args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let cache = arg_value(&args, "--cache");
+    let model_threads: usize = parse_arg("oracled", &args, "--model-threads", 1);
+    let max_states: usize = parse_arg(
+        "oracled",
+        &args,
+        "--max-states",
+        ModelParams::DEFAULT_MAX_STATES,
+    );
+    let max_resident: usize = parse_arg("oracled", &args, "--max-resident", 0);
+    let timeout_secs: u64 = parse_arg("oracled", &args, "--timeout-secs", 0);
+
+    let cfg = HarnessConfig {
+        params: ModelParams {
+            threads: model_threads,
+            max_states,
+            max_resident_states: max_resident,
+            ..ModelParams::default()
+        },
+        timeout_per_test: if timeout_secs == 0 {
+            None
+        } else {
+            Some(Duration::from_secs(timeout_secs))
+        },
+        ..HarnessConfig::default()
+    };
+    let oracle = match &cache {
+        Some(dir) => Oracle::with_cache(cfg, std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("oracled: cannot open cache {dir}: {e}");
+            std::process::exit(1);
+        }),
+        None => Oracle::new(cfg),
+    };
+    let handle = serve(
+        &ServerConfig {
+            addr: listen.clone(),
+        },
+        Arc::new(oracle),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("oracled: cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    let host = listen.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
+    println!("oracled: listening on {host}:{}", handle.port());
+    if let Some(dir) = &cache {
+        println!("oracled: cache at {dir}");
+    } else {
+        println!("oracled: no cache (every query explores)");
+    }
+    std::io::stdout().flush().expect("flush stdout");
+    handle.wait();
+    println!("oracled: shut down");
+}

@@ -25,6 +25,15 @@
 //! a budget/deadline pause writes `PATH.<test>`, and a rerun picks up
 //! where it stopped (the file is deleted on completion).
 //!
+//! `--cache DIR` serves the *sequential* (t1) column through the oracle
+//! service's content-addressed result store (`crates/service`): a warm
+//! run re-serves the stored record instead of re-exploring, and cached
+//! rows are marked `*` (their t1 time is the cache-probe time, so the
+//! speedup column is not meaningful for them). The cross-check still
+//! holds — a cached record was produced under identical model
+//! parameters, so its counts must agree with the freshly-run parallel
+//! engine.
+//!
 //! `--tcp` moves the distributed run onto loopback TCP (same wire
 //! protocol, the multi-machine transport). For an actual multi-machine
 //! run the coordinator takes `--listen ADDR` and spawns nothing, while
@@ -36,8 +45,10 @@
 
 use bench::args::{arg_value, check_flags, parse_arg, parse_nonzero_arg};
 use ppc_litmus::distrib::{run_source_distributed, DistribConfig, WorkerLaunch};
+use ppc_litmus::harness::{HarnessConfig, Job};
 use ppc_litmus::{library, parse, run_limited};
 use ppc_model::{resolve_threads, run_sequential, ExploreLimits, ModelParams};
+use ppc_service::{Budget, Oracle};
 use std::time::Instant;
 
 /// Flags taking a value (the next argument is consumed).
@@ -50,13 +61,14 @@ const VALUE_FLAGS: &[&str] = &[
     "--checkpoint",
     "--listen",
     "--connect",
+    "--cache",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &["--reduced", "--tcp"];
 
 const USAGE: &str = "statespace [--threads N] [--steal-batch N] [--max-resident N] \
      [--context-bound N] [--reduced] [--distributed N] [--checkpoint PATH] \
-     [--tcp] [--listen ADDR] [--connect HOST:PORT]";
+     [--tcp] [--listen ADDR] [--connect HOST:PORT] [--cache DIR]";
 
 /// The ladder of representative tests, roughly by state-space size.
 pub const LADDER: &[&str] = &[
@@ -103,6 +115,7 @@ fn main() {
     let context_bound: usize = parse_nonzero_arg("statespace", &args, "--context-bound", 0);
     let distributed: usize = parse_arg("statespace", &args, "--distributed", 0);
     let checkpoint = arg_value(&args, "--checkpoint");
+    let cache = arg_value(&args, "--cache");
     let reduced = args.iter().any(|a| a == "--reduced");
     let tcp = args.iter().any(|a| a == "--tcp");
     let listen = arg_value(&args, "--listen");
@@ -123,6 +136,23 @@ fn main() {
         max_context_switches: context_bound,
         ..ModelParams::default()
     };
+    // With --cache the t1 column is served through the oracle service
+    // (threads pinned to 1 so the record matches the sequential run).
+    let oracle = cache.as_deref().map(|dir| {
+        let cfg = HarnessConfig {
+            params: ModelParams {
+                threads: 1,
+                ..params.clone()
+            },
+            ..HarnessConfig::default()
+        };
+        let oracle = Oracle::with_cache(cfg, std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("statespace: cannot open cache {dir}: {e}");
+            std::process::exit(1);
+        });
+        println!("t1 column served via oracle cache at {dir} (cached rows marked *)");
+        oracle
+    });
     if distributed != 0 {
         let transport = match &launch {
             WorkerLaunch::Unix => String::new(),
@@ -182,7 +212,28 @@ fn main() {
             ..ExploreLimits::default()
         };
         let t0 = Instant::now();
-        let r1 = run_limited(&test, &params, &seq);
+        // (finals, witnessed, states, transitions) for the t1 column —
+        // from the oracle service when --cache is set, else a direct
+        // sequential run.
+        let (s1, was_cached) = if let Some(oracle) = &oracle {
+            let out = oracle.query(&Job::from_entry(&e), &Budget::default());
+            let r = &out.report;
+            (
+                (r.finals, r.model_allows, r.states, r.transitions),
+                out.cached,
+            )
+        } else {
+            let r1 = run_limited(&test, &params, &seq);
+            (
+                (
+                    r1.finals,
+                    r1.witnessed,
+                    r1.stats.states,
+                    r1.stats.transitions,
+                ),
+                false,
+            )
+        };
         let dt1 = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
         let rn = if distributed != 0 {
@@ -217,23 +268,23 @@ fn main() {
             // state counts are exactly what it shrinks (and the
             // parallel count varies run to run with steal order).
             assert_eq!(
-                (r1.finals, r1.witnessed),
+                (s1.0, s1.1),
                 (rn.finals, rn.witnessed),
                 "{name}: reduced parallel exploration diverged from sequential"
             );
         } else {
             assert_eq!(
-                (r1.finals, r1.witnessed, r1.stats.states),
+                (s1.0, s1.1, s1.2),
                 (rn.finals, rn.witnessed, rn.stats.states),
                 "{name}: parallel exploration diverged from sequential"
             );
         }
         println!(
             "{:<22} {:>9} {:>12} {:>8} {:>9.2} {:>9.2} {:>7.2}x",
-            name,
-            r1.stats.states,
-            r1.stats.transitions,
-            r1.finals,
+            format!("{name}{}", if was_cached { "*" } else { "" }),
+            s1.2,
+            s1.3,
+            s1.0,
             dt1,
             dtn,
             dt1 / dtn

@@ -16,12 +16,82 @@
 //! reported as *inconclusive* rather than silently counted as a pass.
 
 use crate::library::LitmusEntry;
-use crate::run::run_entry_limited;
-use crate::test::Expectation;
+use crate::run::run_limited;
+use crate::test::{Expectation, LitmusTest};
 use ppc_model::{ExploreLimits, ModelParams};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One unit of oracle work as a *reusable value*: everything needed to
+/// run a litmus program through the exhaustive oracle and report the
+/// verdict, owned rather than borrowed from a `&'static` library table.
+///
+/// The CLI binaries historically drove the harness straight from
+/// [`LitmusEntry`] (static library rows); a job decouples the harness
+/// from where the program came from — a library row, a file handed to
+/// `oracle-client`, bytes off an `oracled` socket — so the same
+/// machinery serves all frontends (`ppc_service` builds its
+/// content-addressed cache keys from exactly this value).
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Test name (reported; part of the result record).
+    pub name: String,
+    /// Which part of the paper/validation (or which submitter) pins the
+    /// expectation.
+    pub pinned_by: String,
+    /// The expectation the verdict is compared against. Ad-hoc
+    /// submissions without an architectural expectation conventionally
+    /// use [`Expectation::Allowed`], making `match` read as "was the
+    /// condition witnessed".
+    pub expect: Expectation,
+    /// The original `.litmus` source (retained because distributed
+    /// workers re-parse it locally).
+    pub source: String,
+    /// The parsed test (parse once, run many).
+    pub test: LitmusTest,
+}
+
+impl Job {
+    /// Build a job from a library entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry's source fails to parse (library sources are
+    /// fixed).
+    #[must_use]
+    pub fn from_entry(entry: &LitmusEntry) -> Job {
+        let test = crate::parse(entry.source).expect("library test parses");
+        Job {
+            name: entry.name.to_owned(),
+            pinned_by: entry.pinned_by.to_owned(),
+            expect: entry.expect,
+            source: entry.source.to_owned(),
+            test,
+        }
+    }
+
+    /// Build a job from raw litmus source (the `oracled` / client path).
+    /// The job's name is the test's own header name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed source.
+    pub fn from_source(
+        source: &str,
+        expect: Expectation,
+        pinned_by: &str,
+    ) -> Result<Job, crate::ParseError> {
+        let test = crate::parse(source)?;
+        Ok(Job {
+            name: test.name.clone(),
+            pinned_by: pinned_by.to_owned(),
+            expect,
+            source: source.to_owned(),
+            test,
+        })
+    }
+}
 
 /// Configuration for a harness run.
 #[derive(Clone, Debug, Default)]
@@ -474,18 +544,26 @@ impl HarnessReport {
 /// completion order.
 #[must_use]
 pub fn run_suite(entries: &[LitmusEntry], cfg: &HarnessConfig) -> HarnessReport {
+    let jobs: Vec<Job> = entries.iter().map(Job::from_entry).collect();
+    run_suite_jobs(&jobs, cfg)
+}
+
+/// [`run_suite`] over pre-built [`Job`]s (the reusable-value form every
+/// frontend shares).
+#[must_use]
+pub fn run_suite_jobs(suite: &[Job], cfg: &HarnessConfig) -> HarnessReport {
     let t0 = Instant::now();
-    let jobs = cfg.pool_size(entries.len());
-    let inner_threads = cfg.inner_threads_for(jobs);
+    let pool = cfg.pool_size(suite.len());
+    let inner_threads = cfg.inner_threads_for(pool);
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<TestReport>>> = Mutex::new(vec![None; entries.len()]);
+    let slots: Mutex<Vec<Option<TestReport>>> = Mutex::new(vec![None; suite.len()]);
 
     std::thread::scope(|s| {
-        for _ in 0..jobs {
+        for _ in 0..pool {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(entry) = entries.get(i) else { break };
-                let report = run_one_with_threads(entry, cfg, inner_threads);
+                let Some(job) = suite.get(i) else { break };
+                let report = run_job_with_threads(job, cfg, inner_threads);
                 slots.lock().expect("report slots poisoned")[i] = Some(report);
             });
         }
@@ -512,21 +590,27 @@ pub fn run_suite(entries: &[LitmusEntry], cfg: &HarnessConfig) -> HarnessReport 
 /// fighting over it.
 #[must_use]
 pub fn run_one(entry: &LitmusEntry, cfg: &HarnessConfig) -> TestReport {
-    run_one_with_threads(entry, cfg, cfg.inner_threads_for(1))
+    run_job(&Job::from_entry(entry), cfg)
 }
 
-/// [`run_one`] with an explicit exploration thread budget (the
+/// [`run_one`] over a pre-built [`Job`].
+#[must_use]
+pub fn run_job(job: &Job, cfg: &HarnessConfig) -> TestReport {
+    run_job_with_threads(job, cfg, cfg.inner_threads_for(1))
+}
+
+/// [`run_job`] with an explicit exploration thread budget (the
 /// suite-level clamp already resolved by the caller).
-fn run_one_with_threads(entry: &LitmusEntry, cfg: &HarnessConfig, threads: usize) -> TestReport {
+fn run_job_with_threads(job: &Job, cfg: &HarnessConfig, threads: usize) -> TestReport {
     let limits = ExploreLimits {
         threads,
         deadline: cfg.timeout_per_test.map(|t| Instant::now() + t),
         ..ExploreLimits::from_params(&cfg.params)
     };
     let t0 = Instant::now();
-    let check = if cfg.distributed > 0 {
-        crate::distrib::run_entry_distributed(
-            entry,
+    let result = if cfg.distributed > 0 {
+        crate::distrib::run_source_distributed(
+            &job.source,
             &cfg.params,
             &limits,
             &crate::distrib::DistribConfig {
@@ -540,22 +624,27 @@ fn run_one_with_threads(entry: &LitmusEntry, cfg: &HarnessConfig, threads: usize
             },
         )
     } else {
-        run_entry_limited(entry, &cfg.params, &limits)
+        run_limited(&job.test, &cfg.params, &limits)
     };
     let wall = t0.elapsed();
+    let model_allows = result.witnessed;
+    let matches = match job.expect {
+        Expectation::Allowed => model_allows,
+        Expectation::Forbidden => !model_allows,
+    };
     TestReport {
-        name: entry.name.to_owned(),
-        pinned_by: entry.pinned_by.to_owned(),
-        expected: check.expect,
-        model_allows: check.result.witnessed,
-        matches: check.matches,
-        truncated: check.result.stats.truncated,
-        finals: check.result.finals,
-        states: check.result.stats.states,
-        transitions: check.result.stats.transitions,
-        resident_peak: check.result.stats.resident_peak,
-        bounded: check.result.stats.bounded,
-        spilled: check.result.stats.spilled_states,
+        name: job.name.clone(),
+        pinned_by: job.pinned_by.clone(),
+        expected: job.expect,
+        model_allows,
+        matches,
+        truncated: result.stats.truncated,
+        finals: result.finals,
+        states: result.stats.states,
+        transitions: result.stats.transitions,
+        resident_peak: result.stats.resident_peak,
+        bounded: result.stats.bounded,
+        spilled: result.stats.spilled_states,
         workers: cfg.distributed,
         wall,
     }

@@ -40,7 +40,9 @@ pub use distrib::{
     DistribConfig, WorkerLaunch,
 };
 pub use families::generated_suite;
-pub use harness::{run_suite, HarnessConfig, HarnessReport, TestReport};
+pub use harness::{
+    run_job, run_suite, run_suite_jobs, HarnessConfig, HarnessReport, Job, TestReport,
+};
 pub use library::{library, paper_section2_suite, LitmusEntry};
 pub use parser::{parse, ParseError};
 pub use run::{

@@ -1,0 +1,424 @@
+//! The query engine: content-addressed probe → (on miss) exactly one
+//! exploration per distinct key → persist → serve.
+//!
+//! The oracle is the single entry point every frontend shares. It owns
+//! a [`HarnessConfig`] (the server-side defaults and maxima), an
+//! optional [`ResultStore`], and the *singleflight* table that
+//! coalesces concurrent duplicate queries: when N clients submit the
+//! same program at once, one becomes the leader and explores, the
+//! others wait on a condvar and are served the leader's stored record
+//! — exactly-once exploration per content key, pinned by the
+//! concurrent-client test.
+//!
+//! Cache hits serve the stored JSONL line **verbatim** (byte-identical
+//! to what the cold run wrote — re-serializing would perturb float
+//! formatting of `wall_ms`), and the parsed [`TestReport`] rides along
+//! so facades can keep their table/exit-policy logic. A hit that is
+//! `truncated`/`bounded` parses back to an *inconclusive* report —
+//! [`TestReport::conclusive`] is derived from the stored flags, so a
+//! bounded record can never be re-served as exhaustive.
+
+use crate::proto::Budget;
+use crate::query::Query;
+use crate::store::{Probe, ResultStore};
+use ppc_litmus::harness::{run_job, HarnessConfig, HarnessReport, Job, TestReport};
+use std::collections::HashSet;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Counter snapshot for one oracle (also the wire stats payload).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Queries served from the store (verified record, no exploration).
+    pub hits: u64,
+    /// Queries that found no (valid) record and led the exploration.
+    pub misses: u64,
+    /// Explorations actually run. Equal to `misses`; kept as its own
+    /// counter because "the warm sweep performed zero explorations" is
+    /// an acceptance criterion and deserves a direct reading.
+    pub explorations: u64,
+    /// Queries that arrived while the same key was being explored and
+    /// waited for the leader instead of exploring themselves.
+    pub coalesced: u64,
+    /// Records that failed verification on probe (torn/corrupt/
+    /// collided) and were treated as misses, then overwritten.
+    pub corrupt_dropped: u64,
+}
+
+/// One answered query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The JSONL record line — on a hit, the stored bytes verbatim.
+    pub line: String,
+    /// The parsed report (derived from `line` on hits).
+    pub report: TestReport,
+    /// Whether the answer came from the store without exploring.
+    pub cached: bool,
+}
+
+/// A suite run through the cached query path.
+#[derive(Clone, Debug)]
+pub struct CachedSuite {
+    /// Per-test reports in suite order, plus total wall time — the
+    /// same aggregate the uncached harness produces.
+    pub report: HarnessReport,
+    /// Per-test record lines in suite order (hits verbatim), for
+    /// byte-stable JSONL output across warm/cold runs.
+    pub lines: Vec<String>,
+    /// Per-test hit flags, in suite order.
+    pub cached: Vec<bool>,
+}
+
+impl CachedSuite {
+    /// The JSONL report: the stored record lines, newline-terminated.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for line in &self.lines {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// The reusable query core (see the module docs).
+pub struct Oracle {
+    cfg: HarnessConfig,
+    store: Option<Mutex<ResultStore>>,
+    /// Key digests currently being explored (singleflight leaders).
+    inflight: Mutex<HashSet<u64>>,
+    /// Signalled whenever a leader finishes (waiters re-probe).
+    done: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    explorations: AtomicU64,
+    coalesced: AtomicU64,
+    corrupt_dropped: AtomicU64,
+}
+
+impl Oracle {
+    /// An uncached oracle: every query explores (the legacy CLI path,
+    /// still routed through the same code so stats and coalescing
+    /// semantics are uniform).
+    #[must_use]
+    pub fn new(cfg: HarnessConfig) -> Oracle {
+        Oracle {
+            cfg,
+            store: None,
+            inflight: Mutex::new(HashSet::new()),
+            done: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            explorations: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            corrupt_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// An oracle backed by a persistent result store in `dir`
+    /// (created if missing; crash-safely reloaded if present).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening the store.
+    pub fn with_cache(cfg: HarnessConfig, dir: &Path) -> io::Result<Oracle> {
+        let store = ResultStore::open(dir)?;
+        let mut o = Oracle::new(cfg);
+        o.store = Some(Mutex::new(store));
+        Ok(o)
+    }
+
+    /// The harness configuration (server defaults and maxima).
+    #[must_use]
+    pub fn config(&self) -> &HarnessConfig {
+        &self.cfg
+    }
+
+    /// Whether a result store is attached.
+    #[must_use]
+    pub fn cached(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Current counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            explorations: self.explorations.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            corrupt_dropped: self.corrupt_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The effective per-query configuration: the oracle's defaults
+    /// with the client's budget applied, *clamped by the server's own
+    /// maxima* — a client can narrow a budget (and get an honestly
+    /// inconclusive record under its own key), never widen one.
+    #[must_use]
+    pub fn effective_cfg(&self, budget: &Budget) -> HarnessConfig {
+        let mut cfg = self.cfg.clone();
+        if budget.max_states != 0 {
+            cfg.params.max_states = budget.max_states.min(self.cfg.params.max_states);
+        }
+        if budget.timeout_ms != 0 {
+            let req = Duration::from_millis(budget.timeout_ms);
+            cfg.timeout_per_test = Some(self.cfg.timeout_per_test.map_or(req, |t| t.min(req)));
+        }
+        cfg
+    }
+
+    /// Answer one query: probe, coalesce, explore at most once,
+    /// persist, serve (see the module docs).
+    #[must_use]
+    pub fn query(&self, job: &Job, budget: &Budget) -> QueryOutcome {
+        let threads = self.cfg.inner_threads_for(1);
+        self.query_with_threads(job, budget, threads)
+    }
+
+    /// [`Oracle::query`] with the exploration thread budget already
+    /// resolved by a suite-level pool (threads are *not* part of the
+    /// cache key).
+    fn query_with_threads(&self, job: &Job, budget: &Budget, threads: usize) -> QueryOutcome {
+        let mut cfg = self.effective_cfg(budget);
+        cfg.params.threads = threads;
+        let Some(store) = &self.store else {
+            return self.explore(job, &cfg);
+        };
+        let key = Query::from_harness(job, &cfg).key();
+        loop {
+            match store.lock().expect("result store poisoned").get(&key) {
+                Probe::Hit(line) => {
+                    if let Ok(report) = TestReport::from_json_line(&line) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return QueryOutcome {
+                            line,
+                            report,
+                            cached: true,
+                        };
+                    }
+                    // Checksummed but unparseable (producer/consumer
+                    // drift that should have been a version bump):
+                    // treated exactly like corruption.
+                    self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Probe::Corrupt => {
+                    self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Probe::Miss => {}
+            }
+            // Singleflight: become the leader or wait for the current
+            // one and re-probe (the loop).
+            {
+                let mut infl = self.inflight.lock().expect("inflight set poisoned");
+                if !infl.contains(&key.digest) {
+                    infl.insert(key.digest);
+                    break; // leader
+                }
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                while infl.contains(&key.digest) {
+                    infl = self.done.wait(infl).expect("inflight set poisoned");
+                }
+                // Leader finished (or failed to persist): re-probe.
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.explore(job, &cfg);
+        if let Err(e) = store
+            .lock()
+            .expect("result store poisoned")
+            .put(&key, &outcome.line)
+        {
+            // A failed persist degrades the cache, not the answer: the
+            // live result is still served; waiters re-probe, miss, and
+            // explore themselves.
+            eprintln!("oracle: failed to persist record: {e}");
+        }
+        self.inflight
+            .lock()
+            .expect("inflight set poisoned")
+            .remove(&key.digest);
+        self.done.notify_all();
+        outcome
+    }
+
+    /// Run the exploration (the only place the harness is invoked).
+    fn explore(&self, job: &Job, cfg: &HarnessConfig) -> QueryOutcome {
+        self.explorations.fetch_add(1, Ordering::Relaxed);
+        let report = run_job(job, cfg);
+        QueryOutcome {
+            line: report.to_json(),
+            report,
+            cached: false,
+        }
+    }
+
+    /// Run a whole suite through the cached query path on the same
+    /// worker-pool shape as `run_suite_jobs` (claim counter, clamped
+    /// inner threads, suite-order results). With a warm store this
+    /// performs zero explorations and returns the stored lines
+    /// verbatim.
+    #[must_use]
+    pub fn run_suite_cached(&self, suite: &[Job]) -> CachedSuite {
+        let t0 = Instant::now();
+        let pool = self.cfg.pool_size(suite.len());
+        let inner_threads = self.cfg.inner_threads_for(pool);
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<QueryOutcome>>> = Mutex::new(vec![None; suite.len()]);
+
+        std::thread::scope(|s| {
+            for _ in 0..pool {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = suite.get(i) else { break };
+                    let outcome = self.query_with_threads(job, &Budget::default(), inner_threads);
+                    slots.lock().expect("outcome slots poisoned")[i] = Some(outcome);
+                });
+            }
+        });
+
+        let outcomes: Vec<QueryOutcome> = slots
+            .into_inner()
+            .expect("outcome slots poisoned")
+            .into_iter()
+            .map(|r| r.expect("every job produced an outcome"))
+            .collect();
+        let mut reports = Vec::with_capacity(outcomes.len());
+        let mut lines = Vec::with_capacity(outcomes.len());
+        let mut cached = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            reports.push(o.report);
+            lines.push(o.line);
+            cached.push(o.cached);
+        }
+        CachedSuite {
+            report: HarnessReport {
+                reports,
+                wall: t0.elapsed(),
+            },
+            lines,
+            cached,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_litmus::library;
+    use ppc_model::ModelParams;
+    use std::fs;
+
+    fn small_cfg() -> HarnessConfig {
+        HarnessConfig {
+            params: ModelParams {
+                threads: 1,
+                ..ModelParams::default()
+            },
+            jobs: 1,
+            ..HarnessConfig::default()
+        }
+    }
+
+    fn tmp() -> std::path::PathBuf {
+        ppc_model::store::create_unique_temp_dir("ppcmem-oracle-test").expect("temp dir")
+    }
+
+    /// Cold query explores and persists; warm query serves the same
+    /// bytes without exploring — across a *process restart* (a fresh
+    /// oracle over the same directory).
+    #[test]
+    fn warm_query_is_byte_identical_and_exploration_free() {
+        let dir = tmp();
+        let job = Job::from_entry(&library()[0]);
+        let cold_line = {
+            let oracle = Oracle::with_cache(small_cfg(), &dir).expect("oracle");
+            let out = oracle.query(&job, &Budget::default());
+            assert!(!out.cached);
+            assert_eq!(oracle.stats().explorations, 1);
+            out.line
+        };
+        let oracle = Oracle::with_cache(small_cfg(), &dir).expect("reopened oracle");
+        let out = oracle.query(&job, &Budget::default());
+        assert!(out.cached, "second query must be a cache hit");
+        assert_eq!(out.line, cold_line, "hit must serve the stored bytes");
+        let stats = oracle.stats();
+        assert_eq!(stats.explorations, 0, "a hit must not explore");
+        assert_eq!(stats.hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A truncated-budget record is cached and re-served as
+    /// *inconclusive* — never laundered into a conclusive verdict.
+    #[test]
+    fn truncated_record_stays_inconclusive_on_reserve() {
+        let dir = tmp();
+        let oracle = Oracle::with_cache(small_cfg(), &dir).expect("oracle");
+        // MP explores thousands of states; 10 is guaranteed truncation,
+        // and MP's expected-Allowed witness is unreachable that fast.
+        let entry = library()
+            .into_iter()
+            .find(|e| e.name == "MP")
+            .expect("MP in library");
+        let job = Job::from_entry(&entry);
+        let budget = Budget {
+            max_states: 10,
+            timeout_ms: 0,
+        };
+        let cold = oracle.query(&job, &budget);
+        assert!(cold.report.truncated, "10-state budget must truncate");
+        assert!(
+            !cold.report.conclusive(),
+            "truncated unwitnessed ⇒ inconclusive"
+        );
+        let warm = oracle.query(&job, &budget);
+        assert!(warm.cached, "truncated records are cached too");
+        assert_eq!(warm.line, cold.line);
+        assert!(
+            !warm.report.conclusive(),
+            "a cached truncated record must re-serve as inconclusive"
+        );
+        // The narrow budget lives under its own key: a default-budget
+        // query must not be served the truncated record.
+        let full = oracle.query(&job, &Budget::default());
+        assert!(!full.cached, "different budget ⇒ different key");
+        assert!(full.report.conclusive());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupted stored record is dropped, re-explored, and
+    /// overwritten — counted, never served.
+    #[test]
+    fn corrupt_record_is_reexplored_and_overwritten() {
+        let dir = tmp();
+        let job = Job::from_entry(&library()[0]);
+        {
+            let oracle = Oracle::with_cache(small_cfg(), &dir).expect("oracle");
+            let _ = oracle.query(&job, &Budget::default());
+        }
+        // Flip a byte inside the stored line (past the 16-byte header
+        // and the key) so framing survives but the checksum does not.
+        let log = dir.join(crate::store::LOG_NAME);
+        let mut bytes = fs::read(&log).expect("read log");
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        fs::write(&log, &bytes).expect("corrupt log");
+
+        let oracle = Oracle::with_cache(small_cfg(), &dir).expect("reopen");
+        let out = oracle.query(&job, &Budget::default());
+        assert!(!out.cached, "corrupt record must not be served");
+        let stats = oracle.stats();
+        assert_eq!(stats.corrupt_dropped, 1);
+        assert_eq!(stats.explorations, 1);
+        // The overwrite shadows the corrupt record for good.
+        let again = oracle.query(&job, &Budget::default());
+        assert!(again.cached);
+        assert_eq!(again.line, out.line);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -16,6 +16,8 @@
 //! - [`elf`]: the ELF64 frontend (reader, loader, and synthetic builder)
 //! - [`seqref`]: the sequentially-consistent reference machine and the
 //!   random sequential test generator
+//! - [`service`]: the oracle-as-a-service query core — content-addressed
+//!   result cache, framed TCP server/client (`oracled` / `oracle-client`)
 pub use ppc_bits as bits;
 pub use ppc_elf as elf;
 pub use ppc_idl as idl;
@@ -23,3 +25,4 @@ pub use ppc_isa as isa;
 pub use ppc_litmus as litmus;
 pub use ppc_model as model;
 pub use ppc_seqref as seqref;
+pub use ppc_service as service;
